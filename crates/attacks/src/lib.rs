@@ -1,0 +1,498 @@
+//! The RegVault penetration-test suite (Table 4 of the paper).
+//!
+//! Eight attacks, each executed under the paper's threat model — the
+//! attacker reads and writes arbitrary kernel memory but cannot touch
+//! registers — against a bootable kernel in any protection configuration:
+//!
+//! 1. **Return-oriented programming** — overwrite a saved kernel return
+//!    address with a gadget address.
+//! 2. **Jump-oriented programming** — overwrite a VFS function pointer.
+//! 3. **Sensitive data corruption** — overwrite a protected cred field.
+//! 4. **Sensitive data leak** — read kernel key material from memory.
+//! 5. **Privilege escalation** — zero `cred.euid` (the classic rooting
+//!    technique).
+//! 6. **SELinux bypass** — zero `selinux_state.initialized` (Di Shen's
+//!    KNOX bypass).
+//! 7. **Interrupt context corruption** — tamper with a register saved in
+//!    an interrupt frame.
+//! 8. **Spatial code pointer substitution** — replace one *encrypted*
+//!    function pointer with another legitimate one stored elsewhere.
+//!
+//! Every attack reports whether it **succeeded** (the paper's ✗ for the
+//! original kernel) or was **defeated** (✓), distinguishing defeat by
+//! detection (integrity exception) from defeat by garbling (the corrupted
+//! value decrypts to an unusable plaintext).
+//!
+//! # Examples
+//!
+//! ```
+//! use regvault_attacks::{run_attack, Attack, Outcome};
+//! use regvault_kernel::ProtectionConfig;
+//!
+//! let on_original = run_attack(Attack::PrivilegeEscalation, ProtectionConfig::off());
+//! assert_eq!(on_original.outcome, Outcome::Succeeded);
+//!
+//! let on_regvault = run_attack(Attack::PrivilegeEscalation, ProtectionConfig::full());
+//! assert!(on_regvault.outcome.defeated());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod xor_dsr;
+
+use regvault_kernel::cred::{CredField, EGID_OFFSET, EUID_OFFSET};
+use regvault_kernel::fs::{handlers, FileOp};
+use regvault_kernel::layout::KERNEL_TEXT_BASE;
+use regvault_kernel::selinux::INITIALIZED_OFFSET;
+use regvault_kernel::{trap, Kernel, KernelConfig, KernelError, ProtectionConfig};
+
+/// The eight attacks of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attack {
+    /// ❶ Return-oriented programming.
+    Rop,
+    /// ❷ Jump-oriented programming.
+    Jop,
+    /// ❸ Sensitive data corruption.
+    SensitiveDataCorruption,
+    /// ❹ Sensitive data leak.
+    SensitiveDataLeak,
+    /// ❺ Privilege escalation by corrupting `cred.euid`.
+    PrivilegeEscalation,
+    /// ❻ SELinux bypass by corrupting `selinux_state.initialized`.
+    SelinuxBypass,
+    /// ❼ Interrupt context corruption.
+    InterruptContextCorruption,
+    /// ❽ Spatial code pointer substitution.
+    SpatialSubstitution,
+}
+
+impl Attack {
+    /// All eight attacks in Table 4 order.
+    pub const ALL: [Attack; 8] = [
+        Attack::Rop,
+        Attack::Jop,
+        Attack::SensitiveDataCorruption,
+        Attack::SensitiveDataLeak,
+        Attack::PrivilegeEscalation,
+        Attack::SelinuxBypass,
+        Attack::InterruptContextCorruption,
+        Attack::SpatialSubstitution,
+    ];
+
+    /// Human-readable name matching Table 4.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Attack::Rop => "Return-Oriented Programming",
+            Attack::Jop => "Jump-Oriented Programming",
+            Attack::SensitiveDataCorruption => "Sensitive Data Corruption",
+            Attack::SensitiveDataLeak => "Sensitive Data Leak",
+            Attack::PrivilegeEscalation => "Privilege Escalation",
+            Attack::SelinuxBypass => "SELinux Bypass",
+            Attack::InterruptContextCorruption => "Interrupt Context Corruption",
+            Attack::SpatialSubstitution => "Spatial Code Pointer Substitution",
+        }
+    }
+}
+
+/// What happened when the attack ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The attacker achieved the goal (Table 4's ✗).
+    Succeeded,
+    /// Defeated: the kernel raised an integrity exception.
+    DefeatedDetected,
+    /// Defeated: the corrupted value decrypted to unusable garbage.
+    DefeatedGarbled,
+}
+
+impl Outcome {
+    /// `true` for either defeat mode (Table 4's ✓).
+    #[must_use]
+    pub fn defeated(self) -> bool {
+        !matches!(self, Outcome::Succeeded)
+    }
+}
+
+/// A completed attack run.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// Which attack ran.
+    pub attack: Attack,
+    /// The kernel configuration it ran against.
+    pub config_label: &'static str,
+    /// What happened.
+    pub outcome: Outcome,
+    /// One-line evidence trail.
+    pub detail: String,
+}
+
+fn boot(protection: ProtectionConfig) -> Kernel {
+    Kernel::boot(KernelConfig {
+        protection,
+        ..KernelConfig::default()
+    })
+    .expect("kernel boots")
+}
+
+/// Runs one attack against a freshly booted kernel.
+#[must_use]
+pub fn run_attack(attack: Attack, protection: ProtectionConfig) -> AttackResult {
+    let outcome = match attack {
+        Attack::Rop => rop(protection),
+        Attack::Jop => jop(protection),
+        Attack::SensitiveDataCorruption => data_corruption(protection),
+        Attack::SensitiveDataLeak => data_leak(protection),
+        Attack::PrivilegeEscalation => privilege_escalation(protection),
+        Attack::SelinuxBypass => selinux_bypass(protection),
+        Attack::InterruptContextCorruption => interrupt_corruption(protection),
+        Attack::SpatialSubstitution => spatial_substitution(protection),
+    };
+    AttackResult {
+        attack,
+        config_label: protection.label(),
+        outcome: outcome.0,
+        detail: outcome.1,
+    }
+}
+
+/// Runs the full Table 4 column for one configuration.
+#[must_use]
+pub fn run_all(protection: ProtectionConfig) -> Vec<AttackResult> {
+    Attack::ALL
+        .iter()
+        .map(|&attack| run_attack(attack, protection))
+        .collect()
+}
+
+// --- The attacks ------------------------------------------------------
+
+/// ❶ ROP: overwrite a saved kernel return address with a gadget address.
+fn rop(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let gadget = KERNEL_TEXT_BASE + 0x4242;
+    let slot = kernel.push_kframe(7).expect("frame push");
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(slot, gadget)
+        .expect("attacker write");
+    match kernel.pop_kframe(7) {
+        Err(KernelError::WildJump { target }) if target == gadget => (
+            Outcome::Succeeded,
+            format!("control flow redirected to gadget {gadget:#x}"),
+        ),
+        Err(KernelError::WildJump { target }) => (
+            Outcome::DefeatedGarbled,
+            format!("return decrypted to garbage {target:#x}, not the gadget"),
+        ),
+        Err(KernelError::IntegrityViolation { what }) => {
+            (Outcome::DefeatedDetected, format!("exception on {what}"))
+        }
+        other => (
+            Outcome::DefeatedGarbled,
+            format!("return did not reach the gadget: {other:?}"),
+        ),
+    }
+}
+
+/// ❷ JOP: overwrite the VFS `read` function pointer with a gadget address.
+fn jop(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let gadget = KERNEL_TEXT_BASE + 0x1313;
+    let slot = kernel.fs.file_ops.slot_addr(FileOp::Read);
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(slot, gadget)
+        .expect("attacker write");
+    let cfg = kernel.protection();
+    let fops = kernel.fs.file_ops;
+    let resolved = fops
+        .resolve(kernel.machine_mut(), &cfg, FileOp::Read)
+        .expect("pointer load");
+    if resolved == gadget {
+        (
+            Outcome::Succeeded,
+            format!("indirect call target is the gadget {gadget:#x}"),
+        )
+    } else {
+        (
+            Outcome::DefeatedGarbled,
+            format!("pointer decrypted to {resolved:#x}, not the gadget"),
+        )
+    }
+}
+
+/// ❸ Sensitive data corruption: overwrite the protected `cred.egid`.
+fn data_corruption(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let tid = kernel.current_tid();
+    let addr = kernel.creds.cred_addr(tid) + EGID_OFFSET;
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(addr, 0)
+        .expect("attacker write");
+    let cfg = kernel.protection();
+    let creds = kernel.creds.clone();
+    match creds.read(kernel.machine_mut(), &cfg, tid, CredField::Egid) {
+        Ok(0) => (
+            Outcome::Succeeded,
+            "kernel accepted the attacker's egid=0".into(),
+        ),
+        Ok(other) => (
+            Outcome::DefeatedGarbled,
+            format!("kernel read garbage gid {other}"),
+        ),
+        Err(KernelError::IntegrityViolation { what }) => {
+            (Outcome::DefeatedDetected, format!("exception on {what}"))
+        }
+        Err(other) => (Outcome::DefeatedDetected, format!("{other}")),
+    }
+}
+
+/// ❹ Sensitive data leak: dump keyring memory and look for the key.
+fn data_leak(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let secret = *b"TOP-SECRET-KEY-1";
+    let cfg = kernel.protection();
+    let mut keyring = kernel.keyring.clone();
+    keyring
+        .add_key(kernel.machine_mut(), &cfg, secret)
+        .expect("key installed");
+    let entry = keyring.entry_addr(0);
+    let mut leaked = [0u8; 16];
+    let lo = kernel.machine().memory().read_u64(entry + 8).expect("read");
+    let hi = kernel.machine().memory().read_u64(entry + 16).expect("read");
+    leaked[..8].copy_from_slice(&lo.to_le_bytes());
+    leaked[8..].copy_from_slice(&hi.to_le_bytes());
+    if leaked == secret {
+        (
+            Outcome::Succeeded,
+            "key material recovered verbatim from memory".into(),
+        )
+    } else {
+        (
+            Outcome::DefeatedGarbled,
+            "memory disclosure yields only ciphertext".into(),
+        )
+    }
+}
+
+/// ❺ Privilege escalation: zero `cred.euid`, then exercise a root check.
+fn privilege_escalation(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let tid = kernel.current_tid();
+    let addr = kernel.creds.cred_addr(tid) + EUID_OFFSET;
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(addr, 0)
+        .expect("attacker write");
+    let cfg = kernel.protection();
+    let creds = kernel.creds.clone();
+    match creds.is_root(kernel.machine_mut(), &cfg, tid) {
+        Ok(true) => (Outcome::Succeeded, "kernel now believes euid == 0".into()),
+        Ok(false) => (
+            Outcome::DefeatedGarbled,
+            "corrupted euid decrypted to a non-root garbage uid".into(),
+        ),
+        Err(KernelError::IntegrityViolation { what }) => {
+            (Outcome::DefeatedDetected, format!("exception on {what}"))
+        }
+        Err(other) => (Outcome::DefeatedDetected, format!("{other}")),
+    }
+}
+
+/// ❻ SELinux bypass: zero `selinux_state.initialized`.
+fn selinux_bypass(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let addr = kernel.selinux.base() + INITIALIZED_OFFSET;
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(addr, 0)
+        .expect("attacker write");
+    let cfg = kernel.protection();
+    let selinux = kernel.selinux.clone();
+    // Ask for an operation the policy denies: with SELinux "uninitialized"
+    // it sails through.
+    match selinux.avc_check(kernel.machine_mut(), &cfg, false) {
+        Ok(true) => (
+            Outcome::Succeeded,
+            "policy-denied operation was permitted".into(),
+        ),
+        Ok(false) => (
+            Outcome::DefeatedGarbled,
+            "garbled state still enforced the policy".into(),
+        ),
+        Err(KernelError::IntegrityViolation { what }) => {
+            (Outcome::DefeatedDetected, format!("exception on {what}"))
+        }
+        Err(other) => (Outcome::DefeatedDetected, format!("{other}")),
+    }
+}
+
+/// ❼ Interrupt context corruption: tamper with a saved register between
+/// the interrupt save and restore.
+fn interrupt_corruption(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let cfg = kernel.protection();
+    let tid = kernel.current_tid();
+    let frame = kernel.threads.interrupt_frame_addr(tid);
+    let key = cfg.key_policy().interrupt;
+
+    // Give the saved context a recognizable ra (slot 0 is x1).
+    kernel
+        .machine_mut()
+        .hart_mut()
+        .set_reg(regvault_isa::Reg::Ra, KERNEL_TEXT_BASE + 0x9000);
+    trap::save_context(kernel.machine_mut(), &cfg, key, frame).expect("context saved");
+
+    // The attack: replace the saved ra with a gadget address.
+    let gadget = KERNEL_TEXT_BASE + 0x6666;
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(frame, gadget)
+        .expect("attacker write");
+
+    match trap::restore_context(kernel.machine_mut(), &cfg, key, frame) {
+        Ok(regs) if regs[0] == gadget => (
+            Outcome::Succeeded,
+            "interrupt return will jump to the gadget".into(),
+        ),
+        Ok(regs) => (
+            Outcome::DefeatedGarbled,
+            format!("saved ra decrypted to garbage {:#x}", regs[0]),
+        ),
+        Err(KernelError::IntegrityViolation { what }) => {
+            (Outcome::DefeatedDetected, format!("exception on {what}"))
+        }
+        Err(other) => (Outcome::DefeatedDetected, format!("{other}")),
+    }
+}
+
+/// ❽ Spatial substitution: copy the (encrypted) `pipe_read` pointer over
+/// the `file_read` slot — both are valid ciphertexts, just stored at
+/// different addresses.
+fn spatial_substitution(protection: ProtectionConfig) -> (Outcome, String) {
+    let mut kernel = boot(protection);
+    let file_slot = kernel.fs.file_ops.slot_addr(FileOp::Read);
+    let pipe_slot = kernel.fs.pipe_ops.slot_addr(FileOp::Read);
+    let pipe_ct = kernel
+        .machine()
+        .memory()
+        .read_u64(pipe_slot)
+        .expect("attacker read");
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(file_slot, pipe_ct)
+        .expect("attacker write");
+    let cfg = kernel.protection();
+    let fops = kernel.fs.file_ops;
+    let resolved = fops
+        .resolve(kernel.machine_mut(), &cfg, FileOp::Read)
+        .expect("pointer load");
+    if resolved == handlers::PIPE_READ {
+        (
+            Outcome::Succeeded,
+            "file read now dispatches to the substituted pipe handler".into(),
+        )
+    } else {
+        (
+            Outcome::DefeatedGarbled,
+            format!("substituted ciphertext decrypted to {resolved:#x} (address tweak mismatch)"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_attacks_succeed_on_the_original_kernel() {
+        for result in run_all(ProtectionConfig::off()) {
+            assert_eq!(
+                result.outcome,
+                Outcome::Succeeded,
+                "{} should succeed on the baseline: {}",
+                result.attack.name(),
+                result.detail
+            );
+        }
+    }
+
+    #[test]
+    fn all_attacks_are_defeated_by_full_protection() {
+        for result in run_all(ProtectionConfig::full()) {
+            assert!(
+                result.outcome.defeated(),
+                "{} must be defeated under FULL: {}",
+                result.attack.name(),
+                result.detail
+            );
+        }
+    }
+
+    #[test]
+    fn ra_only_defeats_rop_but_not_data_attacks() {
+        let cfg = ProtectionConfig::ra_only();
+        assert!(run_attack(Attack::Rop, cfg).outcome.defeated());
+        assert_eq!(
+            run_attack(Attack::PrivilegeEscalation, cfg).outcome,
+            Outcome::Succeeded
+        );
+        assert_eq!(run_attack(Attack::Jop, cfg).outcome, Outcome::Succeeded);
+    }
+
+    #[test]
+    fn fp_only_defeats_jop_and_spatial_substitution() {
+        let cfg = ProtectionConfig::fp_only();
+        assert!(run_attack(Attack::Jop, cfg).outcome.defeated());
+        assert!(run_attack(Attack::SpatialSubstitution, cfg).outcome.defeated());
+        assert_eq!(run_attack(Attack::Rop, cfg).outcome, Outcome::Succeeded);
+    }
+
+    #[test]
+    fn non_control_defeats_the_data_attacks() {
+        let cfg = ProtectionConfig::non_control();
+        for attack in [
+            Attack::SensitiveDataCorruption,
+            Attack::SensitiveDataLeak,
+            Attack::PrivilegeEscalation,
+            Attack::SelinuxBypass,
+        ] {
+            assert!(
+                run_attack(attack, cfg).outcome.defeated(),
+                "{}",
+                attack.name()
+            );
+        }
+    }
+
+    #[test]
+    fn integrity_protected_targets_report_detection() {
+        // Corruption of integrity-protected data must be *detected*, not
+        // just garbled (§2.3.1).
+        let cfg = ProtectionConfig::full();
+        for attack in [
+            Attack::SensitiveDataCorruption,
+            Attack::PrivilegeEscalation,
+            Attack::SelinuxBypass,
+            Attack::InterruptContextCorruption,
+        ] {
+            assert_eq!(
+                run_attack(attack, cfg).outcome,
+                Outcome::DefeatedDetected,
+                "{}",
+                attack.name()
+            );
+        }
+    }
+}

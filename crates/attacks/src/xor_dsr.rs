@@ -1,0 +1,150 @@
+//! An XOR-based data space randomization baseline (DSR / HARD / CoDaRR).
+//!
+//! The paper's motivation (§1, §5): prior data randomization schemes XOR
+//! each equivalence class of data with a per-class mask because no
+//! cryptographically strong register-grained hardware primitive existed.
+//! XOR masking is linear, so a single plaintext/ciphertext pair reveals the
+//! mask for the entire class — "all of these works suffer memory
+//! disclosures, due to the weak XOR-based encryption."
+//!
+//! This module implements that baseline faithfully enough to attack it,
+//! and the tests demonstrate the two classic breaks the paper cites:
+//! known-plaintext mask recovery and mask-reuse forgery — both of which
+//! QARMA-based RegVault resists (see [`crate::run_attack`]).
+
+use regvault_qarma::{Key, Qarma64};
+
+/// A data space randomizer in the style of DSR: every equivalence class of
+/// data shares one 64-bit XOR mask.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_attacks::xor_dsr::XorDsr;
+///
+/// let dsr = XorDsr::new(42, 4);
+/// let masked = dsr.randomize(0, 0xdead_beef);
+/// assert_ne!(masked, 0xdead_beef);
+/// assert_eq!(dsr.derandomize(0, masked), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorDsr {
+    masks: Vec<u64>,
+}
+
+impl XorDsr {
+    /// Creates a randomizer with `classes` equivalence classes, masks
+    /// derived from `seed`.
+    #[must_use]
+    pub fn new(seed: u64, classes: usize) -> Self {
+        // Derive masks with QARMA as a PRF — the *masks* are strong; the
+        // weakness demonstrated here is structural (linearity), not a weak
+        // RNG.
+        let prf = Qarma64::new(Key::new(seed, !seed));
+        let masks = (0..classes as u64).map(|i| prf.encrypt(i, 0)).collect();
+        Self { masks }
+    }
+
+    /// Number of equivalence classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Randomizes `value` as a member of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn randomize(&self, class: usize, value: u64) -> u64 {
+        value ^ self.masks[class]
+    }
+
+    /// De-randomizes a masked value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    #[must_use]
+    pub fn derandomize(&self, class: usize, masked: u64) -> u64 {
+        masked ^ self.masks[class]
+    }
+}
+
+/// The known-plaintext attack: given one `(plaintext, masked)` pair from a
+/// class, recover the class mask — XOR's linearity in one line.
+#[must_use]
+pub fn recover_mask(known_plaintext: u64, observed_masked: u64) -> u64 {
+    known_plaintext ^ observed_masked
+}
+
+/// The forgery: with the recovered mask, encode any attacker-chosen value
+/// so the victim derandomizes it to exactly that value.
+#[must_use]
+pub fn forge(mask: u64, chosen_value: u64) -> u64 {
+    chosen_value ^ mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regvault_isa::{ByteRange, KeyReg};
+    use regvault_sim::CryptoEngine;
+
+    #[test]
+    fn round_trip_works_per_class() {
+        let dsr = XorDsr::new(7, 3);
+        for class in 0..3 {
+            let masked = dsr.randomize(class, 0x1234_5678_9ABC_DEF0);
+            assert_eq!(dsr.derandomize(class, masked), 0x1234_5678_9ABC_DEF0);
+        }
+    }
+
+    #[test]
+    fn classes_use_distinct_masks() {
+        let dsr = XorDsr::new(7, 4);
+        let masked: Vec<u64> = (0..4).map(|c| dsr.randomize(c, 0)).collect();
+        let mut unique = masked.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+
+    /// The paper's core criticism: one known plaintext breaks the class.
+    #[test]
+    fn known_plaintext_breaks_xor_dsr() {
+        let dsr = XorDsr::new(1234, 2);
+        // The attacker knows that some variable in class 0 currently holds
+        // the value 1000 (e.g. their own uid) and leaks its masked form.
+        let observed = dsr.randomize(0, 1000);
+        let mask = recover_mask(1000, observed);
+        // Now every other value in the class is an open book...
+        let secret_masked = dsr.randomize(0, 0x5EC2_E7AA_BBCC_DDEEu64);
+        assert_eq!(secret_masked ^ mask, 0x5EC2_E7AA_BBCC_DDEEu64);
+        // ...and the attacker can forge arbitrary values (uid = 0).
+        let forged = forge(mask, 0);
+        assert_eq!(dsr.derandomize(0, forged), 0, "privilege escalation");
+    }
+
+    /// The same known-plaintext attack against the QARMA-based RegVault
+    /// primitive goes nowhere: recovering "the mask" from one pair gives a
+    /// value that predicts nothing about any other pair.
+    #[test]
+    fn known_plaintext_does_not_break_regvault() {
+        let mut engine = CryptoEngine::new(0, 99);
+        engine.write_key(KeyReg::D, Key::new(5, 6));
+        let observed = engine.encrypt(KeyReg::D, 0x40, 1000, ByteRange::FULL).value;
+        let pseudo_mask = recover_mask(1000, observed);
+        // Try to use the "mask" to decode a different value at the same
+        // tweak, and to forge uid=0.
+        let other = engine.encrypt(KeyReg::D, 0x40, 4242, ByteRange::FULL).value;
+        assert_ne!(other ^ pseudo_mask, 4242, "no linear structure to exploit");
+        let forged = forge(pseudo_mask, 0);
+        let decoded = engine
+            .decrypt(KeyReg::D, 0x40, forged, ByteRange::FULL)
+            .expect("full range")
+            .value;
+        assert_ne!(decoded, 0, "forgery lands on garbage, not uid 0");
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for kernel syscall dispatch under the
+//! baseline and full-protection configurations — the host-side cost of
+//! the simulated syscall paths (the *simulated* cycle overheads are the
+//! fig5 binaries' job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regvault_kernel::{Kernel, KernelConfig, ProtectionConfig, Sysno};
+
+fn bench_syscalls(c: &mut Criterion) {
+    for (label, protection) in [
+        ("baseline", ProtectionConfig::off()),
+        ("full", ProtectionConfig::full()),
+    ] {
+        c.bench_function(&format!("getuid_dispatch_{label}"), |b| {
+            let mut kernel = Kernel::boot(KernelConfig {
+                protection,
+                ..KernelConfig::default()
+            })
+            .expect("boot");
+            b.iter(|| kernel.dispatch(Sysno::Getuid as u64, [0; 3]).expect("getuid"));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_syscalls
+}
+criterion_main!(benches);

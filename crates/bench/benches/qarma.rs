@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the QARMA-64 primitive and the
+//! crypto-engine/CLB datapath — the host-side cost of simulating the
+//! paper's 3-cycle hardware primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regvault_isa::{ByteRange, KeyReg};
+use regvault_qarma::{Key, Qarma64};
+use regvault_sim::CryptoEngine;
+use std::hint::black_box;
+
+fn bench_cipher(c: &mut Criterion) {
+    let cipher = Qarma64::new(Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+    c.bench_function("qarma64_encrypt", |b| {
+        let mut pt = 0xfb623599da6e8127u64;
+        b.iter(|| {
+            pt = cipher.encrypt(black_box(pt), 0x477d469dec0b8762);
+            pt
+        });
+    });
+    c.bench_function("qarma64_decrypt", |b| {
+        let mut ct = 0xfb623599da6e8127u64;
+        b.iter(|| {
+            ct = cipher.decrypt(black_box(ct), 0x477d469dec0b8762);
+            ct
+        });
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_encrypt_clb_miss", |b| {
+        let mut engine = CryptoEngine::new(0, 7);
+        engine.write_key(KeyReg::A, Key::new(1, 2));
+        let mut tweak = 0u64;
+        b.iter(|| {
+            tweak = tweak.wrapping_add(8);
+            engine.encrypt(KeyReg::A, black_box(tweak), 0xdead, ByteRange::FULL)
+        });
+    });
+    c.bench_function("engine_encrypt_clb_hit", |b| {
+        let mut engine = CryptoEngine::new(8, 7);
+        engine.write_key(KeyReg::A, Key::new(1, 2));
+        let _ = engine.encrypt(KeyReg::A, 0x40, 0xdead, ByteRange::FULL);
+        b.iter(|| engine.encrypt(KeyReg::A, black_box(0x40), 0xdead, ByteRange::FULL));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_cipher, bench_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the machine simulator: host
+//! instructions-per-second on compute and crypto-dense guest loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regvault_isa::{asm, KeyReg};
+use regvault_sim::{Machine, MachineConfig};
+
+fn run_loop(source: &str, with_keys: bool) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    if with_keys {
+        machine.write_key_register(KeyReg::A, 1, 2).expect("key write");
+    }
+    let program = asm::assemble(source).expect("assembles");
+    machine.load_program(0x8000_0000, program.bytes());
+    machine
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let compute = "li   s1, 0
+         li   s2, 1000
+        loop:
+         add  t0, s1, s2
+         xor  t1, t0, s1
+         mul  t2, t1, t0
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         ebreak";
+    c.bench_function("sim_compute_loop_5k_insns", |b| {
+        b.iter(|| {
+            let mut machine = run_loop(compute, false);
+            machine.hart_mut().set_pc(0x8000_0000);
+            machine.run_until_break(100_000).expect("runs");
+            machine.stats().instret
+        });
+    });
+
+    let crypto = "li   t1, 0x9000
+         li   a0, 5
+         li   s1, 0
+         li   s2, 500
+        loop:
+         creak a1, a0[7:0], t1
+         crdak a2, a1, t1, [7:0]
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         ebreak";
+    c.bench_function("sim_crypto_loop_clb_hits", |b| {
+        b.iter(|| {
+            let mut machine = run_loop(crypto, true);
+            machine.hart_mut().set_pc(0x8000_0000);
+            machine.run_until_break(100_000).expect("runs");
+            machine.stats().cycles
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Figure 5a: UnixBench overheads under RA / FP / NON-CONTROL
+//! / FULL protection (paper: 2.6 % average for FULL).
+
+use regvault_bench::print_overhead_table;
+use regvault_workloads::{unixbench::UnixBench, Workload};
+
+fn main() {
+    let items: Vec<&dyn Workload> = UnixBench::ALL.iter().map(|w| w as &dyn Workload).collect();
+    let rows = print_overhead_table("Figure 5a: UnixBench results", &items);
+    let full = regvault_workloads::mean_overhead(&rows, "FULL");
+    println!(
+        "\naverage overhead for full protection: {:.2}% (paper: 2.6%)",
+        full * 100.0
+    );
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 5b: LMbench overheads (paper: 2.5 % average FULL).
+
+use regvault_bench::print_overhead_table;
+use regvault_workloads::{lmbench::Lmbench, Workload};
+
+fn main() {
+    let items: Vec<&dyn Workload> = Lmbench::ALL.iter().map(|w| w as &dyn Workload).collect();
+    let rows = print_overhead_table("Figure 5b: LMbench results", &items);
+    let full = regvault_workloads::mean_overhead(&rows, "FULL");
+    println!(
+        "\naverage overhead for full protection: {:.2}% (paper: 2.5%)",
+        full * 100.0
+    );
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for the table/figure regenerator binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table3_hwcost` | Table 3: relative hardware resource cost |
+//! | `table4_pentest` | Table 4: penetration test results |
+//! | `clb_hit_ratio` | §4.4.1: CLB hit ratio and overhead reduction |
+//! | `fig5a_unixbench` | Figure 5a: UnixBench overheads |
+//! | `fig5b_lmbench` | Figure 5b: LMbench overheads |
+//! | `fig5c_spec` | Figure 5c: SPEC intspeed overheads |
+//! | `ablations` | design-choice ablations called out in DESIGN.md |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use regvault_workloads::{OverheadRow, Workload};
+
+/// Formats an overhead fraction as a `+x.xx%` cell.
+#[must_use]
+pub fn pct(overhead: f64) -> String {
+    format!("{:+6.2}%", overhead * 100.0)
+}
+
+/// Prints one Figure 5 style table and returns the rows.
+///
+/// # Panics
+///
+/// Panics when a workload fails to run — the harness treats that as a
+/// broken build rather than a measurement.
+pub fn print_overhead_table(title: &str, workloads: &[&dyn Workload]) -> Vec<OverheadRow> {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} {:>14} {:>9} {:>9} {:>12} {:>9}",
+        "workload", "base cycles", "RA", "FP", "NON-CONTROL", "FULL"
+    );
+    let mut rows = Vec::new();
+    for workload in workloads {
+        let row = regvault_workloads::sweep(*workload, 8)
+            .unwrap_or_else(|err| panic!("{} failed: {err}", workload.name()));
+        print!("{:<12} {:>14}", row.name, row.base_cycles);
+        for (_, overhead) in &row.overheads {
+            print!(" {:>9}", pct(*overhead));
+        }
+        println!();
+        rows.push(row);
+    }
+    println!("{:-<70}", "");
+    print!("{:<12} {:>14}", "average", "");
+    for label in ["RA", "FP", "NON-CONTROL", "FULL"] {
+        let mean = regvault_workloads::mean_overhead(&rows, label);
+        print!(" {:>9}", pct(mean));
+    }
+    println!();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats_signed_percentages() {
+        assert_eq!(pct(0.026), " +2.60%");
+        assert_eq!(pct(-0.004), " -0.40%");
+    }
+}

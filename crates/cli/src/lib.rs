@@ -1,0 +1,261 @@
+//! Library backing the `regvault-cli` binary.
+//!
+//! Each subcommand is a function from parsed arguments to an output string,
+//! so the whole surface is unit-testable without spawning processes:
+//!
+//! * `asm <file.s>` — assemble to a hex word listing;
+//! * `disasm <file.s|->` — assemble then disassemble (round-trip view);
+//! * `run <file.s>` — execute a bare-metal guest program on the simulated
+//!   RegVault machine (keys `a`–`g` pre-loaded) and dump the registers;
+//! * `pentest [config]` — run the Table 4 suite against a configuration;
+//! * `hwcost [entries]` — print the Table 3 area model for a CLB size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use regvault_attacks::run_all;
+use regvault_core::hwcost;
+use regvault_isa::{asm, disasm, KeyReg, Reg};
+use regvault_kernel::ProtectionConfig;
+use regvault_sim::{Machine, MachineConfig};
+
+/// Error string type used by the CLI (messages go straight to stderr).
+pub type CliError = String;
+
+/// Assembles `source`, returning an `offset: word` listing.
+///
+/// # Errors
+///
+/// Returns the assembler diagnostic on malformed input.
+pub fn cmd_asm(source: &str) -> Result<String, CliError> {
+    let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for (i, word) in program.words().iter().enumerate() {
+        let _ = writeln!(out, "{:#06x}: {word:08x}", i * 4);
+    }
+    for (symbol, offset) in program.symbols() {
+        let _ = writeln!(out, "symbol {symbol} = {offset:#x}");
+    }
+    Ok(out)
+}
+
+/// Assembles then disassembles `source` — shows what the hardware decodes.
+///
+/// # Errors
+///
+/// Returns the assembler diagnostic on malformed input.
+pub fn cmd_disasm(source: &str) -> Result<String, CliError> {
+    let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for line in disasm::disassemble(program.bytes()) {
+        let _ = writeln!(out, "{}", line.render());
+    }
+    let (crypto, total) = disasm::crypto_density(program.bytes());
+    let _ = writeln!(out, "; {crypto}/{total} instructions are cre/crd");
+    Ok(out)
+}
+
+/// Runs a bare-metal program (kernel privilege, keys installed) and dumps
+/// the final register file and statistics.
+///
+/// # Errors
+///
+/// Returns assembler or simulator diagnostics.
+pub fn cmd_run(source: &str, max_steps: u64) -> Result<String, CliError> {
+    let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let mut machine = Machine::new(MachineConfig::default());
+    for (i, key) in [
+        KeyReg::A,
+        KeyReg::B,
+        KeyReg::C,
+        KeyReg::D,
+        KeyReg::E,
+        KeyReg::F,
+        KeyReg::G,
+    ]
+    .iter()
+    .enumerate()
+    {
+        machine
+            .write_key_register(*key, 0x1000 + i as u64, 0x2000 + i as u64)
+            .expect("general key");
+    }
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.memory_mut().map_region(0x7000_0000, 0x10000);
+    machine.hart_mut().set_reg(Reg::Sp, 0x7000_F000);
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine
+        .run_until_break(max_steps)
+        .map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "halted after {} instructions, {} cycles", machine.stats().instret, machine.stats().cycles);
+    for chunk in Reg::ALL.chunks(4) {
+        for reg in chunk {
+            let _ = write!(out, "{:>4} = {:#018x}  ", reg.name(), machine.hart().reg(*reg));
+        }
+        let _ = writeln!(out);
+    }
+    let clb = machine.engine().clb().stats();
+    let _ = writeln!(
+        out,
+        "crypto: {} cre / {} crd, CLB {:.1}% hits",
+        machine.stats().encrypts,
+        machine.stats().decrypts,
+        clb.hit_ratio() * 100.0
+    );
+    Ok(out)
+}
+
+/// Parses a configuration label (`base|ra|fp|non-control|full`).
+///
+/// # Errors
+///
+/// Lists the accepted labels on a bad value.
+pub fn parse_config(label: &str) -> Result<ProtectionConfig, CliError> {
+    Ok(match label {
+        "base" | "off" | "original" => ProtectionConfig::off(),
+        "ra" => ProtectionConfig::ra_only(),
+        "fp" => ProtectionConfig::fp_only(),
+        "non-control" | "nc" => ProtectionConfig::non_control(),
+        "full" => ProtectionConfig::full(),
+        other => {
+            return Err(format!(
+                "unknown config `{other}` (expected base|ra|fp|non-control|full)"
+            ))
+        }
+    })
+}
+
+/// Runs the Table 4 suite against one configuration.
+///
+/// # Errors
+///
+/// Propagates configuration-label parse errors.
+pub fn cmd_pentest(label: &str) -> Result<String, CliError> {
+    let config = parse_config(label)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "penetration tests against {}:", config.label());
+    for result in run_all(config) {
+        let verdict = if result.outcome.defeated() {
+            "defeated"
+        } else {
+            "SUCCEEDED"
+        };
+        let _ = writeln!(
+            out,
+            "  {:<38} {:<10} {}",
+            result.attack.name(),
+            verdict,
+            result.detail
+        );
+    }
+    Ok(out)
+}
+
+/// Prints the hardware area model for a CLB size.
+///
+/// # Errors
+///
+/// Rejects non-numeric entry counts.
+pub fn cmd_hwcost(entries: &str) -> Result<String, CliError> {
+    let entries: usize = entries
+        .parse()
+        .map_err(|_| format!("invalid CLB entry count `{entries}`"))?;
+    let report = hwcost::soc_report(entries);
+    let mut out = String::new();
+    let _ = writeln!(out, "SoC with a {entries}-entry CLB:");
+    let _ = writeln!(
+        out,
+        "  crypto-engine: {} LUTs ({:.2}%), {} FFs ({:.2}%)",
+        report.crypto_engine_luts,
+        report.crypto_engine_lut_pct(),
+        report.crypto_engine_ffs,
+        report.crypto_engine_ff_pct()
+    );
+    let _ = writeln!(
+        out,
+        "  CLB          : {} LUTs ({:.2}%), {} FFs ({:.2}%)",
+        report.clb_luts,
+        report.clb_lut_pct(),
+        report.clb_ffs,
+        report.clb_ff_pct()
+    );
+    let _ = writeln!(
+        out,
+        "  FPU (compare): {} LUTs ({:.2}%), {} FFs ({:.2}%)",
+        report.fpu_luts,
+        report.fpu_lut_pct(),
+        report.fpu_ffs,
+        report.fpu_ff_pct()
+    );
+    Ok(out)
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "regvault-cli — the RegVault reproduction toolbox
+
+USAGE:
+    regvault-cli asm     <file.s>          assemble, print words + symbols
+    regvault-cli disasm  <file.s>          assemble + disassemble round trip
+    regvault-cli run     <file.s> [steps]  execute on the simulated machine
+    regvault-cli pentest [config]          run Table 4 (default: full)
+    regvault-cli hwcost  [entries]         Table 3 area model (default: 8)
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asm_lists_words_and_symbols() {
+        let out = cmd_asm("start:\n  li a0, 1\n  ebreak").unwrap();
+        assert!(out.contains("symbol start = 0x0"));
+        assert!(out.lines().count() >= 3);
+    }
+
+    #[test]
+    fn disasm_round_trips() {
+        let out = cmd_disasm("creak a0, a0[7:0], t1\nebreak").unwrap();
+        assert!(out.contains("creak a0, a0[7:0], t1"));
+        assert!(out.contains("1/2 instructions are cre/crd"));
+    }
+
+    #[test]
+    fn run_reports_registers() {
+        let out = cmd_run("li a0, 42\nebreak", 1000).unwrap();
+        assert!(out.contains("a0 = 0x000000000000002a"));
+    }
+
+    #[test]
+    fn pentest_full_defeats_everything() {
+        let out = cmd_pentest("full").unwrap();
+        assert!(!out.contains("SUCCEEDED"));
+        assert_eq!(out.matches("defeated").count(), 8);
+    }
+
+    #[test]
+    fn pentest_base_loses_everything() {
+        let out = cmd_pentest("base").unwrap();
+        assert_eq!(out.matches("SUCCEEDED").count(), 8);
+    }
+
+    #[test]
+    fn bad_inputs_are_reported() {
+        assert!(cmd_asm("frobnicate").is_err());
+        assert!(parse_config("yolo").is_err());
+        assert!(cmd_hwcost("many").is_err());
+    }
+
+    #[test]
+    fn hwcost_renders_percentages() {
+        let out = cmd_hwcost("8").unwrap();
+        assert!(out.contains("crypto-engine"));
+        assert!(out.contains("FPU"));
+    }
+}

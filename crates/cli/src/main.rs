@@ -1,0 +1,43 @@
+//! The `regvault-cli` binary. All logic lives in [`regvault_cli`].
+
+use std::fs;
+use std::process::ExitCode;
+
+use regvault_cli::{cmd_asm, cmd_disasm, cmd_hwcost, cmd_pentest, cmd_run, usage};
+
+fn read_source(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    match args {
+        [cmd, file] if cmd == "asm" => cmd_asm(&read_source(file)?),
+        [cmd, file] if cmd == "disasm" => cmd_disasm(&read_source(file)?),
+        [cmd, file] if cmd == "run" => cmd_run(&read_source(file)?, 10_000_000),
+        [cmd, file, steps] if cmd == "run" => {
+            let steps = steps
+                .parse()
+                .map_err(|_| format!("invalid step budget `{steps}`"))?;
+            cmd_run(&read_source(file)?, steps)
+        }
+        [cmd] if cmd == "pentest" => cmd_pentest("full"),
+        [cmd, config] if cmd == "pentest" => cmd_pentest(config),
+        [cmd] if cmd == "hwcost" => cmd_hwcost("8"),
+        [cmd, entries] if cmd == "hwcost" => cmd_hwcost(entries),
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Compiler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by instrumentation, register allocation or codegen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A struct id was referenced but never defined in the module.
+    UnknownStruct(usize),
+    /// A field index was out of bounds for its struct.
+    UnknownField {
+        /// The struct's name.
+        strukt: String,
+        /// The out-of-range field index.
+        field: usize,
+    },
+    /// A call referenced a function the module does not define.
+    UnknownFunction(String),
+    /// A virtual register was used before being defined.
+    UndefinedVReg(u32),
+    /// The generated assembly failed to assemble (an internal bug).
+    Assembly(String),
+    /// A function declared more parameters than the ABI passes in registers.
+    TooManyParams {
+        /// The function's name.
+        function: String,
+        /// The declared parameter count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownStruct(id) => write!(f, "unknown struct id {id}"),
+            CompileError::UnknownField { strukt, field } => {
+                write!(f, "struct `{strukt}` has no field index {field}")
+            }
+            CompileError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            CompileError::UndefinedVReg(id) => write!(f, "virtual register %{id} used before def"),
+            CompileError::Assembly(message) => write!(f, "internal assembly error: {message}"),
+            CompileError::TooManyParams { function, count } => {
+                write!(f, "function `{function}` declares {count} params (max 8)")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<regvault_isa::IsaError> for CompileError {
+    fn from(err: regvault_isa::IsaError) -> Self {
+        CompileError::Assembly(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_concise() {
+        assert_eq!(
+            CompileError::UnknownFunction("f".into()).to_string(),
+            "unknown function `f`"
+        );
+    }
+}

@@ -1,0 +1,483 @@
+//! Instruction instrumentation (§2.4.2 of the paper).
+//!
+//! The pass walks every function and rewrites loads/stores of protected
+//! data into the hardware-primitive sequences of Figure 2:
+//!
+//! * annotated fields (when `protect_data` is on) — `__rand` uses
+//!   full-width `[7:0]` randomization; `__rand_integrity` uses `[3:0]`
+//!   zero-extension for 32-bit data and the two-block split of Figure 2c
+//!   for 64-bit data;
+//! * function-pointer fields (when `protect_fn_ptr` is on) — full-width
+//!   randomization under the dedicated function-pointer key (§3.1.2);
+//! * typed struct copies (`memcpy` handling) — annotated fields are
+//!   decrypted under the *source* address tweak and re-encrypted under the
+//!   *destination* address tweak, defeating spatial substitution through
+//!   copies.
+//!
+//! Storage-address tweaks are used throughout, per Table 2.
+
+use regvault_isa::{ByteRange, KeyReg};
+
+use crate::config::CompileConfig;
+use crate::error::CompileError;
+use crate::ir::{Block, Function, Inst, MemTy, Module, VReg};
+use crate::types::{Annotation, FieldDef, FieldType, StructDef};
+
+/// How one field access is protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Protection {
+    /// No instrumentation; access at this memory type.
+    Plain(MemTy),
+    /// Full-width `[7:0]` randomization (confidentiality only).
+    Full(KeyReg),
+    /// 32-bit `[3:0]` randomization with integrity.
+    Int32(KeyReg),
+    /// 64-bit split into two integrity-protected blocks (Figure 2c).
+    Int64(KeyReg),
+}
+
+fn classify(field: &FieldDef, config: &CompileConfig) -> Protection {
+    if config.protect_data {
+        match field.annotation {
+            Some(Annotation::Rand) => return Protection::Full(config.keys.data),
+            Some(Annotation::RandIntegrity) => {
+                return match field.ty {
+                    FieldType::I32 => Protection::Int32(config.keys.data),
+                    _ => Protection::Int64(config.keys.data),
+                }
+            }
+            None => {}
+        }
+    }
+    // Over-approximate function-pointer identification (§3.1.2): FnPtr
+    // covers both true function pointers and `void *`.
+    if config.protect_fn_ptr && field.ty == FieldType::FnPtr {
+        return Protection::Full(config.keys.fn_ptr);
+    }
+    let ty = match field.ty {
+        FieldType::I32 => MemTy::U32,
+        _ => MemTy::I64,
+    };
+    Protection::Plain(ty)
+}
+
+/// Rewrites `module` according to `config`, producing the instrumented
+/// module handed to codegen.
+///
+/// # Errors
+///
+/// Returns [`CompileError::UnknownStruct`] / [`CompileError::UnknownField`]
+/// for malformed field references.
+pub fn instrument(module: &Module, config: &CompileConfig) -> Result<Module, CompileError> {
+    let mut out = module.clone();
+    for function in &mut out.functions {
+        rewrite_function(function, &module.structs, config)?;
+    }
+    Ok(out)
+}
+
+struct Rewriter<'a> {
+    structs: &'a [StructDef],
+    config: &'a CompileConfig,
+    next_vreg: u32,
+    out: Vec<Inst>,
+}
+
+impl Rewriter<'_> {
+    fn fresh(&mut self) -> VReg {
+        let vreg = VReg(self.next_vreg);
+        self.next_vreg += 1;
+        vreg
+    }
+
+    fn field(&self, sid: usize, field: usize) -> Result<&FieldDef, CompileError> {
+        let def = self
+            .structs
+            .get(sid)
+            .ok_or(CompileError::UnknownStruct(sid))?;
+        def.fields.get(field).ok_or_else(|| CompileError::UnknownField {
+            strukt: def.name.clone(),
+            field,
+        })
+    }
+
+    fn field_addr(&mut self, base: VReg, sid: usize, field: usize) -> VReg {
+        let dst = self.fresh();
+        self.out.push(Inst::FieldAddr {
+            dst,
+            base,
+            sid,
+            field,
+        });
+        dst
+    }
+
+    fn offset(&mut self, base: VReg, delta: i64) -> VReg {
+        let dst = self.fresh();
+        self.out.push(Inst::BinImm {
+            op: regvault_isa::AluOp::Add,
+            dst,
+            lhs: base,
+            imm: delta,
+        });
+        dst
+    }
+
+    fn load(&mut self, addr: VReg, ty: MemTy) -> VReg {
+        let dst = self.fresh();
+        self.out.push(Inst::Load { dst, addr, ty });
+        dst
+    }
+
+    fn store(&mut self, addr: VReg, value: VReg, ty: MemTy) {
+        self.out.push(Inst::Store { addr, value, ty });
+    }
+
+    fn encrypt(&mut self, src: VReg, key: KeyReg, tweak: VReg, range: ByteRange) -> VReg {
+        let dst = self.fresh();
+        self.out.push(Inst::Encrypt {
+            dst,
+            src,
+            key,
+            tweak,
+            range,
+        });
+        dst
+    }
+
+    fn decrypt(&mut self, src: VReg, key: KeyReg, tweak: VReg, range: ByteRange) -> VReg {
+        let dst = self.fresh();
+        self.out.push(Inst::Decrypt {
+            dst,
+            src,
+            key,
+            tweak,
+            range,
+        });
+        dst
+    }
+
+    /// Emits a protected (or plain) field load, returning the value vreg.
+    fn lower_load(
+        &mut self,
+        base: VReg,
+        sid: usize,
+        field: usize,
+    ) -> Result<VReg, CompileError> {
+        let protection = classify(self.field(sid, field)?, self.config);
+        let addr = self.field_addr(base, sid, field);
+        Ok(match protection {
+            Protection::Plain(ty) => self.load(addr, ty),
+            Protection::Full(key) => {
+                let ct = self.load(addr, MemTy::I64);
+                self.decrypt(ct, key, addr, ByteRange::FULL)
+            }
+            Protection::Int32(key) => {
+                let ct = self.load(addr, MemTy::I64);
+                self.decrypt(ct, key, addr, ByteRange::LOW32)
+            }
+            Protection::Int64(key) => {
+                let addr_hi = self.offset(addr, 8);
+                let ct_lo = self.load(addr, MemTy::I64);
+                let ct_hi = self.load(addr_hi, MemTy::I64);
+                let pt_lo = self.decrypt(ct_lo, key, addr, ByteRange::LOW32);
+                let pt_hi = self.decrypt(ct_hi, key, addr_hi, ByteRange::HIGH32);
+                let dst = self.fresh();
+                self.out.push(Inst::Bin {
+                    op: regvault_isa::AluOp::Or,
+                    dst,
+                    lhs: pt_lo,
+                    rhs: pt_hi,
+                });
+                dst
+            }
+        })
+    }
+
+    /// Emits a protected (or plain) field store of `value`.
+    fn lower_store(
+        &mut self,
+        base: VReg,
+        sid: usize,
+        field: usize,
+        value: VReg,
+    ) -> Result<(), CompileError> {
+        let protection = classify(self.field(sid, field)?, self.config);
+        let addr = self.field_addr(base, sid, field);
+        match protection {
+            Protection::Plain(ty) => self.store(addr, value, ty),
+            Protection::Full(key) => {
+                let ct = self.encrypt(value, key, addr, ByteRange::FULL);
+                self.store(addr, ct, MemTy::I64);
+            }
+            Protection::Int32(key) => {
+                let ct = self.encrypt(value, key, addr, ByteRange::LOW32);
+                self.store(addr, ct, MemTy::I64);
+            }
+            Protection::Int64(key) => {
+                let addr_hi = self.offset(addr, 8);
+                let ct_lo = self.encrypt(value, key, addr, ByteRange::LOW32);
+                let ct_hi = self.encrypt(value, key, addr_hi, ByteRange::HIGH32);
+                self.store(addr, ct_lo, MemTy::I64);
+                self.store(addr_hi, ct_hi, MemTy::I64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands a typed struct copy field-by-field, re-encrypting protected
+    /// fields under their new storage addresses (§2.4.2 memcpy handling).
+    fn lower_copy(&mut self, dst: VReg, src: VReg, sid: usize) -> Result<(), CompileError> {
+        let def = self
+            .structs
+            .get(sid)
+            .ok_or(CompileError::UnknownStruct(sid))?;
+        for field in 0..def.fields.len() {
+            let value = self.lower_load(src, sid, field)?;
+            self.lower_store(dst, sid, field, value)?;
+        }
+        Ok(())
+    }
+}
+
+fn rewrite_function(
+    function: &mut Function,
+    structs: &[StructDef],
+    config: &CompileConfig,
+) -> Result<(), CompileError> {
+    let mut next_vreg = function.num_vregs;
+    let mut new_blocks = Vec::with_capacity(function.blocks.len());
+    for block in &function.blocks {
+        let mut rewriter = Rewriter {
+            structs,
+            config,
+            next_vreg,
+            out: Vec::with_capacity(block.insts.len()),
+        };
+        for inst in &block.insts {
+            match inst.clone() {
+                Inst::LoadField {
+                    dst,
+                    base,
+                    sid,
+                    field,
+                } => {
+                    let value = rewriter.lower_load(base, sid, field)?;
+                    // Alias the result into the original destination.
+                    rewriter.out.push(Inst::BinImm {
+                        op: regvault_isa::AluOp::Add,
+                        dst,
+                        lhs: value,
+                        imm: 0,
+                    });
+                }
+                Inst::StoreField {
+                    base,
+                    value,
+                    sid,
+                    field,
+                } => rewriter.lower_store(base, sid, field, value)?,
+                Inst::CopyStruct { dst, src, sid } => rewriter.lower_copy(dst, src, sid)?,
+                other => rewriter.out.push(other),
+            }
+        }
+        next_vreg = rewriter.next_vreg;
+        new_blocks.push(Block {
+            insts: rewriter.out,
+            term: block.term.clone(),
+        });
+    }
+    function.blocks = new_blocks;
+    function.num_vregs = next_vreg;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FunctionBuilder;
+    use crate::types::{FieldDef, StructDef};
+
+    fn cred_module() -> (Module, usize) {
+        let mut module = Module::new("test");
+        let sid = module.add_struct(StructDef::new(
+            "cred",
+            vec![
+                FieldDef::annotated("uid", FieldType::I32, Annotation::RandIntegrity),
+                FieldDef::plain("flags", FieldType::I64),
+                FieldDef::annotated("token", FieldType::I64, Annotation::RandIntegrity),
+                FieldDef::annotated("blob", FieldType::I64, Annotation::Rand),
+                FieldDef::plain("handler", FieldType::FnPtr),
+            ],
+        ));
+        (module, sid)
+    }
+
+    fn count_crypto(function: &Function) -> (usize, usize) {
+        let mut enc = 0;
+        let mut dec = 0;
+        for block in &function.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Encrypt { .. } => enc += 1,
+                    Inst::Decrypt { .. } => dec += 1,
+                    _ => {}
+                }
+            }
+        }
+        (enc, dec)
+    }
+
+    #[test]
+    fn annotated_store_gets_encrypted() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("set_uid", 2);
+        let base = f.param(0);
+        let value = f.param(1);
+        f.store_field(base, sid, 0, value);
+        f.ret(None);
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::non_control()).unwrap();
+        let (enc, dec) = count_crypto(out.function("set_uid").unwrap());
+        assert_eq!((enc, dec), (1, 0));
+    }
+
+    #[test]
+    fn annotated_64bit_field_uses_two_blocks() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("rw_token", 2);
+        let base = f.param(0);
+        let value = f.param(1);
+        f.store_field(base, sid, 2, value);
+        let loaded = f.load_field(base, sid, 2);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::non_control()).unwrap();
+        let (enc, dec) = count_crypto(out.function("rw_token").unwrap());
+        assert_eq!((enc, dec), (2, 2), "figure 2c: split into two halves");
+    }
+
+    #[test]
+    fn rand_only_uses_full_range_single_block() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("rw_blob", 2);
+        let base = f.param(0);
+        let value = f.param(1);
+        f.store_field(base, sid, 3, value);
+        let loaded = f.load_field(base, sid, 3);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::non_control()).unwrap();
+        let function = out.function("rw_blob").unwrap();
+        let (enc, dec) = count_crypto(function);
+        assert_eq!((enc, dec), (1, 1));
+        // All crypto uses the FULL range.
+        for block in &function.blocks {
+            for inst in &block.insts {
+                if let Inst::Encrypt { range, .. } | Inst::Decrypt { range, .. } = inst {
+                    assert!(range.is_full());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_fields_are_untouched() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("get_flags", 1);
+        let base = f.param(0);
+        let loaded = f.load_field(base, sid, 1);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::full()).unwrap();
+        let (enc, dec) = count_crypto(out.function("get_flags").unwrap());
+        assert_eq!((enc, dec), (0, 0));
+    }
+
+    #[test]
+    fn fn_ptr_fields_use_the_fn_ptr_key() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("get_handler", 1);
+        let base = f.param(0);
+        let loaded = f.load_field(base, sid, 4);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+
+        let config = CompileConfig::fp_only();
+        let out = instrument(&module, &config).unwrap();
+        let function = out.function("get_handler").unwrap();
+        let mut seen = false;
+        for block in &function.blocks {
+            for inst in &block.insts {
+                if let Inst::Decrypt { key, .. } = inst {
+                    assert_eq!(*key, config.keys.fn_ptr);
+                    seen = true;
+                }
+            }
+        }
+        assert!(seen, "function pointer load must be instrumented");
+    }
+
+    #[test]
+    fn fn_ptr_not_instrumented_without_option() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("get_handler", 1);
+        let base = f.param(0);
+        let loaded = f.load_field(base, sid, 4);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::non_control()).unwrap();
+        let (enc, dec) = count_crypto(out.function("get_handler").unwrap());
+        assert_eq!((enc, dec), (0, 0));
+    }
+
+    #[test]
+    fn copy_struct_reencrypts_annotated_fields() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("dup_cred", 2);
+        let dst = f.param(0);
+        let src = f.param(1);
+        f.copy_struct(dst, src, sid);
+        f.ret(None);
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::full()).unwrap();
+        let (enc, dec) = count_crypto(out.function("dup_cred").unwrap());
+        // uid: 1+1, token: 2+2, blob: 1+1, handler (fn ptr): 1+1 = 5 each.
+        assert_eq!((enc, dec), (5, 5));
+    }
+
+    #[test]
+    fn baseline_copy_struct_has_no_crypto() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("dup_cred", 2);
+        let dst = f.param(0);
+        let src = f.param(1);
+        f.copy_struct(dst, src, sid);
+        f.ret(None);
+        module.add_function(f.build());
+
+        let out = instrument(&module, &CompileConfig::none()).unwrap();
+        let (enc, dec) = count_crypto(out.function("dup_cred").unwrap());
+        assert_eq!((enc, dec), (0, 0));
+    }
+
+    #[test]
+    fn bad_field_reference_is_reported() {
+        let (mut module, sid) = cred_module();
+        let mut f = FunctionBuilder::new("broken", 1);
+        let base = f.param(0);
+        let loaded = f.load_field(base, sid, 99);
+        f.ret(Some(loaded));
+        module.add_function(f.build());
+        assert!(matches!(
+            instrument(&module, &CompileConfig::full()),
+            Err(CompileError::UnknownField { .. })
+        ));
+    }
+}

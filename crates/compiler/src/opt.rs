@@ -1,0 +1,313 @@
+//! Local optimizations: constant folding, copy propagation and dead-code
+//! elimination.
+//!
+//! The passes are deliberately *local* (per basic block, reset at block
+//! boundaries) because the IR is not SSA: a virtual register may be
+//! mutated, so facts about it survive only until its next definition.
+//! Correctness is cross-checked by the differential fuzzer in
+//! `tests/differential.rs`, which runs every generated program with and
+//! without optimization against a reference interpreter.
+
+use std::collections::HashMap;
+
+use regvault_isa::AluOp;
+
+use crate::ir::{Function, Inst, Module, VReg};
+
+/// Optimizes every function of the module in place.
+pub fn optimize(module: &mut Module) {
+    for function in &mut module.functions {
+        // A few rounds let copy propagation expose folds and folds expose
+        // dead code; the passes converge quickly on these block sizes.
+        for _ in 0..3 {
+            fold_and_propagate(function);
+            eliminate_dead_code(function);
+        }
+    }
+}
+
+fn eval(op: AluOp, a: u64, b: u64) -> Option<u64> {
+    Some(match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Xor => a ^ b,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+        // Division folding is skipped: the edge-case semantics are the
+        // simulator's job, not worth duplicating here.
+        _ => return None,
+    })
+}
+
+/// Block-local constant folding + copy propagation.
+fn fold_and_propagate(function: &mut Function) {
+    for block in &mut function.blocks {
+        // Facts valid at the current point of the block.
+        let mut constants: HashMap<u32, u64> = HashMap::new();
+        let mut copies: HashMap<u32, VReg> = HashMap::new();
+
+        // Invalidate every fact that mentions `dst`.
+        fn kill(dst: VReg, constants: &mut HashMap<u32, u64>, copies: &mut HashMap<u32, VReg>) {
+            constants.remove(&dst.0);
+            copies.remove(&dst.0);
+            copies.retain(|_, src| *src != dst);
+        }
+
+        let resolve = |v: VReg, copies: &HashMap<u32, VReg>| -> VReg {
+            copies.get(&v.0).copied().unwrap_or(v)
+        };
+
+        for inst in &mut block.insts {
+            // 1. Rewrite operands through known copies.
+            match inst {
+                Inst::Bin { lhs, rhs, .. } => {
+                    *lhs = resolve(*lhs, &copies);
+                    *rhs = resolve(*rhs, &copies);
+                }
+                Inst::BinImm { lhs, .. } => *lhs = resolve(*lhs, &copies),
+                Inst::FieldAddr { base, .. } => *base = resolve(*base, &copies),
+                Inst::Load { addr, .. } => *addr = resolve(*addr, &copies),
+                Inst::Store { addr, value, .. } => {
+                    *addr = resolve(*addr, &copies);
+                    *value = resolve(*value, &copies);
+                }
+                Inst::LoadField { base, .. } => *base = resolve(*base, &copies),
+                Inst::StoreField { base, value, .. } => {
+                    *base = resolve(*base, &copies);
+                    *value = resolve(*value, &copies);
+                }
+                Inst::Call { args, .. } | Inst::Syscall { args, .. } => {
+                    for arg in args {
+                        *arg = resolve(*arg, &copies);
+                    }
+                }
+                Inst::CallIndirect { ptr, args, .. } => {
+                    *ptr = resolve(*ptr, &copies);
+                    for arg in args {
+                        *arg = resolve(*arg, &copies);
+                    }
+                }
+                Inst::CopyStruct { dst, src, .. } => {
+                    *dst = resolve(*dst, &copies);
+                    *src = resolve(*src, &copies);
+                }
+                Inst::Encrypt { src, tweak, .. } | Inst::Decrypt { src, tweak, .. } => {
+                    *src = resolve(*src, &copies);
+                    *tweak = resolve(*tweak, &copies);
+                }
+                Inst::Const { .. } | Inst::GlobalAddr { .. } => {}
+            }
+
+            // 2. Fold constant operations.
+            let folded: Option<Inst> = match inst {
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    match (constants.get(&lhs.0), constants.get(&rhs.0)) {
+                        (Some(&a), Some(&b)) => eval(*op, a, b).map(|value| Inst::Const {
+                            dst: *dst,
+                            value: value as i64,
+                        }),
+                        (None, Some(&b)) => {
+                            // Bin with a constant rhs becomes BinImm when the
+                            // op has an immediate form and the value fits.
+                            let imm = b as i64;
+                            let fits = match op {
+                                AluOp::Sll | AluOp::Srl | AluOp::Sra => (0..64).contains(&imm),
+                                _ => (-2048..=2047).contains(&imm),
+                            };
+                            if fits && op.has_imm_form() {
+                                Some(Inst::BinImm {
+                                    op: *op,
+                                    dst: *dst,
+                                    lhs: *lhs,
+                                    imm,
+                                })
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                Inst::BinImm { op, dst, lhs, imm } => {
+                    constants.get(&lhs.0).and_then(|&a| {
+                        eval(*op, a, *imm as u64).map(|value| Inst::Const {
+                            dst: *dst,
+                            value: value as i64,
+                        })
+                    })
+                }
+                _ => None,
+            };
+            if let Some(new_inst) = folded {
+                *inst = new_inst;
+            }
+
+            // 3. Update facts from the (possibly rewritten) instruction.
+            if let Some(dst) = inst.def() {
+                kill(dst, &mut constants, &mut copies);
+                match inst {
+                    Inst::Const { dst, value } => {
+                        constants.insert(dst.0, *value as u64);
+                    }
+                    Inst::BinImm {
+                        op: AluOp::Add,
+                        dst,
+                        lhs,
+                        imm: 0,
+                    } if *dst != *lhs => {
+                        copies.insert(dst.0, *lhs);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Terminator operands go through copies too.
+        match &mut block.term {
+            crate::ir::Terminator::Ret(Some(v)) => *v = resolve(*v, &copies),
+            crate::ir::Terminator::CondBr { cond, .. } => *cond = resolve(*cond, &copies),
+            _ => {}
+        }
+    }
+}
+
+/// Removes pure instructions whose destination is never read anywhere in
+/// the function.
+fn eliminate_dead_code(function: &mut Function) {
+    let mut use_counts: HashMap<u32, usize> = HashMap::new();
+    for block in &function.blocks {
+        for inst in &block.insts {
+            for used in inst.uses() {
+                *use_counts.entry(used.0).or_insert(0) += 1;
+            }
+        }
+        for used in block.term.uses() {
+            *use_counts.entry(used.0).or_insert(0) += 1;
+        }
+    }
+    for block in &mut function.blocks {
+        block.insts.retain(|inst| {
+            let pure = matches!(
+                inst,
+                Inst::Const { .. }
+                    | Inst::Bin { .. }
+                    | Inst::BinImm { .. }
+                    | Inst::GlobalAddr { .. }
+                    | Inst::FieldAddr { .. }
+            );
+            if !pure {
+                return true;
+            }
+            match inst.def() {
+                Some(dst) => use_counts.get(&dst.0).copied().unwrap_or(0) > 0,
+                None => true,
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionBuilder, MemTy};
+
+    fn insts(module: &Module) -> &[Inst] {
+        &module.functions[0].blocks[0].insts
+    }
+
+    #[test]
+    fn constants_fold_to_a_single_const() {
+        let mut module = Module::new("m");
+        let mut f = FunctionBuilder::new("main", 0);
+        let a = f.konst(6);
+        let b = f.konst(7);
+        let c = f.bin(AluOp::Mul, a, b);
+        f.ret(Some(c));
+        module.add_function(f.build());
+        optimize(&mut module);
+        // Everything folds into one Const feeding the return.
+        assert_eq!(insts(&module).len(), 1);
+        assert!(matches!(insts(&module)[0], Inst::Const { value: 42, .. }));
+    }
+
+    #[test]
+    fn copies_propagate_and_die() {
+        let mut module = Module::new("m");
+        let mut f = FunctionBuilder::new("main", 1);
+        let x = f.param(0);
+        let copy = f.bin_imm(AluOp::Add, x, 0);
+        let y = f.bin_imm(AluOp::Sll, copy, 2);
+        f.ret(Some(y));
+        module.add_function(f.build());
+        optimize(&mut module);
+        // The copy disappears; the shift reads the param directly.
+        assert_eq!(insts(&module).len(), 1);
+        match &insts(&module)[0] {
+            Inst::BinImm { lhs, .. } => assert_eq!(*lhs, x),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stores_and_crypto_are_never_removed() {
+        let mut module = Module::new("m");
+        module.add_global("g", 8);
+        let mut f = FunctionBuilder::new("main", 0);
+        let addr = f.global_addr("g");
+        let v = f.konst(1);
+        f.store(addr, v, MemTy::I64);
+        f.ret(None);
+        module.add_function(f.build());
+        optimize(&mut module);
+        assert_eq!(insts(&module).len(), 3, "store and its operands survive");
+    }
+
+    #[test]
+    fn mutation_invalidates_constant_facts() {
+        // acc starts constant but is redefined from a load; the later add
+        // must NOT be folded with the stale constant.
+        let mut module = Module::new("m");
+        module.add_global("g", 8);
+        let mut f = FunctionBuilder::new("main", 0);
+        let addr = f.global_addr("g");
+        let acc = f.konst(5);
+        f.assign_load(acc, addr, MemTy::I64);
+        let out = f.bin_imm(AluOp::Add, acc, 1);
+        f.ret(Some(out));
+        module.add_function(f.build());
+        optimize(&mut module);
+        assert!(
+            insts(&module)
+                .iter()
+                .any(|i| matches!(i, Inst::Load { .. })),
+            "load survives"
+        );
+        assert!(
+            !insts(&module)
+                .iter()
+                .any(|i| matches!(i, Inst::Const { value: 6, .. })),
+            "stale constant must not fold"
+        );
+    }
+
+    #[test]
+    fn bin_with_constant_rhs_strength_reduces_to_imm_form() {
+        let mut module = Module::new("m");
+        let mut f = FunctionBuilder::new("main", 1);
+        let x = f.param(0);
+        let k = f.konst(12);
+        let y = f.bin(AluOp::Add, x, k);
+        f.ret(Some(y));
+        module.add_function(f.build());
+        optimize(&mut module);
+        assert!(insts(&module)
+            .iter()
+            .any(|i| matches!(i, Inst::BinImm { op: AluOp::Add, imm: 12, .. })));
+    }
+}

@@ -1,0 +1,474 @@
+//! Sensitive-register analysis and linear-scan register allocation
+//! (§2.4.4 of the paper).
+//!
+//! *Identifying sensitive registers*: the plaintext operands of RegVault
+//! cryptographic operations ([`Inst::Decrypt`] results, [`Inst::Encrypt`]
+//! sources) are seeds; sensitivity propagates through arithmetic to any
+//! register "propagated from or to other sensitive registers".
+//!
+//! *Intra-procedural spilling protection*: sensitive virtual registers get
+//! a raised spill cost (the allocator prefers evicting non-sensitive
+//! values), and when one must live in memory anyway its slot traffic is
+//! wrapped in `cre`/`crd` by codegen.
+//!
+//! *Inter-procedural (cross-call) spilling protection*: sensitive values
+//! are never allocated to callee-saved registers (whose plain save in a
+//! callee prologue would leak them); they stay in caller-saved registers
+//! and are encrypted-spilled around call sites by codegen.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use regvault_isa::Reg;
+
+use crate::config::CompileConfig;
+use crate::ir::{Function, Inst, VReg};
+
+/// Where a virtual register lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A physical register for the vreg's entire lifetime.
+    Reg(Reg),
+    /// A stack slot (index into the function's spill area).
+    Spill(usize),
+}
+
+/// Caller-saved registers available for allocation. `t4`–`t6` are reserved
+/// as codegen scratch.
+pub const CALLER_POOL: [Reg; 4] = [Reg::T0, Reg::T1, Reg::T2, Reg::T3];
+
+/// Callee-saved registers available for allocation (`s0` reserved).
+pub const CALLEE_POOL: [Reg; 11] = [
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+];
+
+/// The result of register allocation for one function.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Location of each vreg.
+    pub locs: BTreeMap<u32, Loc>,
+    /// Vregs carrying sensitive (plaintext-of-protected-data) values.
+    pub sensitive: BTreeSet<u32>,
+    /// Number of dedicated spill slots.
+    pub num_spill_slots: usize,
+    /// Callee-saved registers the allocation uses (must be saved in the
+    /// prologue).
+    pub used_callee_saved: BTreeSet<Reg>,
+    /// Live interval (linear positions) per vreg.
+    pub intervals: BTreeMap<u32, (usize, usize)>,
+    /// Linear positions of call instructions.
+    pub call_positions: Vec<usize>,
+}
+
+impl Allocation {
+    /// The location assigned to `vreg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vreg never appeared in the function.
+    #[must_use]
+    pub fn loc(&self, vreg: VReg) -> Loc {
+        self.locs[&vreg.0]
+    }
+
+    /// `true` if the vreg holds sensitive data.
+    #[must_use]
+    pub fn is_sensitive(&self, vreg: VReg) -> bool {
+        self.sensitive.contains(&vreg.0)
+    }
+
+    /// Vregs that are live across the call at linear position `pos` and
+    /// assigned to caller-saved registers (these need save/restore around
+    /// the call).
+    #[must_use]
+    pub fn live_across_call(&self, pos: usize) -> Vec<(VReg, Reg)> {
+        let mut out = Vec::new();
+        for (&vreg, &(start, end)) in &self.intervals {
+            if start < pos && end > pos {
+                if let Loc::Reg(reg) = self.locs[&vreg] {
+                    if CALLER_POOL.contains(&reg) {
+                        out.push((VReg(vreg), reg));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the sensitive vreg set by taint propagation.
+#[must_use]
+pub fn sensitive_vregs(function: &Function) -> BTreeSet<u32> {
+    let mut sensitive = BTreeSet::new();
+    // Seeds: decrypted plaintexts and to-be-encrypted sources.
+    for block in &function.blocks {
+        for inst in &block.insts {
+            match inst {
+                Inst::Decrypt { dst, .. } => {
+                    sensitive.insert(dst.0);
+                }
+                Inst::Encrypt { src, .. } => {
+                    sensitive.insert(src.0);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Propagate through register-to-register dataflow until fixpoint.
+    loop {
+        let before = sensitive.len();
+        for block in &function.blocks {
+            for inst in &block.insts {
+                match inst {
+                    Inst::Bin { dst, lhs, rhs, .. } => {
+                        if sensitive.contains(&lhs.0) || sensitive.contains(&rhs.0) {
+                            sensitive.insert(dst.0);
+                        }
+                        // Backward: feeding a sensitive value makes the
+                        // sources sensitive too ("propagated ... to").
+                        if sensitive.contains(&dst.0) {
+                            sensitive.insert(lhs.0);
+                            sensitive.insert(rhs.0);
+                        }
+                    }
+                    Inst::BinImm { dst, lhs, .. } => {
+                        if sensitive.contains(&lhs.0) {
+                            sensitive.insert(dst.0);
+                        }
+                        if sensitive.contains(&dst.0) {
+                            sensitive.insert(lhs.0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if sensitive.len() == before {
+            break;
+        }
+    }
+    sensitive
+}
+
+/// Linear positions: each instruction and each terminator occupies one
+/// position, in block order. Codegen iterates identically.
+fn block_position_ranges(function: &Function) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::with_capacity(function.blocks.len());
+    let mut pos = 1usize; // position 0 is function entry (parameter defs)
+    for block in &function.blocks {
+        let start = pos;
+        pos += block.insts.len() + 1; // +1 for the terminator
+        ranges.push((start, pos - 1));
+    }
+    ranges
+}
+
+/// Computes live intervals, conservatively extended over loop regions.
+fn live_intervals(function: &Function) -> (BTreeMap<u32, (usize, usize)>, Vec<usize>) {
+    let mut intervals: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    let mut calls = Vec::new();
+    let touch = |intervals: &mut BTreeMap<u32, (usize, usize)>, vreg: VReg, pos: usize| {
+        let entry = intervals.entry(vreg.0).or_insert((pos, pos));
+        entry.0 = entry.0.min(pos);
+        entry.1 = entry.1.max(pos);
+    };
+
+    // Parameters are defined at entry.
+    for p in 0..function.num_params {
+        intervals.insert(p as u32, (0, 0));
+    }
+
+    let mut pos = 1usize; // position 0 is function entry (parameter defs)
+    for block in &function.blocks {
+        for inst in &block.insts {
+            for used in inst.uses() {
+                touch(&mut intervals, used, pos);
+            }
+            if let Some(def) = inst.def() {
+                touch(&mut intervals, def, pos);
+            }
+            if inst.is_call() {
+                calls.push(pos);
+            }
+            pos += 1;
+        }
+        for used in block.term.uses() {
+            touch(&mut intervals, used, pos);
+        }
+        pos += 1;
+    }
+
+    // Loop extension: for every back edge b -> s (s at or before b), any
+    // interval intersecting the region [start(s), end(b)] must cover it.
+    let ranges = block_position_ranges(function);
+    let mut regions = Vec::new();
+    for (b, block) in function.blocks.iter().enumerate() {
+        for succ in block.term.successors() {
+            if succ <= b {
+                regions.push((ranges[succ].0, ranges[b].1));
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for interval in intervals.values_mut() {
+            for &(lo, hi) in &regions {
+                let intersects = interval.0 <= hi && interval.1 >= lo;
+                if intersects && (interval.0 > lo || interval.1 < hi) {
+                    interval.0 = interval.0.min(lo);
+                    interval.1 = interval.1.max(hi);
+                    changed = true;
+                }
+            }
+        }
+    }
+    (intervals, calls)
+}
+
+/// Allocates registers for `function`.
+#[must_use]
+pub fn allocate(function: &Function, config: &CompileConfig) -> Allocation {
+    let sensitive = sensitive_vregs(function);
+    let (intervals, call_positions) = live_intervals(function);
+
+    // Process intervals in order of increasing start.
+    let mut order: Vec<u32> = intervals.keys().copied().collect();
+    order.sort_by_key(|v| intervals[v]);
+
+    let mut locs: BTreeMap<u32, Loc> = BTreeMap::new();
+    let mut active: Vec<u32> = Vec::new(); // vregs currently holding a register
+    let mut num_spill_slots = 0usize;
+    let mut used_callee_saved = BTreeSet::new();
+
+    for vreg in order {
+        let (start, end) = intervals[&vreg];
+        // Expire old intervals.
+        active.retain(|other| intervals[other].1 >= start);
+
+        let crosses_call = call_positions
+            .iter()
+            .any(|&c| intervals[&vreg].0 < c && intervals[&vreg].1 > c);
+        let is_sensitive = sensitive.contains(&vreg);
+
+        // Cross-call spilling protection: sensitive values may not live in
+        // callee-saved registers (a callee's plain prologue save would
+        // write the plaintext to memory).
+        let restrict_to_caller_saved = is_sensitive && config.protect_spills;
+
+        let mut pools: Vec<&[Reg]> = if restrict_to_caller_saved {
+            vec![&CALLER_POOL]
+        } else if crosses_call {
+            vec![&CALLEE_POOL, &CALLER_POOL]
+        } else {
+            vec![&CALLER_POOL, &CALLEE_POOL]
+        };
+
+        let taken: BTreeSet<Reg> = active
+            .iter()
+            .filter_map(|other| match locs[other] {
+                Loc::Reg(reg) => Some(reg),
+                Loc::Spill(_) => None,
+            })
+            .collect();
+
+        let mut assigned = None;
+        for pool in pools.drain(..) {
+            if let Some(&reg) = pool.iter().find(|r| !taken.contains(r)) {
+                assigned = Some(reg);
+                break;
+            }
+        }
+
+        match assigned {
+            Some(reg) => {
+                if CALLEE_POOL.contains(&reg) {
+                    used_callee_saved.insert(reg);
+                }
+                locs.insert(vreg, Loc::Reg(reg));
+                active.push(vreg);
+            }
+            None => {
+                // Raised spill cost for sensitive registers: try to evict a
+                // non-sensitive active interval with a later end instead.
+                let victim = active
+                    .iter()
+                    .copied()
+                    .filter(|other| {
+                        !sensitive.contains(other)
+                            && intervals[other].1 > end
+                            && matches!(locs[other], Loc::Reg(r)
+                                if !restrict_to_caller_saved || CALLER_POOL.contains(&r))
+                    })
+                    .max_by_key(|other| intervals[other].1);
+                match (is_sensitive, victim) {
+                    (true, Some(victim_vreg)) => {
+                        let Loc::Reg(reg) = locs[&victim_vreg] else {
+                            unreachable!("victims hold registers")
+                        };
+                        locs.insert(victim_vreg, Loc::Spill(num_spill_slots));
+                        num_spill_slots += 1;
+                        active.retain(|v| *v != victim_vreg);
+                        locs.insert(vreg, Loc::Reg(reg));
+                        active.push(vreg);
+                    }
+                    _ => {
+                        locs.insert(vreg, Loc::Spill(num_spill_slots));
+                        num_spill_slots += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    Allocation {
+        locs,
+        sensitive,
+        num_spill_slots,
+        used_callee_saved,
+        intervals,
+        call_positions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FunctionBuilder;
+    use regvault_isa::{AluOp, ByteRange, KeyReg};
+
+    #[test]
+    fn taint_propagates_forward_and_backward() {
+        let mut f = FunctionBuilder::new("f", 2);
+        let addr = f.param(0);
+        let plain = f.param(1);
+        // sum feeds an Encrypt, so plain and one must become sensitive.
+        let one = f.konst(1);
+        let sum = f.bin(AluOp::Add, plain, one);
+        let ct = f.fresh();
+        f.store(addr, ct, crate::ir::MemTy::I64); // dummy use
+        f.ret(None);
+        let mut function = f.build();
+        // Manually splice an Encrypt of `sum` before the store.
+        function.blocks[0].insts.insert(
+            2,
+            Inst::Encrypt {
+                dst: ct,
+                src: sum,
+                key: KeyReg::D,
+                tweak: addr,
+                range: ByteRange::FULL,
+            },
+        );
+        let sensitive = sensitive_vregs(&function);
+        assert!(sensitive.contains(&sum.0), "encrypt source");
+        assert!(sensitive.contains(&plain.0), "backward through add");
+        assert!(sensitive.contains(&one.0), "backward through add");
+        assert!(!sensitive.contains(&addr.0), "tweak is not sensitive");
+    }
+
+    #[test]
+    fn small_functions_need_no_spills() {
+        let mut f = FunctionBuilder::new("f", 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        let c = f.bin(AluOp::Add, a, b);
+        f.ret(Some(c));
+        let function = f.build();
+        let alloc = allocate(&function, &CompileConfig::none());
+        assert_eq!(alloc.num_spill_slots, 0);
+        for vreg in [a, b, c] {
+            assert!(matches!(alloc.loc(vreg), Loc::Reg(_)));
+        }
+    }
+
+    #[test]
+    fn pressure_forces_spills() {
+        // Create more simultaneously-live vregs than available registers.
+        let mut f = FunctionBuilder::new("f", 0);
+        let vals: Vec<_> = (0..20).map(|i| f.konst(i)).collect();
+        // Sum them all at the end so every one stays live.
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = f.bin(AluOp::Add, acc, v);
+        }
+        f.ret(Some(acc));
+        let function = f.build();
+        let alloc = allocate(&function, &CompileConfig::none());
+        assert!(alloc.num_spill_slots > 0, "20 live values exceed 15 regs");
+    }
+
+    #[test]
+    fn sensitive_vregs_avoid_callee_saved_when_protected() {
+        let mut f = FunctionBuilder::new("f", 2);
+        let addr = f.param(0);
+        let ct = f.param(1);
+        let pt = f.fresh();
+        f.ret(Some(pt));
+        let mut function = f.build();
+        function.blocks[0].insts.push(Inst::Decrypt {
+            dst: pt,
+            src: ct,
+            key: KeyReg::D,
+            tweak: addr,
+            range: ByteRange::FULL,
+        });
+        let alloc = allocate(&function, &CompileConfig::full());
+        if let Loc::Reg(reg) = alloc.loc(pt) {
+            assert!(
+                CALLER_POOL.contains(&reg),
+                "sensitive value landed in {reg}, a callee-saved register"
+            );
+        }
+        assert!(alloc.is_sensitive(pt));
+    }
+
+    #[test]
+    fn call_crossing_values_prefer_callee_saved() {
+        let mut f = FunctionBuilder::new("f", 1);
+        let x = f.param(0);
+        f.call_void("leaf", &[]);
+        f.ret(Some(x));
+        let function = f.build();
+        let alloc = allocate(&function, &CompileConfig::none());
+        if let Loc::Reg(reg) = alloc.loc(x) {
+            assert!(CALLEE_POOL.contains(&reg), "call-crossing value in {reg}");
+            assert!(alloc.used_callee_saved.contains(&reg));
+        } else {
+            panic!("expected register assignment");
+        }
+    }
+
+    #[test]
+    fn loop_extension_keeps_preheader_values_alive() {
+        // acc defined before the loop, used inside it: its interval must
+        // cover the whole loop so loop-local temps cannot clobber it.
+        let mut f = FunctionBuilder::new("f", 1);
+        let n = f.param(0);
+        let acc = f.konst(0);
+        let body = f.new_block();
+        let done = f.new_block();
+        f.br(body);
+        f.switch_to(body);
+        let one = f.konst(1);
+        let next = f.bin(AluOp::Add, acc, one);
+        let cond = f.bin(AluOp::Slt, next, n);
+        f.cond_br(cond, body, done);
+        f.switch_to(done);
+        f.ret(Some(acc));
+        let function = f.build();
+        let alloc = allocate(&function, &CompileConfig::none());
+        let acc_interval = alloc.intervals[&acc.0];
+        let one_interval = alloc.intervals[&one.0];
+        assert!(acc_interval.1 >= one_interval.1, "acc live through loop");
+    }
+}

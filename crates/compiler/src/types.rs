@@ -1,0 +1,245 @@
+//! Struct types, field annotations and storage layout.
+//!
+//! RegVault's annotations are *field-sensitive annotations on types*
+//! (§2.4.1): `__rand` asks for confidentiality only, `__rand_integrity` for
+//! confidentiality plus integrity. The macros also "set storage sizes and
+//! alignments properly" — encrypted fields occupy a full 64-bit ciphertext
+//! block (and integrity-protected 64-bit data occupies two, Figure 2c),
+//! which this module's layout computation reproduces.
+
+/// Index of a struct definition within its [`crate::ir::Module`].
+pub type StructId = usize;
+
+/// Protection annotation on a struct field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// `__rand`: confidentiality only (full-width `[7:0]` randomization).
+    Rand,
+    /// `__rand_integrity`: confidentiality + integrity via the zero-check
+    /// redundancy of partial-range encryption.
+    RandIntegrity,
+}
+
+/// Scalar type of a struct field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldType {
+    /// 32-bit integer (`kuid_t`-like).
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// Data pointer.
+    Ptr,
+    /// Function pointer (or `void *`, which RegVault over-approximates as a
+    /// function pointer, §3.1.2).
+    FnPtr,
+}
+
+impl FieldType {
+    /// Natural (unprotected) storage size in bytes.
+    #[must_use]
+    pub fn natural_size(self) -> u64 {
+        match self {
+            FieldType::I32 => 4,
+            FieldType::I64 | FieldType::Ptr | FieldType::FnPtr => 8,
+        }
+    }
+}
+
+/// One field of a [`StructDef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (for diagnostics).
+    pub name: String,
+    /// Scalar type.
+    pub ty: FieldType,
+    /// Optional RegVault protection annotation.
+    pub annotation: Option<Annotation>,
+}
+
+impl FieldDef {
+    /// An unannotated field.
+    #[must_use]
+    pub fn plain(name: &str, ty: FieldType) -> Self {
+        Self {
+            name: name.to_owned(),
+            ty,
+            annotation: None,
+        }
+    }
+
+    /// An annotated field (`kuid_t uid __rand_integrity;`).
+    #[must_use]
+    pub fn annotated(name: &str, ty: FieldType, annotation: Annotation) -> Self {
+        Self {
+            name: name.to_owned(),
+            ty,
+            annotation: Some(annotation),
+        }
+    }
+
+    /// Bytes this field occupies in memory, accounting for ciphertext
+    /// expansion:
+    ///
+    /// * unannotated: the natural size;
+    /// * `__rand` (any type) and `__rand_integrity` on 32-bit data: one
+    ///   64-bit ciphertext block;
+    /// * `__rand_integrity` on 64-bit data: two blocks (Figure 2c).
+    #[must_use]
+    pub fn storage_size(&self) -> u64 {
+        match self.annotation {
+            None => self.ty.natural_size(),
+            Some(Annotation::Rand) => 8,
+            Some(Annotation::RandIntegrity) => match self.ty {
+                FieldType::I32 => 8,
+                _ => 16,
+            },
+        }
+    }
+
+    /// Storage alignment in bytes.
+    #[must_use]
+    pub fn storage_align(&self) -> u64 {
+        if self.annotation.is_some() {
+            8
+        } else {
+            self.ty.natural_size()
+        }
+    }
+}
+
+/// A struct type with computed layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    offsets: Vec<u64>,
+    size: u64,
+}
+
+impl StructDef {
+    /// Defines a struct and computes its layout.
+    #[must_use]
+    pub fn new(name: &str, fields: Vec<FieldDef>) -> Self {
+        let mut offsets = Vec::with_capacity(fields.len());
+        let mut offset = 0u64;
+        let mut max_align = 1u64;
+        for field in &fields {
+            let align = field.storage_align();
+            max_align = max_align.max(align);
+            offset = offset.next_multiple_of(align);
+            offsets.push(offset);
+            offset += field.storage_size();
+        }
+        let size = offset.next_multiple_of(max_align);
+        Self {
+            name: name.to_owned(),
+            fields,
+            offsets,
+            size,
+        }
+    }
+
+    /// Byte offset of field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn offset(&self, index: usize) -> u64 {
+        self.offsets[index]
+    }
+
+    /// Total struct size (rounded to alignment).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// `true` if any field carries an annotation.
+    #[must_use]
+    pub fn has_annotations(&self) -> bool {
+        self.fields.iter().any(|f| f.annotation.is_some())
+    }
+
+    /// Index of the field with the given name.
+    #[must_use]
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unannotated_layout_is_natural() {
+        let s = StructDef::new(
+            "plain",
+            vec![
+                FieldDef::plain("a", FieldType::I32),
+                FieldDef::plain("b", FieldType::I64),
+                FieldDef::plain("c", FieldType::I32),
+            ],
+        );
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8, "i64 aligns to 8");
+        assert_eq!(s.offset(2), 16);
+        assert_eq!(s.size(), 24);
+    }
+
+    #[test]
+    fn annotated_32bit_field_expands_to_a_block() {
+        let s = StructDef::new(
+            "cred",
+            vec![
+                FieldDef::annotated("uid", FieldType::I32, Annotation::RandIntegrity),
+                FieldDef::annotated("gid", FieldType::I32, Annotation::RandIntegrity),
+            ],
+        );
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8, "each encrypted uid occupies 8 bytes");
+        assert_eq!(s.size(), 16);
+    }
+
+    #[test]
+    fn annotated_64bit_integrity_needs_two_blocks() {
+        let field = FieldDef::annotated("x", FieldType::I64, Annotation::RandIntegrity);
+        assert_eq!(field.storage_size(), 16);
+        let conf_only = FieldDef::annotated("y", FieldType::I64, Annotation::Rand);
+        assert_eq!(conf_only.storage_size(), 8);
+    }
+
+    #[test]
+    fn field_lookup_by_name() {
+        let s = StructDef::new(
+            "s",
+            vec![
+                FieldDef::plain("first", FieldType::I64),
+                FieldDef::plain("second", FieldType::Ptr),
+            ],
+        );
+        assert_eq!(s.field_index("second"), Some(1));
+        assert_eq!(s.field_index("third"), None);
+        assert!(!s.has_annotations());
+    }
+
+    #[test]
+    fn mixed_annotation_layout() {
+        // The paper's cred example: annotated fields mixed with plain ones.
+        let s = StructDef::new(
+            "cred",
+            vec![
+                FieldDef::plain("usage", FieldType::I32),
+                FieldDef::annotated("uid", FieldType::I32, Annotation::RandIntegrity),
+                FieldDef::plain("flags", FieldType::I32),
+            ],
+        );
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 8, "annotated field is 8-aligned");
+        assert_eq!(s.offset(2), 16);
+        assert!(s.has_annotations());
+    }
+}

@@ -1,0 +1,179 @@
+//! Register-allocation invariants, checked over randomly generated
+//! functions: no two simultaneously-live virtual registers may share a
+//! physical register, and protected sensitive values never live in
+//! callee-saved registers.
+
+use regvault_compiler::ir::{Function, FunctionBuilder, VReg};
+use regvault_compiler::prelude::*;
+use regvault_compiler::regalloc::{allocate, Loc, CALLEE_POOL};
+use regvault_compiler::CompileConfig;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Random function with straight-line code, loops, and calls.
+fn random_function(seed: u64) -> Function {
+    let mut rng = XorShift(seed | 1);
+    let nparams = (rng.below(4) + 1) as usize;
+    let mut f = FunctionBuilder::new("f", nparams);
+    let mut pool: Vec<VReg> = (0..nparams).map(|i| f.param(i)).collect();
+    pool.push(f.konst(7));
+
+    let steps = 5 + rng.below(40);
+    for _ in 0..steps {
+        match rng.below(8) {
+            0..=4 => {
+                let a = pool[rng.below(pool.len() as u64) as usize];
+                let b = pool[rng.below(pool.len() as u64) as usize];
+                pool.push(f.bin(AluOp::Add, a, b));
+            }
+            5 => {
+                let args: Vec<VReg> = (0..rng.below(3))
+                    .map(|_| pool[rng.below(pool.len() as u64) as usize])
+                    .collect();
+                pool.push(f.call("f", &args));
+            }
+            6 => {
+                // A loop: accumulate into a fresh counter.
+                let n = f.konst((rng.below(5) + 1) as i64);
+                let i = f.konst(0);
+                let head = f.new_block();
+                let body = f.new_block();
+                let exit = f.new_block();
+                f.br(head);
+                f.switch_to(head);
+                let c = f.bin(AluOp::Slt, i, n);
+                f.cond_br(c, body, exit);
+                f.switch_to(body);
+                f.assign_bin_imm(AluOp::Add, i, i, 1);
+                f.br(head);
+                f.switch_to(exit);
+                pool.push(i);
+            }
+            _ => {
+                pool.push(f.konst(rng.next() as i32 as i64));
+            }
+        }
+    }
+    let v = pool[rng.below(pool.len() as u64) as usize];
+    f.ret(Some(v));
+    f.build()
+}
+
+#[test]
+fn no_two_live_vregs_share_a_register() {
+    for seed in 1..=40u64 {
+        let function = random_function(seed * 0x1234_5677);
+        for config in [CompileConfig::none(), CompileConfig::full()] {
+            let alloc = allocate(&function, &config);
+            let assigned: Vec<(u32, regvault_isa::Reg, (usize, usize))> = alloc
+                .locs
+                .iter()
+                .filter_map(|(&v, &loc)| match loc {
+                    Loc::Reg(reg) => Some((v, reg, alloc.intervals[&v])),
+                    Loc::Spill(_) => None,
+                })
+                .collect();
+            for (i, &(va, ra, ia)) in assigned.iter().enumerate() {
+                for &(vb, rb, ib) in &assigned[i + 1..] {
+                    if ra == rb {
+                        let overlap = ia.0 <= ib.1 && ib.0 <= ia.1;
+                        assert!(
+                            !overlap,
+                            "seed {seed}: %{va} and %{vb} share {ra} with \
+                             overlapping intervals {ia:?} / {ib:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_slots_are_never_shared() {
+    for seed in 1..=40u64 {
+        let function = random_function(seed * 0xABCD_EF01);
+        let alloc = allocate(&function, &CompileConfig::full());
+        let mut slots: Vec<usize> = alloc
+            .locs
+            .values()
+            .filter_map(|loc| match loc {
+                Loc::Spill(slot) => Some(*slot),
+                Loc::Reg(_) => None,
+            })
+            .collect();
+        let before = slots.len();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), before, "seed {seed}: duplicated spill slot");
+    }
+}
+
+#[test]
+fn sensitive_values_avoid_callee_saved_registers_under_protection() {
+    // Functions whose values all become sensitive (everything flows from a
+    // Decrypt) must keep register-resident sensitive values in
+    // caller-saved registers when spills are protected.
+    let mut module = Module::new("m");
+    let sid = module.add_struct(StructDef::new(
+        "s",
+        vec![FieldDef::annotated("x", FieldType::I64, Annotation::Rand)],
+    ));
+    module.add_global("g", 8);
+    let mut f = FunctionBuilder::new("main", 0);
+    let g = f.global_addr("g");
+    let init = f.konst(1);
+    f.store_field(g, sid, 0, init);
+    let mut acc = f.load_field(g, sid, 0);
+    for _ in 0..8 {
+        let v = f.load_field(g, sid, 0);
+        acc = f.bin(AluOp::Add, acc, v);
+        f.call_void("main", &[]); // force call-crossing liveness
+    }
+    f.ret(Some(acc));
+    module.add_function(f.build());
+
+    let config = CompileConfig::full();
+    let instrumented = regvault_compiler::instrument::instrument(&module, &config).unwrap();
+    let function = instrumented.function("main").unwrap();
+    let alloc = allocate(function, &config);
+    for (&v, &loc) in &alloc.locs {
+        if alloc.sensitive.contains(&v) {
+            if let Loc::Reg(reg) = loc {
+                assert!(
+                    !CALLEE_POOL.contains(&reg),
+                    "sensitive %{v} allocated to callee-saved {reg}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn random_functions_compile_and_assemble() {
+    // End-to-end: every random function must make it through codegen
+    // (recursion keeps them from being *run*, but they must assemble).
+    for seed in 41..=70u64 {
+        let function = random_function(seed * 0x5555_AAA3);
+        let mut module = Module::new("m");
+        let name = function.name.clone();
+        module.add_function(function);
+        let _ = name;
+        for config in [CompileConfig::none(), CompileConfig::full()] {
+            regvault_compiler::codegen::link(&module, &config)
+                .unwrap_or_else(|err| panic!("seed {seed} failed: {err}"));
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! RISC-V calling-convention classification.
+//!
+//! The RegVault register-spilling protection (§2.4.4) needs to know which
+//! registers a callee may clobber (caller-saved) and which it must preserve
+//! (callee-saved), because sensitive values living in either class cross the
+//! protection boundary differently at call sites.
+
+use crate::Reg;
+
+/// Registers the *caller* must save across a call (argument/temporary regs).
+pub const CALLER_SAVED: [Reg; 16] = [
+    Reg::Ra,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+];
+
+/// Registers the *callee* must preserve.
+pub const CALLEE_SAVED: [Reg; 13] = [
+    Reg::Sp,
+    Reg::S0,
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+];
+
+/// Argument registers in order (`a0`–`a7`).
+pub const ARG_REGS: [Reg; 8] = [
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+];
+
+/// `true` if `reg` is caller-saved (may be clobbered by a call).
+#[must_use]
+pub fn is_caller_saved(reg: Reg) -> bool {
+    CALLER_SAVED.contains(&reg)
+}
+
+/// `true` if `reg` is callee-saved (preserved across calls).
+#[must_use]
+pub fn is_callee_saved(reg: Reg) -> bool {
+    CALLEE_SAVED.contains(&reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_non_special_registers() {
+        for reg in Reg::ALL {
+            let special = matches!(reg, Reg::Zero | Reg::Gp | Reg::Tp);
+            if special {
+                assert!(!is_caller_saved(reg) && !is_callee_saved(reg), "{reg}");
+            } else {
+                assert!(is_caller_saved(reg) ^ is_callee_saved(reg), "{reg}");
+            }
+        }
+    }
+
+    #[test]
+    fn arg_regs_are_caller_saved() {
+        for reg in ARG_REGS {
+            assert!(is_caller_saved(reg));
+        }
+    }
+}

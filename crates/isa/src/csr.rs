@@ -1,0 +1,117 @@
+//! Control and status register (CSR) address map.
+//!
+//! The simulator implements the handful of machine/supervisor CSRs the
+//! miniature kernel needs, plus the RegVault key-register CSRs. Key CSRs are
+//! *write-only* from supervisor mode and completely inaccessible from user
+//! mode; the master key halves reject even supervisor writes (§2.3.1).
+
+use crate::KeyReg;
+
+/// Supervisor status register.
+pub const SSTATUS: u16 = 0x100;
+/// Supervisor trap vector base address.
+pub const STVEC: u16 = 0x105;
+/// Supervisor scratch register.
+pub const SSCRATCH: u16 = 0x140;
+/// Supervisor exception program counter.
+pub const SEPC: u16 = 0x141;
+/// Supervisor trap cause.
+pub const SCAUSE: u16 = 0x142;
+/// Supervisor trap value (faulting address / instruction bits).
+pub const STVAL: u16 = 0x143;
+/// Supervisor address translation and protection (page-table base).
+pub const SATP: u16 = 0x180;
+
+/// Machine status register.
+pub const MSTATUS: u16 = 0x300;
+/// Machine trap vector base address.
+pub const MTVEC: u16 = 0x305;
+/// Machine scratch register.
+pub const MSCRATCH: u16 = 0x340;
+/// Machine exception program counter.
+pub const MEPC: u16 = 0x341;
+/// Machine trap cause.
+pub const MCAUSE: u16 = 0x342;
+/// Machine trap value.
+pub const MTVAL: u16 = 0x343;
+
+/// Cycle counter (read-only shadow).
+pub const CYCLE: u16 = 0xC00;
+/// Retired-instruction counter (read-only shadow).
+pub const INSTRET: u16 = 0xC02;
+
+/// Base address of the RegVault key-register CSR block.
+///
+/// Each 128-bit key register occupies two consecutive CSR addresses: the low
+/// 64 bits (the QARMA core key `k0`) at `KEY_BASE + 2*ksel` and the high 64
+/// bits (the whitening key `w0`) at `KEY_BASE + 2*ksel + 1`.
+pub const KEY_BASE: u16 = 0x5C0;
+
+/// The CSR address holding the **low** (core, `k0`) half of a key register.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::{csr, KeyReg};
+/// assert_eq!(csr::key_lo(KeyReg::A), 0x5C2);
+/// ```
+#[must_use]
+pub fn key_lo(key: KeyReg) -> u16 {
+    KEY_BASE + 2 * u16::from(key.ksel())
+}
+
+/// The CSR address holding the **high** (whitening, `w0`) half of a key
+/// register.
+#[must_use]
+pub fn key_hi(key: KeyReg) -> u16 {
+    key_lo(key) + 1
+}
+
+/// If `addr` is a key-register CSR, returns the key register and whether the
+/// address names the high half.
+#[must_use]
+pub fn key_for_addr(addr: u16) -> Option<(KeyReg, bool)> {
+    if !(KEY_BASE..KEY_BASE + 16).contains(&addr) {
+        return None;
+    }
+    let offset = addr - KEY_BASE;
+    let key = KeyReg::from_ksel((offset / 2) as u8)?;
+    Some((key, offset % 2 == 1))
+}
+
+/// `true` if the CSR address is readable/writable only in machine mode.
+#[must_use]
+pub fn is_machine_level(addr: u16) -> bool {
+    (0x300..0x400).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_addresses_are_contiguous_pairs() {
+        for key in KeyReg::ALL {
+            let lo = key_lo(key);
+            let hi = key_hi(key);
+            assert_eq!(hi, lo + 1);
+            assert_eq!(key_for_addr(lo), Some((key, false)));
+            assert_eq!(key_for_addr(hi), Some((key, true)));
+        }
+    }
+
+    #[test]
+    fn non_key_addresses_map_to_none() {
+        assert_eq!(key_for_addr(KEY_BASE - 1), None);
+        assert_eq!(key_for_addr(KEY_BASE + 16), None);
+        assert_eq!(key_for_addr(MSTATUS), None);
+    }
+
+    #[test]
+    fn machine_level_detection() {
+        assert!(is_machine_level(MSTATUS));
+        assert!(is_machine_level(MEPC));
+        assert!(!is_machine_level(SSTATUS));
+        assert!(!is_machine_level(KEY_BASE));
+    }
+}

@@ -1,0 +1,384 @@
+//! Binary instruction decoding.
+
+use crate::insn::{OPC_CRD, OPC_CRE};
+use crate::{AluOp, BranchOp, CsrOp, Insn, IsaError, KeyReg, MemWidth, Reg};
+
+fn reg(bits: u32) -> Reg {
+    Reg::from_index((bits & 0x1F) as u8).expect("5-bit register field")
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`IsaError::InvalidEncoding`] for words that are not valid
+/// RV64IM / Zicsr / RegVault instructions.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::{decode, Insn, Reg};
+///
+/// // addi a0, a0, 1
+/// let insn = decode::decode(0x0015_0513)?;
+/// assert_eq!(insn.to_string(), "addi a0, a0, 1");
+/// # Ok::<(), regvault_isa::IsaError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Insn, IsaError> {
+    let opcode = word & 0x7F;
+    let rd = reg(word >> 7);
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = reg(word >> 15);
+    let rs2 = reg(word >> 20);
+    let funct7 = (word >> 25) & 0x7F;
+    let i_imm = sext(word >> 20, 12);
+    let invalid = || IsaError::InvalidEncoding(word);
+
+    match opcode {
+        0x37 => Ok(Insn::Lui {
+            rd,
+            imm20: sext(word >> 12, 20),
+        }),
+        0x17 => Ok(Insn::Auipc {
+            rd,
+            imm20: sext(word >> 12, 20),
+        }),
+        0x6F => {
+            let imm = ((word >> 31) << 20)
+                | (((word >> 12) & 0xFF) << 12)
+                | (((word >> 20) & 1) << 11)
+                | (((word >> 21) & 0x3FF) << 1);
+            Ok(Insn::Jal {
+                rd,
+                offset: sext(imm, 21),
+            })
+        }
+        0x67 if funct3 == 0 => Ok(Insn::Jalr {
+            rd,
+            rs1,
+            offset: i_imm,
+        }),
+        0x63 => {
+            let op = match funct3 {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return Err(invalid()),
+            };
+            let imm = ((word >> 31) << 12)
+                | (((word >> 7) & 1) << 11)
+                | (((word >> 25) & 0x3F) << 5)
+                | (((word >> 8) & 0xF) << 1);
+            Ok(Insn::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: sext(imm, 13),
+            })
+        }
+        0x03 => {
+            let (width, signed) = match funct3 {
+                0 => (MemWidth::Byte, true),
+                1 => (MemWidth::Half, true),
+                2 => (MemWidth::Word, true),
+                3 => (MemWidth::Double, true),
+                4 => (MemWidth::Byte, false),
+                5 => (MemWidth::Half, false),
+                6 => (MemWidth::Word, false),
+                _ => return Err(invalid()),
+            };
+            Ok(Insn::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset: i_imm,
+            })
+        }
+        0x23 => {
+            let width = match funct3 {
+                0 => MemWidth::Byte,
+                1 => MemWidth::Half,
+                2 => MemWidth::Word,
+                3 => MemWidth::Double,
+                _ => return Err(invalid()),
+            };
+            let imm = (((word >> 25) & 0x7F) << 5) | ((word >> 7) & 0x1F);
+            Ok(Insn::Store {
+                width,
+                rs2,
+                rs1,
+                offset: sext(imm, 12),
+            })
+        }
+        0x13 => {
+            let op = match funct3 {
+                0 => AluOp::Add,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                1 => AluOp::Sll,
+                5 => {
+                    if (word >> 30) & 1 == 1 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                _ => return Err(invalid()),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => ((word >> 20) & 0x3F) as i32,
+                _ => i_imm,
+            };
+            Ok(Insn::OpImm { op, rd, rs1, imm })
+        }
+        0x1B => {
+            let op = match funct3 {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                5 => {
+                    if (word >> 30) & 1 == 1 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                _ => return Err(invalid()),
+            };
+            let imm = match op {
+                AluOp::Add => i_imm,
+                _ => ((word >> 20) & 0x1F) as i32,
+            };
+            Ok(Insn::OpImmW { op, rd, rs1, imm })
+        }
+        0x33 => {
+            let op = decode_op(funct3, funct7).ok_or_else(invalid)?;
+            Ok(Insn::Op { op, rd, rs1, rs2 })
+        }
+        0x3B => {
+            let op = decode_op(funct3, funct7).ok_or_else(invalid)?;
+            if !op.has_word_form() {
+                return Err(invalid());
+            }
+            Ok(Insn::OpW { op, rd, rs1, rs2 })
+        }
+        0x73 => match funct3 {
+            0 => match word {
+                0x0000_0073 => Ok(Insn::Ecall),
+                0x0010_0073 => Ok(Insn::Ebreak),
+                0x1020_0073 => Ok(Insn::Sret),
+                0x3020_0073 => Ok(Insn::Mret),
+                0x1050_0073 => Ok(Insn::Wfi),
+                _ => Err(invalid()),
+            },
+            1..=3 => {
+                let op = match funct3 {
+                    1 => CsrOp::ReadWrite,
+                    2 => CsrOp::ReadSet,
+                    _ => CsrOp::ReadClear,
+                };
+                Ok(Insn::Csr {
+                    op,
+                    rd,
+                    rs1,
+                    csr: (word >> 20) as u16,
+                })
+            }
+            5..=7 => {
+                let op = match funct3 {
+                    5 => CsrOp::ReadWrite,
+                    6 => CsrOp::ReadSet,
+                    _ => CsrOp::ReadClear,
+                };
+                Ok(Insn::CsrImm {
+                    op,
+                    rd,
+                    uimm: rs1.index(),
+                    csr: (word >> 20) as u16,
+                })
+            }
+            _ => Err(invalid()),
+        },
+        0x0F => Ok(Insn::Fence),
+        OPC_CRE | OPC_CRD => {
+            let key = KeyReg::from_ksel(funct3 as u8).ok_or_else(invalid)?;
+            let hi = ((funct7 >> 3) & 0x7) as u8;
+            let lo = (funct7 & 0x7) as u8;
+            if lo > hi || funct7 > 0x3F {
+                return Err(invalid());
+            }
+            if opcode == OPC_CRE {
+                Ok(Insn::Cre {
+                    key,
+                    rd,
+                    rs: rs1,
+                    rt: rs2,
+                    hi,
+                    lo,
+                })
+            } else {
+                Ok(Insn::Crd {
+                    key,
+                    rd,
+                    rs: rs1,
+                    rt: rs2,
+                    hi,
+                    lo,
+                })
+            }
+        }
+        _ => Err(invalid()),
+    }
+}
+
+fn decode_op(funct3: u32, funct7: u32) -> Option<AluOp> {
+    match (funct7, funct3) {
+        (0, 0) => Some(AluOp::Add),
+        (0x20, 0) => Some(AluOp::Sub),
+        (0, 1) => Some(AluOp::Sll),
+        (0, 2) => Some(AluOp::Slt),
+        (0, 3) => Some(AluOp::Sltu),
+        (0, 4) => Some(AluOp::Xor),
+        (0, 5) => Some(AluOp::Srl),
+        (0x20, 5) => Some(AluOp::Sra),
+        (0, 6) => Some(AluOp::Or),
+        (0, 7) => Some(AluOp::And),
+        (1, 0) => Some(AluOp::Mul),
+        (1, 1) => Some(AluOp::Mulh),
+        (1, 2) => Some(AluOp::Mulhsu),
+        (1, 3) => Some(AluOp::Mulhu),
+        (1, 4) => Some(AluOp::Div),
+        (1, 5) => Some(AluOp::Divu),
+        (1, 6) => Some(AluOp::Rem),
+        (1, 7) => Some(AluOp::Remu),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_inverts_encode_for_samples() {
+        let samples = [
+            Insn::Lui {
+                rd: Reg::A0,
+                imm20: -4,
+            },
+            Insn::Auipc {
+                rd: Reg::T0,
+                imm20: 0x7FFFF,
+            },
+            Insn::Jal {
+                rd: Reg::Ra,
+                offset: -2048,
+            },
+            Insn::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
+            Insn::Branch {
+                op: BranchOp::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -16,
+            },
+            Insn::Load {
+                width: MemWidth::Word,
+                signed: false,
+                rd: Reg::A3,
+                rs1: Reg::Sp,
+                offset: 40,
+            },
+            Insn::Store {
+                width: MemWidth::Byte,
+                rs2: Reg::T6,
+                rs1: Reg::Gp,
+                offset: -1,
+            },
+            Insn::OpImm {
+                op: AluOp::Sra,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 63,
+            },
+            Insn::OpImmW {
+                op: AluOp::Add,
+                rd: Reg::S1,
+                rs1: Reg::S2,
+                imm: -7,
+            },
+            Insn::Op {
+                op: AluOp::Mulhu,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Insn::OpW {
+                op: AluOp::Remu,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                rs2: Reg::T2,
+            },
+            Insn::Csr {
+                op: CsrOp::ReadWrite,
+                rd: Reg::Zero,
+                rs1: Reg::A0,
+                csr: 0x5C2,
+            },
+            Insn::CsrImm {
+                op: CsrOp::ReadSet,
+                rd: Reg::A0,
+                uimm: 9,
+                csr: 0x300,
+            },
+            Insn::Ecall,
+            Insn::Ebreak,
+            Insn::Mret,
+            Insn::Sret,
+            Insn::Wfi,
+            Insn::Fence,
+            Insn::Cre {
+                key: KeyReg::G,
+                rd: Reg::A0,
+                rs: Reg::A1,
+                rt: Reg::T1,
+                hi: 7,
+                lo: 4,
+            },
+            Insn::Crd {
+                key: KeyReg::M,
+                rd: Reg::Ra,
+                rs: Reg::Ra,
+                rt: Reg::Sp,
+                hi: 7,
+                lo: 0,
+            },
+        ];
+        for insn in samples {
+            let word = insn.encode().unwrap();
+            assert_eq!(decode(word).unwrap(), insn, "{insn}");
+        }
+    }
+
+    #[test]
+    fn garbage_words_fail_to_decode() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // cre with descending range (hi=1, lo=2) is invalid.
+        assert!(decode(0x0B | (0x0A << 25)).is_err());
+    }
+}

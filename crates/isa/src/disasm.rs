@@ -1,0 +1,121 @@
+//! Linear disassembler over instruction words.
+//!
+//! Thin utility on top of [`crate::decode`]: renders an image (or any word
+//! stream) as annotated assembly, marking RegVault cryptographic
+//! instructions — handy when inspecting compiler output or attack
+//! payloads.
+
+use crate::decode::decode;
+use crate::Insn;
+
+/// One disassembled word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line {
+    /// Byte offset of the word within the stream.
+    pub offset: u64,
+    /// The raw word.
+    pub word: u32,
+    /// The decoded instruction, or `None` for data/invalid words.
+    pub insn: Option<Insn>,
+}
+
+impl Line {
+    /// Renders the line like `0x0040: 0015 0513  addi a0, a0, 1`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match &self.insn {
+            Some(insn) => format!("{:#06x}: {:08x}  {insn}", self.offset, self.word),
+            None => format!("{:#06x}: {:08x}  .word", self.offset, self.word),
+        }
+    }
+}
+
+/// Disassembles a little-endian byte image (length rounded down to whole
+/// words).
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::{asm, disasm};
+///
+/// let program = asm::assemble("creak a0, a0[7:0], t1")?;
+/// let lines = disasm::disassemble(program.bytes());
+/// assert_eq!(lines.len(), 1);
+/// assert!(lines[0].render().ends_with("creak a0, a0[7:0], t1"));
+/// # Ok::<(), regvault_isa::IsaError>(())
+/// ```
+#[must_use]
+pub fn disassemble(bytes: &[u8]) -> Vec<Line> {
+    bytes
+        .chunks_exact(4)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            Line {
+                offset: (i * 4) as u64,
+                word,
+                insn: decode(word).ok(),
+            }
+        })
+        .collect()
+}
+
+/// Counts the RegVault cryptographic instructions in an image — the
+/// instrumentation density metric.
+#[must_use]
+pub fn crypto_density(bytes: &[u8]) -> (usize, usize) {
+    let lines = disassemble(bytes);
+    let total = lines.iter().filter(|l| l.insn.is_some()).count();
+    let crypto = lines
+        .iter()
+        .filter(|l| l.insn.as_ref().is_some_and(Insn::is_crypto))
+        .count();
+    (crypto, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm;
+
+    #[test]
+    fn round_trips_an_assembled_program() {
+        let program = asm::assemble(
+            "li a0, 5
+             creak a1, a0[3:0], t1
+             sd a1, 0(s0)
+             ebreak",
+        )
+        .unwrap();
+        let lines = disassemble(program.bytes());
+        assert_eq!(lines.len(), program.words().len());
+        assert!(lines.iter().all(|l| l.insn.is_some()));
+        let text: Vec<String> = lines.iter().map(Line::render).collect();
+        assert!(text[1].contains("creak a1, a0[3:0], t1"));
+    }
+
+    #[test]
+    fn data_words_render_as_data() {
+        let lines = disassemble(&0xFFFF_FFFFu32.to_le_bytes());
+        assert_eq!(lines[0].insn, None);
+        assert!(lines[0].render().contains(".word"));
+    }
+
+    #[test]
+    fn crypto_density_counts_primitives() {
+        let program = asm::assemble(
+            "creak a0, a0[7:0], t1
+             crdak a0, a0, t1, [7:0]
+             addi a0, a0, 1
+             ebreak",
+        )
+        .unwrap();
+        assert_eq!(crypto_density(program.bytes()), (2, 4));
+    }
+
+    #[test]
+    fn trailing_partial_words_are_ignored() {
+        let lines = disassemble(&[0x13, 0x05, 0x15]);
+        assert!(lines.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for ISA-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while encoding, decoding, or assembling instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A 32-bit word did not decode to any known instruction.
+    InvalidEncoding(u32),
+    /// A register name was not recognised.
+    UnknownRegister(String),
+    /// A key-register letter was not recognised.
+    UnknownKeyRegister(String),
+    /// A mnemonic was not recognised by the assembler.
+    UnknownMnemonic(String),
+    /// An immediate was out of range for the instruction format.
+    ImmediateOutOfRange {
+        /// The mnemonic being assembled or encoded.
+        mnemonic: String,
+        /// The offending value.
+        value: i64,
+    },
+    /// A `[e:s]` byte range was malformed.
+    InvalidByteRange(String),
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// Generic syntax error with line context.
+    Syntax {
+        /// 1-based source line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidEncoding(word) => {
+                write!(f, "invalid instruction encoding {word:#010x}")
+            }
+            IsaError::UnknownRegister(name) => write!(f, "unknown register `{name}`"),
+            IsaError::UnknownKeyRegister(name) => write!(f, "unknown key register `{name}`"),
+            IsaError::UnknownMnemonic(name) => write!(f, "unknown mnemonic `{name}`"),
+            IsaError::ImmediateOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} out of range for `{mnemonic}`")
+            }
+            IsaError::InvalidByteRange(text) => write!(f, "invalid byte range `{text}`"),
+            IsaError::UndefinedLabel(label) => write!(f, "undefined label `{label}`"),
+            IsaError::DuplicateLabel(label) => write!(f, "duplicate label `{label}`"),
+            IsaError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_concise() {
+        let err = IsaError::UnknownRegister("q9".into());
+        assert_eq!(err.to_string(), "unknown register `q9`");
+        let err = IsaError::Syntax {
+            line: 3,
+            message: "expected comma".into(),
+        };
+        assert_eq!(err.to_string(), "line 3: expected comma");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

@@ -1,0 +1,136 @@
+//! The RegVault hardware key registers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::IsaError;
+
+/// One of the eight 128-bit RegVault key registers.
+///
+/// RegVault extends the CSR space with a master key `m` and seven general
+/// keys `a`–`g` (§2.3.1 of the paper). Access rules are enforced by the
+/// simulator:
+///
+/// * user mode has no access to any key register;
+/// * the kernel may *write* the general keys but never read them;
+/// * the master key is inaccessible even to the kernel — hardware uses it to
+///   wrap the per-thread keys that the kernel must park in memory.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::KeyReg;
+///
+/// assert_eq!(KeyReg::A.ksel(), 1);
+/// assert_eq!("g".parse::<KeyReg>().unwrap(), KeyReg::G);
+/// assert!(KeyReg::M.is_master());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum KeyReg {
+    /// The master key: no software access at all.
+    M = 0,
+    A = 1,
+    B = 2,
+    C = 3,
+    D = 4,
+    E = 5,
+    F = 6,
+    G = 7,
+}
+
+impl KeyReg {
+    /// All key registers, master first.
+    pub const ALL: [KeyReg; 8] = [
+        KeyReg::M,
+        KeyReg::A,
+        KeyReg::B,
+        KeyReg::C,
+        KeyReg::D,
+        KeyReg::E,
+        KeyReg::F,
+        KeyReg::G,
+    ];
+
+    /// The 3-bit key-selection index stored in instruction encodings and in
+    /// CLB entries (`ksel`).
+    #[must_use]
+    pub fn ksel(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a key register up by its 3-bit selection index.
+    #[must_use]
+    pub fn from_ksel(ksel: u8) -> Option<Self> {
+        (ksel < 8).then(|| Self::ALL[ksel as usize])
+    }
+
+    /// `true` for the master key `m`.
+    #[must_use]
+    pub fn is_master(self) -> bool {
+        matches!(self, KeyReg::M)
+    }
+
+    /// The single-letter name used in mnemonics (`crea k` → `"a"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            KeyReg::M => "m",
+            KeyReg::A => "a",
+            KeyReg::B => "b",
+            KeyReg::C => "c",
+            KeyReg::D => "d",
+            KeyReg::E => "e",
+            KeyReg::F => "f",
+            KeyReg::G => "g",
+        }
+    }
+}
+
+impl fmt::Display for KeyReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for KeyReg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KeyReg::ALL
+            .iter()
+            .find(|k| k.name() == s)
+            .copied()
+            .ok_or_else(|| IsaError::UnknownKeyRegister(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ksel_round_trips() {
+        for key in KeyReg::ALL {
+            assert_eq!(KeyReg::from_ksel(key.ksel()), Some(key));
+        }
+        assert_eq!(KeyReg::from_ksel(8), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for key in KeyReg::ALL {
+            assert_eq!(key.name().parse::<KeyReg>().unwrap(), key);
+        }
+        assert!("z".parse::<KeyReg>().is_err());
+    }
+
+    #[test]
+    fn only_m_is_master() {
+        assert!(KeyReg::M.is_master());
+        for key in &KeyReg::ALL[1..] {
+            assert!(!key.is_master());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! RV64IM instruction set with the RegVault extension.
+//!
+//! This crate defines the instruction set executed by the RegVault machine
+//! simulator (`regvault-sim`): the RV64I base integer ISA, the M
+//! multiply/divide extension, the Zicsr CSR instructions, and the two
+//! *context-aware cryptographic instructions* introduced by the RegVault
+//! paper (DAC '22, Table 1):
+//!
+//! | Name | Mnemonic |
+//! |---|---|
+//! | context-aware register encrypt | `cre[x]k rd, rs[e:s], rt` |
+//! | context-aware register decrypt | `crd[x]k rd, rs, rt, [e:s]` |
+//!
+//! `x` names one of the eight hardware key registers (`m`, `a`–`g`) and
+//! `[e:s]` selects the byte range that carries plaintext; bytes outside the
+//! range are zeroed before encryption and checked for zero after decryption,
+//! which is how RegVault gets integrity protection out of a bare block
+//! cipher.
+//!
+//! The crate provides:
+//!
+//! * typed instruction values ([`Insn`]) with RISC-V binary
+//!   [encoding](Insn::encode) and [decoding](decode::decode),
+//! * the register file naming ([`Reg`]) and ABI classification ([`abi`]),
+//! * the CSR address map including the RegVault key-register CSRs
+//!   ([`csr`], [`KeyReg`]),
+//! * a small two-pass [assembler](asm::assemble) used by the tests, the
+//!   attack suite and the examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use regvault_isa::{asm, decode, Insn, KeyReg, Reg};
+//!
+//! # fn main() -> Result<(), regvault_isa::IsaError> {
+//! // Figure 2a of the paper: encrypt a pointer in a0 with key `a`,
+//! // tweak in t1, then store it.
+//! let program = asm::assemble(
+//!     "creak a0, a0[7:0], t1
+//!      sd a0, 0(s0)",
+//! )?;
+//! let insn = decode::decode(program.words()[0])?;
+//! assert_eq!(
+//!     insn,
+//!     Insn::Cre {
+//!         key: KeyReg::A,
+//!         rd: Reg::A0,
+//!         rs: Reg::A0,
+//!         rt: Reg::T1,
+//!         hi: 7,
+//!         lo: 0,
+//!     }
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod asm;
+pub mod csr;
+pub mod decode;
+pub mod disasm;
+mod error;
+mod insn;
+mod keyreg;
+mod reg;
+
+pub use error::IsaError;
+pub use insn::{AluOp, BranchOp, CsrOp, Insn, MemWidth};
+pub use keyreg::KeyReg;
+pub use reg::Reg;
+
+/// A byte range `[e:s]` (inclusive) selecting which bytes of a register hold
+/// plaintext in a `cre`/`crd` instruction.
+///
+/// The paper's three canonical ranges (Figure 2) are provided as constants.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::ByteRange;
+///
+/// assert_eq!(ByteRange::FULL, ByteRange::new(7, 0).unwrap());
+/// assert_eq!(ByteRange::LOW32.mask(), 0x0000_0000_FFFF_FFFF);
+/// assert_eq!(ByteRange::HIGH32.mask(), 0xFFFF_FFFF_0000_0000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteRange {
+    hi: u8,
+    lo: u8,
+}
+
+impl ByteRange {
+    /// All eight bytes `[7:0]` — pointer / confidentiality-only protection.
+    pub const FULL: ByteRange = ByteRange { hi: 7, lo: 0 };
+    /// The low four bytes `[3:0]` — 32-bit data with integrity.
+    pub const LOW32: ByteRange = ByteRange { hi: 3, lo: 0 };
+    /// The high four bytes `[7:4]` — upper half of split 64-bit data.
+    pub const HIGH32: ByteRange = ByteRange { hi: 7, lo: 4 };
+
+    /// Creates a byte range, validating `7 >= hi >= lo >= 0`.
+    ///
+    /// Returns `None` when the bounds are out of order or exceed byte 7.
+    #[must_use]
+    pub fn new(hi: u8, lo: u8) -> Option<Self> {
+        (hi <= 7 && lo <= hi).then_some(Self { hi, lo })
+    }
+
+    /// The inclusive upper byte index `e`.
+    #[must_use]
+    pub fn hi(self) -> u8 {
+        self.hi
+    }
+
+    /// The inclusive lower byte index `s`.
+    #[must_use]
+    pub fn lo(self) -> u8 {
+        self.lo
+    }
+
+    /// A bit mask with ones over the selected bytes.
+    #[must_use]
+    pub fn mask(self) -> u64 {
+        let bytes = u32::from(self.hi - self.lo) + 1;
+        let ones = if bytes == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * bytes)) - 1
+        };
+        ones << (8 * u32::from(self.lo))
+    }
+
+    /// `true` if the range covers all eight bytes (no integrity redundancy).
+    #[must_use]
+    pub fn is_full(self) -> bool {
+        self.hi == 7 && self.lo == 0
+    }
+}
+
+impl std::fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}:{}]", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_range_masks() {
+        assert_eq!(ByteRange::FULL.mask(), u64::MAX);
+        assert_eq!(ByteRange::LOW32.mask(), 0xFFFF_FFFF);
+        assert_eq!(ByteRange::HIGH32.mask(), 0xFFFF_FFFF_0000_0000);
+        assert_eq!(ByteRange::new(0, 0).unwrap().mask(), 0xFF);
+        assert_eq!(ByteRange::new(5, 2).unwrap().mask(), 0x0000_FFFF_FFFF_0000);
+    }
+
+    #[test]
+    fn byte_range_rejects_invalid() {
+        assert!(ByteRange::new(8, 0).is_none());
+        assert!(ByteRange::new(2, 3).is_none());
+    }
+
+    #[test]
+    fn byte_range_displays_like_the_paper() {
+        assert_eq!(ByteRange::FULL.to_string(), "[7:0]");
+        assert_eq!(ByteRange::LOW32.to_string(), "[3:0]");
+    }
+
+    #[test]
+    fn full_detection() {
+        assert!(ByteRange::FULL.is_full());
+        assert!(!ByteRange::LOW32.is_full());
+        assert!(!ByteRange::HIGH32.is_full());
+    }
+}

@@ -1,0 +1,199 @@
+//! General-purpose register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::IsaError;
+
+/// One of the 32 RV64 general-purpose registers, named by ABI mnemonic.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::Reg;
+///
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!("sp".parse::<Reg>().unwrap(), Reg::Sp);
+/// assert_eq!("x10".parse::<Reg>().unwrap(), Reg::A0);
+/// assert_eq!(Reg::T6.to_string(), "t6");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+const NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = {
+        let mut regs = [Reg::Zero; 32];
+        let mut i = 0;
+        while i < 32 {
+            regs[i] = match Reg::from_index(i as u8) {
+                Some(r) => r,
+                None => unreachable!(),
+            };
+            i += 1;
+        }
+        regs
+    };
+
+    /// The hardware register index (0–31).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a register up by hardware index.
+    ///
+    /// Returns `None` for indices above 31.
+    #[must_use]
+    pub const fn from_index(index: u8) -> Option<Self> {
+        if index < 32 {
+            // SAFETY-free transmute substitute: exhaustive match via table.
+            Some(match index {
+                0 => Reg::Zero,
+                1 => Reg::Ra,
+                2 => Reg::Sp,
+                3 => Reg::Gp,
+                4 => Reg::Tp,
+                5 => Reg::T0,
+                6 => Reg::T1,
+                7 => Reg::T2,
+                8 => Reg::S0,
+                9 => Reg::S1,
+                10 => Reg::A0,
+                11 => Reg::A1,
+                12 => Reg::A2,
+                13 => Reg::A3,
+                14 => Reg::A4,
+                15 => Reg::A5,
+                16 => Reg::A6,
+                17 => Reg::A7,
+                18 => Reg::S2,
+                19 => Reg::S3,
+                20 => Reg::S4,
+                21 => Reg::S5,
+                22 => Reg::S6,
+                23 => Reg::S7,
+                24 => Reg::S8,
+                25 => Reg::S9,
+                26 => Reg::S10,
+                27 => Reg::S11,
+                28 => Reg::T3,
+                29 => Reg::T4,
+                30 => Reg::T5,
+                _ => Reg::T6,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The ABI name (`"a0"`, `"sp"`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        NAMES[self.index() as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Reg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(pos) = NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg::ALL[pos]);
+        }
+        // Accept numeric x-names and the fp alias.
+        if s == "fp" {
+            return Ok(Reg::S0);
+        }
+        if let Some(num) = s.strip_prefix('x') {
+            if let Ok(index) = num.parse::<u8>() {
+                if let Some(reg) = Reg::from_index(index) {
+                    return Ok(reg);
+                }
+            }
+        }
+        Err(IsaError::UnknownRegister(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for i in 0..32u8 {
+            let reg = Reg::from_index(i).unwrap();
+            assert_eq!(reg.index(), i);
+            assert_eq!(Reg::ALL[i as usize], reg);
+        }
+        assert!(Reg::from_index(32).is_none());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for reg in Reg::ALL {
+            assert_eq!(reg.name().parse::<Reg>().unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::S0);
+        assert_eq!("x0".parse::<Reg>().unwrap(), Reg::Zero);
+        assert_eq!("x31".parse::<Reg>().unwrap(), Reg::T6);
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        assert!("q7".parse::<Reg>().is_err());
+        assert!("x32".parse::<Reg>().is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property: the `Display` form of every instruction is valid assembler
+//! input that round-trips to the identical instruction — the disassembler
+//! and assembler are exact inverses.
+
+use proptest::prelude::*;
+use regvault_isa::{asm, decode, AluOp, BranchOp, CsrOp, Insn, KeyReg, MemWidth, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+fn any_key() -> impl Strategy<Value = KeyReg> {
+    (0u8..8).prop_map(|i| KeyReg::from_ksel(i).expect("ksel < 8"))
+}
+
+fn any_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Insn::Lui { rd, imm20 }),
+        (any_reg(), any_reg(), -2048i32..=2047).prop_map(|(rd, rs1, offset)| Insn::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), -(1i32 << 19)..(1i32 << 19)).prop_map(|(rd, offset)| Insn::Jal {
+            rd,
+            offset: offset * 2
+        }),
+        (
+            prop_oneof![
+                Just(BranchOp::Eq),
+                Just(BranchOp::Ne),
+                Just(BranchOp::Lt),
+                Just(BranchOp::Ge),
+                Just(BranchOp::Ltu),
+                Just(BranchOp::Geu)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Insn::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: offset * 2
+            }),
+        (
+            prop_oneof![
+                Just(MemWidth::Byte),
+                Just(MemWidth::Half),
+                Just(MemWidth::Word),
+                Just(MemWidth::Double)
+            ],
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(width, signed, rd, rs1, offset)| Insn::Load {
+                width,
+                signed: signed || width == MemWidth::Double,
+                rd,
+                rs1,
+                offset
+            }),
+        (
+            prop_oneof![
+                Just(MemWidth::Byte),
+                Just(MemWidth::Half),
+                Just(MemWidth::Word),
+                Just(MemWidth::Double)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Insn::Store {
+                width,
+                rs2,
+                rs1,
+                offset
+            }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            any_reg(),
+            any_reg(),
+            -2048i32..=2047
+        )
+            .prop_map(|(op, rd, rs1, imm)| Insn::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
+            any_reg(),
+            any_reg(),
+            0i32..=63
+        )
+            .prop_map(|(op, rd, rs1, imm)| Insn::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Sub),
+                Just(AluOp::Mul),
+                Just(AluOp::Mulh),
+                Just(AluOp::Mulhsu),
+                Just(AluOp::Mulhu),
+                Just(AluOp::Div),
+                Just(AluOp::Divu),
+                Just(AluOp::Rem),
+                Just(AluOp::Remu),
+                Just(AluOp::Sll),
+                Just(AluOp::Srl),
+                Just(AluOp::Sra),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Insn::Op { op, rd, rs1, rs2 }),
+        (
+            prop_oneof![
+                Just(CsrOp::ReadWrite),
+                Just(CsrOp::ReadSet),
+                Just(CsrOp::ReadClear)
+            ],
+            any_reg(),
+            any_reg(),
+            0u16..0x1000
+        )
+            .prop_map(|(op, rd, rs1, csr)| Insn::Csr { op, rd, rs1, csr }),
+        (
+            prop_oneof![
+                Just(CsrOp::ReadWrite),
+                Just(CsrOp::ReadSet),
+                Just(CsrOp::ReadClear)
+            ],
+            any_reg(),
+            0u8..32,
+            0u16..0x1000
+        )
+            .prop_map(|(op, rd, uimm, csr)| Insn::CsrImm { op, rd, uimm, csr }),
+        Just(Insn::Ecall),
+        Just(Insn::Ebreak),
+        Just(Insn::Mret),
+        Just(Insn::Sret),
+        Just(Insn::Wfi),
+        Just(Insn::Fence),
+        (any_key(), any_reg(), any_reg(), any_reg(), 0u8..8)
+            .prop_flat_map(|(key, rd, rs, rt, hi)| {
+                (Just((key, rd, rs, rt, hi)), 0u8..=hi)
+            })
+            .prop_map(|((key, rd, rs, rt, hi), lo)| Insn::Cre {
+                key,
+                rd,
+                rs,
+                rt,
+                hi,
+                lo
+            }),
+        (any_key(), any_reg(), any_reg(), any_reg(), 0u8..8)
+            .prop_flat_map(|(key, rd, rs, rt, hi)| {
+                (Just((key, rd, rs, rt, hi)), 0u8..=hi)
+            })
+            .prop_map(|((key, rd, rs, rt, hi), lo)| Insn::Crd {
+                key,
+                rd,
+                rs,
+                rt,
+                hi,
+                lo
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_form_reassembles_to_the_same_instruction(insn in any_insn()) {
+        let text = insn.to_string();
+        let program = asm::assemble(&text)
+            .unwrap_or_else(|err| panic!("`{text}` did not assemble: {err}"));
+        // `li`-free Display forms always produce exactly one word.
+        prop_assert_eq!(program.words().len(), 1, "{}", text);
+        let reparsed = decode::decode(program.words()[0]).expect("decodes");
+        prop_assert_eq!(reparsed, insn, "{}", text);
+    }
+
+    #[test]
+    fn disassembler_render_is_stable(insn in any_insn()) {
+        let word = insn.encode().expect("valid instruction");
+        let lines = regvault_isa::disasm::disassemble(&word.to_le_bytes());
+        prop_assert_eq!(lines.len(), 1);
+        prop_assert_eq!(lines[0].insn, Some(insn));
+    }
+}

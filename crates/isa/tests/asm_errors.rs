@@ -1,0 +1,108 @@
+//! Assembler error-path coverage: every diagnostic class fires on the
+//! right input and carries a useful message.
+
+use regvault_isa::{asm, IsaError};
+
+fn err(source: &str) -> IsaError {
+    asm::assemble(source).expect_err("must be rejected")
+}
+
+#[test]
+fn unknown_mnemonics() {
+    assert!(matches!(err("explode a0"), IsaError::UnknownMnemonic(m) if m == "explode"));
+}
+
+#[test]
+fn unknown_registers() {
+    assert!(matches!(err("addi q0, a0, 1"), IsaError::Syntax { .. }));
+    assert!(matches!(err("addi x32, a0, 1"), IsaError::Syntax { .. }));
+}
+
+#[test]
+fn out_of_range_immediates() {
+    assert!(matches!(
+        err("addi a0, a0, 5000"),
+        IsaError::ImmediateOutOfRange { .. }
+    ));
+    assert!(matches!(
+        err("slli a0, a0, 64"),
+        IsaError::ImmediateOutOfRange { .. }
+    ));
+    assert!(matches!(
+        err("sd a0, 4096(sp)"),
+        IsaError::ImmediateOutOfRange { .. }
+    ));
+}
+
+#[test]
+fn malformed_byte_ranges() {
+    assert!(matches!(
+        err("creak a0, a0[1:5], t1"),
+        IsaError::InvalidByteRange(_)
+    ));
+    assert!(matches!(
+        err("creak a0, a0[9:0], t1"),
+        IsaError::InvalidByteRange(_)
+    ));
+    assert!(matches!(
+        err("crdak a0, a0, t1, [x:y]"),
+        IsaError::Syntax { .. } | IsaError::InvalidByteRange(_)
+    ));
+}
+
+#[test]
+fn unknown_key_registers() {
+    assert!(matches!(
+        err("crezk a0, a0[7:0], t1"),
+        IsaError::UnknownKeyRegister(k) if k == "z"
+    ));
+}
+
+#[test]
+fn label_problems() {
+    assert!(matches!(err("j nowhere"), IsaError::UndefinedLabel(_)));
+    assert!(matches!(err("x:\nx:\nnop"), IsaError::DuplicateLabel(_)));
+    assert!(matches!(err("1bad:\nnop"), IsaError::Syntax { .. }));
+}
+
+#[test]
+fn operand_count_mismatches() {
+    assert!(matches!(err("addi a0, a0"), IsaError::Syntax { .. }));
+    assert!(matches!(err("creak a0, a0[7:0]"), IsaError::Syntax { .. }));
+    assert!(matches!(err("ld a0"), IsaError::Syntax { .. }));
+}
+
+#[test]
+fn malformed_memory_operands() {
+    assert!(matches!(err("ld a0, a1"), IsaError::Syntax { .. }));
+    assert!(matches!(err("sd a0, 8(sp"), IsaError::Syntax { .. }));
+}
+
+#[test]
+fn malformed_integers() {
+    assert!(matches!(err("li a0, 0xZZ"), IsaError::Syntax { .. }));
+    assert!(matches!(err("addi a0, a0, ten"), IsaError::Syntax { .. }));
+}
+
+#[test]
+fn branch_to_distant_label_is_out_of_range() {
+    // Branch offsets top out at ±4 KiB; pad past that.
+    let mut source = String::from("start:\n beq a0, a1, far\n");
+    for _ in 0..2000 {
+        source.push_str(" nop\n");
+    }
+    source.push_str("far:\n nop\n");
+    assert!(matches!(
+        asm::assemble(&source).expect_err("too far"),
+        IsaError::ImmediateOutOfRange { .. }
+    ));
+}
+
+#[test]
+fn diagnostics_carry_line_numbers() {
+    let source = "nop\nnop\naddi a0, a0\n";
+    match err(source) {
+        IsaError::Syntax { line, .. } => assert_eq!(line, 3),
+        other => panic!("unexpected {other}"),
+    }
+}

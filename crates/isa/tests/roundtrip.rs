@@ -1,0 +1,173 @@
+//! Property tests: decode inverts encode for every constructible instruction.
+
+use proptest::prelude::*;
+use regvault_isa::{decode, AluOp, BranchOp, CsrOp, Insn, KeyReg, MemWidth, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+fn any_key() -> impl Strategy<Value = KeyReg> {
+    (0u8..8).prop_map(|i| KeyReg::from_ksel(i).expect("ksel < 8"))
+}
+
+fn any_range() -> impl Strategy<Value = (u8, u8)> {
+    (0u8..8)
+        .prop_flat_map(|hi| (Just(hi), 0u8..=hi))
+        .prop_map(|(hi, lo)| (hi, lo))
+}
+
+fn any_mem_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Half),
+        Just(MemWidth::Word),
+        Just(MemWidth::Double),
+    ]
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Mulh),
+        Just(AluOp::Mulhsu),
+        Just(AluOp::Mulhu),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
+    ]
+}
+
+fn any_branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ]
+}
+
+fn any_csr_op() -> impl Strategy<Value = CsrOp> {
+    prop_oneof![
+        Just(CsrOp::ReadWrite),
+        Just(CsrOp::ReadSet),
+        Just(CsrOp::ReadClear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cre_crd_round_trip(
+        key in any_key(),
+        rd in any_reg(),
+        rs in any_reg(),
+        rt in any_reg(),
+        (hi, lo) in any_range(),
+        decrypt in any::<bool>(),
+    ) {
+        let insn = if decrypt {
+            Insn::Crd { key, rd, rs, rt, hi, lo }
+        } else {
+            Insn::Cre { key, rd, rs, rt, hi, lo }
+        };
+        let word = insn.encode().expect("valid range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn loads_round_trip(
+        width in any_mem_width(),
+        rd in any_reg(),
+        rs1 in any_reg(),
+        offset in -2048i32..=2047,
+        signed in any::<bool>(),
+    ) {
+        // `ldu` does not exist: doubles are always "signed".
+        let signed = signed || width == MemWidth::Double;
+        let insn = Insn::Load { width, signed, rd, rs1, offset };
+        let word = insn.encode().expect("offset in range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn stores_round_trip(
+        width in any_mem_width(),
+        rs1 in any_reg(),
+        rs2 in any_reg(),
+        offset in -2048i32..=2047,
+    ) {
+        let insn = Insn::Store { width, rs2, rs1, offset };
+        let word = insn.encode().expect("offset in range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn alu_ops_round_trip(
+        op in any_alu_op(),
+        rd in any_reg(),
+        rs1 in any_reg(),
+        rs2 in any_reg(),
+    ) {
+        let insn = Insn::Op { op, rd, rs1, rs2 };
+        let word = insn.encode().expect("all ops valid in register form");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn branches_round_trip(
+        op in any_branch_op(),
+        rs1 in any_reg(),
+        rs2 in any_reg(),
+        offset in -2048i32..=2047,
+    ) {
+        let offset = offset * 2; // branch offsets are even
+        let insn = Insn::Branch { op, rs1, rs2, offset };
+        let word = insn.encode().expect("offset in range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn jal_round_trips(rd in any_reg(), offset in -(1i32 << 19)..(1 << 19)) {
+        let offset = offset * 2;
+        let insn = Insn::Jal { rd, offset };
+        let word = insn.encode().expect("offset in range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    #[test]
+    fn csr_round_trips(
+        op in any_csr_op(),
+        rd in any_reg(),
+        rs1 in any_reg(),
+        csr in 0u16..0x1000,
+    ) {
+        let insn = Insn::Csr { op, rd, rs1, csr };
+        let word = insn.encode().expect("csr in range");
+        prop_assert_eq!(decode::decode(word).expect("round trip"), insn);
+    }
+
+    /// Decoding any 32-bit word either errors or produces an instruction
+    /// that re-encodes to the same semantic value (decode is a partial
+    /// inverse of encode, never a lossy guess).
+    #[test]
+    fn decode_then_encode_is_stable(word in any::<u32>()) {
+        if let Ok(insn) = decode::decode(word) {
+            let reencoded = insn.encode().expect("decoded instructions re-encode");
+            let redecoded = decode::decode(reencoded).expect("and decode again");
+            prop_assert_eq!(insn, redecoded);
+        }
+    }
+}

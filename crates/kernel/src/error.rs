@@ -1,0 +1,100 @@
+//! Kernel error type.
+
+use std::error::Error;
+use std::fmt;
+
+use regvault_sim::ExceptionCause;
+
+/// Errors surfaced by kernel operations.
+///
+/// `IntegrityViolation` is the interesting one for the security evaluation:
+/// it is the kernel-visible form of the hardware `crd` integrity exception,
+/// raised when an attacker corrupted or substituted protected data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// A `crd` integrity check failed while accessing protected data.
+    IntegrityViolation {
+        /// Which object tripped the check (e.g. `"cred.uid"`).
+        what: &'static str,
+    },
+    /// The caller lacks the required credentials.
+    PermissionDenied,
+    /// Unknown file, key, or object.
+    NotFound,
+    /// Invalid descriptor or handle.
+    BadHandle,
+    /// Invalid argument.
+    InvalidArgument,
+    /// Out of a fixed kernel resource (threads, fds, keys, pages).
+    ResourceExhausted,
+    /// A guest memory access faulted inside a kernel operation.
+    MemoryFault(ExceptionCause),
+    /// The simulated user program failed.
+    UserFault {
+        /// The architectural cause.
+        cause: ExceptionCause,
+        /// Faulting pc.
+        pc: u64,
+    },
+    /// Run budget exceeded while executing user code.
+    StepLimit,
+    /// Unknown syscall number.
+    BadSyscall(u64),
+    /// An indirect call landed outside any known handler — the observable
+    /// effect of jumping through a corrupted (and, under RegVault,
+    /// garbled) function pointer.
+    WildJump {
+        /// Where control flow would have gone.
+        target: u64,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::IntegrityViolation { what } => {
+                write!(f, "regvault integrity violation on {what}")
+            }
+            KernelError::PermissionDenied => f.write_str("permission denied"),
+            KernelError::NotFound => f.write_str("not found"),
+            KernelError::BadHandle => f.write_str("bad handle"),
+            KernelError::InvalidArgument => f.write_str("invalid argument"),
+            KernelError::ResourceExhausted => f.write_str("resource exhausted"),
+            KernelError::MemoryFault(cause) => write!(f, "kernel memory fault: {cause}"),
+            KernelError::UserFault { cause, pc } => {
+                write!(f, "user fault at {pc:#x}: {cause}")
+            }
+            KernelError::StepLimit => f.write_str("step limit exceeded"),
+            KernelError::BadSyscall(num) => write!(f, "bad syscall number {num}"),
+            KernelError::WildJump { target } => {
+                write!(f, "indirect call to unknown target {target:#x}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl From<ExceptionCause> for KernelError {
+    fn from(cause: ExceptionCause) -> Self {
+        KernelError::MemoryFault(cause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrity_violation_names_the_object() {
+        let err = KernelError::IntegrityViolation { what: "cred.uid" };
+        assert_eq!(err.to_string(), "regvault integrity violation on cred.uid");
+    }
+
+    #[test]
+    fn memory_faults_convert() {
+        let err: KernelError = ExceptionCause::LoadAccessFault.into();
+        assert!(matches!(err, KernelError::MemoryFault(_)));
+    }
+}

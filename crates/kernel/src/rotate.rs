@@ -1,0 +1,319 @@
+//! Key rotation: periodic re-randomization of protected kernel data.
+//!
+//! The paper's related work discusses CoDaRR, which re-randomizes DSR
+//! masks periodically to limit what a leaked ciphertext is worth. RegVault
+//! already rotates the per-thread RA/CIP keys on every context switch;
+//! this module adds the analogous operation for the *shared* domains (the
+//! data key `d` and the function-pointer key `b`): generate fresh keys,
+//! decrypt every protected object under the old key, re-encrypt under the
+//! new one, and only then install the new keys in the hardware registers
+//! (which also invalidates the stale CLB entries).
+//!
+//! The sequence stays inside the paper's key-access rules (the kernel may
+//! *write* general key registers but never read any): the fresh key value
+//! is generated in software, installed into a spare register, each block
+//! is `crd`-decrypted under the old register and `cre`-encrypted under the
+//! spare, and finally the same fresh value is written into the domain's
+//! own register.
+//!
+//! After a rotation, any ciphertext an attacker recorded earlier is dead:
+//! replaying it decrypts to garbage or trips the integrity check.
+
+use regvault_isa::{ByteRange, KeyReg};
+
+use crate::error::KernelError;
+use crate::kernel::Kernel;
+
+/// Spare key register used to stage the new data key during a rotation.
+const DATA_STAGING: KeyReg = KeyReg::F;
+/// Spare key register used to stage the new function-pointer key.
+const FN_PTR_STAGING: KeyReg = KeyReg::G;
+
+/// Statistics from one rotation pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RotationReport {
+    /// 64-bit blocks re-encrypted under the data key.
+    pub data_blocks: u64,
+    /// 64-bit blocks re-encrypted under the function-pointer key.
+    pub fn_ptr_blocks: u64,
+}
+
+impl Kernel {
+    /// Rotates the data and function-pointer keys, re-encrypting every
+    /// protected object in place (no-op on configurations that do not
+    /// protect the respective domain).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::IntegrityViolation`] if any protected object fails
+    /// its integrity check during re-encryption — i.e. the rotation also
+    /// audits the whole protected working set.
+    pub fn rotate_shared_keys(&mut self) -> Result<RotationReport, KernelError> {
+        let cfg = self.protection();
+        let mut report = RotationReport::default();
+
+        if cfg.non_control {
+            // Generate the fresh key, install it in the staging register
+            // (the kernel knows the value it generated — it just can never
+            // read it back out of a register).
+            let (w0, k0) = (self.rng_gen(), self.rng_gen());
+            self.machine_mut()
+                .write_key_register(DATA_STAGING, w0, k0)
+                .expect("staging key is general-purpose");
+            report.data_blocks =
+                self.reencrypt_data_domain(cfg.key_policy().data, DATA_STAGING)?;
+            self.machine_mut()
+                .write_key_register(cfg.key_policy().data, w0, k0)
+                .expect("data key is general-purpose");
+            // Hygiene: scrub the staging register.
+            self.machine_mut()
+                .write_key_register(DATA_STAGING, 0, 0)
+                .expect("staging key is general-purpose");
+        }
+        if cfg.fp {
+            let (w0, k0) = (self.rng_gen(), self.rng_gen());
+            self.machine_mut()
+                .write_key_register(FN_PTR_STAGING, w0, k0)
+                .expect("staging key is general-purpose");
+            report.fn_ptr_blocks =
+                self.reencrypt_fn_ptr_domain(cfg.key_policy().fn_ptr, FN_PTR_STAGING)?;
+            self.machine_mut()
+                .write_key_register(cfg.key_policy().fn_ptr, w0, k0)
+                .expect("fn-ptr key is general-purpose");
+            self.machine_mut()
+                .write_key_register(FN_PTR_STAGING, 0, 0)
+                .expect("staging key is general-purpose");
+        }
+        Ok(report)
+    }
+
+    /// Re-encrypts one 64-bit block in place via `crd` (old register) and
+    /// `cre` (staging register) — the plaintext exists only in registers.
+    fn reencrypt_block(
+        &mut self,
+        old: KeyReg,
+        staging: KeyReg,
+        addr: u64,
+        range: ByteRange,
+        what: &'static str,
+    ) -> Result<(), KernelError> {
+        let ct = self.machine_mut().kernel_load_u64(addr)?;
+        let pt = self
+            .machine_mut()
+            .kernel_decrypt(old, addr, ct, range)
+            .map_err(|_| KernelError::IntegrityViolation { what })?;
+        let new_ct = self.machine_mut().kernel_encrypt(staging, addr, pt, range);
+        self.machine_mut().kernel_store_u64(addr, new_ct)?;
+        Ok(())
+    }
+
+    fn reencrypt_data_domain(
+        &mut self,
+        old: KeyReg,
+        new: KeyReg,
+    ) -> Result<u64, KernelError> {
+        let mut blocks = 0;
+        // Credentials of every live thread: four u32 fields + the split
+        // 64-bit session token.
+        for tid in 0..crate::thread::MAX_THREADS {
+            if self.threads.state(tid) == crate::thread::ThreadState::Free {
+                continue;
+            }
+            let base = self.creds.cred_addr(tid);
+            for offset in [
+                crate::cred::UID_OFFSET,
+                crate::cred::GID_OFFSET,
+                crate::cred::EUID_OFFSET,
+                crate::cred::EGID_OFFSET,
+            ] {
+                self.reencrypt_block(old, new, base + offset, ByteRange::LOW32, "cred")?;
+                blocks += 1;
+            }
+            self.reencrypt_block(
+                old,
+                new,
+                base + crate::cred::SESSION_OFFSET,
+                ByteRange::LOW32,
+                "cred.session",
+            )?;
+            self.reencrypt_block(
+                old,
+                new,
+                base + crate::cred::SESSION_OFFSET + 8,
+                ByteRange::HIGH32,
+                "cred.session",
+            )?;
+            blocks += 2;
+        }
+        // SELinux state.
+        for offset in [
+            crate::selinux::ENFORCING_OFFSET,
+            crate::selinux::INITIALIZED_OFFSET,
+            crate::selinux::POLICY_ID_OFFSET,
+        ] {
+            self.reencrypt_block(
+                old,
+                new,
+                self.selinux.base() + offset,
+                ByteRange::LOW32,
+                "selinux_state",
+            )?;
+            blocks += 1;
+        }
+        // Keyring material (confidentiality-only blocks).
+        for index in 0..self.keyring.count() {
+            let entry = self.keyring.entry_addr(index);
+            for offset in [8u64, 16] {
+                self.reencrypt_block(old, new, entry + offset, ByteRange::FULL, "keyring")?;
+                blocks += 1;
+            }
+        }
+        // PGD entries (confidentiality-only pointers).
+        for slot in self.page_tables.live_pgd_slots(self.machine())? {
+            self.reencrypt_block(old, new, slot, ByteRange::FULL, "pgd entry")?;
+            blocks += 1;
+        }
+        Ok(blocks)
+    }
+
+    fn reencrypt_fn_ptr_domain(
+        &mut self,
+        old: KeyReg,
+        new: KeyReg,
+    ) -> Result<u64, KernelError> {
+        let mut blocks = 0;
+        let mut slots: Vec<u64> = Vec::new();
+        for op in [
+            crate::fs::FileOp::Read,
+            crate::fs::FileOp::Write,
+            crate::fs::FileOp::Stat,
+        ] {
+            slots.push(self.fs.file_ops.slot_addr(op));
+            slots.push(self.fs.pipe_ops.slot_addr(op));
+        }
+        for slot in 0..8u64 {
+            slots.push(self.ops_table_slot(slot));
+        }
+        for tid in 0..crate::thread::MAX_THREADS {
+            if self.threads.state(tid) == crate::thread::ThreadState::Free {
+                continue;
+            }
+            for signo in 0..crate::signal::NUM_SIGNALS {
+                slots.push(self.signals.handler_slot(tid, signo));
+            }
+        }
+        for slot in slots {
+            self.reencrypt_block(old, new, slot, ByteRange::FULL, "fn ptr")?;
+            blocks += 1;
+        }
+        Ok(blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kernel, KernelConfig, ProtectionConfig, Sysno};
+
+    fn kernel() -> Kernel {
+        Kernel::boot(KernelConfig {
+            protection: ProtectionConfig::full(),
+            ..KernelConfig::default()
+        })
+        .expect("boot")
+    }
+
+    #[test]
+    fn rotation_preserves_all_functional_state() {
+        let mut k = kernel();
+        let key_ptr = 0x20_0000u64;
+        k.machine_mut()
+            .memory_mut()
+            .write_slice(key_ptr, b"0123456789abcdef");
+        let serial = k.dispatch(Sysno::AddKey as u64, [key_ptr, 0, 0]).unwrap();
+        k.dispatch(Sysno::Mmap as u64, [0x5000_0000, 0, 0]).unwrap();
+
+        let report = k.rotate_shared_keys().unwrap();
+        assert!(report.data_blocks > 0);
+        assert!(report.fn_ptr_blocks > 0);
+
+        // Everything still reads correctly under the new keys.
+        assert_eq!(k.sys_getuid().unwrap(), 1000);
+        let cfg = k.protection();
+        let ring = k.keyring.clone();
+        assert_eq!(
+            ring.load_key(k.machine_mut(), &cfg, serial).unwrap(),
+            *b"0123456789abcdef"
+        );
+        let tables = k.page_tables.clone();
+        assert_eq!(
+            tables.walk(k.machine_mut(), &cfg, 0x5000_0000).unwrap(),
+            0xE000_0000, // mmap maps paddr 0x9000_0000 + (vaddr & 0xFFFFF000)
+        );
+        let fops = k.fs.file_ops;
+        assert_eq!(
+            fops.resolve(k.machine_mut(), &cfg, crate::fs::FileOp::Read)
+                .unwrap(),
+            crate::fs::handlers::FILE_READ
+        );
+    }
+
+    #[test]
+    fn recorded_ciphertexts_die_at_rotation() {
+        let mut k = kernel();
+        let uid_addr = k.creds.cred_addr(0) + crate::cred::UID_OFFSET;
+        let recorded = k.machine().memory().read_u64(uid_addr).unwrap();
+
+        k.rotate_shared_keys().unwrap();
+
+        // Replaying the pre-rotation ciphertext now fails integrity.
+        k.machine_mut()
+            .memory_mut()
+            .write_u64(uid_addr, recorded)
+            .unwrap();
+        assert!(matches!(
+            k.dispatch(Sysno::Getuid as u64, [0; 3]),
+            Err(crate::KernelError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rotation_changes_every_stored_block() {
+        let mut k = kernel();
+        let uid_addr = k.creds.cred_addr(0) + crate::cred::UID_OFFSET;
+        let fptr_addr = k.fs.file_ops.slot_addr(crate::fs::FileOp::Read);
+        let before = (
+            k.machine().memory().read_u64(uid_addr).unwrap(),
+            k.machine().memory().read_u64(fptr_addr).unwrap(),
+        );
+        k.rotate_shared_keys().unwrap();
+        let after = (
+            k.machine().memory().read_u64(uid_addr).unwrap(),
+            k.machine().memory().read_u64(fptr_addr).unwrap(),
+        );
+        assert_ne!(before.0, after.0);
+        assert_ne!(before.1, after.1);
+    }
+
+    #[test]
+    fn rotation_audits_tampered_state() {
+        let mut k = kernel();
+        let uid_addr = k.creds.cred_addr(0) + crate::cred::UID_OFFSET;
+        k.machine_mut().memory_mut().write_u64(uid_addr, 0x41).unwrap();
+        assert!(matches!(
+            k.rotate_shared_keys(),
+            Err(crate::KernelError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rotation_is_a_noop_for_unprotected_kernels() {
+        let mut k = Kernel::boot(KernelConfig {
+            protection: ProtectionConfig::off(),
+            ..KernelConfig::default()
+        })
+        .unwrap();
+        let report = k.rotate_shared_keys().unwrap();
+        assert_eq!(report, RotationReport::default());
+    }
+}

@@ -1,0 +1,211 @@
+//! Syscall numbers and ABI.
+//!
+//! User programs place the syscall number in `a7` and up to three
+//! arguments in `a0`–`a2`, then execute `ecall`. The kernel returns the
+//! result in `a0`; errors come back as `u64::MAX` (−1). The kernel
+//! preserves every other register.
+
+/// Syscall numbers understood by the miniature kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+#[repr(u64)]
+pub enum Sysno {
+    /// The "null" syscall: pure entry/exit (LMbench `lat_syscall null`).
+    Null = 0,
+    Getpid = 1,
+    Getuid = 2,
+    Geteuid = 3,
+    Setuid = 4,
+    Getgid = 5,
+    Open = 6,
+    Close = 7,
+    Read = 8,
+    Write = 9,
+    Stat = 10,
+    Seek = 11,
+    /// Create a pipe; returns `read_fd << 32 | write_fd`.
+    Pipe = 12,
+    /// Voluntary context switch.
+    Yield = 13,
+    /// Install a 16-byte key from a user buffer; returns the serial.
+    AddKey = 14,
+    /// AES-encrypt one 16-byte block: `(serial, in_ptr, out_ptr)`.
+    AesEncrypt = 15,
+    /// Map a page at the given virtual address.
+    Mmap = 16,
+    /// Unmap a page.
+    Munmap = 17,
+    /// Create a new thread; returns its tid.
+    Spawn = 18,
+    /// Security hook exercise: ask SELinux whether a (denied-by-policy)
+    /// operation is permitted; returns 0/1.
+    SelinuxCheck = 19,
+    /// Register a signal handler: `(signo, handler_pc)`.
+    Sigaction = 20,
+    /// Send a signal: `(tid, signo)`.
+    Kill = 21,
+    /// Return from a signal handler to the interrupted context.
+    Sigreturn = 22,
+    /// Terminate the calling thread, freeing its slot.
+    Exit = 23,
+}
+
+impl Sysno {
+    /// Decodes a syscall number.
+    #[must_use]
+    pub fn from_u64(num: u64) -> Option<Self> {
+        Some(match num {
+            0 => Sysno::Null,
+            1 => Sysno::Getpid,
+            2 => Sysno::Getuid,
+            3 => Sysno::Geteuid,
+            4 => Sysno::Setuid,
+            5 => Sysno::Getgid,
+            6 => Sysno::Open,
+            7 => Sysno::Close,
+            8 => Sysno::Read,
+            9 => Sysno::Write,
+            10 => Sysno::Stat,
+            11 => Sysno::Seek,
+            12 => Sysno::Pipe,
+            13 => Sysno::Yield,
+            14 => Sysno::AddKey,
+            15 => Sysno::AesEncrypt,
+            16 => Sysno::Mmap,
+            17 => Sysno::Munmap,
+            18 => Sysno::Spawn,
+            19 => Sysno::SelinuxCheck,
+            20 => Sysno::Sigaction,
+            21 => Sysno::Kill,
+            22 => Sysno::Sigreturn,
+            23 => Sysno::Exit,
+            _ => return None,
+        })
+    }
+
+    /// The number of nested kernel function calls this syscall makes —
+    /// drives the return-address protection cost model (each level costs
+    /// one `cre` + one `crd` when RA protection is on). The depths roughly
+    /// track the Linux call chains of the corresponding paths.
+    #[must_use]
+    pub fn call_depth(self) -> u32 {
+        match self {
+            Sysno::Null => 1,
+            Sysno::Getpid | Sysno::Getuid | Sysno::Geteuid | Sysno::Getgid => 2,
+            Sysno::Setuid => 4,
+            Sysno::Open => 7,
+            Sysno::Close => 2,
+            Sysno::Read | Sysno::Write => 5,
+            Sysno::Stat => 4,
+            Sysno::Seek => 2,
+            Sysno::Pipe => 5,
+            Sysno::Yield => 3,
+            Sysno::AddKey => 5,
+            Sysno::AesEncrypt => 4,
+            Sysno::Mmap | Sysno::Munmap => 5,
+            Sysno::Spawn => 8,
+            Sysno::SelinuxCheck => 3,
+            Sysno::Sigaction => 3,
+            Sysno::Kill => 4,
+            Sysno::Sigreturn => 2,
+            Sysno::Exit => 6,
+        }
+    }
+
+    /// Base (uninstrumented) kernel work for the syscall, in ALU-class
+    /// instructions, charged on top of the structural work the handlers do
+    /// explicitly.
+    #[must_use]
+    pub fn base_insns(self) -> u64 {
+        match self {
+            Sysno::Null => 210,
+            Sysno::Getpid | Sysno::Getuid | Sysno::Geteuid | Sysno::Getgid => 310,
+            Sysno::Setuid => 730,
+            Sysno::Open => 1450,
+            Sysno::Close => 390,
+            Sysno::Read | Sysno::Write => 920,
+            Sysno::Stat => 810,
+            Sysno::Seek => 290,
+            Sysno::Pipe => 1170,
+            Sysno::Yield => 900,
+            Sysno::AddKey => 910,
+            Sysno::AesEncrypt => 550,
+            Sysno::Mmap | Sysno::Munmap => 1040,
+            Sysno::Spawn => 2100,
+            Sysno::SelinuxCheck => 440,
+            Sysno::Sigaction => 260,
+            Sysno::Kill => 380,
+            Sysno::Sigreturn => 200,
+            Sysno::Exit => 900,
+        }
+    }
+
+    /// Number of indirect calls through protected function-pointer tables
+    /// this syscall path makes (VFS ops, security hooks, driver ops) — the
+    /// FP-configuration cost model.
+    #[must_use]
+    pub fn fp_hooks(self) -> u32 {
+        match self {
+            Sysno::Null => 1,
+            Sysno::Getpid | Sysno::Getuid | Sysno::Geteuid | Sysno::Getgid => 1,
+            Sysno::Setuid => 3,
+            Sysno::Open => 6,
+            Sysno::Close => 2,
+            Sysno::Read | Sysno::Write => 3,
+            Sysno::Stat => 3,
+            Sysno::Seek => 1,
+            Sysno::Pipe => 4,
+            Sysno::Yield => 2,
+            Sysno::AddKey => 3,
+            Sysno::AesEncrypt => 2,
+            Sysno::Mmap | Sysno::Munmap => 4,
+            Sysno::Spawn => 6,
+            Sysno::SelinuxCheck => 2,
+            Sysno::Sigaction => 2,
+            Sysno::Kill => 2,
+            Sysno::Sigreturn => 1,
+            Sysno::Exit => 3,
+        }
+    }
+
+    /// `true` for syscalls whose path runs a credential permission check
+    /// (reads the protected `cred.euid`).
+    #[must_use]
+    pub fn checks_creds(self) -> bool {
+        matches!(
+            self,
+            Sysno::Setuid
+                | Sysno::Open
+                | Sysno::Read
+                | Sysno::Write
+                | Sysno::Stat
+                | Sysno::AddKey
+                | Sysno::AesEncrypt
+                | Sysno::Mmap
+                | Sysno::Munmap
+                | Sysno::Spawn
+                | Sysno::Kill
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for num in 0..24u64 {
+            let sysno = Sysno::from_u64(num).expect("defined");
+            assert_eq!(sysno as u64, num);
+        }
+        assert!(Sysno::from_u64(24).is_none());
+        assert!(Sysno::from_u64(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn depths_are_plausible() {
+        assert!(Sysno::Null.call_depth() < Sysno::Open.call_depth());
+        assert!(Sysno::Getpid.base_insns() < Sysno::Spawn.base_insns());
+    }
+}

@@ -1,0 +1,152 @@
+//! Kernel resource-limit and error-path coverage.
+
+use regvault_kernel::{Kernel, KernelConfig, KernelError, ProtectionConfig, Sysno};
+
+fn kernel() -> Kernel {
+    Kernel::boot(KernelConfig {
+        protection: ProtectionConfig::full(),
+        ..KernelConfig::default()
+    })
+    .expect("boot")
+}
+
+#[test]
+fn thread_table_exhausts_cleanly() {
+    let mut k = kernel();
+    // Thread 0 is init; 7 more fit.
+    for _ in 0..7 {
+        k.dispatch(Sysno::Spawn as u64, [0, 0, 0]).unwrap();
+    }
+    assert!(matches!(
+        k.dispatch(Sysno::Spawn as u64, [0, 0, 0]),
+        Err(KernelError::ResourceExhausted)
+    ));
+}
+
+#[test]
+fn fd_table_exhausts_and_recovers() {
+    let mut k = kernel();
+    let name_ptr = 0x20_0000u64;
+    k.machine_mut().memory_mut().write_slice(name_ptr, b"data");
+    let mut fds = Vec::new();
+    loop {
+        match k.dispatch(Sysno::Open as u64, [name_ptr, 4, 0]) {
+            Ok(fd) => fds.push(fd),
+            Err(KernelError::ResourceExhausted) => break,
+            Err(other) => panic!("unexpected {other}"),
+        }
+    }
+    assert_eq!(fds.len(), 32, "all descriptor slots consumed");
+    // Closing one frees a slot.
+    k.dispatch(Sysno::Close as u64, [fds[0], 0, 0]).unwrap();
+    k.dispatch(Sysno::Open as u64, [name_ptr, 4, 0]).unwrap();
+}
+
+#[test]
+fn double_close_is_rejected() {
+    let mut k = kernel();
+    let name_ptr = 0x20_0000u64;
+    k.machine_mut().memory_mut().write_slice(name_ptr, b"data");
+    let fd = k.dispatch(Sysno::Open as u64, [name_ptr, 4, 0]).unwrap();
+    k.dispatch(Sysno::Close as u64, [fd, 0, 0]).unwrap();
+    assert!(matches!(
+        k.dispatch(Sysno::Close as u64, [fd, 0, 0]),
+        Err(KernelError::BadHandle)
+    ));
+}
+
+#[test]
+fn open_rejects_oversized_names_and_missing_files() {
+    let mut k = kernel();
+    assert!(matches!(
+        k.dispatch(Sysno::Open as u64, [0x20_0000, 1000, 0]),
+        Err(KernelError::InvalidArgument)
+    ));
+    let name_ptr = 0x20_0000u64;
+    k.machine_mut().memory_mut().write_slice(name_ptr, b"ghost");
+    assert!(matches!(
+        k.dispatch(Sysno::Open as u64, [name_ptr, 5, 0]),
+        Err(KernelError::NotFound)
+    ));
+}
+
+#[test]
+fn read_from_unmapped_user_buffer_faults_cleanly() {
+    let mut k = kernel();
+    let name_ptr = 0x20_0000u64;
+    k.machine_mut().memory_mut().write_slice(name_ptr, b"data");
+    let fd = k.dispatch(Sysno::Open as u64, [name_ptr, 4, 0]).unwrap();
+    // Writing FROM an unmapped user buffer must surface a memory fault.
+    assert!(matches!(
+        k.dispatch(Sysno::Write as u64, [fd, 0x6FFF_0000, 64]),
+        Err(KernelError::MemoryFault(_))
+    ));
+}
+
+#[test]
+fn keyring_fills_to_capacity() {
+    let mut k = kernel();
+    let key_ptr = 0x20_0000u64;
+    k.machine_mut()
+        .memory_mut()
+        .write_slice(key_ptr, b"0123456789abcdef");
+    for _ in 0..16 {
+        k.dispatch(Sysno::AddKey as u64, [key_ptr, 0, 0]).unwrap();
+    }
+    assert!(matches!(
+        k.dispatch(Sysno::AddKey as u64, [key_ptr, 0, 0]),
+        Err(KernelError::ResourceExhausted)
+    ));
+}
+
+#[test]
+fn aes_with_unknown_serial_is_not_found() {
+    let mut k = kernel();
+    k.machine_mut().memory_mut().map_region(0x21_0000, 4096);
+    assert!(matches!(
+        k.dispatch(Sysno::AesEncrypt as u64, [99, 0x21_0000, 0x21_0100]),
+        Err(KernelError::NotFound)
+    ));
+}
+
+#[test]
+fn kill_validates_the_target_thread() {
+    let mut k = kernel();
+    assert!(matches!(
+        k.dispatch(Sysno::Kill as u64, [200, 0, 0]),
+        Err(KernelError::InvalidArgument)
+    ));
+}
+
+#[test]
+fn sigreturn_without_a_pending_handler_is_invalid() {
+    let mut k = kernel();
+    assert!(matches!(
+        k.dispatch(Sysno::Sigreturn as u64, [0; 3]),
+        Err(KernelError::InvalidArgument)
+    ));
+}
+
+#[test]
+fn munmap_of_unmapped_page_is_not_found() {
+    let mut k = kernel();
+    assert!(matches!(
+        k.dispatch(Sysno::Munmap as u64, [0x5555_0000, 0, 0]),
+        Err(KernelError::NotFound)
+    ));
+}
+
+#[test]
+fn errors_surface_as_minus_one_in_user_mode() {
+    let mut k = kernel();
+    // Closing a bad fd from user code returns u64::MAX, not a kernel abort.
+    let program = regvault_isa::asm::assemble(
+        "li a0, 31
+         li a7, 7      # close
+         ecall
+         ebreak",
+    )
+    .unwrap();
+    let value = k.run_user(program.bytes(), 0, 100_000).unwrap();
+    assert_eq!(value, u64::MAX);
+}

@@ -1,0 +1,355 @@
+//! End-to-end tests: user programs running on the simulator, trapping into
+//! the kernel, under each protection configuration.
+
+use regvault_isa::asm;
+use regvault_kernel::{Kernel, KernelConfig, KernelError, ProtectionConfig};
+
+fn boot(protection: ProtectionConfig, timer: Option<u64>) -> Kernel {
+    Kernel::boot(KernelConfig {
+        protection,
+        timer_interval: timer,
+        ..KernelConfig::default()
+    })
+    .expect("boot")
+}
+
+fn all_configs() -> [ProtectionConfig; 5] {
+    [
+        ProtectionConfig::off(),
+        ProtectionConfig::ra_only(),
+        ProtectionConfig::fp_only(),
+        ProtectionConfig::non_control(),
+        ProtectionConfig::full(),
+    ]
+}
+
+#[test]
+fn getuid_from_user_mode() {
+    for cfg in all_configs() {
+        let mut kernel = boot(cfg, None);
+        let program = asm::assemble(
+            "li a7, 2       # Sysno::Getuid
+             ecall
+             ebreak",
+        )
+        .unwrap();
+        let uid = kernel.run_user(program.bytes(), 0, 100_000).unwrap();
+        assert_eq!(uid, 1000, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn syscall_loop_under_every_config() {
+    // A getpid loop — the shape of LMbench's lat_syscall.
+    let source = "li   s1, 0
+         li   s2, 50
+        loop:
+         li   a7, 1      # getpid
+         ecall
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         mv   a0, s1
+         ebreak";
+    for cfg in all_configs() {
+        let mut kernel = boot(cfg, None);
+        let program = asm::assemble(source).unwrap();
+        let count = kernel.run_user(program.bytes(), 0, 1_000_000).unwrap();
+        assert_eq!(count, 50, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn file_io_from_user_mode() {
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    // Write "hi" to the data file and read it back, from user code.
+    let program = asm::assemble(
+        "# store filename 'data' at 0x30_0000
+         li   t0, 0x300000
+         li   t1, 0x61746164    # 'data' little-endian
+         sw   t1, 0(t0)
+         li   a0, 0x300000
+         li   a1, 4
+         li   a7, 6             # open
+         ecall
+         mv   s1, a0            # fd
+         # write 2 bytes from 0x30_0100
+         li   t0, 0x300100
+         li   t1, 0x6968        # 'hi'
+         sh   t1, 0(t0)
+         mv   a0, s1
+         li   a1, 0x300100
+         li   a2, 2
+         li   a7, 9             # write
+         ecall
+         # seek to 0
+         mv   a0, s1
+         li   a1, 0
+         li   a7, 11            # seek
+         ecall
+         # read back to 0x30_0200
+         mv   a0, s1
+         li   a1, 0x300200
+         li   a2, 2
+         li   a7, 8             # read
+         ecall
+         # return the bytes read
+         li   t0, 0x300200
+         lhu  a0, 0(t0)
+         ebreak",
+    )
+    .unwrap();
+    let value = kernel.run_user(program.bytes(), 0, 1_000_000).unwrap();
+    assert_eq!(value, 0x6968, "read back 'hi'");
+}
+
+#[test]
+fn timer_interrupts_preempt_and_resume_transparently() {
+    // A pure compute loop; CIP save/restore across timer interrupts must
+    // be invisible to the computation.
+    let source = "li   s1, 0
+         li   s2, 20000
+        loop:
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         mv   a0, s1
+         ebreak";
+    for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+        let mut kernel = boot(cfg, Some(5_000));
+        let program = asm::assemble(source).unwrap();
+        let value = kernel.run_user(program.bytes(), 0, 10_000_000).unwrap();
+        assert_eq!(value, 20_000, "{}", cfg.label());
+        assert!(
+            kernel.machine().stats().timer_interrupts > 3,
+            "the timer must actually have fired ({})",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn cip_costs_cycles_only_when_enabled() {
+    let source = "li   s1, 0
+         li   s2, 20000
+        loop:
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         mv   a0, s1
+         ebreak";
+    let mut counts = Vec::new();
+    for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+        let mut kernel = boot(cfg, Some(5_000));
+        let program = asm::assemble(source).unwrap();
+        kernel.run_user(program.bytes(), 0, 10_000_000).unwrap();
+        counts.push(kernel.machine().stats().encrypts + kernel.machine().stats().decrypts);
+    }
+    assert_eq!(counts[0], 0, "baseline performs no crypto");
+    assert!(counts[1] > 0, "full protection CIP-saves every interrupt");
+}
+
+#[test]
+fn user_mode_cannot_execute_cre() {
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    let program = asm::assemble(
+        "li t1, 0x40
+         creak a0, a0[7:0], t1
+         ebreak",
+    )
+    .unwrap();
+    let err = kernel.run_user(program.bytes(), 0, 1000).unwrap_err();
+    assert!(matches!(err, KernelError::UserFault { .. }));
+}
+
+#[test]
+fn multithreaded_yield_program() {
+    // Thread 0 spawns a second thread running `worker`, then both yield in
+    // a loop; scheduling must round-robin and both must make progress.
+    let source = "main:
+         la   a0, worker
+         li   a7, 18         # spawn(entry_pc)
+         ecall
+         li   s1, 0
+         li   s2, 5
+        main_loop:
+         li   a7, 13         # yield
+         ecall
+         addi s1, s1, 1
+         blt  s1, s2, main_loop
+         li   a0, 77
+         ebreak
+        worker:
+         li   a7, 13
+         ecall
+         j    worker";
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    let program = asm::assemble(source).unwrap();
+    let entry = program.symbol("main").unwrap();
+    // The spawn syscall receives the worker's *absolute* pc; the program
+    // computes it with `la`, which is pc-relative and thus already correct
+    // after loading.
+    let value = kernel.run_user(program.bytes(), entry, 5_000_000).unwrap();
+    assert_eq!(value, 77);
+}
+
+#[test]
+fn cycle_overhead_of_full_protection_is_small_but_positive() {
+    // The headline property: syscall-heavy work costs a few percent more
+    // under FULL protection, never less, never wildly more.
+    let source = "li   s1, 0
+         li   s2, 200
+        loop:
+         li   a7, 2      # getuid
+         ecall
+         li   a7, 0      # null
+         ecall
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         ebreak";
+    let mut cycles = Vec::new();
+    for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+        let mut kernel = boot(cfg, None);
+        let program = asm::assemble(source).unwrap();
+        kernel.machine_mut().reset_stats();
+        kernel.run_user(program.bytes(), 0, 10_000_000).unwrap();
+        cycles.push(kernel.machine().stats().cycles);
+    }
+    assert!(cycles[1] > cycles[0]);
+    let overhead = (cycles[1] - cycles[0]) as f64 / cycles[0] as f64;
+    assert!(
+        overhead > 0.001 && overhead < 0.25,
+        "syscall overhead out of plausible range: {overhead:.4}"
+    );
+}
+
+#[test]
+fn signal_delivery_end_to_end() {
+    // Register a handler, kill(self), and verify the handler ran before
+    // the main flow resumed — under both baseline and full protection.
+    let source = "main:
+         la   a0, handler
+         li   a1, 0
+         mv   a2, a0
+         mv   a0, a1
+         mv   a1, a2
+         li   a7, 20         # sigaction(signo=0, handler)
+         ecall
+         li   s1, 0          # handler-run marker lives in s1
+         li   a0, 0          # tid 0 (self)
+         li   a1, 0          # signo 0
+         li   a7, 21         # kill
+         ecall
+         # delivery happens on this return-to-user: handler runs first
+         mv   a0, s1
+         ebreak
+        handler:
+         li   s1, 77
+         li   a7, 22         # sigreturn
+         ecall
+         j    handler        # unreachable";
+    for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+        let mut kernel = boot(cfg, None);
+        let program = asm::assemble(source).unwrap();
+        let entry = program.symbol("main").unwrap();
+        let marker = kernel.run_user(program.bytes(), entry, 1_000_000).unwrap();
+        assert_eq!(marker, 77, "handler must run before resume ({})", cfg.label());
+    }
+}
+
+#[test]
+fn corrupted_signal_handler_crashes_instead_of_hijacking() {
+    // The attacker overwrites the registered handler pointer; under FP
+    // protection the decrypted target is garbage, so delivery crashes at a
+    // wild pc instead of running attacker-chosen code.
+    let source = "main:
+         la   a0, handler
+         mv   a1, a0
+         li   a0, 0
+         li   a7, 20         # sigaction
+         ecall
+         li   a0, 0
+         li   a1, 0
+         li   a7, 21         # kill
+         ecall
+         li   a0, 1
+         ebreak
+        handler:
+         li   a7, 22
+         ecall
+         j    handler";
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    let program = asm::assemble(source).unwrap();
+    // Run up to the sigaction by stepping through manually is overkill;
+    // instead pre-register via the syscall API, corrupt, then run a
+    // kill-only program.
+    let entry = program.symbol("main").unwrap();
+    let _ = entry;
+    let tid = kernel.current_tid();
+    let cfg = kernel.protection();
+    let signals = kernel.signals.clone();
+    signals
+        .register(kernel.machine_mut(), &cfg, tid, 0, 0x40_2000)
+        .unwrap();
+    // Attacker overwrite.
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(signals.handler_slot(tid, 0), 0x6666_0000)
+        .unwrap();
+    let kill_only = asm::assemble(
+        "li a0, 0
+         li a1, 0
+         li a7, 21
+         ecall
+         li a0, 1
+         ebreak",
+    )
+    .unwrap();
+    let err = kernel.run_user(kill_only.bytes(), 0, 100_000).unwrap_err();
+    assert!(
+        matches!(err, KernelError::UserFault { .. }),
+        "expected a crash at a garbled handler pc, got {err:?}"
+    );
+}
+
+#[test]
+fn spawned_threads_can_exit_and_slots_recycle() {
+    // Spawn far more children than the thread table holds; each exits, so
+    // the slots recycle and the loop completes.
+    let source = "main:
+         li   s1, 0
+         li   s2, 40
+        loop:
+         la   a0, child
+         li   a7, 18         # spawn
+         ecall
+         li   a7, 13         # yield so the child runs and exits
+         ecall
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         mv   a0, s1
+         ebreak
+        child:
+         li   a7, 23         # exit
+         ecall
+         j    child";
+    for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+        let mut kernel = boot(cfg, None);
+        let program = asm::assemble(source).unwrap();
+        let entry = program.symbol("main").unwrap();
+        let count = kernel.run_user(program.bytes(), entry, 10_000_000).unwrap();
+        assert_eq!(count, 40, "{}", cfg.label());
+    }
+}
+
+#[test]
+fn init_thread_cannot_exit() {
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    let program = asm::assemble(
+        "li a7, 23
+         ecall
+         ebreak",
+    )
+    .unwrap();
+    // Errors surface as -1; the program still reaches ebreak.
+    let value = kernel.run_user(program.bytes(), 0, 100_000).unwrap();
+    assert_eq!(value, u64::MAX);
+}

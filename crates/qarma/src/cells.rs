@@ -1,0 +1,188 @@
+//! Cell-level operations for the QARMA-64 state.
+//!
+//! The 64-bit block is viewed as 16 four-bit cells; cell 0 is the most
+//! significant nibble. All layer operations (shuffle, MixColumns, tweak
+//! update) work on this representation.
+
+/// 16 four-bit cells; index 0 holds the most significant nibble.
+pub(crate) type Cells = [u8; 16];
+
+/// Cell shuffle τ (the "MIDORI" shuffle used by QARMA).
+pub(crate) const TAU: [usize; 16] = [0, 11, 6, 13, 10, 1, 12, 7, 5, 14, 3, 8, 15, 4, 9, 2];
+
+/// Inverse of τ.
+pub(crate) const TAU_INV: [usize; 16] = [0, 5, 15, 10, 13, 8, 2, 7, 11, 14, 4, 1, 6, 3, 9, 12];
+
+/// Tweak cell permutation h.
+pub(crate) const H: [usize; 16] = [6, 5, 14, 15, 0, 1, 2, 3, 7, 12, 13, 4, 8, 9, 10, 11];
+
+/// Inverse of h.
+pub(crate) const H_INV: [usize; 16] = [4, 5, 6, 7, 11, 1, 0, 8, 12, 13, 14, 15, 9, 10, 2, 3];
+
+/// The involutory matrix `M4,2 = circ(0, ρ¹, ρ², ρ¹)` as rotation exponents;
+/// a zero entry means the coefficient is zero (the term is dropped).
+pub(crate) const MIX: [[u32; 4]; 4] = [
+    [0, 1, 2, 1],
+    [1, 0, 1, 2],
+    [2, 1, 0, 1],
+    [1, 2, 1, 0],
+];
+
+/// Splits a 64-bit word into 16 cells (cell 0 = most significant nibble).
+pub(crate) fn to_cells(word: u64) -> Cells {
+    let mut cells = [0u8; 16];
+    for (i, cell) in cells.iter_mut().enumerate() {
+        *cell = ((word >> (60 - 4 * i)) & 0xF) as u8;
+    }
+    cells
+}
+
+/// Reassembles 16 cells into a 64-bit word.
+pub(crate) fn from_cells(cells: &Cells) -> u64 {
+    cells
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &c)| acc | (u64::from(c) << (60 - 4 * i)))
+}
+
+/// Applies a cell permutation: `out[i] = cells[perm[i]]`.
+pub(crate) fn permute(cells: &Cells, perm: &[usize; 16]) -> Cells {
+    let mut out = [0u8; 16];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = cells[perm[i]];
+    }
+    out
+}
+
+/// Rotates a 4-bit cell left by `amount` bits.
+fn rot4(cell: u8, amount: u32) -> u8 {
+    debug_assert!((1..=3).contains(&amount));
+    ((cell << amount) | (cell >> (4 - amount))) & 0xF
+}
+
+/// Multiplies the state (as a 4×4 cell matrix, row-major) by the involutory
+/// MixColumns matrix `M4,2`.
+pub(crate) fn mix_columns(cells: &Cells) -> Cells {
+    let mut out = [0u8; 16];
+    for row in 0..4 {
+        for col in 0..4 {
+            let mut acc = 0u8;
+            for (k, &exp) in MIX[row].iter().enumerate() {
+                if exp != 0 {
+                    acc ^= rot4(cells[4 * k + col], exp);
+                }
+            }
+            out[4 * row + col] = acc;
+        }
+    }
+    out
+}
+
+/// The 4-bit LFSR ω used in the tweak update: maps the cell
+/// `(b3, b2, b1, b0)` to `(b0 ⊕ b1, b3, b2, b1)`.
+fn lfsr(cell: u8) -> u8 {
+    let b0 = cell & 1;
+    let b1 = (cell >> 1) & 1;
+    ((b0 ^ b1) << 3) | (cell >> 1)
+}
+
+/// Inverse of [`lfsr`].
+fn lfsr_inv(cell: u8) -> u8 {
+    let b3 = (cell >> 3) & 1;
+    let b0 = cell & 1;
+    ((cell << 1) & 0xF) | (b3 ^ b0)
+}
+
+/// The cells of the (permuted) tweak that are clocked by the LFSR ω on every
+/// tweak update.
+pub(crate) const LFSR_CELLS: [usize; 7] = [0, 1, 3, 4, 8, 11, 13];
+
+/// Forward tweak schedule: permute the cells with `h`, then clock the LFSR on
+/// the cells in [`LFSR_CELLS`].
+pub(crate) fn tweak_forward(tweak: u64) -> u64 {
+    let mut cells = permute(&to_cells(tweak), &H);
+    for i in LFSR_CELLS {
+        cells[i] = lfsr(cells[i]);
+    }
+    from_cells(&cells)
+}
+
+/// Inverse tweak schedule: undo the LFSR on the cells in [`LFSR_CELLS`], then
+/// apply the inverse permutation `h⁻¹`.
+pub(crate) fn tweak_backward(tweak: u64) -> u64 {
+    let mut cells = to_cells(tweak);
+    for i in LFSR_CELLS {
+        cells[i] = lfsr_inv(cells[i]);
+    }
+    from_cells(&permute(&cells, &H_INV))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_round_trip() {
+        for word in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210] {
+            assert_eq!(from_cells(&to_cells(word)), word);
+        }
+    }
+
+    #[test]
+    fn cell_zero_is_most_significant() {
+        let cells = to_cells(0xF000_0000_0000_0001);
+        assert_eq!(cells[0], 0xF);
+        assert_eq!(cells[15], 0x1);
+    }
+
+    #[test]
+    fn tau_inverse_matches() {
+        for (i, &fwd) in TAU.iter().enumerate() {
+            assert_eq!(TAU_INV[fwd], i);
+        }
+    }
+
+    #[test]
+    fn h_inverse_matches() {
+        for (i, &fwd) in H.iter().enumerate() {
+            assert_eq!(H_INV[fwd], i);
+        }
+    }
+
+    #[test]
+    fn lfsr_round_trips() {
+        for cell in 0..16u8 {
+            assert_eq!(lfsr_inv(lfsr(cell)), cell);
+            assert_eq!(lfsr(lfsr_inv(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn lfsr_has_full_period_on_nonzero() {
+        // ω is a maximal-period LFSR on the 15 nonzero states.
+        let mut state = 1u8;
+        for _ in 0..15 {
+            state = lfsr(state);
+        }
+        assert_eq!(state, 1);
+        let mut seen = std::collections::HashSet::new();
+        let mut state = 1u8;
+        for _ in 0..15 {
+            assert!(seen.insert(state));
+            state = lfsr(state);
+        }
+    }
+
+    #[test]
+    fn mix_columns_is_involutory() {
+        let state = to_cells(0x0123_4567_89AB_CDEF);
+        assert_eq!(mix_columns(&mix_columns(&state)), state);
+    }
+
+    #[test]
+    fn tweak_schedule_round_trips() {
+        let tweak = 0x477d_469d_ec0b_8762u64;
+        assert_eq!(tweak_backward(tweak_forward(tweak)), tweak);
+        assert_eq!(tweak_forward(tweak_backward(tweak)), tweak);
+    }
+}

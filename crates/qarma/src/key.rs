@@ -1,0 +1,115 @@
+//! The 128-bit QARMA key and its specialization.
+
+use crate::cells;
+
+/// A 128-bit QARMA key, split into the whitening half `w0` and the core half
+/// `k0` as in the QARMA paper.
+///
+/// RegVault stores one of these in each of its eight hardware key registers
+/// (the master key `m` and the general keys `a`–`g`).
+///
+/// # Examples
+///
+/// ```
+/// use regvault_qarma::Key;
+///
+/// let key = Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9);
+/// assert_eq!(key.w0(), 0x84be85ce9804e94b);
+/// assert_eq!(key.k0(), 0xec2802d4e0a488e9);
+/// let bytes = key.to_bytes();
+/// assert_eq!(Key::from_bytes(bytes), key);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Key {
+    w0: u64,
+    k0: u64,
+}
+
+impl Key {
+    /// Creates a key from its whitening half `w0` and core half `k0`.
+    #[must_use]
+    pub fn new(w0: u64, k0: u64) -> Self {
+        Self { w0, k0 }
+    }
+
+    /// The whitening key half `w0`.
+    #[must_use]
+    pub fn w0(self) -> u64 {
+        self.w0
+    }
+
+    /// The core key half `k0`.
+    #[must_use]
+    pub fn k0(self) -> u64 {
+        self.k0
+    }
+
+    /// The derived whitening key `w1 = o(w0) = (w0 ⋙ 1) ⊕ (w0 ≫ 63)`.
+    #[must_use]
+    pub fn w1(self) -> u64 {
+        self.w0.rotate_right(1) ^ (self.w0 >> 63)
+    }
+
+    /// The derived central key for decryption, `M · k0` (MixColumns applied
+    /// to the core half), exploiting QARMA's α-reflection property.
+    #[must_use]
+    pub(crate) fn k0_mixed(self) -> u64 {
+        cells::from_cells(&cells::mix_columns(&cells::to_cells(self.k0)))
+    }
+
+    /// Serializes the key as 16 big-endian bytes (`w0` first).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.w0.to_be_bytes());
+        out[8..].copy_from_slice(&self.k0.to_be_bytes());
+        out
+    }
+
+    /// Deserializes a key previously produced by [`Key::to_bytes`].
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        let w0 = u64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let k0 = u64::from_be_bytes(bytes[8..].try_into().expect("8 bytes"));
+        Self { w0, k0 }
+    }
+}
+
+impl From<[u8; 16]> for Key {
+    fn from(bytes: [u8; 16]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl From<Key> for [u8; 16] {
+    fn from(key: Key) -> Self {
+        key.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w1_is_the_orthomorphism_of_w0() {
+        let key = Key::new(0x8000_0000_0000_0001, 0);
+        // rotate_right(1) = 0xC000...0000; w0 >> 63 = 1.
+        assert_eq!(key.w1(), 0xC000_0000_0000_0001);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let key = Key::new(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210);
+        assert_eq!(Key::from_bytes(key.to_bytes()), key);
+        let via_from: Key = key.to_bytes().into();
+        assert_eq!(via_from, key);
+    }
+
+    #[test]
+    fn mixed_core_key_is_involutory() {
+        let key = Key::new(0, 0x0123_4567_89AB_CDEF);
+        let mixed = Key::new(0, key.k0_mixed());
+        assert_eq!(mixed.k0_mixed(), key.k0());
+    }
+}

@@ -1,0 +1,276 @@
+//! The Cryptographic Lookaside Buffer (CLB), §2.3.3 of the paper.
+
+/// One CLB entry: a cached `(ksel, tweak) : plaintext ↔ ciphertext` mapping.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    valid: bool,
+    ksel: u8,
+    tweak: u64,
+    plaintext: u64,
+    ciphertext: u64,
+    /// Monotonic timestamp for LRU replacement.
+    last_used: u64,
+}
+
+impl Entry {
+    const INVALID: Entry = Entry {
+        valid: false,
+        ksel: 0,
+        tweak: 0,
+        plaintext: 0,
+        ciphertext: 0,
+        last_used: 0,
+    };
+}
+
+/// Hit/miss counters for the CLB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClbStats {
+    /// Lookups that found a matching entry.
+    pub hits: u64,
+    /// Lookups that missed and required the multi-cycle QARMA datapath.
+    pub misses: u64,
+    /// Valid entries evicted by LRU replacement.
+    pub evictions: u64,
+    /// Entries invalidated by key-register writes.
+    pub invalidations: u64,
+}
+
+impl ClbStats {
+    /// Hit ratio in `[0, 1]`; zero when no lookups happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative, LRU-replaced cache of recent cryptographic results.
+///
+/// Each entry stores a 3-bit key-selection index rather than the 128-bit key
+/// itself, so a key-register write invalidates all entries with the matching
+/// `ksel` (§2.3.3). One entry serves both directions: an encryption that
+/// cached `(tweak, pt) → ct` also accelerates the later decryption of `ct`.
+///
+/// A capacity of 0 disables the buffer (every lookup misses), which is the
+/// "CLB 0" hardware configuration of Table 3.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_sim::Clb;
+///
+/// let mut clb = Clb::new(8);
+/// assert_eq!(clb.lookup_encrypt(1, 0x40, 0xdead), None);
+/// clb.insert(1, 0x40, 0xdead, 0xc1c1);
+/// assert_eq!(clb.lookup_encrypt(1, 0x40, 0xdead), Some(0xc1c1));
+/// assert_eq!(clb.lookup_decrypt(1, 0x40, 0xc1c1), Some(0xdead));
+/// clb.invalidate_ksel(1);
+/// assert_eq!(clb.lookup_encrypt(1, 0x40, 0xdead), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clb {
+    entries: Vec<Entry>,
+    clock: u64,
+    stats: ClbStats,
+}
+
+impl Clb {
+    /// Creates a CLB with `capacity` entries (0 disables caching).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: vec![Entry::INVALID; capacity],
+            clock: 0,
+            stats: ClbStats::default(),
+        }
+    }
+
+    /// Number of entries (the hardware configuration parameter).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of currently valid entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> ClbStats {
+        self.stats
+    }
+
+    /// Resets the statistics counters (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = ClbStats::default();
+    }
+
+    fn touch(&mut self, index: usize) {
+        self.clock += 1;
+        self.entries[index].last_used = self.clock;
+    }
+
+    fn find(&self, pred: impl Fn(&Entry) -> bool) -> Option<usize> {
+        self.entries.iter().position(|e| e.valid && pred(e))
+    }
+
+    /// Looks up a cached ciphertext for `(ksel, tweak, plaintext)`.
+    pub fn lookup_encrypt(&mut self, ksel: u8, tweak: u64, plaintext: u64) -> Option<u64> {
+        match self.find(|e| e.ksel == ksel && e.tweak == tweak && e.plaintext == plaintext) {
+            Some(index) => {
+                self.stats.hits += 1;
+                self.touch(index);
+                Some(self.entries[index].ciphertext)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a cached plaintext for `(ksel, tweak, ciphertext)`.
+    pub fn lookup_decrypt(&mut self, ksel: u8, tweak: u64, ciphertext: u64) -> Option<u64> {
+        match self.find(|e| e.ksel == ksel && e.tweak == tweak && e.ciphertext == ciphertext) {
+            Some(index) => {
+                self.stats.hits += 1;
+                self.touch(index);
+                Some(self.entries[index].plaintext)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly computed result, evicting the LRU entry if full.
+    ///
+    /// A zero-capacity CLB ignores the insertion.
+    pub fn insert(&mut self, ksel: u8, tweak: u64, plaintext: u64, ciphertext: u64) {
+        if self.entries.is_empty() {
+            return;
+        }
+        let slot = match self.entries.iter().position(|e| !e.valid) {
+            Some(free) => free,
+            None => {
+                self.stats.evictions += 1;
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty CLB")
+            }
+        };
+        self.entries[slot] = Entry {
+            valid: true,
+            ksel,
+            tweak,
+            plaintext,
+            ciphertext,
+            last_used: 0,
+        };
+        self.touch(slot);
+    }
+
+    /// Invalidates every entry whose key selector matches `ksel` — the
+    /// hardware behaviour on a key-register write.
+    pub fn invalidate_ksel(&mut self, ksel: u8) {
+        for entry in &mut self.entries {
+            if entry.valid && entry.ksel == ksel {
+                entry.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+
+    /// Invalidates the whole buffer.
+    pub fn invalidate_all(&mut self) {
+        for entry in &mut self.entries {
+            if entry.valid {
+                entry.valid = false;
+                self.stats.invalidations += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut clb = Clb::new(0);
+        clb.insert(1, 2, 3, 4);
+        assert_eq!(clb.lookup_encrypt(1, 2, 3), None);
+        assert_eq!(clb.stats().misses, 1);
+        assert_eq!(clb.occupancy(), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut clb = Clb::new(2);
+        clb.insert(0, 0, 1, 101);
+        clb.insert(0, 0, 2, 102);
+        // Touch entry 1 so entry 2 becomes LRU.
+        assert_eq!(clb.lookup_encrypt(0, 0, 1), Some(101));
+        clb.insert(0, 0, 3, 103);
+        assert_eq!(clb.stats().evictions, 1);
+        assert_eq!(clb.lookup_encrypt(0, 0, 1), Some(101), "recently used kept");
+        assert_eq!(clb.lookup_encrypt(0, 0, 2), None, "LRU evicted");
+        assert_eq!(clb.lookup_encrypt(0, 0, 3), Some(103));
+    }
+
+    #[test]
+    fn ksel_invalidation_is_selective() {
+        let mut clb = Clb::new(4);
+        clb.insert(1, 0, 10, 110);
+        clb.insert(2, 0, 20, 120);
+        clb.invalidate_ksel(1);
+        assert_eq!(clb.lookup_encrypt(1, 0, 10), None);
+        assert_eq!(clb.lookup_encrypt(2, 0, 20), Some(120));
+        assert_eq!(clb.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn tweak_distinguishes_entries() {
+        let mut clb = Clb::new(4);
+        clb.insert(0, 0xA, 5, 50);
+        clb.insert(0, 0xB, 5, 60);
+        assert_eq!(clb.lookup_encrypt(0, 0xA, 5), Some(50));
+        assert_eq!(clb.lookup_encrypt(0, 0xB, 5), Some(60));
+    }
+
+    #[test]
+    fn hit_ratio_accounts_both_directions() {
+        let mut clb = Clb::new(4);
+        clb.insert(0, 0, 1, 2);
+        let _ = clb.lookup_encrypt(0, 0, 1); // hit
+        let _ = clb.lookup_decrypt(0, 0, 2); // hit
+        let _ = clb.lookup_decrypt(0, 0, 99); // miss
+        let stats = clb.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut clb = Clb::new(4);
+        clb.insert(0, 0, 1, 2);
+        clb.insert(3, 0, 4, 5);
+        clb.invalidate_all();
+        assert_eq!(clb.occupancy(), 0);
+        assert_eq!(clb.stats().invalidations, 2);
+    }
+}

@@ -1,0 +1,317 @@
+//! The RegVault crypto-engine and hardware key register file.
+
+use rand::{Rng, SeedableRng};
+use regvault_isa::{ByteRange, KeyReg};
+use regvault_qarma::{Key, Qarma64};
+
+use crate::clb::Clb;
+
+/// The eight 128-bit hardware key registers.
+///
+/// Software access rules (enforced by [`crate::Machine`], not here — this
+/// type is the *hardware* register file):
+///
+/// * user mode: no access;
+/// * kernel: may write `a`–`g`, may never read any key;
+/// * master key `m`: no software read or write; initialized by hardware at
+///   reset and used by `cre`/`crd` with `ksel = m` to wrap the per-thread
+///   keys the kernel parks in memory (§2.3.1, §3.1.1).
+#[derive(Debug, Clone)]
+pub struct KeyRegFile {
+    keys: [Key; 8],
+}
+
+impl KeyRegFile {
+    /// Creates a register file with the master key drawn from `seed` and the
+    /// general keys zeroed (the boot-time kernel installs real values).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut keys = [Key::default(); 8];
+        keys[KeyReg::M.ksel() as usize] = Key::new(rng.gen(), rng.gen());
+        Self { keys }
+    }
+
+    /// Hardware-internal read of a key register.
+    ///
+    /// This is the datapath the crypto-engine uses; it deliberately has no
+    /// software-facing equivalent. Tests may use it to validate ciphertexts,
+    /// which is fine under the paper's threat model (the attacker "cannot
+    /// read or write the registers directly").
+    #[must_use]
+    pub fn key(&self, key: KeyReg) -> Key {
+        self.keys[key.ksel() as usize]
+    }
+
+    /// Replaces a whole key register.
+    pub fn set_key(&mut self, key: KeyReg, value: Key) {
+        self.keys[key.ksel() as usize] = value;
+    }
+
+    /// Writes the low (core, `k0`) half of a key register.
+    pub fn set_lo(&mut self, key: KeyReg, k0: u64) {
+        let old = self.key(key);
+        self.set_key(key, Key::new(old.w0(), k0));
+    }
+
+    /// Writes the high (whitening, `w0`) half of a key register.
+    pub fn set_hi(&mut self, key: KeyReg, w0: u64) {
+        let old = self.key(key);
+        self.set_key(key, Key::new(w0, old.k0()));
+    }
+}
+
+/// Error raised by a failed `crd` integrity check: the bytes outside the
+/// selected range did not decrypt to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityError {
+    /// The (garbage) plaintext the decryption produced.
+    pub plaintext: u64,
+}
+
+/// The result of one crypto-engine operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CryptoResult {
+    /// Output value (ciphertext for encrypt, plaintext for decrypt).
+    pub value: u64,
+    /// `true` if the CLB supplied the result without running QARMA.
+    pub clb_hit: bool,
+}
+
+/// The crypto-engine of §2.3.2: key register file + QARMA-64 datapath +
+/// cryptographic lookaside buffer.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::{ByteRange, KeyReg};
+/// use regvault_qarma::Key;
+/// use regvault_sim::CryptoEngine;
+///
+/// let mut engine = CryptoEngine::new(8, 42);
+/// engine.key_file_mut().set_key(KeyReg::A, Key::new(1, 2));
+/// let enc = engine.encrypt(KeyReg::A, 0x40, 0xdead, ByteRange::FULL);
+/// let dec = engine.decrypt(KeyReg::A, 0x40, enc.value, ByteRange::FULL).unwrap();
+/// assert_eq!(dec.value, 0xdead);
+/// assert!(dec.clb_hit, "second op on same tuple hits the CLB");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CryptoEngine {
+    keys: KeyRegFile,
+    clb: Clb,
+}
+
+impl CryptoEngine {
+    /// Creates an engine with `clb_entries` CLB slots and a master key
+    /// seeded from `seed`.
+    #[must_use]
+    pub fn new(clb_entries: usize, seed: u64) -> Self {
+        Self {
+            keys: KeyRegFile::new(seed),
+            clb: Clb::new(clb_entries),
+        }
+    }
+
+    /// The hardware key register file.
+    #[must_use]
+    pub fn key_file(&self) -> &KeyRegFile {
+        &self.keys
+    }
+
+    /// Mutable access to the key register file (hardware/boot path).
+    ///
+    /// Writing through this accessor does **not** invalidate CLB entries;
+    /// software key updates must go through [`CryptoEngine::write_key`].
+    pub fn key_file_mut(&mut self) -> &mut KeyRegFile {
+        &mut self.keys
+    }
+
+    /// The cryptographic lookaside buffer.
+    #[must_use]
+    pub fn clb(&self) -> &Clb {
+        &self.clb
+    }
+
+    /// Mutable access to the CLB (for statistics resets).
+    pub fn clb_mut(&mut self) -> &mut Clb {
+        &mut self.clb
+    }
+
+    /// Software-visible key update: replaces one 64-bit half of a key
+    /// register and invalidates the stale CLB entries for that `ksel`.
+    pub fn write_key_half(&mut self, key: KeyReg, high_half: bool, value: u64) {
+        if high_half {
+            self.keys.set_hi(key, value);
+        } else {
+            self.keys.set_lo(key, value);
+        }
+        self.clb.invalidate_ksel(key.ksel());
+    }
+
+    /// Software-visible whole-key update (both halves, one invalidation).
+    pub fn write_key(&mut self, key: KeyReg, value: Key) {
+        self.keys.set_key(key, value);
+        self.clb.invalidate_ksel(key.ksel());
+    }
+
+    fn cipher(&self, key: KeyReg) -> Qarma64 {
+        Qarma64::new(self.keys.key(key))
+    }
+
+    /// Executes the `cre` datapath: mask `value` to `range` (bytes outside
+    /// are zeroed, §2.3.1), then encrypt under `key` with `tweak`.
+    pub fn encrypt(
+        &mut self,
+        key: KeyReg,
+        tweak: u64,
+        value: u64,
+        range: ByteRange,
+    ) -> CryptoResult {
+        let plaintext = value & range.mask();
+        let ksel = key.ksel();
+        if let Some(ciphertext) = self.clb.lookup_encrypt(ksel, tweak, plaintext) {
+            return CryptoResult {
+                value: ciphertext,
+                clb_hit: true,
+            };
+        }
+        let ciphertext = self.cipher(key).encrypt(plaintext, tweak);
+        self.clb.insert(ksel, tweak, plaintext, ciphertext);
+        CryptoResult {
+            value: ciphertext,
+            clb_hit: false,
+        }
+    }
+
+    /// Executes the `crd` datapath: decrypt, then check that every byte
+    /// outside `range` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] when the zero check fails — the hardware
+    /// raises an integrity exception in that case.
+    pub fn decrypt(
+        &mut self,
+        key: KeyReg,
+        tweak: u64,
+        ciphertext: u64,
+        range: ByteRange,
+    ) -> Result<CryptoResult, IntegrityError> {
+        let ksel = key.ksel();
+        let (plaintext, clb_hit) = match self.clb.lookup_decrypt(ksel, tweak, ciphertext) {
+            Some(pt) => (pt, true),
+            None => {
+                let pt = self.cipher(key).decrypt(ciphertext, tweak);
+                self.clb.insert(ksel, tweak, pt, ciphertext);
+                (pt, false)
+            }
+        };
+        if plaintext & !range.mask() != 0 {
+            return Err(IntegrityError { plaintext });
+        }
+        Ok(CryptoResult {
+            value: plaintext,
+            clb_hit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> CryptoEngine {
+        let mut engine = CryptoEngine::new(8, 7);
+        engine.key_file_mut().set_key(KeyReg::A, Key::new(0x11, 0x22));
+        engine.key_file_mut().set_key(KeyReg::B, Key::new(0x33, 0x44));
+        engine
+    }
+
+    #[test]
+    fn master_key_is_random_per_seed() {
+        let a = KeyRegFile::new(1).key(KeyReg::M);
+        let b = KeyRegFile::new(2).key(KeyReg::M);
+        assert_ne!(a, b);
+        assert_eq!(a, KeyRegFile::new(1).key(KeyReg::M), "deterministic");
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let mut engine = engine();
+        let enc = engine.encrypt(KeyReg::A, 0x1000, 0xABCD, ByteRange::FULL);
+        assert!(!enc.clb_hit);
+        let dec = engine
+            .decrypt(KeyReg::A, 0x1000, enc.value, ByteRange::FULL)
+            .unwrap();
+        assert_eq!(dec.value, 0xABCD);
+        assert!(dec.clb_hit);
+    }
+
+    #[test]
+    fn range_masks_before_encrypting() {
+        let mut engine = engine();
+        // High bytes of the input are ignored for a [3:0] encryption.
+        let a = engine.encrypt(KeyReg::A, 0, 0xFFFF_FFFF_0000_1234, ByteRange::LOW32);
+        let b = engine.encrypt(KeyReg::A, 0, 0x0000_0000_0000_1234, ByteRange::LOW32);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn integrity_check_catches_corruption() {
+        let mut engine = engine();
+        let enc = engine.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::LOW32);
+        let corrupted = enc.value ^ 0x1;
+        let err = engine
+            .decrypt(KeyReg::A, 0x40, corrupted, ByteRange::LOW32)
+            .unwrap_err();
+        assert_ne!(err.plaintext & 0xFFFF_FFFF_0000_0000, 0);
+    }
+
+    #[test]
+    fn integrity_check_catches_wrong_tweak() {
+        // Substituting an encrypted 32-bit value stored at another address
+        // (different tweak) trips the zero check with overwhelming
+        // probability.
+        let mut engine = engine();
+        let enc = engine.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::LOW32);
+        assert!(engine
+            .decrypt(KeyReg::A, 0x48, enc.value, ByteRange::LOW32)
+            .is_err());
+    }
+
+    #[test]
+    fn full_range_decrypt_never_fails_integrity() {
+        let mut engine = engine();
+        // [7:0] has no redundancy: any ciphertext decrypts "successfully"
+        // (to garbage under corruption) — confidentiality-only protection.
+        let result = engine.decrypt(KeyReg::A, 0, 0xDEAD_BEEF_0BAD_F00D, ByteRange::FULL);
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn software_key_write_invalidates_clb() {
+        let mut engine = engine();
+        let enc = engine.encrypt(KeyReg::A, 0, 0x5555, ByteRange::FULL);
+        engine.write_key(KeyReg::A, Key::new(0x99, 0xAA));
+        // Old ciphertext no longer decrypts to the old plaintext.
+        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        assert!(!dec.clb_hit, "stale entry must be gone");
+        assert_ne!(dec.value, 0x5555);
+    }
+
+    #[test]
+    fn keys_are_isolated_per_register() {
+        let mut engine = engine();
+        let with_a = engine.encrypt(KeyReg::A, 0, 0x77, ByteRange::FULL);
+        let with_b = engine.encrypt(KeyReg::B, 0, 0x77, ByteRange::FULL);
+        assert_ne!(with_a.value, with_b.value);
+    }
+
+    #[test]
+    fn half_writes_compose_a_key() {
+        let mut engine = CryptoEngine::new(0, 0);
+        engine.write_key_half(KeyReg::C, false, 0xAAAA);
+        engine.write_key_half(KeyReg::C, true, 0xBBBB);
+        assert_eq!(engine.key_file().key(KeyReg::C), Key::new(0xBBBB, 0xAAAA));
+    }
+}

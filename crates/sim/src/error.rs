@@ -1,0 +1,149 @@
+//! Simulator errors and architectural exception causes.
+
+use std::error::Error;
+use std::fmt;
+
+/// An architectural exception cause, as written to `scause` on a trap.
+///
+/// Values follow the RISC-V privileged specification where one exists; the
+/// RegVault integrity-check failure uses cause 24, the first custom slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionCause {
+    /// Instruction fetched from an unmapped or misaligned address.
+    InstructionAccessFault,
+    /// The fetched word did not decode.
+    IllegalInstruction,
+    /// Breakpoint (`ebreak`).
+    Breakpoint,
+    /// Misaligned data load.
+    LoadAddressMisaligned,
+    /// Load from an unmapped address.
+    LoadAccessFault,
+    /// Misaligned data store.
+    StoreAddressMisaligned,
+    /// Store to an unmapped address.
+    StoreAccessFault,
+    /// `ecall` from user mode.
+    EcallFromUser,
+    /// `ecall` from supervisor (kernel) mode.
+    EcallFromKernel,
+    /// A `crd` integrity check failed: bytes outside the selected range did
+    /// not decrypt to zero (RegVault custom cause).
+    IntegrityCheckFailure,
+}
+
+impl ExceptionCause {
+    /// The numeric cause code written to `scause`.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            ExceptionCause::InstructionAccessFault => 1,
+            ExceptionCause::IllegalInstruction => 2,
+            ExceptionCause::Breakpoint => 3,
+            ExceptionCause::LoadAddressMisaligned => 4,
+            ExceptionCause::LoadAccessFault => 5,
+            ExceptionCause::StoreAddressMisaligned => 6,
+            ExceptionCause::StoreAccessFault => 7,
+            ExceptionCause::EcallFromUser => 8,
+            ExceptionCause::EcallFromKernel => 9,
+            ExceptionCause::IntegrityCheckFailure => 24,
+        }
+    }
+}
+
+impl fmt::Display for ExceptionCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ExceptionCause::InstructionAccessFault => "instruction access fault",
+            ExceptionCause::IllegalInstruction => "illegal instruction",
+            ExceptionCause::Breakpoint => "breakpoint",
+            ExceptionCause::LoadAddressMisaligned => "load address misaligned",
+            ExceptionCause::LoadAccessFault => "load access fault",
+            ExceptionCause::StoreAddressMisaligned => "store address misaligned",
+            ExceptionCause::StoreAccessFault => "store access fault",
+            ExceptionCause::EcallFromUser => "environment call from user mode",
+            ExceptionCause::EcallFromKernel => "environment call from kernel mode",
+            ExceptionCause::IntegrityCheckFailure => "regvault integrity check failure",
+        };
+        f.write_str(text)
+    }
+}
+
+impl Error for ExceptionCause {}
+
+/// A fatal simulator error (as opposed to an architectural exception, which
+/// is delivered to the guest via [`crate::Event::Exception`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The run loop exceeded its step budget without reaching the requested
+    /// stopping condition.
+    StepLimitExceeded {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// An exception occurred while no trap vector was installed.
+    UnhandledException {
+        /// The cause of the unhandled exception.
+        cause: ExceptionCause,
+        /// Program counter at the faulting instruction.
+        pc: u64,
+        /// Faulting address or instruction bits.
+        tval: u64,
+    },
+    /// Software attempted a privileged simulator operation (e.g. writing
+    /// the master key register from the embedder API with kernel privilege).
+    PrivilegeViolation(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+            SimError::UnhandledException { cause, pc, tval } => {
+                write!(f, "unhandled exception `{cause}` at pc {pc:#x} (tval {tval:#x})")
+            }
+            SimError::PrivilegeViolation(message) => write!(f, "privilege violation: {message}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_codes_are_distinct() {
+        let causes = [
+            ExceptionCause::InstructionAccessFault,
+            ExceptionCause::IllegalInstruction,
+            ExceptionCause::Breakpoint,
+            ExceptionCause::LoadAddressMisaligned,
+            ExceptionCause::LoadAccessFault,
+            ExceptionCause::StoreAddressMisaligned,
+            ExceptionCause::StoreAccessFault,
+            ExceptionCause::EcallFromUser,
+            ExceptionCause::EcallFromKernel,
+            ExceptionCause::IntegrityCheckFailure,
+        ];
+        let mut codes: Vec<u64> = causes.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), causes.len());
+    }
+
+    #[test]
+    fn integrity_failure_uses_custom_slot() {
+        assert_eq!(ExceptionCause::IntegrityCheckFailure.code(), 24);
+    }
+
+    #[test]
+    fn errors_format() {
+        let err = SimError::StepLimitExceeded { limit: 7 };
+        assert_eq!(err.to_string(), "step limit of 7 instructions exceeded");
+    }
+}

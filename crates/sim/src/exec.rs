@@ -1,0 +1,457 @@
+//! Instruction fetch/decode/execute.
+
+use regvault_isa::{csr, decode, AluOp, BranchOp, ByteRange, CsrOp, Insn, MemWidth, Reg};
+
+use crate::{
+    error::ExceptionCause,
+    hart::Privilege,
+    machine::{Event, Machine},
+    stats::InsnClass,
+};
+
+/// Executes one instruction. Returns `Some(event)` for control transfers to
+/// the embedder; `None` means the instruction retired normally.
+pub(crate) fn step(machine: &mut Machine) -> Option<Event> {
+    let pc = machine.hart.pc();
+
+    if !pc.is_multiple_of(4) {
+        return Some(raise(machine, ExceptionCause::InstructionAccessFault, pc));
+    }
+    let word = match machine.mem.read_u32(pc) {
+        Ok(word) => word,
+        Err(_) => return Some(raise(machine, ExceptionCause::InstructionAccessFault, pc)),
+    };
+    let insn = match decode::decode(word) {
+        Ok(insn) => insn,
+        Err(_) => {
+            return Some(raise(
+                machine,
+                ExceptionCause::IllegalInstruction,
+                u64::from(word),
+            ))
+        }
+    };
+
+    if let Some(trace) = machine.trace.as_mut() {
+        trace.record(crate::trace::TraceEntry {
+            pc,
+            insn,
+            cycle: machine.stats.cycles,
+        });
+    }
+
+    execute(machine, insn, pc)
+}
+
+fn raise(machine: &mut Machine, cause: ExceptionCause, tval: u64) -> Event {
+    machine.stats.exceptions += 1;
+    let trap_cycles = machine.cost.trap;
+    machine.stats.cycles += trap_cycles;
+    Event::Exception { cause, tval }
+}
+
+fn retire(machine: &mut Machine, class: InsnClass, branch_taken: bool, crypto_hit: bool) {
+    let cycles = machine.cost.cycles(class, branch_taken, crypto_hit);
+    machine.stats.retire(class, cycles);
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
+    let next_pc = pc + 4;
+    match insn {
+        Insn::Lui { rd, imm20 } => {
+            machine.hart.set_reg(rd, (i64::from(imm20) << 12) as u64);
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Alu, false, false);
+        }
+        Insn::Auipc { rd, imm20 } => {
+            machine
+                .hart
+                .set_reg(rd, pc.wrapping_add((i64::from(imm20) << 12) as u64));
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Alu, false, false);
+        }
+        Insn::Jal { rd, offset } => {
+            machine.hart.set_reg(rd, next_pc);
+            machine.hart.set_pc(pc.wrapping_add(offset as i64 as u64));
+            retire(machine, InsnClass::Jump, true, false);
+        }
+        Insn::Jalr { rd, rs1, offset } => {
+            let target = machine
+                .hart
+                .reg(rs1)
+                .wrapping_add(offset as i64 as u64)
+                & !1;
+            machine.hart.set_reg(rd, next_pc);
+            machine.hart.set_pc(target);
+            retire(machine, InsnClass::Jump, true, false);
+        }
+        Insn::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let a = machine.hart.reg(rs1);
+            let b = machine.hart.reg(rs2);
+            let taken = match op {
+                BranchOp::Eq => a == b,
+                BranchOp::Ne => a != b,
+                BranchOp::Lt => (a as i64) < (b as i64),
+                BranchOp::Ge => (a as i64) >= (b as i64),
+                BranchOp::Ltu => a < b,
+                BranchOp::Geu => a >= b,
+            };
+            if taken {
+                machine.hart.set_pc(pc.wrapping_add(offset as i64 as u64));
+            } else {
+                machine.hart.set_pc(next_pc);
+            }
+            retire(machine, InsnClass::Branch, taken, false);
+        }
+        Insn::Load {
+            width,
+            signed,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let addr = machine.hart.reg(rs1).wrapping_add(offset as i64 as u64);
+            let raw = match width {
+                MemWidth::Byte => machine.mem.read_u8(addr).map(u64::from),
+                MemWidth::Half => machine.mem.read_u16(addr).map(u64::from),
+                MemWidth::Word => machine.mem.read_u32(addr).map(u64::from),
+                MemWidth::Double => machine.mem.read_u64(addr),
+            };
+            let raw = match raw {
+                Ok(v) => v,
+                Err(cause) => return Some(raise(machine, cause, addr)),
+            };
+            let value = if signed {
+                match width {
+                    MemWidth::Byte => raw as u8 as i8 as i64 as u64,
+                    MemWidth::Half => raw as u16 as i16 as i64 as u64,
+                    MemWidth::Word => raw as u32 as i32 as i64 as u64,
+                    MemWidth::Double => raw,
+                }
+            } else {
+                raw
+            };
+            machine.hart.set_reg(rd, value);
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Load, false, false);
+        }
+        Insn::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let addr = machine.hart.reg(rs1).wrapping_add(offset as i64 as u64);
+            let value = machine.hart.reg(rs2);
+            let result = match width {
+                MemWidth::Byte => machine.mem.write_u8(addr, value as u8),
+                MemWidth::Half => machine.mem.write_u16(addr, value as u16),
+                MemWidth::Word => machine.mem.write_u32(addr, value as u32),
+                MemWidth::Double => machine.mem.write_u64(addr, value),
+            };
+            if let Err(cause) = result {
+                return Some(raise(machine, cause, addr));
+            }
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Store, false, false);
+        }
+        Insn::OpImm { op, rd, rs1, imm } => {
+            let a = machine.hart.reg(rs1);
+            let b = imm as i64 as u64;
+            let value = alu64(op, a, b);
+            machine.hart.set_reg(rd, value);
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Alu, false, false);
+        }
+        Insn::OpImmW { op, rd, rs1, imm } => {
+            let a = machine.hart.reg(rs1);
+            let value = alu32(op, a, imm as i64 as u64);
+            machine.hart.set_reg(rd, value);
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Alu, false, false);
+        }
+        Insn::Op { op, rd, rs1, rs2 } => {
+            let a = machine.hart.reg(rs1);
+            let b = machine.hart.reg(rs2);
+            machine.hart.set_reg(rd, alu64(op, a, b));
+            machine.hart.set_pc(next_pc);
+            retire(machine, class_of(op), false, false);
+        }
+        Insn::OpW { op, rd, rs1, rs2 } => {
+            let a = machine.hart.reg(rs1);
+            let b = machine.hart.reg(rs2);
+            machine.hart.set_reg(rd, alu32(op, a, b));
+            machine.hart.set_pc(next_pc);
+            retire(machine, class_of(op), false, false);
+        }
+        Insn::Csr { op, rd, rs1, csr } => {
+            let operand = machine.hart.reg(rs1);
+            let wants_write = !(matches!(op, CsrOp::ReadSet | CsrOp::ReadClear) && rs1 == Reg::Zero);
+            return csr_access(machine, op, rd, operand, csr, wants_write, next_pc);
+        }
+        Insn::CsrImm { op, rd, uimm, csr } => {
+            let wants_write = !(matches!(op, CsrOp::ReadSet | CsrOp::ReadClear) && uimm == 0);
+            return csr_access(machine, op, rd, u64::from(uimm), csr, wants_write, next_pc);
+        }
+        Insn::Ecall => {
+            let from = machine.hart.privilege();
+            machine.stats.cycles += machine.cost.trap;
+            machine.stats.instret += 1;
+            return Some(Event::Ecall { from });
+        }
+        Insn::Ebreak => {
+            machine.stats.instret += 1;
+            return Some(Event::Break);
+        }
+        Insn::Mret | Insn::Sret => {
+            if machine.hart.privilege() != Privilege::Kernel {
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            }
+            let sepc = machine.hart.csr(csr::SEPC);
+            let spp_user = machine.hart.csr(csr::SSTATUS) & 0x100 == 0;
+            machine.hart.set_privilege(if spp_user {
+                Privilege::User
+            } else {
+                Privilege::Kernel
+            });
+            machine.hart.set_pc(sepc);
+            retire(machine, InsnClass::System, true, false);
+        }
+        Insn::Wfi | Insn::Fence => {
+            machine.hart.set_pc(next_pc);
+            retire(machine, InsnClass::Alu, false, false);
+        }
+        Insn::Cre {
+            key,
+            rd,
+            rs,
+            rt,
+            hi,
+            lo,
+        } => {
+            if machine.hart.privilege() != Privilege::Kernel {
+                // Dedicated for kernel data randomization: not executable in
+                // user mode (§2.3.1).
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            }
+            let range = ByteRange::new(hi, lo).expect("decoder validated the range");
+            let tweak = machine.hart.reg(rt);
+            let value = machine.hart.reg(rs);
+            let result = machine.engine.encrypt(key, tweak, value, range);
+            machine.hart.set_reg(rd, result.value);
+            machine.hart.set_pc(next_pc);
+            machine.stats.encrypts += 1;
+            retire(machine, InsnClass::Crypto, false, result.clb_hit);
+        }
+        Insn::Crd {
+            key,
+            rd,
+            rs,
+            rt,
+            hi,
+            lo,
+        } => {
+            if machine.hart.privilege() != Privilege::Kernel {
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            }
+            let range = ByteRange::new(hi, lo).expect("decoder validated the range");
+            let tweak = machine.hart.reg(rt);
+            let ciphertext = machine.hart.reg(rs);
+            machine.stats.decrypts += 1;
+            match machine.engine.decrypt(key, tweak, ciphertext, range) {
+                Ok(result) => {
+                    machine.hart.set_reg(rd, result.value);
+                    machine.hart.set_pc(next_pc);
+                    retire(machine, InsnClass::Crypto, false, result.clb_hit);
+                }
+                Err(_) => {
+                    machine.stats.integrity_failures += 1;
+                    return Some(raise(
+                        machine,
+                        ExceptionCause::IntegrityCheckFailure,
+                        ciphertext,
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// CSR privilege + key-register semantics.
+fn csr_access(
+    machine: &mut Machine,
+    op: CsrOp,
+    rd: Reg,
+    operand: u64,
+    addr: u16,
+    wants_write: bool,
+    next_pc: u64,
+) -> Option<Event> {
+    let privilege = machine.hart.privilege();
+    let user_readable = matches!(addr, csr::CYCLE | csr::INSTRET);
+
+    if privilege == Privilege::User && (wants_write || !user_readable) {
+        return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+    }
+
+    // RegVault key registers: write-only, and the master key not even that.
+    if let Some((key, high_half)) = csr::key_for_addr(addr) {
+        let reads = rd != Reg::Zero;
+        let pure_write = matches!(op, CsrOp::ReadWrite) && !reads;
+        if key.is_master() || !pure_write || !wants_write {
+            return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+        }
+        machine.engine.write_key_half(key, high_half, operand);
+        machine.hart.set_pc(next_pc);
+        retire(machine, InsnClass::Csr, false, false);
+        return None;
+    }
+
+    let old = match addr {
+        csr::CYCLE => machine.stats.cycles,
+        csr::INSTRET => machine.stats.instret,
+        _ => machine.hart.csr(addr),
+    };
+    if wants_write {
+        let new = match op {
+            CsrOp::ReadWrite => operand,
+            CsrOp::ReadSet => old | operand,
+            CsrOp::ReadClear => old & !operand,
+        };
+        if matches!(addr, csr::CYCLE | csr::INSTRET) {
+            return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+        }
+        machine.hart.set_csr(addr, new);
+    }
+    machine.hart.set_reg(rd, old);
+    machine.hart.set_pc(next_pc);
+    retire(machine, InsnClass::Csr, false, false);
+    None
+}
+
+fn class_of(op: AluOp) -> InsnClass {
+    match op {
+        AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => InsnClass::Mul,
+        AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => InsnClass::Div,
+        _ => InsnClass::Alu,
+    }
+}
+
+fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => u64::from((a as i64) < (b as i64)),
+        AluOp::Sltu => u64::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        AluOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        AluOp::Mulhu => ((u128::from(a) * u128::from(b)) >> 64) as u64,
+        AluOp::Div => {
+            if b == 0 {
+                u64::MAX
+            } else if a as i64 == i64::MIN && b as i64 == -1 {
+                a
+            } else {
+                ((a as i64) / (b as i64)) as u64
+            }
+        }
+        AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        AluOp::Rem => {
+            if b == 0 {
+                a
+            } else if a as i64 == i64::MIN && b as i64 == -1 {
+                0
+            } else {
+                ((a as i64) % (b as i64)) as u64
+            }
+        }
+        AluOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn alu32(op: AluOp, a: u64, b: u64) -> u64 {
+    let a32 = a as u32;
+    let b32 = b as u32;
+    let result: u32 = match op {
+        AluOp::Add => a32.wrapping_add(b32),
+        AluOp::Sub => a32.wrapping_sub(b32),
+        AluOp::Sll => a32 << (b32 & 31),
+        AluOp::Srl => a32 >> (b32 & 31),
+        AluOp::Sra => ((a32 as i32) >> (b32 & 31)) as u32,
+        AluOp::Mul => a32.wrapping_mul(b32),
+        AluOp::Div => {
+            if b32 == 0 {
+                u32::MAX
+            } else if a32 as i32 == i32::MIN && b32 as i32 == -1 {
+                a32
+            } else {
+                ((a32 as i32) / (b32 as i32)) as u32
+            }
+        }
+        AluOp::Divu => a32.checked_div(b32).unwrap_or(u32::MAX),
+        AluOp::Rem => {
+            if b32 == 0 {
+                a32
+            } else if a32 as i32 == i32::MIN && b32 as i32 == -1 {
+                0
+            } else {
+                ((a32 as i32) % (b32 as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            if b32 == 0 {
+                a32
+            } else {
+                a32 % b32
+            }
+        }
+        _ => unreachable!("no W form for {op:?}"),
+    };
+    result as i32 as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu64_division_edge_cases() {
+        assert_eq!(alu64(AluOp::Div, 7, 0), u64::MAX);
+        assert_eq!(alu64(AluOp::Rem, 7, 0), 7);
+        assert_eq!(alu64(AluOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(alu64(AluOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
+    }
+
+    #[test]
+    fn alu32_results_are_sign_extended() {
+        // addw of 0x7FFFFFFF + 1 = 0x80000000 -> sign-extends to negative.
+        let value = alu32(AluOp::Add, 0x7FFF_FFFF, 1);
+        assert_eq!(value, 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn alu64_comparisons() {
+        assert_eq!(alu64(AluOp::Slt, (-1i64) as u64, 0), 1);
+        assert_eq!(alu64(AluOp::Sltu, (-1i64) as u64, 0), 0);
+    }
+}

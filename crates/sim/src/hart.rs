@@ -1,0 +1,139 @@
+//! The hart (hardware thread): register file, program counter, privilege,
+//! and control/status registers.
+
+use std::collections::BTreeMap;
+
+use regvault_isa::Reg;
+
+/// Processor privilege level.
+///
+/// The simulator models the two levels that matter for RegVault: user code
+/// and the kernel (the paper's prototype runs Linux in RISC-V S-mode; we
+/// fold S and M into a single kernel level because no hypervisor is
+/// involved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// Unprivileged user code: no CSR access, no `cre`/`crd`.
+    User,
+    /// Kernel (supervisor) code.
+    Kernel,
+}
+
+/// Architectural state of one hardware thread.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_isa::Reg;
+/// use regvault_sim::{Hart, Privilege};
+///
+/// let mut hart = Hart::new();
+/// hart.set_reg(Reg::A0, 42);
+/// assert_eq!(hart.reg(Reg::A0), 42);
+/// hart.set_reg(Reg::Zero, 7);
+/// assert_eq!(hart.reg(Reg::Zero), 0, "x0 is hardwired");
+/// assert_eq!(hart.privilege(), Privilege::Kernel, "boots in kernel mode");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hart {
+    regs: [u64; 32],
+    pc: u64,
+    privilege: Privilege,
+    csrs: BTreeMap<u16, u64>,
+}
+
+impl Default for Hart {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hart {
+    /// Creates a hart at reset: registers zero, kernel privilege.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            regs: [0; 32],
+            pc: 0,
+            privilege: Privilege::Kernel,
+            csrs: BTreeMap::new(),
+        }
+    }
+
+    /// Reads a general-purpose register (`x0` always reads zero).
+    #[must_use]
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes a general-purpose register (writes to `x0` are discarded).
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        if reg != Reg::Zero {
+            self.regs[reg.index() as usize] = value;
+        }
+    }
+
+    /// Snapshot of all 32 registers (index 0 is `x0`).
+    #[must_use]
+    pub fn regs(&self) -> [u64; 32] {
+        self.regs
+    }
+
+    /// The program counter.
+    #[must_use]
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
+    }
+
+    /// Current privilege level.
+    #[must_use]
+    pub fn privilege(&self) -> Privilege {
+        self.privilege
+    }
+
+    /// Changes the privilege level (trap entry / return).
+    pub fn set_privilege(&mut self, privilege: Privilege) {
+        self.privilege = privilege;
+    }
+
+    /// Raw CSR read (no privilege checks — those live in the machine).
+    #[must_use]
+    pub fn csr(&self, addr: u16) -> u64 {
+        self.csrs.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Raw CSR write (no privilege checks).
+    pub fn set_csr(&mut self, addr: u16, value: u64) {
+        self.csrs.insert(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_to_zero() {
+        let mut hart = Hart::new();
+        hart.set_reg(Reg::Zero, u64::MAX);
+        assert_eq!(hart.reg(Reg::Zero), 0);
+    }
+
+    #[test]
+    fn csrs_default_to_zero() {
+        let hart = Hart::new();
+        assert_eq!(hart.csr(regvault_isa::csr::SEPC), 0);
+    }
+
+    #[test]
+    fn csr_round_trips() {
+        let mut hart = Hart::new();
+        hart.set_csr(regvault_isa::csr::STVEC, 0x8000_0000);
+        assert_eq!(hart.csr(regvault_isa::csr::STVEC), 0x8000_0000);
+    }
+}

@@ -1,0 +1,418 @@
+//! The complete simulated machine: hart + memory + crypto-engine + clock.
+
+use regvault_isa::{ByteRange, KeyReg};
+use regvault_qarma::Key;
+
+use crate::{
+    cost::CostModel,
+    engine::CryptoEngine,
+    error::{ExceptionCause, SimError},
+    exec,
+    hart::{Hart, Privilege},
+    mem::Memory,
+    stats::{InsnClass, Stats},
+};
+
+/// Construction parameters for a [`Machine`].
+///
+/// # Examples
+///
+/// ```
+/// use regvault_sim::MachineConfig;
+///
+/// let config = MachineConfig {
+///     clb_entries: 16,
+///     ..MachineConfig::default()
+/// };
+/// assert_eq!(config.clb_entries, 16);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// CLB entries (0 disables the buffer; the paper's prototype uses 8).
+    pub clb_entries: usize,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Seed for hardware randomness (master key).
+    pub seed: u64,
+    /// Deliver a timer interrupt every this many cycles (None = no timer).
+    pub timer_interval: Option<u64>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            clb_entries: 8,
+            cost: CostModel::default(),
+            seed: 0x5EED_0001,
+            timer_interval: None,
+        }
+    }
+}
+
+/// A control transfer out of the guest, handed to the embedder.
+///
+/// The miniature kernel in `regvault-kernel` acts as the privileged
+/// software: it receives these events from [`Machine::run`] and manipulates
+/// machine state in response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `ebreak` executed (used by bare-metal programs as a halt).
+    Break,
+    /// `ecall` executed; `pc` still points at the `ecall` instruction.
+    Ecall {
+        /// Privilege level the call was made from.
+        from: Privilege,
+    },
+    /// An architectural exception; `pc` still points at the faulting
+    /// instruction.
+    Exception {
+        /// The exception cause.
+        cause: ExceptionCause,
+        /// Faulting address or instruction bits.
+        tval: u64,
+    },
+    /// The cycle timer fired (between instructions).
+    TimerInterrupt,
+}
+
+/// The simulated RegVault machine.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub(crate) hart: Hart,
+    pub(crate) mem: Memory,
+    pub(crate) engine: CryptoEngine,
+    pub(crate) cost: CostModel,
+    pub(crate) stats: Stats,
+    timer_interval: Option<u64>,
+    next_timer: u64,
+    pub(crate) trace: Option<crate::trace::TraceBuffer>,
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            hart: Hart::new(),
+            mem: Memory::new(),
+            engine: CryptoEngine::new(config.clb_entries, config.seed),
+            cost: config.cost,
+            stats: Stats::default(),
+            timer_interval: config.timer_interval,
+            next_timer: config.timer_interval.unwrap_or(u64::MAX),
+            trace: None,
+        }
+    }
+
+    /// Enables execution tracing with a ring buffer of `capacity` entries
+    /// (pass through [`Machine::trace`] to inspect). Tracing is off by
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceBuffer::new(capacity));
+    }
+
+    /// The trace buffer, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&crate::trace::TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// The hart (register/PC/privilege state).
+    #[must_use]
+    pub fn hart(&self) -> &Hart {
+        &self.hart
+    }
+
+    /// Mutable hart access.
+    pub fn hart_mut(&mut self) -> &mut Hart {
+        &mut self.hart
+    }
+
+    /// Physical memory.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable memory access (this is also the attacker's arbitrary
+    /// read/write primitive in the penetration tests).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The crypto-engine (key registers + CLB).
+    #[must_use]
+    pub fn engine(&self) -> &CryptoEngine {
+        &self.engine
+    }
+
+    /// Mutable crypto-engine access.
+    pub fn engine_mut(&mut self) -> &mut CryptoEngine {
+        &mut self.engine
+    }
+
+    /// Execution statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Resets cycle/instruction statistics (memory and registers are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+        self.engine.clb_mut().reset_stats();
+        self.next_timer = self.timer_interval.unwrap_or(u64::MAX);
+    }
+
+    /// The active cost model.
+    #[must_use]
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Copies a program image into memory at `addr`.
+    pub fn load_program(&mut self, addr: u64, bytes: &[u8]) {
+        self.mem.write_slice(addr, bytes);
+    }
+
+    /// Kernel-privilege write of a general key register (both halves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PrivilegeViolation`] for the master key, which no
+    /// software may write (§2.3.1).
+    pub fn write_key_register(&mut self, key: KeyReg, w0: u64, k0: u64) -> Result<(), SimError> {
+        if key.is_master() {
+            return Err(SimError::PrivilegeViolation(
+                "the master key register is not software-writable".into(),
+            ));
+        }
+        self.engine.write_key(key, Key::new(w0, k0));
+        self.stats.retire(InsnClass::Csr, self.cost.alu);
+        self.stats.retire(InsnClass::Csr, self.cost.alu);
+        Ok(())
+    }
+
+    /// Executes one instruction (or delivers a pending timer interrupt).
+    ///
+    /// Returns `Some(event)` when control must pass to the embedder.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible at the simulator level (all guest faults are
+    /// reported as [`Event::Exception`]); fallible for future bounded-memory
+    /// configurations.
+    pub fn step(&mut self) -> Result<Option<Event>, SimError> {
+        if self.stats.cycles >= self.next_timer {
+            self.next_timer = self.stats.cycles + self.timer_interval.unwrap_or(u64::MAX);
+            self.stats.timer_interrupts += 1;
+            return Ok(Some(Event::TimerInterrupt));
+        }
+        Ok(exec::step(self))
+    }
+
+    /// Runs until an [`Event`] occurs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StepLimitExceeded`] after `max_steps`
+    /// instructions without an event.
+    pub fn run(&mut self, max_steps: u64) -> Result<Event, SimError> {
+        for _ in 0..max_steps {
+            if let Some(event) = self.step()? {
+                return Ok(event);
+            }
+        }
+        Err(SimError::StepLimitExceeded { limit: max_steps })
+    }
+
+    /// Runs a bare-metal program to its terminating `ebreak`.
+    ///
+    /// # Errors
+    ///
+    /// Any event other than [`Event::Break`] is reported as
+    /// [`SimError::UnhandledException`]; exceeding `max_steps` yields
+    /// [`SimError::StepLimitExceeded`].
+    pub fn run_until_break(&mut self, max_steps: u64) -> Result<(), SimError> {
+        match self.run(max_steps)? {
+            Event::Break => Ok(()),
+            Event::Ecall { from } => Err(SimError::UnhandledException {
+                cause: match from {
+                    Privilege::User => ExceptionCause::EcallFromUser,
+                    Privilege::Kernel => ExceptionCause::EcallFromKernel,
+                },
+                pc: self.hart.pc(),
+                tval: 0,
+            }),
+            Event::Exception { cause, tval } => Err(SimError::UnhandledException {
+                cause,
+                pc: self.hart.pc(),
+                tval,
+            }),
+            Event::TimerInterrupt => Err(SimError::UnhandledException {
+                cause: ExceptionCause::Breakpoint,
+                pc: self.hart.pc(),
+                tval: u64::MAX,
+            }),
+        }
+    }
+
+    /// Advances `pc` past the instruction that raised the current event
+    /// (used by the kernel after servicing an `ecall`).
+    pub fn advance_pc(&mut self) {
+        let pc = self.hart.pc();
+        self.hart.set_pc(pc + 4);
+    }
+
+    // --- Kernel-operation helpers -------------------------------------
+    //
+    // The miniature kernel in `regvault-kernel` is written in Rust but its
+    // work must consume simulated time and exercise the same hardware
+    // datapaths as compiled kernel code would. These helpers execute the
+    // corresponding hardware operation *and* charge its cycles.
+
+    /// Charges `count` instructions of `class` to the clock — used by the
+    /// Rust-modelled kernel to account for straight-line work.
+    pub fn charge(&mut self, class: InsnClass, count: u64) {
+        for _ in 0..count {
+            let cycles = self.cost.cycles(class, true, false);
+            self.stats.retire(class, cycles);
+        }
+    }
+
+    /// Kernel-mode `cre`: encrypt, charging crypto cycles.
+    pub fn kernel_encrypt(&mut self, key: KeyReg, tweak: u64, value: u64, range: ByteRange) -> u64 {
+        let result = self.engine.encrypt(key, tweak, value, range);
+        let cycles = self.cost.cycles(InsnClass::Crypto, false, result.clb_hit);
+        self.stats.retire(InsnClass::Crypto, cycles);
+        self.stats.encrypts += 1;
+        result.value
+    }
+
+    /// Kernel-mode `crd`: decrypt + integrity check, charging crypto cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the garbage plaintext when the integrity check fails; the
+    /// kernel treats this as the hardware exception it is.
+    pub fn kernel_decrypt(
+        &mut self,
+        key: KeyReg,
+        tweak: u64,
+        ciphertext: u64,
+        range: ByteRange,
+    ) -> Result<u64, u64> {
+        let outcome = self.engine.decrypt(key, tweak, ciphertext, range);
+        let clb_hit = outcome.as_ref().map(|r| r.clb_hit).unwrap_or(false);
+        let cycles = self.cost.cycles(InsnClass::Crypto, false, clb_hit);
+        self.stats.retire(InsnClass::Crypto, cycles);
+        self.stats.decrypts += 1;
+        match outcome {
+            Ok(result) => Ok(result.value),
+            Err(err) => {
+                self.stats.integrity_failures += 1;
+                Err(err.plaintext)
+            }
+        }
+    }
+
+    /// Kernel-mode 64-bit load with cycle accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception cause on access faults.
+    pub fn kernel_load_u64(&mut self, addr: u64) -> Result<u64, ExceptionCause> {
+        let value = self.mem.read_u64(addr)?;
+        self.charge(InsnClass::Load, 1);
+        Ok(value)
+    }
+
+    /// Kernel-mode 64-bit store with cycle accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception cause on access faults.
+    pub fn kernel_store_u64(&mut self, addr: u64, value: u64) -> Result<(), ExceptionCause> {
+        self.mem.write_u64(addr, value)?;
+        self.charge(InsnClass::Store, 1);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regvault_isa::Reg;
+
+    #[test]
+    fn master_key_write_is_rejected() {
+        let mut machine = Machine::new(MachineConfig::default());
+        assert!(matches!(
+            machine.write_key_register(KeyReg::M, 1, 2),
+            Err(SimError::PrivilegeViolation(_))
+        ));
+    }
+
+    #[test]
+    fn kernel_crypto_round_trip_charges_cycles() {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.write_key_register(KeyReg::A, 5, 6).unwrap();
+        let before = machine.stats().cycles;
+        let ct = machine.kernel_encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::LOW32);
+        let pt = machine
+            .kernel_decrypt(KeyReg::A, 0x40, ct, ByteRange::LOW32)
+            .unwrap();
+        assert_eq!(pt, 0x1234);
+        assert!(machine.stats().cycles > before);
+        assert_eq!(machine.stats().encrypts, 1);
+        assert_eq!(machine.stats().decrypts, 1);
+    }
+
+    #[test]
+    fn timer_interrupt_fires_between_instructions() {
+        let mut machine = Machine::new(MachineConfig {
+            timer_interval: Some(10),
+            ..MachineConfig::default()
+        });
+        let program = regvault_isa::asm::assemble(
+            "loop: addi a0, a0, 1
+                   j loop",
+        )
+        .unwrap();
+        machine.load_program(0x8000_0000, program.bytes());
+        machine.hart_mut().set_pc(0x8000_0000);
+        let event = machine.run(1_000).unwrap();
+        assert_eq!(event, Event::TimerInterrupt);
+        assert!(machine.hart().reg(Reg::A0) > 0);
+        assert_eq!(machine.stats().timer_interrupts, 1);
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = regvault_isa::asm::assemble("loop: j loop").unwrap();
+        machine.load_program(0x8000_0000, program.bytes());
+        machine.hart_mut().set_pc(0x8000_0000);
+        assert!(matches!(
+            machine.run(100),
+            Err(SimError::StepLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_not_state() {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.write_key_register(KeyReg::A, 1, 2).unwrap();
+        let _ = machine.kernel_encrypt(KeyReg::A, 0, 1, ByteRange::FULL);
+        machine.memory_mut().write_u64(0x100, 7).unwrap();
+        machine.reset_stats();
+        assert_eq!(machine.stats().cycles, 0);
+        assert_eq!(machine.memory().read_u64(0x100).unwrap(), 7);
+    }
+}

@@ -1,0 +1,231 @@
+//! Sparse, page-granular physical memory.
+
+use std::collections::BTreeMap;
+
+use crate::ExceptionCause;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable memory backed by 4 KiB pages allocated on first
+/// touch.
+///
+/// Reads of never-written pages fault (modelling unmapped physical memory),
+/// except within pages that were created by a partial write, which read as
+/// zero — the same behaviour as zero-initialised RAM.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_sim::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x8000_0000, 0xdead_beef).unwrap();
+/// assert_eq!(mem.read_u64(0x8000_0000).unwrap(), 0xdead_beef);
+/// assert!(mem.read_u64(0x4000_0000).is_err()); // untouched page
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory with no mapped pages.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of currently mapped 4 KiB pages.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// `true` if the page containing `addr` has been touched.
+    #[must_use]
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_SHIFT))
+    }
+
+    /// Pre-maps (zero-fills) the page range covering `[start, start + len)`.
+    pub fn map_region(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = start >> PAGE_SHIFT;
+        let last = (start + len - 1) >> PAGE_SHIFT;
+        for page in first..=last {
+            self.pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] if the page is unmapped.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, ExceptionCause> {
+        let page = self
+            .pages
+            .get(&(addr >> PAGE_SHIFT))
+            .ok_or(ExceptionCause::LoadAccessFault)?;
+        Ok(page[(addr & (PAGE_SIZE - 1)) as usize])
+    }
+
+    /// Writes one byte, mapping the page on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (sparse memory always maps); kept fallible so a
+    /// bounded-memory configuration can fault without an API break.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), ExceptionCause> {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        page[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        Ok(())
+    }
+
+    /// Reads `N` little-endian bytes.
+    fn read_bytes<const N: usize>(&self, addr: u64) -> Result<[u8; N], ExceptionCause> {
+        let mut out = [0u8; N];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64)?;
+        }
+        Ok(out)
+    }
+
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), ExceptionCause> {
+        for (i, &byte) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, byte)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] on unmapped pages.
+    pub fn read_u16(&self, addr: u64) -> Result<u16, ExceptionCause> {
+        Ok(u16::from_le_bytes(self.read_bytes(addr)?))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] on unmapped pages.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, ExceptionCause> {
+        Ok(u32::from_le_bytes(self.read_bytes(addr)?))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] on unmapped pages.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, ExceptionCause> {
+        Ok(u64::from_le_bytes(self.read_bytes(addr)?))
+    }
+
+    /// Writes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u16(&mut self, addr: u64, value: u16) -> Result<(), ExceptionCause> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u32(&mut self, addr: u64, value: u32) -> Result<(), ExceptionCause> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Memory::write_u8`].
+    pub fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), ExceptionCause> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Copies a byte slice into memory, mapping pages as needed.
+    pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
+        self.write_bytes(addr, bytes)
+            .expect("sparse writes cannot fault");
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] if any page is unmapped.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Result<Vec<u8>, ExceptionCause> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut mem = Memory::new();
+        mem.write_u8(0x1000, 0xAB).unwrap();
+        mem.write_u16(0x1010, 0xBEEF).unwrap();
+        mem.write_u32(0x1020, 0xDEAD_BEEF).unwrap();
+        mem.write_u64(0x1030, 0x0123_4567_89AB_CDEF).unwrap();
+        assert_eq!(mem.read_u8(0x1000).unwrap(), 0xAB);
+        assert_eq!(mem.read_u16(0x1010).unwrap(), 0xBEEF);
+        assert_eq!(mem.read_u32(0x1020).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(mem.read_u64(0x1030).unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn unmapped_reads_fault() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(0).unwrap_err(), ExceptionCause::LoadAccessFault);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1FFC, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_u64(0x1FFC).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn mapped_region_reads_zero() {
+        let mut mem = Memory::new();
+        mem.map_region(0x4000, 0x2000);
+        assert_eq!(mem.read_u64(0x4FF8).unwrap(), 0);
+        assert_eq!(mem.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn write_slice_and_read_vec() {
+        let mut mem = Memory::new();
+        mem.write_slice(0x9000, b"regvault");
+        assert_eq!(mem.read_vec(0x9000, 8).unwrap(), b"regvault");
+    }
+
+    #[test]
+    fn map_region_zero_len_is_noop() {
+        let mut mem = Memory::new();
+        mem.map_region(0x5000, 0);
+        assert_eq!(mem.mapped_pages(), 0);
+    }
+}

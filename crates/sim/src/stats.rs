@@ -1,0 +1,98 @@
+//! Execution statistics.
+
+use std::collections::BTreeMap;
+
+/// Coarse instruction classification used for cycle accounting and
+/// instruction-mix reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum InsnClass {
+    Alu,
+    Branch,
+    Jump,
+    Load,
+    Store,
+    Mul,
+    Div,
+    Csr,
+    Crypto,
+    System,
+}
+
+/// Counters accumulated while the machine runs.
+///
+/// # Examples
+///
+/// ```
+/// use regvault_sim::Stats;
+///
+/// let stats = Stats::default();
+/// assert_eq!(stats.cycles, 0);
+/// assert_eq!(stats.instret, 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Retired instructions by class.
+    pub class_counts: BTreeMap<InsnClass, u64>,
+    /// Executed `cre` instructions.
+    pub encrypts: u64,
+    /// Executed `crd` instructions.
+    pub decrypts: u64,
+    /// Integrity-check failures raised by `crd`.
+    pub integrity_failures: u64,
+    /// Architectural exceptions delivered.
+    pub exceptions: u64,
+    /// Timer interrupts delivered.
+    pub timer_interrupts: u64,
+}
+
+impl Stats {
+    /// Records one retired instruction of `class` costing `cycles`.
+    pub fn retire(&mut self, class: InsnClass, cycles: u64) {
+        self.cycles += cycles;
+        self.instret += 1;
+        *self.class_counts.entry(class).or_insert(0) += 1;
+    }
+
+    /// Count of retired instructions in `class`.
+    #[must_use]
+    pub fn class_count(&self, class: InsnClass) -> u64 {
+        self.class_counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Fraction of retired instructions that were RegVault crypto ops.
+    #[must_use]
+    pub fn crypto_fraction(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            self.class_count(InsnClass::Crypto) as f64 / self.instret as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_accumulates() {
+        let mut stats = Stats::default();
+        stats.retire(InsnClass::Alu, 1);
+        stats.retire(InsnClass::Crypto, 3);
+        stats.retire(InsnClass::Crypto, 1);
+        assert_eq!(stats.cycles, 5);
+        assert_eq!(stats.instret, 3);
+        assert_eq!(stats.class_count(InsnClass::Crypto), 2);
+        assert!((stats.crypto_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fraction() {
+        assert_eq!(Stats::default().crypto_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Optional execution tracing.
+//!
+//! A bounded ring buffer of the most recently executed instructions, for
+//! debugging guest programs and inspecting what the instrumentation
+//! actually executes. Disabled by default (zero overhead beyond a branch).
+
+use regvault_isa::Insn;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Cycle count *before* the instruction executed.
+    pub cycle: u64,
+}
+
+impl TraceEntry {
+    /// Renders like `cycle 001234  0x80000010: creak a0, a0[7:0], t1`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!("cycle {:06}  {:#010x}: {}", self.cycle, self.pc, self.insn)
+    }
+}
+
+/// Fixed-capacity ring buffer of executed instructions.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    next: usize,
+    wrapped: bool,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding the last `capacity` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            wrapped: false,
+        }
+    }
+
+    /// Records one executed instruction.
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.entries[self.next] = entry;
+            self.wrapped = true;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// The recorded entries, oldest first.
+    #[must_use]
+    pub fn entries(&self) -> Vec<&TraceEntry> {
+        if self.wrapped {
+            self.entries[self.next..]
+                .iter()
+                .chain(self.entries[..self.next].iter())
+                .collect()
+        } else {
+            self.entries.iter().collect()
+        }
+    }
+
+    /// Number of entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regvault_isa::{AluOp, Reg};
+
+    fn entry(pc: u64) -> TraceEntry {
+        TraceEntry {
+            pc,
+            insn: Insn::OpImm {
+                op: AluOp::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 1,
+            },
+            cycle: pc,
+        }
+    }
+
+    #[test]
+    fn keeps_the_last_n_in_order() {
+        let mut buffer = TraceBuffer::new(3);
+        for pc in 0..5 {
+            buffer.record(entry(pc * 4));
+        }
+        let pcs: Vec<u64> = buffer.entries().iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![8, 12, 16]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut buffer = TraceBuffer::new(10);
+        buffer.record(entry(0));
+        buffer.record(entry(4));
+        assert_eq!(buffer.len(), 2);
+        let pcs: Vec<u64> = buffer.entries().iter().map(|e| e.pc).collect();
+        assert_eq!(pcs, vec![0, 4]);
+    }
+
+    #[test]
+    fn render_is_informative() {
+        let text = entry(0x8000_0000).render();
+        assert!(text.contains("0x80000000"));
+        assert!(text.contains("addi a0, a0, 1"));
+    }
+}

@@ -1,0 +1,386 @@
+//! End-to-end guest-program tests reproducing the usage patterns of
+//! Figure 2 of the RegVault paper, plus the privilege rules of §2.3.1.
+
+use regvault_isa::{asm, KeyReg, Reg};
+use regvault_sim::{Event, ExceptionCause, Machine, MachineConfig, Privilege};
+
+fn machine_with_keys() -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
+    machine.write_key_register(KeyReg::B, 0x3333, 0x4444).unwrap();
+    machine
+}
+
+fn run(machine: &mut Machine, source: &str) {
+    let program = asm::assemble(source).expect("assembles");
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine.run_until_break(100_000).expect("runs to ebreak");
+}
+
+#[test]
+fn figure_2a_pointer_randomization() {
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x9000
+         li   s0, 0x9000
+         li   a0, 0xffffffc012345678   # a kernel pointer
+         creak a0, a0[7:0], t1
+         sd   a0, 0(s0)
+         ld   a1, 0(s0)
+         crdak a1, a1, t1, [7:0]
+         ebreak",
+    );
+    assert_eq!(machine.hart().reg(Reg::A1), 0xFFFF_FFC0_1234_5678);
+    let in_memory = machine.memory().read_u64(0x9000).unwrap();
+    assert_ne!(in_memory, 0xFFFF_FFC0_1234_5678, "memory copy is randomized");
+}
+
+#[test]
+fn figure_2b_32bit_with_integrity() {
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x9100
+         li   s0, 0x9100
+         li   a0, 1000                 # a uid-like 32-bit value
+         creak a0, a0[3:0], t1
+         sd   a0, 0(s0)
+         ld   a1, 0(s0)
+         crdak a1, a1, t1, [3:0]
+         ebreak",
+    );
+    assert_eq!(machine.hart().reg(Reg::A1), 1000);
+}
+
+#[test]
+fn figure_2b_corruption_raises_integrity_exception() {
+    let mut machine = machine_with_keys();
+    // Store the encrypted value, then corrupt it in memory (the attacker's
+    // arbitrary-write primitive), then try to decrypt.
+    let program = asm::assemble(
+        "li   t1, 0x9200
+         li   s0, 0x9200
+         li   a0, 1000
+         creak a0, a0[3:0], t1
+         sd   a0, 0(s0)
+         ebreak",
+    )
+    .unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine.run_until_break(10_000).unwrap();
+
+    let encrypted = machine.memory().read_u64(0x9200).unwrap();
+    machine.memory_mut().write_u64(0x9200, encrypted ^ 0xFF).unwrap();
+
+    let attack = asm::assemble(
+        "li   t1, 0x9200
+         li   s0, 0x9200
+         ld   a1, 0(s0)
+         crdak a1, a1, t1, [3:0]
+         ebreak",
+    )
+    .unwrap();
+    machine.load_program(0x8100_0000, attack.bytes());
+    machine.hart_mut().set_pc(0x8100_0000);
+    let event = machine.run(10_000).unwrap();
+    assert!(matches!(
+        event,
+        Event::Exception {
+            cause: ExceptionCause::IntegrityCheckFailure,
+            ..
+        }
+    ));
+    assert_eq!(machine.stats().integrity_failures, 1);
+}
+
+#[test]
+fn figure_2c_64bit_split_randomization() {
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x9300
+         li   t2, 0x9308
+         li   s0, 0x9300
+         li   a0, 0x1122334455667788
+         creak a1, a0[3:0], t1         # encrypt low 4 bytes
+         creak a2, a0[7:4], t2         # encrypt high 4 bytes
+         sd   a1, 0(s0)
+         sd   a2, 8(s0)
+         ld   a1, 0(s0)
+         ld   a2, 8(s0)
+         crdak a1, a1, t1, [3:0]
+         crdak a2, a2, t2, [7:4]
+         or   a0, a1, a2               # recover the original 64-bit data
+         ebreak",
+    );
+    assert_eq!(machine.hart().reg(Reg::A0), 0x1122_3344_5566_7788);
+}
+
+#[test]
+fn spatial_substitution_is_detected_for_32bit_data() {
+    // Encrypt the same 32-bit value at two addresses; swapping the
+    // ciphertexts must fail the integrity check because the tweak differs.
+    let mut machine = machine_with_keys();
+    let program = asm::assemble(
+        "li   t1, 0x9400
+         li   t2, 0x9408
+         li   a0, 7
+         li   a1, 9
+         creak a0, a0[3:0], t1
+         creak a1, a1[3:0], t2
+         li   s0, 0x9400
+         sd   a0, 0(s0)
+         sd   a1, 8(s0)
+         ebreak",
+    )
+    .unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine.run_until_break(10_000).unwrap();
+
+    // Attacker swaps the two encrypted values.
+    let low = machine.memory().read_u64(0x9400).unwrap();
+    let high = machine.memory().read_u64(0x9408).unwrap();
+    machine.memory_mut().write_u64(0x9400, high).unwrap();
+    machine.memory_mut().write_u64(0x9408, low).unwrap();
+
+    let victim = asm::assemble(
+        "li   t1, 0x9400
+         li   s0, 0x9400
+         ld   a0, 0(s0)
+         crdak a0, a0, t1, [3:0]
+         ebreak",
+    )
+    .unwrap();
+    machine.load_program(0x8100_0000, victim.bytes());
+    machine.hart_mut().set_pc(0x8100_0000);
+    let event = machine.run(10_000).unwrap();
+    assert!(matches!(
+        event,
+        Event::Exception {
+            cause: ExceptionCause::IntegrityCheckFailure,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn cre_is_illegal_in_user_mode() {
+    let mut machine = machine_with_keys();
+    let program = asm::assemble(
+        "li t1, 0x9500
+         creak a0, a0[7:0], t1
+         ebreak",
+    )
+    .unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine.hart_mut().set_privilege(Privilege::User);
+    let event = machine.run(100).unwrap();
+    assert!(matches!(
+        event,
+        Event::Exception {
+            cause: ExceptionCause::IllegalInstruction,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn key_csrs_are_write_only() {
+    let mut machine = machine_with_keys();
+    // Reading a key CSR must fault even in kernel mode.
+    let program = asm::assemble("csrr a0, key_a_lo\nebreak").unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    let event = machine.run(100).unwrap();
+    assert!(matches!(
+        event,
+        Event::Exception {
+            cause: ExceptionCause::IllegalInstruction,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn master_key_csr_rejects_writes() {
+    let mut machine = machine_with_keys();
+    let program = asm::assemble("csrw key_m_lo, a0\nebreak").unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    let event = machine.run(100).unwrap();
+    assert!(matches!(
+        event,
+        Event::Exception {
+            cause: ExceptionCause::IllegalInstruction,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn key_csr_write_from_kernel_works_and_changes_ciphertexts() {
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x9600
+         li   a0, 42
+         creak a3, a0[7:0], t1     # ciphertext under the old key
+         li   a4, 0xabcdef
+         csrw key_a_lo, a4
+         csrw key_a_hi, a4
+         creak a5, a0[7:0], t1     # ciphertext under the new key
+         ebreak",
+    );
+    assert_ne!(machine.hart().reg(Reg::A3), machine.hart().reg(Reg::A5));
+}
+
+#[test]
+fn master_key_is_usable_for_wrapping_via_cre() {
+    // The kernel cannot read/write the master key, but CAN use it in
+    // cre/crd to wrap general keys it stores in memory (§2.3.1).
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x1           # tweak: thread id
+         li   a0, 0x123456789
+         cremk a1, a0[7:0], t1  # wrap under master key
+         crdmk a2, a1, t1, [7:0]
+         ebreak",
+    );
+    assert_ne!(machine.hart().reg(Reg::A1), 0x1_2345_6789);
+    assert_eq!(machine.hart().reg(Reg::A2), 0x1_2345_6789);
+}
+
+#[test]
+fn clb_accelerates_repeated_operations() {
+    let mut machine = machine_with_keys();
+    run(
+        &mut machine,
+        "li   t1, 0x9700
+         li   a0, 5
+         li   t3, 0          # counter
+         li   t4, 100
+        loop:
+         creak a1, a0[7:0], t1
+         crdak a2, a1, t1, [7:0]
+         addi t3, t3, 1
+         blt  t3, t4, loop
+         ebreak",
+    );
+    let stats = machine.engine().clb().stats();
+    // First encrypt misses; everything afterwards hits.
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 199);
+}
+
+#[test]
+fn clb_zero_configuration_never_hits() {
+    let mut machine = Machine::new(MachineConfig {
+        clb_entries: 0,
+        ..MachineConfig::default()
+    });
+    machine.write_key_register(KeyReg::A, 1, 2).unwrap();
+    run(
+        &mut machine,
+        "li   t1, 0x9800
+         li   a0, 5
+         creak a1, a0[7:0], t1
+         crdak a2, a1, t1, [7:0]
+         ebreak",
+    );
+    let stats = machine.engine().clb().stats();
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(machine.hart().reg(Reg::A2), 5);
+}
+
+#[test]
+fn crypto_cycles_reflect_clb_hits() {
+    // Same program with and without CLB: the CLB version must be faster.
+    let source = "li   t1, 0x9900
+         li   a0, 5
+         li   t3, 0
+         li   t4, 50
+        loop:
+         creak a1, a0[7:0], t1
+         crdak a2, a1, t1, [7:0]
+         addi t3, t3, 1
+         blt  t3, t4, loop
+         ebreak";
+    let mut with_clb = machine_with_keys();
+    run(&mut with_clb, source);
+    let mut without_clb = Machine::new(MachineConfig {
+        clb_entries: 0,
+        ..MachineConfig::default()
+    });
+    without_clb.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
+    run(&mut without_clb, source);
+    assert!(with_clb.stats().cycles < without_clb.stats().cycles);
+}
+
+#[test]
+fn ecall_event_reports_privilege() {
+    let mut machine = machine_with_keys();
+    let program = asm::assemble("ecall\nebreak").unwrap();
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.hart_mut().set_pc(0x8000_0000);
+    machine.hart_mut().set_privilege(Privilege::User);
+    let event = machine.run(100).unwrap();
+    assert_eq!(
+        event,
+        Event::Ecall {
+            from: Privilege::User
+        }
+    );
+    // Kernel services the call and resumes after the ecall.
+    machine.advance_pc();
+    assert!(matches!(machine.run(100).unwrap(), Event::Break));
+}
+
+#[test]
+fn fibonacci_computes_correctly() {
+    // A plain computational program to sanity-check the core ISA semantics.
+    let mut machine = Machine::new(MachineConfig::default());
+    run(
+        &mut machine,
+        "li  a0, 0
+         li  a1, 1
+         li  t0, 0
+         li  t1, 30
+        loop:
+         add  t2, a0, a1
+         mv   a0, a1
+         mv   a1, t2
+         addi t0, t0, 1
+         blt  t0, t1, loop
+         ebreak",
+    );
+    // fib: after 30 steps a0 = fib(30) = 832040.
+    assert_eq!(machine.hart().reg(Reg::A0), 832_040);
+}
+
+#[test]
+fn tracing_captures_executed_instructions() {
+    let mut machine = machine_with_keys();
+    machine.enable_trace(4);
+    run(
+        &mut machine,
+        "li   t1, 0x9000
+         li   a0, 5
+         creak a1, a0[7:0], t1
+         ebreak",
+    );
+    let trace = machine.trace().expect("tracing enabled");
+    let rendered: Vec<String> = trace.entries().iter().map(|e| e.render()).collect();
+    assert!(
+        rendered.iter().any(|l| l.contains("creak a1, a0[7:0], t1")),
+        "{rendered:?}"
+    );
+    // Ring capacity bounds the record count.
+    assert!(trace.len() <= 4);
+}

@@ -1,0 +1,310 @@
+//! LMbench-shaped latency probes (Figure 5b of the paper).
+//!
+//! LMbench measures the latency of individual kernel entry points in tight
+//! loops — the most syscall-dense workloads in the evaluation, and hence
+//! the ones where RegVault's kernel-side cryptography is most visible
+//! (the paper reports 2.5 % average overhead for full protection).
+
+use regvault_isa::asm;
+
+use crate::Workload;
+
+/// The ten LMbench-shaped probes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lmbench {
+    /// `lat_syscall null`.
+    Null,
+    /// `lat_syscall read` (1-byte file read).
+    Read,
+    /// `lat_syscall write` (1-byte file write).
+    Write,
+    /// `lat_syscall stat`.
+    Stat,
+    /// `lat_syscall open` (open + close).
+    Open,
+    /// `lat_pipe` (1-byte ping through a pipe).
+    Pipe,
+    /// `lat_ctx` (yield pairs).
+    Ctx,
+    /// `lat_proc` (thread creation).
+    Proc,
+    /// `lat_mmap` (map + unmap a page).
+    Mmap,
+    /// `lat_sig` (signal delivery: kill(self) + handler + sigreturn).
+    Sig,
+}
+
+impl Lmbench {
+    /// All probes in figure order.
+    pub const ALL: [Lmbench; 10] = [
+        Lmbench::Null,
+        Lmbench::Read,
+        Lmbench::Write,
+        Lmbench::Stat,
+        Lmbench::Open,
+        Lmbench::Pipe,
+        Lmbench::Ctx,
+        Lmbench::Proc,
+        Lmbench::Mmap,
+        Lmbench::Sig,
+    ];
+}
+
+/// Open "data" into `s3`, leaving other callee-saved registers alone.
+const OPEN_DATA: &str = "li   t0, 0x310000
+         sd   zero, 0(t0)       # touch the 1-byte source buffer page
+         li   t0, 0x300000
+         li   t1, 0x61746164
+         sw   t1, 0(t0)
+         li   a0, 0x300000
+         li   a1, 4
+         li   a7, 6
+         ecall
+         mv   s3, a0";
+
+impl Workload for Lmbench {
+    fn name(&self) -> &'static str {
+        match self {
+            Lmbench::Null => "null",
+            Lmbench::Read => "read",
+            Lmbench::Write => "write",
+            Lmbench::Stat => "stat",
+            Lmbench::Open => "open",
+            Lmbench::Pipe => "lat_pipe",
+            Lmbench::Ctx => "lat_ctx",
+            Lmbench::Proc => "lat_proc",
+            Lmbench::Mmap => "lat_mmap",
+            Lmbench::Sig => "lat_sig",
+        }
+    }
+
+    fn program(&self) -> (Vec<u8>, u64) {
+        let source = match self {
+            Lmbench::Null => "li   s1, 0
+                 li   s2, 1500
+                loop:
+                 li   a7, 0
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            Lmbench::Read => format!(
+                "{OPEN_DATA}
+                 # seed one byte so reads return data
+                 mv   a0, s3
+                 li   a1, 0x310000
+                 li   a2, 1
+                 li   a7, 9
+                 ecall
+                 li   s1, 0
+                 li   s2, 800
+                loop:
+                 mv   a0, s3
+                 li   a1, 0
+                 li   a7, 11        # seek 0
+                 ecall
+                 mv   a0, s3
+                 li   a1, 0x320000
+                 li   a2, 1
+                 li   a7, 8         # read 1 byte
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+            ),
+            Lmbench::Write => format!(
+                "{OPEN_DATA}
+                 li   s1, 0
+                 li   s2, 800
+                loop:
+                 mv   a0, s3
+                 li   a1, 0
+                 li   a7, 11        # seek 0
+                 ecall
+                 mv   a0, s3
+                 li   a1, 0x310000
+                 li   a2, 1
+                 li   a7, 9         # write 1 byte
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+            ),
+            Lmbench::Stat => format!(
+                "{OPEN_DATA}
+                 li   s1, 0
+                 li   s2, 800
+                loop:
+                 mv   a0, s3
+                 li   a7, 10        # stat
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+            ),
+            Lmbench::Open => "li   t0, 0x300000
+                 li   t1, 0x61746164
+                 sw   t1, 0(t0)
+                 li   s1, 0
+                 li   s2, 400
+                loop:
+                 li   a0, 0x300000
+                 li   a1, 4
+                 li   a7, 6         # open
+                 ecall
+                 li   a7, 7         # close (fd already in a0)
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            Lmbench::Pipe => "li   t0, 0x300000
+                 sd   zero, 0(t0)
+                 li   a7, 12
+                 ecall
+                 srli s3, a0, 32
+                 li   t0, 0xffffffff
+                 and  s4, a0, t0
+                 li   s1, 0
+                 li   s2, 500
+                loop:
+                 mv   a0, s4
+                 li   a1, 0x300000
+                 li   a2, 1
+                 li   a7, 9         # 1-byte write
+                 ecall
+                 mv   a0, s3
+                 li   a1, 0x310000
+                 li   a2, 1
+                 li   a7, 8         # 1-byte read
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            Lmbench::Ctx => "main:
+                 la   a0, worker
+                 li   a7, 18
+                 ecall
+                 li   s1, 0
+                 li   s2, 300
+                loop:
+                 li   a7, 13
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak
+                worker:
+                 li   a7, 13
+                 ecall
+                 j    worker"
+                .to_owned(),
+            Lmbench::Proc => "main:
+                 li   s1, 0
+                 li   s2, 120
+                loop:
+                 la   a0, child
+                 li   a7, 18        # spawn
+                 ecall
+                 li   a7, 13        # yield: let the child run and exit
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak
+                child:
+                 li   a0, 0
+                 li   a7, 23        # exit
+                 ecall
+                 j    child         # unreachable"
+                .to_owned(),
+            Lmbench::Mmap => "li   s3, 0x50000000
+                 li   s1, 0
+                 li   s2, 300
+                loop:
+                 mv   a0, s3
+                 li   a7, 16        # mmap
+                 ecall
+                 mv   a0, s3
+                 li   a7, 17        # munmap
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            Lmbench::Sig => "main:
+                 la   a1, handler
+                 li   a0, 0
+                 li   a7, 20        # sigaction(0, handler)
+                 ecall
+                 li   s1, 0
+                 li   s2, 300
+                loop:
+                 li   a0, 0
+                 li   a1, 0
+                 li   a7, 21        # kill(self, 0) -> handler runs on return
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s3        # handler increments s3
+                 ebreak
+                handler:
+                 addi s3, s3, 1
+                 li   a7, 22        # sigreturn
+                 ecall
+                 j    handler"
+                .to_owned(),
+        };
+        let program = asm::assemble(&source).expect("probe assembles");
+        let entry = program.symbol("main").unwrap_or(0);
+        (program.bytes().to_vec(), entry)
+    }
+
+    fn expected(&self) -> Option<u64> {
+        Some(match self {
+            Lmbench::Null => 1500,
+            Lmbench::Read | Lmbench::Write | Lmbench::Stat => 800,
+            Lmbench::Open => 400,
+            Lmbench::Pipe => 500,
+            Lmbench::Ctx => 300,
+            Lmbench::Proc => 120,
+            Lmbench::Mmap => 300,
+            Lmbench::Sig => 300,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use regvault_kernel::ProtectionConfig;
+
+    #[test]
+    fn every_probe_runs_on_baseline_and_full() {
+        for item in Lmbench::ALL {
+            for cfg in [ProtectionConfig::off(), ProtectionConfig::full()] {
+                let m = measure(&item, cfg, 8).unwrap_or_else(|_| panic!("{}", item.name()));
+                assert_eq!(Some(m.result), item.expected(), "{}", item.name());
+            }
+        }
+    }
+
+    #[test]
+    fn full_protection_costs_more_on_the_null_syscall() {
+        let base = measure(&Lmbench::Null, ProtectionConfig::off(), 8).unwrap();
+        let full = measure(&Lmbench::Null, ProtectionConfig::full(), 8).unwrap();
+        assert!(full.cycles > base.cycles);
+        let overhead = full.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(overhead < 0.20, "null overhead {overhead:.4} out of range");
+    }
+}

@@ -1,0 +1,932 @@
+//! SPEC CPU2017 intspeed-shaped compute workloads (Figure 5c).
+//!
+//! Ten programs modelled on the intspeed suite's computational kernels —
+//! string hashing (perlbench), expression folding (gcc), graph relaxation
+//! (mcf), event queues (omnetpp), tree transforms (xalancbmk), block SAD
+//! (x264), bitboard scans (deepsjeng), playout accumulation (leela),
+//! backtracking enumeration (exchange2) and match finding (xz). They are
+//! built through the `regvault-compiler` pipeline (as ordinary *userspace*
+//! programs: kernel data randomization never instruments them, exactly as
+//! SPEC binaries are unmodified in the paper) and spend their cycles in
+//! user mode — so RegVault's overhead shows up only through timer
+//! interrupts, reproducing the paper's close-to-zero Figure 5c result.
+//!
+//! Every program computes a checksum that is mirrored by a pure-Rust
+//! reference implementation, giving differential coverage of the compiler,
+//! register allocator and simulator on real control flow.
+
+use regvault_compiler::prelude::*;
+use regvault_compiler::{compile, ir::MemTy};
+
+use crate::Workload;
+
+const LCG_A: i64 = 6364136223846793005;
+const LCG_C: i64 = 1442695040888963407;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(LCG_A as u64)
+        .wrapping_add(LCG_C as u64);
+    *state
+}
+
+/// `for i in 0..count { body(f, i) }`
+fn counted_loop(
+    f: &mut FunctionBuilder,
+    count: i64,
+    body: impl FnOnce(&mut FunctionBuilder, VReg),
+) {
+    let i = f.konst(0);
+    let n = f.konst(count);
+    let head = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.br(head);
+    f.switch_to(head);
+    let cond = f.bin(AluOp::Slt, i, n);
+    f.cond_br(cond, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f, i);
+    f.assign_bin_imm(AluOp::Add, i, i, 1);
+    f.br(head);
+    f.switch_to(exit);
+}
+
+/// Emits an LCG step updating `state` in place.
+fn lcg_step(f: &mut FunctionBuilder, state: VReg) {
+    let a = f.konst(LCG_A);
+    let c = f.konst(LCG_C);
+    f.assign_bin(AluOp::Mul, state, state, a);
+    f.assign_bin(AluOp::Add, state, state, c);
+}
+
+/// The ten intspeed-shaped programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Spec {
+    Perlbench,
+    Gcc,
+    Mcf,
+    Omnetpp,
+    Xalancbmk,
+    X264,
+    Deepsjeng,
+    Leela,
+    Exchange2,
+    Xz,
+}
+
+impl Spec {
+    /// All ten programs in suite order.
+    pub const ALL: [Spec; 10] = [
+        Spec::Perlbench,
+        Spec::Gcc,
+        Spec::Mcf,
+        Spec::Omnetpp,
+        Spec::Xalancbmk,
+        Spec::X264,
+        Spec::Deepsjeng,
+        Spec::Leela,
+        Spec::Exchange2,
+        Spec::Xz,
+    ];
+
+    /// Builds the program's IR module.
+    #[must_use]
+    pub fn module(self) -> Module {
+        match self {
+            Spec::Perlbench => perlbench(),
+            Spec::Gcc => gcc(),
+            Spec::Mcf => mcf(),
+            Spec::Omnetpp => omnetpp(),
+            Spec::Xalancbmk => xalancbmk(),
+            Spec::X264 => x264(),
+            Spec::Deepsjeng => deepsjeng(),
+            Spec::Leela => leela(),
+            Spec::Exchange2 => exchange2(),
+            Spec::Xz => xz(),
+        }
+    }
+
+    /// The pure-Rust mirror of the computation (for differential checks).
+    #[must_use]
+    pub fn reference(self) -> u64 {
+        match self {
+            Spec::Perlbench => perlbench_ref(),
+            Spec::Gcc => gcc_ref(),
+            Spec::Mcf => mcf_ref(),
+            Spec::Omnetpp => omnetpp_ref(),
+            Spec::Xalancbmk => xalancbmk_ref(),
+            Spec::X264 => x264_ref(),
+            Spec::Deepsjeng => deepsjeng_ref(),
+            Spec::Leela => leela_ref(),
+            Spec::Exchange2 => exchange2_ref(),
+            Spec::Xz => xz_ref(),
+        }
+    }
+}
+
+impl Workload for Spec {
+    fn name(&self) -> &'static str {
+        match self {
+            Spec::Perlbench => "perlbench",
+            Spec::Gcc => "gcc",
+            Spec::Mcf => "mcf",
+            Spec::Omnetpp => "omnetpp",
+            Spec::Xalancbmk => "xalancbmk",
+            Spec::X264 => "x264",
+            Spec::Deepsjeng => "deepsjeng",
+            Spec::Leela => "leela",
+            Spec::Exchange2 => "exchange2",
+            Spec::Xz => "xz",
+        }
+    }
+
+    fn program(&self) -> (Vec<u8>, u64) {
+        // Userspace binaries are not instrumented (the RegVault compiler
+        // would reject cre/crd in user mode anyway).
+        let compiled = compile(&self.module(), &CompileConfig::none()).expect("spec compiles");
+        let entry = compiled.entry_offset().expect("has main");
+        (compiled.bytes().to_vec(), entry)
+    }
+
+    fn expected(&self) -> Option<u64> {
+        Some(self.reference() & 0xFFFF_FFFF)
+    }
+}
+
+/// Truncate a checksum for return through `a0` comparisons.
+fn finish(f: &mut FunctionBuilder, value: VReg) {
+    let mask = f.konst(0xFFFF_FFFF);
+    let out = f.bin(AluOp::And, value, mask);
+    f.ret(Some(out));
+}
+
+// --- 600.perlbench: string hashing ------------------------------------
+
+const PERL_LEN: i64 = 2048;
+const PERL_PASSES: i64 = 4;
+
+fn perlbench() -> Module {
+    let mut module = Module::new("perlbench");
+    module.add_global("buf", PERL_LEN as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let buf = f.global_addr("buf");
+    let state = f.konst(9);
+    counted_loop(&mut f, PERL_LEN, |f, i| {
+        lcg_step(f, state);
+        let byte = f.bin_imm(AluOp::Srl, state, 33);
+        let addr = f.bin(AluOp::Add, buf, i);
+        f.store(addr, byte, MemTy::U8);
+    });
+    let hash = f.konst(5381);
+    counted_loop(&mut f, PERL_PASSES, |f, _pass| {
+        counted_loop(f, PERL_LEN, |f, i| {
+            let addr = f.bin(AluOp::Add, buf, i);
+            let byte = f.load(addr, MemTy::U8);
+            let h33 = f.bin_imm(AluOp::Sll, hash, 5);
+            f.assign_bin(AluOp::Add, hash, hash, h33);
+            f.assign_bin(AluOp::Xor, hash, hash, byte);
+        });
+    });
+    finish(&mut f, hash);
+    module.add_function(f.build());
+    module
+}
+
+fn perlbench_ref() -> u64 {
+    let mut state = 9u64;
+    let buf: Vec<u8> = (0..PERL_LEN).map(|_| (lcg(&mut state) >> 33) as u8).collect();
+    let mut hash = 5381u64;
+    for _ in 0..PERL_PASSES {
+        for &b in &buf {
+            hash = hash.wrapping_add(hash << 5) ^ u64::from(b);
+        }
+    }
+    hash
+}
+
+// --- 602.gcc: expression folding over an array ------------------------
+
+const GCC_LEN: i64 = 512;
+const GCC_PASSES: i64 = 8;
+
+fn gcc() -> Module {
+    let mut module = Module::new("gcc");
+    module.add_global("arr", (GCC_LEN * 8) as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let arr = f.global_addr("arr");
+    let state = f.konst(42);
+    counted_loop(&mut f, GCC_LEN, |f, i| {
+        lcg_step(f, state);
+        let off = f.bin_imm(AluOp::Sll, i, 3);
+        let addr = f.bin(AluOp::Add, arr, off);
+        f.store(addr, state, MemTy::I64);
+    });
+    let acc = f.konst(1);
+    counted_loop(&mut f, GCC_PASSES, |f, _| {
+        counted_loop(f, GCC_LEN, |f, i| {
+            let off = f.bin_imm(AluOp::Sll, i, 3);
+            let addr = f.bin(AluOp::Add, arr, off);
+            let v = f.load(addr, MemTy::I64);
+            let sel = f.bin_imm(AluOp::And, i, 3);
+            // op cycles by i & 3: +, ^, *|1, -
+            let is0 = f.bin_imm(AluOp::Sltu, sel, 1);
+            let zero = f.konst(0);
+            let one = f.konst(1);
+            let b_add = f.new_block();
+            let b_not0 = f.new_block();
+            let b_xor = f.new_block();
+            let b_not1 = f.new_block();
+            let b_mul = f.new_block();
+            let b_sub = f.new_block();
+            let done = f.new_block();
+            f.cond_br(is0, b_add, b_not0);
+            f.switch_to(b_add);
+            f.assign_bin(AluOp::Add, acc, acc, v);
+            f.br(done);
+            f.switch_to(b_not0);
+            let is1 = f.bin_imm(AluOp::Sltu, sel, 2);
+            f.cond_br(is1, b_xor, b_not1);
+            f.switch_to(b_xor);
+            f.assign_bin(AluOp::Xor, acc, acc, v);
+            f.br(done);
+            f.switch_to(b_not1);
+            let is2 = f.bin_imm(AluOp::Sltu, sel, 3);
+            f.cond_br(is2, b_mul, b_sub);
+            f.switch_to(b_mul);
+            let odd = f.bin(AluOp::Or, v, one);
+            f.assign_bin(AluOp::Mul, acc, acc, odd);
+            f.br(done);
+            f.switch_to(b_sub);
+            f.assign_bin(AluOp::Sub, acc, acc, v);
+            f.br(done);
+            f.switch_to(done);
+            let _ = zero;
+        });
+    });
+    finish(&mut f, acc);
+    module.add_function(f.build());
+    module
+}
+
+fn gcc_ref() -> u64 {
+    let mut state = 42u64;
+    let arr: Vec<u64> = (0..GCC_LEN).map(|_| lcg(&mut state)).collect();
+    let mut acc = 1u64;
+    for _ in 0..GCC_PASSES {
+        for (i, &v) in arr.iter().enumerate() {
+            match i & 3 {
+                0 => acc = acc.wrapping_add(v),
+                1 => acc ^= v,
+                2 => acc = acc.wrapping_mul(v | 1),
+                _ => acc = acc.wrapping_sub(v),
+            }
+        }
+    }
+    acc
+}
+
+// --- 605.mcf: shortest-path relaxation ---------------------------------
+
+const MCF_NODES: i64 = 256;
+const MCF_PASSES: i64 = 40;
+
+fn mcf() -> Module {
+    let mut module = Module::new("mcf");
+    module.add_global("dist", (MCF_NODES * 8) as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let dist = f.global_addr("dist");
+    counted_loop(&mut f, MCF_NODES, |f, i| {
+        let k = f.konst(1000);
+        let v = f.bin(AluOp::Mul, i, k);
+        let v7 = f.bin_imm(AluOp::Add, v, 7);
+        let off = f.bin_imm(AluOp::Sll, i, 3);
+        let addr = f.bin(AluOp::Add, dist, off);
+        f.store(addr, v7, MemTy::I64);
+    });
+    counted_loop(&mut f, MCF_PASSES, |f, _| {
+        counted_loop(f, MCF_NODES, |f, i| {
+            // j = (i*7 + 1) % nodes ; w = i % 13 + 1
+            let seven = f.konst(7);
+            let i7 = f.bin(AluOp::Mul, i, seven);
+            let j_raw = f.bin_imm(AluOp::Add, i7, 1);
+            let nodes = f.konst(MCF_NODES);
+            let j = f.bin(AluOp::Remu, j_raw, nodes);
+            let thirteen = f.konst(13);
+            let w_raw = f.bin(AluOp::Remu, i, thirteen);
+            let w = f.bin_imm(AluOp::Add, w_raw, 1);
+            let ioff = f.bin_imm(AluOp::Sll, i, 3);
+            let iaddr = f.bin(AluOp::Add, dist, ioff);
+            let di = f.load(iaddr, MemTy::I64);
+            let joff = f.bin_imm(AluOp::Sll, j, 3);
+            let jaddr = f.bin(AluOp::Add, dist, joff);
+            let dj = f.load(jaddr, MemTy::I64);
+            let cand = f.bin(AluOp::Add, di, w);
+            let better = f.bin(AluOp::Sltu, cand, dj);
+            let relax = f.new_block();
+            let done = f.new_block();
+            f.cond_br(better, relax, done);
+            f.switch_to(relax);
+            f.store(jaddr, cand, MemTy::I64);
+            f.br(done);
+            f.switch_to(done);
+        });
+    });
+    let sum = f.konst(0);
+    counted_loop(&mut f, MCF_NODES, |f, i| {
+        let off = f.bin_imm(AluOp::Sll, i, 3);
+        let addr = f.bin(AluOp::Add, dist, off);
+        let v = f.load(addr, MemTy::I64);
+        f.assign_bin(AluOp::Add, sum, sum, v);
+    });
+    finish(&mut f, sum);
+    module.add_function(f.build());
+    module
+}
+
+fn mcf_ref() -> u64 {
+    let mut dist: Vec<u64> = (0..MCF_NODES as u64).map(|i| i * 1000 + 7).collect();
+    for _ in 0..MCF_PASSES {
+        for i in 0..MCF_NODES as usize {
+            let j = (i * 7 + 1) % MCF_NODES as usize;
+            let w = (i as u64 % 13) + 1;
+            let cand = dist[i].wrapping_add(w);
+            if cand < dist[j] {
+                dist[j] = cand;
+            }
+        }
+    }
+    dist.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+}
+
+// --- 620.omnetpp: event-queue (binary heap) ----------------------------
+
+const HEAP_CAP: i64 = 128;
+const HEAP_EVENTS: i64 = 1200;
+
+fn omnetpp() -> Module {
+    let mut module = Module::new("omnetpp");
+    module.add_global("heap", (HEAP_CAP * 8) as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let heap = f.global_addr("heap");
+    let size = f.konst(0);
+    let state = f.konst(77);
+    let checksum = f.konst(0);
+    counted_loop(&mut f, HEAP_EVENTS, |f, _| {
+        lcg_step(f, state);
+        let big = f.konst(10_000);
+        let shifted = f.bin_imm(AluOp::Srl, state, 16);
+        let x = f.bin(AluOp::Remu, shifted, big);
+        // Sift-up insertion at index `size`. The parent load must be
+        // guarded by `i > 0` (short-circuit), hence the split check block.
+        let i = f.bin_imm(AluOp::Add, size, 0);
+        let head = f.new_block();
+        let check = f.new_block();
+        let body = f.new_block();
+        let place = f.new_block();
+        let after = f.new_block();
+        f.br(head);
+        f.switch_to(head);
+        let zero = f.konst(0);
+        let positive = f.bin(AluOp::Sltu, zero, i);
+        f.cond_br(positive, check, place);
+        f.switch_to(check);
+        let parent_i = f.bin_imm(AluOp::Add, i, -1);
+        let parent = f.bin_imm(AluOp::Srl, parent_i, 1);
+        let poff = f.bin_imm(AluOp::Sll, parent, 3);
+        let paddr = f.bin(AluOp::Add, heap, poff);
+        let pval = f.load(paddr, MemTy::I64);
+        let bigger = f.bin(AluOp::Sltu, x, pval);
+        f.cond_br(bigger, body, place);
+        f.switch_to(body);
+        let ioff = f.bin_imm(AluOp::Sll, i, 3);
+        let iaddr = f.bin(AluOp::Add, heap, ioff);
+        f.store(iaddr, pval, MemTy::I64);
+        f.assign_bin_imm(AluOp::Add, i, parent, 0);
+        f.br(head);
+        f.switch_to(place);
+        let ioff = f.bin_imm(AluOp::Sll, i, 3);
+        let iaddr = f.bin(AluOp::Add, heap, ioff);
+        f.store(iaddr, x, MemTy::I64);
+        f.assign_bin_imm(AluOp::Add, size, size, 1);
+        f.assign_bin(AluOp::Add, checksum, checksum, x);
+        let full = f.konst(HEAP_CAP);
+        let at_cap = f.bin(AluOp::Sltu, size, full);
+        let keep = f.new_block();
+        f.cond_br(at_cap, after, keep);
+        f.switch_to(keep);
+        // Bulk-drain: take the min (root) into the checksum, reset.
+        let root = f.load(heap, MemTy::I64);
+        f.assign_bin(AluOp::Xor, checksum, checksum, root);
+        f.assign_const(size, 0);
+        f.br(after);
+        f.switch_to(after);
+    });
+    finish(&mut f, checksum);
+    module.add_function(f.build());
+    module
+}
+
+fn omnetpp_ref() -> u64 {
+    let mut heap = [0u64; HEAP_CAP as usize];
+    let mut size = 0usize;
+    let mut state = 77u64;
+    let mut checksum = 0u64;
+    for _ in 0..HEAP_EVENTS {
+        let x = (lcg(&mut state) >> 16) % 10_000;
+        let mut i = size;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if heap[parent] > x {
+                heap[i] = heap[parent];
+                i = parent;
+            } else {
+                break;
+            }
+        }
+        heap[i] = x;
+        size += 1;
+        checksum = checksum.wrapping_add(x);
+        if size == HEAP_CAP as usize {
+            checksum ^= heap[0];
+            size = 0;
+        }
+    }
+    checksum
+}
+
+// --- 623.xalancbmk: bottom-up tree transform ---------------------------
+
+const TREE_NODES: i64 = 1023; // full binary tree, 511 internal nodes
+const TREE_PASSES: i64 = 12;
+
+fn xalancbmk() -> Module {
+    let mut module = Module::new("xalancbmk");
+    module.add_global("tree", (TREE_NODES * 8) as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let tree = f.global_addr("tree");
+    let state = f.konst(5);
+    counted_loop(&mut f, TREE_NODES, |f, i| {
+        lcg_step(f, state);
+        let off = f.bin_imm(AluOp::Sll, i, 3);
+        let addr = f.bin(AluOp::Add, tree, off);
+        f.store(addr, state, MemTy::I64);
+    });
+    counted_loop(&mut f, TREE_PASSES, |f, _| {
+        // for k in 0..511: i = 510 - k; tree[i] ^= tree[2i+1] + tree[2i+2]
+        counted_loop(f, 511, |f, k| {
+            let base = f.konst(510);
+            let i = f.bin(AluOp::Sub, base, k);
+            let l_index = f.bin_imm(AluOp::Sll, i, 1);
+            let l_index = f.bin_imm(AluOp::Add, l_index, 1);
+            let r_index = f.bin_imm(AluOp::Add, l_index, 1);
+            let loff = f.bin_imm(AluOp::Sll, l_index, 3);
+            let roff = f.bin_imm(AluOp::Sll, r_index, 3);
+            let laddr = f.bin(AluOp::Add, tree, loff);
+            let raddr = f.bin(AluOp::Add, tree, roff);
+            let lv = f.load(laddr, MemTy::I64);
+            let rv = f.load(raddr, MemTy::I64);
+            let sum = f.bin(AluOp::Add, lv, rv);
+            let ioff = f.bin_imm(AluOp::Sll, i, 3);
+            let iaddr = f.bin(AluOp::Add, tree, ioff);
+            let old = f.load(iaddr, MemTy::I64);
+            let new = f.bin(AluOp::Xor, old, sum);
+            f.store(iaddr, new, MemTy::I64);
+        });
+    });
+    let root = f.load(tree, MemTy::I64);
+    finish(&mut f, root);
+    module.add_function(f.build());
+    module
+}
+
+fn xalancbmk_ref() -> u64 {
+    let mut state = 5u64;
+    let mut tree: Vec<u64> = (0..TREE_NODES).map(|_| lcg(&mut state)).collect();
+    for _ in 0..TREE_PASSES {
+        for k in 0..511usize {
+            let i = 510 - k;
+            let sum = tree[2 * i + 1].wrapping_add(tree[2 * i + 2]);
+            tree[i] ^= sum;
+        }
+    }
+    tree[0]
+}
+
+// --- 625.x264: sum of absolute differences -----------------------------
+
+const SAD_LEN: i64 = 4096;
+const SAD_OFFSETS: i64 = 6;
+
+fn x264() -> Module {
+    let mut module = Module::new("x264");
+    module.add_global("block_a", SAD_LEN as u64);
+    module.add_global("block_b", SAD_LEN as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let a = f.global_addr("block_a");
+    let b = f.global_addr("block_b");
+    let state = f.konst(33);
+    counted_loop(&mut f, SAD_LEN, |f, i| {
+        lcg_step(f, state);
+        let byte = f.bin_imm(AluOp::Srl, state, 40);
+        let aa = f.bin(AluOp::Add, a, i);
+        f.store(aa, byte, MemTy::U8);
+        let byte2 = f.bin_imm(AluOp::Srl, state, 24);
+        let ba = f.bin(AluOp::Add, b, i);
+        f.store(ba, byte2, MemTy::U8);
+    });
+    let sad = f.konst(0);
+    counted_loop(&mut f, SAD_OFFSETS, |f, o| {
+        counted_loop(f, SAD_LEN, |f, i| {
+            let aa = f.bin(AluOp::Add, a, i);
+            let av = f.load(aa, MemTy::U8);
+            let shifted = f.bin(AluOp::Add, i, o);
+            let len = f.konst(SAD_LEN);
+            let wrapped = f.bin(AluOp::Remu, shifted, len);
+            let ba = f.bin(AluOp::Add, b, wrapped);
+            let bv = f.load(ba, MemTy::U8);
+            // |av - bv| via the sign-mask trick.
+            let d = f.bin(AluOp::Sub, av, bv);
+            let mask = f.bin_imm(AluOp::Sra, d, 63);
+            let x = f.bin(AluOp::Xor, d, mask);
+            let abs = f.bin(AluOp::Sub, x, mask);
+            f.assign_bin(AluOp::Add, sad, sad, abs);
+        });
+    });
+    finish(&mut f, sad);
+    module.add_function(f.build());
+    module
+}
+
+fn x264_ref() -> u64 {
+    let mut state = 33u64;
+    let mut a = vec![0u8; SAD_LEN as usize];
+    let mut b = vec![0u8; SAD_LEN as usize];
+    for i in 0..SAD_LEN as usize {
+        let v = lcg(&mut state);
+        a[i] = (v >> 40) as u8;
+        b[i] = (v >> 24) as u8;
+    }
+    let mut sad = 0u64;
+    for o in 0..SAD_OFFSETS as usize {
+        for i in 0..SAD_LEN as usize {
+            let av = i64::from(a[i]);
+            let bv = i64::from(b[(i + o) % SAD_LEN as usize]);
+            sad = sad.wrapping_add((av - bv).unsigned_abs());
+        }
+    }
+    sad
+}
+
+// --- 631.deepsjeng: bitboard scans --------------------------------------
+
+const SJENG_ITERS: i64 = 4000;
+
+fn deepsjeng() -> Module {
+    let mut module = Module::new("deepsjeng");
+    let mut f = FunctionBuilder::new("main", 0);
+    let state = f.konst(123);
+    let score = f.konst(0);
+    counted_loop(&mut f, SJENG_ITERS, |f, i| {
+        lcg_step(f, state);
+        // popcount via Kernighan's loop.
+        let x = f.bin_imm(AluOp::Add, state, 0);
+        let count = f.konst(0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let after = f.new_block();
+        f.br(head);
+        f.switch_to(head);
+        let zero = f.konst(0);
+        let nz = f.bin(AluOp::Sltu, zero, x);
+        f.cond_br(nz, body, after);
+        f.switch_to(body);
+        let xm1 = f.bin_imm(AluOp::Add, x, -1);
+        f.assign_bin(AluOp::And, x, x, xm1);
+        f.assign_bin_imm(AluOp::Add, count, count, 1);
+        f.br(head);
+        f.switch_to(after);
+        // score += (i odd ? -count : count)
+        let odd = f.bin_imm(AluOp::And, i, 1);
+        let add_bb = f.new_block();
+        let sub_bb = f.new_block();
+        let done = f.new_block();
+        f.cond_br(odd, sub_bb, add_bb);
+        f.switch_to(add_bb);
+        f.assign_bin(AluOp::Add, score, score, count);
+        f.br(done);
+        f.switch_to(sub_bb);
+        f.assign_bin(AluOp::Sub, score, score, count);
+        f.br(done);
+        f.switch_to(done);
+    });
+    finish(&mut f, score);
+    module.add_function(f.build());
+    module
+}
+
+fn deepsjeng_ref() -> u64 {
+    let mut state = 123u64;
+    let mut score = 0u64;
+    for i in 0..SJENG_ITERS {
+        let x = lcg(&mut state);
+        let count = u64::from(x.count_ones());
+        if i & 1 == 1 {
+            score = score.wrapping_sub(count);
+        } else {
+            score = score.wrapping_add(count);
+        }
+    }
+    score
+}
+
+// --- 641.leela: playout accumulation ------------------------------------
+
+const LEELA_MOVES: i64 = 3000;
+const BOARD: i64 = 361;
+
+fn leela() -> Module {
+    let mut module = Module::new("leela");
+    module.add_global("board", BOARD as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let board = f.global_addr("board");
+    let state = f.konst(2718);
+    let score = f.konst(0);
+    counted_loop(&mut f, LEELA_MOVES, |f, _| {
+        lcg_step(f, state);
+        let positions = f.konst(BOARD);
+        let shifted = f.bin_imm(AluOp::Srl, state, 17);
+        let pos = f.bin(AluOp::Remu, shifted, positions);
+        let addr = f.bin(AluOp::Add, board, pos);
+        let v = f.load(addr, MemTy::U8);
+        let v1 = f.bin_imm(AluOp::Add, v, 1);
+        f.store(addr, v1, MemTy::U8);
+        let odd = f.bin_imm(AluOp::And, v, 1);
+        let plus = f.new_block();
+        let minus = f.new_block();
+        let done = f.new_block();
+        f.cond_br(odd, plus, minus);
+        f.switch_to(plus);
+        f.assign_bin(AluOp::Add, score, score, pos);
+        f.br(done);
+        f.switch_to(minus);
+        f.assign_bin(AluOp::Sub, score, score, pos);
+        f.br(done);
+        f.switch_to(done);
+    });
+    finish(&mut f, score);
+    module.add_function(f.build());
+    module
+}
+
+fn leela_ref() -> u64 {
+    let mut board = [0u8; BOARD as usize];
+    let mut state = 2718u64;
+    let mut score = 0u64;
+    for _ in 0..LEELA_MOVES {
+        let pos = ((lcg(&mut state) >> 17) % BOARD as u64) as usize;
+        let v = board[pos];
+        board[pos] = v.wrapping_add(1);
+        if v & 1 == 1 {
+            score = score.wrapping_add(pos as u64);
+        } else {
+            score = score.wrapping_sub(pos as u64);
+        }
+    }
+    score
+}
+
+// --- 648.exchange2: backtracking enumeration ----------------------------
+
+fn exchange2() -> Module {
+    let mut module = Module::new("exchange2");
+    let mut f = FunctionBuilder::new("main", 0);
+    let count = f.konst(0);
+    counted_loop(&mut f, 9, |f, a| {
+        counted_loop(f, 9, |f, b| {
+            let same_ab = f.bin(AluOp::Xor, a, b);
+            let zero = f.konst(0);
+            let differ = f.bin(AluOp::Sltu, zero, same_ab);
+            let inner = f.new_block();
+            let skip = f.new_block();
+            f.cond_br(differ, inner, skip);
+            f.switch_to(inner);
+            counted_loop(f, 9, |f, c| {
+                let ca = f.bin(AluOp::Xor, c, a);
+                let cb = f.bin(AluOp::Xor, c, b);
+                let zero = f.konst(0);
+                let d1 = f.bin(AluOp::Sltu, zero, ca);
+                let d2 = f.bin(AluOp::Sltu, zero, cb);
+                let ok = f.bin(AluOp::And, d1, d2);
+                let hit = f.new_block();
+                let next = f.new_block();
+                f.cond_br(ok, hit, next);
+                f.switch_to(hit);
+                let prod = f.bin(AluOp::Mul, a, b);
+                let prod = f.bin(AluOp::Mul, prod, c);
+                f.assign_bin(AluOp::Add, count, count, prod);
+                f.assign_bin_imm(AluOp::Add, count, count, 1);
+                f.br(next);
+                f.switch_to(next);
+            });
+            f.br(skip);
+            f.switch_to(skip);
+        });
+    });
+    finish(&mut f, count);
+    module.add_function(f.build());
+    module
+}
+
+fn exchange2_ref() -> u64 {
+    let mut count = 0u64;
+    for a in 0..9u64 {
+        for b in 0..9u64 {
+            if a == b {
+                continue;
+            }
+            for c in 0..9u64 {
+                if c != a && c != b {
+                    count = count.wrapping_add(a * b * c).wrapping_add(1);
+                }
+            }
+        }
+    }
+    count
+}
+
+// --- 657.xz: match finding ----------------------------------------------
+
+const XZ_LEN: i64 = 4096;
+const XZ_WINDOW: i64 = 16;
+const XZ_MAX_MATCH: i64 = 8;
+
+fn xz() -> Module {
+    let mut module = Module::new("xz");
+    module.add_global("data", XZ_LEN as u64);
+    let mut f = FunctionBuilder::new("main", 0);
+    let data = f.global_addr("data");
+    let state = f.konst(99);
+    counted_loop(&mut f, XZ_LEN, |f, i| {
+        lcg_step(f, state);
+        let byte = f.bin_imm(AluOp::Srl, state, 29);
+        // Restrict the alphabet so matches actually occur.
+        let byte = f.bin_imm(AluOp::And, byte, 3);
+        let addr = f.bin(AluOp::Add, data, i);
+        f.store(addr, byte, MemTy::U8);
+    });
+    let total = f.konst(0);
+    counted_loop(&mut f, XZ_LEN - XZ_WINDOW - XZ_MAX_MATCH, |f, k| {
+        let pos = f.bin_imm(AluOp::Add, k, XZ_WINDOW);
+        let best = f.konst(0);
+        counted_loop(f, XZ_WINDOW, |f, o1| {
+            let off = f.bin_imm(AluOp::Add, o1, 1);
+            let len = f.konst(0);
+            let head = f.new_block();
+            let body = f.new_block();
+            let after = f.new_block();
+            f.br(head);
+            f.switch_to(head);
+            let limit = f.konst(XZ_MAX_MATCH);
+            let below = f.bin(AluOp::Slt, len, limit);
+            let p1 = f.bin(AluOp::Add, pos, len);
+            let a1 = f.bin(AluOp::Add, data, p1);
+            let v1 = f.load(a1, MemTy::U8);
+            let p2 = f.bin(AluOp::Sub, p1, off);
+            let a2 = f.bin(AluOp::Add, data, p2);
+            let v2 = f.load(a2, MemTy::U8);
+            let diff = f.bin(AluOp::Xor, v1, v2);
+            let eq = f.bin_imm(AluOp::Sltu, diff, 1);
+            let cont = f.bin(AluOp::And, below, eq);
+            f.cond_br(cont, body, after);
+            f.switch_to(body);
+            f.assign_bin_imm(AluOp::Add, len, len, 1);
+            f.br(head);
+            f.switch_to(after);
+            let longer = f.bin(AluOp::Slt, best, len);
+            let update = f.new_block();
+            let next = f.new_block();
+            f.cond_br(longer, update, next);
+            f.switch_to(update);
+            f.assign_bin_imm(AluOp::Add, best, len, 0);
+            f.br(next);
+            f.switch_to(next);
+        });
+        f.assign_bin(AluOp::Add, total, total, best);
+    });
+    finish(&mut f, total);
+    module.add_function(f.build());
+    module
+}
+
+fn xz_ref() -> u64 {
+    let mut state = 99u64;
+    let data: Vec<u8> = (0..XZ_LEN)
+        .map(|_| ((lcg(&mut state) >> 29) & 3) as u8)
+        .collect();
+    let mut total = 0u64;
+    for k in 0..(XZ_LEN - XZ_WINDOW - XZ_MAX_MATCH) as usize {
+        let pos = k + XZ_WINDOW as usize;
+        let mut best = 0i64;
+        for o1 in 0..XZ_WINDOW as usize {
+            let off = o1 + 1;
+            let mut len = 0i64;
+            while len < XZ_MAX_MATCH && data[pos + len as usize] == data[pos + len as usize - off]
+            {
+                len += 1;
+            }
+            best = best.max(len);
+        }
+        total = total.wrapping_add(best as u64);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use regvault_kernel::ProtectionConfig;
+
+    #[test]
+    fn every_spec_program_matches_its_reference() {
+        for item in Spec::ALL {
+            let m = measure(&item, ProtectionConfig::off(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            assert_eq!(
+                m.result,
+                item.reference() & 0xFFFF_FFFF,
+                "{} diverged from the Rust reference",
+                item.name()
+            );
+        }
+    }
+
+    #[test]
+    fn spec_overhead_is_close_to_zero_under_full_protection() {
+        // Figure 5c's claim, checked on two representatives.
+        for item in [Spec::Deepsjeng, Spec::X264] {
+            let base = measure(&item, ProtectionConfig::off(), 8).unwrap();
+            let full = measure(&item, ProtectionConfig::full(), 8).unwrap();
+            let overhead = full.cycles as f64 / base.cycles as f64 - 1.0;
+            assert!(
+                overhead.abs() < 0.02,
+                "{}: overhead {overhead:.4} not close to zero",
+                item.name()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod opt_tests {
+    use super::*;
+    use regvault_isa::Reg;
+    use regvault_sim::{Machine, MachineConfig};
+
+    /// The intspeed programs are pure user compute, so they also run on a
+    /// bare machine; with the optimizer on they must still match the Rust
+    /// references — full-scale differential coverage for the opt passes.
+    #[test]
+    fn optimized_spec_programs_match_references() {
+        for item in [Spec::Perlbench, Spec::Mcf, Spec::Deepsjeng, Spec::Xz] {
+            let compiled = compile(&item.module(), &CompileConfig::none().optimized())
+                .expect("compiles optimized");
+            let mut machine = Machine::new(MachineConfig::default());
+            let entry = compiled.load(&mut machine, 0x8000_0000);
+            machine.memory_mut().map_region(0x7000_0000, 0x80000);
+            machine.hart_mut().set_reg(Reg::Sp, 0x7007_0000);
+            machine.hart_mut().set_pc(entry);
+            machine.run_until_break(400_000_000).expect("runs");
+            assert_eq!(
+                machine.hart().reg(Reg::A0),
+                item.reference() & 0xFFFF_FFFF,
+                "{} diverged when optimized",
+                item.name()
+            );
+        }
+    }
+
+    /// The local optimizer (no loop-invariant hoisting) never grows the
+    /// code, and shrinks programs with foldable straight-line work.
+    #[test]
+    fn optimizer_never_grows_spec_programs() {
+        let mut strictly_smaller = 0;
+        for item in Spec::ALL {
+            let plain = compile(&item.module(), &CompileConfig::none()).expect("compiles");
+            let optimized = compile(&item.module(), &CompileConfig::none().optimized())
+                .expect("compiles optimized");
+            assert!(
+                optimized.bytes().len() <= plain.bytes().len(),
+                "{} grew: {} -> {}",
+                item.name(),
+                plain.bytes().len(),
+                optimized.bytes().len()
+            );
+            if optimized.bytes().len() < plain.bytes().len() {
+                strictly_smaller += 1;
+            }
+        }
+        assert!(strictly_smaller >= 3, "only {strictly_smaller} programs shrank");
+    }
+}

@@ -1,0 +1,269 @@
+//! UnixBench-shaped micro workloads (Figure 5a of the paper).
+//!
+//! UnixBench's index mixes one register-arithmetic item (Dhrystone) with
+//! syscall-dominated items (syscall, pipe, context switching, `execl`,
+//! file copies at three buffer sizes). The mix is what gives the paper's
+//! 2.6 % full-protection overhead: the compute item is barely affected
+//! while the syscall items pay for kernel-side cryptography.
+
+use regvault_isa::asm;
+
+use crate::Workload;
+
+/// The eight UnixBench-shaped workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnixBench {
+    /// `dhry2reg`: register-arithmetic loop (user mode only).
+    Dhry2,
+    /// `syscall`: tight `getpid` loop.
+    Syscall,
+    /// `pipe`: self-pipe write/read loop.
+    Pipe,
+    /// `context1`: two threads exchanging the CPU via `yield`.
+    Context1,
+    /// `execl`-shaped loop: open + stat + close (program-load path).
+    Execl,
+    /// `fcopy256`: file copy with 256-byte buffers.
+    Fcopy256,
+    /// `fcopy1024`: file copy with 1 KiB buffers.
+    Fcopy1024,
+    /// `fcopy4096`: file copy with 4 KiB buffers.
+    Fcopy4096,
+}
+
+impl UnixBench {
+    /// All items in figure order.
+    pub const ALL: [UnixBench; 8] = [
+        UnixBench::Dhry2,
+        UnixBench::Syscall,
+        UnixBench::Pipe,
+        UnixBench::Context1,
+        UnixBench::Execl,
+        UnixBench::Fcopy256,
+        UnixBench::Fcopy1024,
+        UnixBench::Fcopy4096,
+    ];
+}
+
+fn fcopy_source(buf_size: u64, iterations: u64) -> String {
+    // Open "data", write `buf_size` bytes once, then loop: seek, read.
+    format!(
+        "li   t0, 0x300000
+         li   t1, 0x61746164    # 'data'
+         sw   t1, 0(t0)
+         li   a0, 0x300000
+         li   a1, 4
+         li   a7, 6             # open
+         ecall
+         mv   s3, a0            # fd
+         # touch the scratch buffer page so the kernel copy can read it
+         li   t0, 0x310000
+         sd   zero, 0(t0)
+         # seed the file with {buf_size} bytes from the scratch buffer
+         mv   a0, s3
+         li   a1, 0x310000
+         li   a2, {buf_size}
+         li   a7, 9             # write
+         ecall
+         li   s1, 0
+         li   s2, {iterations}
+         li   s4, 0             # bytes copied
+        loop:
+         mv   a0, s3
+         li   a1, 0
+         li   a7, 11            # seek 0
+         ecall
+         mv   a0, s3
+         li   a1, 0x320000
+         li   a2, {buf_size}
+         li   a7, 8             # read
+         ecall
+         add  s4, s4, a0
+         mv   a0, s3
+         li   a1, 0
+         li   a7, 11            # seek 0
+         ecall
+         mv   a0, s3
+         li   a1, 0x320000
+         li   a2, {buf_size}
+         li   a7, 9             # write back
+         ecall
+         addi s1, s1, 1
+         blt  s1, s2, loop
+         mv   a0, s4
+         ebreak"
+    )
+}
+
+impl Workload for UnixBench {
+    fn name(&self) -> &'static str {
+        match self {
+            UnixBench::Dhry2 => "dhry2reg",
+            UnixBench::Syscall => "syscall",
+            UnixBench::Pipe => "pipe",
+            UnixBench::Context1 => "context1",
+            UnixBench::Execl => "execl",
+            UnixBench::Fcopy256 => "fcopy256",
+            UnixBench::Fcopy1024 => "fcopy1024",
+            UnixBench::Fcopy4096 => "fcopy4096",
+        }
+    }
+
+    fn program(&self) -> (Vec<u8>, u64) {
+        let source = match self {
+            UnixBench::Dhry2 => "li   s1, 0
+                 li   s2, 60000
+                 li   s3, 7
+                 li   s4, 13
+                loop:
+                 add  s3, s3, s4
+                 xor  s4, s4, s3
+                 slli t0, s3, 3
+                 srli t1, s4, 2
+                 or   s3, s3, t1
+                 and  s4, s4, t0
+                 addi s4, s4, 55
+                 mul  t2, s3, s4
+                 add  s3, s3, t2
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            UnixBench::Syscall => "li   s1, 0
+                 li   s2, 1500
+                loop:
+                 li   a7, 1     # getpid
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            UnixBench::Pipe => "li   t0, 0x300000
+                 sd   zero, 0(t0)       # touch the source buffer page
+                 li   a7, 12     # pipe
+                 ecall
+                 srli s3, a0, 32        # read fd
+                 li   t0, 0xffffffff
+                 and  s4, a0, t0        # write fd
+                 li   s1, 0
+                 li   s2, 400
+                loop:
+                 mv   a0, s4
+                 li   a1, 0x300000
+                 li   a2, 64
+                 li   a7, 9             # write 64 bytes
+                 ecall
+                 mv   a0, s3
+                 li   a1, 0x310000
+                 li   a2, 64
+                 li   a7, 8             # read them back
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            UnixBench::Context1 => "main:
+                 la   a0, worker
+                 li   a7, 18            # spawn
+                 ecall
+                 li   s1, 0
+                 li   s2, 250
+                loop:
+                 li   a7, 13            # yield
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak
+                worker:
+                 li   a7, 13
+                 ecall
+                 j    worker"
+                .to_owned(),
+            UnixBench::Execl => "li   t0, 0x300000
+                 li   t1, 0x61746164    # 'data'
+                 sw   t1, 0(t0)
+                 li   s1, 0
+                 li   s2, 250
+                loop:
+                 li   a0, 0x300000
+                 li   a1, 4
+                 li   a7, 6             # open
+                 ecall
+                 mv   s3, a0
+                 mv   a0, s3
+                 li   a7, 10            # stat
+                 ecall
+                 mv   a0, s3
+                 li   a7, 7             # close
+                 ecall
+                 addi s1, s1, 1
+                 blt  s1, s2, loop
+                 mv   a0, s1
+                 ebreak"
+                .to_owned(),
+            UnixBench::Fcopy256 => fcopy_source(256, 120),
+            UnixBench::Fcopy1024 => fcopy_source(1024, 60),
+            UnixBench::Fcopy4096 => fcopy_source(4096, 25),
+        };
+        let program = asm::assemble(&source).expect("workload assembles");
+        let entry = program.symbol("main").unwrap_or(0);
+        (program.bytes().to_vec(), entry)
+    }
+
+    fn expected(&self) -> Option<u64> {
+        match self {
+            UnixBench::Dhry2 => Some(60_000),
+            UnixBench::Syscall => Some(1_500),
+            UnixBench::Pipe => Some(400),
+            UnixBench::Context1 => Some(250),
+            UnixBench::Execl => Some(250),
+            UnixBench::Fcopy256 => Some(256 * 120),
+            UnixBench::Fcopy1024 => Some(1024 * 60),
+            UnixBench::Fcopy4096 => Some(4096 * 25),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use regvault_kernel::ProtectionConfig;
+
+    #[test]
+    fn every_workload_runs_and_self_checks() {
+        for item in UnixBench::ALL {
+            let m = measure(&item, ProtectionConfig::off(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            assert_eq!(Some(m.result), item.expected(), "{}", item.name());
+            assert!(m.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn full_protection_runs_every_workload_too() {
+        for item in UnixBench::ALL {
+            let m = measure(&item, ProtectionConfig::full(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            assert_eq!(Some(m.result), item.expected(), "{}", item.name());
+            assert!(m.crypto_ops > 0, "{} must exercise crypto", item.name());
+        }
+    }
+
+    #[test]
+    fn syscall_item_shows_overhead_and_dhrystone_barely_any() {
+        let sys = crate::sweep(&UnixBench::Syscall, 8).unwrap();
+        let dhry = crate::sweep(&UnixBench::Dhry2, 8).unwrap();
+        let full = |row: &crate::OverheadRow| {
+            row.overheads
+                .iter()
+                .find(|(l, _)| *l == "FULL")
+                .map(|(_, o)| *o)
+                .unwrap()
+        };
+        assert!(full(&sys) > full(&dhry));
+        assert!(full(&dhry) < 0.02, "compute loop overhead {:.4}", full(&dhry));
+    }
+}

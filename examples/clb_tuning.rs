@@ -1,0 +1,41 @@
+//! CLB tuning: the hardware/performance trade-off of §2.3.3 + §4.4.1.
+//!
+//! Sweeps the cryptographic lookaside buffer size, measuring (a) the hit
+//! ratio and syscall overhead on a syscall-dense workload, and (b) the
+//! FPGA area the configuration would cost (Table 3 model) — the data a
+//! hardware architect would use to pick the entry count.
+//!
+//! Run with: `cargo run --release --example clb_tuning`
+
+use regvault_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("CLB size sweep on the LMbench `read` probe (FULL protection)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "entries", "hit%", "overhead", "crypto ops", "CLB LUTs", "CLB %LUT"
+    );
+
+    for entries in [0usize, 2, 4, 8, 16, 32] {
+        let base = measure(&Lmbench::Read, ProtectionConfig::off(), entries)?;
+        let full = measure(&Lmbench::Read, ProtectionConfig::full(), entries)?;
+        let overhead = full.cycles as f64 / base.cycles as f64 - 1.0;
+        let area = hwcost::soc_report(entries);
+        println!(
+            "{:<8} {:>9.1}% {:>9.2}% {:>12} {:>12} {:>9.2}%",
+            entries,
+            full.clb.hit_ratio() * 100.0,
+            overhead * 100.0,
+            full.crypto_ops,
+            area.clb_luts,
+            area.clb_lut_pct(),
+        );
+    }
+
+    println!(
+        "\nThe paper picks 8 entries: ~half the cryptographic operations come \
+         straight\nfrom the buffer for well under the FPU's area budget — the \
+         knee of this curve."
+    );
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! RegVault — umbrella crate for the DAC '22 reproduction.
+//!
+//! Re-exports the entire stack; see [`regvault_core`] for the full
+//! documentation tree and the repository README for the experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! use regvault::prelude::*;
+//!
+//! let cipher = Qarma64::new(Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+//! let ct = cipher.encrypt(0xfb623599da6e8127, 0x477d469dec0b8762);
+//! assert_eq!(cipher.decrypt(ct, 0x477d469dec0b8762), 0xfb623599da6e8127);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use regvault_attacks as attacks;
+pub use regvault_compiler as compiler;
+pub use regvault_core as core;
+pub use regvault_isa as isa;
+pub use regvault_kernel as kernel;
+pub use regvault_qarma as qarma;
+pub use regvault_sim as sim;
+pub use regvault_workloads as workloads;
+
+pub use regvault_core::prelude;
