@@ -46,6 +46,7 @@ use regvault_kernel::fs::{handlers, FileOp};
 use regvault_kernel::layout::KERNEL_TEXT_BASE;
 use regvault_kernel::selinux::INITIALIZED_OFFSET;
 use regvault_kernel::{trap, Kernel, KernelConfig, KernelError, ProtectionConfig};
+use regvault_sim::FaultKind;
 
 /// The eight attacks of Table 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -174,11 +175,10 @@ fn rop(protection: ProtectionConfig) -> (Outcome, String) {
     let mut kernel = boot(protection);
     let gadget = KERNEL_TEXT_BASE + 0x4242;
     let slot = kernel.push_kframe(7).expect("frame push");
-    kernel
-        .machine_mut()
-        .memory_mut()
-        .write_u64(slot, gadget)
-        .expect("attacker write");
+    kernel.machine_mut().inject_fault(FaultKind::MemWrite {
+        addr: slot,
+        value: gadget,
+    });
     match kernel.pop_kframe(7) {
         Err(KernelError::WildJump { target }) if target == gadget => (
             Outcome::Succeeded,
@@ -203,11 +203,10 @@ fn jop(protection: ProtectionConfig) -> (Outcome, String) {
     let mut kernel = boot(protection);
     let gadget = KERNEL_TEXT_BASE + 0x1313;
     let slot = kernel.fs.file_ops.slot_addr(FileOp::Read);
-    kernel
-        .machine_mut()
-        .memory_mut()
-        .write_u64(slot, gadget)
-        .expect("attacker write");
+    kernel.machine_mut().inject_fault(FaultKind::MemWrite {
+        addr: slot,
+        value: gadget,
+    });
     let cfg = kernel.protection();
     let fops = kernel.fs.file_ops;
     let resolved = fops
@@ -233,9 +232,7 @@ fn data_corruption(protection: ProtectionConfig) -> (Outcome, String) {
     let addr = kernel.creds.cred_addr(tid) + EGID_OFFSET;
     kernel
         .machine_mut()
-        .memory_mut()
-        .write_u64(addr, 0)
-        .expect("attacker write");
+        .inject_fault(FaultKind::MemWrite { addr, value: 0 });
     let cfg = kernel.protection();
     let creds = kernel.creds.clone();
     match creds.read(kernel.machine_mut(), &cfg, tid, CredField::Egid) {
@@ -289,9 +286,7 @@ fn privilege_escalation(protection: ProtectionConfig) -> (Outcome, String) {
     let addr = kernel.creds.cred_addr(tid) + EUID_OFFSET;
     kernel
         .machine_mut()
-        .memory_mut()
-        .write_u64(addr, 0)
-        .expect("attacker write");
+        .inject_fault(FaultKind::MemWrite { addr, value: 0 });
     let cfg = kernel.protection();
     let creds = kernel.creds.clone();
     match creds.is_root(kernel.machine_mut(), &cfg, tid) {
@@ -313,9 +308,7 @@ fn selinux_bypass(protection: ProtectionConfig) -> (Outcome, String) {
     let addr = kernel.selinux.base() + INITIALIZED_OFFSET;
     kernel
         .machine_mut()
-        .memory_mut()
-        .write_u64(addr, 0)
-        .expect("attacker write");
+        .inject_fault(FaultKind::MemWrite { addr, value: 0 });
     let cfg = kernel.protection();
     let selinux = kernel.selinux.clone();
     // Ask for an operation the policy denies: with SELinux "uninitialized"
@@ -354,11 +347,10 @@ fn interrupt_corruption(protection: ProtectionConfig) -> (Outcome, String) {
 
     // The attack: replace the saved ra with a gadget address.
     let gadget = KERNEL_TEXT_BASE + 0x6666;
-    kernel
-        .machine_mut()
-        .memory_mut()
-        .write_u64(frame, gadget)
-        .expect("attacker write");
+    kernel.machine_mut().inject_fault(FaultKind::MemWrite {
+        addr: frame,
+        value: gadget,
+    });
 
     match trap::restore_context(kernel.machine_mut(), &cfg, key, frame) {
         Ok(regs) if regs[0] == gadget => (
@@ -383,16 +375,12 @@ fn spatial_substitution(protection: ProtectionConfig) -> (Outcome, String) {
     let mut kernel = boot(protection);
     let file_slot = kernel.fs.file_ops.slot_addr(FileOp::Read);
     let pipe_slot = kernel.fs.pipe_ops.slot_addr(FileOp::Read);
-    let pipe_ct = kernel
-        .machine()
-        .memory()
-        .read_u64(pipe_slot)
-        .expect("attacker read");
-    kernel
-        .machine_mut()
-        .memory_mut()
-        .write_u64(file_slot, pipe_ct)
-        .expect("attacker write");
+    // Swap the two stored (possibly encrypted) words: both directions are
+    // legitimate ciphertexts, only their storage addresses change.
+    kernel.machine_mut().inject_fault(FaultKind::MemSwap {
+        a: file_slot,
+        b: pipe_slot,
+    });
     let cfg = kernel.protection();
     let fops = kernel.fs.file_ops;
     let resolved = fops

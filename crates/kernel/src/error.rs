@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use regvault_sim::ExceptionCause;
+use regvault_sim::{ExceptionCause, SimError};
 
 /// Errors surfaced by kernel operations.
 ///
@@ -48,6 +48,9 @@ pub enum KernelError {
         /// Where control flow would have gone.
         target: u64,
     },
+    /// A simulator-level failure (e.g. a watchdog timeout on a wedged
+    /// guest) that is not attributable to a single guest instruction.
+    Sim(SimError),
 }
 
 impl fmt::Display for KernelError {
@@ -70,6 +73,7 @@ impl fmt::Display for KernelError {
             KernelError::WildJump { target } => {
                 write!(f, "indirect call to unknown target {target:#x}")
             }
+            KernelError::Sim(err) => write!(f, "simulator error: {err}"),
         }
     }
 }
@@ -79,6 +83,12 @@ impl Error for KernelError {}
 impl From<ExceptionCause> for KernelError {
     fn from(cause: ExceptionCause) -> Self {
         KernelError::MemoryFault(cause)
+    }
+}
+
+impl From<SimError> for KernelError {
+    fn from(err: SimError) -> Self {
+        KernelError::Sim(err)
     }
 }
 

@@ -16,7 +16,23 @@ use crate::pgd::PageTables;
 use crate::selinux::SelinuxState;
 use crate::signal::SignalTable;
 use crate::syscall::Sysno;
-use crate::thread::{ThreadTable, MAX_THREADS};
+use crate::thread::{ThreadState, ThreadTable, MAX_THREADS};
+
+/// Counters for the panic-free trap-recovery path.
+///
+/// The security claim these numbers back: an injected fault on protected
+/// data is *detected* (integrity trap) and *contained* (the offending
+/// thread is quarantined), and the kernel keeps scheduling healthy threads
+/// instead of panicking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Threads taken out of scheduling after a fault.
+    pub quarantined: u64,
+    /// Fresh replacement threads spawned to keep the pool populated.
+    pub respawned: u64,
+    /// Faults survived: the kernel recovered and kept running.
+    pub traps_survived: u64,
+}
 
 /// Synthetic return-address region in kernel text for the call-site model.
 const KCALL_RA_BASE: u64 = KERNEL_TEXT_BASE + 0x10_0000;
@@ -57,6 +73,7 @@ pub struct Kernel {
     /// Interrupted pc per thread while its signal handler runs.
     signal_return_pc: Vec<Option<u64>>,
     next_user_stack: u64,
+    recovery: RecoveryStats,
 }
 
 impl Kernel {
@@ -130,6 +147,7 @@ impl Kernel {
             saved_pc: vec![0; MAX_THREADS as usize],
             signal_return_pc: vec![None; MAX_THREADS as usize],
             next_user_stack: USER_STACK_TOP,
+            recovery: RecoveryStats::default(),
         })
     }
 
@@ -155,6 +173,12 @@ impl Kernel {
     #[must_use]
     pub fn current_tid(&self) -> u32 {
         self.threads.current
+    }
+
+    /// Counters for the trap-recovery path.
+    #[must_use]
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     /// Draws kernel-internal randomness (key generation).
@@ -237,10 +261,14 @@ impl Kernel {
     pub fn pop_kframe(&mut self, site: u32) -> Result<(), KernelError> {
         let slot = self.ksp;
         let raw = self.machine.kernel_load_u64(slot)?;
+        // Full-range decrypts carry no redundancy; a corrupted slot yields
+        // garbage rather than a failure, and the address comparison below
+        // is what catches it. Taking the garbled value from the error arm
+        // keeps even a faulted crypto datapath panic-free.
         let ra = if self.cfg.ra {
             self.machine
                 .kernel_decrypt(self.cfg.key_policy().return_addr, slot, raw, ByteRange::FULL)
-                .expect("full-range decrypt cannot fail the zero check")
+                .unwrap_or_else(|garbled| garbled)
         } else {
             raw
         };
@@ -542,6 +570,88 @@ impl Kernel {
         Ok(())
     }
 
+    /// Quarantines the current (faulted) thread and switches to a healthy
+    /// runnable one, abandoning the faulted context entirely. Returns
+    /// `true` when the kernel can keep running — a healthy thread is now
+    /// current — and `false` when no healthy thread remains (the embedder
+    /// then sees the original error).
+    ///
+    /// If the incoming thread's own saved context turns out to be corrupted
+    /// (its CIP restore trips the integrity check), it is quarantined in
+    /// turn and the search continues — at most [`MAX_THREADS`] iterations.
+    /// Each successfully abandoned thread is reaped and replaced with a
+    /// freshly-keyed thread so sustained fault injection cannot drain the
+    /// pool.
+    fn recover_current_thread(&mut self) -> bool {
+        let cfg = self.cfg;
+        for _ in 0..=MAX_THREADS {
+            let faulted = self.threads.current;
+            self.threads.quarantine(faulted);
+            self.recovery.quarantined += 1;
+            self.signal_return_pc[faulted as usize] = None;
+            let next = self.threads.next_runnable();
+            if next == faulted || self.threads.state(next) != ThreadState::Runnable {
+                return false;
+            }
+            match self.threads.switch_abandon(&mut self.machine, &cfg, next) {
+                Ok(()) => {
+                    self.machine.hart_mut().set_pc(self.saved_pc[next as usize]);
+                    self.ksp =
+                        crate::layout::kernel_stack_top(next) - crate::trap::FRAME_SIZE - 64;
+                    // The faulted thread's slot is safe to reuse: spawn
+                    // rewrites thread_info and generates fresh keys.
+                    self.threads.reap(faulted);
+                    if self.respawn_replacement().is_ok() {
+                        self.recovery.respawned += 1;
+                    }
+                    self.recovery.traps_survived += 1;
+                    return true;
+                }
+                // `switch_abandon` updates `current` before restoring, so a
+                // failed restore leaves the corrupt incoming thread as
+                // current — the next iteration quarantines it too.
+                Err(_) => continue,
+            }
+        }
+        false
+    }
+
+    /// Spawns a freshly-keyed replacement for a reaped thread.
+    ///
+    /// Unlike [`Kernel::spawn_thread`] the replacement does **not** inherit
+    /// the faulted parent's credentials — that cred block is untrusted —
+    /// and instead starts with the boot uid/gid.
+    fn respawn_replacement(&mut self) -> Result<u32, KernelError> {
+        let cfg = self.cfg;
+        let current = self.threads.current;
+        let tid = self.threads.spawn(&mut self.machine, &cfg, &mut self.rng)?;
+        self.creds.init(&mut self.machine, &cfg, tid, 1000, 1000)?;
+        self.saved_pc[tid as usize] = self.machine.hart().pc();
+        self.signal_return_pc[tid as usize] = None;
+        self.next_user_stack -= USER_STACK_SIZE;
+        let user_sp = self.next_user_stack - 16;
+        self.machine
+            .memory_mut()
+            .map_region(self.next_user_stack - USER_STACK_SIZE, USER_STACK_SIZE);
+        // Seed the replacement's CIP frame under its own keys, then put the
+        // running thread's registers and keys back.
+        let snapshot = self.machine.hart().regs();
+        self.machine.hart_mut().set_reg(Reg::Sp, user_sp);
+        self.threads.install_keys(&mut self.machine, &cfg, tid)?;
+        crate::trap::save_context(
+            &mut self.machine,
+            &cfg,
+            cfg.key_policy().interrupt,
+            self.threads.interrupt_frame_addr(tid),
+        )?;
+        for (i, value) in snapshot.iter().enumerate().skip(1) {
+            let reg = Reg::from_index(i as u8).expect("register index");
+            self.machine.hart_mut().set_reg(reg, *value);
+        }
+        self.threads.install_keys(&mut self.machine, &cfg, current)?;
+        Ok(tid)
+    }
+
     /// Handles a timer interrupt: CIP-protect the interrupted context,
     /// run the scheduler, restore.
     ///
@@ -580,10 +690,20 @@ impl Kernel {
     /// Runs a user program image to completion (its `ebreak`), returning
     /// the final `a0`.
     ///
+    /// Detected tampering (integrity violations, wild jumps, memory faults
+    /// inside a syscall) and guest exceptions are *recoverable*: the
+    /// offending thread is quarantined and execution continues on a healthy
+    /// thread when one exists. Only when no healthy thread remains does the
+    /// original error surface — so a single-threaded program still reports
+    /// its fault, while a multi-threaded kernel survives per-thread damage
+    /// (see [`Kernel::recovery_stats`]).
+    ///
     /// # Errors
     ///
-    /// [`KernelError::UserFault`] on guest exceptions,
-    /// [`KernelError::StepLimit`] when the budget runs out, and any fatal
+    /// [`KernelError::UserFault`] on unrecovered guest exceptions,
+    /// [`KernelError::StepLimit`] when the budget runs out,
+    /// [`KernelError::Sim`] for simulator-level failures (e.g. an armed
+    /// watchdog timing out a wedged guest), and any unrecovered fatal
     /// kernel error (integrity violation, wild jump) raised by syscalls.
     pub fn run_user(
         &mut self,
@@ -610,7 +730,9 @@ impl Kernel {
                     }
                     continue;
                 }
-                Err(_) => return Err(KernelError::StepLimit),
+                // Watchdog timeouts and other simulator-level failures are
+                // not attributable to one instruction; surface them typed.
+                Err(err) => return Err(KernelError::Sim(err)),
             };
             match event {
                 Event::Break => {
@@ -636,11 +758,19 @@ impl Kernel {
                         // written (its a0 was restored from its frame).
                         Ok(_) if switches => {}
                         Ok(value) => self.machine.hart_mut().set_reg(Reg::A0, value),
+                        // The kernel detected tampering (or crashed on its
+                        // garbled residue) in this thread's syscall path:
+                        // quarantine it and keep scheduling healthy threads
+                        // rather than taking the whole kernel down.
                         Err(
                             err @ (KernelError::IntegrityViolation { .. }
                             | KernelError::WildJump { .. }
                             | KernelError::MemoryFault(_)),
-                        ) => return Err(err),
+                        ) => {
+                            if !self.recover_current_thread() {
+                                return Err(err);
+                            }
+                        }
                         Err(_) => self.machine.hart_mut().set_reg(Reg::A0, u64::MAX),
                     }
                     self.maybe_deliver_signal()?;
@@ -648,14 +778,24 @@ impl Kernel {
                 }
                 Event::TimerInterrupt => {
                     self.machine.hart_mut().set_privilege(Privilege::Kernel);
-                    self.handle_timer()?;
+                    // A failed switch means the *incoming* thread's saved
+                    // context was corrupted (context_switch already made it
+                    // current); quarantine it and continue if possible.
+                    if let Err(err) = self.handle_timer() {
+                        if !self.recover_current_thread() {
+                            return Err(err);
+                        }
+                    }
                     self.machine.hart_mut().set_privilege(Privilege::User);
                 }
                 Event::Exception { cause, tval: _ } => {
-                    return Err(KernelError::UserFault {
-                        cause,
-                        pc: self.machine.hart().pc(),
-                    });
+                    let pc = self.machine.hart().pc();
+                    self.machine.hart_mut().set_privilege(Privilege::Kernel);
+                    let recovered = self.recover_current_thread();
+                    self.machine.hart_mut().set_privilege(Privilege::User);
+                    if !recovered {
+                        return Err(KernelError::UserFault { cause, pc });
+                    }
                 }
             }
         }

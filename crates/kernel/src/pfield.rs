@@ -81,9 +81,12 @@ pub(crate) fn read_u64_conf(
 ) -> Result<u64, KernelError> {
     let raw = machine.kernel_load_u64(addr)?;
     if protected {
+        // Full-range decryption has no redundancy; even a faulted datapath
+        // (e.g. a poisoned CLB entry) yields garbage rather than a panic —
+        // the consumer of the pointer is what crashes, detectably.
         let pt = machine
             .kernel_decrypt(key, addr, raw, ByteRange::FULL)
-            .expect("full-range decryption cannot fail the zero check");
+            .unwrap_or_else(|garbled| garbled);
         Ok(pt)
     } else {
         Ok(raw)

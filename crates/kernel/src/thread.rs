@@ -39,6 +39,11 @@ pub enum ThreadState {
     Runnable = 1,
     Current = 2,
     Dead = 3,
+    /// The thread tripped an integrity check (or faulted unrecoverably) and
+    /// has been taken out of scheduling. Its slot is retained — not reused —
+    /// until the kernel [reaps](ThreadTable::reap) it, so a corrupted frame
+    /// or key cannot leak into a successor thread.
+    Quarantined = 4,
 }
 
 /// The thread table: `thread_info` objects in guest memory plus scheduler
@@ -127,6 +132,11 @@ impl ThreadTable {
     }
 
     /// Unwraps one wrapped key half from `thread_info`.
+    ///
+    /// A full-range decrypt has no redundancy, so this cannot *detect*
+    /// tampering: a corrupted wrapped half unwraps to garbage, and the
+    /// thread's subsequent CIP restore fails its own integrity check. Both
+    /// arms of the decrypt therefore yield the plaintext.
     fn unwrap_half(
         machine: &mut Machine,
         addr: u64,
@@ -134,7 +144,7 @@ impl ThreadTable {
         let wrapped = machine.kernel_load_u64(addr)?;
         Ok(machine
             .kernel_decrypt(KeyReg::M, addr, wrapped, ByteRange::FULL)
-            .expect("full-range decrypt cannot fail the zero check"))
+            .unwrap_or_else(|garbled| garbled))
     }
 
     /// Loads thread `tid`'s keys into the hardware key registers — the
@@ -174,6 +184,27 @@ impl ThreadTable {
     ///
     /// Panics if `tid` is out of range.
     pub fn free(&mut self, tid: u32) {
+        self.states[tid as usize] = ThreadState::Free;
+    }
+
+    /// Takes a faulted thread out of scheduling without reusing its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn quarantine(&mut self, tid: u32) {
+        self.states[tid as usize] = ThreadState::Quarantined;
+    }
+
+    /// Releases a quarantined (or dead) thread's slot for reuse. The next
+    /// [`ThreadTable::spawn`] into the slot rewrites `thread_info` and
+    /// generates fresh keys, so nothing corrupt survives into the
+    /// successor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn reap(&mut self, tid: u32) {
         self.states[tid as usize] = ThreadState::Free;
     }
 
@@ -231,6 +262,43 @@ impl ThreadTable {
         } else if to == from {
             let regs =
                 trap::restore_context(machine, cfg, cip_key, self.interrupt_frame_addr(from))?;
+            trap::apply_to_hart(machine, &regs);
+        }
+        Ok(())
+    }
+
+    /// Switches to `to` *without* CIP-saving the outgoing thread — the
+    /// recovery path after the current thread has been quarantined. Its
+    /// registers and frame are untrusted (possibly the corrupted object
+    /// itself), so nothing of it is persisted; the caller has already
+    /// marked it [`ThreadState::Quarantined`].
+    ///
+    /// `current` is updated *before* the incoming thread's frame is
+    /// restored, so if that restore itself trips an integrity check the
+    /// kernel can quarantine `to` in turn and keep iterating.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::IntegrityViolation`] when the incoming thread's
+    /// saved context was tampered with.
+    pub fn switch_abandon(
+        &mut self,
+        machine: &mut Machine,
+        cfg: &ProtectionConfig,
+        to: u32,
+    ) -> Result<(), KernelError> {
+        let from = self.current;
+        machine.charge(regvault_sim::InsnClass::Alu, 1600);
+        machine.charge(regvault_sim::InsnClass::Load, 40);
+        machine.charge(regvault_sim::InsnClass::Store, 40);
+        self.current = to;
+        self.states[to as usize] = ThreadState::Current;
+        if to != from {
+            self.install_keys(machine, cfg, to)?;
+        }
+        let frame = self.interrupt_frame_addr(to);
+        if machine.memory().read_u64(frame).is_ok() {
+            let regs = trap::restore_context(machine, cfg, cfg.key_policy().interrupt, frame)?;
             trap::apply_to_hart(machine, &regs);
         }
         Ok(())
@@ -303,6 +371,51 @@ mod tests {
         machine.hart_mut().set_reg(regvault_isa::Reg::S1, 0);
         table.context_switch(&mut machine, &cfg, 0).unwrap();
         assert_eq!(machine.hart().reg(regvault_isa::Reg::S1), 0xABCD);
+    }
+
+    #[test]
+    fn quarantined_threads_are_skipped_then_reaped() {
+        let (mut machine, mut table, mut rng) = setup();
+        let cfg = ProtectionConfig::full();
+        for _ in 0..3 {
+            table.spawn(&mut machine, &cfg, &mut rng).unwrap();
+        }
+        table.current = 0;
+        table.quarantine(1);
+        assert_eq!(table.next_runnable(), 2, "quarantined slot is skipped");
+        assert_eq!(table.state(1), ThreadState::Quarantined);
+        // The slot is not reused while quarantined...
+        assert_eq!(table.spawn(&mut machine, &cfg, &mut rng).unwrap(), 3);
+        // ...and becomes reusable after the reap.
+        table.reap(1);
+        assert_eq!(table.spawn(&mut machine, &cfg, &mut rng).unwrap(), 1);
+    }
+
+    #[test]
+    fn switch_abandon_discards_the_faulted_context() {
+        let (mut machine, mut table, mut rng) = setup();
+        let cfg = ProtectionConfig::full();
+        let t0 = table.spawn(&mut machine, &cfg, &mut rng).unwrap();
+        let t1 = table.spawn(&mut machine, &cfg, &mut rng).unwrap();
+        table.install_keys(&mut machine, &cfg, t0).unwrap();
+        table.current = t0;
+        // Park t1 with a known register value, come back to t0.
+        machine.hart_mut().set_reg(regvault_isa::Reg::S1, 0x1111);
+        table.context_switch(&mut machine, &cfg, t1).unwrap();
+        machine.hart_mut().set_reg(regvault_isa::Reg::S1, 0x2222);
+        table.context_switch(&mut machine, &cfg, t0).unwrap();
+        // t0 faults: quarantine and abandon its registers entirely.
+        machine.hart_mut().set_reg(regvault_isa::Reg::S1, 0xBAAD);
+        table.quarantine(t0);
+        table.switch_abandon(&mut machine, &cfg, t1).unwrap();
+        assert_eq!(table.current, t1);
+        assert_eq!(
+            machine.hart().reg(regvault_isa::Reg::S1),
+            0x2222,
+            "incoming thread's saved context is restored"
+        );
+        // t0's frame was never re-saved with the poisoned register.
+        table.reap(t0);
     }
 
     #[test]

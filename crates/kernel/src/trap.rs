@@ -75,19 +75,25 @@ pub fn restore_context(
 ) -> Result<[u64; SAVED_REGS], KernelError> {
     let mut regs = [0u64; SAVED_REGS];
     if cfg.cip {
+        // Full-range decrypts have no redundancy and never fail the zero
+        // check themselves; corruption anywhere in the chain garbles every
+        // later plaintext and is caught by the terminator below. Taking the
+        // garbled plaintext from the error arm keeps the chain semantics
+        // intact even if a hardware fault (e.g. a poisoned CLB entry) makes
+        // a full-range decrypt report a failure.
         let mut tweak = frame;
         for (i, slot) in regs.iter_mut().enumerate() {
             let ct = machine.kernel_load_u64(frame + 8 * i as u64)?;
             let value = machine
                 .kernel_decrypt(key, tweak, ct, ByteRange::FULL)
-                .expect("full-range decrypt cannot fail the zero check");
+                .unwrap_or_else(|garbled| garbled);
             *slot = value;
             tweak = value;
         }
         let terminator_ct = machine.kernel_load_u64(frame + 8 * SAVED_REGS as u64)?;
         let terminator = machine
             .kernel_decrypt(key, tweak, terminator_ct, ByteRange::FULL)
-            .expect("full-range decrypt cannot fail the zero check");
+            .unwrap_or_else(|garbled| garbled);
         if terminator != 0 {
             return Err(KernelError::IntegrityViolation {
                 what: "interrupt context",

@@ -1,0 +1,166 @@
+//! Property tests for chain-based interrupt context protection (§2.4.3):
+//! every frame slot is covered by the chain, and neither cross-address nor
+//! cross-thread (cross-key) frame substitution survives `restore_context`.
+
+use proptest::prelude::*;
+use regvault_isa::{KeyReg, Reg};
+use regvault_kernel::{trap, KernelError, ProtectionConfig};
+use regvault_sim::{Machine, MachineConfig};
+
+const FRAME_A: u64 = 0xFFFF_FFC0_0900_0000;
+const FRAME_B: u64 = 0xFFFF_FFC0_0901_0000;
+
+fn machine_with_key(w0: u64, k0: u64) -> Machine {
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.write_key_register(KeyReg::C, w0, k0).unwrap();
+    machine
+}
+
+fn set_regs(machine: &mut Machine, base: u64, step: u64) {
+    for i in 1..32u8 {
+        let reg = Reg::from_index(i).unwrap();
+        machine
+            .hart_mut()
+            .set_reg(reg, base.wrapping_add(u64::from(i).wrapping_mul(step)));
+    }
+}
+
+fn frame_words(machine: &Machine, frame: u64) -> [u64; trap::FRAME_SLOTS] {
+    let mut words = [0u64; trap::FRAME_SLOTS];
+    for (i, word) in words.iter_mut().enumerate() {
+        *word = machine.memory().read_u64(frame + 8 * i as u64).unwrap();
+    }
+    words
+}
+
+fn write_frame_words(machine: &mut Machine, frame: u64, words: &[u64; trap::FRAME_SLOTS]) {
+    for (i, word) in words.iter().enumerate() {
+        machine
+            .memory_mut()
+            .write_u64(frame + 8 * i as u64, *word)
+            .unwrap();
+    }
+}
+
+/// Exhaustive: flipping one bit in *each* of the 32 frame slots — the 31
+/// saved registers and the trailing chain terminator — is detected.
+#[test]
+fn every_slot_of_the_frame_is_integrity_covered() {
+    let cfg = ProtectionConfig::full();
+    for slot in 0..trap::FRAME_SLOTS {
+        let mut machine = machine_with_key(0xC0, 0xC1);
+        set_regs(&mut machine, 0x1000, 7);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        let addr = FRAME_A + 8 * slot as u64;
+        let ct = machine.memory().read_u64(addr).unwrap();
+        machine
+            .memory_mut()
+            .write_u64(addr, ct ^ (1 << (slot % 64)))
+            .unwrap();
+        assert!(
+            matches!(
+                trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_A),
+                Err(KernelError::IntegrityViolation { .. })
+            ),
+            "single-bit corruption of slot {slot} must be caught"
+        );
+    }
+}
+
+proptest! {
+    /// Any nonzero corruption of any slot under any key is detected.
+    #[test]
+    fn random_slot_corruption_is_detected(
+        w0 in any::<u64>(),
+        k0 in any::<u64>(),
+        base in any::<u64>(),
+        step in any::<u64>(),
+        slot in 0usize..trap::FRAME_SLOTS,
+        xor in 1u64..,
+    ) {
+        let cfg = ProtectionConfig::full();
+        let mut machine = machine_with_key(w0, k0);
+        set_regs(&mut machine, base, step);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        let addr = FRAME_A + 8 * slot as u64;
+        let ct = machine.memory().read_u64(addr).unwrap();
+        machine.memory_mut().write_u64(addr, ct ^ xor).unwrap();
+        let detected = matches!(
+            trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_A),
+            Err(KernelError::IntegrityViolation { .. })
+        );
+        prop_assert!(detected);
+    }
+
+    /// Cross-thread substitution at the *same* frame address: a bit-for-bit
+    /// replay of thread A's whole frame into thread B's slot is rejected,
+    /// because the per-thread interrupt key differs (§3.1.1). The address
+    /// tweak cannot help here — only the key separation can.
+    #[test]
+    fn replaying_another_threads_frame_is_rejected(
+        key_a in (any::<u64>(), any::<u64>()),
+        key_b in (any::<u64>(), any::<u64>()),
+    ) {
+        prop_assume!(key_a != key_b);
+        let cfg = ProtectionConfig::full();
+        let mut machine = machine_with_key(key_a.0, key_a.1);
+
+        // Thread A saves its context at FRAME_A; the attacker records it.
+        set_regs(&mut machine, 0xAAAA_0000, 3);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        let recorded = frame_words(&machine, FRAME_A);
+
+        // Thread B (fresh per-thread key) now owns the same stack slot.
+        machine.write_key_register(KeyReg::C, key_b.0, key_b.1).unwrap();
+        set_regs(&mut machine, 0xBBBB_0000, 5);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+
+        // The attacker replays A's frame bit-for-bit over B's.
+        write_frame_words(&mut machine, FRAME_A, &recorded);
+        let detected = matches!(
+            trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_A),
+            Err(KernelError::IntegrityViolation { .. })
+        );
+        prop_assert!(detected);
+    }
+
+    /// Spatial substitution between two frames of the same thread (same
+    /// key, different addresses): swapping the frames bit-for-bit is
+    /// rejected because the chain's first tweak is the frame address.
+    #[test]
+    fn swapping_frames_between_addresses_is_rejected(
+        w0 in any::<u64>(),
+        k0 in any::<u64>(),
+    ) {
+        let cfg = ProtectionConfig::full();
+        let mut machine = machine_with_key(w0, k0);
+        set_regs(&mut machine, 0x1111_0000, 9);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        set_regs(&mut machine, 0x2222_0000, 11);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_B).unwrap();
+
+        let frame_a = frame_words(&machine, FRAME_A);
+        let frame_b = frame_words(&machine, FRAME_B);
+        write_frame_words(&mut machine, FRAME_A, &frame_b);
+        write_frame_words(&mut machine, FRAME_B, &frame_a);
+
+        prop_assert!(trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_A).is_err());
+        prop_assert!(trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_B).is_err());
+    }
+
+    /// Without CIP the same replay goes through silently — the baseline
+    /// the paper attacks, kept here as the control arm.
+    #[test]
+    fn without_cip_replay_is_silent(seed in any::<u64>()) {
+        let cfg = ProtectionConfig::off();
+        let mut machine = machine_with_key(0xC0, 0xC1);
+        set_regs(&mut machine, seed, 13);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        let recorded = frame_words(&machine, FRAME_A);
+        set_regs(&mut machine, seed ^ 0xFFFF, 17);
+        trap::save_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        write_frame_words(&mut machine, FRAME_A, &recorded);
+        let regs = trap::restore_context(&mut machine, &cfg, KeyReg::C, FRAME_A).unwrap();
+        prop_assert_eq!(regs[0], seed.wrapping_add(13), "stale x1 restored silently");
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! small, deterministic property-testing engine exposing the subset of
+//! proptest's API the test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`],
+//! * [`prop_oneof!`], [`strategy::Just`], `any::<T>()`,
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//!   `prop_flat_map`,
+//! * integer-range strategies, tuple strategies, and
+//!   [`collection::vec`](crate::collection::vec).
+//!
+//! Differences from real proptest, chosen for determinism and zero
+//! dependencies: cases are generated from a fixed per-test seed (derived
+//! from the test name), there is **no shrinking** (failures report the
+//! case index and seed instead), and the default case count is 64.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` equivalent: vectors of strategy-generated elements.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn sample(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.below(self.end.saturating_sub(self.start).max(1) as u64) as usize + self.start
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.below((self.end() - self.start() + 1) as u64) as usize + self.start()
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a vector strategy (`prop::collection::vec` equivalent).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the used subset of proptest's):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn name(pattern in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($body)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            while let Some(mut rng) = runner.next_case() {
+                // The closure is what lets `prop_assert!` early-return a
+                // case failure without aborting the whole runner.
+                #[allow(clippy::redundant_closure_call)]
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&{ $strat }, &mut rng);)*
+                        { $body }
+                        Ok(())
+                    })();
+                runner.finish_case(result);
+            }
+        }
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+}
+
+/// Fallible assertion: fails the current case without panicking mid-case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`: {}", left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u8..32, y in 0u8..=7, z in -16i32..16) {
+            prop_assert!(x < 32);
+            prop_assert!(y <= 7);
+            prop_assert!((-16..16).contains(&z));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(pair in (0u8..4, 0u64..100).prop_map(|(a, b)| (a, b + 1))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..=100).contains(&pair.1));
+        }
+
+        #[test]
+        fn flat_map_dependent_ranges(
+            (hi, lo) in (0u8..8).prop_flat_map(|hi| (Just(hi), 0u8..=hi))
+        ) {
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(v in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_respect_ranges(v in prop::collection::vec(0u64..10, 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..4) {
+            prop_assume!(x != 1);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_is_accepted(x in 0u64..) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        use crate::strategy::Strategy;
+        let cfg = ProptestConfig::with_cases(4);
+        let mut a = crate::test_runner::TestRunner::new(cfg, "stream_test");
+        let mut b = crate::test_runner::TestRunner::new(cfg, "stream_test");
+        while let (Some(mut ra), Some(mut rb)) = (a.next_case(), b.next_case()) {
+            assert_eq!(
+                (0u64..1000).generate(&mut ra),
+                (0u64..1000).generate(&mut rb)
+            );
+            a.finish_case(Ok(()));
+            b.finish_case(Ok(()));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic case driver (the used subset of `proptest::test_runner`).
+//!
+//! Each test gets a fixed RNG stream derived from its name, so a failing
+//! case reproduces exactly on re-run without persisted regression files.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration (the used subset of `ProptestConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant (what `prop_assert*!` expands to).
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// The deterministic RNG handed to strategies for one case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next uniform 64-bit word.
+    pub fn next_word(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is an empty range");
+        ((u128::from(self.next_word()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Drives the case loop for one `proptest!`-defined test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    seed: u64,
+    case: u32,
+    rejected: u32,
+}
+
+/// FNV-1a over the test name: a stable, platform-independent seed.
+fn name_seed(name: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl TestRunner {
+    /// Rejected-case budget multiplier before the test errors out, matching
+    /// proptest's "too many global rejects" safeguard.
+    const MAX_REJECT_FACTOR: u32 = 16;
+
+    /// Builds a runner for the test named `name`.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self {
+            config,
+            name,
+            seed: name_seed(name),
+            case: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Returns the RNG for the next case, or `None` when done.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        if self.case >= self.config.cases {
+            return None;
+        }
+        // Mix the case index in SplitMix64-style so neighbouring cases get
+        // unrelated streams.
+        let mixed = self
+            .seed
+            .wrapping_add(u64::from(self.case + self.rejected).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Some(TestRng::from_seed(mixed))
+    }
+
+    /// Records the outcome of the case whose RNG `next_case` last returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Fail` (with the case's reproduction info) and when the
+    /// rejection budget is exhausted — both mirror proptest's behaviour of
+    /// failing the surrounding `#[test]`.
+    pub fn finish_case(&mut self, result: Result<(), TestCaseError>) {
+        match result {
+            Ok(()) => self.case += 1,
+            Err(TestCaseError::Reject) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected < self.config.cases.max(1) * Self::MAX_REJECT_FACTOR,
+                    "proptest shim: test {} rejected too many cases ({}); \
+                     loosen prop_assume! conditions",
+                    self.name,
+                    self.rejected,
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest shim: test {} failed at case {} (name-seed {:#x}): {}",
+                    self.name, self.case, self.seed, msg
+                );
+            }
+        }
+    }
+}

@@ -193,6 +193,32 @@ impl Clb {
         }
     }
 
+    /// Fault-injection hook: XORs `xor` into the cached plaintext of the
+    /// most-recently-used valid entry, modelling a bit upset in the CLB's
+    /// data array. Returns `false` (and changes nothing) when `xor` is zero
+    /// or no valid entry exists.
+    ///
+    /// A poisoned entry serves the corrupted plaintext on its next decrypt
+    /// hit; whether the consumer notices is exactly what the fault campaign
+    /// measures.
+    pub fn poison_mru(&mut self, xor: u64) -> bool {
+        if xor == 0 {
+            return false;
+        }
+        match self
+            .entries
+            .iter_mut()
+            .filter(|e| e.valid)
+            .max_by_key(|e| e.last_used)
+        {
+            Some(entry) => {
+                entry.plaintext ^= xor;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Invalidates the whole buffer.
     pub fn invalidate_all(&mut self) {
         for entry in &mut self.entries {
@@ -262,6 +288,18 @@ mod tests {
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
         assert!((stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poison_mru_corrupts_only_the_latest_entry() {
+        let mut clb = Clb::new(4);
+        assert!(!clb.poison_mru(1), "empty buffer has no target");
+        clb.insert(1, 0, 10, 110);
+        clb.insert(1, 0, 20, 120);
+        assert!(!clb.poison_mru(0), "zero xor is a no-op");
+        assert!(clb.poison_mru(0xFF));
+        assert_eq!(clb.lookup_decrypt(1, 0, 120), Some(20 ^ 0xFF));
+        assert_eq!(clb.lookup_decrypt(1, 0, 110), Some(10), "older entry untouched");
     }
 
     #[test]

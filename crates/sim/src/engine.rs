@@ -59,6 +59,67 @@ impl KeyRegFile {
         let old = self.key(key);
         self.set_key(key, Key::new(w0, old.k0()));
     }
+
+    /// Fault-injection hook: XORs the halves of register `ksel` in place.
+    ///
+    /// This models a glitched/flipped hardware register, not a software key
+    /// write — it accepts any selector including the master key and does
+    /// *not* trigger the CLB invalidation a software write performs (the
+    /// register changed under the CLB's feet). Selectors are taken modulo 8.
+    pub fn tamper(&mut self, ksel: u8, xor_w0: u64, xor_k0: u64) {
+        let index = usize::from(ksel % 8);
+        let old = self.keys[index];
+        self.keys[index] = Key::new(old.w0() ^ xor_w0, old.k0() ^ xor_k0);
+    }
+}
+
+/// A step-budget watchdog for wedged or runaway guests.
+///
+/// The embedder arms it via [`crate::Machine::arm_watchdog`]; the machine
+/// charges it one unit per stepped instruction and per kernel-modelled
+/// operation, and turns expiry into [`crate::SimError::Timeout`] instead of
+/// spinning forever. Unlike the `run(max_steps)` limit — which bounds a
+/// single run call — the watchdog budget persists across calls until
+/// disarmed or re-armed, so a kernel can bound the *total* work a guest
+/// thread performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    budget: u64,
+    consumed: u64,
+}
+
+impl Watchdog {
+    /// A watchdog allowing `budget` units of work.
+    #[must_use]
+    pub fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            consumed: 0,
+        }
+    }
+
+    /// The armed budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Units of work left before expiry.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.budget.saturating_sub(self.consumed)
+    }
+
+    /// `true` once the budget is fully consumed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.consumed >= self.budget
+    }
+
+    /// Charges `units` of work against the budget.
+    pub fn consume(&mut self, units: u64) {
+        self.consumed = self.consumed.saturating_add(units);
+    }
 }
 
 /// Error raised by a failed `crd` integrity check: the bytes outside the
@@ -305,6 +366,36 @@ mod tests {
         let with_a = engine.encrypt(KeyReg::A, 0, 0x77, ByteRange::FULL);
         let with_b = engine.encrypt(KeyReg::B, 0, 0x77, ByteRange::FULL);
         assert_ne!(with_a.value, with_b.value);
+    }
+
+    #[test]
+    fn tamper_skips_clb_invalidation() {
+        let mut engine = engine();
+        let enc = engine.encrypt(KeyReg::A, 0, 0x77, ByteRange::FULL);
+        engine.key_file_mut().tamper(KeyReg::A.ksel(), 0x1, 0x2);
+        // The stale CLB entry still serves the old mapping — the register
+        // changed under the buffer's feet, exactly the hardware-fault case.
+        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        assert!(dec.clb_hit);
+        assert_eq!(dec.value, 0x77);
+        // A fresh computation uses the tampered key and disagrees.
+        engine.clb_mut().invalidate_all();
+        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        assert_ne!(dec.value, 0x77);
+    }
+
+    #[test]
+    fn watchdog_expires_exactly_at_budget() {
+        let mut dog = Watchdog::new(3);
+        assert!(!dog.expired());
+        dog.consume(2);
+        assert_eq!(dog.remaining(), 1);
+        assert!(!dog.expired());
+        dog.consume(1);
+        assert!(dog.expired());
+        assert_eq!(dog.remaining(), 0);
+        dog.consume(u64::MAX); // saturates, no overflow panic
+        assert!(dog.expired());
     }
 
     #[test]

@@ -94,6 +94,13 @@ pub enum SimError {
     /// Software attempted a privileged simulator operation (e.g. writing
     /// the master key register from the embedder API with kernel privilege).
     PrivilegeViolation(String),
+    /// The armed watchdog budget was exhausted: the guest ran (or a
+    /// kernel-modelled operation charged) more work than the embedder
+    /// allowed, indicating a wedged or runaway guest.
+    Timeout {
+        /// The step budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -106,6 +113,9 @@ impl fmt::Display for SimError {
                 write!(f, "unhandled exception `{cause}` at pc {pc:#x} (tval {tval:#x})")
             }
             SimError::PrivilegeViolation(message) => write!(f, "privilege violation: {message}"),
+            SimError::Timeout { budget } => {
+                write!(f, "watchdog budget of {budget} steps exhausted")
+            }
         }
     }
 }
@@ -145,5 +155,7 @@ mod tests {
     fn errors_format() {
         let err = SimError::StepLimitExceeded { limit: 7 };
         assert_eq!(err.to_string(), "step limit of 7 instructions exceeded");
+        let err = SimError::Timeout { budget: 9 };
+        assert_eq!(err.to_string(), "watchdog budget of 9 steps exhausted");
     }
 }

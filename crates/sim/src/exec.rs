@@ -171,7 +171,11 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
         }
         Insn::OpImmW { op, rd, rs1, imm } => {
             let a = machine.hart.reg(rs1);
-            let value = alu32(op, a, imm as i64 as u64);
+            let Some(value) = alu32(op, a, imm as i64 as u64) else {
+                // An op with no W form reaching execute is a decode anomaly;
+                // report it to the guest rather than aborting the simulator.
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            };
             machine.hart.set_reg(rd, value);
             machine.hart.set_pc(next_pc);
             retire(machine, InsnClass::Alu, false, false);
@@ -186,7 +190,10 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
         Insn::OpW { op, rd, rs1, rs2 } => {
             let a = machine.hart.reg(rs1);
             let b = machine.hart.reg(rs2);
-            machine.hart.set_reg(rd, alu32(op, a, b));
+            let Some(value) = alu32(op, a, b) else {
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            };
+            machine.hart.set_reg(rd, value);
             machine.hart.set_pc(next_pc);
             retire(machine, class_of(op), false, false);
         }
@@ -240,7 +247,11 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
                 // user mode (§2.3.1).
                 return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
             }
-            let range = ByteRange::new(hi, lo).expect("decoder validated the range");
+            let Some(range) = ByteRange::new(hi, lo) else {
+                // A malformed range reaching execute is a decode anomaly;
+                // report it to the guest rather than aborting the simulator.
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            };
             let tweak = machine.hart.reg(rt);
             let value = machine.hart.reg(rs);
             let result = machine.engine.encrypt(key, tweak, value, range);
@@ -260,7 +271,9 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
             if machine.hart.privilege() != Privilege::Kernel {
                 return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
             }
-            let range = ByteRange::new(hi, lo).expect("decoder validated the range");
+            let Some(range) = ByteRange::new(hi, lo) else {
+                return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
+            };
             let tweak = machine.hart.reg(rt);
             let ciphertext = machine.hart.reg(rs);
             machine.stats.decrypts += 1;
@@ -389,7 +402,9 @@ fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
     }
 }
 
-fn alu32(op: AluOp, a: u64, b: u64) -> u64 {
+/// 32-bit ALU; `None` for ops with no W form (a decode anomaly the caller
+/// reports as an illegal instruction).
+fn alu32(op: AluOp, a: u64, b: u64) -> Option<u64> {
     let a32 = a as u32;
     let b32 = b as u32;
     let result: u32 = match op {
@@ -425,9 +440,9 @@ fn alu32(op: AluOp, a: u64, b: u64) -> u64 {
                 a32 % b32
             }
         }
-        _ => unreachable!("no W form for {op:?}"),
+        _ => return None,
     };
-    result as i32 as i64 as u64
+    Some(result as i32 as i64 as u64)
 }
 
 #[cfg(test)]
@@ -445,8 +460,14 @@ mod tests {
     #[test]
     fn alu32_results_are_sign_extended() {
         // addw of 0x7FFFFFFF + 1 = 0x80000000 -> sign-extends to negative.
-        let value = alu32(AluOp::Add, 0x7FFF_FFFF, 1);
+        let value = alu32(AluOp::Add, 0x7FFF_FFFF, 1).unwrap();
         assert_eq!(value, 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn alu32_rejects_ops_without_a_w_form() {
+        assert_eq!(alu32(AluOp::And, 1, 1), None);
+        assert_eq!(alu32(AluOp::Slt, 1, 2), None);
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod cost;
 mod engine;
 mod error;
 mod exec;
+mod fault;
 mod hart;
 mod machine;
 mod mem;
@@ -72,8 +73,9 @@ mod trace;
 
 pub use clb::{Clb, ClbStats};
 pub use cost::CostModel;
-pub use engine::{CryptoEngine, CryptoResult, IntegrityError, KeyRegFile};
+pub use engine::{CryptoEngine, CryptoResult, IntegrityError, KeyRegFile, Watchdog};
 pub use error::{ExceptionCause, SimError};
+pub use fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use hart::{Hart, Privilege};
 pub use machine::{Event, Machine, MachineConfig};
 pub use mem::Memory;

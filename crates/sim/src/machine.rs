@@ -5,9 +5,10 @@ use regvault_qarma::Key;
 
 use crate::{
     cost::CostModel,
-    engine::CryptoEngine,
+    engine::{CryptoEngine, Watchdog},
     error::{ExceptionCause, SimError},
     exec,
+    fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan},
     hart::{Hart, Privilege},
     mem::Memory,
     stats::{InsnClass, Stats},
@@ -88,6 +89,8 @@ pub struct Machine {
     timer_interval: Option<u64>,
     next_timer: u64,
     pub(crate) trace: Option<crate::trace::TraceBuffer>,
+    fault_plan: Option<FaultPlan>,
+    watchdog: Option<Watchdog>,
 }
 
 impl Machine {
@@ -103,6 +106,8 @@ impl Machine {
             timer_interval: config.timer_interval,
             next_timer: config.timer_interval.unwrap_or(u64::MAX),
             trace: None,
+            fault_plan: None,
+            watchdog: None,
         }
     }
 
@@ -199,21 +204,152 @@ impl Machine {
         Ok(())
     }
 
+    // --- Fault injection and watchdog ----------------------------------
+
+    /// Installs a [`FaultPlan`]; due faults are applied as the machine runs
+    /// (polled on every step and every kernel-modelled operation). Replaces
+    /// any existing plan, discarding its applied-fault log.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The installed fault plan (schedule plus applied-fault log), if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Removes and returns the installed fault plan.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.fault_plan.take()
+    }
+
+    /// Applies one fault immediately and records it in the applied-fault
+    /// log (creating an empty plan to hold the log if none is installed).
+    ///
+    /// This is the attacker/campaign primitive for faults that must land at
+    /// a precise point in host-driven code rather than at an instruction
+    /// count.
+    pub fn inject_fault(&mut self, kind: FaultKind) -> FaultEffect {
+        let effect = self.apply_fault(kind);
+        let entry = AppliedFault {
+            instret: self.stats.instret,
+            kind,
+            effect,
+        };
+        self.fault_plan
+            .get_or_insert_with(FaultPlan::default)
+            .record(entry);
+        effect
+    }
+
+    /// Arms (or re-arms) the step-budget watchdog: after `budget` units of
+    /// work — stepped instructions plus kernel-charged operations — the next
+    /// [`Machine::step`] returns [`SimError::Timeout`] instead of running.
+    pub fn arm_watchdog(&mut self, budget: u64) {
+        self.watchdog = Some(Watchdog::new(budget));
+    }
+
+    /// Disarms the watchdog.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// The armed watchdog, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Applies every fault due at the current retired-instruction count and
+    /// records the outcomes.
+    fn poll_faults(&mut self) {
+        // Take/restore so the applied-fault handlers can borrow `self`
+        // mutably without aliasing the plan.
+        let Some(mut plan) = self.fault_plan.take() else {
+            return;
+        };
+        for kind in plan.take_due(self.stats.instret) {
+            let effect = self.apply_fault(kind);
+            plan.record(AppliedFault {
+                instret: self.stats.instret,
+                kind,
+                effect,
+            });
+        }
+        self.fault_plan = Some(plan);
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) -> FaultEffect {
+        match kind {
+            FaultKind::MemBitFlip { addr, bit } => match self.mem.read_u64(addr) {
+                Ok(word) => {
+                    let flipped = word ^ (1u64 << (bit % 64));
+                    self.mem.write_slice(addr, &flipped.to_le_bytes());
+                    FaultEffect::Injected
+                }
+                Err(_) => FaultEffect::SkippedUnmapped,
+            },
+            FaultKind::MemWrite { addr, value } => {
+                // Sparse memory maps on touch: an arbitrary write always
+                // lands, matching the attacker primitive it models.
+                self.mem.write_slice(addr, &value.to_le_bytes());
+                FaultEffect::Injected
+            }
+            FaultKind::MemSwap { a, b } => match (self.mem.read_u64(a), self.mem.read_u64(b)) {
+                (Ok(word_a), Ok(word_b)) => {
+                    self.mem.write_slice(a, &word_b.to_le_bytes());
+                    self.mem.write_slice(b, &word_a.to_le_bytes());
+                    FaultEffect::Injected
+                }
+                _ => FaultEffect::SkippedUnmapped,
+            },
+            FaultKind::KeyTamper {
+                ksel,
+                xor_w0,
+                xor_k0,
+            } => {
+                if xor_w0 == 0 && xor_k0 == 0 {
+                    FaultEffect::SkippedNoTarget
+                } else {
+                    self.engine.key_file_mut().tamper(ksel, xor_w0, xor_k0);
+                    FaultEffect::Injected
+                }
+            }
+            FaultKind::ClbPoison { xor } => {
+                if self.engine.clb_mut().poison_mru(xor) {
+                    FaultEffect::Injected
+                } else {
+                    FaultEffect::SkippedNoTarget
+                }
+            }
+        }
+    }
+
     /// Executes one instruction (or delivers a pending timer interrupt).
     ///
     /// Returns `Some(event)` when control must pass to the embedder.
     ///
     /// # Errors
     ///
-    /// Currently infallible at the simulator level (all guest faults are
-    /// reported as [`Event::Exception`]); fallible for future bounded-memory
-    /// configurations.
+    /// Returns [`SimError::Timeout`] when an armed watchdog budget is
+    /// exhausted. Guest faults are never errors — they are reported as
+    /// [`Event::Exception`].
     pub fn step(&mut self) -> Result<Option<Event>, SimError> {
+        if let Some(dog) = &mut self.watchdog {
+            if dog.expired() {
+                return Err(SimError::Timeout {
+                    budget: dog.budget(),
+                });
+            }
+            dog.consume(1);
+        }
         if self.stats.cycles >= self.next_timer {
             self.next_timer = self.stats.cycles + self.timer_interval.unwrap_or(u64::MAX);
             self.stats.timer_interrupts += 1;
             return Ok(Some(Event::TimerInterrupt));
         }
+        self.poll_faults();
         Ok(exec::step(self))
     }
 
@@ -279,19 +415,32 @@ impl Machine {
 
     /// Charges `count` instructions of `class` to the clock — used by the
     /// Rust-modelled kernel to account for straight-line work.
+    ///
+    /// Kernel work counts against an armed watchdog (expiry surfaces as
+    /// [`SimError::Timeout`] at the next [`Machine::step`]) and advances
+    /// the fault clock, so planned faults can land inside kernel-modelled
+    /// operations, not only between guest instructions.
     pub fn charge(&mut self, class: InsnClass, count: u64) {
         for _ in 0..count {
             let cycles = self.cost.cycles(class, true, false);
             self.stats.retire(class, cycles);
         }
+        if let Some(dog) = &mut self.watchdog {
+            dog.consume(count);
+        }
+        self.poll_faults();
     }
 
     /// Kernel-mode `cre`: encrypt, charging crypto cycles.
     pub fn kernel_encrypt(&mut self, key: KeyReg, tweak: u64, value: u64, range: ByteRange) -> u64 {
+        self.poll_faults();
         let result = self.engine.encrypt(key, tweak, value, range);
         let cycles = self.cost.cycles(InsnClass::Crypto, false, result.clb_hit);
         self.stats.retire(InsnClass::Crypto, cycles);
         self.stats.encrypts += 1;
+        if let Some(dog) = &mut self.watchdog {
+            dog.consume(1);
+        }
         result.value
     }
 
@@ -308,11 +457,15 @@ impl Machine {
         ciphertext: u64,
         range: ByteRange,
     ) -> Result<u64, u64> {
+        self.poll_faults();
         let outcome = self.engine.decrypt(key, tweak, ciphertext, range);
         let clb_hit = outcome.as_ref().map(|r| r.clb_hit).unwrap_or(false);
         let cycles = self.cost.cycles(InsnClass::Crypto, false, clb_hit);
         self.stats.retire(InsnClass::Crypto, cycles);
         self.stats.decrypts += 1;
+        if let Some(dog) = &mut self.watchdog {
+            dog.consume(1);
+        }
         match outcome {
             Ok(result) => Ok(result.value),
             Err(err) => {
@@ -403,6 +556,69 @@ mod tests {
             machine.run(100),
             Err(SimError::StepLimitExceeded { limit: 100 })
         ));
+    }
+
+    #[test]
+    fn planned_fault_lands_at_the_scheduled_instret() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = regvault_isa::asm::assemble(
+            "loop: addi a0, a0, 1
+                   j loop",
+        )
+        .unwrap();
+        machine.load_program(0x8000_0000, program.bytes());
+        machine.hart_mut().set_pc(0x8000_0000);
+        machine.memory_mut().write_u64(0x9000, 0xFF00).unwrap();
+        machine.set_fault_plan(crate::fault::FaultPlan::new().at(
+            10,
+            FaultKind::MemBitFlip {
+                addr: 0x9000,
+                bit: 0,
+            },
+        ));
+        let _ = machine.run(50);
+        let log = machine.fault_plan().unwrap().applied();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].effect, FaultEffect::Injected);
+        assert!(log[0].instret >= 10);
+        assert_eq!(machine.memory().read_u64(0x9000).unwrap(), 0xFF01);
+    }
+
+    #[test]
+    fn inject_fault_records_skips() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let effect = machine.inject_fault(FaultKind::MemBitFlip { addr: 0x10, bit: 0 });
+        assert_eq!(effect, FaultEffect::SkippedUnmapped);
+        let effect = machine.inject_fault(FaultKind::ClbPoison { xor: 1 });
+        assert_eq!(effect, FaultEffect::SkippedNoTarget);
+        assert_eq!(machine.fault_plan().unwrap().applied().len(), 2);
+    }
+
+    #[test]
+    fn watchdog_turns_runaway_guest_into_timeout() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let program = regvault_isa::asm::assemble("loop: j loop").unwrap();
+        machine.load_program(0x8000_0000, program.bytes());
+        machine.hart_mut().set_pc(0x8000_0000);
+        machine.arm_watchdog(25);
+        assert!(matches!(
+            machine.run(1_000_000),
+            Err(SimError::Timeout { budget: 25 })
+        ));
+        machine.disarm_watchdog();
+        assert!(matches!(
+            machine.run(100),
+            Err(SimError::StepLimitExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn kernel_charges_consume_the_watchdog() {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine.arm_watchdog(10);
+        machine.charge(InsnClass::Alu, 10);
+        assert!(machine.watchdog().unwrap().expired());
+        assert!(matches!(machine.step(), Err(SimError::Timeout { .. })));
     }
 
     #[test]

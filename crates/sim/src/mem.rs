@@ -161,9 +161,19 @@ impl Memory {
     }
 
     /// Copies a byte slice into memory, mapping pages as needed.
+    ///
+    /// Infallible by construction: it writes straight into the
+    /// mapped-on-touch page table rather than going through the fallible
+    /// store path.
     pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
-        self.write_bytes(addr, bytes)
-            .expect("sparse writes cannot fault");
+        for (i, &byte) in bytes.iter().enumerate() {
+            let at = addr + i as u64;
+            let page = self
+                .pages
+                .entry(at >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            page[(at & (PAGE_SIZE - 1)) as usize] = byte;
+        }
     }
 
     /// Reads `len` bytes into a fresh vector.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo-wide check: build, full test suite, lints, and the deterministic
+# fault-injection campaign's reproducibility gate. This is the command CI
+# (and humans) run before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+# Clippy needs the clippy-driver component; in minimal/offline toolchains
+# it may be absent, so lint best-effort rather than failing the gate.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy unavailable; skipping lints"
+fi
+
+echo "==> fault campaign determinism (two runs must be identical)"
+campaign=(target/release/fault_campaign --seed 42 --trials 50)
+"${campaign[@]}" > /tmp/fault_campaign_run1.txt
+"${campaign[@]}" > /tmp/fault_campaign_run2.txt
+diff /tmp/fault_campaign_run1.txt /tmp/fault_campaign_run2.txt
+
+echo "OK"
