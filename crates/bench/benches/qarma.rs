@@ -4,12 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use regvault_isa::{ByteRange, KeyReg};
-use regvault_qarma::{Key, Qarma64};
+use regvault_qarma::{reference::Reference, Key, Qarma64};
 use regvault_sim::CryptoEngine;
 use std::hint::black_box;
 
 fn bench_cipher(c: &mut Criterion) {
-    let cipher = Qarma64::new(Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9));
+    let key = Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9);
+    let cipher = Qarma64::new(key);
     c.bench_function("qarma64_encrypt", |b| {
         let mut pt = 0xfb623599da6e8127u64;
         b.iter(|| {
@@ -21,6 +22,31 @@ fn bench_cipher(c: &mut Criterion) {
         let mut ct = 0xfb623599da6e8127u64;
         b.iter(|| {
             ct = cipher.decrypt(black_box(ct), 0x477d469dec0b8762);
+            ct
+        });
+    });
+    // Throughput shape: independent blocks, so successive iterations
+    // overlap in the pipeline (steady-state blocks/sec rather than
+    // single-block latency).
+    c.bench_function("qarma64_encrypt_throughput", |b| {
+        b.iter(|| cipher.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762)));
+    });
+    // The cell-level datapath the SWAR core replaced, for the speedup ratio.
+    let reference = Reference::new(key);
+    c.bench_function("qarma64_reference_encrypt_throughput", |b| {
+        b.iter(|| reference.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762)));
+    });
+    c.bench_function("qarma64_reference_encrypt", |b| {
+        let mut pt = 0xfb623599da6e8127u64;
+        b.iter(|| {
+            pt = reference.encrypt(black_box(pt), 0x477d469dec0b8762);
+            pt
+        });
+    });
+    c.bench_function("qarma64_reference_decrypt", |b| {
+        let mut ct = 0xfb623599da6e8127u64;
+        b.iter(|| {
+            ct = reference.decrypt(black_box(ct), 0x477d469dec0b8762);
             ct
         });
     });

@@ -16,13 +16,22 @@
 //!   *finding*: it should never happen.
 //!
 //! The campaign is bit-for-bit reproducible: the same `--seed` and
-//! `--trials` always produce the same report.
+//! `--trials` always produce the same report. With `--seeds N` the campaign
+//! repeats for `N` consecutive seeds; the per-seed campaigns run on a
+//! scoped-thread pool (`--jobs`, default one worker per CPU) but each
+//! seed's report is computed exactly as it would be alone and the reports
+//! are merged in seed order, so the output is identical for any `--jobs`
+//! value — `--jobs 1` is the plain single-threaded path.
 //!
 //! ```text
 //! cargo run --release --bin fault_campaign -- --seed 42 --trials 200
+//! cargo run --release --bin fault_campaign -- --seeds 8 --trials 50 --jobs 4
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -273,12 +282,20 @@ fn run_class(class: Class, rng: &mut StdRng, protection: ProtectionConfig, trial
     tally
 }
 
-fn run_config(label: &str, protection: ProtectionConfig, seed: u64, trials: u64) -> u64 {
-    println!("configuration: {label}");
-    println!(
+fn run_config(
+    out: &mut String,
+    label: &str,
+    protection: ProtectionConfig,
+    seed: u64,
+    trials: u64,
+) -> u64 {
+    writeln!(out, "configuration: {label}").unwrap();
+    writeln!(
+        out,
         "{:<22} {:>9} {:>9} {:>9} {:>9}",
         "fault class", "detected", "garbled", "masked", "silent"
-    );
+    )
+    .unwrap();
     let mut silent_total = 0;
     for (i, class) in Class::ALL.iter().enumerate() {
         // One independent sub-stream per (config, class) row, so adding a
@@ -286,59 +303,133 @@ fn run_config(label: &str, protection: ProtectionConfig, seed: u64, trials: u64)
         let stream = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
         let mut rng = StdRng::seed_from_u64(stream ^ u64::from(label == "full"));
         let tally = run_class(*class, &mut rng, protection, trials);
-        println!(
+        writeln!(
+            out,
             "{:<22} {:>9} {:>9} {:>9} {:>9}",
             class.name(),
             tally.detected,
             tally.garbled,
             tally.masked,
             tally.silent
-        );
+        )
+        .unwrap();
         silent_total += tally.silent;
     }
-    println!();
+    writeln!(out).unwrap();
     silent_total
+}
+
+/// One seed's full campaign, rendered to a string so parallel workers can
+/// compute reports out of order while the merge stays in seed order.
+struct SeedReport {
+    text: String,
+    silent_under_full: u64,
+}
+
+fn run_seed(seed: u64, trials: u64, config: &str, banner: bool) -> SeedReport {
+    let mut text = String::new();
+    if banner {
+        writeln!(text, "=== seed {seed} ===\n").unwrap();
+    }
+    let mut silent_under_full = 0;
+    if config == "full" || config == "both" {
+        silent_under_full = run_config(&mut text, "full", ProtectionConfig::full(), seed, trials);
+    }
+    if config == "off" || config == "both" {
+        run_config(&mut text, "off", ProtectionConfig::off(), seed, trials);
+    }
+    SeedReport { text, silent_under_full }
+}
+
+/// Runs every seed's campaign and returns the reports in seed order.
+///
+/// Each worker pulls the next unclaimed seed index from a shared counter
+/// and writes the finished report into that seed's slot, so the schedule
+/// is dynamic but the merge is positional: the output is bit-for-bit the
+/// same for any worker count, including `--jobs 1` (which doesn't spawn
+/// at all).
+fn run_seeds(seeds: &[u64], trials: u64, config: &str, jobs: usize) -> Vec<SeedReport> {
+    let banner = seeds.len() > 1;
+    if jobs <= 1 || seeds.len() <= 1 {
+        return seeds
+            .iter()
+            .map(|&seed| run_seed(seed, trials, config, banner))
+            .collect();
+    }
+
+    let slots: Vec<Mutex<Option<SeedReport>>> =
+        seeds.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(seeds.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let report = run_seed(seed, trials, config, banner);
+                *slots[i].lock().unwrap() = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every seed slot filled"))
+        .collect()
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fault_campaign [--seed N] [--trials N] [--config full|off|both]\n\
+        "usage: fault_campaign [--seed N] [--seeds N] [--trials N]\n\
+                               [--config full|off|both] [--jobs N]\n\
          \n\
-         Runs N seeded fault-injection trials per fault class and per\n\
+         Runs seeded fault-injection trials per fault class and per\n\
          configuration, and reports Detected/Garbled/Masked/SilentCorruption\n\
-         counts. Exits nonzero when full protection shows silent corruption."
+         counts. --seeds runs the campaign for N consecutive seeds starting\n\
+         at --seed, in parallel on --jobs workers (default: one per CPU;\n\
+         --jobs 1 runs single-threaded); reports are merged in seed order\n\
+         and are identical for any --jobs value. Exits nonzero when full\n\
+         protection shows silent corruption."
     );
     std::process::exit(2)
 }
 
 fn main() -> ExitCode {
     let mut seed = 42u64;
+    let mut seed_count = 1u64;
     let mut trials = 200u64;
     let mut config = String::from("both");
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seeds" => {
+                seed_count = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--trials" => {
                 trials = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
             }
             "--config" => config = argv.next().unwrap_or_else(|| usage()),
+            "--jobs" => jobs = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    if !matches!(config.as_str(), "full" | "off" | "both") {
+    if !matches!(config.as_str(), "full" | "off" | "both") || seed_count == 0 || jobs == 0 {
         usage();
     }
 
-    println!("RegVault fault-injection campaign (seed={seed}, trials={trials} per class)\n");
+    let seeds: Vec<u64> = (0..seed_count).map(|i| seed.wrapping_add(i)).collect();
+    println!(
+        "RegVault fault-injection campaign (seeds={}..={}, trials={trials} per class)\n",
+        seeds[0],
+        seeds[seeds.len() - 1]
+    );
+    let reports = run_seeds(&seeds, trials, &config, jobs);
     let mut silent_under_full = 0;
-    if config == "full" || config == "both" {
-        silent_under_full = run_config("full", ProtectionConfig::full(), seed, trials);
-    }
-    if config == "off" || config == "both" {
-        run_config("off", ProtectionConfig::off(), seed, trials);
+    for report in &reports {
+        print!("{}", report.text);
+        silent_under_full += report.silent_under_full;
     }
 
     if silent_under_full > 0 {

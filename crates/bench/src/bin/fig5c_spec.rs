@@ -1,12 +1,13 @@
 //! Regenerates Figure 5c: SPEC CPU2017 intspeed overheads (paper:
 //! close-to-zero average for FULL).
 
-use regvault_bench::print_overhead_table;
+use regvault_bench::{overhead_rows_to_json, print_overhead_table, write_figure_json};
 use regvault_workloads::{spec::Spec, Workload};
 
 fn main() {
     let items: Vec<&dyn Workload> = Spec::ALL.iter().map(|w| w as &dyn Workload).collect();
     let rows = print_overhead_table("Figure 5c: SPEC2017 intspeed results", &items);
+    write_figure_json("fig5c_spec", &overhead_rows_to_json("Figure 5c: SPEC2017 intspeed", &rows));
     let full = regvault_workloads::mean_overhead(&rows, "FULL");
     println!(
         "\naverage overhead for full protection: {:.2}% (paper: close to zero)",

@@ -16,7 +16,68 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
+use std::path::PathBuf;
+
 use regvault_workloads::{OverheadRow, Workload};
+
+/// The repository root (two levels above this crate's manifest), where the
+/// machine-readable `BENCH_*.json` artifacts live.
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the repo root")
+        .to_path_buf()
+}
+
+/// Converts Figure 5 style overhead rows into the JSON shape shared by the
+/// `fig5*` binaries: per-workload base cycles and per-config overhead
+/// fractions, plus the geometric-mean row.
+#[must_use]
+pub fn overhead_rows_to_json(figure: &str, rows: &[OverheadRow]) -> json::Value {
+    let mut workloads = Vec::new();
+    for row in rows {
+        let mut obj = vec![
+            ("name".to_string(), json::Value::Str(row.name.to_string())),
+            ("base_cycles".to_string(), json::Value::Int(row.base_cycles)),
+        ];
+        for (label, overhead) in &row.overheads {
+            obj.push((
+                format!("overhead_{}", label.to_lowercase().replace('-', "_")),
+                json::Value::Num(*overhead),
+            ));
+        }
+        workloads.push(json::Value::Obj(obj));
+    }
+    let mut means = Vec::new();
+    for label in ["RA", "FP", "NON-CONTROL", "FULL"] {
+        means.push((
+            format!("mean_{}", label.to_lowercase().replace('-', "_")),
+            json::Value::Num(regvault_workloads::mean_overhead(rows, label)),
+        ));
+    }
+    json::Value::Obj(vec![
+        ("figure".to_string(), json::Value::Str(figure.to_string())),
+        ("workloads".to_string(), json::Value::Arr(workloads)),
+        ("geomean".to_string(), json::Value::Obj(means)),
+    ])
+}
+
+/// Writes a figure's JSON artifact as `BENCH_<stem>.json` at the repo root
+/// and reports the path on stdout.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written — the harness treats that as a
+/// broken checkout.
+pub fn write_figure_json(stem: &str, value: &json::Value) {
+    let path = repo_root().join(format!("BENCH_{stem}.json"));
+    std::fs::write(&path, value.render()).expect("write benchmark JSON");
+    println!("wrote {}", path.display());
+}
 
 /// Formats an overhead fraction as a `+x.xx%` cell.
 #[must_use]

@@ -8,10 +8,13 @@
 //! `name = ...; config = ...; targets = ...` forms).
 //!
 //! Measurement is intentionally simple — a fixed number of timed batches
-//! with a median-of-batches estimate — because the repository's published
+//! with a minimum-of-batches estimate — because the repository's published
 //! numbers come from the simulator's cycle cost model, not wall-clock
 //! timings; this harness only needs to run the benches and print sane
-//! per-iteration times.
+//! per-iteration times. The minimum is the right estimator here: every
+//! bench body is deterministic, so scheduler and cache interference can
+//! only ever *add* time, and the fastest batch is the closest observation
+//! of the true cost.
 
 #![forbid(unsafe_code)]
 
@@ -74,7 +77,15 @@ impl Criterion {
     }
 
     /// Runs one named benchmark and prints a per-iteration estimate.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        let _ = self.bench_timed(name, body);
+        self
+    }
+
+    /// Like [`Criterion::bench_function`], but returns the minimum
+    /// per-iteration time so harnesses can persist the estimate (used by the
+    /// `hotpath` perf-trajectory binary).
+    pub fn bench_timed<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> Duration {
         // Warm-up: run single iterations until the warm-up budget is spent,
         // and use the observed rate to size the timed batches.
         let warm_start = Instant::now();
@@ -100,7 +111,7 @@ impl Criterion {
             (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
         };
 
-        let mut times: Vec<Duration> = (0..samples)
+        let best = (0..samples)
             .map(|_| {
                 let mut bencher = Bencher {
                     iters,
@@ -109,11 +120,10 @@ impl Criterion {
                 body(&mut bencher);
                 bencher.elapsed / iters as u32
             })
-            .collect();
-        times.sort();
-        let median = times[times.len() / 2];
-        println!("bench {name:<48} {median:>12.2?}/iter ({samples} samples x {iters} iters)");
-        self
+            .min()
+            .expect("sample_size >= 1");
+        println!("bench {name:<48} {best:>12.2?}/iter ({samples} samples x {iters} iters)");
+        best
     }
 }
 
@@ -167,5 +177,17 @@ mod tests {
     #[test]
     fn group_runs_to_completion() {
         quick();
+    }
+
+    #[test]
+    fn bench_timed_returns_a_positive_estimate() {
+        let mut criterion = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let median = criterion.bench_timed("spin", |b| {
+            b.iter(|| (0..100u64).fold(0, |acc, x| acc ^ x.wrapping_mul(3)))
+        });
+        assert!(median > Duration::ZERO);
     }
 }

@@ -29,6 +29,11 @@
 //! crypto-engine implements in 3 hardware cycles; [`Qarma64::with_params`]
 //! exposes the other published S-boxes and round counts, validated against the
 //! test vectors from the QARMA paper.
+//!
+//! Two datapaths implement the same cipher: the SWAR-optimized [`Qarma64`]
+//! (fused byte-sliced linear-layer tables, precomputed key schedule — see
+//! `tables`) and the cell-by-cell [`reference::Reference`] it is
+//! differential-tested against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +41,8 @@
 mod cells;
 mod cipher;
 mod key;
+pub mod reference;
+mod tables;
 
 pub use cipher::{Qarma64, DEFAULT_ROUNDS};
 pub use key::Key;

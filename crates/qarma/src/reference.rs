@@ -1,0 +1,208 @@
+//! The cell-by-cell reference implementation of QARMA-64.
+//!
+//! This module preserves the original, specification-shaped datapath: the
+//! 64-bit state is unpacked into 16 four-bit cells and every layer (S-box,
+//! shuffle τ, MixColumns, tweak update) walks the cells one at a time. It is
+//! deliberately slow and deliberately obvious — the optimized SWAR
+//! implementation in [`crate::Qarma64`] is differential-tested against it
+//! (`tests/properties.rs`) and its fused lookup tables are *generated from*
+//! these routines, so any divergence between the two is a bug by
+//! construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use regvault_qarma::{reference::Reference, Key, Qarma64};
+//!
+//! let key = Key::new(0x84be85ce9804e94b, 0xec2802d4e0a488e9);
+//! let slow = Reference::new(key);
+//! let fast = Qarma64::new(key);
+//! let (pt, tw) = (0xfb623599da6e8127, 0x477d469dec0b8762);
+//! assert_eq!(slow.encrypt(pt, tw), fast.encrypt(pt, tw));
+//! ```
+
+use crate::cells::{self, Cells, TAU, TAU_INV};
+use crate::cipher::{ALPHA, ROUND_CONSTANTS};
+use crate::{Key, Sbox};
+
+/// Cell-level QARMA-64 instance (the pre-optimization datapath).
+///
+/// API mirrors [`crate::Qarma64`]; see the [module docs](self) for why it is
+/// kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reference {
+    key: Key,
+    sbox: Sbox,
+    rounds: usize,
+}
+
+impl Reference {
+    /// Creates a reference cipher with the RegVault parameters (σ1, 7
+    /// rounds).
+    #[must_use]
+    pub fn new(key: Key) -> Self {
+        Self::with_params(key, Sbox::default(), crate::DEFAULT_ROUNDS)
+    }
+
+    /// Creates a reference cipher with an explicit S-box and round count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero or greater than 8.
+    #[must_use]
+    pub fn with_params(key: Key, sbox: Sbox, rounds: usize) -> Self {
+        assert!(
+            rounds >= 1 && rounds <= ROUND_CONSTANTS.len(),
+            "QARMA-64 round count must be in 1..=8, got {rounds}"
+        );
+        Self { key, sbox, rounds }
+    }
+
+    /// Encrypts one 64-bit block under the given 64-bit tweak.
+    #[must_use]
+    pub fn encrypt(&self, plaintext: u64, tweak: u64) -> u64 {
+        self.core(
+            plaintext,
+            tweak,
+            self.key.w0(),
+            self.key.w1(),
+            self.key.k0(),
+            self.key.k0(),
+        )
+    }
+
+    /// Decrypts one 64-bit block under the given 64-bit tweak (via QARMA's
+    /// α-reflection property).
+    #[must_use]
+    pub fn decrypt(&self, ciphertext: u64, tweak: u64) -> u64 {
+        self.core(
+            ciphertext,
+            tweak,
+            self.key.w1(),
+            self.key.w0(),
+            self.key.k0() ^ ALPHA,
+            self.key.k0_mixed(),
+        )
+    }
+
+    /// The shared Even–Mansour datapath: `r` forward rounds, a whitened full
+    /// round, the pseudo-reflector, and the mirrored backward half.
+    fn core(&self, block: u64, tweak: u64, w0: u64, w1: u64, k0: u64, central: u64) -> u64 {
+        let mut state = block ^ w0;
+        let mut tk = tweak;
+
+        for (i, rc) in ROUND_CONSTANTS.iter().take(self.rounds).enumerate() {
+            state = self.forward(state, k0 ^ tk ^ rc, i != 0);
+            tk = cells::tweak_forward(tk);
+        }
+
+        state = self.forward(state, w1 ^ tk, true);
+        state = self.pseudo_reflect(state, central);
+        state = self.backward(state, w0 ^ tk, true);
+
+        for i in (0..self.rounds).rev() {
+            tk = cells::tweak_backward(tk);
+            state = self.backward(state, k0 ^ tk ^ ROUND_CONSTANTS[i] ^ ALPHA, i != 0);
+        }
+
+        state ^ w1
+    }
+
+    /// One forward round: add tweakey, then (unless it is the short first
+    /// round) ShuffleCells + MixColumns, then SubCells.
+    fn forward(&self, state: u64, tweakey: u64, full: bool) -> u64 {
+        let mut cells = cells::to_cells(state ^ tweakey);
+        if full {
+            cells = cells::mix_columns(&cells::permute(&cells, &TAU));
+        }
+        self.sub_cells(&mut cells, false);
+        cells::from_cells(&cells)
+    }
+
+    /// One backward round: inverse SubCells, then (unless short) MixColumns +
+    /// inverse ShuffleCells, then add tweakey.
+    fn backward(&self, state: u64, tweakey: u64, full: bool) -> u64 {
+        let mut cells = cells::to_cells(state);
+        self.sub_cells(&mut cells, true);
+        if full {
+            cells = cells::permute(&cells::mix_columns(&cells), &TAU_INV);
+        }
+        cells::from_cells(&cells) ^ tweakey
+    }
+
+    /// The central pseudo-reflector: τ, multiply by the involutory matrix Q
+    /// (= M4,2), add the central key, τ⁻¹.
+    fn pseudo_reflect(&self, state: u64, central_key: u64) -> u64 {
+        let shuffled = cells::permute(&cells::to_cells(state), &TAU);
+        let mut mixed = cells::mix_columns(&shuffled);
+        let key_cells = cells::to_cells(central_key);
+        for (cell, key_cell) in mixed.iter_mut().zip(key_cells.iter()) {
+            *cell ^= key_cell;
+        }
+        cells::from_cells(&cells::permute(&mixed, &TAU_INV))
+    }
+
+    fn sub_cells(&self, cells: &mut Cells, inverse: bool) {
+        for cell in cells.iter_mut() {
+            *cell = if inverse {
+                self.sbox.inverse(*cell)
+            } else {
+                self.sbox.forward(*cell)
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published test vector inputs from the QARMA paper (r = 7).
+    const W0: u64 = 0x84be85ce9804e94b;
+    const K0: u64 = 0xec2802d4e0a488e9;
+    const TWEAK: u64 = 0x477d469dec0b8762;
+    const PLAINTEXT: u64 = 0xfb623599da6e8127;
+
+    /// The published QARMA-64 test-vector grid: `(sbox, rounds, ciphertext)`.
+    const VECTORS: [(Sbox, usize, u64); 8] = [
+        (Sbox::Sigma0, 5, 0x3ee99a6c82af0c38),
+        (Sbox::Sigma0, 6, 0x9f5c41ec525603c9),
+        (Sbox::Sigma0, 7, 0xbcaf6c89de930765),
+        (Sbox::Sigma1, 5, 0x544b0ab95bda7c3a),
+        (Sbox::Sigma1, 6, 0xa512dd1e4e3ec582),
+        (Sbox::Sigma1, 7, 0xedf67ff370a483f2),
+        (Sbox::Sigma2, 5, 0xc003b93999b33765),
+        (Sbox::Sigma2, 6, 0x270a787275c48d10),
+    ];
+
+    #[test]
+    fn published_vectors_encrypt() {
+        for (sbox, rounds, ct) in VECTORS {
+            let cipher = Reference::with_params(Key::new(W0, K0), sbox, rounds);
+            assert_eq!(cipher.encrypt(PLAINTEXT, TWEAK), ct, "{sbox:?} r={rounds}");
+        }
+    }
+
+    #[test]
+    fn published_vectors_decrypt() {
+        for (sbox, rounds, ct) in VECTORS {
+            let cipher = Reference::with_params(Key::new(W0, K0), sbox, rounds);
+            assert_eq!(cipher.decrypt(ct, TWEAK), PLAINTEXT, "{sbox:?} r={rounds}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "round count")]
+    fn zero_rounds_rejected() {
+        let _ = Reference::with_params(Key::default(), Sbox::Sigma1, 0);
+    }
+
+    #[test]
+    fn round_trip_across_round_counts() {
+        for rounds in 1..=8 {
+            let cipher = Reference::with_params(Key::new(W0, K0), Sbox::Sigma1, rounds);
+            let ct = cipher.encrypt(PLAINTEXT, TWEAK);
+            assert_eq!(cipher.decrypt(ct, TWEAK), PLAINTEXT, "rounds = {rounds}");
+        }
+    }
+}

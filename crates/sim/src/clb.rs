@@ -1,26 +1,48 @@
 //! The Cryptographic Lookaside Buffer (CLB), §2.3.3 of the paper.
+//!
+//! The architectural model is a fully-associative LRU cache; the obvious
+//! implementation (linear scan per lookup, two more scans per insert) costs
+//! O(capacity) on the simulator's hottest path. This implementation keeps
+//! the same observable semantics — hit/miss behaviour, LRU eviction order,
+//! per-`ksel` invalidation, [`ClbStats`] accounting — but indexes the
+//! entries with two hash maps (one per lookup direction, keyed
+//! `(ksel, tweak, plaintext)` and `(ksel, tweak, ciphertext)`) and threads
+//! an intrusive doubly-linked LRU list through the entry slots, so every
+//! operation is O(1) in the buffer capacity:
+//!
+//! * **lookup** — one hash probe; a hit unlinks the slot and relinks it at
+//!   the MRU head.
+//! * **insert** — pop a free slot (or unlink the LRU tail, which *is* the
+//!   eviction victim the old linear `min_by_key` scan found, since
+//!   list order equals recency order), then link at the head.
+//! * **occupancy** — allocated slots minus free-stack depth; no recount.
+//! * **invalidation** — walks only live entries via the list.
+//!
+//! Index maps are updated with *guarded removal* (a key is removed only if
+//! it still maps to the slot being retired), so unreachable corner states —
+//! duplicate tuples injected by fault campaigns poisoning cached plaintext —
+//! degrade gracefully instead of corrupting unrelated entries.
 
-/// One CLB entry: a cached `(ksel, tweak) : plaintext ↔ ciphertext` mapping.
+use crate::fxhash::FxHashMap;
+
+/// Null link in the intrusive LRU list.
+const NONE: u32 = u32::MAX;
+
+/// Index key for one lookup direction: `(ksel, tweak, pt-or-ct)`.
+type IndexKey = (u8, u64, u64);
+
+/// One CLB slot: a cached `(ksel, tweak) : plaintext ↔ ciphertext` mapping
+/// plus its links in the recency list.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    valid: bool,
+struct Slot {
     ksel: u8,
     tweak: u64,
     plaintext: u64,
     ciphertext: u64,
-    /// Monotonic timestamp for LRU replacement.
-    last_used: u64,
-}
-
-impl Entry {
-    const INVALID: Entry = Entry {
-        valid: false,
-        ksel: 0,
-        tweak: 0,
-        plaintext: 0,
-        ciphertext: 0,
-        last_used: 0,
-    };
+    /// Towards the MRU head.
+    prev: u32,
+    /// Towards the LRU tail.
+    next: u32,
 }
 
 /// Hit/miss counters for the CLB.
@@ -74,8 +96,20 @@ impl ClbStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Clb {
-    entries: Vec<Entry>,
-    clock: u64,
+    capacity: usize,
+    /// Slot storage; grows on demand up to `capacity` and is then recycled
+    /// through `free`.
+    slots: Vec<Slot>,
+    /// Stack of retired slot indices available for reuse.
+    free: Vec<u32>,
+    /// `(ksel, tweak, plaintext) → slot` index (encrypt direction).
+    by_pt: FxHashMap<IndexKey, u32>,
+    /// `(ksel, tweak, ciphertext) → slot` index (decrypt direction).
+    by_ct: FxHashMap<IndexKey, u32>,
+    /// Most-recently-used slot, or [`NONE`] when empty.
+    head: u32,
+    /// Least-recently-used slot (the eviction victim), or [`NONE`].
+    tail: u32,
     stats: ClbStats,
 }
 
@@ -84,8 +118,13 @@ impl Clb {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
-            entries: vec![Entry::INVALID; capacity],
-            clock: 0,
+            capacity,
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_pt: FxHashMap::default(),
+            by_ct: FxHashMap::default(),
+            head: NONE,
+            tail: NONE,
             stats: ClbStats::default(),
         }
     }
@@ -93,13 +132,13 @@ impl Clb {
     /// Number of entries (the hardware configuration parameter).
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.capacity
     }
 
     /// Number of currently valid entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.slots.len() - self.free.len()
     }
 
     /// Accumulated statistics.
@@ -113,22 +152,60 @@ impl Clb {
         self.stats = ClbStats::default();
     }
 
-    fn touch(&mut self, index: usize) {
-        self.clock += 1;
-        self.entries[index].last_used = self.clock;
+    /// Unlinks `slot` from the recency list.
+    fn unlink(&mut self, slot: u32) {
+        let Slot { prev, next, .. } = self.slots[slot as usize];
+        match prev {
+            NONE => self.head = next,
+            p => self.slots[p as usize].next = next,
+        }
+        match next {
+            NONE => self.tail = prev,
+            n => self.slots[n as usize].prev = prev,
+        }
     }
 
-    fn find(&self, pred: impl Fn(&Entry) -> bool) -> Option<usize> {
-        self.entries.iter().position(|e| e.valid && pred(e))
+    /// Links `slot` at the MRU head.
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = NONE;
+        self.slots[slot as usize].next = self.head;
+        match self.head {
+            NONE => self.tail = slot,
+            h => self.slots[h as usize].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Marks `slot` most-recently-used.
+    fn touch(&mut self, slot: u32) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Removes an index key only if it still points at `slot` (a later
+    /// insert or poison may have redirected it to a different slot).
+    fn remove_index(map: &mut FxHashMap<IndexKey, u32>, key: IndexKey, slot: u32) {
+        if map.get(&key) == Some(&slot) {
+            map.remove(&key);
+        }
+    }
+
+    /// Drops both index keys of `slot`.
+    fn unindex(&mut self, slot: u32) {
+        let s = self.slots[slot as usize];
+        Self::remove_index(&mut self.by_pt, (s.ksel, s.tweak, s.plaintext), slot);
+        Self::remove_index(&mut self.by_ct, (s.ksel, s.tweak, s.ciphertext), slot);
     }
 
     /// Looks up a cached ciphertext for `(ksel, tweak, plaintext)`.
     pub fn lookup_encrypt(&mut self, ksel: u8, tweak: u64, plaintext: u64) -> Option<u64> {
-        match self.find(|e| e.ksel == ksel && e.tweak == tweak && e.plaintext == plaintext) {
-            Some(index) => {
+        match self.by_pt.get(&(ksel, tweak, plaintext)) {
+            Some(&slot) => {
                 self.stats.hits += 1;
-                self.touch(index);
-                Some(self.entries[index].ciphertext)
+                self.touch(slot);
+                Some(self.slots[slot as usize].ciphertext)
             }
             None => {
                 self.stats.misses += 1;
@@ -139,11 +216,11 @@ impl Clb {
 
     /// Looks up a cached plaintext for `(ksel, tweak, ciphertext)`.
     pub fn lookup_decrypt(&mut self, ksel: u8, tweak: u64, ciphertext: u64) -> Option<u64> {
-        match self.find(|e| e.ksel == ksel && e.tweak == tweak && e.ciphertext == ciphertext) {
-            Some(index) => {
+        match self.by_ct.get(&(ksel, tweak, ciphertext)) {
+            Some(&slot) => {
                 self.stats.hits += 1;
-                self.touch(index);
-                Some(self.entries[index].plaintext)
+                self.touch(slot);
+                Some(self.slots[slot as usize].plaintext)
             }
             None => {
                 self.stats.misses += 1;
@@ -154,42 +231,70 @@ impl Clb {
 
     /// Inserts a freshly computed result, evicting the LRU entry if full.
     ///
-    /// A zero-capacity CLB ignores the insertion.
+    /// A zero-capacity CLB ignores the insertion. Re-inserting an existing
+    /// `(ksel, tweak, plaintext)` tuple refreshes that entry in place
+    /// (unreachable in real operation — the preceding lookup would have
+    /// hit — but harmless).
     pub fn insert(&mut self, ksel: u8, tweak: u64, plaintext: u64, ciphertext: u64) {
-        if self.entries.is_empty() {
+        if self.capacity == 0 {
             return;
         }
-        let slot = match self.entries.iter().position(|e| !e.valid) {
-            Some(free) => free,
-            None => {
-                self.stats.evictions += 1;
-                self.entries
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(i, _)| i)
-                    .expect("non-empty CLB")
-            }
+        if let Some(&slot) = self.by_pt.get(&(ksel, tweak, plaintext)) {
+            let old_ct = self.slots[slot as usize].ciphertext;
+            Self::remove_index(&mut self.by_ct, (ksel, tweak, old_ct), slot);
+            self.slots[slot as usize].ciphertext = ciphertext;
+            self.by_ct.insert((ksel, tweak, ciphertext), slot);
+            self.touch(slot);
+            return;
+        }
+
+        let slot = if let Some(free) = self.free.pop() {
+            free
+        } else if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                ksel: 0,
+                tweak: 0,
+                plaintext: 0,
+                ciphertext: 0,
+                prev: NONE,
+                next: NONE,
+            });
+            (self.slots.len() - 1) as u32
+        } else {
+            // Full: the LRU tail is exactly the victim the linear-scan
+            // implementation's `min_by_key(last_used)` selected.
+            let victim = self.tail;
+            self.stats.evictions += 1;
+            self.unindex(victim);
+            self.unlink(victim);
+            victim
         };
-        self.entries[slot] = Entry {
-            valid: true,
-            ksel,
-            tweak,
-            plaintext,
-            ciphertext,
-            last_used: 0,
-        };
-        self.touch(slot);
+
+        {
+            let s = &mut self.slots[slot as usize];
+            s.ksel = ksel;
+            s.tweak = tweak;
+            s.plaintext = plaintext;
+            s.ciphertext = ciphertext;
+        }
+        self.by_pt.insert((ksel, tweak, plaintext), slot);
+        self.by_ct.insert((ksel, tweak, ciphertext), slot);
+        self.push_front(slot);
     }
 
     /// Invalidates every entry whose key selector matches `ksel` — the
     /// hardware behaviour on a key-register write.
     pub fn invalidate_ksel(&mut self, ksel: u8) {
-        for entry in &mut self.entries {
-            if entry.valid && entry.ksel == ksel {
-                entry.valid = false;
+        let mut cursor = self.head;
+        while cursor != NONE {
+            let next = self.slots[cursor as usize].next;
+            if self.slots[cursor as usize].ksel == ksel {
+                self.unindex(cursor);
+                self.unlink(cursor);
+                self.free.push(cursor);
                 self.stats.invalidations += 1;
             }
+            cursor = next;
         }
     }
 
@@ -202,31 +307,27 @@ impl Clb {
     /// hit; whether the consumer notices is exactly what the fault campaign
     /// measures.
     pub fn poison_mru(&mut self, xor: u64) -> bool {
-        if xor == 0 {
+        if xor == 0 || self.head == NONE {
             return false;
         }
-        match self
-            .entries
-            .iter_mut()
-            .filter(|e| e.valid)
-            .max_by_key(|e| e.last_used)
-        {
-            Some(entry) => {
-                entry.plaintext ^= xor;
-                true
-            }
-            None => false,
-        }
+        let slot = self.head;
+        let s = self.slots[slot as usize];
+        Self::remove_index(&mut self.by_pt, (s.ksel, s.tweak, s.plaintext), slot);
+        let poisoned = s.plaintext ^ xor;
+        self.slots[slot as usize].plaintext = poisoned;
+        self.by_pt.insert((s.ksel, s.tweak, poisoned), slot);
+        true
     }
 
     /// Invalidates the whole buffer.
     pub fn invalidate_all(&mut self) {
-        for entry in &mut self.entries {
-            if entry.valid {
-                entry.valid = false;
-                self.stats.invalidations += 1;
-            }
-        }
+        self.stats.invalidations += self.occupancy() as u64;
+        self.by_pt.clear();
+        self.by_ct.clear();
+        self.free.clear();
+        self.free.extend((0..self.slots.len() as u32).rev());
+        self.head = NONE;
+        self.tail = NONE;
     }
 }
 
@@ -258,6 +359,18 @@ mod tests {
     }
 
     #[test]
+    fn decrypt_hit_refreshes_recency() {
+        let mut clb = Clb::new(2);
+        clb.insert(0, 0, 1, 101);
+        clb.insert(0, 0, 2, 102);
+        // Touch entry 1 through the *decrypt* index.
+        assert_eq!(clb.lookup_decrypt(0, 0, 101), Some(1));
+        clb.insert(0, 0, 3, 103);
+        assert_eq!(clb.lookup_encrypt(0, 0, 1), Some(101), "refreshed entry kept");
+        assert_eq!(clb.lookup_encrypt(0, 0, 2), None, "stale entry evicted");
+    }
+
+    #[test]
     fn ksel_invalidation_is_selective() {
         let mut clb = Clb::new(4);
         clb.insert(1, 0, 10, 110);
@@ -266,6 +379,20 @@ mod tests {
         assert_eq!(clb.lookup_encrypt(1, 0, 10), None);
         assert_eq!(clb.lookup_encrypt(2, 0, 20), Some(120));
         assert_eq!(clb.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidated_slots_are_recycled() {
+        let mut clb = Clb::new(2);
+        clb.insert(1, 0, 10, 110);
+        clb.insert(2, 0, 20, 120);
+        clb.invalidate_ksel(1);
+        assert_eq!(clb.occupancy(), 1);
+        clb.insert(3, 0, 30, 130);
+        assert_eq!(clb.occupancy(), 2);
+        assert_eq!(clb.stats().evictions, 0, "reused the freed slot, no eviction");
+        assert_eq!(clb.lookup_encrypt(2, 0, 20), Some(120));
+        assert_eq!(clb.lookup_encrypt(3, 0, 30), Some(130));
     }
 
     #[test]
@@ -300,6 +427,15 @@ mod tests {
         assert!(clb.poison_mru(0xFF));
         assert_eq!(clb.lookup_decrypt(1, 0, 120), Some(20 ^ 0xFF));
         assert_eq!(clb.lookup_decrypt(1, 0, 110), Some(10), "older entry untouched");
+    }
+
+    #[test]
+    fn poison_updates_the_encrypt_index() {
+        let mut clb = Clb::new(4);
+        clb.insert(1, 0, 10, 110);
+        assert!(clb.poison_mru(0xF0));
+        assert_eq!(clb.lookup_encrypt(1, 0, 10), None, "old plaintext unindexed");
+        assert_eq!(clb.lookup_encrypt(1, 0, 10 ^ 0xF0), Some(110));
     }
 
     #[test]

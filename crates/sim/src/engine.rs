@@ -160,6 +160,12 @@ pub struct CryptoResult {
 pub struct CryptoEngine {
     keys: KeyRegFile,
     clb: Clb,
+    /// Per-`ksel` cache of constructed [`Qarma64`] instances (each carries a
+    /// precomputed key schedule). Validated against the live register on
+    /// every use, so out-of-band key changes — [`KeyRegFile::tamper`], raw
+    /// [`CryptoEngine::key_file_mut`] writes — can never serve a stale
+    /// schedule.
+    ciphers: [Option<Qarma64>; 8],
 }
 
 impl CryptoEngine {
@@ -170,6 +176,7 @@ impl CryptoEngine {
         Self {
             keys: KeyRegFile::new(seed),
             clb: Clb::new(clb_entries),
+            ciphers: Default::default(),
         }
     }
 
@@ -215,8 +222,13 @@ impl CryptoEngine {
         self.clb.invalidate_ksel(key.ksel());
     }
 
-    fn cipher(&self, key: KeyReg) -> Qarma64 {
-        Qarma64::new(self.keys.key(key))
+    fn cipher(&mut self, key: KeyReg) -> &Qarma64 {
+        let current = self.keys.key(key);
+        let slot = &mut self.ciphers[key.ksel() as usize];
+        if slot.as_ref().map(Qarma64::key) != Some(current) {
+            *slot = Some(Qarma64::new(current));
+        }
+        slot.as_ref().expect("cipher just cached")
     }
 
     /// Executes the `cre` datapath: mask `value` to `range` (bytes outside

@@ -17,19 +17,29 @@ pub(crate) fn step(machine: &mut Machine) -> Option<Event> {
     if !pc.is_multiple_of(4) {
         return Some(raise(machine, ExceptionCause::InstructionAccessFault, pc));
     }
-    let word = match machine.mem.read_u32(pc) {
-        Ok(word) => word,
+    let (word, page_gen) = match machine.mem.fetch_word(pc) {
+        Ok(fetched) => fetched,
         Err(_) => return Some(raise(machine, ExceptionCause::InstructionAccessFault, pc)),
     };
-    let insn = match decode::decode(word) {
-        Ok(insn) => insn,
-        Err(_) => {
-            return Some(raise(
-                machine,
-                ExceptionCause::IllegalInstruction,
-                u64::from(word),
-            ))
+    let insn = match machine.icache.get(pc, page_gen) {
+        Some(insn) => {
+            machine.stats.decode_hits += 1;
+            insn
         }
+        None => match decode::decode(word) {
+            Ok(insn) => {
+                machine.stats.decode_misses += 1;
+                machine.icache.put(pc, page_gen, insn);
+                insn
+            }
+            Err(_) => {
+                return Some(raise(
+                    machine,
+                    ExceptionCause::IllegalInstruction,
+                    u64::from(word),
+                ))
+            }
+        },
     };
 
     if let Some(trace) = machine.trace.as_mut() {

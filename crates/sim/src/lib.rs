@@ -65,6 +65,8 @@ mod engine;
 mod error;
 mod exec;
 mod fault;
+mod fxhash;
+mod icache;
 mod hart;
 mod machine;
 mod mem;

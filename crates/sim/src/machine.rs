@@ -10,6 +10,7 @@ use crate::{
     exec,
     fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan},
     hart::{Hart, Privilege},
+    icache::DecodeCache,
     mem::Memory,
     stats::{InsnClass, Stats},
 };
@@ -83,6 +84,7 @@ pub enum Event {
 pub struct Machine {
     pub(crate) hart: Hart,
     pub(crate) mem: Memory,
+    pub(crate) icache: DecodeCache,
     pub(crate) engine: CryptoEngine,
     pub(crate) cost: CostModel,
     pub(crate) stats: Stats,
@@ -100,6 +102,7 @@ impl Machine {
         Self {
             hart: Hart::new(),
             mem: Memory::new(),
+            icache: DecodeCache::new(),
             engine: CryptoEngine::new(config.clb_entries, config.seed),
             cost: config.cost,
             stats: Stats::default(),
@@ -421,10 +424,8 @@ impl Machine {
     /// the fault clock, so planned faults can land inside kernel-modelled
     /// operations, not only between guest instructions.
     pub fn charge(&mut self, class: InsnClass, count: u64) {
-        for _ in 0..count {
-            let cycles = self.cost.cycles(class, true, false);
-            self.stats.retire(class, cycles);
-        }
+        let cycles = self.cost.cycles(class, true, false);
+        self.stats.retire_n(class, cycles, count);
         if let Some(dog) = &mut self.watchdog {
             dog.consume(count);
         }

@@ -1,11 +1,29 @@
 //! Sparse, page-granular physical memory.
 
-use std::collections::BTreeMap;
-
+use crate::fxhash::FxHashMap;
 use crate::ExceptionCause;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// One 4 KiB page plus its write generation.
+#[derive(Debug, Clone)]
+struct Page {
+    /// Bumped on every store into the page. The decoded-instruction cache
+    /// tags entries with the generation it decoded under, so a store to a
+    /// code page lazily invalidates every cached decode for that page.
+    gen: u64,
+    data: Box<[u8; PAGE_SIZE as usize]>,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Self {
+            gen: 0,
+            data: Box::new([0u8; PAGE_SIZE as usize]),
+        }
+    }
+}
 
 /// Sparse byte-addressable memory backed by 4 KiB pages allocated on first
 /// touch.
@@ -13,6 +31,11 @@ const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// Reads of never-written pages fault (modelling unmapped physical memory),
 /// except within pages that were created by a partial write, which read as
 /// zero — the same behaviour as zero-initialised RAM.
+///
+/// The page table is a hash map under the simulator's FxHash (the page walk
+/// runs at least once per emulated instruction), and multi-byte accesses
+/// that stay within one page — the overwhelmingly common case — are served
+/// with a single probe and a slice copy instead of a byte loop.
 ///
 /// # Examples
 ///
@@ -26,7 +49,7 @@ const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: FxHashMap<u64, Page>,
 }
 
 impl Memory {
@@ -56,10 +79,38 @@ impl Memory {
         let first = start >> PAGE_SHIFT;
         let last = (start + len - 1) >> PAGE_SHIFT;
         for page in first..=last {
-            self.pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+            self.pages.entry(page).or_insert_with(Page::zeroed);
         }
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut Page {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(Page::zeroed)
+    }
+
+    /// Fetches the aligned instruction word at `addr` together with the
+    /// containing page's write generation, in a single page-table probe.
+    ///
+    /// The caller guarantees 4-byte alignment (the hart checks `pc` before
+    /// fetching), so the word never straddles a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExceptionCause::LoadAccessFault`] if the page is unmapped.
+    pub(crate) fn fetch_word(&self, addr: u64) -> Result<(u32, u64), ExceptionCause> {
+        debug_assert!(addr.is_multiple_of(4), "instruction fetch must be aligned");
+        let page = self
+            .pages
+            .get(&(addr >> PAGE_SHIFT))
+            .ok_or(ExceptionCause::LoadAccessFault)?;
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        let word = u32::from_le_bytes(
+            page.data[offset..offset + 4]
+                .try_into()
+                .expect("4-byte slice"),
+        );
+        Ok((word, page.gen))
     }
 
     /// Reads one byte.
@@ -72,7 +123,7 @@ impl Memory {
             .pages
             .get(&(addr >> PAGE_SHIFT))
             .ok_or(ExceptionCause::LoadAccessFault)?;
-        Ok(page[(addr & (PAGE_SIZE - 1)) as usize])
+        Ok(page.data[(addr & (PAGE_SIZE - 1)) as usize])
     }
 
     /// Writes one byte, mapping the page on first touch.
@@ -82,26 +133,42 @@ impl Memory {
     /// Infallible today (sparse memory always maps); kept fallible so a
     /// bounded-memory configuration can fault without an API break.
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), ExceptionCause> {
-        let page = self
-            .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        page[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        let page = self.page_mut(addr);
+        page.gen += 1;
+        page.data[(addr & (PAGE_SIZE - 1)) as usize] = value;
         Ok(())
     }
 
     /// Reads `N` little-endian bytes.
     fn read_bytes<const N: usize>(&self, addr: u64) -> Result<[u8; N], ExceptionCause> {
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
         let mut out = [0u8; N];
-        for (i, byte) in out.iter_mut().enumerate() {
-            *byte = self.read_u8(addr + i as u64)?;
+        if offset + N <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page.
+            let page = self
+                .pages
+                .get(&(addr >> PAGE_SHIFT))
+                .ok_or(ExceptionCause::LoadAccessFault)?;
+            out.copy_from_slice(&page.data[offset..offset + N]);
+        } else {
+            for (i, byte) in out.iter_mut().enumerate() {
+                *byte = self.read_u8(addr + i as u64)?;
+            }
         }
         Ok(out)
     }
 
     fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), ExceptionCause> {
-        for (i, &byte) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, byte)?;
+        let offset = (addr & (PAGE_SIZE - 1)) as usize;
+        if offset + bytes.len() <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page.
+            let page = self.page_mut(addr);
+            page.gen += 1;
+            page.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        } else {
+            for (i, &byte) in bytes.iter().enumerate() {
+                self.write_u8(addr + i as u64, byte)?;
+            }
         }
         Ok(())
     }
@@ -166,13 +233,17 @@ impl Memory {
     /// mapped-on-touch page table rather than going through the fallible
     /// store path.
     pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
-        for (i, &byte) in bytes.iter().enumerate() {
-            let at = addr + i as u64;
-            let page = self
-                .pages
-                .entry(at >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-            page[(at & (PAGE_SIZE - 1)) as usize] = byte;
+        let mut at = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let offset = (at & (PAGE_SIZE - 1)) as usize;
+            let room = PAGE_SIZE as usize - offset;
+            let take = room.min(rest.len());
+            let page = self.page_mut(at);
+            page.gen += 1;
+            page.data[offset..offset + take].copy_from_slice(&rest[..take]);
+            at += take as u64;
+            rest = &rest[take..];
         }
     }
 
@@ -218,6 +289,13 @@ mod tests {
     }
 
     #[test]
+    fn cross_page_read_faults_if_second_page_unmapped() {
+        let mut mem = Memory::new();
+        mem.write_u8(0x1FFC, 1).unwrap();
+        assert!(mem.read_u64(0x1FFC).is_err(), "tail page never touched");
+    }
+
+    #[test]
     fn mapped_region_reads_zero() {
         let mut mem = Memory::new();
         mem.map_region(0x4000, 0x2000);
@@ -233,9 +311,32 @@ mod tests {
     }
 
     #[test]
+    fn write_slice_spans_pages() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255).cycle().take(5000).map(|b: u16| b as u8).collect();
+        mem.write_slice(0x1F00, &data);
+        assert_eq!(mem.read_vec(0x1F00, 5000).unwrap(), data);
+        // 0x1F00..0x3288 touches pages 1, 2 and 3.
+        assert_eq!(mem.mapped_pages(), 3);
+    }
+
+    #[test]
     fn map_region_zero_len_is_noop() {
         let mut mem = Memory::new();
         mem.map_region(0x5000, 0);
         assert_eq!(mem.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn stores_bump_the_page_generation() {
+        let mut mem = Memory::new();
+        mem.write_u32(0x2000, 0x13).unwrap();
+        let (_, gen_a) = mem.fetch_word(0x2000).unwrap();
+        mem.write_u8(0x2FFF, 0xFF).unwrap(); // same page
+        let (_, gen_b) = mem.fetch_word(0x2000).unwrap();
+        assert!(gen_b > gen_a, "store must advance the page generation");
+        mem.write_u8(0x3000, 0xFF).unwrap(); // different page
+        let (_, gen_c) = mem.fetch_word(0x2000).unwrap();
+        assert_eq!(gen_b, gen_c, "other pages don't disturb the generation");
     }
 }

@@ -65,6 +65,7 @@ struct ClbModel {
     capacity: usize,
     /// Most-recently-used last.
     entries: Vec<(u8, u64, u64, u64)>,
+    stats: regvault_sim::ClbStats,
 }
 
 impl ClbModel {
@@ -72,6 +73,7 @@ impl ClbModel {
         Self {
             capacity,
             entries: Vec::new(),
+            stats: regvault_sim::ClbStats::default(),
         }
     }
 
@@ -79,7 +81,12 @@ impl ClbModel {
         let pos = self
             .entries
             .iter()
-            .position(|e| e.0 == ksel && e.1 == tweak && e.2 == pt)?;
+            .position(|e| e.0 == ksel && e.1 == tweak && e.2 == pt);
+        let Some(pos) = pos else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
         let entry = self.entries.remove(pos);
         let ct = entry.3;
         self.entries.push(entry);
@@ -90,7 +97,12 @@ impl ClbModel {
         let pos = self
             .entries
             .iter()
-            .position(|e| e.0 == ksel && e.1 == tweak && e.3 == ct)?;
+            .position(|e| e.0 == ksel && e.1 == tweak && e.3 == ct);
+        let Some(pos) = pos else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
         let entry = self.entries.remove(pos);
         let pt = entry.2;
         self.entries.push(entry);
@@ -103,12 +115,15 @@ impl ClbModel {
         }
         if self.entries.len() == self.capacity {
             self.entries.remove(0); // LRU is at the front
+            self.stats.evictions += 1;
         }
         self.entries.push((ksel, tweak, pt, ct));
     }
 
     fn invalidate_ksel(&mut self, ksel: u8) {
+        let before = self.entries.len();
         self.entries.retain(|e| e.0 != ksel);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
     }
 }
 
@@ -179,6 +194,7 @@ proptest! {
                 }
             }
             prop_assert_eq!(clb.occupancy(), model.entries.len());
+            prop_assert_eq!(clb.stats(), model.stats);
         }
     }
 }

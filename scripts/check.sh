@@ -26,4 +26,15 @@ campaign=(target/release/fault_campaign --seed 42 --trials 50)
 "${campaign[@]}" > /tmp/fault_campaign_run2.txt
 diff /tmp/fault_campaign_run1.txt /tmp/fault_campaign_run2.txt
 
+echo "==> fault campaign --jobs independence (parallel == serial)"
+target/release/fault_campaign --seeds 4 --trials 10 --jobs 4 > /tmp/fault_campaign_par.txt
+target/release/fault_campaign --seeds 4 --trials 10 --jobs 1 > /tmp/fault_campaign_ser.txt
+diff /tmp/fault_campaign_par.txt /tmp/fault_campaign_ser.txt
+
+echo "==> bench smoke (hotpath --quick: abbreviated, no JSON rewrite)"
+target/release/hotpath --quick
+
+echo "==> perf-regression guard (fresh steps/sec vs BENCH_hotpath.json, 2x tolerance)"
+target/release/hotpath --check
+
 echo "OK"
