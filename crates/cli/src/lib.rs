@@ -8,7 +8,10 @@
 //! * `run <file.s>` — execute a bare-metal guest program on the simulated
 //!   RegVault machine (keys `a`–`g` pre-loaded) and dump the registers;
 //! * `pentest [config]` — run the Table 4 suite against a configuration;
-//! * `hwcost [entries]` — print the Table 3 area model for a CLB size.
+//! * `hwcost [entries]` — print the Table 3 area model for a CLB size;
+//! * `verify <file.s>` / `verify --workloads` — run the binary-level
+//!   protection verifier over an assembled program or the whole benchmark
+//!   corpus (`--json` for machine-readable reports).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -16,10 +19,13 @@
 use std::fmt::Write as _;
 
 use regvault_attacks::run_all;
+use regvault_compiler::{compile, verify as compiler_verify, CompileConfig};
 use regvault_core::hwcost;
 use regvault_isa::{asm, disasm, KeyReg, Reg};
 use regvault_kernel::ProtectionConfig;
 use regvault_sim::{Machine, MachineConfig};
+use regvault_verifier::{verify as verifier_verify, ProtectionManifest, VerifyOptions};
+use regvault_workloads::{lmbench::Lmbench, spec::Spec, unixbench::UnixBench, Workload};
 
 /// Error string type used by the CLI (messages go straight to stderr).
 pub type CliError = String;
@@ -50,7 +56,7 @@ pub fn cmd_disasm(source: &str) -> Result<String, CliError> {
     let program = asm::assemble(source).map_err(|e| e.to_string())?;
     let mut out = String::new();
     for line in disasm::disassemble(program.bytes()) {
-        let _ = writeln!(out, "{}", line.render());
+        let _ = writeln!(out, "{}", line.render_annotated());
     }
     let (crypto, total) = disasm::crypto_density(program.bytes());
     let _ = writeln!(out, "; {crypto}/{total} instructions are cre/crd");
@@ -194,6 +200,144 @@ pub fn cmd_hwcost(entries: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Verifies a hand-written assembly program against the RegVault dataflow
+/// invariants. Regions that fail to decode are skipped as data (hand-written
+/// images may interleave `.dword` pools with code).
+///
+/// Returns `Ok(report)` when the image is clean and `Err(report)` when the
+/// verifier found violations, so callers can exit non-zero.
+///
+/// # Errors
+///
+/// Returns the assembler diagnostic on malformed input, or the rendered
+/// verification report when the program violates an invariant.
+pub fn cmd_verify_source(source: &str, json: bool) -> Result<String, CliError> {
+    let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let options = VerifyOptions {
+        undecodable_is_data: true,
+        ..VerifyOptions::default()
+    };
+    let report = verifier_verify(
+        program.bytes(),
+        program.symbols().iter(),
+        &ProtectionManifest::default(),
+        &options,
+    );
+    let mut rendered = if json {
+        report.render_json()
+    } else {
+        report.render_human()
+    };
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(rendered)
+    }
+}
+
+/// Verifies the whole benchmark corpus: every SPEC-shaped module compiled
+/// under each protection configuration (checked against the compiler's own
+/// manifest), plus the raw UnixBench/LMbench guest programs (dataflow
+/// invariants only).
+///
+/// Returns `Err` with the summary when any image fails verification.
+///
+/// # Errors
+///
+/// Propagates compile errors and reports verification failures.
+pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
+    let configs: [(&str, CompileConfig); 5] = [
+        ("base", CompileConfig::none()),
+        ("ra", CompileConfig::ra_only()),
+        ("fp", CompileConfig::fp_only()),
+        ("non-control", CompileConfig::non_control()),
+        ("full", CompileConfig::full()),
+    ];
+
+    // (name, config label, report)
+    let mut rows: Vec<(String, &str, regvault_verifier::Report)> = Vec::new();
+
+    for item in Spec::ALL {
+        let module = item.module();
+        for (label, config) in &configs {
+            let mut config = *config;
+            // We produce (and render) the report ourselves instead of
+            // letting the in-compile gate abort on the first failure.
+            config.verify_output = false;
+            let compiled = compile(&module, &config).map_err(|e| e.to_string())?;
+            let report = compiler_verify::report_for_source(&compiled, &module, &config)
+                .map_err(|e| e.to_string())?;
+            rows.push((item.name().to_owned(), label, report));
+        }
+    }
+
+    let raw_options = VerifyOptions {
+        undecodable_is_data: true,
+        ..VerifyOptions::default()
+    };
+    let mut raw_guest = |name: &str, source: String| -> Result<(), CliError> {
+        let program = asm::assemble(&source).map_err(|e| format!("{name}: {e}"))?;
+        let report = verifier_verify(
+            program.bytes(),
+            program.symbols().iter(),
+            &ProtectionManifest::default(),
+            &raw_options,
+        );
+        rows.push((name.to_owned(), "raw", report));
+        Ok(())
+    };
+    for item in UnixBench::ALL {
+        raw_guest(Workload::name(&item), item.source())?;
+    }
+    for item in Lmbench::ALL {
+        raw_guest(Workload::name(&item), item.source())?;
+    }
+
+    let total_violations: usize = rows.iter().map(|(_, _, r)| r.violations.len()).sum();
+    let mut out = String::new();
+    if json {
+        let _ = write!(out, "{{\"clean\":{},\"images\":[", total_violations == 0);
+        for (i, (name, label, report)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"config\":\"{label}\",\"report\":{}}}",
+                report.render_json()
+            );
+        }
+        let _ = writeln!(out, "]}}");
+    } else {
+        for (name, label, report) in &rows {
+            let verdict = if report.is_clean() { "OK" } else { "FAIL" };
+            let _ = writeln!(
+                out,
+                "  {name:<12} {label:<12} {verdict:<5} {} insns, {} crypto ops, {} violation(s)",
+                report.instructions(),
+                report.crypto_ops(),
+                report.violations.len()
+            );
+            for v in &report.violations {
+                let _ = writeln!(out, "    {v}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "verified {} images: {total_violations} violation(s)",
+            rows.len()
+        );
+    }
+    if total_violations == 0 {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
 /// Usage text.
 #[must_use]
 pub fn usage() -> &'static str {
@@ -205,6 +349,9 @@ USAGE:
     regvault-cli run     <file.s> [steps]  execute on the simulated machine
     regvault-cli pentest [config]          run Table 4 (default: full)
     regvault-cli hwcost  [entries]         Table 3 area model (default: 8)
+    regvault-cli verify  <file.s> [--json] check RegVault invariants over a program
+    regvault-cli verify  --workloads [--json]
+                                           verify every benchmark image
 "
 }
 
@@ -257,5 +404,41 @@ mod tests {
         let out = cmd_hwcost("8").unwrap();
         assert!(out.contains("crypto-engine"));
         assert!(out.contains("FPU"));
+    }
+
+    #[test]
+    fn verify_accepts_a_clean_program() {
+        let out = cmd_verify_source("main:\n  li a0, 1\n  ebreak", false).unwrap();
+        assert!(out.starts_with("OK"), "{out}");
+    }
+
+    #[test]
+    fn verify_flags_an_unwrapped_secret_spill() {
+        // A decrypted value stored to the stack unencrypted.
+        let report = cmd_verify_source(
+            "main:
+              addi sp, sp, -16
+              crdak a0, a0, t1, [7:0]
+              sd a0, 0(sp)
+              ebreak",
+            false,
+        )
+        .unwrap_err();
+        assert!(report.contains("plain-spill"), "{report}");
+        assert!(report.contains("sd a0"), "{report}");
+    }
+
+    #[test]
+    fn verify_emits_json() {
+        let out = cmd_verify_source("main:\n  ebreak", true).unwrap();
+        assert!(out.contains("\"clean\":true"), "{out}");
+    }
+
+    #[test]
+    fn verify_workloads_corpus_is_clean() {
+        let out = cmd_verify_workloads(false).unwrap();
+        assert!(!out.contains("FAIL"), "{out}");
+        // 10 SPEC programs x 5 configs + 8 UnixBench + 10 LMbench guests.
+        assert!(out.contains("verified 68 images: 0 violation(s)"), "{out}");
     }
 }

@@ -3,7 +3,10 @@
 use std::fs;
 use std::process::ExitCode;
 
-use regvault_cli::{cmd_asm, cmd_disasm, cmd_hwcost, cmd_pentest, cmd_run, usage};
+use regvault_cli::{
+    cmd_asm, cmd_disasm, cmd_hwcost, cmd_pentest, cmd_run, cmd_verify_source,
+    cmd_verify_workloads, usage,
+};
 
 fn read_source(path: &str) -> Result<String, String> {
     fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
@@ -24,6 +27,14 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         [cmd, config] if cmd == "pentest" => cmd_pentest(config),
         [cmd] if cmd == "hwcost" => cmd_hwcost("8"),
         [cmd, entries] if cmd == "hwcost" => cmd_hwcost(entries),
+        [cmd, flag] if cmd == "verify" && flag == "--workloads" => cmd_verify_workloads(false),
+        [cmd, flag, json] if cmd == "verify" && flag == "--workloads" && json == "--json" => {
+            cmd_verify_workloads(true)
+        }
+        [cmd, file] if cmd == "verify" => cmd_verify_source(&read_source(file)?, false),
+        [cmd, file, json] if cmd == "verify" && json == "--json" => {
+            cmd_verify_source(&read_source(file)?, true)
+        }
         _ => Err(usage().to_owned()),
     }
 }

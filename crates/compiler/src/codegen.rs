@@ -61,6 +61,13 @@ impl CompiledProgram {
         self.program.symbol(name)
     }
 
+    /// All defined symbols (functions, globals, locals) and their byte
+    /// offsets in the image.
+    #[must_use]
+    pub fn symbols(&self) -> &std::collections::BTreeMap<String, u64> {
+        self.program.symbols()
+    }
+
     /// Byte offset of the entry trampoline (present when the module defines
     /// `main`).
     #[must_use]

@@ -48,7 +48,7 @@ impl Default for KeyPolicy {
 /// let baseline = CompileConfig::none();
 /// assert!(!baseline.protect_ra);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileConfig {
     /// Encrypt return addresses in prologues/epilogues (config "RA").
     pub protect_ra: bool,
@@ -63,8 +63,26 @@ pub struct CompileConfig {
     /// before code generation. Off by default so instrumentation studies
     /// see unoptimized instruction streams.
     pub optimize: bool,
+    /// Run the binary-level protection verifier over the linked image and
+    /// fail compilation on invariant violations. On by default (compiled
+    /// without the `verifier` feature, the flag is ignored).
+    pub verify_output: bool,
     /// Key register assignment.
     pub keys: KeyPolicy,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        Self {
+            protect_ra: false,
+            protect_fn_ptr: false,
+            protect_data: false,
+            protect_spills: false,
+            optimize: false,
+            verify_output: true,
+            keys: KeyPolicy::default(),
+        }
+    }
 }
 
 impl CompileConfig {
@@ -109,8 +127,7 @@ impl CompileConfig {
             protect_fn_ptr: true,
             protect_data: true,
             protect_spills: true,
-            optimize: false,
-            keys: KeyPolicy::default(),
+            ..Self::default()
         }
     }
 

@@ -29,6 +29,9 @@ pub enum CompileError {
         /// The declared parameter count.
         count: usize,
     },
+    /// The post-codegen protection verifier rejected the emitted binary
+    /// (payload is the verifier's human-readable report).
+    Verification(String),
 }
 
 impl fmt::Display for CompileError {
@@ -43,6 +46,9 @@ impl fmt::Display for CompileError {
             CompileError::Assembly(message) => write!(f, "internal assembly error: {message}"),
             CompileError::TooManyParams { function, count } => {
                 write!(f, "function `{function}` declares {count} params (max 8)")
+            }
+            CompileError::Verification(report) => {
+                write!(f, "emitted binary fails protection verification:\n{report}")
             }
         }
     }

@@ -68,6 +68,8 @@ pub mod ir;
 pub mod opt;
 pub mod regalloc;
 pub mod types;
+#[cfg(feature = "verifier")]
+pub mod verify;
 
 pub use codegen::CompiledProgram;
 pub use config::{CompileConfig, KeyPolicy};
@@ -98,5 +100,10 @@ pub fn compile(
     if config.optimize {
         opt::optimize(&mut instrumented);
     }
-    codegen::link(&instrumented, config)
+    let compiled = codegen::link(&instrumented, config)?;
+    #[cfg(feature = "verifier")]
+    if config.verify_output {
+        verify::check(&compiled, &instrumented, config)?;
+    }
+    Ok(compiled)
 }

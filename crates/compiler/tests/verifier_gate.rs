@@ -1,0 +1,293 @@
+//! Negative-test mutation harness for the post-codegen verifier gate, plus
+//! the positive property: everything the compiler emits verifies clean.
+//!
+//! The harness compiles a module (which passes the gate), then surgically
+//! breaks exactly one protection site in the emitted assembly with
+//! [`regvault_verifier::mutate`], reassembles, and asserts the verifier
+//! flags the sabotage — naming the offending instruction.
+
+#![cfg(feature = "verifier")]
+
+use regvault_compiler::instrument;
+use regvault_compiler::prelude::*;
+use regvault_compiler::verify;
+use regvault_isa::asm::assemble;
+use regvault_verifier::mutate::{self, Mutation};
+use regvault_verifier::{Report, ViolationKind};
+
+/// Reassembles mutated assembly and verifies it against the manifest the
+/// compiler derived for the *unmutated* module.
+fn reverify(asm: &str, module: &Module, config: &CompileConfig) -> Report {
+    let instrumented = instrument::instrument(module, config).expect("instruments");
+    let manifest = verify::manifest_for(&instrumented, config);
+    let program = assemble(asm).expect("mutated asm assembles");
+    regvault_verifier::verify(
+        program.bytes(),
+        program.symbols().iter(),
+        &manifest,
+        &verify::options_for(config),
+    )
+}
+
+fn kinds(report: &Report) -> Vec<ViolationKind> {
+    report.violations.iter().map(|v| v.kind).collect()
+}
+
+/// `set_uid`-style module: two params, one annotated store. Small enough
+/// that codegen emits no surplus crypto (no spill wraps, no call saves), so
+/// every `cre`/`crd` in the listing is accounted for by the manifest.
+fn cred_module() -> Module {
+    let mut module = Module::new("cred");
+    let cred = module.add_struct(StructDef::new(
+        "cred",
+        vec![
+            FieldDef::annotated("uid", FieldType::I64, Annotation::Rand),
+            FieldDef::plain("flags", FieldType::I64),
+        ],
+    ));
+    let mut f = FunctionBuilder::new("set_uid", 2);
+    let (ptr, uid) = (f.param(0), f.param(1));
+    f.store_field(ptr, cred, 0, uid);
+    f.ret(None);
+    module.add_function(f.build());
+    module
+}
+
+/// A module with more simultaneously-live decrypted values than the
+/// sensitive register pool holds, forcing protected spills of plaintext.
+fn pressure_module() -> Module {
+    let mut module = Module::new("pressure");
+    let fields: Vec<FieldDef> = (0..8)
+        .map(|i| FieldDef::annotated(&format!("f{i}"), FieldType::I64, Annotation::Rand))
+        .collect();
+    let blob = module.add_struct(StructDef::new("blob", fields));
+    module.add_global("obj", 128);
+
+    let mut f = FunctionBuilder::new("sum_secret", 0);
+    let obj = f.global_addr("obj");
+    // Load all eight annotated fields, keeping every plaintext live until
+    // the final fold: 8 live sensitive values > 4 sensitive registers.
+    let loaded: Vec<VReg> = (0..8).map(|i| f.load_field(obj, blob, i)).collect();
+    let mut acc = loaded[0];
+    for &v in &loaded[1..] {
+        acc = f.bin(AluOp::Add, acc, v);
+    }
+    f.ret(Some(acc));
+    module.add_function(f.build());
+    module
+}
+
+#[test]
+fn stripping_any_crypto_site_is_detected() {
+    let module = cred_module();
+    let config = CompileConfig::full();
+    let compiled = regvault_compiler::compile(&module, &config).expect("gate passes unmutated");
+    let asm = compiled.asm_text();
+    let sites = mutate::crypto_sites(asm);
+    assert!(
+        sites.len() >= 3,
+        "expected RA wrap + unwrap + data cre, got {sites:?}"
+    );
+    for site in &sites {
+        let mutated = mutate::apply(asm, site.line, Mutation::Strip).expect("strippable");
+        let report = reverify(&mutated, &module, &config);
+        assert!(
+            !report.is_clean(),
+            "stripping `{}` (line {}) went undetected",
+            site.text,
+            site.line
+        );
+        assert!(
+            kinds(&report).contains(&ViolationKind::CryptoDropped),
+            "stripping `{}` should lower the crypto population: {}",
+            site.text,
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn unwrapping_ra_is_flagged_at_the_exact_spill() {
+    let module = cred_module();
+    let config = CompileConfig::ra_only();
+    let compiled = regvault_compiler::compile(&module, &config).expect("gate passes unmutated");
+    let asm = compiled.asm_text();
+    // The prologue RA wrap is the one `cre` under key A.
+    let site = mutate::crypto_sites(asm)
+        .into_iter()
+        .find(|s| s.is_cre && s.text.contains("creak"))
+        .expect("prologue creak present");
+    let mutated = mutate::apply(asm, site.line, Mutation::ToMove).expect("mutable");
+    let report = reverify(&mutated, &module, &config);
+    let spill = report
+        .violations
+        .iter()
+        .find(|v| v.kind == ViolationKind::PlainSpill)
+        .unwrap_or_else(|| panic!("expected a plain-spill diagnostic: {}", report.render_human()));
+    // The diagnostic names the exact offending instruction: the now
+    // unprotected `sd ra, 0(sp)` one slot after the neutered wrap.
+    assert!(
+        spill.insn.contains("sd") && spill.insn.contains("ra"),
+        "diagnostic should name the ra store, got `{}` at {:#x}",
+        spill.insn,
+        spill.offset
+    );
+    assert!(spill.offset > 0);
+}
+
+#[test]
+fn unwrapping_a_sensitive_spill_is_flagged() {
+    let module = pressure_module();
+    let config = CompileConfig::full();
+    let compiled = regvault_compiler::compile(&module, &config).expect("gate passes unmutated");
+    let asm = compiled.asm_text();
+    // Spill wraps use the spill key (E): `creek`.
+    let sites: Vec<_> = mutate::crypto_sites(asm)
+        .into_iter()
+        .filter(|s| s.is_cre && s.text.contains("creek"))
+        .collect();
+    assert!(
+        !sites.is_empty(),
+        "pressure module should force protected spills:\n{asm}"
+    );
+    for site in &sites {
+        let mutated = mutate::apply(asm, site.line, Mutation::ToMove).expect("mutable");
+        let report = reverify(&mutated, &module, &config);
+        assert!(
+            kinds(&report).contains(&ViolationKind::PlainSpill),
+            "unwrapped spill `{}` should leak plaintext to the stack: {}",
+            site.text,
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn retargeting_a_spill_reload_tweak_is_flagged() {
+    let module = pressure_module();
+    let config = CompileConfig::full();
+    let compiled = regvault_compiler::compile(&module, &config).expect("gate passes unmutated");
+    let asm = compiled.asm_text();
+    // Reloads decrypt with the spill key (E): `crdek reg, reg, t6, [..]`.
+    let site = mutate::crypto_sites(asm)
+        .into_iter()
+        .find(|s| !s.is_cre && s.text.contains("crdek"))
+        .expect("spill reload present");
+    let mutated = mutate::apply(asm, site.line, Mutation::SwapTweak).expect("mutable");
+    let report = reverify(&mutated, &module, &config);
+    assert!(
+        kinds(&report).contains(&ViolationKind::TweakMismatch),
+        "reload under the wrong tweak should be flagged: {}",
+        report.render_human()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Positive property: random modules across random configurations always
+// pass the gate (the verifier has no false positives on compiler output).
+// ---------------------------------------------------------------------------
+
+/// Deterministic xorshift RNG for reproducible program generation.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_module(seed: u64, size: usize) -> Module {
+    let mut rng = XorShift(seed | 1);
+    let mut module = Module::new("fuzz");
+    let sid = module.add_struct(StructDef::new(
+        "blob",
+        vec![
+            FieldDef::annotated("a", FieldType::I32, Annotation::RandIntegrity),
+            FieldDef::annotated("b", FieldType::I64, Annotation::RandIntegrity),
+            FieldDef::annotated("c", FieldType::I64, Annotation::Rand),
+            FieldDef::plain("d", FieldType::I64),
+        ],
+    ));
+    module.add_global("obj", 64);
+    module.add_global("arr", 16 * 8);
+
+    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Mul];
+    let mut f = FunctionBuilder::new("main", 0);
+    let obj = f.global_addr("obj");
+    let arr = f.global_addr("arr");
+    let mut pool: Vec<VReg> = (0..4)
+        .map(|i| f.konst(rng.next() as i32 as i64 * (i + 1)))
+        .collect();
+
+    for _ in 0..size {
+        match rng.below(8) {
+            0..=4 => {
+                let op = ops[rng.below(ops.len() as u64) as usize];
+                let a = pool[rng.below(pool.len() as u64) as usize];
+                let b = pool[rng.below(pool.len() as u64) as usize];
+                pool.push(f.bin(op, a, b));
+            }
+            5 => {
+                let field = rng.below(4) as usize;
+                let v = pool[rng.below(pool.len() as u64) as usize];
+                f.store_field(obj, sid, field, v);
+                pool.push(f.load_field(obj, sid, field));
+            }
+            6 => {
+                let slot = rng.below(16) as i64;
+                let addr = f.bin_imm(AluOp::Add, arr, slot * 8);
+                let v = pool[rng.below(pool.len() as u64) as usize];
+                f.store(addr, v, MemTy::I64);
+                pool.push(f.load(addr, MemTy::I64));
+            }
+            _ => {
+                pool.push(f.konst(rng.next() as i32 as i64));
+            }
+        }
+    }
+
+    let mut acc = pool[0];
+    for &v in &pool[1..] {
+        acc = f.bin(AluOp::Add, acc, v);
+    }
+    f.ret(Some(acc));
+    module.add_function(f.build());
+    module
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_modules_verify_clean_under_random_configs(
+        seed in 1u64..u64::MAX,
+        size in 4usize..80,
+        config_bits in 0u8..32,
+    ) {
+        let config = CompileConfig {
+            protect_ra: config_bits & 1 != 0,
+            protect_fn_ptr: config_bits & 2 != 0,
+            protect_data: config_bits & 4 != 0,
+            protect_spills: config_bits & 8 != 0,
+            optimize: config_bits & 16 != 0,
+            ..CompileConfig::default()
+        };
+        let module = random_module(seed, size);
+        // The gate (verify_output defaults to true) runs inside compile();
+        // a verifier false positive surfaces as a Verification error here.
+        let compiled = regvault_compiler::compile(&module, &config);
+        proptest::prop_assert!(
+            compiled.is_ok(),
+            "gate rejected legitimate output under {:?}: {}",
+            config,
+            compiled.err().map(|e| e.to_string()).unwrap_or_default()
+        );
+    }
+}

@@ -28,6 +28,26 @@ impl Line {
             None => format!("{:#06x}: {:08x}  .word", self.offset, self.word),
         }
     }
+
+    /// Like [`render`](Self::render), but cryptographic instructions carry a
+    /// trailing comment spelling out the key register, the protected byte
+    /// range, and the tweak — e.g.
+    /// `creak a0, a0[7:0], t1  ; encrypt under key A, bytes [7:0], tweak t1`.
+    #[must_use]
+    pub fn render_annotated(&self) -> String {
+        let base = self.render();
+        match &self.insn {
+            Some(Insn::Cre { key, rt, hi, lo, .. }) => format!(
+                "{base}  ; encrypt under key {}, bytes [{hi}:{lo}], tweak {rt}",
+                key.name().to_uppercase()
+            ),
+            Some(Insn::Crd { key, rt, hi, lo, .. }) => format!(
+                "{base}  ; decrypt under key {}, bytes [{hi}:{lo}] (rest must be zero), tweak {rt}",
+                key.name().to_uppercase()
+            ),
+            _ => base,
+        }
+    }
 }
 
 /// Disassembles a little-endian byte image (length rounded down to whole
@@ -92,6 +112,27 @@ mod tests {
         assert!(lines.iter().all(|l| l.insn.is_some()));
         let text: Vec<String> = lines.iter().map(Line::render).collect();
         assert!(text[1].contains("creak a1, a0[3:0], t1"));
+    }
+
+    #[test]
+    fn annotated_rendering_names_key_and_range() {
+        let program = asm::assemble(
+            "creek t5, s1[3:0], t6
+             crdek s1, t5, t6, [3:0]
+             addi a0, a0, 1",
+        )
+        .unwrap();
+        let lines = disassemble(program.bytes());
+        let cre = lines[0].render_annotated();
+        assert!(
+            cre.ends_with("; encrypt under key E, bytes [3:0], tweak t6"),
+            "{cre}"
+        );
+        let crd = lines[1].render_annotated();
+        assert!(crd.contains("decrypt under key E"), "{crd}");
+        assert!(crd.contains("bytes [3:0]"), "{crd}");
+        // Non-crypto lines are unchanged.
+        assert_eq!(lines[2].render_annotated(), lines[2].render());
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Control-flow-graph reconstruction from decoded machine code.
+//!
+//! Functions are linear byte extents (derived from assembler symbols); the
+//! CFG splits an extent into basic blocks at branch targets and after
+//! control-transfer instructions, and resolves intra-function successor
+//! edges. Calls (`jal ra, ...` / `jalr ra, ...`) are *not* edges — the
+//! dataflow models their clobber effect instead — and branch or jump targets
+//! outside the function extent are treated as tail exits.
+
+use regvault_isa::decode::decode;
+use regvault_isa::{Insn, Reg};
+
+/// A function extent inside an image: `[start, end)` byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncRegion {
+    /// Symbol name.
+    pub name: String,
+    /// First byte offset (inclusive).
+    pub start: u64,
+    /// One past the last byte offset (exclusive).
+    pub end: u64,
+}
+
+/// Derives function extents from an assembler symbol table.
+///
+/// Local block labels (prefix `.L`) are skipped; every other symbol opens a
+/// region that runs to the next symbol or to `image_len`. Symbols named in
+/// `exclude` (e.g. data globals emitted before code) are dropped.
+#[must_use]
+pub fn regions_from_symbols<'a, I>(symbols: I, image_len: u64, exclude: &[&str]) -> Vec<FuncRegion>
+where
+    I: IntoIterator<Item = (&'a String, &'a u64)>,
+{
+    let mut named: Vec<(String, u64)> = symbols
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with(".L") && !exclude.contains(&name.as_str()))
+        .map(|(name, &off)| (name.clone(), off))
+        .collect();
+    named.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    // A boundary at *any* non-local symbol (even an excluded data one) ends
+    // the previous region, so code regions never swallow trailing data.
+    let mut regions = Vec::with_capacity(named.len());
+    for (i, (name, start)) in named.iter().enumerate() {
+        let end = named
+            .get(i + 1)
+            .map_or(image_len, |(_, next_start)| *next_start);
+        if end > *start {
+            regions.push(FuncRegion {
+                name: name.clone(),
+                start: *start,
+                end,
+            });
+        }
+    }
+    regions
+}
+
+/// How an instruction ends a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ender {
+    /// Conditional branch: taken target + fallthrough.
+    Branch(i64),
+    /// Unconditional jump (`jal zero` / `j`): target only.
+    Jump(i64),
+    /// A call (`jal ra` / `jalr ra`): fallthrough only, clobbers registers.
+    Call,
+    /// Indirect jump that is not a call (`jalr zero`, i.e. `ret`): no
+    /// intra-function successors.
+    IndirectExit,
+    /// Trap/stop (`ebreak`, `mret`, `sret`, `ecall` is NOT one): no
+    /// successors.
+    Stop,
+}
+
+/// Classifies whether `insn` ends a basic block, and how.
+#[must_use]
+pub fn ender(insn: &Insn) -> Option<Ender> {
+    match *insn {
+        Insn::Jal { rd, offset } => {
+            if rd == Reg::Zero {
+                Some(Ender::Jump(i64::from(offset)))
+            } else {
+                Some(Ender::Call)
+            }
+        }
+        Insn::Jalr { rd, .. } => {
+            if rd == Reg::Zero {
+                Some(Ender::IndirectExit)
+            } else {
+                Some(Ender::Call)
+            }
+        }
+        Insn::Branch { offset, .. } => Some(Ender::Branch(i64::from(offset))),
+        Insn::Ebreak | Insn::Mret | Insn::Sret => Some(Ender::Stop),
+        _ => None,
+    }
+}
+
+/// A basic block: a run of instructions plus successor block indices.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// `(image_offset, insn)` pairs in program order.
+    pub insns: Vec<(u64, Insn)>,
+    /// Indices of successor blocks within the owning [`Cfg`].
+    pub succs: Vec<usize>,
+}
+
+/// A reconstructed per-function control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Basic blocks; block 0 is the function entry.
+    pub blocks: Vec<Block>,
+}
+
+/// A word inside a function extent that did not decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeFailure {
+    /// Byte offset of the undecodable word.
+    pub offset: u64,
+    /// The raw word.
+    pub word: u32,
+}
+
+/// Builds the CFG for the bytes of `region` within `image`.
+///
+/// # Errors
+///
+/// Returns the first [`DecodeFailure`] if any word in the extent does not
+/// decode — callers decide whether that is a violation (compiler output) or
+/// evidence the region is data (hand-written images).
+pub fn build(image: &[u8], region: &FuncRegion) -> Result<Cfg, DecodeFailure> {
+    let start = region.start as usize;
+    let end = (region.end as usize).min(image.len());
+    let mut insns = Vec::new();
+    let mut off = start;
+    while off + 4 <= end {
+        let word = u32::from_le_bytes(image[off..off + 4].try_into().expect("4-byte slice"));
+        let insn = decode(word).map_err(|_| DecodeFailure {
+            offset: off as u64,
+            word,
+        })?;
+        insns.push((off as u64, insn));
+        off += 4;
+    }
+
+    // Leaders: function entry, branch/jump targets inside the extent, and
+    // the instruction after any block ender.
+    let in_extent = |target: i64| -> Option<u64> {
+        let t = u64::try_from(target).ok()?;
+        (t >= region.start && t < region.end && t % 4 == 0).then_some(t)
+    };
+    let mut leaders: Vec<u64> = vec![region.start];
+    for &(at, ref insn) in &insns {
+        match ender(insn) {
+            Some(Ender::Branch(delta)) => {
+                if let Some(t) = in_extent(at as i64 + delta) {
+                    leaders.push(t);
+                }
+                leaders.push(at + 4);
+            }
+            Some(Ender::Jump(delta)) => {
+                if let Some(t) = in_extent(at as i64 + delta) {
+                    leaders.push(t);
+                }
+                leaders.push(at + 4);
+            }
+            Some(Ender::Call) => leaders.push(at + 4),
+            Some(Ender::IndirectExit | Ender::Stop) => leaders.push(at + 4),
+            None => {}
+        }
+    }
+    leaders.sort_unstable();
+    leaders.dedup();
+    leaders.retain(|&l| l < region.end);
+
+    // Slice the instruction run into blocks at leader offsets.
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut block_of: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut current: Option<Block> = None;
+    for &(at, insn) in &insns {
+        if leaders.binary_search(&at).is_ok() {
+            if let Some(done) = current.take() {
+                blocks.push(done);
+            }
+            block_of.insert(at, blocks.len());
+            current = Some(Block {
+                insns: Vec::new(),
+                succs: Vec::new(),
+            });
+        }
+        if let Some(block) = current.as_mut() {
+            block.insns.push((at, insn));
+        }
+    }
+    if let Some(done) = current.take() {
+        blocks.push(done);
+    }
+
+    // Resolve successor edges.
+    for block in &mut blocks {
+        let Some(&(at, last)) = block.insns.last() else {
+            continue;
+        };
+        let mut succs = Vec::new();
+        let mut push = |target: u64, block_of: &std::collections::BTreeMap<u64, usize>| {
+            if let Some(&b) = block_of.get(&target) {
+                succs.push(b);
+            }
+        };
+        match ender(&last) {
+            Some(Ender::Branch(delta)) => {
+                if let Some(t) = in_extent(at as i64 + delta) {
+                    push(t, &block_of);
+                }
+                push(at + 4, &block_of);
+            }
+            Some(Ender::Jump(delta)) => {
+                if let Some(t) = in_extent(at as i64 + delta) {
+                    push(t, &block_of);
+                }
+            }
+            Some(Ender::Call) | None => push(at + 4, &block_of),
+            Some(Ender::IndirectExit | Ender::Stop) => {}
+        }
+        succs.dedup();
+        block.succs = succs;
+    }
+
+    Ok(Cfg { blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regvault_isa::asm::assemble;
+
+    fn region_of(program: &regvault_isa::asm::Program, name: &str) -> FuncRegion {
+        let regions = regions_from_symbols(
+            program.symbols().iter(),
+            program.bytes().len() as u64,
+            &[],
+        );
+        regions.into_iter().find(|r| r.name == name).unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let program = assemble(
+            "f:
+             addi a0, a0, 1
+             addi a0, a0, 2
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn diamond_control_flow() {
+        let program = assemble(
+            "f:
+             bne a0, zero, .L_f_then
+             addi a1, zero, 1
+             j .L_f_join
+             .L_f_then:
+             addi a1, zero, 2
+             .L_f_join:
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        assert_eq!(cfg.blocks.len(), 4);
+        // Entry branches to then + fallthrough.
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        // Join block has no successors (ret).
+        assert!(cfg.blocks.last().unwrap().succs.is_empty());
+    }
+
+    #[test]
+    fn loops_form_back_edges() {
+        let program = assemble(
+            "f:
+             addi a1, zero, 0
+             .L_f_loop:
+             addi a1, a1, 1
+             blt a1, a0, .L_f_loop
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        // Loop block must list itself as a successor.
+        let looping = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.contains(&i));
+        assert!(looping);
+    }
+
+    #[test]
+    fn calls_fall_through_without_target_edge() {
+        let program = assemble(
+            "f:
+             call g
+             ret
+             g:
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        assert_eq!(cfg.blocks.len(), 2);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn regions_skip_local_labels_and_excludes() {
+        let program = assemble(
+            "glob: .dword 7
+             f:
+             ret",
+        )
+        .unwrap();
+        let regions = regions_from_symbols(
+            program.symbols().iter(),
+            program.bytes().len() as u64,
+            &["glob"],
+        );
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].name, "f");
+        assert_eq!(regions[0].start, 8);
+    }
+
+    #[test]
+    fn undecodable_word_is_reported() {
+        let region = FuncRegion {
+            name: "f".into(),
+            start: 0,
+            end: 4,
+        };
+        let err = build(&0xFFFF_FFFFu32.to_le_bytes(), &region).unwrap_err();
+        assert_eq!(err.offset, 0);
+    }
+}

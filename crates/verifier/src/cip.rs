@@ -1,0 +1,268 @@
+//! Structural checker for chain-encrypted interrupt-frame saves (CIP,
+//! §2.4.3 of the paper).
+//!
+//! A CIP save stub must encrypt register `i` with the *previous register's
+//! plaintext* as tweak (the first tweak being the frame address), store the
+//! ciphertexts to consecutive 8-byte slots, and close the chain with a
+//! trailing encrypted zero. This module checks those rules *structurally*
+//! over a linear instruction sequence: every `cre` must pair with the `sd`
+//! that spills its result, slot offsets must be contiguous, tweaks must
+//! chain, keys must agree, and the final plaintext must be `zero`.
+//!
+//! The repo's production trap path ([`regvault-kernel`]'s `save_context`)
+//! runs in host Rust, so the checker is exercised against the reference
+//! machine-code stub emitted by [`save_stub_asm`] — and against mutated
+//! variants of it in the negative tests.
+
+use regvault_isa::{Insn, KeyReg, Reg};
+
+use crate::diag::ViolationKind;
+use crate::taint::RawViolation;
+
+/// One `cre` + `sd` pair of a chain save.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    cre_offset: u64,
+    key: KeyReg,
+    plaintext: Reg,
+    tweak: Reg,
+    dst: Reg,
+    store_offset: u64,
+    store_base: Reg,
+    store_disp: i64,
+}
+
+/// Checks the CIP chain discipline over `insns` (image offset + decoded
+/// instruction, in program order). Returns the violations found.
+///
+/// `insns` should be the body of one save stub; instructions that are not
+/// part of a `cre`/`sd` pair (address setup, the final `ret`) are ignored.
+#[must_use]
+pub fn check_chain(insns: &[(u64, Insn)]) -> Vec<RawViolation> {
+    let mut violations = Vec::new();
+    let mut links: Vec<Link> = Vec::new();
+    let mut pending: Option<Link> = None;
+
+    for &(offset, insn) in insns {
+        match insn {
+            Insn::Cre {
+                key, rd, rs, rt, ..
+            } => {
+                if let Some(open) = pending.take() {
+                    violations.push(RawViolation {
+                        kind: ViolationKind::MalformedCipChain,
+                        offset: open.cre_offset,
+                        detail: "cre result is never stored to the frame".into(),
+                    });
+                }
+                pending = Some(Link {
+                    cre_offset: offset,
+                    key,
+                    plaintext: rs,
+                    tweak: rt,
+                    dst: rd,
+                    store_offset: 0,
+                    store_base: Reg::Zero,
+                    store_disp: 0,
+                });
+            }
+            Insn::Store {
+                width: regvault_isa::MemWidth::Double,
+                rs2,
+                rs1,
+                offset: disp,
+            } => {
+                if let Some(mut link) = pending.take() {
+                    if rs2 == link.dst {
+                        link.store_offset = offset;
+                        link.store_base = rs1;
+                        link.store_disp = i64::from(disp);
+                        links.push(link);
+                    } else {
+                        pending = Some(link);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = pending {
+        violations.push(RawViolation {
+            kind: ViolationKind::MalformedCipChain,
+            offset: open.cre_offset,
+            detail: "cre result is never stored to the frame".into(),
+        });
+    }
+
+    if links.is_empty() {
+        violations.push(RawViolation {
+            kind: ViolationKind::MalformedCipChain,
+            offset: insns.first().map_or(0, |&(o, _)| o),
+            detail: "no cre/sd chain links found in the save stub".into(),
+        });
+        return violations;
+    }
+
+    let first = links[0];
+    if first.tweak != first.store_base {
+        violations.push(RawViolation {
+            kind: ViolationKind::MalformedCipChain,
+            offset: first.cre_offset,
+            detail: format!(
+                "first chain tweak must be the frame base {} (spatial-substitution defense), found {}",
+                first.store_base, first.tweak
+            ),
+        });
+    }
+    for window in links.windows(2) {
+        let (prev, link) = (window[0], window[1]);
+        if link.key != prev.key {
+            violations.push(RawViolation {
+                kind: ViolationKind::MalformedCipChain,
+                offset: link.cre_offset,
+                detail: format!(
+                    "chain switches keys mid-frame (`{}` after `{}`)",
+                    link.key, prev.key
+                ),
+            });
+        }
+        if link.tweak != prev.plaintext {
+            violations.push(RawViolation {
+                kind: ViolationKind::MalformedCipChain,
+                offset: link.cre_offset,
+                detail: format!(
+                    "chain tweak must be the previous plaintext register {}, found {}",
+                    prev.plaintext, link.tweak
+                ),
+            });
+        }
+        if link.store_base != prev.store_base || link.store_disp != prev.store_disp + 8 {
+            violations.push(RawViolation {
+                kind: ViolationKind::MalformedCipChain,
+                offset: link.store_offset,
+                detail: "chain slots are not contiguous 8-byte frame offsets".into(),
+            });
+        }
+    }
+    let last = *links.last().expect("non-empty");
+    if last.plaintext != Reg::Zero {
+        violations.push(RawViolation {
+            kind: ViolationKind::MalformedCipChain,
+            offset: last.cre_offset,
+            detail: "chain is missing the trailing encrypted integrity zero".into(),
+        });
+    }
+
+    violations
+}
+
+/// Emits the reference CIP save stub as assembly: chains `x1`–`x31` into the
+/// frame whose base address is in `a0`, closes with an encrypted zero, and
+/// returns.
+///
+/// Note the scratch-register caveat: the stub uses `t6` to stage each
+/// ciphertext, so the slot nominally saving `t6` (x31) saves a clobbered
+/// value — acceptable for a *structural* reference (the production save path
+/// lives in the kernel, which snapshots the register file first).
+#[must_use]
+pub fn save_stub_asm(label: &str, key: KeyReg) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{label}:\n"));
+    let mut tweak = "a0".to_owned();
+    for i in 1..32u8 {
+        let reg = Reg::from_index(i).expect("x1..x31");
+        out.push_str(&format!("cre{key}k t6, {reg}[7:0], {tweak}\n"));
+        out.push_str(&format!("sd t6, {}(a0)\n", 8 * (u32::from(i) - 1)));
+        tweak = reg.name().to_owned();
+    }
+    out.push_str(&format!("cre{key}k t6, zero[7:0], {tweak}\n"));
+    out.push_str(&format!("sd t6, {}(a0)\n", 8 * 31));
+    out.push_str("ret\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regvault_isa::asm::assemble;
+    use regvault_isa::decode::decode;
+
+    fn decoded(src: &str) -> Vec<(u64, Insn)> {
+        let program = assemble(src).unwrap();
+        program
+            .words()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| ((i * 4) as u64, decode(w).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn reference_stub_passes() {
+        let stub = save_stub_asm("cip_save", KeyReg::C);
+        let violations = check_chain(&decoded(&stub));
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn wrong_first_tweak_is_flagged() {
+        let v = check_chain(&decoded(
+            "creck t6, ra[7:0], t0
+             sd t6, 0(a0)
+             creck t6, zero[7:0], ra
+             sd t6, 8(a0)",
+        ));
+        assert!(v
+            .iter()
+            .any(|r| r.detail.contains("first chain tweak")), "{v:?}");
+    }
+
+    #[test]
+    fn broken_tweak_chaining_is_flagged() {
+        // Second link's tweak must be ra (previous plaintext), not sp.
+        let v = check_chain(&decoded(
+            "creck t6, ra[7:0], a0
+             sd t6, 0(a0)
+             creck t6, gp[7:0], sp
+             sd t6, 8(a0)
+             creck t6, zero[7:0], gp
+             sd t6, 16(a0)",
+        ));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].offset, 8);
+        assert!(v[0].detail.contains("previous plaintext"));
+    }
+
+    #[test]
+    fn missing_trailing_zero_is_flagged() {
+        let v = check_chain(&decoded(
+            "creck t6, ra[7:0], a0
+             sd t6, 0(a0)
+             creck t6, gp[7:0], ra
+             sd t6, 8(a0)",
+        ));
+        assert!(v.iter().any(|r| r.detail.contains("trailing encrypted integrity zero")));
+    }
+
+    #[test]
+    fn non_contiguous_slots_are_flagged() {
+        let v = check_chain(&decoded(
+            "creck t6, ra[7:0], a0
+             sd t6, 0(a0)
+             creck t6, zero[7:0], ra
+             sd t6, 16(a0)",
+        ));
+        assert!(v.iter().any(|r| r.detail.contains("contiguous")));
+    }
+
+    #[test]
+    fn mixed_keys_are_flagged() {
+        let v = check_chain(&decoded(
+            "creck t6, ra[7:0], a0
+             sd t6, 0(a0)
+             credk t6, zero[7:0], ra
+             sd t6, 8(a0)",
+        ));
+        assert!(v.iter().any(|r| r.detail.contains("switches keys")));
+    }
+}

@@ -1,0 +1,273 @@
+//! Structured verifier diagnostics.
+//!
+//! Every invariant violation carries the function it was found in, the byte
+//! offset of the offending instruction inside the image, its disassembly, a
+//! human-oriented detail string, and a small disassembly context window, so a
+//! report is actionable without re-running the disassembler by hand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The RegVault invariant a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// Sensitive plaintext stored to a stack slot without a wrapping `cre`.
+    PlainSpill,
+    /// Sensitive plaintext stored to non-stack memory (strict mode only).
+    PlainStore,
+    /// Sensitive plaintext live in a callee-saved register across a call.
+    SensitiveAcrossCall,
+    /// Ciphertext stored to (or decrypted with) an address other than its
+    /// encryption tweak.
+    TweakMismatch,
+    /// `crd` uses a different key register than the `cre` that produced the
+    /// ciphertext.
+    KeyMismatch,
+    /// Fewer `cre`/`crd` instructions in the binary than the compiler's
+    /// protection manifest requires.
+    CryptoDropped,
+    /// A chain-encrypted interrupt frame save that breaks the CIP discipline
+    /// (wrong tweak chaining, non-contiguous slots, missing trailing zero).
+    MalformedCipChain,
+    /// A word inside a function extent that does not decode.
+    Undecodable,
+}
+
+impl ViolationKind {
+    /// Stable lowercase identifier used in JSON output.
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            ViolationKind::PlainSpill => "plain-spill",
+            ViolationKind::PlainStore => "plain-store",
+            ViolationKind::SensitiveAcrossCall => "sensitive-across-call",
+            ViolationKind::TweakMismatch => "tweak-mismatch",
+            ViolationKind::KeyMismatch => "key-mismatch",
+            ViolationKind::CryptoDropped => "crypto-dropped",
+            ViolationKind::MalformedCipChain => "malformed-cip-chain",
+            ViolationKind::Undecodable => "undecodable",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One invariant violation, anchored to an instruction in the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant was broken.
+    pub kind: ViolationKind,
+    /// The function the instruction belongs to.
+    pub function: String,
+    /// Byte offset of the offending instruction within the image.
+    pub offset: u64,
+    /// Disassembly of the offending instruction.
+    pub insn: String,
+    /// Human-oriented explanation.
+    pub detail: String,
+    /// Disassembly context window around the offending instruction.
+    pub context: Vec<String>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {:#06x} in `{}`: {}",
+            self.kind, self.insn, self.offset, self.function, self.detail
+        )
+    }
+}
+
+/// Per-function statistics gathered while verifying.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FnStats {
+    /// Instructions decoded inside the function extent.
+    pub instructions: usize,
+    /// `cre` instructions found.
+    pub cre: usize,
+    /// `crd` instructions found.
+    pub crd: usize,
+}
+
+/// The result of verifying one image.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All violations, ordered by (function, offset, kind).
+    pub violations: Vec<Violation>,
+    /// Per-function statistics, in symbol order.
+    pub stats: BTreeMap<String, FnStats>,
+    /// Symbol regions skipped because they did not decode as code (only
+    /// when the caller opted into treating undecodable regions as data).
+    pub skipped_data: Vec<String>,
+}
+
+impl Report {
+    /// `true` when no invariant violations were found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total instructions across all verified functions.
+    #[must_use]
+    pub fn instructions(&self) -> usize {
+        self.stats.values().map(|s| s.instructions).sum()
+    }
+
+    /// Total `cre`/`crd` instructions across all verified functions.
+    #[must_use]
+    pub fn crypto_ops(&self) -> usize {
+        self.stats.values().map(|s| s.cre + s.crd).sum()
+    }
+
+    /// Renders the report for humans: a verdict line, statistics, and one
+    /// block per violation with its disassembly context.
+    #[must_use]
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            out.push_str(&format!(
+                "OK: {} function(s), {} instruction(s), {} crypto op(s), 0 violations\n",
+                self.stats.len(),
+                self.instructions(),
+                self.crypto_ops()
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL: {} violation(s) across {} function(s)\n",
+                self.violations.len(),
+                self.stats.len()
+            ));
+            for v in &self.violations {
+                out.push('\n');
+                out.push_str(&v.to_string());
+                out.push('\n');
+                for line in &v.context {
+                    let marker = if line.starts_with(&format!("{:#06x}:", v.offset)) {
+                        "  > "
+                    } else {
+                        "    "
+                    };
+                    out.push_str(marker);
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        for name in &self.skipped_data {
+            out.push_str(&format!("note: `{name}` skipped (data, not code)\n"));
+        }
+        out
+    }
+
+    /// Renders the report as a single JSON object.
+    ///
+    /// Schema: `{"clean": bool, "functions": N, "instructions": N,
+    /// "crypto_ops": N, "violations": [{"kind", "function", "offset",
+    /// "insn", "detail"}], "skipped_data": [..]}`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"clean\":{},", self.is_clean()));
+        out.push_str(&format!("\"functions\":{},", self.stats.len()));
+        out.push_str(&format!("\"instructions\":{},", self.instructions()));
+        out.push_str(&format!("\"crypto_ops\":{},", self.crypto_ops()));
+        out.push_str("\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":{},\"function\":{},\"offset\":{},\"insn\":{},\"detail\":{}}}",
+                json_str(v.kind.id()),
+                json_str(&v.function),
+                v.offset,
+                json_str(&v.insn),
+                json_str(&v.detail)
+            ));
+        }
+        out.push_str("],\"skipped_data\":[");
+        for (i, name) in self.skipped_data.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(name));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_violation() -> Violation {
+        Violation {
+            kind: ViolationKind::PlainSpill,
+            function: "main".into(),
+            offset: 0x40,
+            insn: "sd t0, 0(t6)".into(),
+            detail: "sensitive plaintext in t0 stored to stack".into(),
+            context: vec!["0x0040: 005b3023  sd t0, 0(t6)".into()],
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_ok() {
+        let mut report = Report::default();
+        report.stats.insert(
+            "main".into(),
+            FnStats {
+                instructions: 7,
+                cre: 1,
+                crd: 1,
+            },
+        );
+        assert!(report.is_clean());
+        assert!(report.render_human().starts_with("OK:"));
+        assert!(report.render_json().contains("\"clean\":true"));
+    }
+
+    #[test]
+    fn violation_renders_with_address_and_kind() {
+        let mut report = Report::default();
+        report.violations.push(sample_violation());
+        let human = report.render_human();
+        assert!(human.starts_with("FAIL:"));
+        assert!(human.contains("0x0040"));
+        assert!(human.contains("plain-spill"));
+        let json = report.render_json();
+        assert!(json.contains("\"kind\":\"plain-spill\""));
+        assert!(json.contains("\"offset\":64"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

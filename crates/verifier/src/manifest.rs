@@ -1,0 +1,57 @@
+//! The protection manifest: what the compiler promised, for the verifier to
+//! check against what the binary delivers.
+//!
+//! The manifest is deliberately minimal — it does not describe *where*
+//! crypto must appear (the dataflow derives that), only (a) which registers
+//! carry sensitive plaintext at function entry (seeding the taint), and (b)
+//! a lower bound on the `cre`/`crd` population per function so that whole
+//! protection sites cannot silently vanish (e.g. a dead-code pass deleting
+//! an `Encrypt`).
+
+use std::collections::BTreeMap;
+
+use regvault_isa::Reg;
+
+/// Per-function expectations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FnExpect {
+    /// Registers that hold sensitive plaintext when the function is entered
+    /// (`ra` under RA protection; argument registers carrying sensitive
+    /// parameters under spill protection).
+    pub entry_sensitive: Vec<Reg>,
+    /// Minimum number of `cre` instructions the function must contain.
+    pub min_cre: usize,
+    /// Minimum number of `crd` instructions the function must contain.
+    pub min_crd: usize,
+}
+
+/// What the compiler promised about an image, keyed by function symbol.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProtectionManifest {
+    /// Expectations per function symbol. Functions absent from the map are
+    /// verified with empty expectations (dataflow invariants still apply).
+    pub functions: BTreeMap<String, FnExpect>,
+    /// Symbols that are data, not code (excluded from CFG construction).
+    pub data_symbols: Vec<String>,
+}
+
+impl ProtectionManifest {
+    /// The expectations for `function`, or the empty default.
+    #[must_use]
+    pub fn expect_for(&self, function: &str) -> FnExpect {
+        self.functions.get(function).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_functions_get_empty_expectations() {
+        let manifest = ProtectionManifest::default();
+        let expect = manifest.expect_for("nope");
+        assert!(expect.entry_sensitive.is_empty());
+        assert_eq!(expect.min_cre, 0);
+    }
+}

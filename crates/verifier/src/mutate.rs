@@ -1,0 +1,168 @@
+//! Mutation helpers for the negative-test harness.
+//!
+//! The verifier is only trustworthy if it *fails* on broken output, so these
+//! helpers take the compiler's assembly text and surgically remove or bend
+//! one protection site — drop a `cre`/`crd`, replace an encrypt with a plain
+//! move ("forgot to encrypt"), or swap a tweak register — producing a
+//! program that assembles fine but violates exactly one invariant.
+
+/// A single protection-site mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Delete the crypto instruction outright.
+    Strip,
+    /// Replace `cre.. rd, rs[..], rt` / `crd.. rd, rs, rt, [..]` with
+    /// `mv rd, rs` — the classic "instrumentation forgot the crypto" bug:
+    /// the value flows on, but in plaintext (or still in ciphertext).
+    ToMove,
+    /// Replace the tweak register operand with `t2` (or `t3` if the site
+    /// already uses `t2`), breaking the storage-address tweak discipline.
+    SwapTweak,
+}
+
+/// One crypto instruction found in an assembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CryptoSite {
+    /// Zero-based line index into the assembly text.
+    pub line: usize,
+    /// `true` for `cre`, `false` for `crd`.
+    pub is_cre: bool,
+    /// The trimmed instruction text.
+    pub text: String,
+}
+
+fn crypto_mnemonic(trimmed: &str) -> Option<bool> {
+    // Mnemonics are `cre{k}k` / `crd{k}k` with a single-letter key.
+    let mnemonic = trimmed.split_whitespace().next()?;
+    if mnemonic.len() == 5 && mnemonic.ends_with('k') {
+        if let Some(rest) = mnemonic.strip_prefix("cre") {
+            return rest.chars().next().map(|_| true);
+        }
+        if let Some(rest) = mnemonic.strip_prefix("crd") {
+            return rest.chars().next().map(|_| false);
+        }
+    }
+    None
+}
+
+/// Lists every `cre`/`crd` instruction line in `asm`.
+#[must_use]
+pub fn crypto_sites(asm: &str) -> Vec<CryptoSite> {
+    asm.lines()
+        .enumerate()
+        .filter_map(|(line, raw)| {
+            let trimmed = raw.trim();
+            crypto_mnemonic(trimmed).map(|is_cre| CryptoSite {
+                line,
+                is_cre,
+                text: trimmed.to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Splits a crypto line into `(mnemonic, rd, rs, rt)` operand names,
+/// tolerating both the `cre` (`rd, rs[e:s], rt`) and `crd`
+/// (`rd, rs, rt, [e:s]`) operand shapes.
+fn split_site(text: &str) -> Option<(bool, String, String, String)> {
+    let is_cre = crypto_mnemonic(text)?;
+    let ops = text.split_whitespace().skip(1).collect::<Vec<_>>().join(" ");
+    let parts: Vec<&str> = ops.split(',').map(str::trim).collect();
+    if is_cre {
+        // rd, rs[e:s], rt
+        if parts.len() != 3 {
+            return None;
+        }
+        let rs = parts[1].split('[').next()?.trim();
+        Some((true, parts[0].into(), rs.into(), parts[2].into()))
+    } else {
+        // rd, rs, rt, [e:s]
+        if parts.len() != 4 {
+            return None;
+        }
+        Some((false, parts[0].into(), parts[1].into(), parts[2].into()))
+    }
+}
+
+/// Applies `mutation` to the crypto instruction at line `line` of `asm`.
+///
+/// Returns the mutated assembly, or `None` if the line is not a crypto
+/// instruction (or the mutation cannot apply).
+#[must_use]
+pub fn apply(asm: &str, line: usize, mutation: Mutation) -> Option<String> {
+    let lines: Vec<&str> = asm.lines().collect();
+    let target = lines.get(line)?.trim();
+    let (_, rd, rs, rt) = split_site(target)?;
+    let replacement = match mutation {
+        Mutation::Strip => None,
+        Mutation::ToMove => Some(format!("mv {rd}, {rs}")),
+        Mutation::SwapTweak => {
+            let swapped = if rt == "t2" { "t3" } else { "t2" };
+            Some(target.replacen(&format!(", {rt}"), &format!(", {swapped}"), 1))
+        }
+    };
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, &text) in lines.iter().enumerate() {
+        if i == line {
+            if let Some(ref repl) = replacement {
+                // Preserve the original indentation.
+                let indent: String = text.chars().take_while(|c| c.is_whitespace()).collect();
+                out.push(format!("{indent}{repl}"));
+            }
+        } else {
+            out.push(text.to_owned());
+        }
+    }
+    Some(out.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ASM: &str = "main:
+    addi t6, sp, 8
+    creek t5, t0[7:0], t6
+    sd t5, 0(t6)
+    ld t0, 8(sp)
+    crdek t0, t0, t6, [7:0]
+    ret";
+
+    #[test]
+    fn finds_both_crypto_sites() {
+        let sites = crypto_sites(ASM);
+        assert_eq!(sites.len(), 2);
+        assert!(sites[0].is_cre);
+        assert!(!sites[1].is_cre);
+        assert_eq!(sites[0].line, 2);
+    }
+
+    #[test]
+    fn strip_removes_the_line() {
+        let mutated = apply(ASM, 2, Mutation::Strip).unwrap();
+        assert!(!mutated.contains("creek"));
+        assert!(mutated.contains("crdek"));
+    }
+
+    #[test]
+    fn to_move_preserves_dataflow_shape() {
+        let mutated = apply(ASM, 2, Mutation::ToMove).unwrap();
+        assert!(mutated.contains("mv t5, t0"));
+        let mutated = apply(ASM, 5, Mutation::ToMove).unwrap();
+        assert!(mutated.contains("mv t0, t0"));
+    }
+
+    #[test]
+    fn swap_tweak_changes_only_the_tweak() {
+        let mutated = apply(ASM, 2, Mutation::SwapTweak).unwrap();
+        assert!(mutated.contains("creek t5, t0[7:0], t2"));
+        let mutated = apply(ASM, 5, Mutation::SwapTweak).unwrap();
+        assert!(mutated.contains("crdek t0, t0, t2, [7:0]"));
+    }
+
+    #[test]
+    fn non_crypto_lines_are_rejected() {
+        assert!(apply(ASM, 0, Mutation::Strip).is_none());
+        assert!(apply(ASM, 3, Mutation::ToMove).is_none());
+    }
+}

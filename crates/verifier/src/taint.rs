@@ -1,0 +1,735 @@
+//! The abstract-interpretation core: a may-hold-plaintext taint dataflow
+//! over a reconstructed CFG.
+//!
+//! # Lattice
+//!
+//! Each register and each abstract stack slot holds one [`Val`]:
+//!
+//! ```text
+//!            Plain                 (may hold sensitive plaintext — top)
+//!              |
+//!           Unknown                (derived / untracked)
+//!          /   |    \
+//!   Const(k) Loc(a) Cipher{key,tweak}
+//! ```
+//!
+//! `Plain` absorbs everything (a value that *may* be sensitive plaintext
+//! stays so under join); unequal constants/locations collapse to `Unknown`;
+//! two ciphers join field-wise (mismatched key or tweak becomes unknown).
+//! Chains are bounded (length ≤ 4 per cell), so the worklist fixpoint
+//! terminates.
+//!
+//! # Seeding
+//!
+//! `Plain` enters the state from exactly two sources, mirroring the paper's
+//! taint rules: destinations of `crd[x]k` (a decrypt *produces* sensitive
+//! plaintext by definition) and the registers listed in the compiler's
+//! protection manifest as sensitive at function entry (`ra` under RA
+//! protection, argument registers carrying sensitive parameters). ALU
+//! results with a `Plain` operand stay `Plain`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use regvault_isa::abi::{CALLER_SAVED, CALLEE_SAVED};
+use regvault_isa::{AluOp, Insn, KeyReg, Reg};
+
+use crate::cfg::Cfg;
+use crate::diag::ViolationKind;
+
+/// Symbolic base of an abstract address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// The function's entry stack pointer.
+    Sp,
+    /// An opaque value identity (entry register or instruction definition).
+    Id(u64),
+}
+
+/// An abstract address: a symbolic base plus a concrete byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Addr {
+    /// Symbolic base.
+    pub base: Base,
+    /// Byte offset from the base.
+    pub off: i64,
+}
+
+/// What the dataflow knows about a cipher value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CipherInfo {
+    /// The key register used by the producing `cre`, when unique.
+    pub key: Option<KeyReg>,
+    /// The tweak address of the producing `cre`, when unique and symbolic.
+    pub tweak: Option<Addr>,
+}
+
+/// The abstract value lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    /// Nothing tracked.
+    Unknown,
+    /// A known constant.
+    Const(i64),
+    /// A symbolic location/identity (address arithmetic stays precise).
+    Loc(Addr),
+    /// May hold sensitive plaintext.
+    Plain,
+    /// Ciphertext produced by a `cre`.
+    Cipher(CipherInfo),
+}
+
+impl Val {
+    /// Lattice join: `Plain` absorbs, mismatches widen to `Unknown`.
+    #[must_use]
+    pub fn join(self, other: Val) -> Val {
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (Val::Plain, _) | (_, Val::Plain) => Val::Plain,
+            (Val::Cipher(a), Val::Cipher(b)) => Val::Cipher(CipherInfo {
+                key: if a.key == b.key { a.key } else { None },
+                tweak: if a.tweak == b.tweak { a.tweak } else { None },
+            }),
+            _ => Val::Unknown,
+        }
+    }
+}
+
+/// The abstract machine state: 32 registers plus entry-sp-relative stack
+/// slots (8-byte granularity, keyed by byte offset from the entry `sp`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// Register file values, indexed by hardware register number.
+    pub regs: [Val; 32],
+    /// Stack slots, keyed by offset from the entry stack pointer.
+    pub slots: BTreeMap<i64, Val>,
+}
+
+impl State {
+    /// The function-entry state: `sp` is the symbolic stack base, `zero` is
+    /// zero, every other register is an opaque entry identity — except the
+    /// manifest-declared sensitive entry registers, which start `Plain`.
+    #[must_use]
+    pub fn entry(entry_sensitive: &[Reg]) -> State {
+        let mut regs = [Val::Unknown; 32];
+        for reg in Reg::ALL {
+            let i = reg.index() as usize;
+            regs[i] = match reg {
+                Reg::Zero => Val::Const(0),
+                Reg::Sp => Val::Loc(Addr {
+                    base: Base::Sp,
+                    off: 0,
+                }),
+                _ => Val::Loc(Addr {
+                    base: Base::Id(ENTRY_ID_TAG + u64::from(reg.index())),
+                    off: 0,
+                }),
+            };
+        }
+        for &reg in entry_sensitive {
+            if reg != Reg::Zero {
+                regs[reg.index() as usize] = Val::Plain;
+            }
+        }
+        State {
+            regs,
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Joins `other` into `self`; returns `true` if anything changed.
+    pub fn join_in_place(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let joined = self.regs[i].join(other.regs[i]);
+            if joined != self.regs[i] {
+                self.regs[i] = joined;
+                changed = true;
+            }
+        }
+        // A slot missing on either side joins as Unknown; drop it (Unknown
+        // is the implicit default) to keep the maps small.
+        let keys: BTreeSet<i64> = self.slots.keys().chain(other.slots.keys()).copied().collect();
+        for key in keys {
+            let a = self.slots.get(&key).copied().unwrap_or(Val::Unknown);
+            let b = other.slots.get(&key).copied().unwrap_or(Val::Unknown);
+            let joined = a.join(b);
+            let prev = if joined == Val::Unknown {
+                self.slots.remove(&key).unwrap_or(Val::Unknown)
+            } else {
+                self.slots.insert(key, joined).unwrap_or(Val::Unknown)
+            };
+            changed |= prev != joined;
+        }
+        changed
+    }
+
+    fn get(&self, reg: Reg) -> Val {
+        self.regs[reg.index() as usize]
+    }
+
+    fn set(&mut self, reg: Reg, val: Val) {
+        if reg != Reg::Zero {
+            self.regs[reg.index() as usize] = val;
+        }
+    }
+}
+
+/// Tag separating entry-register identities from instruction-definition
+/// identities (`(offset << 6) | rd` stays below bit 40 for any real image).
+const ENTRY_ID_TAG: u64 = 1 << 40;
+
+fn def_id(offset: u64, rd: Reg) -> u64 {
+    (offset << 6) | u64::from(rd.index())
+}
+
+fn fresh(offset: u64, rd: Reg) -> Val {
+    Val::Loc(Addr {
+        base: Base::Id(def_id(offset, rd)),
+        off: 0,
+    })
+}
+
+/// The effective address of a `offset(rs1)` memory operand, when symbolic.
+fn mem_addr(state: &State, rs1: Reg, offset: i32) -> Option<Addr> {
+    match state.get(rs1) {
+        Val::Loc(a) => Some(Addr {
+            base: a.base,
+            off: a.off + i64::from(offset),
+        }),
+        _ => None,
+    }
+}
+
+/// A violation found by the dataflow, before diagnostics are attached.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RawViolation {
+    /// Invariant broken.
+    pub kind: ViolationKind,
+    /// Image byte offset of the offending instruction.
+    pub offset: u64,
+    /// Explanation.
+    pub detail: String,
+}
+
+/// Dataflow configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TaintOptions {
+    /// Also flag `Plain` stores to *non-stack* memory. Off by default:
+    /// programs legitimately store decrypted values to unprotected globals
+    /// (the sensitivity boundary is the annotation, not the value's
+    /// history), but compiler-internal traffic never should.
+    pub strict: bool,
+    /// Enforce the storage-address tweak discipline (ciphertext must be
+    /// stored at — and decrypted under — its encryption tweak). On by
+    /// default; disabled for CIP save stubs, whose tweaks deliberately
+    /// chain over the previous *plaintext* instead (§2.4.3).
+    pub tweak_discipline: bool,
+    /// Seed `Plain` from `crd` destinations. On by default; the compiler
+    /// gate turns it off for configurations without spill protection, where
+    /// "decrypted values never hit memory unencrypted" is not promised.
+    pub decrypt_taints: bool,
+}
+
+impl Default for TaintOptions {
+    fn default() -> Self {
+        TaintOptions {
+            strict: false,
+            tweak_discipline: true,
+            decrypt_taints: true,
+        }
+    }
+}
+
+/// Runs the worklist fixpoint over `cfg` and returns the violations.
+///
+/// `entry_sensitive` seeds `Plain` into the entry state (see [`State::entry`]).
+#[must_use]
+pub fn analyze(cfg: &Cfg, entry_sensitive: &[Reg], options: TaintOptions) -> Vec<RawViolation> {
+    let mut in_states: Vec<Option<State>> = vec![None; cfg.blocks.len()];
+    let mut violations: BTreeSet<RawViolation> = BTreeSet::new();
+    if cfg.blocks.is_empty() {
+        return Vec::new();
+    }
+    in_states[0] = Some(State::entry(entry_sensitive));
+
+    let mut worklist: VecDeque<usize> = VecDeque::new();
+    worklist.push_back(0);
+    let mut queued = vec![false; cfg.blocks.len()];
+    queued[0] = true;
+
+    while let Some(idx) = worklist.pop_front() {
+        queued[idx] = false;
+        let Some(mut state) = in_states[idx].clone() else {
+            continue;
+        };
+        for &(offset, ref insn) in &cfg.blocks[idx].insns {
+            transfer(&mut state, offset, insn, options, &mut violations);
+        }
+        for &succ in &cfg.blocks[idx].succs {
+            let changed = match in_states[succ].as_mut() {
+                Some(existing) => existing.join_in_place(&state),
+                None => {
+                    in_states[succ] = Some(state.clone());
+                    true
+                }
+            };
+            if changed && !queued[succ] {
+                queued[succ] = true;
+                worklist.push_back(succ);
+            }
+        }
+    }
+
+    violations.into_iter().collect()
+}
+
+/// ALU transfer for two abstract operands.
+fn alu(op: AluOp, a: Val, b: Val) -> Val {
+    // Taint propagation dominates: any Plain operand keeps the result Plain
+    // (mirrors the compiler's forward propagation through arithmetic).
+    if a == Val::Plain || b == Val::Plain {
+        return Val::Plain;
+    }
+    match (op, a, b) {
+        (AluOp::Add, Val::Const(x), Val::Const(y)) => Val::Const(x.wrapping_add(y)),
+        (AluOp::Sub, Val::Const(x), Val::Const(y)) => Val::Const(x.wrapping_sub(y)),
+        (AluOp::Add, Val::Loc(l), Val::Const(c)) | (AluOp::Add, Val::Const(c), Val::Loc(l)) => {
+            Val::Loc(Addr {
+                base: l.base,
+                off: l.off.wrapping_add(c),
+            })
+        }
+        (AluOp::Sub, Val::Loc(l), Val::Const(c)) => Val::Loc(Addr {
+            base: l.base,
+            off: l.off.wrapping_sub(c),
+        }),
+        (AluOp::Xor, Val::Const(x), Val::Const(y)) => Val::Const(x ^ y),
+        (AluOp::Or, Val::Const(x), Val::Const(y)) => Val::Const(x | y),
+        (AluOp::And, Val::Const(x), Val::Const(y)) => Val::Const(x & y),
+        (AluOp::Sll, Val::Const(x), Val::Const(y)) => Val::Const(x.wrapping_shl(y as u32 & 63)),
+        _ => Val::Unknown,
+    }
+}
+
+/// The abstract transfer function for one instruction.
+fn transfer(
+    state: &mut State,
+    offset: u64,
+    insn: &Insn,
+    options: TaintOptions,
+    violations: &mut BTreeSet<RawViolation>,
+) {
+    match *insn {
+        Insn::Lui { rd, imm20 } => {
+            state.set(rd, Val::Const(i64::from(imm20) << 12));
+        }
+        Insn::Auipc { rd, .. } => state.set(rd, fresh(offset, rd)),
+        Insn::OpImm { op, rd, rs1, imm } => {
+            let v = alu(op, state.get(rs1), Val::Const(i64::from(imm)));
+            state.set(rd, v);
+        }
+        Insn::OpImmW { op, rd, rs1, imm } => {
+            // 32-bit ops truncate: constants fold with sign extension, taint
+            // survives, addresses do not.
+            let v = match alu(op, state.get(rs1), Val::Const(i64::from(imm))) {
+                Val::Plain => Val::Plain,
+                Val::Const(c) => Val::Const(i64::from(c as i32)),
+                _ => Val::Unknown,
+            };
+            state.set(rd, v);
+        }
+        Insn::Op { op, rd, rs1, rs2 } => {
+            let v = alu(op, state.get(rs1), state.get(rs2));
+            state.set(rd, v);
+        }
+        Insn::OpW { op, rd, rs1, rs2 } => {
+            let v = match alu(op, state.get(rs1), state.get(rs2)) {
+                Val::Plain => Val::Plain,
+                Val::Const(c) => Val::Const(i64::from(c as i32)),
+                _ => Val::Unknown,
+            };
+            state.set(rd, v);
+        }
+        Insn::Load {
+            width,
+            rd,
+            rs1,
+            offset: mem_off,
+            ..
+        } => {
+            let v = match mem_addr(state, rs1, mem_off) {
+                Some(Addr {
+                    base: Base::Sp,
+                    off,
+                }) => {
+                    let slot = state.slots.get(&off).copied().unwrap_or(Val::Unknown);
+                    if width == regvault_isa::MemWidth::Double {
+                        slot
+                    } else if slot == Val::Plain {
+                        // A partial read of plaintext is still plaintext.
+                        Val::Plain
+                    } else {
+                        Val::Unknown
+                    }
+                }
+                _ => fresh(offset, rd),
+            };
+            state.set(rd, v);
+        }
+        Insn::Store {
+            width,
+            rs2,
+            rs1,
+            offset: mem_off,
+        } => {
+            let value = state.get(rs2);
+            let addr = mem_addr(state, rs1, mem_off);
+            match (value, addr) {
+                (
+                    Val::Plain,
+                    Some(Addr {
+                        base: Base::Sp, ..
+                    }),
+                ) => {
+                    violations.insert(RawViolation {
+                        kind: ViolationKind::PlainSpill,
+                        offset,
+                        detail: format!(
+                            "sensitive plaintext in {rs2} stored to a stack slot without a wrapping cre"
+                        ),
+                    });
+                }
+                (Val::Plain, _) if options.strict => {
+                    violations.insert(RawViolation {
+                        kind: ViolationKind::PlainStore,
+                        offset,
+                        detail: format!(
+                            "sensitive plaintext in {rs2} stored to memory without a wrapping cre (strict)"
+                        ),
+                    });
+                }
+                (Val::Cipher(info), Some(at)) => {
+                    if let Some(tweak) = info.tweak {
+                        // A ciphertext produced under a non-stack tweak may
+                        // be *spilled* to the stack (it is protected data —
+                        // copies are safe); every other mismatch breaks the
+                        // storage-address tweak discipline.
+                        let benign_spill = at.base == Base::Sp && tweak.base != Base::Sp;
+                        if options.tweak_discipline && tweak != at && !benign_spill {
+                            violations.insert(RawViolation {
+                                kind: ViolationKind::TweakMismatch,
+                                offset,
+                                detail: format!(
+                                    "ciphertext in {rs2} stored to an address that is not its encryption tweak (storage-address tweak discipline)"
+                                ),
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if let Some(Addr {
+                base: Base::Sp,
+                off,
+            }) = addr
+            {
+                if width == regvault_isa::MemWidth::Double {
+                    if value == Val::Unknown {
+                        state.slots.remove(&off);
+                    } else {
+                        state.slots.insert(off, value);
+                    }
+                } else {
+                    // Partial overwrite: the 8-byte slot is no longer tracked,
+                    // unless plaintext is (partially) landing in it.
+                    if value == Val::Plain {
+                        state.slots.insert(off, Val::Plain);
+                    } else {
+                        state.slots.remove(&off);
+                    }
+                }
+            }
+        }
+        Insn::Cre {
+            key, rd, rs: _, rt, ..
+        } => {
+            let tweak = match state.get(rt) {
+                Val::Loc(a) => Some(a),
+                _ => None,
+            };
+            state.set(
+                rd,
+                Val::Cipher(CipherInfo {
+                    key: Some(key),
+                    tweak,
+                }),
+            );
+        }
+        Insn::Crd { key, rd, rs, rt, .. } => {
+            if let Val::Cipher(info) = state.get(rs) {
+                if let Some(cre_key) = info.key {
+                    if cre_key != key {
+                        violations.insert(RawViolation {
+                            kind: ViolationKind::KeyMismatch,
+                            offset,
+                            detail: format!(
+                                "crd uses key `{key}` but the ciphertext in {rs} was produced under key `{cre_key}`"
+                            ),
+                        });
+                    }
+                }
+                if let Some(cre_tweak) = info.tweak {
+                    // A tweak register holding a known non-address (a
+                    // constant or decrypted plaintext) can never equal the
+                    // recorded address tweak; only a lost address (Unknown)
+                    // is given the benefit of the doubt.
+                    let mismatch = match state.get(rt) {
+                        Val::Loc(here) => cre_tweak != here,
+                        Val::Const(_) | Val::Plain => true,
+                        Val::Unknown | Val::Cipher(_) => false,
+                    };
+                    if options.tweak_discipline && mismatch {
+                        violations.insert(RawViolation {
+                            kind: ViolationKind::TweakMismatch,
+                            offset,
+                            detail: format!(
+                                "crd tweak in {rt} differs from the tweak the ciphertext in {rs} was encrypted under"
+                            ),
+                        });
+                    }
+                }
+            }
+            // A decrypt produces sensitive plaintext by definition.
+            state.set(
+                rd,
+                if options.decrypt_taints {
+                    Val::Plain
+                } else {
+                    fresh(offset, rd)
+                },
+            );
+        }
+        Insn::Jal { rd, .. } | Insn::Jalr { rd, .. } if rd != Reg::Zero => {
+            call_transfer(state, offset, violations);
+            state.set(rd, fresh(offset, rd));
+        }
+        Insn::Jal { .. } | Insn::Jalr { .. } | Insn::Branch { .. } => {}
+        Insn::Csr { rd, .. } | Insn::CsrImm { rd, .. } => state.set(rd, fresh(offset, rd)),
+        Insn::Ecall => {
+            // Kernel syscall contract (see codegen): every register except
+            // the a0 result is preserved; no register is spilled by the
+            // guest at this boundary.
+            state.set(Reg::A0, fresh(offset, Reg::A0));
+        }
+        Insn::Ebreak | Insn::Mret | Insn::Sret | Insn::Wfi | Insn::Fence => {}
+    }
+}
+
+/// Models a call: flags sensitive plaintext left in callee-saved registers
+/// (the callee will spill them unencrypted — §2.4.4's cross-call hazard) and
+/// clobbers the caller-saved file.
+fn call_transfer(state: &mut State, offset: u64, violations: &mut BTreeSet<RawViolation>) {
+    for reg in CALLEE_SAVED {
+        if reg == Reg::Sp {
+            continue;
+        }
+        if state.get(reg) == Val::Plain {
+            violations.insert(RawViolation {
+                kind: ViolationKind::SensitiveAcrossCall,
+                offset,
+                detail: format!(
+                    "sensitive plaintext live in callee-saved {reg} across a call (callee may spill it unencrypted)"
+                ),
+            });
+        }
+    }
+    for reg in CALLER_SAVED {
+        state.set(reg, fresh(offset, reg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build, FuncRegion};
+    use regvault_isa::asm::assemble;
+
+    fn analyze_asm(src: &str, entry_sensitive: &[Reg], strict: bool) -> Vec<RawViolation> {
+        let program = assemble(src).unwrap();
+        let region = FuncRegion {
+            name: "f".into(),
+            start: 0,
+            end: program.bytes().len() as u64,
+        };
+        let cfg = build(program.bytes(), &region).unwrap();
+        analyze(
+            &cfg,
+            entry_sensitive,
+            TaintOptions {
+                strict,
+                ..TaintOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn wrapped_ra_save_restore_is_clean() {
+        // The codegen prologue/epilogue shape for protect_ra.
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             creak ra, ra[7:0], sp
+             sd ra, 0(sp)
+             addi a0, zero, 7
+             ld ra, 0(sp)
+             crdak ra, ra, sp, [7:0]
+             addi sp, sp, 16
+             ret",
+            &[Reg::Ra],
+            false,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrapped_ra_save_is_a_plain_spill() {
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             sd ra, 0(sp)
+             ld ra, 0(sp)
+             addi sp, sp, 16
+             ret",
+            &[Reg::Ra],
+            false,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::PlainSpill);
+        assert_eq!(v[0].offset, 4);
+    }
+
+    #[test]
+    fn crd_destination_becomes_plain() {
+        // Decrypt then spill unencrypted: must be flagged at the sd.
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             crddk a0, a0, t1, [7:0]
+             sd a0, 8(sp)
+             ret",
+            &[],
+            false,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::PlainSpill);
+        assert_eq!(v[0].offset, 8);
+    }
+
+    #[test]
+    fn taint_propagates_through_alu() {
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             crddk a0, a0, t1, [7:0]
+             addi a1, a0, 5
+             add a2, a1, a1
+             sd a2, 0(sp)
+             ret",
+            &[],
+            false,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].offset, 16);
+    }
+
+    #[test]
+    fn spill_wrap_is_clean_and_key_mismatch_is_flagged() {
+        // Wrapped spill with the spill key, reload decrypts with the wrong
+        // key: the reload must be flagged, the store must not.
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             crddk a0, a0, t1, [7:0]
+             addi t6, sp, 0
+             creek t5, a0[7:0], t6
+             sd t5, 0(t6)
+             ld a0, 0(sp)
+             crdfk a0, a0, t6, [7:0]
+             ret",
+            &[],
+            false,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, ViolationKind::KeyMismatch);
+    }
+
+    #[test]
+    fn tweak_mismatch_on_store_is_flagged() {
+        // Encrypt with tweak sp+8 but store at sp+0.
+        let v = analyze_asm(
+            "addi sp, sp, -16
+             addi t6, sp, 8
+             creek t5, a0[7:0], t6
+             sd t5, 0(sp)
+             ret",
+            &[],
+            false,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::TweakMismatch);
+    }
+
+    #[test]
+    fn sensitive_callee_saved_across_call_is_flagged() {
+        let v = analyze_asm(
+            "crddk s1, a0, t1, [7:0]
+             call g
+             ret
+             g:
+             ret",
+            &[],
+            false,
+        );
+        assert!(v.iter().any(|r| r.kind == ViolationKind::SensitiveAcrossCall));
+    }
+
+    #[test]
+    fn plain_store_to_global_needs_strict_mode() {
+        let src = "lui s0, 16
+                   crddk a0, a0, t1, [7:0]
+                   sd a0, 0(s0)
+                   ret";
+        assert!(analyze_asm(src, &[], false).is_empty());
+        let strict = analyze_asm(src, &[], true);
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].kind, ViolationKind::PlainStore);
+    }
+
+    #[test]
+    fn loops_terminate_and_stay_precise() {
+        let v = analyze_asm(
+            "addi sp, sp, -32
+             addi a1, zero, 0
+             .L_f_loop:
+             addi a1, a1, 1
+             blt a1, a0, .L_f_loop
+             addi sp, sp, 32
+             ret",
+            &[Reg::Ra],
+            false,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn ecall_preserves_registers() {
+        // A sensitive value in a callee-saved register across an ecall is
+        // fine under the kernel contract (no guest-side spill happens).
+        let v = analyze_asm(
+            "crddk s1, a0, t1, [7:0]
+             addi a7, zero, 1
+             ecall
+             ret",
+            &[],
+            false,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -79,7 +79,32 @@ impl Workload for Lmbench {
     }
 
     fn program(&self) -> (Vec<u8>, u64) {
-        let source = match self {
+        let program = asm::assemble(&self.source()).expect("probe assembles");
+        let entry = program.symbol("main").unwrap_or(0);
+        (program.bytes().to_vec(), entry)
+    }
+
+    fn expected(&self) -> Option<u64> {
+        Some(match self {
+            Lmbench::Null => 1500,
+            Lmbench::Read | Lmbench::Write | Lmbench::Stat => 800,
+            Lmbench::Open => 400,
+            Lmbench::Pipe => 500,
+            Lmbench::Ctx => 300,
+            Lmbench::Proc => 120,
+            Lmbench::Mmap => 300,
+            Lmbench::Sig => 300,
+        })
+    }
+}
+
+impl Lmbench {
+    /// The workload's assembly source (what [`Workload::program`]
+    /// assembles; exposed so `regvault-cli verify` can re-assemble it
+    /// with a symbol table).
+    #[must_use]
+    pub fn source(&self) -> String {
+        match self {
             Lmbench::Null => "li   s1, 0
                  li   s2, 1500
                 loop:
@@ -263,23 +288,7 @@ impl Workload for Lmbench {
                  ecall
                  j    handler"
                 .to_owned(),
-        };
-        let program = asm::assemble(&source).expect("probe assembles");
-        let entry = program.symbol("main").unwrap_or(0);
-        (program.bytes().to_vec(), entry)
-    }
-
-    fn expected(&self) -> Option<u64> {
-        Some(match self {
-            Lmbench::Null => 1500,
-            Lmbench::Read | Lmbench::Write | Lmbench::Stat => 800,
-            Lmbench::Open => 400,
-            Lmbench::Pipe => 500,
-            Lmbench::Ctx => 300,
-            Lmbench::Proc => 120,
-            Lmbench::Mmap => 300,
-            Lmbench::Sig => 300,
-        })
+        }
     }
 }
 

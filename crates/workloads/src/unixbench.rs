@@ -110,7 +110,32 @@ impl Workload for UnixBench {
     }
 
     fn program(&self) -> (Vec<u8>, u64) {
-        let source = match self {
+        let program = asm::assemble(&self.source()).expect("workload assembles");
+        let entry = program.symbol("main").unwrap_or(0);
+        (program.bytes().to_vec(), entry)
+    }
+
+    fn expected(&self) -> Option<u64> {
+        match self {
+            UnixBench::Dhry2 => Some(60_000),
+            UnixBench::Syscall => Some(1_500),
+            UnixBench::Pipe => Some(400),
+            UnixBench::Context1 => Some(250),
+            UnixBench::Execl => Some(250),
+            UnixBench::Fcopy256 => Some(256 * 120),
+            UnixBench::Fcopy1024 => Some(1024 * 60),
+            UnixBench::Fcopy4096 => Some(4096 * 25),
+        }
+    }
+}
+
+impl UnixBench {
+    /// The workload's assembly source (what [`Workload::program`]
+    /// assembles; exposed so `regvault-cli verify` can re-assemble it
+    /// with a symbol table).
+    #[must_use]
+    pub fn source(&self) -> String {
+        match self {
             UnixBench::Dhry2 => "li   s1, 0
                  li   s2, 60000
                  li   s3, 7
@@ -208,22 +233,6 @@ impl Workload for UnixBench {
             UnixBench::Fcopy256 => fcopy_source(256, 120),
             UnixBench::Fcopy1024 => fcopy_source(1024, 60),
             UnixBench::Fcopy4096 => fcopy_source(4096, 25),
-        };
-        let program = asm::assemble(&source).expect("workload assembles");
-        let entry = program.symbol("main").unwrap_or(0);
-        (program.bytes().to_vec(), entry)
-    }
-
-    fn expected(&self) -> Option<u64> {
-        match self {
-            UnixBench::Dhry2 => Some(60_000),
-            UnixBench::Syscall => Some(1_500),
-            UnixBench::Pipe => Some(400),
-            UnixBench::Context1 => Some(250),
-            UnixBench::Execl => Some(250),
-            UnixBench::Fcopy256 => Some(256 * 120),
-            UnixBench::Fcopy1024 => Some(1024 * 60),
-            UnixBench::Fcopy4096 => Some(4096 * 25),
         }
     }
 }

@@ -20,6 +20,9 @@ else
     echo "==> cargo clippy unavailable; skipping lints"
 fi
 
+echo "==> protection verifier over the full benchmark corpus"
+target/release/regvault-cli verify --workloads
+
 echo "==> fault campaign determinism (two runs must be identical)"
 campaign=(target/release/fault_campaign --seed 42 --trials 50)
 "${campaign[@]}" > /tmp/fault_campaign_run1.txt
