@@ -16,19 +16,38 @@
 //!   *finding*: it should never happen.
 //!
 //! The campaign is bit-for-bit reproducible: the same `--seed` and
-//! `--trials` always produce the same report. With `--seeds N` the campaign
-//! repeats for `N` consecutive seeds; the per-seed campaigns run on a
-//! scoped-thread pool (`--jobs`, default one worker per CPU) but each
-//! seed's report is computed exactly as it would be alone and the reports
-//! are merged in seed order, so the output is identical for any `--jobs`
-//! value — `--jobs 1` is the plain single-threaded path.
+//! `--trials` always produce the same report. Each trial derives its own
+//! splitmix-mixed RNG seed from the `(config, class)` stream, so any single
+//! trial can be re-run in isolation: with `--repro-dir` the campaign dumps
+//! a self-contained [`ReproBundle`] (event log + expected architectural
+//! digest) for every non-Masked outcome, `--replay` re-executes a bundle
+//! and verifies the verdict *and* the final machine digest bit-for-bit,
+//! and `--shrink` ddmin-minimizes a bundle's event log to the faults that
+//! actually matter (writing `BUNDLE.min`).
+//!
+//! With `--seeds N` the campaign repeats for `N` consecutive seeds; the
+//! per-seed campaigns run on a scoped-thread pool (`--jobs`, default one
+//! worker per CPU) but each seed's report is computed exactly as it would
+//! be alone and the reports are merged in seed order, so the output is
+//! identical for any `--jobs` value — `--jobs 1` is the plain
+//! single-threaded path. A worker that panics is *quarantined*: the seed
+//! is reported as such and the sweep continues instead of aborting.
+//! `--checkpoint FILE` persists every finished seed (atomic tmp+rename),
+//! and `--resume` picks an interrupted sweep back up, re-running only the
+//! seeds the checkpoint is missing.
 //!
 //! ```text
 //! cargo run --release --bin fault_campaign -- --seed 42 --trials 200
 //! cargo run --release --bin fault_campaign -- --seeds 8 --trials 50 --jobs 4
+//! cargo run --release --bin fault_campaign -- --trials 5 --noise 20 --repro-dir repro/
+//! cargo run --release --bin fault_campaign -- --replay repro/full-ra-corrupt-seed42-trial3.bundle
+//! cargo run --release --bin fault_campaign -- --shrink repro/full-ra-corrupt-seed42-trial3.bundle
 //! ```
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -39,7 +58,7 @@ use regvault_kernel::cred::{CredField, EUID_OFFSET};
 use regvault_kernel::fs::{handlers, FileOp};
 use regvault_kernel::layout::KERNEL_TEXT_BASE;
 use regvault_kernel::{trap, Kernel, KernelConfig, KernelError, ProtectionConfig};
-use regvault_sim::FaultKind;
+use regvault_sim::{shrink_events, EventLog, FaultKind, ReproBundle};
 
 /// Per-trial classification (most severe last).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +67,17 @@ enum Verdict {
     Garbled,
     Masked,
     SilentCorruption,
+}
+
+impl Verdict {
+    fn name(self) -> &'static str {
+        match self {
+            Verdict::Detected => "detected",
+            Verdict::Garbled => "garbled",
+            Verdict::Masked => "masked",
+            Verdict::SilentCorruption => "silent-corruption",
+        }
+    }
 }
 
 /// Outcome counts for one fault class under one configuration.
@@ -101,7 +131,39 @@ impl Class {
             Class::RaCorrupt => "ra-corrupt",
         }
     }
+
+    fn from_name(name: &str) -> Option<Class> {
+        Class::ALL.iter().copied().find(|c| c.name() == name)
+    }
 }
+
+/// What the trial does *after* the faults land, and what "correct" looks
+/// like. Keeping this separate from fault generation is what makes replay
+/// possible: a bundle re-runs [`prepare`] with the recorded trial seed to
+/// rebuild identical pre-fault state, then injects the *logged* faults
+/// (or a shrunk subset) instead of freshly drawn ones.
+enum Exercise {
+    /// Read the current thread's protected `cred.euid` (expected 1000).
+    ReadEuid,
+    /// Restore an interrupt frame and compare against the saved registers.
+    RestoreFrame { frame: u64, expected: Box<[u64; 32]> },
+    /// Pop a protected return address, then read the euid.
+    PopAndReadEuid { site: u32 },
+    /// Resolve a protected function pointer and check which handler wins.
+    ResolveOp {
+        op: FileOp,
+        substituted: u64,
+        legitimate: u64,
+    },
+    /// Return through a (possibly corrupted) saved return address.
+    PopFrame { site: u32, gadget: u64 },
+}
+
+/// Scratch page for `--noise` faults: mapped in every trial (so recorded
+/// and replayed runs share the same page set and digest), read by nothing
+/// (so noise bit flips never change a verdict).
+const SCRATCH_BASE: u64 = 0xFFFF_FFC0_3000_0000;
+const SCRATCH_SLOTS: u64 = 512;
 
 fn boot(protection: ProtectionConfig) -> Kernel {
     Kernel::boot(KernelConfig {
@@ -111,173 +173,353 @@ fn boot(protection: ProtectionConfig) -> Kernel {
     .expect("kernel boots")
 }
 
-/// Flip one random bit of the stored `cred.euid` block, then make the
-/// kernel consume the field.
-fn mem_bit_flip(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
+/// Builds a trial's pre-fault state: a booted kernel, the fault(s) the RNG
+/// chose for this class, and the exercise that will consume the faulted
+/// data. Draws from `rng` in a fixed order, so the same trial seed always
+/// reproduces the same kernel and fault parameters.
+fn prepare(
+    class: Class,
+    rng: &mut StdRng,
+    protection: ProtectionConfig,
+) -> (Kernel, Vec<FaultKind>, Exercise) {
     let mut kernel = boot(protection);
-    let tid = kernel.current_tid();
-    let addr = kernel.creds.cred_addr(tid) + EUID_OFFSET;
-    let bit = (rng.gen_range(0..64)) as u8;
-    kernel
-        .machine_mut()
-        .inject_fault(FaultKind::MemBitFlip { addr, bit });
-    let cfg = kernel.protection();
-    let creds = kernel.creds.clone();
-    match creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid) {
-        Err(KernelError::IntegrityViolation { .. }) => Verdict::Detected,
-        Err(_) => Verdict::Detected,
-        Ok(1000) => Verdict::Masked,
-        Ok(_) => Verdict::SilentCorruption,
-    }
-}
-
-/// Flip one random bit in one random interrupt-frame slot (including the
-/// chain terminator) between `save_context` and `restore_context`.
-fn frame_corrupt(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
-    let mut kernel = boot(protection);
-    let cfg = kernel.protection();
-    let tid = kernel.current_tid();
-    let frame = kernel.threads.interrupt_frame_addr(tid);
-    let key = cfg.key_policy().interrupt;
-    for i in 1..32u8 {
-        let reg = regvault_isa::Reg::from_index(i).expect("x1..x31");
+    for slot in 0..SCRATCH_SLOTS {
         kernel
             .machine_mut()
-            .hart_mut()
-            .set_reg(reg, 0x8000_0000 + u64::from(i) * 0x11);
+            .kernel_store_u64(SCRATCH_BASE + 8 * slot, 0)
+            .expect("scratch page maps");
     }
-    let expected = kernel.machine().hart().regs();
-    trap::save_context(kernel.machine_mut(), &cfg, key, frame).expect("context saved");
-    let slot = rng.gen_range(0..trap::FRAME_SLOTS as u64);
-    let bit = (rng.gen_range(0..64)) as u8;
-    kernel.machine_mut().inject_fault(FaultKind::MemBitFlip {
-        addr: frame + 8 * slot,
-        bit,
-    });
-    match trap::restore_context(kernel.machine_mut(), &cfg, key, frame) {
-        Err(KernelError::IntegrityViolation { .. }) => Verdict::Detected,
-        Err(_) => Verdict::Detected,
-        Ok(regs) => {
-            if regs.iter().zip(expected[1..].iter()).all(|(a, b)| a == b) {
-                Verdict::Masked
-            } else {
-                Verdict::SilentCorruption
+    match class {
+        // Flip one random bit of the stored `cred.euid` block.
+        Class::MemBitFlip => {
+            let tid = kernel.current_tid();
+            let addr = kernel.creds.cred_addr(tid) + EUID_OFFSET;
+            let bit = (rng.gen_range(0..64)) as u8;
+            (
+                kernel,
+                vec![FaultKind::MemBitFlip { addr, bit }],
+                Exercise::ReadEuid,
+            )
+        }
+        // Flip one random bit in one random interrupt-frame slot (including
+        // the chain terminator) between `save_context` and `restore_context`.
+        Class::FrameCorrupt => {
+            let cfg = kernel.protection();
+            let tid = kernel.current_tid();
+            let frame = kernel.threads.interrupt_frame_addr(tid);
+            let key = cfg.key_policy().interrupt;
+            for i in 1..32u8 {
+                let reg = regvault_isa::Reg::from_index(i).expect("x1..x31");
+                kernel
+                    .machine_mut()
+                    .hart_mut()
+                    .set_reg(reg, 0x8000_0000 + u64::from(i) * 0x11);
             }
+            let expected = kernel.machine().hart().regs();
+            trap::save_context(kernel.machine_mut(), &cfg, key, frame).expect("context saved");
+            let slot = rng.gen_range(0..trap::FRAME_SLOTS as u64);
+            let bit = (rng.gen_range(0..64)) as u8;
+            (
+                kernel,
+                vec![FaultKind::MemBitFlip {
+                    addr: frame + 8 * slot,
+                    bit,
+                }],
+                Exercise::RestoreFrame {
+                    frame,
+                    expected: Box::new(expected),
+                },
+            )
+        }
+        // XOR random garbage into a random general key register *without*
+        // CLB invalidation (the hardware-fault path).
+        Class::KeyTamper => {
+            let site = rng.gen_range(0..64) as u32;
+            let _slot = kernel.push_kframe(site).expect("frame push");
+            let ksel = rng.gen_range(1..8) as u8;
+            let xor_w0 = rng.gen::<u64>() | 1;
+            let xor_k0 = rng.gen::<u64>();
+            (
+                kernel,
+                vec![FaultKind::KeyTamper { ksel, xor_w0, xor_k0 }],
+                Exercise::PopAndReadEuid { site },
+            )
+        }
+        // Warm the data key's CLB entry, then XOR random garbage into the
+        // most recently used CLB line.
+        Class::ClbPoison => {
+            let cfg = kernel.protection();
+            let tid = kernel.current_tid();
+            let creds = kernel.creds.clone();
+            // Make the data key the MRU CLB entry (no-op crypto-wise under `off`).
+            let _ = creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid);
+            let xor = rng.gen::<u64>() | 1;
+            (
+                kernel,
+                vec![FaultKind::ClbPoison { xor }],
+                Exercise::ReadEuid,
+            )
+        }
+        // Swap the stored words of two *legitimate* function-pointer slots
+        // (`file_ops.read` ↔ `pipe_ops.read`/`write`) — both are valid
+        // ciphertexts, only the storage address (the tweak) differs.
+        Class::TweakSubstitution => {
+            let (op, substituted) = if rng.gen::<bool>() {
+                (FileOp::Read, handlers::PIPE_READ)
+            } else {
+                (FileOp::Write, handlers::PIPE_WRITE)
+            };
+            let file_slot = kernel.fs.file_ops.slot_addr(op);
+            let pipe_slot = kernel.fs.pipe_ops.slot_addr(op);
+            let legitimate = match op {
+                FileOp::Read => handlers::FILE_READ,
+                FileOp::Write => handlers::FILE_WRITE,
+                FileOp::Stat => handlers::FILE_STAT,
+            };
+            (
+                kernel,
+                vec![FaultKind::MemSwap {
+                    a: file_slot,
+                    b: pipe_slot,
+                }],
+                Exercise::ResolveOp {
+                    op,
+                    substituted,
+                    legitimate,
+                },
+            )
+        }
+        // Overwrite a saved kernel return address with a random gadget
+        // address.
+        Class::RaCorrupt => {
+            let site = rng.gen_range(0..64) as u32;
+            let slot = kernel.push_kframe(site).expect("frame push");
+            let gadget = KERNEL_TEXT_BASE + 0x4000 + rng.gen_range(0..0x1000) * 4;
+            (
+                kernel,
+                vec![FaultKind::MemWrite {
+                    addr: slot,
+                    value: gadget,
+                }],
+                Exercise::PopFrame { site, gadget },
+            )
         }
     }
 }
 
-/// XOR random garbage into a random general key register *without* CLB
-/// invalidation (the hardware-fault path), then exercise a return-address
-/// pop and a protected-credential read.
-fn key_tamper(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
-    let mut kernel = boot(protection);
-    let site = rng.gen_range(0..64) as u32;
-    let _slot = kernel.push_kframe(site).expect("frame push");
-    let ksel = rng.gen_range(1..8) as u8;
-    let xor_w0 = rng.gen::<u64>() | 1;
-    let xor_k0 = rng.gen::<u64>();
-    kernel
+/// Runs the exercise against the (now faulted) kernel and classifies what
+/// it experienced.
+fn classify(kernel: &mut Kernel, exercise: &Exercise) -> Verdict {
+    match exercise {
+        Exercise::ReadEuid => {
+            let cfg = kernel.protection();
+            let tid = kernel.current_tid();
+            let creds = kernel.creds.clone();
+            match creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid) {
+                Err(KernelError::IntegrityViolation { .. }) | Err(_) => Verdict::Detected,
+                Ok(1000) => Verdict::Masked,
+                Ok(_) => Verdict::SilentCorruption,
+            }
+        }
+        Exercise::RestoreFrame { frame, expected } => {
+            let cfg = kernel.protection();
+            let key = cfg.key_policy().interrupt;
+            match trap::restore_context(kernel.machine_mut(), &cfg, key, *frame) {
+                Err(KernelError::IntegrityViolation { .. }) | Err(_) => Verdict::Detected,
+                Ok(regs) => {
+                    if regs.iter().zip(expected[1..].iter()).all(|(a, b)| a == b) {
+                        Verdict::Masked
+                    } else {
+                        Verdict::SilentCorruption
+                    }
+                }
+            }
+        }
+        Exercise::PopAndReadEuid { site } => {
+            let pop = kernel.pop_kframe(*site);
+            let cfg = kernel.protection();
+            let tid = kernel.current_tid();
+            let creds = kernel.creds.clone();
+            let read = creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid);
+            match (pop, read) {
+                (_, Err(KernelError::IntegrityViolation { .. })) => Verdict::Detected,
+                (_, Ok(euid)) if euid != 1000 => Verdict::SilentCorruption,
+                (Err(KernelError::WildJump { .. }), _) => Verdict::Garbled,
+                (Err(_), _) | (_, Err(_)) => Verdict::Detected,
+                (Ok(()), Ok(_)) => Verdict::Masked,
+            }
+        }
+        Exercise::ResolveOp {
+            op,
+            substituted,
+            legitimate,
+        } => {
+            let cfg = kernel.protection();
+            let fops = kernel.fs.file_ops;
+            match fops.resolve(kernel.machine_mut(), &cfg, *op) {
+                Err(KernelError::IntegrityViolation { .. }) | Err(_) => Verdict::Detected,
+                Ok(target) if target == *substituted => Verdict::SilentCorruption,
+                Ok(target) if target == *legitimate => Verdict::Masked,
+                Ok(_) => Verdict::Garbled,
+            }
+        }
+        Exercise::PopFrame { site, gadget } => match kernel.pop_kframe(*site) {
+            Err(KernelError::WildJump { target }) if target == *gadget => {
+                Verdict::SilentCorruption
+            }
+            Err(KernelError::WildJump { .. }) => Verdict::Garbled,
+            Err(KernelError::IntegrityViolation { .. }) | Err(_) => Verdict::Detected,
+            Ok(()) => Verdict::Masked,
+        },
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Independent RNG seed for one trial within a `(config, class)` stream.
+/// Every trial is replayable in isolation from `(class, config, trial_seed)`
+/// alone — no need to re-draw its predecessors.
+fn trial_seed(stream: u64, trial: u64) -> u64 {
+    splitmix64(stream ^ splitmix64(trial))
+}
+
+/// Harmless faults for `--noise`: single-bit flips in the scratch page,
+/// which no exercise ever reads. They pad the recorded event log so
+/// `--shrink` has something real to throw away.
+fn noise_faults(rng: &mut StdRng, count: u64) -> Vec<FaultKind> {
+    (0..count)
+        .map(|_| FaultKind::MemBitFlip {
+            addr: SCRATCH_BASE + 8 * rng.gen_range(0..SCRATCH_SLOTS),
+            bit: rng.gen_range(0..64) as u8,
+        })
+        .collect()
+}
+
+/// Everything one executed trial produced: the verdict plus the recorded
+/// event log and final architectural digest a repro bundle needs.
+struct TrialRun {
+    verdict: Verdict,
+    log: EventLog,
+    digest: u64,
+    steps: u64,
+}
+
+/// Runs one fresh trial: prepare, record, inject (noise interleaved around
+/// the real fault), exercise, classify.
+fn run_trial(class: Class, seed: u64, protection: ProtectionConfig, noise: u64) -> TrialRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut kernel, faults, exercise) = prepare(class, &mut rng, protection);
+    let noise = noise_faults(&mut rng, noise);
+    let head = noise.len() / 2;
+    kernel.machine_mut().start_recording();
+    for kind in noise[..head].iter().chain(&faults).chain(&noise[head..]) {
+        kernel.machine_mut().inject_fault(*kind);
+    }
+    let verdict = classify(&mut kernel, &exercise);
+    let log = kernel
         .machine_mut()
-        .inject_fault(FaultKind::KeyTamper { ksel, xor_w0, xor_k0 });
-    let pop = kernel.pop_kframe(site);
-    let cfg = kernel.protection();
-    let tid = kernel.current_tid();
-    let creds = kernel.creds.clone();
-    let read = creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid);
-    match (pop, read) {
-        (_, Err(KernelError::IntegrityViolation { .. })) => Verdict::Detected,
-        (_, Ok(euid)) if euid != 1000 => Verdict::SilentCorruption,
-        (Err(KernelError::WildJump { .. }), _) => Verdict::Garbled,
-        (Err(_), _) | (_, Err(_)) => Verdict::Detected,
-        (Ok(()), Ok(_)) => Verdict::Masked,
+        .stop_recording()
+        .expect("recording was active");
+    TrialRun {
+        verdict,
+        log,
+        digest: kernel.machine().arch_digest(),
+        steps: kernel.machine().stats().instret,
     }
 }
 
-/// Warm the data key's CLB entry, XOR random garbage into the most
-/// recently used CLB line, then decrypt through it again.
-fn clb_poison(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
-    let mut kernel = boot(protection);
-    let cfg = kernel.protection();
-    let tid = kernel.current_tid();
-    let creds = kernel.creds.clone();
-    // Make the data key the MRU CLB entry (no-op crypto-wise under `off`).
-    let _ = creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid);
-    let xor = rng.gen::<u64>() | 1;
-    kernel
-        .machine_mut()
-        .inject_fault(FaultKind::ClbPoison { xor });
-    match creds.read(kernel.machine_mut(), &cfg, tid, CredField::Euid) {
-        Err(KernelError::IntegrityViolation { .. }) => Verdict::Detected,
-        Err(_) => Verdict::Detected,
-        Ok(1000) => Verdict::Masked,
-        Ok(_) => Verdict::SilentCorruption,
+/// Re-runs a trial's exercise with an explicit fault list (a bundle's full
+/// log, or a shrink candidate) instead of freshly drawn faults.
+fn replay_trial(
+    class: Class,
+    seed: u64,
+    protection: ProtectionConfig,
+    faults: &[FaultKind],
+) -> (Verdict, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut kernel, _planned, exercise) = prepare(class, &mut rng, protection);
+    for kind in faults {
+        kernel.machine_mut().inject_fault(*kind);
     }
+    let verdict = classify(&mut kernel, &exercise);
+    (verdict, kernel.machine().arch_digest())
 }
 
-/// Swap the stored words of two *legitimate* function-pointer slots
-/// (`file_ops.read` ↔ `pipe_ops.read`/`write`) — both are valid
-/// ciphertexts, only the storage address (the tweak) differs.
-fn tweak_substitution(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
-    let mut kernel = boot(protection);
-    let (op, substituted) = if rng.gen::<bool>() {
-        (FileOp::Read, handlers::PIPE_READ)
-    } else {
-        (FileOp::Write, handlers::PIPE_WRITE)
-    };
-    let file_slot = kernel.fs.file_ops.slot_addr(op);
-    let pipe_slot = kernel.fs.pipe_ops.slot_addr(op);
-    kernel.machine_mut().inject_fault(FaultKind::MemSwap {
-        a: file_slot,
-        b: pipe_slot,
-    });
-    let cfg = kernel.protection();
-    let fops = kernel.fs.file_ops;
-    let legitimate = match op {
-        FileOp::Read => handlers::FILE_READ,
-        FileOp::Write => handlers::FILE_WRITE,
-        FileOp::Stat => handlers::FILE_STAT,
-    };
-    match fops.resolve(kernel.machine_mut(), &cfg, op) {
-        Err(KernelError::IntegrityViolation { .. }) => Verdict::Detected,
-        Err(_) => Verdict::Detected,
-        Ok(target) if target == substituted => Verdict::SilentCorruption,
-        Ok(target) if target == legitimate => Verdict::Masked,
-        Ok(_) => Verdict::Garbled,
-    }
+/// Where non-Masked trials dump their repro bundles.
+struct ReproSink {
+    dir: PathBuf,
 }
 
-/// Overwrite a saved kernel return address with a random gadget address,
-/// then return through it.
-fn ra_corrupt(rng: &mut StdRng, protection: ProtectionConfig) -> Verdict {
-    let mut kernel = boot(protection);
-    let site = rng.gen_range(0..64) as u32;
-    let slot = kernel.push_kframe(site).expect("frame push");
-    let gadget = KERNEL_TEXT_BASE + 0x4000 + rng.gen_range(0..0x1000) * 4;
-    kernel
-        .machine_mut()
-        .inject_fault(FaultKind::MemWrite { addr: slot, value: gadget });
-    match kernel.pop_kframe(site) {
-        Err(KernelError::WildJump { target }) if target == gadget => Verdict::SilentCorruption,
-        Err(KernelError::WildJump { .. }) => Verdict::Garbled,
-        Err(KernelError::IntegrityViolation { .. }) => Verdict::Detected,
-        Err(_) => Verdict::Detected,
-        Ok(()) => Verdict::Masked,
-    }
-}
-
-fn run_class(class: Class, rng: &mut StdRng, protection: ProtectionConfig, trials: u64) -> Tally {
-    let mut tally = Tally::default();
-    for _ in 0..trials {
-        let verdict = match class {
-            Class::MemBitFlip => mem_bit_flip(rng, protection),
-            Class::FrameCorrupt => frame_corrupt(rng, protection),
-            Class::KeyTamper => key_tamper(rng, protection),
-            Class::ClbPoison => clb_poison(rng, protection),
-            Class::TweakSubstitution => tweak_substitution(rng, protection),
-            Class::RaCorrupt => ra_corrupt(rng, protection),
+impl ReproSink {
+    #[allow(clippy::too_many_arguments)]
+    fn write(
+        &self,
+        class: Class,
+        label: &str,
+        campaign_seed: u64,
+        trial: u64,
+        seed: u64,
+        noise: u64,
+        run: &TrialRun,
+    ) {
+        let bundle = ReproBundle {
+            meta: vec![
+                ("harness".into(), "fault-campaign".into()),
+                ("class".into(), class.name().into()),
+                ("config".into(), label.into()),
+                ("campaign_seed".into(), campaign_seed.to_string()),
+                ("trial".into(), trial.to_string()),
+                ("trial_seed".into(), format!("{seed:#x}")),
+                ("noise".into(), noise.to_string()),
+            ],
+            snapshot: None,
+            log: run.log.clone(),
+            expected_digest: run.digest,
+            steps: run.steps,
+            outcome: run.verdict.name().to_string(),
         };
-        tally.record(verdict);
+        let name = format!(
+            "{label}-{}-seed{campaign_seed}-trial{trial}.bundle",
+            class.name()
+        );
+        let path = self.dir.join(name);
+        if let Err(err) = std::fs::write(&path, bundle.to_bytes()) {
+            eprintln!("warning: cannot write repro bundle {}: {err}", path.display());
+        }
+    }
+}
+
+/// Per-campaign knobs threaded down to every trial.
+struct TrialOpts<'a> {
+    trials: u64,
+    noise: u64,
+    repro: Option<&'a ReproSink>,
+}
+
+fn run_class(
+    class: Class,
+    stream: u64,
+    protection: ProtectionConfig,
+    label: &str,
+    campaign_seed: u64,
+    opts: &TrialOpts<'_>,
+) -> Tally {
+    let mut tally = Tally::default();
+    for trial in 0..opts.trials {
+        let seed = trial_seed(stream, trial);
+        let run = run_trial(class, seed, protection, opts.noise);
+        tally.record(run.verdict);
+        if run.verdict != Verdict::Masked {
+            if let Some(sink) = opts.repro {
+                sink.write(class, label, campaign_seed, trial, seed, opts.noise, &run);
+            }
+        }
     }
     tally
 }
@@ -287,7 +529,7 @@ fn run_config(
     label: &str,
     protection: ProtectionConfig,
     seed: u64,
-    trials: u64,
+    opts: &TrialOpts<'_>,
 ) -> u64 {
     writeln!(out, "configuration: {label}").unwrap();
     writeln!(
@@ -301,8 +543,8 @@ fn run_config(
         // One independent sub-stream per (config, class) row, so adding a
         // class or reordering never perturbs the other rows' draws.
         let stream = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
-        let mut rng = StdRng::seed_from_u64(stream ^ u64::from(label == "full"));
-        let tally = run_class(*class, &mut rng, protection, trials);
+        let stream = stream ^ u64::from(label == "full");
+        let tally = run_class(*class, stream, protection, label, seed, opts);
         writeln!(
             out,
             "{:<22} {:>9} {:>9} {:>9} {:>9}",
@@ -321,24 +563,200 @@ fn run_config(
 
 /// One seed's full campaign, rendered to a string so parallel workers can
 /// compute reports out of order while the merge stays in seed order.
+#[derive(Clone)]
 struct SeedReport {
     text: String,
     silent_under_full: u64,
+    quarantined: bool,
 }
 
-fn run_seed(seed: u64, trials: u64, config: &str, banner: bool) -> SeedReport {
+/// Campaign-wide parameters shared by every worker.
+struct Campaign {
+    trials: u64,
+    config: String,
+    noise: u64,
+    banner: bool,
+    repro: Option<ReproSink>,
+    panic_seed: Option<u64>,
+}
+
+fn run_seed(seed: u64, c: &Campaign) -> SeedReport {
+    if c.panic_seed == Some(seed) {
+        panic!("injected worker panic for seed {seed} (--panic-seed)");
+    }
+    let opts = TrialOpts {
+        trials: c.trials,
+        noise: c.noise,
+        repro: c.repro.as_ref(),
+    };
     let mut text = String::new();
-    if banner {
+    if c.banner {
         writeln!(text, "=== seed {seed} ===\n").unwrap();
     }
     let mut silent_under_full = 0;
-    if config == "full" || config == "both" {
-        silent_under_full = run_config(&mut text, "full", ProtectionConfig::full(), seed, trials);
+    if c.config == "full" || c.config == "both" {
+        silent_under_full = run_config(&mut text, "full", ProtectionConfig::full(), seed, &opts);
     }
-    if config == "off" || config == "both" {
-        run_config(&mut text, "off", ProtectionConfig::off(), seed, trials);
+    if c.config == "off" || c.config == "both" {
+        run_config(&mut text, "off", ProtectionConfig::off(), seed, &opts);
     }
-    SeedReport { text, silent_under_full }
+    SeedReport {
+        text,
+        silent_under_full,
+        quarantined: false,
+    }
+}
+
+/// [`run_seed`] behind a panic guard: a seed whose worker panics is
+/// *quarantined* — its report records the panic and the sweep continues —
+/// instead of unwinding across the thread boundary and aborting the whole
+/// campaign when the scope joins.
+fn run_seed_guarded(seed: u64, c: &Campaign) -> SeedReport {
+    match panic::catch_unwind(AssertUnwindSafe(|| run_seed(seed, c))) {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            let mut text = String::new();
+            if c.banner {
+                writeln!(text, "=== seed {seed} ===\n").unwrap();
+            }
+            writeln!(
+                text,
+                "seed {seed} QUARANTINED: worker panicked ({msg}); sweep continues\n"
+            )
+            .unwrap();
+            SeedReport {
+                text,
+                silent_under_full: 0,
+                quarantined: true,
+            }
+        }
+    }
+}
+
+/// Persistent sweep state: every finished seed's report, rewritten
+/// atomically (tmp + rename) each time a seed completes so an interrupted
+/// sweep loses at most the seeds still in flight.
+struct Checkpoint {
+    path: PathBuf,
+    params: String,
+    done: Mutex<BTreeMap<u64, SeedReport>>,
+}
+
+impl Checkpoint {
+    const MAGIC: &'static str = "fault-campaign-checkpoint v1";
+
+    fn new(path: PathBuf, params: String, done: BTreeMap<u64, SeedReport>) -> Self {
+        Self {
+            path,
+            params,
+            done: Mutex::new(done),
+        }
+    }
+
+    fn record(&self, seed: u64, report: &SeedReport) {
+        let mut done = self.done.lock().unwrap();
+        done.insert(seed, report.clone());
+        let mut out = String::new();
+        out.push_str(Self::MAGIC);
+        out.push('\n');
+        writeln!(out, "params {}", self.params).unwrap();
+        for (seed, r) in done.iter() {
+            writeln!(
+                out,
+                "seed {seed} silent={} quarantined={} len={}",
+                r.silent_under_full,
+                u8::from(r.quarantined),
+                r.text.len()
+            )
+            .unwrap();
+            out.push_str(&r.text);
+        }
+        drop(done);
+        let tmp = self.path.with_extension("tmp");
+        let write = std::fs::write(&tmp, &out).and_then(|()| std::fs::rename(&tmp, &self.path));
+        if let Err(err) = write {
+            eprintln!(
+                "warning: cannot write checkpoint {}: {err}",
+                self.path.display()
+            );
+        }
+    }
+
+    /// Loads a checkpoint, verifying its parameter line matches this sweep.
+    fn load(path: &PathBuf, params: &str) -> Result<BTreeMap<u64, SeedReport>, String> {
+        let data = std::fs::read_to_string(path)
+            .map_err(|err| format!("cannot read checkpoint {}: {err}", path.display()))?;
+        let mut rest = data.as_str();
+        let take_line = |rest: &mut &str| -> Option<String> {
+            if rest.is_empty() {
+                return None;
+            }
+            match rest.find('\n') {
+                Some(i) => {
+                    let line = rest[..i].to_string();
+                    *rest = &rest[i + 1..];
+                    Some(line)
+                }
+                None => {
+                    let line = (*rest).to_string();
+                    *rest = "";
+                    Some(line)
+                }
+            }
+        };
+        if take_line(&mut rest).as_deref() != Some(Self::MAGIC) {
+            return Err(format!("{}: not a campaign checkpoint", path.display()));
+        }
+        let found_params = take_line(&mut rest).unwrap_or_default();
+        let expected = format!("params {params}");
+        if found_params != expected {
+            return Err(format!(
+                "{}: checkpoint was written by a different sweep\n  \
+                 checkpoint: {found_params}\n  this run:   {expected}",
+                path.display()
+            ));
+        }
+        let mut done = BTreeMap::new();
+        while let Some(header) = take_line(&mut rest) {
+            if header.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = header.split_whitespace().collect();
+            let field = |field: &str, prefix: &str| -> Option<u64> {
+                field.strip_prefix(prefix)?.parse().ok()
+            };
+            let parsed = match fields.as_slice() {
+                ["seed", seed, silent, quarantined, len] => seed.parse::<u64>().ok().zip(
+                    field(silent, "silent=")
+                        .zip(field(quarantined, "quarantined=").zip(field(len, "len="))),
+                ),
+                _ => None,
+            };
+            let Some((seed, (silent, (quarantined, len)))) = parsed else {
+                return Err(format!("{}: malformed seed record", path.display()));
+            };
+            let len = len as usize;
+            if rest.len() < len {
+                return Err(format!("{}: truncated seed record", path.display()));
+            }
+            let text = rest[..len].to_string();
+            rest = &rest[len..];
+            done.insert(
+                seed,
+                SeedReport {
+                    text,
+                    silent_under_full: silent,
+                    quarantined: quarantined != 0,
+                },
+            );
+        }
+        Ok(done)
+    }
 }
 
 /// Runs every seed's campaign and returns the reports in seed order.
@@ -347,25 +765,39 @@ fn run_seed(seed: u64, trials: u64, config: &str, banner: bool) -> SeedReport {
 /// and writes the finished report into that seed's slot, so the schedule
 /// is dynamic but the merge is positional: the output is bit-for-bit the
 /// same for any worker count, including `--jobs 1` (which doesn't spawn
-/// at all).
-fn run_seeds(seeds: &[u64], trials: u64, config: &str, jobs: usize) -> Vec<SeedReport> {
-    let banner = seeds.len() > 1;
+/// at all). Seeds already present in the checkpoint are served from it
+/// without re-running.
+fn run_seeds(
+    seeds: &[u64],
+    c: &Campaign,
+    jobs: usize,
+    checkpoint: Option<&Checkpoint>,
+) -> Vec<SeedReport> {
+    let finish = |seed: u64| -> SeedReport {
+        if let Some(cp) = checkpoint {
+            if let Some(report) = cp.done.lock().unwrap().get(&seed) {
+                return report.clone();
+            }
+        }
+        let report = run_seed_guarded(seed, c);
+        if let Some(cp) = checkpoint {
+            cp.record(seed, &report);
+        }
+        report
+    };
+
     if jobs <= 1 || seeds.len() <= 1 {
-        return seeds
-            .iter()
-            .map(|&seed| run_seed(seed, trials, config, banner))
-            .collect();
+        return seeds.iter().map(|&seed| finish(seed)).collect();
     }
 
-    let slots: Vec<Mutex<Option<SeedReport>>> =
-        seeds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<SeedReport>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(seeds.len()) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&seed) = seeds.get(i) else { break };
-                let report = run_seed(seed, trials, config, banner);
+                let report = finish(seed);
                 *slots[i].lock().unwrap() = Some(report);
             });
         }
@@ -376,18 +808,134 @@ fn run_seeds(seeds: &[u64], trials: u64, config: &str, jobs: usize) -> Vec<SeedR
         .collect()
 }
 
+/// Decodes the campaign-specific metadata a bundle needs for replay.
+fn bundle_params(bundle: &ReproBundle) -> Result<(Class, ProtectionConfig, u64), String> {
+    if bundle.meta_value("harness") != Some("fault-campaign") {
+        return Err("bundle was not produced by fault_campaign --repro-dir".to_string());
+    }
+    let class = bundle
+        .meta_value("class")
+        .and_then(Class::from_name)
+        .ok_or_else(|| "bundle has no valid `class` metadata".to_string())?;
+    let protection = match bundle.meta_value("config") {
+        Some("full") => ProtectionConfig::full(),
+        Some("off") => ProtectionConfig::off(),
+        other => return Err(format!("bundle has unknown config {other:?}")),
+    };
+    let seed = bundle
+        .meta_value("trial_seed")
+        .and_then(|s| s.strip_prefix("0x"))
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "bundle has no valid `trial_seed` metadata".to_string())?;
+    Ok((class, protection, seed))
+}
+
+fn load_bundle(path: &str) -> Result<ReproBundle, String> {
+    let bytes = std::fs::read(path).map_err(|err| format!("cannot read `{path}`: {err}"))?;
+    ReproBundle::from_bytes(&bytes).map_err(|err| format!("`{path}` is not a valid bundle: {err}"))
+}
+
+/// `--replay BUNDLE`: re-runs the recorded trial and verifies both the
+/// verdict and the final architectural digest bit-for-bit.
+fn replay_mode(path: &str) -> Result<String, String> {
+    let bundle = load_bundle(path)?;
+    let (class, protection, seed) = bundle_params(&bundle)?;
+    let faults: Vec<FaultKind> = bundle.log.events.iter().map(|e| e.kind).collect();
+    let (verdict, digest) = replay_trial(class, seed, protection, &faults);
+    if verdict.name() != bundle.outcome {
+        return Err(format!(
+            "REPLAY MISMATCH: bundle outcome `{}`, replay produced `{}`",
+            bundle.outcome,
+            verdict.name()
+        ));
+    }
+    if digest != bundle.expected_digest {
+        return Err(format!(
+            "REPLAY MISMATCH: digest {digest:#018x} != expected {:#018x}",
+            bundle.expected_digest
+        ));
+    }
+    Ok(format!(
+        "replay OK: {}/{} trial {} verdict `{}` reproduced bit-for-bit \
+         ({} events, digest {digest:#018x})\n",
+        bundle.meta_value("config").unwrap_or("?"),
+        class.name(),
+        bundle.meta_value("trial").unwrap_or("?"),
+        verdict.name(),
+        bundle.log.len(),
+    ))
+}
+
+/// `--shrink BUNDLE`: ddmin-minimizes the bundle's event log to the faults
+/// the verdict actually depends on and writes `BUNDLE.min`.
+fn shrink_mode(path: &str) -> Result<String, String> {
+    let bundle = load_bundle(path)?;
+    let (class, protection, seed) = bundle_params(&bundle)?;
+    let all: Vec<FaultKind> = bundle.log.events.iter().map(|e| e.kind).collect();
+    let (verdict, _) = replay_trial(class, seed, protection, &all);
+    if verdict.name() != bundle.outcome {
+        return Err(format!(
+            "bundle does not reproduce (outcome `{}`, replay `{}`); refusing to shrink",
+            bundle.outcome,
+            verdict.name()
+        ));
+    }
+    let target = verdict;
+    let minimal = shrink_events(&bundle.log.events, |candidate| {
+        let faults: Vec<FaultKind> = candidate.iter().map(|e| e.kind).collect();
+        replay_trial(class, seed, protection, &faults).0 == target
+    });
+    let faults: Vec<FaultKind> = minimal.iter().map(|e| e.kind).collect();
+    let (_, digest) = replay_trial(class, seed, protection, &faults);
+    let mut meta = bundle.meta.clone();
+    meta.push(("shrunk_from".into(), bundle.log.len().to_string()));
+    let min_bundle = ReproBundle {
+        meta,
+        snapshot: None,
+        log: bundle.log.with_events(minimal.clone()),
+        expected_digest: digest,
+        steps: bundle.steps,
+        outcome: bundle.outcome.clone(),
+    };
+    let out_path = format!("{path}.min");
+    std::fs::write(&out_path, min_bundle.to_bytes())
+        .map_err(|err| format!("cannot write `{out_path}`: {err}"))?;
+    let before = bundle.log.len().max(1);
+    Ok(format!(
+        "shrunk event log: {} -> {} events ({}%)\nminimized bundle written to {out_path}\n",
+        bundle.log.len(),
+        minimal.len(),
+        minimal.len() * 100 / before,
+    ))
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: fault_campaign [--seed N] [--seeds N] [--trials N]\n\
-                               [--config full|off|both] [--jobs N]\n\
+                               [--config full|off|both] [--jobs N] [--noise N]\n\
+                               [--repro-dir DIR] [--checkpoint FILE] [--resume]\n\
+         \x20      fault_campaign --replay BUNDLE\n\
+         \x20      fault_campaign --shrink BUNDLE\n\
          \n\
          Runs seeded fault-injection trials per fault class and per\n\
          configuration, and reports Detected/Garbled/Masked/SilentCorruption\n\
          counts. --seeds runs the campaign for N consecutive seeds starting\n\
          at --seed, in parallel on --jobs workers (default: one per CPU;\n\
          --jobs 1 runs single-threaded); reports are merged in seed order\n\
-         and are identical for any --jobs value. Exits nonzero when full\n\
-         protection shows silent corruption."
+         and are identical for any --jobs value. A worker that panics\n\
+         quarantines its seed and the sweep continues. Exits nonzero when\n\
+         full protection shows silent corruption.\n\
+         \n\
+         --repro-dir DIR    write a self-contained repro bundle for every\n\
+                            non-Masked trial outcome\n\
+         --noise N          pad each trial with N harmless scratch-page\n\
+                            faults (gives --shrink something to remove)\n\
+         --checkpoint FILE  persist finished seeds (atomic rewrite); with\n\
+                            --resume, skip seeds already in FILE\n\
+         --replay BUNDLE    re-run a recorded trial, verify verdict and\n\
+                            final architectural digest bit-for-bit\n\
+         --shrink BUNDLE    ddmin-minimize BUNDLE's event log, write\n\
+                            BUNDLE.min"
     );
     std::process::exit(2)
 }
@@ -398,40 +946,135 @@ fn main() -> ExitCode {
     let mut trials = 200u64;
     let mut config = String::from("both");
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut noise = 0u64;
+    let mut repro_dir: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume = false;
+    let mut replay: Option<String> = None;
+    let mut shrink: Option<String> = None;
+    let mut panic_seed: Option<u64> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
+        let mut value = || argv.next().unwrap_or_else(|| usage());
         match flag.as_str() {
-            "--seed" => seed = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--seeds" => {
-                seed_count = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--trials" => {
-                trials = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
-            }
-            "--config" => config = argv.next().unwrap_or_else(|| usage()),
-            "--jobs" => jobs = argv.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--seeds" => seed_count = value().parse().unwrap_or_else(|_| usage()),
+            "--trials" => trials = value().parse().unwrap_or_else(|_| usage()),
+            "--config" => config = value(),
+            "--jobs" => jobs = value().parse().unwrap_or_else(|_| usage()),
+            "--noise" => noise = value().parse().unwrap_or_else(|_| usage()),
+            "--repro-dir" => repro_dir = Some(value()),
+            "--checkpoint" => checkpoint_path = Some(value()),
+            "--resume" => resume = true,
+            "--replay" => replay = Some(value()),
+            "--shrink" => shrink = Some(value()),
+            // Undocumented: panic inside this seed's worker, to exercise the
+            // quarantine path end-to-end.
+            "--panic-seed" => panic_seed = Some(value().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
+    if let Some(path) = replay {
+        return match replay_mode(&path) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    if let Some(path) = shrink {
+        return match shrink_mode(&path) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("{err}");
+                ExitCode::from(1)
+            }
+        };
+    }
+
     if !matches!(config.as_str(), "full" | "off" | "both") || seed_count == 0 || jobs == 0 {
         usage();
     }
+    if resume && checkpoint_path.is_none() {
+        eprintln!("--resume requires --checkpoint FILE");
+        return ExitCode::from(2);
+    }
+
+    let repro = repro_dir.map(|dir| {
+        let dir = PathBuf::from(dir);
+        if let Err(err) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create repro dir {}: {err}", dir.display());
+            std::process::exit(2);
+        }
+        ReproSink { dir }
+    });
 
     let seeds: Vec<u64> = (0..seed_count).map(|i| seed.wrapping_add(i)).collect();
+    let campaign = Campaign {
+        trials,
+        config: config.clone(),
+        noise,
+        banner: seeds.len() > 1,
+        repro,
+        panic_seed,
+    };
+
+    let params =
+        format!("seed={seed} seeds={seed_count} trials={trials} config={config} noise={noise}");
+    let checkpoint = match checkpoint_path {
+        None => None,
+        Some(path) => {
+            let path = PathBuf::from(path);
+            let done = if resume && path.exists() {
+                match Checkpoint::load(&path, &params) {
+                    Ok(done) => {
+                        println!("resuming: {} seed(s) restored from checkpoint", done.len());
+                        done
+                    }
+                    Err(err) => {
+                        eprintln!("{err}");
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                BTreeMap::new()
+            };
+            Some(Checkpoint::new(path, params, done))
+        }
+    };
+
     println!(
         "RegVault fault-injection campaign (seeds={}..={}, trials={trials} per class)\n",
         seeds[0],
         seeds[seeds.len() - 1]
     );
-    let reports = run_seeds(&seeds, trials, &config, jobs);
+    // Quarantined panics are reported in the merged output; suppress the
+    // default hook's interleaved stderr spew from worker threads.
+    let default_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let reports = run_seeds(&seeds, &campaign, jobs, checkpoint.as_ref());
+    panic::set_hook(default_hook);
+
     let mut silent_under_full = 0;
+    let mut quarantined = 0u64;
     for report in &reports {
         print!("{}", report.text);
         silent_under_full += report.silent_under_full;
+        quarantined += u64::from(report.quarantined);
     }
 
+    if quarantined > 0 {
+        println!("{quarantined} seed(s) quarantined after worker panics (see report)");
+    }
     if silent_under_full > 0 {
         println!("FINDING: {silent_under_full} silent corruption(s) under full protection");
         ExitCode::from(1)

@@ -11,7 +11,13 @@
 //! * `hwcost [entries]` — print the Table 3 area model for a CLB size;
 //! * `verify <file.s>` / `verify --workloads` — run the binary-level
 //!   protection verifier over an assembled program or the whole benchmark
-//!   corpus (`--json` for machine-readable reports).
+//!   corpus (`--json` for machine-readable reports);
+//! * `record <file.s> <out.bundle>` — run a program while recording every
+//!   nondeterministic input into a self-contained repro bundle;
+//! * `replay <bundle>` — re-execute a bundle and check it reproduces
+//!   bit-for-bit (same architectural digest, same outcome);
+//! * `divergence <file.s>` — co-run the optimized and reference datapaths
+//!   in lockstep and localize the first divergent instruction, if any.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,7 +29,9 @@ use regvault_compiler::{compile, verify as compiler_verify, CompileConfig};
 use regvault_core::hwcost;
 use regvault_isa::{asm, disasm, KeyReg, Reg};
 use regvault_kernel::ProtectionConfig;
-use regvault_sim::{Machine, MachineConfig};
+use regvault_sim::{
+    run_lockstep, FaultKind, FaultPlan, Machine, MachineConfig, ReproBundle,
+};
 use regvault_verifier::{verify as verifier_verify, ProtectionManifest, VerifyOptions};
 use regvault_workloads::{lmbench::Lmbench, spec::Spec, unixbench::UnixBench, Workload};
 
@@ -70,28 +78,7 @@ pub fn cmd_disasm(source: &str) -> Result<String, CliError> {
 ///
 /// Returns assembler or simulator diagnostics.
 pub fn cmd_run(source: &str, max_steps: u64) -> Result<String, CliError> {
-    let program = asm::assemble(source).map_err(|e| e.to_string())?;
-    let mut machine = Machine::new(MachineConfig::default());
-    for (i, key) in [
-        KeyReg::A,
-        KeyReg::B,
-        KeyReg::C,
-        KeyReg::D,
-        KeyReg::E,
-        KeyReg::F,
-        KeyReg::G,
-    ]
-    .iter()
-    .enumerate()
-    {
-        machine
-            .write_key_register(*key, 0x1000 + i as u64, 0x2000 + i as u64)
-            .expect("general key");
-    }
-    machine.load_program(0x8000_0000, program.bytes());
-    machine.memory_mut().map_region(0x7000_0000, 0x10000);
-    machine.hart_mut().set_reg(Reg::Sp, 0x7000_F000);
-    machine.hart_mut().set_pc(0x8000_0000);
+    let mut machine = boot_bare_machine(source, false)?;
     machine
         .run_until_break(max_steps)
         .map_err(|e| e.to_string())?;
@@ -113,6 +100,182 @@ pub fn cmd_run(source: &str, max_steps: u64) -> Result<String, CliError> {
         clb.hit_ratio() * 100.0
     );
     Ok(out)
+}
+
+/// Boots the standard bare-metal machine every execution subcommand uses:
+/// keys `a`–`g` installed, program at `0x8000_0000`, a mapped stack region,
+/// kernel privilege. `reference` selects the reference datapath.
+fn boot_bare_machine(source: &str, reference: bool) -> Result<Machine, CliError> {
+    let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let mut machine = Machine::new(MachineConfig {
+        reference_datapath: reference,
+        ..MachineConfig::default()
+    });
+    for (i, key) in [
+        KeyReg::A,
+        KeyReg::B,
+        KeyReg::C,
+        KeyReg::D,
+        KeyReg::E,
+        KeyReg::F,
+        KeyReg::G,
+    ]
+    .iter()
+    .enumerate()
+    {
+        machine
+            .write_key_register(*key, 0x1000 + i as u64, 0x2000 + i as u64)
+            .expect("general key");
+    }
+    machine.load_program(0x8000_0000, program.bytes());
+    machine.memory_mut().map_region(0x7000_0000, 0x10000);
+    machine.hart_mut().set_reg(Reg::Sp, 0x7000_F000);
+    machine.hart_mut().set_pc(0x8000_0000);
+    Ok(machine)
+}
+
+/// Parses one `--flip INSTRET:ADDR:BIT` specification (addr may be hex).
+///
+/// # Errors
+///
+/// Describes the expected shape on malformed input.
+pub fn parse_flip(spec: &str) -> Result<(u64, FaultKind), CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let err = || format!("invalid flip `{spec}` (expected INSTRET:ADDR:BIT)");
+    let [instret, addr, bit] = parts[..] else {
+        return Err(err());
+    };
+    let parse_u64 = |s: &str| -> Result<u64, CliError> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).map_err(|_| err())
+        } else {
+            s.parse().map_err(|_| err())
+        }
+    };
+    Ok((
+        parse_u64(instret)?,
+        FaultKind::MemBitFlip {
+            addr: parse_u64(addr)?,
+            bit: (parse_u64(bit)? % 64) as u8,
+        },
+    ))
+}
+
+/// Runs `source` bare-metal while recording every nondeterministic input,
+/// returning `(report, serialized repro bundle)`. `faults` are injected via
+/// a scheduled [`FaultPlan`]; the bundle embeds the pre-run snapshot, the
+/// event log, and the final architectural digest the replay must reach.
+///
+/// # Errors
+///
+/// Returns assembler diagnostics; simulator errors become part of the
+/// recorded outcome rather than failing the recording.
+pub fn cmd_record(
+    source: &str,
+    max_steps: u64,
+    faults: &[(u64, FaultKind)],
+) -> Result<(String, Vec<u8>), CliError> {
+    let mut machine = boot_bare_machine(source, false)?;
+    let start = machine.snapshot();
+    machine.start_recording();
+    if !faults.is_empty() {
+        let mut plan = FaultPlan::new();
+        for &(instret, kind) in faults {
+            plan = plan.at(instret, kind);
+        }
+        machine.set_fault_plan(plan);
+    }
+    let outcome = match machine.run_until_break(max_steps) {
+        Ok(()) => "break".to_owned(),
+        Err(e) => e.to_string(),
+    };
+    let log = machine.stop_recording().expect("recording was started");
+    let digest = machine.arch_digest();
+    let bundle = ReproBundle {
+        meta: vec![
+            ("harness".to_owned(), "cli-bare-metal".to_owned()),
+            ("steps".to_owned(), machine.stats().instret.to_string()),
+        ],
+        snapshot: Some(start),
+        log,
+        expected_digest: digest,
+        steps: max_steps,
+        outcome: outcome.clone(),
+    };
+    let report = format!(
+        "recorded {} fault event(s) over {} instructions\n\
+         outcome: {outcome}\n\
+         final digest: {digest:#018x}\n",
+        bundle.log.len(),
+        machine.stats().instret,
+    );
+    Ok((report, bundle.to_bytes()))
+}
+
+/// Replays a repro bundle and checks it reproduces bit-for-bit.
+///
+/// # Errors
+///
+/// Rejects malformed bundles (bad magic/version/checksum), bundles without
+/// an embedded snapshot, and — the interesting case — replays whose final
+/// architectural digest or outcome differs from the recording.
+pub fn cmd_replay(bundle_bytes: &[u8]) -> Result<String, CliError> {
+    let bundle = ReproBundle::from_bytes(bundle_bytes).map_err(|e| e.to_string())?;
+    let snapshot = bundle.snapshot.as_ref().ok_or_else(|| {
+        "bundle carries no snapshot; replay it with its original harness \
+         (fault_campaign --replay)"
+            .to_owned()
+    })?;
+    let mut machine = Machine::from_snapshot(snapshot).map_err(|e| e.to_string())?;
+    if !bundle.log.is_empty() {
+        machine.set_fault_plan(bundle.log.to_plan());
+    }
+    let outcome = match machine.run_until_break(bundle.steps) {
+        Ok(()) => "break".to_owned(),
+        Err(e) => e.to_string(),
+    };
+    let digest = machine.arch_digest();
+    if digest != bundle.expected_digest || outcome != bundle.outcome {
+        return Err(format!(
+            "REPLAY MISMATCH\n\
+             outcome: recorded `{}`, replayed `{outcome}`\n\
+             digest : recorded {:#018x}, replayed {digest:#018x}\n",
+            bundle.outcome, bundle.expected_digest
+        ));
+    }
+    Ok(format!(
+        "replay OK: {} event(s), outcome `{outcome}`, digest {digest:#018x} (bit-for-bit)\n",
+        bundle.log.len()
+    ))
+}
+
+/// Co-runs the optimized and reference datapaths over `source` in lockstep.
+///
+/// # Errors
+///
+/// Returns assembler diagnostics, or — the interesting case — a report
+/// naming the exact first divergent instruction and the state component
+/// that differed.
+pub fn cmd_divergence(
+    source: &str,
+    max_steps: u64,
+    interval: u64,
+) -> Result<String, CliError> {
+    let mut fast = boot_bare_machine(source, false)?;
+    let mut reference = boot_bare_machine(source, true)?;
+    let outcome = run_lockstep(&mut fast, &mut reference, max_steps, interval);
+    match outcome.divergence {
+        None => Ok(format!(
+            "lockstep OK: {} instructions, datapaths architecturally identical \
+             (digest {:#018x})\n",
+            outcome.steps,
+            fast.arch_digest()
+        )),
+        Some(divergence) => Err(format!(
+            "DIVERGENCE at instruction {}: {}\n",
+            divergence.step, divergence.detail
+        )),
+    }
 }
 
 /// Parses a configuration label (`base|ra|fp|non-control|full`).
@@ -352,6 +515,11 @@ USAGE:
     regvault-cli verify  <file.s> [--json] check RegVault invariants over a program
     regvault-cli verify  --workloads [--json]
                                            verify every benchmark image
+    regvault-cli record  <file.s> <out.bundle> [--steps N] [--flip I:ADDR:BIT]...
+                                           run + record a repro bundle
+    regvault-cli replay  <bundle>          re-run a bundle, check bit-for-bit
+    regvault-cli divergence <file.s> [steps] [interval]
+                                           lockstep optimized vs reference datapath
 "
 }
 
@@ -432,6 +600,57 @@ mod tests {
     fn verify_emits_json() {
         let out = cmd_verify_source("main:\n  ebreak", true).unwrap();
         assert!(out.contains("\"clean\":true"), "{out}");
+    }
+
+    /// A crypto round-trip program for record/replay/divergence tests.
+    const CRYPTO_PROGRAM: &str = "li   t1, 0x9000
+         li   s0, 0x9000
+         li   a0, 0xbeef
+         creak a0, a0[3:0], t1
+         sd   a0, 0(s0)
+         ld   a1, 0(s0)
+         crdak a1, a1, t1, [3:0]
+         ebreak";
+
+    #[test]
+    fn record_then_replay_is_bit_for_bit() {
+        let flip = parse_flip("5:0x9000:3").unwrap();
+        let (report, bytes) = cmd_record(CRYPTO_PROGRAM, 10_000, &[flip]).unwrap();
+        assert!(report.contains("recorded 1 fault event(s)"), "{report}");
+        let replay = cmd_replay(&bytes).unwrap();
+        assert!(replay.contains("replay OK"), "{replay}");
+        assert!(replay.contains("bit-for-bit"), "{replay}");
+    }
+
+    #[test]
+    fn replay_rejects_corruption_and_garbage() {
+        let (_, mut bytes) = cmd_record(CRYPTO_PROGRAM, 10_000, &[]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        let err = cmd_replay(&bytes).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        assert!(cmd_replay(b"not a bundle").is_err());
+    }
+
+    #[test]
+    fn flip_parser_accepts_hex_and_rejects_noise() {
+        let (instret, kind) = parse_flip("100:0x9000:63").unwrap();
+        assert_eq!(instret, 100);
+        assert_eq!(
+            kind,
+            regvault_sim::FaultKind::MemBitFlip {
+                addr: 0x9000,
+                bit: 63
+            }
+        );
+        assert!(parse_flip("100:0x9000").is_err());
+        assert!(parse_flip("a:b:c").is_err());
+    }
+
+    #[test]
+    fn divergence_clean_program_agrees() {
+        let out = cmd_divergence(CRYPTO_PROGRAM, 10_000, 64).unwrap();
+        assert!(out.contains("lockstep OK"), "{out}");
     }
 
     #[test]

@@ -5,6 +5,8 @@ use std::fmt;
 
 use regvault_sim::{ExceptionCause, SimError};
 
+use crate::kernel::RecoveryStats;
+
 /// Errors surfaced by kernel operations.
 ///
 /// `IntegrityViolation` is the interesting one for the security evaluation:
@@ -48,9 +50,20 @@ pub enum KernelError {
         /// Where control flow would have gone.
         target: u64,
     },
-    /// A simulator-level failure (e.g. a watchdog timeout on a wedged
-    /// guest) that is not attributable to a single guest instruction.
+    /// A simulator-level failure that is not attributable to a single
+    /// guest instruction.
     Sim(SimError),
+    /// The step-budget watchdog fired while executing user code. Unlike
+    /// [`KernelError::Sim`], this carries the recovery counters accumulated
+    /// up to the cutoff, so a truncated run is still diagnosable — the
+    /// campaign can tell "wedged after surviving three traps" from "wedged
+    /// immediately".
+    Timeout {
+        /// The armed watchdog budget that was exhausted.
+        budget: u64,
+        /// Recovery counters at the moment the watchdog fired.
+        recovery: RecoveryStats,
+    },
 }
 
 impl fmt::Display for KernelError {
@@ -74,6 +87,12 @@ impl fmt::Display for KernelError {
                 write!(f, "indirect call to unknown target {target:#x}")
             }
             KernelError::Sim(err) => write!(f, "simulator error: {err}"),
+            KernelError::Timeout { budget, recovery } => write!(
+                f,
+                "watchdog timeout after {budget} work units \
+                 (quarantined {}, respawned {}, traps survived {})",
+                recovery.quarantined, recovery.respawned, recovery.traps_survived
+            ),
         }
     }
 }

@@ -730,8 +730,16 @@ impl Kernel {
                     }
                     continue;
                 }
-                // Watchdog timeouts and other simulator-level failures are
-                // not attributable to one instruction; surface them typed.
+                // A watchdog timeout still carries the recovery counters
+                // accumulated so far — a truncated run stays diagnosable.
+                Err(regvault_sim::SimError::Timeout { budget }) => {
+                    return Err(KernelError::Timeout {
+                        budget,
+                        recovery: self.recovery,
+                    })
+                }
+                // Other simulator-level failures are not attributable to
+                // one instruction; surface them typed.
                 Err(err) => return Err(KernelError::Sim(err)),
             };
             match event {

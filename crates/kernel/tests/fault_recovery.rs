@@ -5,8 +5,8 @@
 use regvault_isa::asm;
 use regvault_kernel::cred::EUID_OFFSET;
 use regvault_kernel::layout::USER_CODE_BASE;
-use regvault_kernel::{Kernel, KernelConfig, KernelError, ProtectionConfig, Sysno};
-use regvault_sim::{FaultKind, SimError};
+use regvault_kernel::{Kernel, KernelConfig, KernelError, ProtectionConfig, RecoveryStats, Sysno};
+use regvault_sim::FaultKind;
 
 fn boot(protection: ProtectionConfig, timer: Option<u64>) -> Kernel {
     Kernel::boot(KernelConfig {
@@ -102,7 +102,44 @@ fn watchdog_timeout_surfaces_as_a_typed_kernel_error() {
     kernel.machine_mut().arm_watchdog(10_000);
     let program = asm::assemble("loop: j loop").unwrap();
     match kernel.run_user(program.bytes(), 0, u64::MAX) {
-        Err(KernelError::Sim(SimError::Timeout { budget })) => assert_eq!(budget, 10_000),
+        Err(KernelError::Timeout { budget, recovery }) => {
+            assert_eq!(budget, 10_000);
+            assert_eq!(recovery, RecoveryStats::default(), "no traps before wedging");
+        }
+        other => panic!("expected a watchdog timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn watchdog_timeout_reports_partial_recovery_stats() {
+    // Corrupt the current thread's euid so the kernel quarantines it and
+    // switches to the sibling, whose copy of the program then wedges: the
+    // timeout error must carry the recovery work done up to the cutoff.
+    let mut kernel = boot(ProtectionConfig::full(), None);
+    kernel
+        .dispatch(Sysno::Spawn as u64, [USER_CODE_BASE, 0, 0])
+        .expect("spawn sibling");
+    let victim = kernel.current_tid();
+    let addr = kernel.creds.cred_addr(victim) + EUID_OFFSET;
+    kernel
+        .machine_mut()
+        .inject_fault(FaultKind::MemWrite { addr, value: 0 });
+    let program = asm::assemble(
+        "li a7, 3
+         ecall
+         loop: j loop",
+    )
+    .unwrap();
+    kernel.machine_mut().arm_watchdog(500_000);
+    match kernel.run_user(program.bytes(), 0, u64::MAX) {
+        Err(KernelError::Timeout { recovery, .. }) => {
+            assert_eq!(
+                recovery,
+                kernel.recovery_stats(),
+                "error snapshot matches the kernel's counters"
+            );
+            assert_eq!(recovery.quarantined, 1, "partial stats show the quarantine");
+        }
         other => panic!("expected a watchdog timeout, got {other:?}"),
     }
 }

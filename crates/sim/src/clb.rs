@@ -71,6 +71,110 @@ impl ClbStats {
     }
 }
 
+/// One entry of the [naive reference implementation](Clb::new_reference):
+/// the cached tuple plus a monotonically increasing recency stamp.
+#[derive(Debug, Clone, Copy)]
+struct NaiveEntry {
+    ksel: u8,
+    tweak: u64,
+    plaintext: u64,
+    ciphertext: u64,
+    last_used: u64,
+}
+
+/// The deliberately naive fully-associative LRU cache: linear scan per
+/// lookup, `min_by_key(last_used)` eviction — exactly the "obvious
+/// implementation" the indexed [`Clb`] replaced. Kept as the reference
+/// datapath for the lockstep differential executor: it shares *no* code
+/// with the indexed implementation (no hash maps, no intrusive list), so
+/// an indexing or recency-tracking bug in either side shows up as a
+/// divergence.
+#[derive(Debug, Clone, Default)]
+struct NaiveClb {
+    entries: Vec<NaiveEntry>,
+    tick: u64,
+}
+
+impl NaiveClb {
+    fn touch(&mut self, index: usize) {
+        self.tick += 1;
+        self.entries[index].last_used = self.tick;
+    }
+
+    fn lookup(&mut self, ksel: u8, tweak: u64, value: u64, by_ct: bool) -> Option<u64> {
+        let found = self.entries.iter().position(|e| {
+            e.ksel == ksel
+                && e.tweak == tweak
+                && (if by_ct { e.ciphertext } else { e.plaintext }) == value
+        })?;
+        self.touch(found);
+        let entry = self.entries[found];
+        Some(if by_ct { entry.plaintext } else { entry.ciphertext })
+    }
+
+    /// Returns `true` when a valid entry was evicted to make room.
+    fn insert(&mut self, capacity: usize, ksel: u8, tweak: u64, pt: u64, ct: u64) -> bool {
+        if let Some(found) = self
+            .entries
+            .iter()
+            .position(|e| e.ksel == ksel && e.tweak == tweak && e.plaintext == pt)
+        {
+            self.entries[found].ciphertext = ct;
+            self.touch(found);
+            return false;
+        }
+        let mut evicted = false;
+        let index = if self.entries.len() < capacity {
+            self.entries.push(NaiveEntry {
+                ksel: 0,
+                tweak: 0,
+                plaintext: 0,
+                ciphertext: 0,
+                last_used: 0,
+            });
+            self.entries.len() - 1
+        } else {
+            evicted = true;
+            self.entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0 implies at least one entry")
+        };
+        self.entries[index] = NaiveEntry {
+            ksel,
+            tweak,
+            plaintext: pt,
+            ciphertext: ct,
+            last_used: 0,
+        };
+        self.touch(index);
+        evicted
+    }
+
+    /// Returns the number of entries invalidated.
+    fn invalidate_ksel(&mut self, ksel: u8) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.ksel != ksel);
+        (before - self.entries.len()) as u64
+    }
+
+    fn poison_mru(&mut self, xor: u64) -> bool {
+        let Some(found) = self
+            .entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        self.entries[found].plaintext ^= xor;
+        true
+    }
+}
+
 /// A fully-associative, LRU-replaced cache of recent cryptographic results.
 ///
 /// Each entry stores a 3-bit key-selection index rather than the 128-bit key
@@ -97,6 +201,9 @@ impl ClbStats {
 #[derive(Debug, Clone)]
 pub struct Clb {
     capacity: usize,
+    /// `Some` selects the naive reference implementation; the indexed
+    /// fields below are then unused.
+    naive: Option<NaiveClb>,
     /// Slot storage; grows on demand up to `capacity` and is then recycled
     /// through `free`.
     slots: Vec<Slot>,
@@ -119,6 +226,7 @@ impl Clb {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
+            naive: None,
             slots: Vec::new(),
             free: Vec::new(),
             by_pt: FxHashMap::default(),
@@ -127,6 +235,24 @@ impl Clb {
             tail: NONE,
             stats: ClbStats::default(),
         }
+    }
+
+    /// Creates a CLB backed by the naive linear-scan reference
+    /// implementation (same observable semantics, no shared code with the
+    /// indexed fast path) — the CLB half of the reference datapath used by
+    /// the lockstep differential executor.
+    #[must_use]
+    pub fn new_reference(capacity: usize) -> Self {
+        Self {
+            naive: Some(NaiveClb::default()),
+            ..Self::new(capacity)
+        }
+    }
+
+    /// `true` when this CLB runs the naive reference implementation.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.naive.is_some()
     }
 
     /// Number of entries (the hardware configuration parameter).
@@ -138,7 +264,53 @@ impl Clb {
     /// Number of currently valid entries.
     #[must_use]
     pub fn occupancy(&self) -> usize {
-        self.slots.len() - self.free.len()
+        match &self.naive {
+            Some(naive) => naive.entries.len(),
+            None => self.slots.len() - self.free.len(),
+        }
+    }
+
+    /// The valid entries as `(ksel, tweak, plaintext, ciphertext)` tuples in
+    /// LRU → MRU order — the canonical architectural view used by snapshots
+    /// and the lockstep state comparison (both implementations produce the
+    /// same sequence when they agree).
+    #[must_use]
+    pub fn entries_lru_to_mru(&self) -> Vec<(u8, u64, u64, u64)> {
+        if let Some(naive) = &self.naive {
+            let mut sorted: Vec<&NaiveEntry> = naive.entries.iter().collect();
+            sorted.sort_by_key(|e| e.last_used);
+            return sorted
+                .into_iter()
+                .map(|e| (e.ksel, e.tweak, e.plaintext, e.ciphertext))
+                .collect();
+        }
+        let mut out = Vec::with_capacity(self.occupancy());
+        let mut cursor = self.tail;
+        while cursor != NONE {
+            let s = self.slots[cursor as usize];
+            out.push((s.ksel, s.tweak, s.plaintext, s.ciphertext));
+            cursor = s.prev;
+        }
+        out
+    }
+
+    /// Rebuilds the buffer from a snapshot: entries in LRU → MRU order plus
+    /// the statistics counters captured with them. Preserves the
+    /// implementation choice (indexed vs. reference) of `self`.
+    pub(crate) fn restore_entries(
+        &mut self,
+        entries: &[(u8, u64, u64, u64)],
+        stats: ClbStats,
+    ) {
+        *self = if self.naive.is_some() {
+            Self::new_reference(self.capacity)
+        } else {
+            Self::new(self.capacity)
+        };
+        for &(ksel, tweak, pt, ct) in entries {
+            self.insert(ksel, tweak, pt, ct);
+        }
+        self.stats = stats;
     }
 
     /// Accumulated statistics.
@@ -201,6 +373,14 @@ impl Clb {
 
     /// Looks up a cached ciphertext for `(ksel, tweak, plaintext)`.
     pub fn lookup_encrypt(&mut self, ksel: u8, tweak: u64, plaintext: u64) -> Option<u64> {
+        if let Some(naive) = &mut self.naive {
+            let found = naive.lookup(ksel, tweak, plaintext, false);
+            match found {
+                Some(_) => self.stats.hits += 1,
+                None => self.stats.misses += 1,
+            }
+            return found;
+        }
         match self.by_pt.get(&(ksel, tweak, plaintext)) {
             Some(&slot) => {
                 self.stats.hits += 1;
@@ -216,6 +396,14 @@ impl Clb {
 
     /// Looks up a cached plaintext for `(ksel, tweak, ciphertext)`.
     pub fn lookup_decrypt(&mut self, ksel: u8, tweak: u64, ciphertext: u64) -> Option<u64> {
+        if let Some(naive) = &mut self.naive {
+            let found = naive.lookup(ksel, tweak, ciphertext, true);
+            match found {
+                Some(_) => self.stats.hits += 1,
+                None => self.stats.misses += 1,
+            }
+            return found;
+        }
         match self.by_ct.get(&(ksel, tweak, ciphertext)) {
             Some(&slot) => {
                 self.stats.hits += 1;
@@ -237,6 +425,12 @@ impl Clb {
     /// hit — but harmless).
     pub fn insert(&mut self, ksel: u8, tweak: u64, plaintext: u64, ciphertext: u64) {
         if self.capacity == 0 {
+            return;
+        }
+        if let Some(naive) = &mut self.naive {
+            if naive.insert(self.capacity, ksel, tweak, plaintext, ciphertext) {
+                self.stats.evictions += 1;
+            }
             return;
         }
         if let Some(&slot) = self.by_pt.get(&(ksel, tweak, plaintext)) {
@@ -285,6 +479,10 @@ impl Clb {
     /// Invalidates every entry whose key selector matches `ksel` — the
     /// hardware behaviour on a key-register write.
     pub fn invalidate_ksel(&mut self, ksel: u8) {
+        if let Some(naive) = &mut self.naive {
+            self.stats.invalidations += naive.invalidate_ksel(ksel);
+            return;
+        }
         let mut cursor = self.head;
         while cursor != NONE {
             let next = self.slots[cursor as usize].next;
@@ -307,7 +505,13 @@ impl Clb {
     /// hit; whether the consumer notices is exactly what the fault campaign
     /// measures.
     pub fn poison_mru(&mut self, xor: u64) -> bool {
-        if xor == 0 || self.head == NONE {
+        if xor == 0 {
+            return false;
+        }
+        if let Some(naive) = &mut self.naive {
+            return naive.poison_mru(xor);
+        }
+        if self.head == NONE {
             return false;
         }
         let slot = self.head;
@@ -322,6 +526,10 @@ impl Clb {
     /// Invalidates the whole buffer.
     pub fn invalidate_all(&mut self) {
         self.stats.invalidations += self.occupancy() as u64;
+        if let Some(naive) = &mut self.naive {
+            naive.entries.clear();
+            return;
+        }
         self.by_pt.clear();
         self.by_ct.clear();
         self.free.clear();
@@ -446,5 +654,67 @@ mod tests {
         clb.invalidate_all();
         assert_eq!(clb.occupancy(), 0);
         assert_eq!(clb.stats().invalidations, 2);
+    }
+
+    /// Drives the indexed and naive implementations through the same
+    /// operation sequence and demands identical observables at every step.
+    #[test]
+    fn reference_implementation_matches_indexed() {
+        let mut fast = Clb::new(3);
+        let mut reference = Clb::new_reference(3);
+        assert!(reference.is_reference() && !fast.is_reference());
+        // A mixed workload: inserts past capacity, both lookup directions,
+        // selective invalidation, MRU poison.
+        let tuples: [(u8, u64, u64, u64); 6] = [
+            (1, 0x10, 0xA, 0x1A),
+            (2, 0x20, 0xB, 0x2B),
+            (1, 0x30, 0xC, 0x3C),
+            (3, 0x40, 0xD, 0x4D),
+            (2, 0x20, 0xB, 0x2B),
+            (1, 0x10, 0xA, 0x1A),
+        ];
+        for (i, &(ksel, tweak, pt, ct)) in tuples.iter().enumerate() {
+            fast.insert(ksel, tweak, pt, ct);
+            reference.insert(ksel, tweak, pt, ct);
+            if i % 2 == 0 {
+                assert_eq!(
+                    fast.lookup_decrypt(ksel, tweak, ct),
+                    reference.lookup_decrypt(ksel, tweak, ct)
+                );
+            } else {
+                assert_eq!(
+                    fast.lookup_encrypt(ksel, tweak, pt),
+                    reference.lookup_encrypt(ksel, tweak, pt)
+                );
+            }
+            assert_eq!(fast.entries_lru_to_mru(), reference.entries_lru_to_mru());
+            assert_eq!(fast.stats(), reference.stats());
+        }
+        assert_eq!(fast.poison_mru(0xF0), reference.poison_mru(0xF0));
+        assert_eq!(fast.entries_lru_to_mru(), reference.entries_lru_to_mru());
+        fast.invalidate_ksel(1);
+        reference.invalidate_ksel(1);
+        assert_eq!(fast.entries_lru_to_mru(), reference.entries_lru_to_mru());
+        assert_eq!(fast.stats(), reference.stats());
+    }
+
+    #[test]
+    fn restore_entries_reproduces_order_and_stats() {
+        let mut clb = Clb::new(4);
+        clb.insert(1, 0, 10, 110);
+        clb.insert(2, 0, 20, 120);
+        let _ = clb.lookup_encrypt(1, 0, 10); // entry 1 becomes MRU
+        let entries = clb.entries_lru_to_mru();
+        let stats = clb.stats();
+        let mut rebuilt = Clb::new(4);
+        rebuilt.restore_entries(&entries, stats);
+        assert_eq!(rebuilt.entries_lru_to_mru(), entries);
+        assert_eq!(rebuilt.stats(), stats);
+        // LRU order survived: inserting two more evicts entry 2 first.
+        rebuilt.insert(3, 0, 30, 130);
+        rebuilt.insert(4, 0, 40, 140);
+        rebuilt.insert(5, 0, 50, 150);
+        assert_eq!(rebuilt.lookup_encrypt(1, 0, 10), Some(110));
+        assert_eq!(rebuilt.lookup_encrypt(2, 0, 20), None);
     }
 }

@@ -2,7 +2,7 @@
 
 use rand::{Rng, SeedableRng};
 use regvault_isa::{ByteRange, KeyReg};
-use regvault_qarma::{Key, Qarma64};
+use regvault_qarma::{reference::Reference, Key, Qarma64};
 
 use crate::clb::Clb;
 
@@ -71,6 +71,16 @@ impl KeyRegFile {
         let old = self.keys[index];
         self.keys[index] = Key::new(old.w0() ^ xor_w0, old.k0() ^ xor_k0);
     }
+
+    /// All eight registers by `ksel` index (snapshot support).
+    pub(crate) fn raw_keys(&self) -> [Key; 8] {
+        self.keys
+    }
+
+    /// Overwrites all eight registers (snapshot restore).
+    pub(crate) fn set_raw_keys(&mut self, keys: [Key; 8]) {
+        self.keys = keys;
+    }
 }
 
 /// A step-budget watchdog for wedged or runaway guests.
@@ -120,6 +130,17 @@ impl Watchdog {
     pub fn consume(&mut self, units: u64) {
         self.consumed = self.consumed.saturating_add(units);
     }
+
+    /// Units of work consumed so far.
+    #[must_use]
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Rebuilds a watchdog mid-budget (snapshot restore).
+    pub(crate) fn from_parts(budget: u64, consumed: u64) -> Self {
+        Self { budget, consumed }
+    }
 }
 
 /// Error raised by a failed `crd` integrity check: the bytes outside the
@@ -166,6 +187,11 @@ pub struct CryptoEngine {
     /// [`CryptoEngine::key_file_mut`] writes — can never serve a stale
     /// schedule.
     ciphers: [Option<Qarma64>; 8],
+    /// Route every cipher computation through the cell-level
+    /// [`Reference`] datapath instead of the SWAR [`Qarma64`] core (and
+    /// pair it with the naive CLB). The lockstep differential executor
+    /// co-runs one engine of each flavour.
+    reference: bool,
 }
 
 impl CryptoEngine {
@@ -177,7 +203,29 @@ impl CryptoEngine {
             keys: KeyRegFile::new(seed),
             clb: Clb::new(clb_entries),
             ciphers: Default::default(),
+            reference: false,
         }
+    }
+
+    /// Creates a reference-datapath engine: cell-level QARMA (no SWAR
+    /// tables, no cached key schedules) plus the naive linear-scan CLB.
+    /// Architecturally identical to [`CryptoEngine::new`] — any observable
+    /// difference is a bug, which is exactly what the lockstep executor
+    /// hunts.
+    #[must_use]
+    pub fn new_reference(clb_entries: usize, seed: u64) -> Self {
+        Self {
+            keys: KeyRegFile::new(seed),
+            clb: Clb::new_reference(clb_entries),
+            ciphers: Default::default(),
+            reference: true,
+        }
+    }
+
+    /// `true` when this engine runs the reference datapath.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        self.reference
     }
 
     /// The hardware key register file.
@@ -231,6 +279,27 @@ impl CryptoEngine {
         slot.as_ref().expect("cipher just cached")
     }
 
+    /// One cipher computation through the configured datapath. The
+    /// reference path rebuilds the cell-level cipher from the live register
+    /// on every call — deliberately no schedule caching, so stale-schedule
+    /// bugs in the fast path cannot be masked by an equivalent cache here.
+    fn compute(&mut self, key: KeyReg, tweak: u64, input: u64, decrypt: bool) -> u64 {
+        if self.reference {
+            let cipher = Reference::new(self.keys.key(key));
+            return if decrypt {
+                cipher.decrypt(input, tweak)
+            } else {
+                cipher.encrypt(input, tweak)
+            };
+        }
+        let cipher = self.cipher(key);
+        if decrypt {
+            cipher.decrypt(input, tweak)
+        } else {
+            cipher.encrypt(input, tweak)
+        }
+    }
+
     /// Executes the `cre` datapath: mask `value` to `range` (bytes outside
     /// are zeroed, §2.3.1), then encrypt under `key` with `tweak`.
     pub fn encrypt(
@@ -248,7 +317,7 @@ impl CryptoEngine {
                 clb_hit: true,
             };
         }
-        let ciphertext = self.cipher(key).encrypt(plaintext, tweak);
+        let ciphertext = self.compute(key, tweak, plaintext, false);
         self.clb.insert(ksel, tweak, plaintext, ciphertext);
         CryptoResult {
             value: ciphertext,
@@ -274,7 +343,7 @@ impl CryptoEngine {
         let (plaintext, clb_hit) = match self.clb.lookup_decrypt(ksel, tweak, ciphertext) {
             Some(pt) => (pt, true),
             None => {
-                let pt = self.cipher(key).decrypt(ciphertext, tweak);
+                let pt = self.compute(key, tweak, ciphertext, true);
                 self.clb.insert(ksel, tweak, pt, ciphertext);
                 (pt, false)
             }

@@ -164,6 +164,19 @@ impl FaultPlan {
         &self.applied
     }
 
+    /// Every not-yet-fired fault, in schedule order.
+    #[must_use]
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.pending
+    }
+
+    /// Rebuilds a plan from a pending schedule plus an applied-fault log
+    /// (snapshot restore).
+    #[must_use]
+    pub fn from_parts(pending: Vec<FaultSpec>, applied: Vec<AppliedFault>) -> Self {
+        Self { pending, applied }
+    }
+
     /// Removes and returns every fault due at `instret`, preserving
     /// schedule order.
     pub(crate) fn take_due(&mut self, instret: u64) -> Vec<FaultKind> {

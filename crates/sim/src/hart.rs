@@ -111,6 +111,27 @@ impl Hart {
     pub fn set_csr(&mut self, addr: u16, value: u64) {
         self.csrs.insert(addr, value);
     }
+
+    /// Every explicitly-written CSR, in address order (snapshot support;
+    /// CSRs that were never written read as zero and are not listed).
+    pub(crate) fn csr_entries(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.csrs.iter().map(|(&addr, &value)| (addr, value))
+    }
+
+    /// Replaces the whole architectural state (snapshot restore).
+    pub(crate) fn restore(
+        &mut self,
+        regs: [u64; 32],
+        pc: u64,
+        privilege: Privilege,
+        csrs: &[(u16, u64)],
+    ) {
+        self.regs = regs;
+        self.regs[0] = 0;
+        self.pc = pc;
+        self.privilege = privilege;
+        self.csrs = csrs.iter().copied().collect();
+    }
 }
 
 #[cfg(test)]

@@ -68,8 +68,11 @@ mod fault;
 mod fxhash;
 mod icache;
 mod hart;
+mod lockstep;
 mod machine;
 mod mem;
+mod replay;
+mod snapshot;
 mod stats;
 mod trace;
 
@@ -79,7 +82,10 @@ pub use engine::{CryptoEngine, CryptoResult, IntegrityError, KeyRegFile, Watchdo
 pub use error::{ExceptionCause, SimError};
 pub use fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use hart::{Hart, Privilege};
+pub use lockstep::{arch_divergence, run_lockstep, Divergence, LockstepOutcome};
 pub use machine::{Event, Machine, MachineConfig};
 pub use mem::Memory;
+pub use replay::{shrink_events, EventLog, LoggedEvent, ReproBundle};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotKind};
 pub use stats::{InsnClass, Stats};
 pub use trace::{TraceBuffer, TraceEntry};

@@ -38,6 +38,11 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Deliver a timer interrupt every this many cycles (None = no timer).
     pub timer_interval: Option<u64>,
+    /// Run the reference datapath: cell-level QARMA instead of the SWAR
+    /// core, naive linear-scan CLB instead of the indexed one. Slow and
+    /// architecturally identical by construction — the co-execution target
+    /// of [`crate::lockstep`].
+    pub reference_datapath: bool,
 }
 
 impl Default for MachineConfig {
@@ -47,6 +52,7 @@ impl Default for MachineConfig {
             cost: CostModel::default(),
             seed: 0x5EED_0001,
             timer_interval: None,
+            reference_datapath: false,
         }
     }
 }
@@ -88,29 +94,41 @@ pub struct Machine {
     pub(crate) engine: CryptoEngine,
     pub(crate) cost: CostModel,
     pub(crate) stats: Stats,
-    timer_interval: Option<u64>,
-    next_timer: u64,
+    pub(crate) seed: u64,
+    pub(crate) timer_interval: Option<u64>,
+    pub(crate) next_timer: u64,
     pub(crate) trace: Option<crate::trace::TraceBuffer>,
-    fault_plan: Option<FaultPlan>,
-    watchdog: Option<Watchdog>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) watchdog: Option<Watchdog>,
+    /// When recording, every applied fault is also appended here with its
+    /// retired-instruction timestamp — the nondeterministic-input log that
+    /// record/replay serializes into repro bundles.
+    pub(crate) recorder: Option<crate::replay::EventLog>,
 }
 
 impl Machine {
     /// Builds a machine from `config`.
     #[must_use]
     pub fn new(config: MachineConfig) -> Self {
+        let engine = if config.reference_datapath {
+            CryptoEngine::new_reference(config.clb_entries, config.seed)
+        } else {
+            CryptoEngine::new(config.clb_entries, config.seed)
+        };
         Self {
             hart: Hart::new(),
             mem: Memory::new(),
             icache: DecodeCache::new(),
-            engine: CryptoEngine::new(config.clb_entries, config.seed),
+            engine,
             cost: config.cost,
             stats: Stats::default(),
+            seed: config.seed,
             timer_interval: config.timer_interval,
             next_timer: config.timer_interval.unwrap_or(u64::MAX),
             trace: None,
             fault_plan: None,
             watchdog: None,
+            recorder: None,
         }
     }
 
@@ -234,6 +252,9 @@ impl Machine {
     /// a precise point in host-driven code rather than at an instruction
     /// count.
     pub fn inject_fault(&mut self, kind: FaultKind) -> FaultEffect {
+        if let Some(log) = self.recorder.as_mut() {
+            log.push(self.stats.instret, kind);
+        }
         let effect = self.apply_fault(kind);
         let entry = AppliedFault {
             instret: self.stats.instret,
@@ -273,6 +294,9 @@ impl Machine {
             return;
         };
         for kind in plan.take_due(self.stats.instret) {
+            if let Some(log) = self.recorder.as_mut() {
+                log.push(self.stats.instret, kind);
+            }
             let effect = self.apply_fault(kind);
             plan.record(AppliedFault {
                 instret: self.stats.instret,
@@ -482,6 +506,10 @@ impl Machine {
     ///
     /// Returns the exception cause on access faults.
     pub fn kernel_load_u64(&mut self, addr: u64) -> Result<u64, ExceptionCause> {
+        // Poll before the access so a plan-scheduled fault at this instret
+        // lands before the read, matching the inject_fault ordering a
+        // recorded run observed (required for bit-for-bit replay).
+        self.poll_faults();
         let value = self.mem.read_u64(addr)?;
         self.charge(InsnClass::Load, 1);
         Ok(value)
@@ -493,9 +521,33 @@ impl Machine {
     ///
     /// Returns the exception cause on access faults.
     pub fn kernel_store_u64(&mut self, addr: u64, value: u64) -> Result<(), ExceptionCause> {
+        self.poll_faults();
         self.mem.write_u64(addr, value)?;
         self.charge(InsnClass::Store, 1);
         Ok(())
+    }
+
+    // --- Recording ------------------------------------------------------
+
+    /// Starts appending every applied fault to a fresh [`EventLog`] stamped
+    /// with this machine's seed and timer configuration. Replaces any
+    /// in-progress recording.
+    pub fn start_recording(&mut self) {
+        self.recorder = Some(crate::replay::EventLog::new(
+            self.seed,
+            self.timer_interval,
+        ));
+    }
+
+    /// Stops recording and returns the accumulated log, if any.
+    pub fn stop_recording(&mut self) -> Option<crate::replay::EventLog> {
+        self.recorder.take()
+    }
+
+    /// The in-progress recording, if any.
+    #[must_use]
+    pub fn recording(&self) -> Option<&crate::replay::EventLog> {
+        self.recorder.as_ref()
     }
 }
 

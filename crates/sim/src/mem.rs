@@ -255,7 +255,41 @@ impl Memory {
     pub fn read_vec(&self, addr: u64, len: usize) -> Result<Vec<u8>, ExceptionCause> {
         (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
     }
+
+    /// Every mapped page as `(page_number, write_generation, contents)`,
+    /// sorted by page number (snapshot support — the sort makes the
+    /// serialized form canonical).
+    pub(crate) fn page_entries(&self) -> Vec<(u64, u64, &[u8; PAGE_SIZE as usize])> {
+        let mut pages: Vec<_> = self
+            .pages
+            .iter()
+            .map(|(&no, page)| (no, page.gen, &*page.data))
+            .collect();
+        pages.sort_unstable_by_key(|&(no, _, _)| no);
+        pages
+    }
+
+    /// Drops every mapped page (snapshot restore starts from empty).
+    pub(crate) fn clear(&mut self) {
+        self.pages.clear();
+    }
+
+    /// Installs a page wholesale, including its write generation (snapshot
+    /// restore — generations must survive the round-trip or the decode
+    /// cache's lazy invalidation would resurrect stale entries).
+    pub(crate) fn restore_page(&mut self, page_no: u64, gen: u64, data: &[u8; PAGE_SIZE as usize]) {
+        self.pages.insert(
+            page_no,
+            Page {
+                gen,
+                data: Box::new(*data),
+            },
+        );
+    }
 }
+
+/// Page size re-export for the snapshot module.
+pub(crate) const PAGE_BYTES: usize = PAGE_SIZE as usize;
 
 #[cfg(test)]
 mod tests {

@@ -98,6 +98,16 @@ impl Stats {
         self.class_counts[class as usize]
     }
 
+    /// The raw per-class retirement array (snapshot support).
+    pub(crate) fn class_counts(&self) -> [u64; InsnClass::ALL.len()] {
+        self.class_counts
+    }
+
+    /// Overwrites the per-class retirement array (snapshot restore).
+    pub(crate) fn set_class_counts(&mut self, counts: [u64; InsnClass::ALL.len()]) {
+        self.class_counts = counts;
+    }
+
     /// Fraction of retired instructions that were RegVault crypto ops.
     #[must_use]
     pub fn crypto_fraction(&self) -> f64 {

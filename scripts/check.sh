@@ -34,6 +34,47 @@ target/release/fault_campaign --seeds 4 --trials 10 --jobs 4 > /tmp/fault_campai
 target/release/fault_campaign --seeds 4 --trials 10 --jobs 1 > /tmp/fault_campaign_ser.txt
 diff /tmp/fault_campaign_par.txt /tmp/fault_campaign_ser.txt
 
+echo "==> panicking worker is quarantined, sweep continues"
+target/release/fault_campaign --seeds 2 --trials 2 --jobs 2 --panic-seed 43 \
+    > /tmp/fault_campaign_quar.txt
+grep -q "seed 43 QUARANTINED" /tmp/fault_campaign_quar.txt
+
+echo "==> record -> replay smoke (bit-for-bit bundle round trip)"
+cat > /tmp/regvault_replay_smoke.s <<'ASM'
+li   t1, 0x9000
+li   s0, 0x9000
+li   s2, 400
+loop:
+li   a0, 0xbeef
+creak a0, a0[3:0], t1
+sd   a0, 0(s0)
+ld   a1, 0(s0)
+crdak a1, a1, t1, [3:0]
+addi s2, s2, -1
+blt  zero, s2, loop
+ebreak
+ASM
+target/release/regvault-cli record /tmp/regvault_replay_smoke.s \
+    /tmp/regvault_smoke.bundle --steps 20000 --flip 50:0x9000:3
+target/release/regvault-cli replay /tmp/regvault_smoke.bundle \
+    | grep -q "bit-for-bit"
+
+echo "==> 10k-step lockstep divergence check (SWAR datapath vs reference)"
+target/release/regvault-cli divergence /tmp/regvault_replay_smoke.s 10000 256 \
+    | grep -q "lockstep OK"
+
+echo "==> campaign repro bundle: replay bit-for-bit, shrink to <= 10%"
+rm -rf /tmp/regvault_repro && mkdir -p /tmp/regvault_repro
+target/release/fault_campaign --trials 2 --config full --noise 20 \
+    --repro-dir /tmp/regvault_repro > /dev/null
+bundle=$(ls /tmp/regvault_repro/*.bundle | head -1)
+target/release/fault_campaign --replay "$bundle" | grep -q "bit-for-bit"
+shrink=$(target/release/fault_campaign --shrink "$bundle")
+echo "$shrink"
+pct=$(echo "$shrink" | sed -n 's/.*(\([0-9]*\)%).*/\1/p')
+test -n "$pct" && test "$pct" -le 10
+target/release/fault_campaign --replay "$bundle.min" | grep -q "bit-for-bit"
+
 echo "==> bench smoke (hotpath --quick: abbreviated, no JSON rewrite)"
 target/release/hotpath --quick
 
