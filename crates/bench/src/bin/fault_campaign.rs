@@ -1037,7 +1037,11 @@ fn main() -> ExitCode {
             let done = if resume && path.exists() {
                 match Checkpoint::load(&path, &params) {
                     Ok(done) => {
-                        println!("resuming: {} seed(s) restored from checkpoint", done.len());
+                        // Progress chatter goes to stderr: stdout is the
+                        // campaign report, diffed by the determinism gate
+                        // in scripts/check.sh, and a resumed run must
+                        // produce byte-identical output to a cold one.
+                        eprintln!("resuming: {} seed(s) restored from checkpoint", done.len());
                         done
                     }
                     Err(err) => {

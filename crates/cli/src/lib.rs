@@ -22,6 +22,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod observe;
+
+pub use observe::{cmd_metrics, cmd_profile, cmd_trace, ProfileTracer, TraceFormat, TraceSubject};
+
 use std::fmt::Write as _;
 
 use regvault_attacks::run_all;
@@ -105,7 +109,7 @@ pub fn cmd_run(source: &str, max_steps: u64) -> Result<String, CliError> {
 /// Boots the standard bare-metal machine every execution subcommand uses:
 /// keys `a`–`g` installed, program at `0x8000_0000`, a mapped stack region,
 /// kernel privilege. `reference` selects the reference datapath.
-fn boot_bare_machine(source: &str, reference: bool) -> Result<Machine, CliError> {
+pub(crate) fn boot_bare_machine(source: &str, reference: bool) -> Result<Machine, CliError> {
     let program = asm::assemble(source).map_err(|e| e.to_string())?;
     let mut machine = Machine::new(MachineConfig {
         reference_datapath: reference,
@@ -520,7 +524,153 @@ USAGE:
     regvault-cli replay  <bundle>          re-run a bundle, check bit-for-bit
     regvault-cli divergence <file.s> [steps] [interval]
                                            lockstep optimized vs reference datapath
+    regvault-cli trace   <file.s> [--json|--chrome] [--limit N]
+    regvault-cli trace   --workload <name> [--json|--chrome] [--limit N]
+                                           structured event trace (--chrome loads
+                                           in Perfetto / chrome://tracing)
+    regvault-cli metrics <file.s> [--json]
+    regvault-cli metrics --workload <name> [--json]
+                                           counters + histograms of a run
+    regvault-cli profile <file.s> [--json]
+    regvault-cli profile --workload <name> [--json]
+                                           per-function steps + crypto profile
 "
+}
+
+/// Reads an assembly source file with a friendly diagnostic.
+///
+/// # Errors
+///
+/// Describes the path on I/O failure.
+pub fn read_source(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+/// `record <file.s> <out.bundle> [--steps N] [--flip I:ADDR:BIT]...`
+fn dispatch_record(args: &[String]) -> Result<String, CliError> {
+    let [file, out_path, flags @ ..] = args else {
+        return Err(usage().to_owned());
+    };
+    let mut steps = 10_000_000u64;
+    let mut faults = Vec::new();
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("`{flag}` needs a value"))?;
+        match flag.as_str() {
+            "--steps" => {
+                steps = value
+                    .parse()
+                    .map_err(|_| format!("invalid step budget `{value}`"))?;
+            }
+            "--flip" => faults.push(parse_flip(value)?),
+            other => return Err(format!("unknown record flag `{other}`")),
+        }
+    }
+    let (report, bytes) = cmd_record(&read_source(file)?, steps, &faults)?;
+    std::fs::write(out_path, bytes)
+        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    Ok(format!("{report}bundle written to {out_path}\n"))
+}
+
+/// `trace|metrics|profile` argument parsing: a file or `--workload <name>`,
+/// then output flags.
+fn dispatch_observe(cmd: &str, args: &[String]) -> Result<String, CliError> {
+    let (subject, flags) = match args {
+        [flag, name, rest @ ..] if flag == "--workload" => {
+            (TraceSubject::Workload(name.clone()), rest)
+        }
+        [file, rest @ ..] => (TraceSubject::Bare(read_source(file)?), rest),
+        [] => return Err(usage().to_owned()),
+    };
+    let mut format = TraceFormat::Human;
+    let mut json = false;
+    let mut limit = 65_536usize;
+    let mut it = flags.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => {
+                format = TraceFormat::Json;
+                json = true;
+            }
+            "--chrome" => format = TraceFormat::Chrome,
+            "--limit" => {
+                let value = it.next().ok_or("`--limit` needs a value")?;
+                limit = value
+                    .parse()
+                    .map_err(|_| format!("invalid trace limit `{value}`"))?;
+            }
+            other => return Err(format!("unknown {cmd} flag `{other}`")),
+        }
+    }
+    match cmd {
+        "trace" => cmd_trace(&subject, format, limit),
+        "metrics" => cmd_metrics(&subject, json),
+        "profile" => cmd_profile(&subject, json),
+        _ => unreachable!("dispatch_observe called for {cmd}"),
+    }
+}
+
+/// Full argument dispatch for the `regvault-cli` binary: `Ok` text goes to
+/// stdout (exit 0), `Err` text to stderr (exit 1).
+///
+/// # Errors
+///
+/// Every subcommand's failure mode, plus the usage text for unknown
+/// commands or malformed argument lists.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args {
+        [cmd, file] if cmd == "asm" => cmd_asm(&read_source(file)?),
+        [cmd, file] if cmd == "disasm" => cmd_disasm(&read_source(file)?),
+        [cmd, file] if cmd == "run" => cmd_run(&read_source(file)?, 10_000_000),
+        [cmd, file, steps] if cmd == "run" => {
+            let steps = steps
+                .parse()
+                .map_err(|_| format!("invalid step budget `{steps}`"))?;
+            cmd_run(&read_source(file)?, steps)
+        }
+        [cmd] if cmd == "pentest" => cmd_pentest("full"),
+        [cmd, config] if cmd == "pentest" => cmd_pentest(config),
+        [cmd] if cmd == "hwcost" => cmd_hwcost("8"),
+        [cmd, entries] if cmd == "hwcost" => cmd_hwcost(entries),
+        [cmd, flag] if cmd == "verify" && flag == "--workloads" => cmd_verify_workloads(false),
+        [cmd, flag, json] if cmd == "verify" && flag == "--workloads" && json == "--json" => {
+            cmd_verify_workloads(true)
+        }
+        [cmd, file] if cmd == "verify" => cmd_verify_source(&read_source(file)?, false),
+        [cmd, file, json] if cmd == "verify" && json == "--json" => {
+            cmd_verify_source(&read_source(file)?, true)
+        }
+        [cmd, rest @ ..] if cmd == "record" => dispatch_record(rest),
+        [cmd, bundle] if cmd == "replay" => {
+            let bytes = std::fs::read(bundle)
+                .map_err(|e| format!("cannot read `{bundle}`: {e}"))?;
+            cmd_replay(&bytes)
+        }
+        [cmd, file] if cmd == "divergence" => {
+            cmd_divergence(&read_source(file)?, 1_000_000, 256)
+        }
+        [cmd, file, steps] if cmd == "divergence" => {
+            let steps = steps
+                .parse()
+                .map_err(|_| format!("invalid step budget `{steps}`"))?;
+            cmd_divergence(&read_source(file)?, steps, 256)
+        }
+        [cmd, file, steps, interval] if cmd == "divergence" => {
+            let steps = steps
+                .parse()
+                .map_err(|_| format!("invalid step budget `{steps}`"))?;
+            let interval = interval
+                .parse()
+                .map_err(|_| format!("invalid check interval `{interval}`"))?;
+            cmd_divergence(&read_source(file)?, steps, interval)
+        }
+        [cmd, rest @ ..] if cmd == "trace" || cmd == "metrics" || cmd == "profile" => {
+            dispatch_observe(cmd, rest)
+        }
+        _ => Err(usage().to_owned()),
+    }
 }
 
 #[cfg(test)]

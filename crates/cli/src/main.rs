@@ -1,98 +1,10 @@
 //! The `regvault-cli` binary. All logic lives in [`regvault_cli`].
 
-use std::fs;
 use std::process::ExitCode;
-
-use regvault_cli::{
-    cmd_asm, cmd_disasm, cmd_divergence, cmd_hwcost, cmd_pentest, cmd_record, cmd_replay,
-    cmd_run, cmd_verify_source, cmd_verify_workloads, parse_flip, usage,
-};
-
-fn read_source(path: &str) -> Result<String, String> {
-    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
-}
-
-/// `record <file.s> <out.bundle> [--steps N] [--flip I:ADDR:BIT]...`
-fn dispatch_record(args: &[String]) -> Result<String, String> {
-    let [file, out_path, flags @ ..] = args else {
-        return Err(usage().to_owned());
-    };
-    let mut steps = 10_000_000u64;
-    let mut faults = Vec::new();
-    let mut it = flags.iter();
-    while let Some(flag) = it.next() {
-        let value = it
-            .next()
-            .ok_or_else(|| format!("`{flag}` needs a value"))?;
-        match flag.as_str() {
-            "--steps" => {
-                steps = value
-                    .parse()
-                    .map_err(|_| format!("invalid step budget `{value}`"))?;
-            }
-            "--flip" => faults.push(parse_flip(value)?),
-            other => return Err(format!("unknown record flag `{other}`")),
-        }
-    }
-    let (report, bytes) = cmd_record(&read_source(file)?, steps, &faults)?;
-    fs::write(out_path, bytes).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
-    Ok(format!("{report}bundle written to {out_path}\n"))
-}
-
-fn dispatch(args: &[String]) -> Result<String, String> {
-    match args {
-        [cmd, file] if cmd == "asm" => cmd_asm(&read_source(file)?),
-        [cmd, file] if cmd == "disasm" => cmd_disasm(&read_source(file)?),
-        [cmd, file] if cmd == "run" => cmd_run(&read_source(file)?, 10_000_000),
-        [cmd, file, steps] if cmd == "run" => {
-            let steps = steps
-                .parse()
-                .map_err(|_| format!("invalid step budget `{steps}`"))?;
-            cmd_run(&read_source(file)?, steps)
-        }
-        [cmd] if cmd == "pentest" => cmd_pentest("full"),
-        [cmd, config] if cmd == "pentest" => cmd_pentest(config),
-        [cmd] if cmd == "hwcost" => cmd_hwcost("8"),
-        [cmd, entries] if cmd == "hwcost" => cmd_hwcost(entries),
-        [cmd, flag] if cmd == "verify" && flag == "--workloads" => cmd_verify_workloads(false),
-        [cmd, flag, json] if cmd == "verify" && flag == "--workloads" && json == "--json" => {
-            cmd_verify_workloads(true)
-        }
-        [cmd, file] if cmd == "verify" => cmd_verify_source(&read_source(file)?, false),
-        [cmd, file, json] if cmd == "verify" && json == "--json" => {
-            cmd_verify_source(&read_source(file)?, true)
-        }
-        [cmd, rest @ ..] if cmd == "record" => dispatch_record(rest),
-        [cmd, bundle] if cmd == "replay" => {
-            let bytes =
-                fs::read(bundle).map_err(|e| format!("cannot read `{bundle}`: {e}"))?;
-            cmd_replay(&bytes)
-        }
-        [cmd, file] if cmd == "divergence" => {
-            cmd_divergence(&read_source(file)?, 1_000_000, 256)
-        }
-        [cmd, file, steps] if cmd == "divergence" => {
-            let steps = steps
-                .parse()
-                .map_err(|_| format!("invalid step budget `{steps}`"))?;
-            cmd_divergence(&read_source(file)?, steps, 256)
-        }
-        [cmd, file, steps, interval] if cmd == "divergence" => {
-            let steps = steps
-                .parse()
-                .map_err(|_| format!("invalid step budget `{steps}`"))?;
-            let interval = interval
-                .parse()
-                .map_err(|_| format!("invalid check interval `{interval}`"))?;
-            cmd_divergence(&read_source(file)?, steps, interval)
-        }
-        _ => Err(usage().to_owned()),
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match dispatch(&args) {
+    match regvault_cli::run(&args) {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS

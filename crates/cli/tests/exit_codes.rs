@@ -1,0 +1,142 @@
+//! Exit-code contract of the `regvault-cli` binary.
+//!
+//! CI pipelines (and `scripts/check.sh`) rely on the process exit status:
+//! findings, divergences and malformed inputs must all be nonzero, clean
+//! runs zero. These tests shell out to the real binary so the full
+//! main() → run() → subcommand path is covered.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_regvault-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn scratch(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "regvault_cli_exit_codes_{}_{name}",
+        std::process::id()
+    ));
+    std::fs::write(&path, contents).expect("write scratch file");
+    path
+}
+
+const CLEAN_PROGRAM: &str = "main:\n  li a0, 1\n  ebreak\n";
+
+/// A decrypted value spilled to the stack unencrypted — a verifier finding.
+const SPILL_PROGRAM: &str = "main:
+  addi sp, sp, -16
+  crdak a0, a0, t1, [7:0]
+  sd a0, 0(sp)
+  ebreak
+";
+
+const CRYPTO_PROGRAM: &str = "main:
+  li   t1, 0x9000
+  li   a0, 0xbeef
+  creak a0, a0[3:0], t1
+  crdak a0, a0, t1, [3:0]
+  ebreak
+";
+
+#[test]
+fn verify_is_zero_on_clean_and_nonzero_on_findings() {
+    let clean = scratch("clean.s", CLEAN_PROGRAM);
+    let out = cli(&["verify", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    let dirty = scratch("spill.s", SPILL_PROGRAM);
+    let out = cli(&["verify", dirty.to_str().unwrap()]);
+    assert!(!out.status.success(), "findings must exit nonzero: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("plain-spill"), "{stderr}");
+}
+
+#[test]
+fn verify_rejects_malformed_assembly() {
+    let bad = scratch("bad.s", "frobnicate the bits\n");
+    let out = cli(&["verify", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "{out:?}");
+}
+
+#[test]
+fn record_then_replay_round_trips_and_corruption_fails() {
+    let program = scratch("record.s", CRYPTO_PROGRAM);
+    let bundle = std::env::temp_dir().join(format!(
+        "regvault_cli_exit_codes_{}.bundle",
+        std::process::id()
+    ));
+    let out = cli(&[
+        "record",
+        program.to_str().unwrap(),
+        bundle.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = cli(&["replay", bundle.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("replay OK"));
+
+    // Flip one byte: the bundle checksum must reject it, nonzero.
+    let mut bytes = std::fs::read(&bundle).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 1;
+    std::fs::write(&bundle, &bytes).unwrap();
+    let out = cli(&["replay", bundle.to_str().unwrap()]);
+    assert!(!out.status.success(), "corrupt bundle must fail: {out:?}");
+}
+
+#[test]
+fn replay_rejects_garbage_input() {
+    let garbage = scratch("garbage.bundle", "this is not a bundle");
+    let out = cli(&["replay", garbage.to_str().unwrap()]);
+    assert!(!out.status.success(), "{out:?}");
+}
+
+#[test]
+fn trace_emits_chrome_json_and_rejects_malformed_input() {
+    let program = scratch("trace.s", CRYPTO_PROGRAM);
+    let out = cli(&["trace", program.to_str().unwrap(), "--chrome"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"traceEvents\":["), "{stdout}");
+    assert!(stdout.contains("\"name\":\"qarma\""), "{stdout}");
+
+    let bad = scratch("trace_bad.s", "not assembly at all\n");
+    let out = cli(&["trace", bad.to_str().unwrap()]);
+    assert!(!out.status.success(), "malformed input must fail: {out:?}");
+
+    let out = cli(&["trace", "--workload", "no-such-workload"]);
+    assert!(!out.status.success(), "unknown workload must fail: {out:?}");
+}
+
+#[test]
+fn metrics_json_reports_clb_counters() {
+    let program = scratch("metrics.s", CRYPTO_PROGRAM);
+    let out = cli(&["metrics", program.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"clb_hits\":"), "{stdout}");
+    assert!(stdout.contains("\"qarma_ops_ksel_a\":"), "{stdout}");
+    assert!(stdout.contains("\"clb_hit_rate\":"), "{stdout}");
+}
+
+#[test]
+fn profile_attributes_by_function() {
+    let program = scratch("profile.s", CRYPTO_PROGRAM);
+    let out = cli(&["profile", program.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"name\":\"main\""), "{stdout}");
+    assert!(stdout.contains("\"crypto_ops\":2"), "{stdout}");
+}
+
+#[test]
+fn unknown_commands_exit_nonzero_with_usage() {
+    let out = cli(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -37,6 +37,13 @@
 
 pub mod hwcost;
 
+/// Typed counter/histogram metrics registry (re-export of
+/// [`regvault_metrics`]): named `Counter`/`Histogram` handles with a
+/// lock-free hot path, threaded through the machine simulator and the
+/// kernel scheduler. See `regvault_sim::Machine::metrics` for the live
+/// registry of a running machine.
+pub use regvault_metrics as metrics;
+
 /// One-stop imports for examples and benches.
 pub mod prelude {
     pub use crate::hwcost;
@@ -44,9 +51,11 @@ pub mod prelude {
     pub use regvault_compiler::prelude::*;
     pub use regvault_isa::{asm, ByteRange, Insn, KeyReg, Reg};
     pub use regvault_kernel::{Kernel, KernelConfig, KernelError, ProtectionConfig, Sysno};
+    pub use regvault_metrics::{Counter, Histogram, MetricsRegistry};
     pub use regvault_qarma::{Key, Qarma64, Sbox};
     pub use regvault_sim::{
-        Clb, ClbStats, CostModel, CryptoEngine, Event, Machine, MachineConfig, Stats,
+        Clb, ClbStats, CostModel, CryptoEngine, Event, Machine, MachineConfig, RingTracer,
+        Stats, TraceEvent, TraceRecord, Tracer, TrapCause,
     };
     pub use regvault_workloads::{
         lmbench::Lmbench, measure, spec::Spec, sweep, unixbench::UnixBench, Measurement,

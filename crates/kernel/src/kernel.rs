@@ -2,7 +2,8 @@
 
 use rand::{Rng, SeedableRng};
 use regvault_isa::{ByteRange, KeyReg, Reg};
-use regvault_sim::{Event, InsnClass, Machine, Privilege};
+use regvault_metrics::{Counter, Histogram, MetricsRegistry};
+use regvault_sim::{Event, InsnClass, Machine, Privilege, TraceEvent, TrapCause};
 
 use crate::config::{KernelConfig, ProtectionConfig};
 use crate::cred::{CredField, CredStore};
@@ -36,6 +37,32 @@ pub struct RecoveryStats {
 
 /// Synthetic return-address region in kernel text for the call-site model.
 const KCALL_RA_BASE: u64 = KERNEL_TEXT_BASE + 0x10_0000;
+
+/// Pre-registered scheduler/syscall metric handles, registered in the
+/// machine's [`MetricsRegistry`] at boot so kernel numbers export alongside
+/// the simulator's CLB/QARMA counters.
+#[derive(Debug, Clone)]
+struct SchedMetrics {
+    context_switches: Counter,
+    preemptions: Counter,
+    syscalls: Counter,
+    quarantines: Counter,
+    syscall_cycles: Histogram,
+    timeslice_cycles: Histogram,
+}
+
+impl SchedMetrics {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        Self {
+            context_switches: metrics.counter("sched_context_switches"),
+            preemptions: metrics.counter("sched_preemptions"),
+            syscalls: metrics.counter("sched_syscalls"),
+            quarantines: metrics.counter("sched_quarantines"),
+            syscall_cycles: metrics.histogram("syscall_cycles"),
+            timeslice_cycles: metrics.histogram("timeslice_cycles"),
+        }
+    }
+}
 
 /// The miniature RegVault-protected kernel.
 ///
@@ -74,6 +101,9 @@ pub struct Kernel {
     signal_return_pc: Vec<Option<u64>>,
     next_user_stack: u64,
     recovery: RecoveryStats,
+    sched: SchedMetrics,
+    /// Cycle stamp of the last thread switch (timeslice histogram).
+    last_switch_cycle: u64,
 }
 
 impl Kernel {
@@ -88,6 +118,7 @@ impl Kernel {
         let mut machine_config = config.machine;
         machine_config.timer_interval = config.timer_interval;
         let mut machine = Machine::new(machine_config);
+        let sched = SchedMetrics::register(machine.metrics_mut());
         let cfg = config.protection;
         let mut rng = rand::rngs::StdRng::seed_from_u64(machine_config.seed ^ 0xB007);
 
@@ -148,6 +179,8 @@ impl Kernel {
             signal_return_pc: vec![None; MAX_THREADS as usize],
             next_user_stack: USER_STACK_TOP,
             recovery: RecoveryStats::default(),
+            sched,
+            last_switch_cycle: 0,
         })
     }
 
@@ -293,6 +326,11 @@ impl Kernel {
     /// detected (or crashed on) tampering.
     pub fn dispatch(&mut self, num: u64, args: [u64; 3]) -> Result<u64, KernelError> {
         let sysno = Sysno::from_u64(num).ok_or(KernelError::BadSyscall(num))?;
+        let entry_cycle = self.machine.stats().cycles;
+        self.machine.metrics_mut().inc(self.sched.syscalls);
+        self.machine.trace_emit(TraceEvent::TrapEnter {
+            cause: TrapCause::Syscall(num),
+        });
         // Trap entry: privilege switch + pt_regs save.
         self.machine.charge(InsnClass::Alu, 35);
         self.machine.charge(InsnClass::Store, 31);
@@ -341,6 +379,13 @@ impl Kernel {
         // Trap exit: pt_regs restore + return to user.
         self.machine.charge(InsnClass::Load, 31);
         self.machine.charge(InsnClass::Alu, 22);
+        let elapsed = self.machine.stats().cycles - entry_cycle;
+        self.machine
+            .metrics_mut()
+            .observe(self.sched.syscall_cycles, elapsed);
+        self.machine.trace_emit(TraceEvent::TrapExit {
+            cause: TrapCause::Syscall(num),
+        });
         result
     }
 
@@ -548,6 +593,14 @@ impl Kernel {
             let pc = self.saved_pc[to as usize];
             self.machine.hart_mut().set_pc(pc);
             self.ksp = crate::layout::kernel_stack_top(to) - crate::trap::FRAME_SIZE - 64;
+            let now = self.machine.stats().cycles;
+            let slice = now - self.last_switch_cycle;
+            self.last_switch_cycle = now;
+            self.machine.metrics_mut().inc(self.sched.context_switches);
+            self.machine
+                .metrics_mut()
+                .observe(self.sched.timeslice_cycles, slice);
+            self.machine.trace_emit(TraceEvent::ContextSwitch { from, to });
         }
         Ok(())
     }
@@ -588,6 +641,7 @@ impl Kernel {
             let faulted = self.threads.current;
             self.threads.quarantine(faulted);
             self.recovery.quarantined += 1;
+            self.machine.metrics_mut().inc(self.sched.quarantines);
             self.signal_return_pc[faulted as usize] = None;
             let next = self.threads.next_runnable();
             if next == faulted || self.threads.state(next) != ThreadState::Runnable {
@@ -660,10 +714,18 @@ impl Kernel {
     /// [`KernelError::IntegrityViolation`] if a saved context was tampered
     /// with (attack ❼ of Table 4).
     pub fn handle_timer(&mut self) -> Result<(), KernelError> {
+        self.machine
+            .trace_emit(TraceEvent::TrapEnter { cause: TrapCause::Timer });
         self.machine.charge(InsnClass::Alu, 40); // trap entry/exit
         self.machine.charge(InsnClass::Store, 6);
         let next = self.threads.next_runnable();
-        self.switch_to(next)
+        if next != self.threads.current {
+            self.machine.metrics_mut().inc(self.sched.preemptions);
+        }
+        let result = self.switch_to(next);
+        self.machine
+            .trace_emit(TraceEvent::TrapExit { cause: TrapCause::Timer });
+        result
     }
 
     // --- Convenience syscall wrappers (used by tests and examples) ------
@@ -799,6 +861,9 @@ impl Kernel {
                 Event::Exception { cause, tval: _ } => {
                     let pc = self.machine.hart().pc();
                     self.machine.hart_mut().set_privilege(Privilege::Kernel);
+                    self.machine.trace_emit(TraceEvent::TrapEnter {
+                        cause: TrapCause::Exception(cause),
+                    });
                     let recovered = self.recover_current_thread();
                     self.machine.hart_mut().set_privilege(Privilege::User);
                     if !recovered {

@@ -43,6 +43,7 @@ pub fn save_context(
 ) -> Result<(), KernelError> {
     let regs = machine.hart().regs();
     if cfg.cip {
+        machine.trace_emit(regvault_sim::TraceEvent::CipOpen { frame });
         let mut tweak = frame;
         for i in 0..SAVED_REGS {
             let value = regs[i + 1]; // skip x0
@@ -99,6 +100,7 @@ pub fn restore_context(
                 what: "interrupt context",
             });
         }
+        machine.trace_emit(regvault_sim::TraceEvent::CipClose { frame });
     } else {
         for (i, slot) in regs.iter_mut().enumerate() {
             *slot = machine.kernel_load_u64(frame + 8 * i as u64)?;

@@ -42,13 +42,7 @@ pub(crate) fn step(machine: &mut Machine) -> Option<Event> {
         },
     };
 
-    if let Some(trace) = machine.trace.as_mut() {
-        trace.record(crate::trace::TraceEntry {
-            pc,
-            insn,
-            cycle: machine.stats.cycles,
-        });
-    }
+    machine.emit_trace(|| crate::trace::TraceEvent::InsnRetire { pc, insn });
 
     execute(machine, insn, pc)
 }
@@ -264,7 +258,7 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
             };
             let tweak = machine.hart.reg(rt);
             let value = machine.hart.reg(rs);
-            let result = machine.engine.encrypt(key, tweak, value, range);
+            let result = machine.engine_encrypt(key, tweak, value, range);
             machine.hart.set_reg(rd, result.value);
             machine.hart.set_pc(next_pc);
             machine.stats.encrypts += 1;
@@ -287,7 +281,7 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
             let tweak = machine.hart.reg(rt);
             let ciphertext = machine.hart.reg(rs);
             machine.stats.decrypts += 1;
-            match machine.engine.decrypt(key, tweak, ciphertext, range) {
+            match machine.engine_decrypt(key, tweak, ciphertext, range) {
                 Ok(result) => {
                     machine.hart.set_reg(rd, result.value);
                     machine.hart.set_pc(next_pc);
@@ -331,7 +325,7 @@ fn csr_access(
         if key.is_master() || !pure_write || !wants_write {
             return Some(raise(machine, ExceptionCause::IllegalInstruction, 0));
         }
-        machine.engine.write_key_half(key, high_half, operand);
+        machine.write_key_half_traced(key, high_half, operand);
         machine.hart.set_pc(next_pc);
         retire(machine, InsnClass::Csr, false, false);
         return None;

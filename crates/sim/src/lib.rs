@@ -74,7 +74,7 @@ mod mem;
 mod replay;
 mod snapshot;
 mod stats;
-mod trace;
+pub mod trace;
 
 pub use clb::{Clb, ClbStats};
 pub use cost::CostModel;
@@ -88,4 +88,4 @@ pub use mem::Memory;
 pub use replay::{shrink_events, EventLog, LoggedEvent, ReproBundle};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotKind};
 pub use stats::{InsnClass, Stats};
-pub use trace::{TraceBuffer, TraceEntry};
+pub use trace::{NullTracer, RingTracer, TraceEvent, TraceRecord, Tracer, TrapCause};

@@ -1,11 +1,12 @@
 //! The complete simulated machine: hart + memory + crypto-engine + clock.
 
 use regvault_isa::{ByteRange, KeyReg};
+use regvault_metrics::{Counter, MetricsRegistry};
 use regvault_qarma::Key;
 
 use crate::{
     cost::CostModel,
-    engine::{CryptoEngine, Watchdog},
+    engine::{CryptoEngine, CryptoResult, IntegrityError, Watchdog},
     error::{ExceptionCause, SimError},
     exec,
     fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan},
@@ -13,6 +14,7 @@ use crate::{
     icache::DecodeCache,
     mem::Memory,
     stats::{InsnClass, Stats},
+    trace::{RingTracer, TraceEvent, TraceRecord, Tracer},
 };
 
 /// Construction parameters for a [`Machine`].
@@ -97,13 +99,41 @@ pub struct Machine {
     pub(crate) seed: u64,
     pub(crate) timer_interval: Option<u64>,
     pub(crate) next_timer: u64,
-    pub(crate) trace: Option<crate::trace::TraceBuffer>,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) hot: SimCounters,
     pub(crate) fault_plan: Option<FaultPlan>,
     pub(crate) watchdog: Option<Watchdog>,
     /// When recording, every applied fault is also appended here with its
     /// retired-instruction timestamp — the nondeterministic-input log that
     /// record/replay serializes into repro bundles.
     pub(crate) recorder: Option<crate::replay::EventLog>,
+}
+
+/// Pre-registered metric handles for the simulator's hot paths. Updating a
+/// metric through a handle is one indexed add — no name lookup ever happens
+/// while the machine runs.
+#[derive(Debug, Clone)]
+pub(crate) struct SimCounters {
+    pub(crate) clb_hits: Counter,
+    pub(crate) clb_misses: Counter,
+    pub(crate) key_invalidations: Counter,
+    /// QARMA block computations by key selector (`m`, `a`..`g`).
+    pub(crate) qarma_ops: [Counter; 8],
+}
+
+impl SimCounters {
+    fn register(metrics: &mut MetricsRegistry) -> Self {
+        Self {
+            clb_hits: metrics.counter("clb_hits"),
+            clb_misses: metrics.counter("clb_misses"),
+            key_invalidations: metrics.counter("key_invalidations"),
+            qarma_ops: std::array::from_fn(|ksel| {
+                let key = KeyReg::from_ksel(ksel as u8).expect("ksel < 8");
+                metrics.counter(&format!("qarma_ops_ksel_{}", key.name()))
+            }),
+        }
+    }
 }
 
 impl Machine {
@@ -115,6 +145,8 @@ impl Machine {
         } else {
             CryptoEngine::new(config.clb_entries, config.seed)
         };
+        let mut metrics = MetricsRegistry::new();
+        let hot = SimCounters::register(&mut metrics);
         Self {
             hart: Hart::new(),
             mem: Memory::new(),
@@ -125,28 +157,131 @@ impl Machine {
             seed: config.seed,
             timer_interval: config.timer_interval,
             next_timer: config.timer_interval.unwrap_or(u64::MAX),
-            trace: None,
+            tracer: None,
+            metrics,
+            hot,
             fault_plan: None,
             watchdog: None,
             recorder: None,
         }
     }
 
-    /// Enables execution tracing with a ring buffer of `capacity` entries
-    /// (pass through [`Machine::trace`] to inspect). Tracing is off by
-    /// default.
+    // --- Tracing --------------------------------------------------------
+
+    /// Enables structured event tracing into a [`RingTracer`] holding the
+    /// last `capacity` records (inspect through [`Machine::ring_trace`]).
+    /// Tracing is off by default and costs one not-taken branch per
+    /// emission site while off.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(crate::trace::TraceBuffer::new(capacity));
+        self.tracer = Some(Box::new(RingTracer::new(capacity)));
     }
 
-    /// The trace buffer, if tracing was enabled.
+    /// Installs an arbitrary [`Tracer`] sink (replacing any existing one).
+    pub fn install_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes and returns the installed tracer, if any. Downcast through
+    /// [`Tracer::into_any`] to recover the concrete sink.
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// `true` while a tracer is installed.
     #[must_use]
-    pub fn trace(&self) -> Option<&crate::trace::TraceBuffer> {
-        self.trace.as_ref()
+    pub fn tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The ring buffer installed by [`Machine::enable_trace`], if that is
+    /// the active tracer.
+    #[must_use]
+    pub fn ring_trace(&self) -> Option<&RingTracer> {
+        self.tracer
+            .as_deref()
+            .and_then(|t| t.as_any().downcast_ref::<RingTracer>())
+    }
+
+    /// Emits one event to the installed tracer, stamped with the current
+    /// cycle/instret clock. No-op (one branch) when tracing is off. This is
+    /// the embedder hook: the kernel reports trap entry/exit, CIP chain
+    /// activity and context switches through it.
+    #[inline]
+    pub fn trace_emit(&mut self, event: TraceEvent) {
+        if self.tracer.is_some() {
+            let record = TraceRecord {
+                cycle: self.stats.cycles,
+                instret: self.stats.instret,
+                event,
+            };
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(record);
+            }
+        }
+    }
+
+    /// Hot-path emission: the event value is only constructed when a tracer
+    /// is installed, so the off path is a single branch.
+    #[inline]
+    pub(crate) fn emit_trace(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.tracer.is_some() {
+            let record = TraceRecord {
+                cycle: self.stats.cycles,
+                instret: self.stats.instret,
+                event: make(),
+            };
+            if let Some(tracer) = self.tracer.as_mut() {
+                tracer.emit(record);
+            }
+        }
+    }
+
+    // --- Metrics --------------------------------------------------------
+
+    /// The live metrics registry. Hot counters (`clb_hits`, `clb_misses`,
+    /// per-ksel `qarma_ops_ksel_*`, `key_invalidations`) are maintained by
+    /// the machine; embedders (the kernel scheduler) register and update
+    /// their own metrics through [`Machine::metrics_mut`].
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable registry access for embedders registering their own metrics.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// A point-in-time export of every metric: the live registry plus
+    /// counters derived from [`Stats`] and the CLB (`cycles`, `instret`,
+    /// `crypto_encrypts`, `clb_evictions`, ...), so one snapshot carries
+    /// the complete picture.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut out = self.metrics.clone();
+        let clb = self.engine.clb().stats();
+        for (name, value) in [
+            ("cycles", self.stats.cycles),
+            ("instret", self.stats.instret),
+            ("crypto_encrypts", self.stats.encrypts),
+            ("crypto_decrypts", self.stats.decrypts),
+            ("integrity_failures", self.stats.integrity_failures),
+            ("exceptions", self.stats.exceptions),
+            ("timer_interrupts", self.stats.timer_interrupts),
+            ("decode_hits", self.stats.decode_hits),
+            ("decode_misses", self.stats.decode_misses),
+            ("clb_evictions", clb.evictions),
+            ("clb_invalidations", clb.invalidations),
+            ("clb_occupancy", self.engine.clb().occupancy() as u64),
+        ] {
+            let handle = out.counter(name);
+            out.add(handle, value);
+        }
+        out
     }
 
     /// The hart (register/PC/privilege state).
@@ -189,10 +324,12 @@ impl Machine {
         &self.stats
     }
 
-    /// Resets cycle/instruction statistics (memory and registers are kept).
+    /// Resets cycle/instruction statistics and metric values (memory,
+    /// registers and metric handles are kept).
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();
         self.engine.clb_mut().reset_stats();
+        self.metrics.reset_values();
         self.next_timer = self.timer_interval.unwrap_or(u64::MAX);
     }
 
@@ -220,9 +357,111 @@ impl Machine {
             ));
         }
         self.engine.write_key(key, Key::new(w0, k0));
+        self.metrics.inc(self.hot.key_invalidations);
+        self.emit_trace(|| TraceEvent::ClbInvalidate { ksel: key.ksel() });
         self.stats.retire(InsnClass::Csr, self.cost.alu);
         self.stats.retire(InsnClass::Csr, self.cost.alu);
         Ok(())
+    }
+
+    /// Writes one half of a key register through the engine, counting and
+    /// tracing the CLB invalidation it triggers (the guest `csrw` datapath;
+    /// privilege is checked by the executor).
+    pub(crate) fn write_key_half_traced(&mut self, key: KeyReg, high_half: bool, value: u64) {
+        self.engine.write_key_half(key, high_half, value);
+        self.metrics.inc(self.hot.key_invalidations);
+        self.emit_trace(|| TraceEvent::ClbInvalidate { ksel: key.ksel() });
+    }
+
+    /// Central encrypt datapath: runs the engine, maintains the hot
+    /// counters, and emits CLB/QARMA trace events when tracing is on. Both
+    /// the guest `cre` executor and [`Machine::kernel_encrypt`] route
+    /// through here so metrics and traces agree with [`ClbStats`].
+    #[inline]
+    pub(crate) fn engine_encrypt(
+        &mut self,
+        key: KeyReg,
+        tweak: u64,
+        value: u64,
+        range: ByteRange,
+    ) -> CryptoResult {
+        let evictions_before = if self.tracer.is_some() {
+            self.engine.clb().stats().evictions
+        } else {
+            0
+        };
+        let result = self.engine.encrypt(key, tweak, value, range);
+        let ksel = key.ksel();
+        if result.clb_hit {
+            self.metrics.inc(self.hot.clb_hits);
+            self.emit_trace(|| TraceEvent::ClbHit {
+                ksel,
+                decrypt: false,
+            });
+        } else {
+            self.metrics.inc(self.hot.clb_misses);
+            self.metrics.inc(self.hot.qarma_ops[ksel as usize]);
+            if self.tracer.is_some() {
+                self.trace_emit(TraceEvent::ClbMiss {
+                    ksel,
+                    decrypt: false,
+                });
+                self.trace_emit(TraceEvent::QarmaOp {
+                    ksel,
+                    tweak,
+                    decrypt: false,
+                });
+                if self.engine.clb().stats().evictions > evictions_before {
+                    self.trace_emit(TraceEvent::ClbEvict { ksel });
+                }
+            }
+        }
+        result
+    }
+
+    /// Central decrypt datapath; see [`Machine::engine_encrypt`]. The error
+    /// path carries no hit flag, so hit/miss classification falls back to
+    /// the CLB hit-counter delta.
+    #[inline]
+    pub(crate) fn engine_decrypt(
+        &mut self,
+        key: KeyReg,
+        tweak: u64,
+        ciphertext: u64,
+        range: ByteRange,
+    ) -> Result<CryptoResult, IntegrityError> {
+        let before = self.engine.clb().stats();
+        let outcome = self.engine.decrypt(key, tweak, ciphertext, range);
+        let clb_hit = match &outcome {
+            Ok(result) => result.clb_hit,
+            Err(_) => self.engine.clb().stats().hits > before.hits,
+        };
+        let ksel = key.ksel();
+        if clb_hit {
+            self.metrics.inc(self.hot.clb_hits);
+            self.emit_trace(|| TraceEvent::ClbHit {
+                ksel,
+                decrypt: true,
+            });
+        } else {
+            self.metrics.inc(self.hot.clb_misses);
+            self.metrics.inc(self.hot.qarma_ops[ksel as usize]);
+            if self.tracer.is_some() {
+                self.trace_emit(TraceEvent::ClbMiss {
+                    ksel,
+                    decrypt: true,
+                });
+                self.trace_emit(TraceEvent::QarmaOp {
+                    ksel,
+                    tweak,
+                    decrypt: true,
+                });
+                if self.engine.clb().stats().evictions > before.evictions {
+                    self.trace_emit(TraceEvent::ClbEvict { ksel });
+                }
+            }
+        }
+        outcome
     }
 
     // --- Fault injection and watchdog ----------------------------------
@@ -256,6 +495,7 @@ impl Machine {
             log.push(self.stats.instret, kind);
         }
         let effect = self.apply_fault(kind);
+        self.emit_trace(|| TraceEvent::Fault { kind, effect });
         let entry = AppliedFault {
             instret: self.stats.instret,
             kind,
@@ -298,6 +538,7 @@ impl Machine {
                 log.push(self.stats.instret, kind);
             }
             let effect = self.apply_fault(kind);
+            self.emit_trace(|| TraceEvent::Fault { kind, effect });
             plan.record(AppliedFault {
                 instret: self.stats.instret,
                 kind,
@@ -459,7 +700,7 @@ impl Machine {
     /// Kernel-mode `cre`: encrypt, charging crypto cycles.
     pub fn kernel_encrypt(&mut self, key: KeyReg, tweak: u64, value: u64, range: ByteRange) -> u64 {
         self.poll_faults();
-        let result = self.engine.encrypt(key, tweak, value, range);
+        let result = self.engine_encrypt(key, tweak, value, range);
         let cycles = self.cost.cycles(InsnClass::Crypto, false, result.clb_hit);
         self.stats.retire(InsnClass::Crypto, cycles);
         self.stats.encrypts += 1;
@@ -483,7 +724,7 @@ impl Machine {
         range: ByteRange,
     ) -> Result<u64, u64> {
         self.poll_faults();
-        let outcome = self.engine.decrypt(key, tweak, ciphertext, range);
+        let outcome = self.engine_decrypt(key, tweak, ciphertext, range);
         let clb_hit = outcome.as_ref().map(|r| r.clb_hit).unwrap_or(false);
         let cycles = self.cost.cycles(InsnClass::Crypto, false, clb_hit);
         self.stats.retire(InsnClass::Crypto, cycles);

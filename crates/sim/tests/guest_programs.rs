@@ -375,8 +375,8 @@ fn tracing_captures_executed_instructions() {
          creak a1, a0[7:0], t1
          ebreak",
     );
-    let trace = machine.trace().expect("tracing enabled");
-    let rendered: Vec<String> = trace.entries().iter().map(|e| e.render()).collect();
+    let trace = machine.ring_trace().expect("tracing enabled");
+    let rendered: Vec<String> = trace.records().iter().map(|r| r.render()).collect();
     assert!(
         rendered.iter().any(|l| l.contains("creak a1, a0[7:0], t1")),
         "{rendered:?}"
