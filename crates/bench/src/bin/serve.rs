@@ -1,0 +1,185 @@
+//! Supervised multi-tenant serve benchmark: sustained request serving
+//! under live fault injection.
+//!
+//! Runs the [`regvault_server`] scenario twice under full protection — a
+//! fault-free baseline and a faulted run with the seeded injector firing
+//! continuously — and writes `BENCH_serve.json` at the repository root:
+//! sustained throughput (served requests per million simulated cycles),
+//! p50/p90/p99 end-to-end latency, recovery counts (fail-overs, respawns,
+//! cold restarts), and shed counts. The run fails loudly if the accounting
+//! identity (offered = served + failed + shed) is ever violated or a
+//! faulted tenant is neither recovered nor explicitly quarantined.
+//!
+//! ```text
+//! cargo run --release --bin serve            # full run, rewrites the JSON
+//! cargo run --release --bin serve -- --quick # small run, no JSON rewrite
+//! ```
+
+use std::process::ExitCode;
+
+use regvault_bench::json::Value;
+use regvault_bench::repo_root;
+use regvault_server::{ServeConfig, ServeReport, Supervisor};
+
+fn run(cfg: ServeConfig) -> ServeReport {
+    Supervisor::new(cfg).expect("kernel boot").run()
+}
+
+fn report_to_json(label: &str, r: &ServeReport) -> (String, Value) {
+    let q = |x: f64| r.latency.quantile(x).unwrap_or(0);
+    (
+        label.to_owned(),
+        Value::Obj(vec![
+            ("offered".into(), Value::Int(r.offered)),
+            ("served".into(), Value::Int(r.served)),
+            ("failed".into(), Value::Int(r.failed)),
+            ("shed".into(), Value::Int(r.shed)),
+            (
+                "accounting_holds".into(),
+                Value::Bool(r.accounting_holds()),
+            ),
+            (
+                "rps_per_mcycle".into(),
+                Value::Num(r.rps_per_mcycle()),
+            ),
+            ("latency_p50_cycles".into(), Value::Int(q(0.5))),
+            ("latency_p90_cycles".into(), Value::Int(q(0.9))),
+            ("latency_p99_cycles".into(), Value::Int(q(0.99))),
+            ("latency_mean_cycles".into(), Value::Num(r.latency.mean())),
+            ("faults_injected".into(), Value::Int(r.faults_injected)),
+            ("recoveries".into(), Value::Int(r.recoveries)),
+            ("respawns".into(), Value::Int(r.respawns)),
+            ("respawns_denied".into(), Value::Int(r.respawns_denied)),
+            (
+                "frontend_respawns".into(),
+                Value::Int(r.frontend_respawns),
+            ),
+            ("cold_restarts".into(), Value::Int(r.cold_restarts)),
+            ("breaker_opens".into(), Value::Int(r.breaker_opens)),
+            (
+                "terminal_tenants".into(),
+                Value::Int(r.terminal_tenants as u64),
+            ),
+            ("cycles".into(), Value::Int(r.cycles)),
+            ("aborted".into(), Value::Bool(r.aborted)),
+        ]),
+    )
+}
+
+fn print_row(label: &str, r: &ServeReport) {
+    let q = |x: f64| r.latency.quantile(x).unwrap_or(0);
+    println!(
+        "{label:<18} {:>7} served / {:>5} failed / {:>5} shed of {:>7} offered  \
+         {:>7.2} rps/Mcyc  p50={:<6} p99={:<7} recoveries={} respawns={} cold={}",
+        r.served,
+        r.failed,
+        r.shed,
+        r.offered,
+        r.rps_per_mcycle(),
+        q(0.5),
+        q(0.99),
+        r.recoveries,
+        r.respawns,
+        r.cold_restarts,
+    );
+}
+
+/// Invariant checks beyond the per-run assertions: every faulted tenant
+/// ends recovered (serving/probation/restarting) or explicitly quarantined
+/// behind an open breaker — there is no fourth state.
+fn supervision_closed(r: &ServeReport) -> bool {
+    r.tenants.iter().all(|t| {
+        matches!(
+            t.state,
+            "serving" | "probation" | "restarting" | "breaker-open" | "breaker-open-terminal"
+        )
+    })
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (requests, fault_interval) = if quick { (200, 50_000) } else { (2_000, 30_000) };
+    let seed = 0xC0FF_EE00;
+
+    println!(
+        "supervised multi-tenant serve: {requests} requests, 4 tenants, \
+         full protection, seed {seed:#x}\n"
+    );
+
+    let baseline = run(ServeConfig {
+        requests,
+        seed,
+        fault_interval: 0,
+        ..ServeConfig::default()
+    });
+    print_row("baseline", &baseline);
+
+    let faulted = run(ServeConfig {
+        requests,
+        seed,
+        fault_interval,
+        ..ServeConfig::default()
+    });
+    print_row("under-faults", &faulted);
+
+    let mut ok = true;
+    for (label, r) in [("baseline", &baseline), ("under-faults", &faulted)] {
+        if !r.accounting_holds() {
+            eprintln!("FAIL: {label}: accounting identity violated: {r:?}");
+            ok = false;
+        }
+        if r.aborted {
+            eprintln!("FAIL: {label}: run aborted at its safety guard");
+            ok = false;
+        }
+        if !supervision_closed(r) {
+            eprintln!("FAIL: {label}: tenant in unknown supervision state");
+            ok = false;
+        }
+    }
+    if faulted.faults_injected == 0 {
+        eprintln!("FAIL: fault injector never fired");
+        ok = false;
+    }
+    if faulted.served == 0 {
+        eprintln!("FAIL: no request survived the fault campaign");
+        ok = false;
+    }
+
+    println!(
+        "\nunder faults: {} injected, {} fail-overs, {} tenant respawns, \
+         {} cold restarts, {} breaker opens, {} terminal",
+        faulted.faults_injected,
+        faulted.recoveries,
+        faulted.respawns,
+        faulted.cold_restarts,
+        faulted.breaker_opens,
+        faulted.terminal_tenants,
+    );
+
+    if quick {
+        println!("\n--quick: skipping BENCH_serve.json rewrite");
+    } else {
+        let doc = Value::Obj(vec![
+            ("bench".into(), Value::Str("serve".into())),
+            ("requests".into(), Value::Int(requests)),
+            ("tenants".into(), Value::Int(4)),
+            ("seed".into(), Value::Int(seed)),
+            (
+                "fault_interval_cycles".into(),
+                Value::Int(fault_interval),
+            ),
+            report_to_json("baseline", &baseline),
+            report_to_json("under_faults", &faulted),
+        ]);
+        let path = repo_root().join("BENCH_serve.json");
+        std::fs::write(&path, doc.render()).expect("write BENCH_serve.json");
+        println!("\nwrote {}", path.display());
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -17,14 +17,19 @@
 //! * `replay <bundle>` — re-execute a bundle and check it reproduces
 //!   bit-for-bit (same architectural digest, same outcome);
 //! * `divergence <file.s>` — co-run the optimized and reference datapaths
-//!   in lockstep and localize the first divergent instruction, if any.
+//!   in lockstep and localize the first divergent instruction, if any;
+//! * `serve` — run the supervised multi-tenant server scenario (open-loop
+//!   load over kernel IPC under live fault injection) and report
+//!   throughput, latency quantiles, and recovery/shed accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod observe;
+mod serve;
 
 pub use observe::{cmd_metrics, cmd_profile, cmd_trace, ProfileTracer, TraceFormat, TraceSubject};
+pub use serve::{cmd_serve, parse_serve_args, ServeArgs};
 
 use std::fmt::Write as _;
 
@@ -534,6 +539,12 @@ USAGE:
     regvault-cli profile <file.s> [--json]
     regvault-cli profile --workload <name> [--json]
                                            per-function steps + crypto profile
+    regvault-cli serve   [--tenants N] [--requests N] [--rate CYCLES]
+                         [--faults CYCLES] [--seed S] [--queue-cap N]
+                         [--config LABEL] [--json] [--smoke]
+                                           supervised multi-tenant server under
+                                           live fault injection (--smoke gates
+                                           on the accounting identity)
 "
 }
 
@@ -669,6 +680,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, rest @ ..] if cmd == "trace" || cmd == "metrics" || cmd == "profile" => {
             dispatch_observe(cmd, rest)
         }
+        [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest),
         _ => Err(usage().to_owned()),
     }
 }

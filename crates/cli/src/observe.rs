@@ -315,14 +315,28 @@ pub fn cmd_metrics(subject: &TraceSubject, json: bool) -> Result<String, CliErro
             first = false;
             let _ = write!(
                 out,
-                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.2},\"min\":{},\"max\":{}}}",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.2},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
                 esc(name),
                 data.count(),
                 data.sum(),
                 data.mean(),
                 data.min().unwrap_or(0),
-                data.max().unwrap_or(0)
+                data.max().unwrap_or(0),
+                data.quantile(0.50).unwrap_or(0),
+                data.quantile(0.90).unwrap_or(0),
+                data.quantile(0.99).unwrap_or(0),
             );
+            // Raw log2 buckets as [lower_bound, count] pairs (empty buckets
+            // elided), so downstream tooling can re-derive any quantile.
+            let mut first_bucket = true;
+            for (lo, n) in data.nonzero_buckets() {
+                if !first_bucket {
+                    out.push(',');
+                }
+                first_bucket = false;
+                let _ = write!(out, "[{lo},{n}]");
+            }
+            out.push_str("]}");
         }
         let _ = writeln!(
             out,
@@ -346,10 +360,13 @@ pub fn cmd_metrics(subject: &TraceSubject, json: bool) -> Result<String, CliErro
         for (name, data) in metrics.histograms() {
             let _ = writeln!(
                 out,
-                "  {name:<28} count={} mean={:.1} min={} max={}",
+                "  {name:<28} count={} mean={:.1} min={} p50={} p90={} p99={} max={}",
                 data.count(),
                 data.mean(),
                 data.min().unwrap_or(0),
+                data.quantile(0.50).unwrap_or(0),
+                data.quantile(0.90).unwrap_or(0),
+                data.quantile(0.99).unwrap_or(0),
                 data.max().unwrap_or(0)
             );
         }
@@ -624,6 +641,22 @@ helper:
         };
         assert_eq!(grab("\"clb_hits\":"), grab("\"hits\":"));
         assert_eq!(grab("\"clb_misses\":"), grab("\"misses\":"));
+    }
+
+    #[test]
+    fn metrics_json_reports_quantiles_and_buckets() {
+        let subject = TraceSubject::Workload("syscall".to_owned());
+        let out = cmd_metrics(&subject, true).unwrap();
+        // Kernel-registered histograms (syscall_cycles) must carry computed
+        // quantiles alongside the raw log2 buckets.
+        assert!(out.contains("\"syscall_cycles\":{"), "{out}");
+        assert!(out.contains("\"p50\":"), "{out}");
+        assert!(out.contains("\"p90\":"), "{out}");
+        assert!(out.contains("\"p99\":"), "{out}");
+        assert!(out.contains("\"buckets\":[["), "{out}");
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, closes, "{out}");
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! The `serve` subcommand: run the supervised multi-tenant server scenario
+//! and report sustained throughput, latency quantiles, and recovery
+//! accounting.
+
+use std::fmt::Write as _;
+
+use regvault_server::{ServeConfig, ServeReport, Supervisor};
+
+use crate::{parse_config, CliError};
+
+/// Parsed `serve` arguments.
+#[derive(Debug, Clone)]
+pub struct ServeArgs {
+    /// Scenario configuration.
+    pub config: ServeConfig,
+    /// Emit machine-readable JSON.
+    pub json: bool,
+    /// Smoke mode: a short faulted run that exits non-zero unless the
+    /// accounting identity holds and the run completed.
+    pub smoke: bool,
+}
+
+/// Parses `serve` flags.
+///
+/// # Errors
+///
+/// Describes the offending flag or value.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
+    let mut config = ServeConfig::default();
+    let mut json = false;
+    let mut smoke = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&String, CliError> {
+            it.next().ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--tenants" => {
+                config.tenants = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid tenant count".to_string())?;
+            }
+            "--requests" => {
+                config.requests = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid request count".to_string())?;
+            }
+            "--rate" => {
+                config.mean_interarrival = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid mean interarrival".to_string())?;
+            }
+            "--seed" => {
+                config.seed = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid seed".to_string())?;
+            }
+            "--faults" => {
+                config.fault_interval = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid fault interval".to_string())?;
+            }
+            "--queue-cap" => {
+                config.queue_cap = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid queue cap".to_string())?;
+            }
+            "--config" => {
+                config.protection = parse_config(value_of(flag)?)?;
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    if smoke {
+        // Short but adversarial: live faults on, small request budget.
+        config.requests = config.requests.min(150);
+        if config.fault_interval == 0 {
+            config.fault_interval = 50_000;
+        }
+    }
+    Ok(ServeArgs {
+        config,
+        json,
+        smoke,
+    })
+}
+
+/// Renders a serve report as JSON (same hand-rolled shape as the rest of
+/// the CLI: no serde in the container).
+#[must_use]
+pub fn render_json(report: &ServeReport) -> String {
+    let q = |x: f64| report.latency.quantile(x).unwrap_or(0);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"offered\":{},\"served\":{},\"failed\":{},\"shed\":{},\
+         \"accounting_holds\":{},\"rps_per_mcycle\":{:.3},\
+         \"faults_injected\":{},\"recoveries\":{},\"respawns\":{},\
+         \"respawns_denied\":{},\"frontend_respawns\":{},\
+         \"cold_restarts\":{},\"breaker_opens\":{},\"terminal_tenants\":{},\
+         \"cycles\":{},\"aborted\":{},\
+         \"latency\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{}}},\
+         \"tenants\":[",
+        report.offered,
+        report.served,
+        report.failed,
+        report.shed,
+        report.accounting_holds(),
+        report.rps_per_mcycle(),
+        report.faults_injected,
+        report.recoveries,
+        report.respawns,
+        report.respawns_denied,
+        report.frontend_respawns,
+        report.cold_restarts,
+        report.breaker_opens,
+        report.terminal_tenants,
+        report.cycles,
+        report.aborted,
+        report.latency.count(),
+        report.latency.mean(),
+        q(0.5),
+        q(0.9),
+        q(0.99),
+    );
+    for (i, t) in report.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"slot\":{},\"state\":\"{}\",\"served\":{},\"failed\":{},\
+             \"shed\":{},\"respawns\":{},\"respawns_denied\":{},\
+             \"breaker_opens\":{}}}",
+            t.slot,
+            t.state,
+            t.served,
+            t.failed,
+            t.shed,
+            t.respawns,
+            t.respawns_denied,
+            t.breaker_opens,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders a serve report for humans.
+#[must_use]
+pub fn render_human(report: &ServeReport) -> String {
+    let q = |x: f64| report.latency.quantile(x).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve: {} offered = {} served + {} failed + {} shed ({})",
+        report.offered,
+        report.served,
+        report.failed,
+        report.shed,
+        if report.accounting_holds() {
+            "accounting holds"
+        } else {
+            "ACCOUNTING VIOLATION"
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  throughput: {:.2} served/Mcycle over {} cycles",
+        report.rps_per_mcycle(),
+        report.cycles
+    );
+    let _ = writeln!(
+        out,
+        "  latency   : p50={} p90={} p99={} cycles (n={})",
+        q(0.5),
+        q(0.9),
+        q(0.99),
+        report.latency.count()
+    );
+    let _ = writeln!(
+        out,
+        "  faults    : {} injected, {} fail-overs, {} respawns \
+         ({} denied), {} frontend respawns, {} cold restarts",
+        report.faults_injected,
+        report.recoveries,
+        report.respawns,
+        report.respawns_denied,
+        report.frontend_respawns,
+        report.cold_restarts
+    );
+    let _ = writeln!(
+        out,
+        "  breakers  : {} opens, {} terminal tenant(s)",
+        report.breaker_opens, report.terminal_tenants
+    );
+    for t in &report.tenants {
+        let _ = writeln!(
+            out,
+            "  tenant {}  : {:<22} served={} failed={} shed={} respawns={}",
+            t.slot, t.state, t.served, t.failed, t.shed, t.respawns
+        );
+    }
+    if report.aborted {
+        let _ = writeln!(out, "  ABORTED: run stopped at its safety guard");
+    }
+    out
+}
+
+/// Runs the serve scenario.
+///
+/// # Errors
+///
+/// Returns flag-parse failures, kernel boot failures, and — in `--smoke`
+/// mode — a non-zero exit when the run aborted or the accounting identity
+/// is violated.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let args = parse_serve_args(args)?;
+    let report = Supervisor::new(args.config)
+        .map_err(|e| format!("serve: kernel boot failed: {e}"))?
+        .run();
+    let rendered = if args.json {
+        render_json(&report)
+    } else {
+        render_human(&report)
+    };
+    if args.smoke {
+        if report.aborted {
+            return Err(format!("{rendered}serve --smoke: run aborted\n"));
+        }
+        if !report.accounting_holds() {
+            return Err(format!(
+                "{rendered}serve --smoke: accounting identity violated\n"
+            ));
+        }
+        // Smoke mode always arms the injector; a zero count means it
+        // silently failed to fire.
+        if report.faults_injected == 0 {
+            return Err(format!(
+                "{rendered}serve --smoke: fault injector never fired\n"
+            ));
+        }
+    }
+    Ok(rendered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn smoke_run_passes_the_gate() {
+        let out = cmd_serve(&s(&["--smoke", "--seed", "9"])).expect("smoke passes");
+        assert!(out.contains("accounting holds"), "{out}");
+        assert!(out.contains("faults"), "{out}");
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let out = cmd_serve(&s(&[
+            "--json",
+            "--requests",
+            "60",
+            "--faults",
+            "60000",
+            "--seed",
+            "4",
+        ]))
+        .expect("serve runs");
+        assert!(out.contains("\"accounting_holds\":true"), "{out}");
+        assert!(out.contains("\"p99\":"), "{out}");
+        assert!(out.contains("\"tenants\":["), "{out}");
+        assert_eq!(
+            out.matches('{').count(),
+            out.matches('}').count(),
+            "balanced JSON: {out}"
+        );
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(cmd_serve(&s(&["--bogus"])).is_err());
+        assert!(cmd_serve(&s(&["--tenants"])).is_err());
+        assert!(cmd_serve(&s(&["--tenants", "lots"])).is_err());
+        assert!(cmd_serve(&s(&["--config", "yolo"])).is_err());
+    }
+
+    #[test]
+    fn unprotected_config_is_accepted() {
+        let out = cmd_serve(&s(&[
+            "--config",
+            "base",
+            "--requests",
+            "40",
+            "--seed",
+            "2",
+        ]))
+        .expect("base config runs");
+        assert!(out.contains("accounting holds"), "{out}");
+    }
+}

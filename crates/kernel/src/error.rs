@@ -28,8 +28,13 @@ pub enum KernelError {
     BadHandle,
     /// Invalid argument.
     InvalidArgument,
-    /// Out of a fixed kernel resource (threads, fds, keys, pages).
+    /// Out of a fixed kernel resource (fds, keys, pages).
     ResourceExhausted,
+    /// The thread table has no free slot. Distinct from
+    /// [`KernelError::ResourceExhausted`] so a supervisor can classify a
+    /// denied respawn as a *degradation event* (back off, try later)
+    /// rather than a generic exhaustion.
+    ThreadTableFull,
     /// A guest memory access faulted inside a kernel operation.
     MemoryFault(ExceptionCause),
     /// The simulated user program failed.
@@ -77,6 +82,7 @@ impl fmt::Display for KernelError {
             KernelError::BadHandle => f.write_str("bad handle"),
             KernelError::InvalidArgument => f.write_str("invalid argument"),
             KernelError::ResourceExhausted => f.write_str("resource exhausted"),
+            KernelError::ThreadTableFull => f.write_str("thread table full"),
             KernelError::MemoryFault(cause) => write!(f, "kernel memory fault: {cause}"),
             KernelError::UserFault { cause, pc } => {
                 write!(f, "user fault at {pc:#x}: {cause}")

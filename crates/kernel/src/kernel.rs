@@ -35,6 +35,25 @@ pub struct RecoveryStats {
     pub traps_survived: u64,
 }
 
+/// Outcome of a successful [`Kernel::fail_over`]: which threads were
+/// quarantined (and reaped) in the recovery chain, and which healthy thread
+/// is now current.
+///
+/// The supervisor maps the quarantined tids back to tenants, applies its
+/// backoff/circuit-breaker policy, and decides when (and whether) to call
+/// [`Kernel::spawn_service_thread`] for each lost slot — the kernel itself
+/// does not auto-respawn on this path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailOver {
+    /// Threads quarantined and reaped during the fail-over, in quarantine
+    /// order. The first entry is the originally faulted thread; any later
+    /// entries faulted in turn while the kernel searched for a healthy
+    /// successor.
+    pub quarantined: Vec<u32>,
+    /// The thread now running.
+    pub current: u32,
+}
+
 /// Synthetic return-address region in kernel text for the call-site model.
 const KCALL_RA_BASE: u64 = KERNEL_TEXT_BASE + 0x10_0000;
 
@@ -99,7 +118,6 @@ pub struct Kernel {
     saved_pc: Vec<u64>,
     /// Interrupted pc per thread while its signal handler runs.
     signal_return_pc: Vec<Option<u64>>,
-    next_user_stack: u64,
     recovery: RecoveryStats,
     sched: SchedMetrics,
     /// Cycle stamp of the last thread switch (timeslice histogram).
@@ -177,7 +195,6 @@ impl Kernel {
             ksp,
             saved_pc: vec![0; MAX_THREADS as usize],
             signal_return_pc: vec![None; MAX_THREADS as usize],
-            next_user_stack: USER_STACK_TOP,
             recovery: RecoveryStats::default(),
             sched,
             last_switch_cycle: 0,
@@ -236,6 +253,16 @@ impl Kernel {
 
     fn kcall_ra(site: u32) -> u64 {
         KCALL_RA_BASE + u64::from(site) * 16
+    }
+
+    /// Top of thread `tid`'s fixed user-stack region.
+    ///
+    /// Stacks are assigned per slot, not bump-allocated: slot reuse after a
+    /// reap maps the same region again (idempotent), so marathon
+    /// fault/respawn runs cannot walk the stack area down into user code
+    /// the way a monotonically descending allocator would.
+    fn user_stack_top(tid: u32) -> u64 {
+        USER_STACK_TOP - u64::from(tid) * USER_STACK_SIZE
     }
 
     /// The legitimate target of generic ops-table slot `slot`.
@@ -556,13 +583,13 @@ impl Kernel {
         let gid = self.creds.read(&mut self.machine, &cfg, parent, CredField::Gid)?;
         self.creds.init(&mut self.machine, &cfg, tid, uid, gid)?;
         self.saved_pc[tid as usize] = entry_pc;
-        // Give the thread its own user stack and an initial CIP frame
-        // (written under the *new* thread's interrupt key).
-        self.next_user_stack -= USER_STACK_SIZE;
-        let user_sp = self.next_user_stack - 16;
+        // Give the thread its slot's fixed user stack and an initial CIP
+        // frame (written under the *new* thread's interrupt key).
+        let stack_top = Self::user_stack_top(tid);
+        let user_sp = stack_top - 16;
         self.machine
             .memory_mut()
-            .map_region(self.next_user_stack - USER_STACK_SIZE, USER_STACK_SIZE);
+            .map_region(stack_top - USER_STACK_SIZE, USER_STACK_SIZE);
         let snapshot = self.machine.hart().regs();
         self.machine.hart_mut().set_reg(Reg::Sp, user_sp);
         self.threads.install_keys(&mut self.machine, &cfg, tid)?;
@@ -623,43 +650,46 @@ impl Kernel {
         Ok(())
     }
 
-    /// Quarantines the current (faulted) thread and switches to a healthy
-    /// runnable one, abandoning the faulted context entirely. Returns
-    /// `true` when the kernel can keep running — a healthy thread is now
-    /// current — and `false` when no healthy thread remains (the embedder
-    /// then sees the original error).
+    /// The shared recovery core: quarantines the current (faulted) thread
+    /// and switches to a healthy runnable one, abandoning the faulted
+    /// context entirely. If the incoming thread's own saved context turns
+    /// out to be corrupted (its CIP restore trips the integrity check), it
+    /// is quarantined in turn and the search continues — at most
+    /// [`MAX_THREADS`] iterations.
     ///
-    /// If the incoming thread's own saved context turns out to be corrupted
-    /// (its CIP restore trips the integrity check), it is quarantined in
-    /// turn and the search continues — at most [`MAX_THREADS`] iterations.
-    /// Each successfully abandoned thread is reaped and replaced with a
-    /// freshly-keyed thread so sustained fault injection cannot drain the
-    /// pool.
-    fn recover_current_thread(&mut self) -> bool {
+    /// On success, **every** thread quarantined along the chain is reaped
+    /// (its slot freed for a fresh spawn) and the chain is returned — not
+    /// just the last link, so a multi-hop recovery cannot strand
+    /// intermediate slots in quarantine forever. On failure (`None`), no
+    /// healthy thread remains; the chain members stay quarantined for the
+    /// embedder to inspect.
+    fn quarantine_and_switch(&mut self) -> Option<Vec<u32>> {
         let cfg = self.cfg;
+        let mut chain = Vec::new();
         for _ in 0..=MAX_THREADS {
             let faulted = self.threads.current;
             self.threads.quarantine(faulted);
-            self.recovery.quarantined += 1;
+            self.recovery.quarantined = self.recovery.quarantined.saturating_add(1);
             self.machine.metrics_mut().inc(self.sched.quarantines);
             self.signal_return_pc[faulted as usize] = None;
+            chain.push(faulted);
             let next = self.threads.next_runnable();
             if next == faulted || self.threads.state(next) != ThreadState::Runnable {
-                return false;
+                return None;
             }
             match self.threads.switch_abandon(&mut self.machine, &cfg, next) {
                 Ok(()) => {
                     self.machine.hart_mut().set_pc(self.saved_pc[next as usize]);
                     self.ksp =
                         crate::layout::kernel_stack_top(next) - crate::trap::FRAME_SIZE - 64;
-                    // The faulted thread's slot is safe to reuse: spawn
-                    // rewrites thread_info and generates fresh keys.
-                    self.threads.reap(faulted);
-                    if self.respawn_replacement().is_ok() {
-                        self.recovery.respawned += 1;
+                    // Quarantined slots are safe to reuse: spawn rewrites
+                    // thread_info and generates fresh keys.
+                    for &tid in &chain {
+                        self.threads.reap(tid);
                     }
-                    self.recovery.traps_survived += 1;
-                    return true;
+                    self.recovery.traps_survived =
+                        self.recovery.traps_survived.saturating_add(1);
+                    return Some(chain);
                 }
                 // `switch_abandon` updates `current` before restoring, so a
                 // failed restore leaves the corrupt incoming thread as
@@ -667,7 +697,128 @@ impl Kernel {
                 Err(_) => continue,
             }
         }
-        false
+        None
+    }
+
+    /// The in-kernel recovery policy used by [`Kernel::run_user`]: fail over
+    /// and immediately respawn a freshly-keyed replacement per reaped slot,
+    /// so sustained fault injection cannot drain the pool. Returns `true`
+    /// when the kernel can keep running.
+    fn recover_current_thread(&mut self) -> bool {
+        match self.quarantine_and_switch() {
+            Some(chain) => {
+                for _ in &chain {
+                    if self.respawn_replacement().is_ok() {
+                        self.recovery.respawned = self.recovery.respawned.saturating_add(1);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fails over away from the current (faulted) thread **without**
+    /// auto-respawning — the supervisor-facing recovery hook.
+    ///
+    /// The quarantine chain is reaped and returned so the embedder can map
+    /// lost threads back to tenants and apply its own respawn policy
+    /// (backoff, circuit breakers) via [`Kernel::spawn_service_thread`].
+    ///
+    /// When *no* healthy thread remains (every slot quarantined — e.g. a
+    /// master-key tamper felled the whole pool), this reaps the entire
+    /// table and cold-spawns one fresh boot-cred thread so the kernel can
+    /// keep serving; the returned chain then lists every reaped thread.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTableFull`] (or a propagated spawn error) only
+    /// when even the cold-spawn fallback fails; the kernel is then beyond
+    /// in-place recovery and the embedder should reboot it.
+    pub fn fail_over(&mut self) -> Result<FailOver, KernelError> {
+        if let Some(chain) = self.quarantine_and_switch() {
+            return Ok(FailOver {
+                quarantined: chain,
+                current: self.threads.current,
+            });
+        }
+        // Total loss: every thread is quarantined. Reap them all and
+        // cold-spawn a fresh thread to become current.
+        let mut reaped = Vec::new();
+        for tid in 0..MAX_THREADS {
+            if self.threads.state(tid) == ThreadState::Quarantined {
+                self.threads.reap(tid);
+                reaped.push(tid);
+            }
+        }
+        let fresh = self.cold_spawn_current()?;
+        self.recovery.traps_survived = self.recovery.traps_survived.saturating_add(1);
+        Ok(FailOver {
+            quarantined: reaped,
+            current: fresh,
+        })
+    }
+
+    /// Spawns a freshly-keyed boot-cred thread for the supervisor's respawn
+    /// path, counting it in [`RecoveryStats::respawned`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::ThreadTableFull`] when no slot is free — a typed
+    /// degradation event the supervisor can back off on, never a panic.
+    pub fn spawn_service_thread(&mut self) -> Result<u32, KernelError> {
+        let tid = self.respawn_replacement()?;
+        self.recovery.respawned = self.recovery.respawned.saturating_add(1);
+        Ok(tid)
+    }
+
+    /// Switches execution to thread `to` — the supervisor's dispatch path
+    /// for directing the service loop at a chosen tenant thread.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::InvalidArgument`] when `to` is out of range or not
+    /// schedulable; [`KernelError::IntegrityViolation`] when the incoming
+    /// thread's saved context was tampered with (the caller should then
+    /// invoke [`Kernel::fail_over`]).
+    pub fn switch_thread(&mut self, to: u32) -> Result<(), KernelError> {
+        if to >= MAX_THREADS
+            || !matches!(
+                self.threads.state(to),
+                ThreadState::Runnable | ThreadState::Current
+            )
+        {
+            return Err(KernelError::InvalidArgument);
+        }
+        self.switch_to(to)
+    }
+
+    /// Cold-spawns a fresh thread and makes it current without saving any
+    /// outgoing context — the last-resort path when the whole pool was
+    /// quarantined and nothing trustworthy remains to return to.
+    fn cold_spawn_current(&mut self) -> Result<u32, KernelError> {
+        let cfg = self.cfg;
+        let tid = self.threads.spawn(&mut self.machine, &cfg, &mut self.rng)?;
+        self.creds.init(&mut self.machine, &cfg, tid, 1000, 1000)?;
+        self.signal_return_pc[tid as usize] = None;
+        self.saved_pc[tid as usize] = self.machine.hart().pc();
+        let stack_top = Self::user_stack_top(tid);
+        self.machine
+            .memory_mut()
+            .map_region(stack_top - USER_STACK_SIZE, USER_STACK_SIZE);
+        self.machine.hart_mut().set_reg(Reg::Sp, stack_top - 16);
+        self.threads.install_keys(&mut self.machine, &cfg, tid)?;
+        crate::trap::save_context(
+            &mut self.machine,
+            &cfg,
+            cfg.key_policy().interrupt,
+            self.threads.interrupt_frame_addr(tid),
+        )?;
+        self.threads.switch_abandon(&mut self.machine, &cfg, tid)?;
+        self.machine.hart_mut().set_pc(self.saved_pc[tid as usize]);
+        self.ksp = crate::layout::kernel_stack_top(tid) - crate::trap::FRAME_SIZE - 64;
+        self.recovery.respawned = self.recovery.respawned.saturating_add(1);
+        Ok(tid)
     }
 
     /// Spawns a freshly-keyed replacement for a reaped thread.
@@ -682,11 +833,11 @@ impl Kernel {
         self.creds.init(&mut self.machine, &cfg, tid, 1000, 1000)?;
         self.saved_pc[tid as usize] = self.machine.hart().pc();
         self.signal_return_pc[tid as usize] = None;
-        self.next_user_stack -= USER_STACK_SIZE;
-        let user_sp = self.next_user_stack - 16;
+        let stack_top = Self::user_stack_top(tid);
+        let user_sp = stack_top - 16;
         self.machine
             .memory_mut()
-            .map_region(self.next_user_stack - USER_STACK_SIZE, USER_STACK_SIZE);
+            .map_region(stack_top - USER_STACK_SIZE, USER_STACK_SIZE);
         // Seed the replacement's CIP frame under its own keys, then put the
         // running thread's registers and keys back.
         let snapshot = self.machine.hart().regs();

@@ -95,7 +95,9 @@ impl ThreadTable {
     ///
     /// # Errors
     ///
-    /// [`KernelError::ResourceExhausted`] when the table is full.
+    /// [`KernelError::ThreadTableFull`] when no slot is free — a typed,
+    /// recoverable condition so a supervisor can treat a denied respawn as
+    /// a degradation event rather than a crash.
     pub fn spawn(
         &mut self,
         machine: &mut Machine,
@@ -106,7 +108,7 @@ impl ThreadTable {
             .states
             .iter()
             .position(|s| *s == ThreadState::Free)
-            .ok_or(KernelError::ResourceExhausted)? as u32;
+            .ok_or(KernelError::ThreadTableFull)? as u32;
         self.states[tid as usize] = ThreadState::Runnable;
         let info = self.thread_info_addr(tid);
         machine.kernel_store_u64(info + ti::TID, u64::from(tid))?;

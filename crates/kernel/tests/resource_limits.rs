@@ -19,7 +19,7 @@ fn thread_table_exhausts_cleanly() {
     }
     assert!(matches!(
         k.dispatch(Sysno::Spawn as u64, [0, 0, 0]),
-        Err(KernelError::ResourceExhausted)
+        Err(KernelError::ThreadTableFull)
     ));
 }
 

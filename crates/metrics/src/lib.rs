@@ -127,6 +127,46 @@ impl HistogramData {
         &self.buckets
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the log2 buckets,
+    /// or `None` when the histogram is empty.
+    ///
+    /// The estimate interpolates linearly *within* the bucket holding the
+    /// target rank (bucket `k` spans `[2^(k-1), 2^k)`), then clamps to the
+    /// recorded `min`/`max` so single-bucket histograms report exact
+    /// extrema instead of a bucket midpoint. Error is bounded by the bucket
+    /// width — at most a factor of two, which is adequate for the
+    /// latency-shaped p50/p99 reporting this registry feeds.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based: ceil(q * count),
+        // floored at 1 so q = 0.0 selects the first observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let value = if i == 0 {
+                    0
+                } else {
+                    // Position of the target rank inside this bucket,
+                    // in (0.0, 1.0].
+                    let into = (rank - seen) as f64 / n as f64;
+                    let lo = (1u64 << (i - 1)) as f64;
+                    (lo + lo * into) as u64
+                };
+                return Some(value.clamp(self.min, self.max));
+            }
+            seen += n;
+        }
+        self.max()
+    }
+
     /// `(lower_bound, count)` for each non-empty bucket, in order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -291,6 +331,36 @@ mod tests {
         assert_eq!(d.max(), Some(1000));
         let buckets: Vec<(u64, u64)> = d.nonzero_buckets().collect();
         assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn quantiles_from_log2_buckets() {
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        assert_eq!(r.histogram_data(h).quantile(0.5), None, "empty");
+
+        // A single value: every quantile is that value (clamped to extrema).
+        r.observe(h, 700);
+        let d = r.histogram_data(h);
+        assert_eq!(d.quantile(0.0), Some(700));
+        assert_eq!(d.quantile(0.5), Some(700));
+        assert_eq!(d.quantile(1.0), Some(700));
+
+        // A spread: quantiles are monotone, bracketed by min/max, and the
+        // p50 lands within a factor of two of the true median.
+        let mut r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in 1..=1000u64 {
+            r.observe(h, v);
+        }
+        let d = r.histogram_data(h);
+        let p50 = d.quantile(0.5).unwrap();
+        let p90 = d.quantile(0.9).unwrap();
+        let p99 = d.quantile(0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        assert!(p99 <= 1000);
+        assert_eq!(d.quantile(1.0), Some(1000));
     }
 
     #[test]

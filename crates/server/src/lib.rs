@@ -1,0 +1,53 @@
+//! Supervised multi-tenant server scenario for the RegVault reproduction.
+//!
+//! The paper's evaluation measures RegVault's overhead on kernel
+//! micro/macro-benchmarks; this crate asks the complementary *robustness*
+//! question: does a protected kernel keep **serving** while an attacker
+//! (or glitch campaign) corrupts its protected data live? It builds a
+//! server-class scenario on top of [`regvault_kernel`]:
+//!
+//! * [`protocol`] — a fixed-size, self-describing request/response frame
+//!   format carried over the kernel's pipe IPC;
+//! * [`loadgen`] — a seeded open-loop arrival stream (Poisson arrivals in
+//!   simulated time), so offered load is independent of service capacity;
+//! * [`tenant`] — the per-tenant supervision state machine: bounded-retry
+//!   respawns with exponential backoff, circuit breakers with doubling
+//!   cooldowns and a terminal quarantine state, and probation on return;
+//! * [`supervisor`] — the fail-fast supervisor binding it together: N
+//!   tenant threads serve requests while seeded faults land on cred
+//!   words, interrupt frames, CLB entries, and key registers; faulted
+//!   tenants are quarantined and respawned while healthy tenants keep
+//!   serving, and overload is shed explicitly.
+//!
+//! The headline invariant is the accounting identity
+//! ([`ServeReport::accounting_holds`]): every offered request is served,
+//! failed, or shed — never silently dropped, no matter what the fault
+//! injector does.
+//!
+//! # Examples
+//!
+//! ```
+//! use regvault_server::{ServeConfig, Supervisor};
+//!
+//! let report = Supervisor::new(ServeConfig {
+//!     requests: 50,
+//!     fault_interval: 80_000,
+//!     ..ServeConfig::default()
+//! })
+//! .expect("boot")
+//! .run();
+//! assert!(report.accounting_holds());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod protocol;
+pub mod supervisor;
+pub mod tenant;
+
+pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
+pub use protocol::{OpCode, Request, Response, Status};
+pub use supervisor::{ServeConfig, ServeReport, Supervisor, TenantSummary};
+pub use tenant::{SupervisionPolicy, Tenant, TenantState};

