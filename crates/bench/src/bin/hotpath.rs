@@ -38,13 +38,16 @@ const PLAINTEXT: u64 = 0xfb623599da6e8127;
 
 /// Pre-optimization numbers measured on the seed tree (same harness shape,
 /// same host class). These are the "before" column of the perf trajectory.
-const BASELINE: [(&str, f64); 6] = [
+const BASELINE: [(&str, f64); 7] = [
     ("seed_qarma_encrypt_ns", 626.0),
     ("seed_qarma_decrypt_ns", 629.0),
     ("seed_engine_encrypt_miss_ns", 616.0),
     ("seed_clb_hit_lookup_ns", 4.0),
     ("seed_unixbench_syscall_off_steps_per_sec", 142.748e6),
     ("seed_unixbench_syscall_full_steps_per_sec", 137.604e6),
+    // dhry2 on the single-step interpreter, measured immediately before the
+    // superblock tier landed; the tier's acceptance floor is 2x this.
+    ("pre_superblock_dhry2_off_steps_per_sec", 73.679e6),
 ];
 
 fn baseline(key: &str) -> f64 {
@@ -96,6 +99,29 @@ fn steps_per_sec(workload: &dyn Workload, config: ProtectionConfig, runs: usize)
 
 fn ns(d: Duration) -> f64 {
     d.as_secs_f64() * 1e9
+}
+
+/// One instrumented dhry2 run: superblock tier counters after the guest
+/// completes (hit rate and tier coverage are properties of the trace shape,
+/// not of wall-clock, so a single run suffices).
+fn superblock_profile(workload: &dyn Workload) -> (regvault_sim::SuperblockStats, u64) {
+    let mut kernel = Kernel::boot(KernelConfig {
+        protection: ProtectionConfig::off(),
+        machine: MachineConfig {
+            clb_entries: 8,
+            ..MachineConfig::default()
+        },
+        timer_interval: Some(TIMER_INTERVAL),
+    })
+    .expect("kernel boots");
+    let (image, entry) = workload.program();
+    kernel
+        .run_user(&image, entry, STEP_BUDGET)
+        .expect("workload runs");
+    (
+        kernel.machine().superblock_stats(),
+        kernel.machine().stats().instret,
+    )
 }
 
 /// Like [`steps_per_sec`] but with a tracer installed on the machine before
@@ -236,8 +262,12 @@ fn main() {
     let ub_off = steps_per_sec(&UnixBench::Syscall, ProtectionConfig::off(), runs);
     let ub_full = steps_per_sec(&UnixBench::Syscall, ProtectionConfig::full(), runs);
     let ub_dhry = steps_per_sec(&UnixBench::Dhry2, ProtectionConfig::off(), runs);
+    let ub_dhry_full = steps_per_sec(&UnixBench::Dhry2, ProtectionConfig::full(), runs);
     let lm_off = steps_per_sec(&Lmbench::Null, ProtectionConfig::off(), runs);
     let lm_full = steps_per_sec(&Lmbench::Null, ProtectionConfig::full(), runs);
+    let (sb, sb_instret) = superblock_profile(&UnixBench::Dhry2);
+    // Fraction of all retired instructions that went through a superblock.
+    let sb_coverage = sb.insns as f64 / sb_instret.max(1) as f64;
 
     // --- Tracing overhead (DESIGN.md §11) -------------------------------
     // Same harness, three sinks: no tracer (the zero-cost-off claim), a
@@ -269,6 +299,7 @@ fn main() {
     let qarma_speedup_vs_seed = baseline("seed_qarma_encrypt_ns") / ns(opt_enc);
     let e2e_off_speedup = ub_off / baseline("seed_unixbench_syscall_off_steps_per_sec");
     let e2e_full_speedup = ub_full / baseline("seed_unixbench_syscall_full_steps_per_sec");
+    let dhry_speedup = ub_dhry / baseline("pre_superblock_dhry2_off_steps_per_sec");
 
     println!();
     println!(
@@ -280,6 +311,19 @@ fn main() {
         "unixbench syscall: off {:.1}M steps/s ({e2e_off_speedup:.1}x vs seed), full {:.1}M steps/s ({e2e_full_speedup:.1}x vs seed)",
         ub_off / 1e6,
         ub_full / 1e6
+    );
+    println!(
+        "unixbench dhry2: off {:.1}M steps/s ({dhry_speedup:.2}x vs pre-superblock interpreter), full {:.1}M steps/s",
+        ub_dhry / 1e6,
+        ub_dhry_full / 1e6
+    );
+    println!(
+        "superblock tier on dhry2: {} entries, {} insns ({:.1}% coverage), {} side exits, {} built",
+        sb.hits,
+        sb.insns,
+        sb_coverage * 100.0,
+        sb.side_exits,
+        sb.built
     );
     println!(
         "tracing: off {tracing_off_overhead_pct:+.2}%, null sink {tracing_null_overhead_pct:+.2}%, ring {tracing_ring_overhead_pct:+.2}% overhead vs untraced"
@@ -334,11 +378,32 @@ fn main() {
                     "unixbench_dhry2_off_steps_per_sec".into(),
                     Value::Num(ub_dhry),
                 ),
+                (
+                    "unixbench_dhry2_full_steps_per_sec".into(),
+                    Value::Num(ub_dhry_full),
+                ),
                 ("lmbench_null_off_steps_per_sec".into(), Value::Num(lm_off)),
                 (
                     "lmbench_null_full_steps_per_sec".into(),
                     Value::Num(lm_full),
                 ),
+            ]),
+        ),
+        (
+            "superblock".into(),
+            Value::Obj(vec![
+                ("superblock_hits".into(), Value::Num(sb.hits as f64)),
+                ("superblock_insns".into(), Value::Num(sb.insns as f64)),
+                (
+                    "superblock_side_exits".into(),
+                    Value::Num(sb.side_exits as f64),
+                ),
+                ("superblock_built".into(), Value::Num(sb.built as f64)),
+                (
+                    "superblock_invalidations".into(),
+                    Value::Num(sb.invalidations as f64),
+                ),
+                ("superblock_coverage".into(), Value::Num(sb_coverage)),
             ]),
         ),
         (
@@ -380,6 +445,10 @@ fn main() {
                     "unixbench_syscall_full_vs_seed".into(),
                     Value::Num(e2e_full_speedup),
                 ),
+                (
+                    "unixbench_dhry2_off_vs_pre_superblock".into(),
+                    Value::Num(dhry_speedup),
+                ),
             ]),
         ),
     ]);
@@ -415,6 +484,38 @@ fn run_check() {
         std::process::exit(1);
     }
     println!("perf guard: OK");
+
+    // Superblock-tier floor: the committed dhry2 number must hold the 2x
+    // speedup over the pre-tier interpreter (the tier's acceptance
+    // criterion), and a fresh run must stay within the usual 2x
+    // machine-noise tolerance of the committed value.
+    let dhry_ref = json::find_number(&text, "unixbench_dhry2_off_steps_per_sec")
+        .expect("unixbench_dhry2_off_steps_per_sec in BENCH_hotpath.json");
+    let dhry_floor = 2.0 * baseline("pre_superblock_dhry2_off_steps_per_sec");
+    println!(
+        "dhry2 guard: checked-in {:.1}M steps/s vs tier floor {:.1}M",
+        dhry_ref / 1e6,
+        dhry_floor / 1e6
+    );
+    if dhry_ref < dhry_floor {
+        eprintln!(
+            "PERF REGRESSION: committed dhry2 throughput lost the superblock \
+             tier's 2x-over-interpreter floor"
+        );
+        std::process::exit(1);
+    }
+    let fresh_dhry = steps_per_sec(&UnixBench::Dhry2, ProtectionConfig::off(), 3);
+    println!(
+        "dhry2 guard: fresh {:.1}M steps/s vs checked-in {:.1}M (floor {:.1}M)",
+        fresh_dhry / 1e6,
+        dhry_ref / 1e6,
+        dhry_ref / 2e6
+    );
+    if fresh_dhry < dhry_ref / 2.0 {
+        eprintln!("PERF REGRESSION: fresh dhry2 steps/sec fell below half the checked-in value");
+        std::process::exit(1);
+    }
+    println!("dhry2 guard: OK");
 
     // Tracing-off must stay free. Two layers: the committed JSON's recorded
     // overhead row (stable, regenerated by every full bench run) must be

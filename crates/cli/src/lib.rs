@@ -39,7 +39,7 @@ use regvault_core::hwcost;
 use regvault_isa::{asm, disasm, KeyReg, Reg};
 use regvault_kernel::ProtectionConfig;
 use regvault_sim::{
-    run_lockstep, FaultKind, FaultPlan, Machine, MachineConfig, ReproBundle,
+    run_lockstep, run_tiered_lockstep, FaultKind, FaultPlan, Machine, MachineConfig, ReproBundle,
 };
 use regvault_verifier::{verify as verifier_verify, ProtectionManifest, VerifyOptions};
 use regvault_workloads::{lmbench::Lmbench, spec::Spec, unixbench::UnixBench, Workload};
@@ -287,6 +287,83 @@ pub fn cmd_divergence(
     }
 }
 
+/// Co-runs the superblock translation tier against the single-step
+/// interpreter over every raw UnixBench/LMbench guest, in lockstep.
+///
+/// There is no kernel underneath a bare lockstep pair, so `ecall` stops —
+/// which would truncate the syscall-heavy guests after a handful of
+/// instructions — are serviced by a stub that returns 0 identically on
+/// both machines and resumes, keeping the loops hot until the step budget.
+/// Real terminal events (`ebreak`, exceptions) end the sweep for that
+/// guest.
+///
+/// # Errors
+///
+/// Reports the first diverging workload with the exact instruction (or the
+/// superblock's entry pc and architectural step range) and the state
+/// component that differed.
+pub fn cmd_divergence_tiers(max_steps: u64) -> Result<String, CliError> {
+    const ECALL_WORD: u32 = 0x0000_0073;
+    let mut corpus: Vec<(String, String)> = Vec::new();
+    for item in UnixBench::ALL {
+        corpus.push((Workload::name(&item).to_owned(), item.source()));
+    }
+    for item in Lmbench::ALL {
+        corpus.push((Workload::name(&item).to_owned(), item.source()));
+    }
+
+    let mut out = String::new();
+    let mut total_steps = 0u64;
+    let mut total_hits = 0u64;
+    let count = corpus.len();
+    for (name, source) in corpus {
+        let mut tiered = boot_bare_machine(&source, false)?;
+        let mut interp = boot_bare_machine(&source, false)?;
+        interp.set_superblock_tier(false);
+        let mut steps = 0u64;
+        let mut syscalls = 0u64;
+        while steps < max_steps {
+            let outcome =
+                run_tiered_lockstep(&mut tiered, &mut interp, max_steps - steps, 256);
+            steps += outcome.steps;
+            if let Some(divergence) = outcome.divergence {
+                return Err(format!(
+                    "{name}: TIER DIVERGENCE at instruction {}: {}\n",
+                    steps - outcome.steps + divergence.step,
+                    divergence.detail
+                ));
+            }
+            // An `ecall` leaves pc pointing at the instruction on both
+            // machines; anything else that stopped us early is terminal.
+            let pc = tiered.hart().pc();
+            if steps >= max_steps || tiered.memory().read_u32(pc) != Ok(ECALL_WORD) {
+                break;
+            }
+            syscalls += 1;
+            for machine in [&mut tiered, &mut interp] {
+                machine.hart_mut().set_reg(Reg::A0, 0);
+                machine.advance_pc();
+            }
+        }
+        let stats = tiered.superblock_stats();
+        let _ = writeln!(
+            out,
+            "{name:<28} {:>9} insns  {:>8} superblock entries  {:>9} tier insns  \
+             {:>5} side exits  {syscalls} syscalls stubbed",
+            steps, stats.hits, stats.insns, stats.side_exits
+        );
+        total_steps += steps;
+        total_hits += stats.hits;
+    }
+    let _ = writeln!(
+        out,
+        "tier lockstep OK: {count} workloads, {total_steps} instructions, \
+         {total_hits} superblock entries, tier architecturally identical to \
+         the interpreter"
+    );
+    Ok(out)
+}
+
 /// Parses a configuration label (`base|ra|fp|non-control|full`).
 ///
 /// # Errors
@@ -529,6 +606,9 @@ USAGE:
     regvault-cli replay  <bundle>          re-run a bundle, check bit-for-bit
     regvault-cli divergence <file.s> [steps] [interval]
                                            lockstep optimized vs reference datapath
+    regvault-cli divergence --tiers [steps]
+                                           lockstep superblock tier vs interpreter
+                                           over every UnixBench/LMbench guest
     regvault-cli trace   <file.s> [--json|--chrome] [--limit N]
     regvault-cli trace   --workload <name> [--json|--chrome] [--limit N]
                                            structured event trace (--chrome loads
@@ -658,6 +738,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let bytes = std::fs::read(bundle)
                 .map_err(|e| format!("cannot read `{bundle}`: {e}"))?;
             cmd_replay(&bytes)
+        }
+        [cmd, flag] if cmd == "divergence" && flag == "--tiers" => {
+            cmd_divergence_tiers(500_000)
+        }
+        [cmd, flag, steps] if cmd == "divergence" && flag == "--tiers" => {
+            let steps = steps
+                .parse()
+                .map_err(|_| format!("invalid step budget `{steps}`"))?;
+            cmd_divergence_tiers(steps)
         }
         [cmd, file] if cmd == "divergence" => {
             cmd_divergence(&read_source(file)?, 1_000_000, 256)
@@ -813,6 +902,15 @@ mod tests {
     fn divergence_clean_program_agrees() {
         let out = cmd_divergence(CRYPTO_PROGRAM, 10_000, 64).unwrap();
         assert!(out.contains("lockstep OK"), "{out}");
+    }
+
+    #[test]
+    fn divergence_tiers_corpus_agrees() {
+        // A tight budget keeps the 18-guest sweep fast in debug CI runs;
+        // the compute loops still run hot enough to enter superblocks.
+        let out = cmd_divergence_tiers(20_000).unwrap();
+        assert!(out.contains("tier lockstep OK"), "{out}");
+        assert!(out.contains("18 workloads"), "{out}");
     }
 
     #[test]

@@ -47,14 +47,14 @@ pub(crate) fn step(machine: &mut Machine) -> Option<Event> {
     execute(machine, insn, pc)
 }
 
-fn raise(machine: &mut Machine, cause: ExceptionCause, tval: u64) -> Event {
+pub(crate) fn raise(machine: &mut Machine, cause: ExceptionCause, tval: u64) -> Event {
     machine.stats.exceptions += 1;
     let trap_cycles = machine.cost.trap;
     machine.stats.cycles += trap_cycles;
     Event::Exception { cause, tval }
 }
 
-fn retire(machine: &mut Machine, class: InsnClass, branch_taken: bool, crypto_hit: bool) {
+pub(crate) fn retire(machine: &mut Machine, class: InsnClass, branch_taken: bool, crypto_hit: bool) {
     let cycles = machine.cost.cycles(class, branch_taken, crypto_hit);
     machine.stats.retire(class, cycles);
 }
@@ -353,7 +353,7 @@ fn csr_access(
     None
 }
 
-fn class_of(op: AluOp) -> InsnClass {
+pub(crate) fn class_of(op: AluOp) -> InsnClass {
     match op {
         AluOp::Mul | AluOp::Mulh | AluOp::Mulhsu | AluOp::Mulhu => InsnClass::Mul,
         AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => InsnClass::Div,
@@ -361,7 +361,7 @@ fn class_of(op: AluOp) -> InsnClass {
     }
 }
 
-fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
+pub(crate) fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -408,7 +408,7 @@ fn alu64(op: AluOp, a: u64, b: u64) -> u64 {
 
 /// 32-bit ALU; `None` for ops with no W form (a decode anomaly the caller
 /// reports as an illegal instruction).
-fn alu32(op: AluOp, a: u64, b: u64) -> Option<u64> {
+pub(crate) fn alu32(op: AluOp, a: u64, b: u64) -> Option<u64> {
     let a32 = a as u32;
     let b32 = b as u32;
     let result: u32 = match op {

@@ -177,6 +177,20 @@ impl FaultPlan {
         Self { pending, applied }
     }
 
+    /// Earliest pending trigger point, `None` when the schedule is empty.
+    /// The superblock tier refuses to enter a block that would retire past
+    /// this instret, so injected faults always land on the exact
+    /// architectural step.
+    pub(crate) fn next_due(&self) -> Option<u64> {
+        self.pending
+            .iter()
+            .map(|spec| {
+                let FaultTrigger::AtInstret(when) = spec.trigger;
+                when
+            })
+            .min()
+    }
+
     /// Removes and returns every fault due at `instret`, preserving
     /// schedule order.
     pub(crate) fn take_due(&mut self, instret: u64) -> Vec<FaultKind> {

@@ -74,6 +74,7 @@ mod mem;
 mod replay;
 mod snapshot;
 mod stats;
+mod superblock;
 pub mod trace;
 
 pub use clb::{Clb, ClbStats};
@@ -82,10 +83,13 @@ pub use engine::{CryptoEngine, CryptoResult, IntegrityError, KeyRegFile, Watchdo
 pub use error::{ExceptionCause, SimError};
 pub use fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use hart::{Hart, Privilege};
-pub use lockstep::{arch_divergence, run_lockstep, Divergence, LockstepOutcome};
+pub use lockstep::{
+    arch_divergence, run_lockstep, run_tiered_lockstep, Divergence, LockstepOutcome,
+};
 pub use machine::{Event, Machine, MachineConfig};
 pub use mem::Memory;
 pub use replay::{shrink_events, EventLog, LoggedEvent, ReproBundle};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotKind};
 pub use stats::{InsnClass, Stats};
+pub use superblock::SuperblockStats;
 pub use trace::{NullTracer, RingTracer, TraceEvent, TraceRecord, Tracer, TrapCause};

@@ -14,6 +14,7 @@ use crate::{
     icache::DecodeCache,
     mem::Memory,
     stats::{InsnClass, Stats},
+    superblock::{self, SuperblockCache, SuperblockStats},
     trace::{RingTracer, TraceEvent, TraceRecord, Tracer},
 };
 
@@ -45,6 +46,13 @@ pub struct MachineConfig {
     /// architecturally identical by construction — the co-execution target
     /// of [`crate::lockstep`].
     pub reference_datapath: bool,
+    /// Enable the superblock translation tier (on by default): hot basic
+    /// blocks are pre-translated into fused threaded-code traces and
+    /// dispatched whole. Architecturally invisible — the tier only enters
+    /// a block when it can prove no timer, fault, watchdog or step-budget
+    /// boundary lands inside it. Disable to force pure single-stepping
+    /// (the reference semantics for differential testing).
+    pub superblock_tier: bool,
 }
 
 impl Default for MachineConfig {
@@ -55,6 +63,7 @@ impl Default for MachineConfig {
             seed: 0x5EED_0001,
             timer_interval: None,
             reference_datapath: false,
+            superblock_tier: true,
         }
     }
 }
@@ -108,6 +117,16 @@ pub struct Machine {
     /// retired-instruction timestamp — the nondeterministic-input log that
     /// record/replay serializes into repro bundles.
     pub(crate) recorder: Option<crate::replay::EventLog>,
+    /// Superblock tier state: translated traces, boundary profile,
+    /// counters. Microarchitectural (never snapshotted; restore resets it).
+    pub(crate) sb: SuperblockCache,
+    /// Master switch for the tier ([`MachineConfig::superblock_tier`]).
+    pub(crate) sb_enabled: bool,
+    /// `true` when the current pc was reached by a control transfer (or an
+    /// event), i.e. it is a block boundary worth profiling. Purely a
+    /// profiling heuristic — entering a cached block is correct from any
+    /// path.
+    pub(crate) sb_boundary: bool,
 }
 
 /// Pre-registered metric handles for the simulator's hot paths. Updating a
@@ -163,6 +182,9 @@ impl Machine {
             fault_plan: None,
             watchdog: None,
             recorder: None,
+            sb: SuperblockCache::default(),
+            sb_enabled: config.superblock_tier,
+            sb_boundary: true,
         }
     }
 
@@ -264,6 +286,7 @@ impl Machine {
     pub fn metrics_snapshot(&self) -> MetricsRegistry {
         let mut out = self.metrics.clone();
         let clb = self.engine.clb().stats();
+        let sb = self.sb.stats();
         for (name, value) in [
             ("cycles", self.stats.cycles),
             ("instret", self.stats.instret),
@@ -277,6 +300,12 @@ impl Machine {
             ("clb_evictions", clb.evictions),
             ("clb_invalidations", clb.invalidations),
             ("clb_occupancy", self.engine.clb().occupancy() as u64),
+            ("superblock_hits", sb.hits),
+            ("superblock_insns", sb.insns),
+            ("superblock_side_exits", sb.side_exits),
+            ("superblock_built", sb.built),
+            ("superblock_invalidations", sb.invalidations),
+            ("superblock_cached", sb.cached as u64),
         ] {
             let handle = out.counter(name);
             out.add(handle, value);
@@ -331,6 +360,9 @@ impl Machine {
         self.engine.clb_mut().reset_stats();
         self.metrics.reset_values();
         self.next_timer = self.timer_interval.unwrap_or(u64::MAX);
+        // Zero the tier's counters but keep its translated traces warm —
+        // reset_stats separates measurement epochs, it doesn't cool caches.
+        self.sb.reset_counters();
     }
 
     /// The active cost model.
@@ -621,6 +653,111 @@ impl Machine {
         Ok(exec::step(self))
     }
 
+    /// Executes up to `budget` architectural steps as one unit: a whole
+    /// superblock when the tier can prove equivalence, otherwise exactly
+    /// one interpreter step. Returns how many [`Machine::step`] equivalents
+    /// were consumed plus the event (if any) the final step produced.
+    ///
+    /// This is the dispatch loop under [`Machine::run`]; it is public so
+    /// differential harnesses ([`crate::lockstep::run_tiered_lockstep`])
+    /// can drive the tier directly and align it against a single-stepping
+    /// reference.
+    ///
+    /// # Errors
+    ///
+    /// Exactly like [`Machine::step`]: [`SimError::Timeout`] when an armed
+    /// watchdog budget is exhausted.
+    pub fn step_tier(&mut self, budget: u64) -> Result<(u64, Option<Event>), SimError> {
+        if self.sb_enabled && self.sb_boundary && self.tracer.is_none() {
+            if let Some(outcome) = self.try_superblock(budget) {
+                return Ok(outcome);
+            }
+        }
+        let pc_before = self.hart.pc();
+        let event = self.step()?;
+        // A non-sequential pc marks the next instruction as a block
+        // boundary worth profiling.
+        self.sb_boundary = event.is_some() || self.hart.pc() != pc_before.wrapping_add(4);
+        Ok((1, event))
+    }
+
+    /// Attempts to dispatch a superblock at the current pc. `None` falls
+    /// back to single-stepping: no valid block here (or not yet hot), or
+    /// one of the entry conditions — step budget, watchdog, timer, pending
+    /// fault — cannot rule out an observation point inside the block.
+    fn try_superblock(&mut self, budget: u64) -> Option<(u64, Option<Event>)> {
+        let pc = self.hart.pc();
+        let block = match self.sb.probe(pc) {
+            superblock::Probe::Cold => return None,
+            superblock::Probe::Hot => {
+                let built = superblock::build(&self.mem, &self.cost, pc);
+                self.sb.install(pc, built)?
+            }
+            superblock::Probe::Built => self.sb.lookup(pc, &self.mem)?,
+        };
+
+        let len = block.len;
+        if len > budget {
+            return None;
+        }
+        if let Some(dog) = &self.watchdog {
+            // `remaining >= len` means every one of the `len` single steps
+            // would have passed its own expiry check.
+            if dog.expired() || dog.remaining() < len {
+                return None;
+            }
+        }
+        // Strict bound: cycles only grow, so if the block's worst case
+        // stays below `next_timer`, no sub-step could have delivered the
+        // timer.
+        if self.stats.cycles.saturating_add(block.max_cycles) >= self.next_timer {
+            return None;
+        }
+        if let Some(plan) = &self.fault_plan {
+            if let Some(due) = plan.next_due() {
+                if due <= self.stats.instret.saturating_add(len) {
+                    return None;
+                }
+            }
+        }
+
+        let exit = superblock::execute(self, &block);
+        self.sb.hits += 1;
+        self.sb.insns += exit.retired;
+        if exit.side_exit {
+            self.sb.side_exits += 1;
+        }
+        // The trace *is* the decoded form: account its instructions as
+        // decode-cache hits, like the interpreter path would.
+        self.stats.decode_hits += exit.retired;
+        if let Some(dog) = &mut self.watchdog {
+            dog.consume(exit.consumed);
+        }
+        // Wherever the block exited — branch target, fall-through, fault
+        // pc — the next instruction starts at a boundary.
+        self.sb_boundary = true;
+        Some((exit.consumed, exit.event))
+    }
+
+    /// Counters for the superblock translation tier.
+    #[must_use]
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sb.stats()
+    }
+
+    /// Enables or disables the superblock tier at runtime. Off forces pure
+    /// single-stepping — the reference semantics differential harnesses
+    /// compare against.
+    pub fn set_superblock_tier(&mut self, enabled: bool) {
+        self.sb_enabled = enabled;
+    }
+
+    /// `true` while the superblock tier may dispatch traces.
+    #[must_use]
+    pub fn superblock_tier(&self) -> bool {
+        self.sb_enabled
+    }
+
     /// Runs until an [`Event`] occurs.
     ///
     /// # Errors
@@ -628,8 +765,11 @@ impl Machine {
     /// Returns [`SimError::StepLimitExceeded`] after `max_steps`
     /// instructions without an event.
     pub fn run(&mut self, max_steps: u64) -> Result<Event, SimError> {
-        for _ in 0..max_steps {
-            if let Some(event) = self.step()? {
+        let mut steps = 0u64;
+        while steps < max_steps {
+            let (consumed, event) = self.step_tier(max_steps - steps)?;
+            steps += consumed;
+            if let Some(event) = event {
                 return Ok(event);
             }
         }

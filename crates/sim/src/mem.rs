@@ -71,6 +71,17 @@ impl Memory {
         self.pages.contains_key(&(addr >> PAGE_SHIFT))
     }
 
+    /// The page number containing `addr` (superblock tagging uses the same
+    /// granularity as the write-generation invalidation).
+    pub(crate) fn page_number(addr: u64) -> u64 {
+        addr >> PAGE_SHIFT
+    }
+
+    /// Current write generation of a page, `None` if unmapped.
+    pub(crate) fn page_gen(&self, page_no: u64) -> Option<u64> {
+        self.pages.get(&page_no).map(|page| page.gen)
+    }
+
     /// Pre-maps (zero-fills) the page range covering `[start, start + len)`.
     pub fn map_region(&mut self, start: u64, len: u64) {
         if len == 0 {

@@ -742,6 +742,12 @@ impl Machine {
             self.mem.restore_page(*no, *gen, data);
         }
         self.icache = crate::icache::DecodeCache::new();
+        // The superblock tier is derived state too: drop its traces and
+        // profile. Page generations are restored above, so even a kept
+        // trace would be validated correctly — clearing is belt and braces
+        // plus counter hygiene.
+        self.sb = crate::superblock::SuperblockCache::default();
+        self.sb_boundary = true;
         let rebuild = self.engine.is_reference() != snapshot.reference_datapath
             || self.engine.clb().capacity() != snapshot.clb_capacity;
         if rebuild {
@@ -787,6 +793,7 @@ impl Machine {
             seed: snapshot.seed,
             timer_interval: snapshot.timer_interval,
             reference_datapath: snapshot.reference_datapath,
+            ..crate::machine::MachineConfig::default()
         });
         machine.restore(snapshot)?;
         Ok(machine)

@@ -1,0 +1,290 @@
+//! Property tests for the superblock translation tier.
+//!
+//! Three angles:
+//!
+//! 1. **Differential**: random loop-heavy guest programs must leave a
+//!    tiered machine and a pure single-step interpreter in identical
+//!    architectural state (registers, memory, CSRs, keys, CLB, counters).
+//! 2. **Self-modifying code, cold path**: a store into the page holding an
+//!    active superblock must invalidate the trace *before its next entry*,
+//!    so the patched instruction semantics take effect on the very next
+//!    iteration — on both datapaths.
+//! 3. **Self-modifying code, mid-trace**: a store executed *inside* a
+//!    running superblock that touches the block's own page must side-exit
+//!    after retiring the store, and the machine must still agree with the
+//!    interpreter instruction-for-instruction.
+
+use proptest::prelude::*;
+use regvault_isa::{asm, KeyReg, Reg};
+use regvault_sim::{arch_divergence, Machine, MachineConfig};
+
+const CODE_BASE: u64 = 0x8000_0000;
+const DATA: [&str; 4] = ["t0", "t1", "t2", "t3"];
+
+/// A tiered machine and a single-step interpreter with identical keys.
+fn pair() -> (Machine, Machine) {
+    let mut tiered = Machine::new(MachineConfig::default());
+    let mut interp = Machine::new(MachineConfig {
+        superblock_tier: false,
+        ..MachineConfig::default()
+    });
+    for machine in [&mut tiered, &mut interp] {
+        machine.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
+    }
+    (tiered, interp)
+}
+
+/// Assemble `source`, run it to `ebreak` on both datapaths, and return the
+/// finished machines.
+fn run_both(source: &str) -> (Machine, Machine) {
+    let program = asm::assemble(source).expect("assembles");
+    let (mut tiered, mut interp) = pair();
+    for machine in [&mut tiered, &mut interp] {
+        machine.load_program(CODE_BASE, program.bytes());
+        machine.hart_mut().set_pc(CODE_BASE);
+        machine.run_until_break(8_000_000).expect("terminates");
+    }
+    (tiered, interp)
+}
+
+/// Encoding of a single assembly instruction.
+fn encode(source: &str) -> u32 {
+    let program = asm::assemble(source).expect("assembles");
+    u32::from_le_bytes(program.bytes()[0..4].try_into().unwrap())
+}
+
+/// Byte offset of the unique occurrence of `needle` in assembled code.
+fn find_insn(bytes: &[u8], needle: u32) -> u64 {
+    let mut found = None;
+    for (i, word) in bytes.chunks_exact(4).enumerate() {
+        if u32::from_le_bytes([word[0], word[1], word[2], word[3]]) == needle {
+            assert!(found.is_none(), "patch target must be unique");
+            found = Some((i * 4) as u64);
+        }
+    }
+    found.expect("patch target present")
+}
+
+/// One random instruction (or short template) in the hot loop body.
+///
+/// Register roles: `t0`–`t3` are data, `t4` holds the crypto tweak, `s0`
+/// the scratch base, `t6`/`s1` the loop counter and limit, `a1`/`a2` are
+/// crypto scratch. Templates only write data and scratch registers, so the
+/// loop always terminates.
+#[derive(Debug, Clone)]
+enum BodyOp {
+    /// Register-register ALU op.
+    Alu { op: usize, rd: usize, rs1: usize, rs2: usize },
+    /// Register-immediate ALU op.
+    AluImm { op: usize, rd: usize, rs: usize, imm: i64 },
+    /// Store a data register into the scratch page.
+    Store { width: usize, rs: usize, slot: u64 },
+    /// Load from the scratch page into a data register.
+    Load { width: usize, rd: usize, slot: u64 },
+    /// `cre` then either store the ciphertext (exercising cre+store
+    /// fusion) or round-trip it through `crd`.
+    Crypto { src: usize, rd: usize, store: bool, slot: u64 },
+    /// A forward branch guarding one instruction.
+    Guarded { rs1: usize, rs2: usize, rd: usize, imm: i64 },
+}
+
+fn render(op: &BodyOp, idx: usize) -> String {
+    match op {
+        BodyOp::Alu { op, rd, rs1, rs2 } => {
+            let mnem = ["add", "sub", "xor", "or", "and", "sll"][*op % 6];
+            format!("{mnem} {}, {}, {}", DATA[*rd], DATA[*rs1], DATA[*rs2])
+        }
+        BodyOp::AluImm { op, rd, rs, imm } => match *op % 6 {
+            0 => format!("addi {}, {}, {}", DATA[*rd], DATA[*rs], imm),
+            1 => format!("xori {}, {}, {}", DATA[*rd], DATA[*rs], imm),
+            2 => format!("ori {}, {}, {}", DATA[*rd], DATA[*rs], imm),
+            3 => format!("andi {}, {}, {}", DATA[*rd], DATA[*rs], imm),
+            4 => format!("slli {}, {}, {}", DATA[*rd], DATA[*rs], imm.unsigned_abs() % 64),
+            _ => format!("srli {}, {}, {}", DATA[*rd], DATA[*rs], imm.unsigned_abs() % 64),
+        },
+        BodyOp::Store { width, rs, slot } => {
+            let (mnem, scale) = [("sb", 1), ("sh", 2), ("sw", 4), ("sd", 8)][*width % 4];
+            format!("{mnem} {}, {}(s0)", DATA[*rs], slot * scale)
+        }
+        BodyOp::Load { width, rd, slot } => {
+            let (mnem, scale) =
+                [("lbu", 1), ("lh", 2), ("lw", 4), ("ld", 8)][*width % 4];
+            format!("{mnem} {}, {}(s0)", DATA[*rd], slot * scale)
+        }
+        BodyOp::Crypto { src, rd, store, slot } => {
+            if *store {
+                format!(
+                    "creak a1, {}[7:0], t4\n sd a1, {}(s0)",
+                    DATA[*src],
+                    slot * 8
+                )
+            } else {
+                format!(
+                    "creak a1, {}[7:0], t4\n crdak a2, a1, t4, [7:0]\n add {}, a2, {}",
+                    DATA[*src], DATA[*rd], DATA[*src]
+                )
+            }
+        }
+        BodyOp::Guarded { rs1, rs2, rd, imm } => format!(
+            "bne {}, {}, skip{idx}\n addi {}, {}, {}\nskip{idx}:",
+            DATA[*rs1], DATA[*rs2], DATA[*rd], DATA[*rd], imm
+        ),
+    }
+}
+
+fn body_op() -> impl Strategy<Value = BodyOp> {
+    prop_oneof![
+        (0usize..6, 0usize..4, 0usize..4, 0usize..4)
+            .prop_map(|(op, rd, rs1, rs2)| BodyOp::Alu { op, rd, rs1, rs2 }),
+        (0usize..6, 0usize..4, 0usize..4, -512i64..512)
+            .prop_map(|(op, rd, rs, imm)| BodyOp::AluImm { op, rd, rs, imm }),
+        (0usize..4, 0usize..4, 0u64..15)
+            .prop_map(|(width, rs, slot)| BodyOp::Store { width, rs, slot }),
+        (0usize..4, 0usize..4, 0u64..15)
+            .prop_map(|(width, rd, slot)| BodyOp::Load { width, rd, slot }),
+        (0usize..4, 0usize..4, any::<bool>(), 0u64..15)
+            .prop_map(|(src, rd, store, slot)| BodyOp::Crypto { src, rd, store, slot }),
+        (0usize..4, 0usize..4, 0usize..4, -64i64..64)
+            .prop_map(|(rs1, rs2, rd, imm)| BodyOp::Guarded { rs1, rs2, rd, imm }),
+    ]
+}
+
+/// A hot loop over the random body: scratch page zeroed up front so every
+/// load is mapped, data registers seeded, `iters` iterations.
+fn loop_program(body: &[BodyOp], iters: u64, seeds: &[u64; 4]) -> String {
+    let mut text = String::from("li s0, 0x9000\n li t4, 0x9000\n");
+    for slot in 0..16 {
+        text.push_str(&format!("sd zero, {}(s0)\n ", slot * 8));
+    }
+    for (reg, seed) in DATA.iter().zip(seeds) {
+        text.push_str(&format!("li {reg}, {seed}\n "));
+    }
+    // Two straight-line fillers so the loop head is always a buildable
+    // trace (a body starting with a branch would otherwise leave the head
+    // block below the tier's minimum length — a policy no-build, not a bug,
+    // but it would defeat the `hits > 0` assertion below).
+    text.push_str(&format!(
+        "li t6, 0\n li s1, {iters}\nloop:\n add t5, t0, t1\n xor t5, t5, t2\n "
+    ));
+    for (idx, op) in body.iter().enumerate() {
+        text.push_str(&render(op, idx));
+        text.push_str("\n ");
+    }
+    text.push_str("addi t6, t6, 1\n blt t6, s1, loop\n ebreak");
+    text
+}
+
+proptest! {
+    /// Random loop-heavy programs: the superblock tier and the single-step
+    /// interpreter finish in identical architectural state, and the tier
+    /// actually engaged (the loop head runs hot).
+    #[test]
+    fn tier_matches_interpreter_on_random_programs(
+        body in prop::collection::vec(body_op(), 1..10),
+        iters in 32u64..128,
+        seeds in (0u64..1024, 0u64..1024, 0u64..1024, 0u64..1024),
+    ) {
+        let seeds = [seeds.0, seeds.1, seeds.2, seeds.3];
+        let source = loop_program(&body, iters, &seeds);
+        let (tiered, interp) = run_both(&source);
+        prop_assert_eq!(arch_divergence(&tiered, &interp), None);
+        let stats = tiered.superblock_stats();
+        prop_assert!(stats.hits > 0, "tier never engaged: {stats:?}");
+        prop_assert!(stats.insns >= stats.hits);
+    }
+
+    /// A store into the page holding an active superblock invalidates the
+    /// trace before its next entry: a guest patch of a loop-body
+    /// instruction (addi imm 3 -> `new_imm`) changes semantics on the very
+    /// next iteration, so the final accumulator matches the arithmetic
+    /// expectation — on the tiered datapath, and in agreement with the
+    /// interpreter.
+    #[test]
+    fn smc_patch_takes_effect_before_next_entry(
+        patch_iter in 20u64..60,
+        new_imm in 4i64..32,
+    ) {
+        const ITERS: u64 = 64;
+        let new_word = encode(&format!("addi t2, t2, {new_imm}"));
+        let text = |off: u64| -> String {
+            format!(
+                "li s0, 0x9000
+                 li s2, {CODE_BASE}
+                 li s3, {patch_iter}
+                 li s4, {new_word}
+                 li t6, 0
+                 li s1, {ITERS}
+                 li t0, 0
+                 li t2, 0
+                loop:
+                 addi t0, t0, 1
+                 addi t2, t2, 3
+                 xor  t5, t0, t2
+                 bne  t6, s3, nopatch
+                 sw   s4, {off}(s2)
+                nopatch:
+                 addi t6, t6, 1
+                 blt  t6, s1, loop
+                 ebreak"
+            )
+        };
+        // Two passes: locate the patch target in the assembled bytes, then
+        // re-assemble with the real store offset (same instruction count).
+        let probe = asm::assemble(&text(0)).expect("assembles");
+        let off = find_insn(probe.bytes(), encode("addi t2, t2, 3"));
+        let (tiered, interp) = run_both(&text(off));
+
+        // Old imm (3) for iterations 0..=patch_iter (the patch lands after
+        // the target already ran that iteration), new imm afterwards.
+        let expected = 3 * (patch_iter + 1) + new_imm as u64 * (ITERS - patch_iter - 1);
+        prop_assert_eq!(tiered.hart().reg(Reg::T2), expected);
+        prop_assert_eq!(arch_divergence(&tiered, &interp), None);
+        let stats = tiered.superblock_stats();
+        prop_assert!(
+            stats.invalidations >= 1,
+            "patch must drop the stale trace: {stats:?}"
+        );
+    }
+}
+
+/// A store executed *inside* a running superblock that hits the block's own
+/// page (here: rewriting a later loop instruction with its own encoding)
+/// must side-exit after retiring the store and re-enter cleanly — every
+/// iteration — while staying in lockstep with the interpreter.
+#[test]
+fn mid_trace_self_store_side_exits_and_invalidates() {
+    const ITERS: u64 = 64;
+    let own_word = encode("xor t5, t0, t2");
+    let text = |off: u64| -> String {
+        format!(
+            "li s0, 0x9000
+             li s2, {CODE_BASE}
+             li s4, {own_word}
+             li t6, 0
+             li s1, {ITERS}
+             li t0, 0
+             li t2, 0
+            loop:
+             addi t0, t0, 1
+             addi t2, t2, 3
+             sw   s4, {off}(s2)
+             xor  t5, t0, t2
+             addi t6, t6, 1
+             blt  t6, s1, loop
+             ebreak"
+        )
+    };
+    let probe = asm::assemble(&text(0)).expect("assembles");
+    let off = find_insn(probe.bytes(), own_word);
+    let (tiered, interp) = run_both(&text(off));
+
+    assert_eq!(tiered.hart().reg(Reg::T0), ITERS);
+    assert_eq!(tiered.hart().reg(Reg::T2), 3 * ITERS);
+    assert_eq!(arch_divergence(&tiered, &interp), None);
+    let stats = tiered.superblock_stats();
+    assert!(stats.side_exits > 0, "self-store must side-exit: {stats:?}");
+    assert!(
+        stats.invalidations > 0,
+        "self-store must invalidate the trace: {stats:?}"
+    );
+}

@@ -93,6 +93,10 @@ echo "==> 10k-step lockstep divergence check (SWAR datapath vs reference)"
 target/release/regvault-cli divergence /tmp/regvault_replay_smoke.s 10000 256 \
     | grep -q "lockstep OK"
 
+echo "==> superblock tier lockstep sweep (tier vs interpreter, all guests)"
+target/release/regvault-cli divergence --tiers 200000 \
+    | grep -q "tier lockstep OK"
+
 echo "==> campaign repro bundle: replay bit-for-bit, shrink to <= 10%"
 rm -rf /tmp/regvault_repro && mkdir -p /tmp/regvault_repro
 target/release/fault_campaign --trials 2 --config full --noise 20 \
