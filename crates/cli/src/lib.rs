@@ -41,7 +41,12 @@ use regvault_kernel::ProtectionConfig;
 use regvault_sim::{
     run_lockstep, run_tiered_lockstep, FaultKind, FaultPlan, Machine, MachineConfig, ReproBundle,
 };
-use regvault_verifier::{verify as verifier_verify, ProtectionManifest, VerifyOptions};
+use regvault_verifier::baseline::Baseline;
+use regvault_verifier::callgraph::CallGraphStats;
+use regvault_verifier::{
+    sarif_report, verify as verifier_verify, ProtectionManifest, Report, Severity, VerifyOptions,
+    ViolationKind,
+};
 use regvault_workloads::{lmbench::Lmbench, spec::Spec, unixbench::UnixBench, Workload};
 
 /// Error string type used by the CLI (messages go straight to stderr).
@@ -449,41 +454,237 @@ pub fn cmd_hwcost(entries: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parsed arguments of the `verify` subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyArgs {
+    /// Verify the whole benchmark corpus instead of a single file.
+    pub workloads: bool,
+    /// Assembly file to verify (when not `--workloads`).
+    pub file: Option<String>,
+    /// Emit the machine-readable JSON report.
+    pub json: bool,
+    /// Emit a SARIF 2.1.0-style document instead of human/JSON output.
+    pub sarif: bool,
+    /// Whole-program mode: call-graph recovery, interprocedural taint
+    /// summaries, and the tweak-diversity / raw-key-flow / spill-gadget
+    /// lints.
+    pub interprocedural: bool,
+    /// Baseline file to ratchet against: exit nonzero on any finding whose
+    /// `(image, kind, fingerprint)` is not in it.
+    pub baseline: Option<String>,
+    /// Write the observed findings to this path as a fresh baseline.
+    pub update_baseline: Option<String>,
+    /// Key-storage data symbols (single-file mode): loads from them are
+    /// tracked by the raw-key-flow lint.
+    pub key_symbols: Vec<String>,
+}
+
+/// Parses `verify` subcommand arguments.
+///
+/// # Errors
+///
+/// Rejects unknown flags, missing flag values, and contradictory
+/// combinations (no input, both a file and `--workloads`, `--json` with
+/// `--sarif`).
+pub fn parse_verify_args(args: &[String]) -> Result<VerifyArgs, CliError> {
+    let mut parsed = VerifyArgs::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workloads" => parsed.workloads = true,
+            "--json" => parsed.json = true,
+            "--sarif" => parsed.sarif = true,
+            "--interprocedural" => parsed.interprocedural = true,
+            "--baseline" => {
+                let value = it.next().ok_or("`--baseline` needs a path")?;
+                parsed.baseline = Some(value.clone());
+            }
+            "--update-baseline" => {
+                let value = it.next().ok_or("`--update-baseline` needs a path")?;
+                parsed.update_baseline = Some(value.clone());
+            }
+            "--key-symbol" => {
+                let value = it.next().ok_or("`--key-symbol` needs a symbol name")?;
+                parsed.key_symbols.push(value.clone());
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown verify flag `{other}`"));
+            }
+            file => {
+                if parsed.file.is_some() {
+                    return Err("verify takes at most one input file".to_owned());
+                }
+                parsed.file = Some(file.to_owned());
+            }
+        }
+    }
+    if parsed.workloads == parsed.file.is_some() {
+        return Err(usage().to_owned());
+    }
+    if parsed.json && parsed.sarif {
+        return Err("choose one of --json / --sarif".to_owned());
+    }
+    Ok(parsed)
+}
+
+/// Aggregated whole-program analysis summary: call-graph coverage plus a
+/// per-lint findings table with severities and the analysis wall time.
+fn analysis_summary(reports: &[&Report], elapsed: std::time::Duration) -> String {
+    let mut graph = CallGraphStats::default();
+    for r in reports {
+        if let Some(g) = r.graph {
+            graph.functions += g.functions;
+            graph.edges += g.edges;
+            graph.direct_calls += g.direct_calls;
+            graph.resolved_indirect += g.resolved_indirect;
+            graph.unresolved_indirect += g.unresolved_indirect;
+            graph.tail_calls += g.tail_calls;
+        }
+    }
+    let count = |kind: ViolationKind| -> usize {
+        reports
+            .iter()
+            .flat_map(|r| &r.violations)
+            .filter(|v| v.kind == kind)
+            .count()
+    };
+    let errors: usize = reports
+        .iter()
+        .map(|r| r.count_by_severity(Severity::Error))
+        .sum();
+    let warnings: usize = reports
+        .iter()
+        .map(|r| r.count_by_severity(Severity::Warning))
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "call graph: {} function(s), {} edge(s); {} direct, {} resolved indirect, \
+         {} unresolved indirect, {} tail call(s)",
+        graph.functions,
+        graph.edges,
+        graph.direct_calls,
+        graph.resolved_indirect,
+        graph.unresolved_indirect,
+        graph.tail_calls
+    );
+    let _ = writeln!(
+        out,
+        "lint findings ({errors} error(s), {warnings} warning(s), analyzed in {:.1} ms):",
+        elapsed.as_secs_f64() * 1e3
+    );
+    for kind in [
+        ViolationKind::TweakDiversity,
+        ViolationKind::RawKeyFlow,
+        ViolationKind::SpillGadget,
+    ] {
+        let _ = writeln!(
+            out,
+            "  {:<26} {:<8} {}",
+            kind.id(),
+            kind.severity().id(),
+            count(kind)
+        );
+    }
+    out
+}
+
+/// Applies the baseline ratchet over labeled reports: `--update-baseline`
+/// rewrites the file from the observed findings; `--baseline` checks against
+/// it. Returns `(summary text, ratchet failed)`.
+fn apply_ratchet(
+    args: &VerifyArgs,
+    runs: &[(String, &Report)],
+) -> Result<(String, bool), CliError> {
+    if let Some(path) = &args.update_baseline {
+        let baseline = Baseline::from_reports(runs);
+        std::fs::write(path, baseline.render())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        return Ok((
+            format!(
+                "baseline updated: {} entr(ies) written to {path}\n",
+                baseline.entries.len()
+            ),
+            false,
+        ));
+    }
+    let Some(path) = &args.baseline else {
+        return Ok((String::new(), false));
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let baseline = Baseline::parse(&text)?;
+    let (new, resolved) = baseline.check(runs);
+    let mut out = String::new();
+    for finding in &new {
+        let _ = writeln!(
+            out,
+            "NEW FINDING [{}] {} in `{}` ({}): {}",
+            finding.kind, finding.image, finding.function, finding.fingerprint, finding.detail
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ratchet: {} baseline entr(ies), {} new finding(s), {} resolved",
+        baseline.entries.len(),
+        new.len(),
+        resolved
+    );
+    Ok((out, !new.is_empty()))
+}
+
 /// Verifies a hand-written assembly program against the RegVault dataflow
 /// invariants. Regions that fail to decode are skipped as data (hand-written
 /// images may interleave `.dword` pools with code).
 ///
-/// Returns `Ok(report)` when the image is clean and `Err(report)` when the
-/// verifier found violations, so callers can exit non-zero.
+/// Returns `Ok(report)` when the image has no error-severity findings and
+/// `Err(report)` otherwise (or when the baseline ratchet fails), so callers
+/// can exit non-zero. Interprocedural lint warnings render but do not fail.
 ///
 /// # Errors
 ///
 /// Returns the assembler diagnostic on malformed input, or the rendered
 /// verification report when the program violates an invariant.
-pub fn cmd_verify_source(source: &str, json: bool) -> Result<String, CliError> {
+pub fn cmd_verify_source(source: &str, args: &VerifyArgs) -> Result<String, CliError> {
     let program = asm::assemble(source).map_err(|e| e.to_string())?;
+    let manifest = ProtectionManifest {
+        key_symbols: args.key_symbols.clone(),
+        ..ProtectionManifest::default()
+    };
     let options = VerifyOptions {
         undecodable_is_data: true,
+        interprocedural: args.interprocedural,
         ..VerifyOptions::default()
     };
+    let started = std::time::Instant::now();
     let report = verifier_verify(
         program.bytes(),
         program.symbols().iter(),
-        &ProtectionManifest::default(),
+        &manifest,
         &options,
     );
-    let mut rendered = if json {
+    let elapsed = started.elapsed();
+    let runs = vec![("<input>".to_owned(), &report)];
+    let (ratchet_text, ratchet_failed) = apply_ratchet(args, &runs)?;
+    let mut rendered = if args.sarif {
+        sarif_report(&runs)
+    } else if args.json {
         report.render_json()
     } else {
-        report.render_human()
+        let mut text = report.render_human();
+        if args.interprocedural {
+            text.push_str(&analysis_summary(&[&report], elapsed));
+        }
+        text.push_str(&ratchet_text);
+        text
     };
     if !rendered.ends_with('\n') {
         rendered.push('\n');
     }
-    if report.is_clean() {
-        Ok(rendered)
-    } else {
+    if report.has_errors() || ratchet_failed {
         Err(rendered)
+    } else {
+        Ok(rendered)
     }
 }
 
@@ -492,12 +693,15 @@ pub fn cmd_verify_source(source: &str, json: bool) -> Result<String, CliError> {
 /// manifest), plus the raw UnixBench/LMbench guest programs (dataflow
 /// invariants only).
 ///
-/// Returns `Err` with the summary when any image fails verification.
+/// Returns `Err` with the summary when any image has an error-severity
+/// finding, or when the `--baseline` ratchet sees a finding not in the
+/// committed baseline. Interprocedural lint warnings render (and feed the
+/// ratchet) but do not fail the run by themselves.
 ///
 /// # Errors
 ///
-/// Propagates compile errors and reports verification failures.
-pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
+/// Propagates compile errors and reports verification/ratchet failures.
+pub fn cmd_verify_workloads(args: &VerifyArgs) -> Result<String, CliError> {
     let configs: [(&str, CompileConfig); 5] = [
         ("base", CompileConfig::none()),
         ("ra", CompileConfig::ra_only()),
@@ -506,8 +710,9 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
         ("full", CompileConfig::full()),
     ];
 
+    let started = std::time::Instant::now();
     // (name, config label, report)
-    let mut rows: Vec<(String, &str, regvault_verifier::Report)> = Vec::new();
+    let mut rows: Vec<(String, &str, Report)> = Vec::new();
 
     for item in Spec::ALL {
         let module = item.module();
@@ -516,6 +721,7 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
             // We produce (and render) the report ourselves instead of
             // letting the in-compile gate abort on the first failure.
             config.verify_output = false;
+            config.verify_interprocedural = args.interprocedural;
             let compiled = compile(&module, &config).map_err(|e| e.to_string())?;
             let report = compiler_verify::report_for_source(&compiled, &module, &config)
                 .map_err(|e| e.to_string())?;
@@ -525,6 +731,7 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
 
     let raw_options = VerifyOptions {
         undecodable_is_data: true,
+        interprocedural: args.interprocedural,
         ..VerifyOptions::default()
     };
     let mut raw_guest = |name: &str, source: String| -> Result<(), CliError> {
@@ -544,10 +751,23 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
     for item in Lmbench::ALL {
         raw_guest(Workload::name(&item), item.source())?;
     }
+    let elapsed = started.elapsed();
+
+    let runs: Vec<(String, &Report)> = rows
+        .iter()
+        .map(|(name, label, report)| (format!("{name}@{label}"), report))
+        .collect();
+    let (ratchet_text, ratchet_failed) = apply_ratchet(args, &runs)?;
 
     let total_violations: usize = rows.iter().map(|(_, _, r)| r.violations.len()).sum();
+    let errors: usize = rows
+        .iter()
+        .map(|(_, _, r)| r.count_by_severity(Severity::Error))
+        .sum();
     let mut out = String::new();
-    if json {
+    if args.sarif {
+        let _ = writeln!(out, "{}", sarif_report(&runs));
+    } else if args.json {
         let _ = write!(out, "{{\"clean\":{},\"images\":[", total_violations == 0);
         for (i, (name, label, report)) in rows.iter().enumerate() {
             if i > 0 {
@@ -562,7 +782,7 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
         let _ = writeln!(out, "]}}");
     } else {
         for (name, label, report) in &rows {
-            let verdict = if report.is_clean() { "OK" } else { "FAIL" };
+            let verdict = if report.has_errors() { "FAIL" } else { "OK" };
             let _ = writeln!(
                 out,
                 "  {name:<12} {label:<12} {verdict:<5} {} insns, {} crypto ops, {} violation(s)",
@@ -574,13 +794,18 @@ pub fn cmd_verify_workloads(json: bool) -> Result<String, CliError> {
                 let _ = writeln!(out, "    {v}");
             }
         }
+        if args.interprocedural {
+            let reports: Vec<&Report> = rows.iter().map(|(_, _, r)| r).collect();
+            out.push_str(&analysis_summary(&reports, elapsed));
+        }
+        out.push_str(&ratchet_text);
         let _ = writeln!(
             out,
             "verified {} images: {total_violations} violation(s)",
             rows.len()
         );
     }
-    if total_violations == 0 {
+    if errors == 0 && !ratchet_failed {
         Ok(out)
     } else {
         Err(out)
@@ -598,9 +823,16 @@ USAGE:
     regvault-cli run     <file.s> [steps]  execute on the simulated machine
     regvault-cli pentest [config]          run Table 4 (default: full)
     regvault-cli hwcost  [entries]         Table 3 area model (default: 8)
-    regvault-cli verify  <file.s> [--json] check RegVault invariants over a program
-    regvault-cli verify  --workloads [--json]
-                                           verify every benchmark image
+    regvault-cli verify  <file.s> [--json|--sarif] [--interprocedural]
+                         [--key-symbol NAME]...
+                                           check RegVault invariants over a program
+                                           (--interprocedural adds call-graph
+                                           summaries + whole-program lints)
+    regvault-cli verify  --workloads [--json|--sarif] [--interprocedural]
+                         [--baseline FILE] [--update-baseline FILE]
+                                           verify every benchmark image; with
+                                           --baseline, fail on any finding not
+                                           in the committed baseline (ratchet)
     regvault-cli record  <file.s> <out.bundle> [--steps N] [--flip I:ADDR:BIT]...
                                            run + record a repro bundle
     regvault-cli replay  <bundle>          re-run a bundle, check bit-for-bit
@@ -725,13 +957,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         [cmd, config] if cmd == "pentest" => cmd_pentest(config),
         [cmd] if cmd == "hwcost" => cmd_hwcost("8"),
         [cmd, entries] if cmd == "hwcost" => cmd_hwcost(entries),
-        [cmd, flag] if cmd == "verify" && flag == "--workloads" => cmd_verify_workloads(false),
-        [cmd, flag, json] if cmd == "verify" && flag == "--workloads" && json == "--json" => {
-            cmd_verify_workloads(true)
-        }
-        [cmd, file] if cmd == "verify" => cmd_verify_source(&read_source(file)?, false),
-        [cmd, file, json] if cmd == "verify" && json == "--json" => {
-            cmd_verify_source(&read_source(file)?, true)
+        [cmd, rest @ ..] if cmd == "verify" => {
+            let parsed = parse_verify_args(rest)?;
+            if parsed.workloads {
+                cmd_verify_workloads(&parsed)
+            } else {
+                let file = parsed.file.clone().expect("parse enforces an input");
+                cmd_verify_source(&read_source(&file)?, &parsed)
+            }
         }
         [cmd, rest @ ..] if cmd == "record" => dispatch_record(rest),
         [cmd, bundle] if cmd == "replay" => {
@@ -827,7 +1060,7 @@ mod tests {
 
     #[test]
     fn verify_accepts_a_clean_program() {
-        let out = cmd_verify_source("main:\n  li a0, 1\n  ebreak", false).unwrap();
+        let out = cmd_verify_source("main:\n  li a0, 1\n  ebreak", &VerifyArgs::default()).unwrap();
         assert!(out.starts_with("OK"), "{out}");
     }
 
@@ -840,7 +1073,7 @@ mod tests {
               crdak a0, a0, t1, [7:0]
               sd a0, 0(sp)
               ebreak",
-            false,
+            &VerifyArgs::default(),
         )
         .unwrap_err();
         assert!(report.contains("plain-spill"), "{report}");
@@ -849,8 +1082,73 @@ mod tests {
 
     #[test]
     fn verify_emits_json() {
-        let out = cmd_verify_source("main:\n  ebreak", true).unwrap();
+        let args = VerifyArgs {
+            json: true,
+            ..VerifyArgs::default()
+        };
+        let out = cmd_verify_source("main:\n  ebreak", &args).unwrap();
         assert!(out.contains("\"clean\":true"), "{out}");
+    }
+
+    #[test]
+    fn verify_args_parse_and_reject_contradictions() {
+        let to_vec = |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        let parsed = parse_verify_args(&to_vec(&[
+            "--workloads",
+            "--interprocedural",
+            "--sarif",
+            "--baseline",
+            "b.txt",
+        ]))
+        .unwrap();
+        assert!(parsed.workloads && parsed.interprocedural && parsed.sarif);
+        assert_eq!(parsed.baseline.as_deref(), Some("b.txt"));
+        let parsed =
+            parse_verify_args(&to_vec(&["prog.s", "--key-symbol", "keyblob"])).unwrap();
+        assert_eq!(parsed.file.as_deref(), Some("prog.s"));
+        assert_eq!(parsed.key_symbols, vec!["keyblob".to_owned()]);
+        assert!(parse_verify_args(&to_vec(&[])).is_err());
+        assert!(parse_verify_args(&to_vec(&["a.s", "--workloads"])).is_err());
+        assert!(parse_verify_args(&to_vec(&["a.s", "--json", "--sarif"])).is_err());
+        assert!(parse_verify_args(&to_vec(&["a.s", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn verify_interprocedural_reports_graph_and_lint_table() {
+        // Warning-only program: a (key, tweak) pair reused across two
+        // encryptions of different values, never stored.
+        let args = VerifyArgs {
+            interprocedural: true,
+            ..VerifyArgs::default()
+        };
+        let out = cmd_verify_source(
+            "main:
+              li t1, 0x9000
+              creak t3, a0[7:0], t1
+              creak t4, a1[7:0], t1
+              call helper
+              ebreak
+             helper:
+              ret",
+            &args,
+        )
+        .unwrap();
+        assert!(out.contains("call graph:"), "{out}");
+        assert!(out.contains("tweak-diversity            warning  1"), "{out}");
+        assert!(out.contains("raw-key-flow"), "{out}");
+        assert!(out.contains("unprotected-spill-gadget"), "{out}");
+    }
+
+    #[test]
+    fn verify_sarif_renders_a_document() {
+        let args = VerifyArgs {
+            sarif: true,
+            interprocedural: true,
+            ..VerifyArgs::default()
+        };
+        let out = cmd_verify_source("main:\n  ebreak", &args).unwrap();
+        assert!(out.contains("\"version\":\"2.1.0\""), "{out}");
+        assert!(out.contains("regvault-verifier"), "{out}");
     }
 
     /// A crypto round-trip program for record/replay/divergence tests.
@@ -915,7 +1213,11 @@ mod tests {
 
     #[test]
     fn verify_workloads_corpus_is_clean() {
-        let out = cmd_verify_workloads(false).unwrap();
+        let out = cmd_verify_workloads(&VerifyArgs {
+            workloads: true,
+            ..VerifyArgs::default()
+        })
+        .unwrap();
         assert!(!out.contains("FAIL"), "{out}");
         // 10 SPEC programs x 5 configs + 8 UnixBench + 10 LMbench guests.
         assert!(out.contains("verified 68 images: 0 violation(s)"), "{out}");

@@ -140,3 +140,111 @@ fn unknown_commands_exit_nonzero_with_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
+
+/// Two encryptions under the same `(key, tweak)` pair: no error-severity
+/// finding, but a tweak-diversity *warning* in whole-program mode.
+const TWEAK_REUSE_PROGRAM: &str = "main:
+  addi t6, sp, 8
+  creak t5, t0[7:0], t6
+  creak t4, a4[7:0], t6
+  ebreak
+";
+
+#[test]
+fn verify_workloads_corpus_gate_is_zero() {
+    // The committed-baseline invocation CI runs (from the repo root).
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../verifier-baseline.txt");
+    let out = cli(&[
+        "verify",
+        "--workloads",
+        "--interprocedural",
+        "--baseline",
+        baseline,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified 68 images: 0 violation(s)"), "{stdout}");
+    assert!(stdout.contains("call graph:"), "{stdout}");
+    assert!(stdout.contains("ratchet:"), "{stdout}");
+}
+
+#[test]
+fn verify_sarif_emits_a_document_and_keeps_the_exit_contract() {
+    let clean = scratch("sarif_clean.s", CLEAN_PROGRAM);
+    let out = cli(&["verify", clean.to_str().unwrap(), "--sarif"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\":\"2.1.0\""), "{stdout}");
+
+    let dirty = scratch("sarif_spill.s", SPILL_PROGRAM);
+    let out = cli(&["verify", dirty.to_str().unwrap(), "--sarif"]);
+    assert!(!out.status.success(), "findings must exit nonzero: {out:?}");
+    // Failure output goes to stderr; the SARIF document still carries the
+    // finding so CI can upload it.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("plain-spill"), "{stderr}");
+}
+
+#[test]
+fn verify_ratchet_fails_on_new_findings_until_baselined() {
+    let program = scratch("ratchet.s", TWEAK_REUSE_PROGRAM);
+    let file = program.to_str().unwrap();
+
+    // Warnings alone do not fail the gate...
+    let out = cli(&["verify", file, "--interprocedural"]);
+    assert!(out.status.success(), "{out:?}");
+
+    // ...but against an empty baseline the ratchet flags them as new.
+    let empty = scratch("ratchet_empty.txt", "# regvault verifier baseline v1\n");
+    let out = cli(&[
+        "verify",
+        file,
+        "--interprocedural",
+        "--baseline",
+        empty.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "new findings must fail: {out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NEW FINDING"));
+
+    // Recording the debt and re-checking against it passes again.
+    let accepted = std::env::temp_dir().join(format!(
+        "regvault_cli_exit_codes_{}_ratchet_accepted.txt",
+        std::process::id()
+    ));
+    let out = cli(&[
+        "verify",
+        file,
+        "--interprocedural",
+        "--update-baseline",
+        accepted.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = cli(&[
+        "verify",
+        file,
+        "--interprocedural",
+        "--baseline",
+        accepted.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "baselined findings must pass: {out:?}");
+
+    // A truncated baseline must not silently accept everything.
+    let malformed = scratch("ratchet_bad.txt", "img tweak-diversity main\n");
+    let out = cli(&[
+        "verify",
+        file,
+        "--interprocedural",
+        "--baseline",
+        malformed.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "malformed baseline must fail: {out:?}");
+}
+
+#[test]
+fn verify_rejects_contradictory_flag_combinations() {
+    let out = cli(&["verify", "--workloads", "some.s"]);
+    assert!(!out.status.success(), "{out:?}");
+    let clean = scratch("flags_clean.s", CLEAN_PROGRAM);
+    let out = cli(&["verify", clean.to_str().unwrap(), "--json", "--sarif"]);
+    assert!(!out.status.success(), "{out:?}");
+}

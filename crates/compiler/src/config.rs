@@ -67,6 +67,12 @@ pub struct CompileConfig {
     /// fail compilation on invariant violations. On by default (compiled
     /// without the `verifier` feature, the flag is ignored).
     pub verify_output: bool,
+    /// Verify in whole-program mode: call-graph recovery, interprocedural
+    /// taint summaries, and the tweak-diversity / raw-key-flow /
+    /// spill-gadget lints. Lint *warnings* never fail compilation (they are
+    /// baselined and ratcheted by CI); error-severity findings do. Off by
+    /// default — the intraprocedural gate is the compatibility baseline.
+    pub verify_interprocedural: bool,
     /// Key register assignment.
     pub keys: KeyPolicy,
 }
@@ -80,6 +86,7 @@ impl Default for CompileConfig {
             protect_spills: false,
             optimize: false,
             verify_output: true,
+            verify_interprocedural: false,
             keys: KeyPolicy::default(),
         }
     }
@@ -135,6 +142,13 @@ impl CompileConfig {
     #[must_use]
     pub fn optimized(mut self) -> Self {
         self.optimize = true;
+        self
+    }
+
+    /// Returns a copy with whole-program (interprocedural) verification.
+    #[must_use]
+    pub fn interprocedural(mut self) -> Self {
+        self.verify_interprocedural = true;
         self
     }
 

@@ -254,6 +254,11 @@ pub struct Global {
     pub size: u64,
     /// Initial bytes (the remainder is zero).
     pub init: Vec<u8>,
+    /// `true` for key-storage globals: raw key material that must never
+    /// reach general-purpose registers unencrypted. Listed as
+    /// `key_symbols` in the protection manifest so the verifier's
+    /// raw-key-flow lint tracks loads from it.
+    pub is_key: bool,
 }
 
 /// A compilation unit: struct types, globals and functions.
@@ -293,6 +298,7 @@ impl Module {
             name: name.to_owned(),
             size,
             init: Vec::new(),
+            is_key: false,
         });
     }
 
@@ -302,6 +308,17 @@ impl Module {
             name: name.to_owned(),
             size: init.len() as u64,
             init,
+            is_key: false,
+        });
+    }
+
+    /// Adds a data-initialised key-storage global (see [`Global::is_key`]).
+    pub fn add_key_global(&mut self, name: &str, init: Vec<u8>) {
+        self.globals.push(Global {
+            name: name.to_owned(),
+            size: init.len() as u64,
+            init,
+            is_key: true,
         });
     }
 

@@ -26,7 +26,18 @@ use crate::regalloc;
 #[must_use]
 pub fn manifest_for(module: &Module, config: &CompileConfig) -> ProtectionManifest {
     let mut manifest = ProtectionManifest {
-        data_symbols: module.globals.iter().map(|g| g.name.clone()).collect(),
+        data_symbols: module
+            .globals
+            .iter()
+            .filter(|g| !g.is_key)
+            .map(|g| g.name.clone())
+            .collect(),
+        key_symbols: module
+            .globals
+            .iter()
+            .filter(|g| g.is_key)
+            .map(|g| g.name.clone())
+            .collect(),
         ..ProtectionManifest::default()
     };
     for function in &module.functions {
@@ -79,6 +90,7 @@ pub fn options_for(config: &CompileConfig) -> VerifyOptions {
             decrypt_taints: config.protect_spills,
             ..TaintOptions::default()
         },
+        interprocedural: config.verify_interprocedural,
         ..VerifyOptions::default()
     }
 }
@@ -125,17 +137,19 @@ pub fn report_for_source(
 /// # Errors
 ///
 /// Returns [`CompileError::Verification`] carrying the verifier's
-/// human-readable report when any invariant is violated.
+/// human-readable report when any *error-severity* invariant is violated.
+/// Interprocedural lint warnings (tweak diversity, raw key flow) do not
+/// fail compilation — they are baselined and ratcheted by CI instead.
 pub fn check(
     compiled: &CompiledProgram,
     module: &Module,
     config: &CompileConfig,
 ) -> Result<(), CompileError> {
     let r = report(compiled, module, config);
-    if r.is_clean() {
-        Ok(())
-    } else {
+    if r.has_errors() {
         Err(CompileError::Verification(r.render_human()))
+    } else {
+        Ok(())
     }
 }
 
@@ -198,5 +212,32 @@ mod tests {
             let instrumented = instrument::instrument(&module, &config).unwrap();
             check(&compiled, &instrumented, &config).unwrap();
         }
+    }
+
+    #[test]
+    fn interprocedural_gate_passes_on_compiler_output() {
+        let module = demo_module();
+        for config in [
+            CompileConfig::ra_only().interprocedural(),
+            CompileConfig::full().interprocedural(),
+            CompileConfig::full().optimized().interprocedural(),
+        ] {
+            let compiled = crate::compile(&module, &config).unwrap();
+            let r = report_for_source(&compiled, &module, &config).unwrap();
+            assert!(!r.has_errors(), "{}", r.render_human());
+            let graph = r.graph.expect("interprocedural mode reports the call graph");
+            assert!(graph.functions >= 1);
+        }
+    }
+
+    #[test]
+    fn key_globals_land_in_the_manifest() {
+        let mut module = demo_module();
+        module.add_key_global("keyblob", vec![0xAA; 16]);
+        let config = CompileConfig::full();
+        let instrumented = instrument::instrument(&module, &config).unwrap();
+        let manifest = manifest_for(&instrumented, &config);
+        assert_eq!(manifest.key_symbols, vec!["keyblob".to_owned()]);
+        assert!(!manifest.data_symbols.contains(&"keyblob".to_owned()));
     }
 }

@@ -1,0 +1,214 @@
+//! The findings baseline: a committed inventory of known findings that the
+//! CI ratchet compares fresh reports against.
+//!
+//! The ratchet's contract is monotone improvement: a verification run fails
+//! only when it produces a finding whose `(image, kind, fingerprint)` key is
+//! *not* in the baseline. Fixing findings never breaks the build (stale
+//! baseline entries are reported as "resolved" so the baseline can be
+//! re-generated), while any *new* finding — a fresh tweak-reuse site, a new
+//! raw-key load — fails it. Fingerprints exclude byte offsets (see
+//! [`crate::diag::Report::finalize`]), so recompiling with unrelated code
+//! motion does not churn the file.
+//!
+//! File format (line-oriented, diff-friendly, sorted):
+//!
+//! ```text
+//! # regvault verifier baseline v1
+//! <image> <kind> <function> <fingerprint>
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::diag::Report;
+
+/// Header line identifying the baseline format.
+pub const HEADER: &str = "# regvault verifier baseline v1";
+
+/// A parsed baseline: the set of accepted `(image, kind, fingerprint)` keys.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Accepted findings as `(image, kind-id, function, fingerprint)` rows.
+    /// Matching ignores the function column (it is informational), but rows
+    /// keep it so the file stays human-auditable.
+    pub entries: BTreeSet<(String, String, String, String)>,
+}
+
+/// A violation of the ratchet found by [`Baseline::check`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NewFinding {
+    /// Image label the finding appeared in.
+    pub image: String,
+    /// Violation kind id.
+    pub kind: String,
+    /// Function the finding is anchored in.
+    pub function: String,
+    /// The finding's fingerprint.
+    pub fingerprint: String,
+    /// One-line description.
+    pub detail: String,
+}
+
+impl Baseline {
+    /// Parses a baseline file. Blank lines and `#` comments are ignored;
+    /// any other malformed line is an error (a truncated baseline must not
+    /// silently accept everything).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeSet::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(format!(
+                    "baseline line {}: expected `<image> <kind> <function> <fingerprint>`, got `{line}`",
+                    lineno + 1
+                ));
+            }
+            entries.insert((
+                fields[0].to_owned(),
+                fields[1].to_owned(),
+                fields[2].to_owned(),
+                fields[3].to_owned(),
+            ));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline from labeled reports (the `--update-baseline` path).
+    #[must_use]
+    pub fn from_reports(runs: &[(String, &Report)]) -> Self {
+        let mut entries = BTreeSet::new();
+        for (image, report) in runs {
+            for v in &report.violations {
+                entries.insert((
+                    image.clone(),
+                    v.kind.id().to_owned(),
+                    v.function.clone(),
+                    v.fingerprint.clone(),
+                ));
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Renders the baseline file (sorted, byte-stable).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (image, kind, function, fingerprint) in &self.entries {
+            out.push_str(&format!("{image} {kind} {function} {fingerprint}\n"));
+        }
+        out
+    }
+
+    /// Does the baseline accept this `(image, kind, fingerprint)` finding?
+    #[must_use]
+    pub fn contains(&self, image: &str, kind: &str, fingerprint: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|(i, k, _, f)| i == image && k == kind && f == fingerprint)
+    }
+
+    /// Checks labeled reports against the baseline. Returns the findings not
+    /// covered by it (the ratchet fails when this is non-empty) and the
+    /// number of baseline entries no longer observed (resolved debt).
+    #[must_use]
+    pub fn check(&self, runs: &[(String, &Report)]) -> (Vec<NewFinding>, usize) {
+        let mut new = Vec::new();
+        let mut seen: BTreeSet<(String, String, String)> = BTreeSet::new();
+        for (image, report) in runs {
+            for v in &report.violations {
+                let kind = v.kind.id();
+                seen.insert((image.clone(), kind.to_owned(), v.fingerprint.clone()));
+                if !self.contains(image, kind, &v.fingerprint) {
+                    new.push(NewFinding {
+                        image: image.clone(),
+                        kind: kind.to_owned(),
+                        function: v.function.clone(),
+                        fingerprint: v.fingerprint.clone(),
+                        detail: v.detail.clone(),
+                    });
+                }
+            }
+        }
+        let resolved = self
+            .entries
+            .iter()
+            .filter(|(i, k, _, f)| !seen.contains(&(i.clone(), k.clone(), f.clone())))
+            .count();
+        new.sort();
+        new.dedup();
+        (new, resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Violation, ViolationKind};
+
+    fn report_with(kind: ViolationKind, function: &str, detail: &str) -> Report {
+        let mut report = Report::default();
+        report.violations.push(Violation {
+            kind,
+            function: function.into(),
+            offset: 0x40,
+            insn: "sd t0, 0(sp)".into(),
+            detail: detail.into(),
+            context: Vec::new(),
+            fingerprint: String::new(),
+        });
+        report.finalize();
+        report
+    }
+
+    #[test]
+    fn roundtrip_parse_render() {
+        let report = report_with(ViolationKind::TweakDiversity, "main", "reuse");
+        let runs = vec![("img".to_owned(), &report)];
+        let baseline = Baseline::from_reports(&runs);
+        let rendered = baseline.render();
+        assert!(rendered.starts_with(HEADER));
+        let parsed = Baseline::parse(&rendered).unwrap();
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Baseline::parse("img tweak-diversity main").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn ratchet_accepts_baselined_and_flags_new() {
+        let old = report_with(ViolationKind::TweakDiversity, "main", "reuse");
+        let runs = vec![("img".to_owned(), &old)];
+        let baseline = Baseline::from_reports(&runs);
+
+        // Same findings: clean ratchet.
+        let (new, resolved) = baseline.check(&runs);
+        assert!(new.is_empty());
+        assert_eq!(resolved, 0);
+
+        // A new finding in the same image: flagged.
+        let grown = report_with(ViolationKind::RawKeyFlow, "main", "key load");
+        let grown_runs = vec![("img".to_owned(), &grown)];
+        let (new, resolved) = baseline.check(&grown_runs);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].kind, "raw-key-flow");
+        // ...and the old entry is now resolved debt, not an error.
+        assert_eq!(resolved, 1);
+    }
+
+    #[test]
+    fn same_fingerprint_in_another_image_is_new() {
+        let report = report_with(ViolationKind::TweakDiversity, "main", "reuse");
+        let baseline = Baseline::from_reports(&[("a".to_owned(), &report)]);
+        let (new, _) = baseline.check(&[("b".to_owned(), &report)]);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].image, "b");
+    }
+}

@@ -1,0 +1,208 @@
+//! Whole-program call-graph recovery from decoded machine code.
+//!
+//! Direct calls (`jal ra, f` and `j f` tail jumps out of the extent) resolve
+//! statically; indirect calls (`jalr` / `jr`) resolve when the dataflow pins
+//! the target register to a concrete image offset (an `la`-materialized
+//! function address — [`crate::taint::Base::Image`]). A resolved target must
+//! land exactly on a function entry; anything else stays unresolved and is
+//! reported in the stats, so coverage gaps are visible rather than silent.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{Cfg, FuncRegion};
+use crate::taint::{analyze_full, Event, TaintOptions};
+
+/// Call-graph coverage statistics, reported alongside verification results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CallGraphStats {
+    /// Functions (code regions) in the image.
+    pub functions: usize,
+    /// Distinct caller→callee edges.
+    pub edges: usize,
+    /// Direct (`jal`) call sites.
+    pub direct_calls: usize,
+    /// Indirect (`jalr`) call sites resolved to a function entry.
+    pub resolved_indirect: usize,
+    /// Indirect call sites the dataflow could not resolve — these fall back
+    /// to the conservative clobber model.
+    pub unresolved_indirect: usize,
+    /// Tail-call sites (direct or indirect) among the above.
+    pub tail_calls: usize,
+}
+
+/// The recovered whole-program call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    /// Call-site image offset → resolved callee symbol (calls and tails).
+    pub targets: BTreeMap<u64, String>,
+    /// Distinct `(caller, callee)` edges.
+    pub edges: BTreeSet<(String, String)>,
+    /// Image offsets of call sites that did not resolve.
+    pub unresolved: Vec<u64>,
+    /// Coverage statistics.
+    pub stats: CallGraphStats,
+}
+
+/// Recovers the call graph over all function regions.
+///
+/// Runs one seed-free dataflow pass per function (no summaries applied) and
+/// classifies every [`Event::Call`]: a target is resolved only when it is
+/// exactly a function entry offset.
+#[must_use]
+pub fn build(funcs: &[(FuncRegion, Cfg, TaintOptions)], key_regions: &[(u64, u64)]) -> CallGraph {
+    let entries: BTreeMap<u64, &str> = funcs
+        .iter()
+        .map(|(region, _, _)| (region.start, region.name.as_str()))
+        .collect();
+    let mut graph = CallGraph {
+        stats: CallGraphStats {
+            functions: funcs.len(),
+            ..CallGraphStats::default()
+        },
+        ..CallGraph::default()
+    };
+    for (region, cfg, options) in funcs {
+        let analysis = analyze_full(cfg, &[], *options, key_regions, None);
+        for event in &analysis.events {
+            let Event::Call {
+                offset,
+                target,
+                indirect,
+                tail,
+                ..
+            } = *event
+            else {
+                continue;
+            };
+            let callee = target.and_then(|t| entries.get(&t).copied());
+            match (indirect, callee) {
+                (false, _) => graph.stats.direct_calls += 1,
+                (true, Some(_)) => graph.stats.resolved_indirect += 1,
+                (true, None) => graph.stats.unresolved_indirect += 1,
+            }
+            if tail {
+                graph.stats.tail_calls += 1;
+            }
+            if let Some(callee) = callee {
+                graph.targets.insert(offset, callee.to_owned());
+                graph
+                    .edges
+                    .insert((region.name.clone(), callee.to_owned()));
+            } else {
+                graph.unresolved.push(offset);
+            }
+        }
+    }
+    graph.unresolved.sort_unstable();
+    graph.stats.edges = graph.edges.len();
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build as build_cfg, regions_from_symbols};
+    use regvault_isa::asm::assemble;
+
+    fn graph_of(src: &str) -> CallGraph {
+        let program = assemble(src).unwrap();
+        let regions = regions_from_symbols(
+            program.symbols().iter(),
+            program.bytes().len() as u64,
+            &[],
+        );
+        let funcs: Vec<(FuncRegion, Cfg, TaintOptions)> = regions
+            .iter()
+            .map(|r| {
+                (
+                    r.clone(),
+                    build_cfg(program.bytes(), r).unwrap(),
+                    TaintOptions::default(),
+                )
+            })
+            .collect();
+        build(&funcs, &[])
+    }
+
+    #[test]
+    fn direct_calls_resolve_by_offset() {
+        let g = graph_of(
+            "main:
+             call helper
+             ret
+             helper:
+             ret",
+        );
+        assert_eq!(g.stats.functions, 2);
+        assert_eq!(g.stats.direct_calls, 1);
+        assert_eq!(g.stats.edges, 1);
+        assert!(g
+            .edges
+            .contains(&("main".to_owned(), "helper".to_owned())));
+        assert_eq!(g.targets.get(&0), Some(&"helper".to_owned()));
+        assert!(g.unresolved.is_empty());
+    }
+
+    #[test]
+    fn la_materialized_jalr_call_resolves() {
+        let g = graph_of(
+            "main:
+             la t0, helper
+             jalr ra, 0(t0)
+             ret
+             helper:
+             ret",
+        );
+        assert_eq!(g.stats.resolved_indirect, 1);
+        assert_eq!(g.stats.unresolved_indirect, 0);
+        assert!(g.targets.values().any(|n| n == "helper"));
+    }
+
+    #[test]
+    fn jalr_tail_call_resolves_as_tail_edge() {
+        let g = graph_of(
+            "main:
+             la t0, helper
+             jr t0
+             helper:
+             ret",
+        );
+        assert_eq!(g.stats.resolved_indirect, 1);
+        assert_eq!(g.stats.tail_calls, 1);
+        assert!(g
+            .edges
+            .contains(&("main".to_owned(), "helper".to_owned())));
+    }
+
+    #[test]
+    fn unresolved_indirect_calls_are_counted_not_guessed() {
+        // The target register comes from a load — the dataflow cannot pin
+        // it, so the site must be reported unresolved.
+        let g = graph_of(
+            "main:
+             ld t0, 0(a0)
+             jalr ra, 0(t0)
+             ret
+             helper:
+             ret",
+        );
+        assert_eq!(g.stats.unresolved_indirect, 1);
+        assert_eq!(g.unresolved.len(), 1);
+        assert!(g.targets.is_empty());
+    }
+
+    #[test]
+    fn direct_tail_jump_is_an_edge_and_a_tail() {
+        let g = graph_of(
+            "main:
+             j helper
+             helper:
+             ret",
+        );
+        assert_eq!(g.stats.direct_calls, 1);
+        assert_eq!(g.stats.tail_calls, 1);
+        assert!(g
+            .edges
+            .contains(&("main".to_owned(), "helper".to_owned())));
+    }
+}

@@ -33,7 +33,7 @@ where
 {
     let mut named: Vec<(String, u64)> = symbols
         .into_iter()
-        .filter(|(name, _)| !name.starts_with(".L") && !exclude.contains(&name.as_str()))
+        .filter(|(name, _)| !name.starts_with(".L"))
         .map(|(name, &off)| (name.clone(), off))
         .collect();
     named.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
@@ -41,6 +41,9 @@ where
     // the previous region, so code regions never swallow trailing data.
     let mut regions = Vec::with_capacity(named.len());
     for (i, (name, start)) in named.iter().enumerate() {
+        if exclude.contains(&name.as_str()) {
+            continue;
+        }
         let end = named
             .get(i + 1)
             .map_or(image_len, |(_, next_start)| *next_start);
@@ -110,6 +113,33 @@ pub struct Block {
 pub struct Cfg {
     /// Basic blocks; block 0 is the function entry.
     pub blocks: Vec<Block>,
+}
+
+/// Marks each block that sits on a CFG cycle (reachable from itself).
+///
+/// Used by the tweak-diversity lint: a `cre` site inside a cycle may execute
+/// many times per function activation, so a loop-invariant tweak means
+/// ciphertext reuse across iterations.
+#[must_use]
+pub fn cyclic_blocks(cfg: &Cfg) -> Vec<bool> {
+    let n = cfg.blocks.len();
+    let mut cyclic = vec![false; n];
+    for (start, flag) in cyclic.iter_mut().enumerate() {
+        // BFS from the successors of `start`: can we get back to `start`?
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = cfg.blocks[start].succs.clone();
+        while let Some(b) = queue.pop() {
+            if b == start {
+                *flag = true;
+                break;
+            }
+            if !seen[b] {
+                seen[b] = true;
+                queue.extend(cfg.blocks[b].succs.iter().copied());
+            }
+        }
+    }
+    cyclic
 }
 
 /// A word inside a function extent that did not decode.
@@ -312,6 +342,66 @@ mod tests {
         let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
         assert_eq!(cfg.blocks.len(), 2);
         assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn jalr_tail_call_ends_the_block_without_successors() {
+        // `jr t0` is an indirect tail call: the block ends, there is no
+        // fallthrough edge, and the following code is a separate block only
+        // if it is a branch target.
+        let program = assemble(
+            "f:
+             la t0, g
+             jr t0
+             g:
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+        let (_, last) = *cfg.blocks[0].insns.last().unwrap();
+        assert_eq!(ender(&last), Some(Ender::IndirectExit));
+    }
+
+    #[test]
+    fn direct_tail_jump_out_of_extent_has_no_edge() {
+        // `j g` with g outside the extent: block ends, no intra-function
+        // successor (the target belongs to another region).
+        let program = assemble(
+            "f:
+             addi a0, a0, 1
+             j g
+             g:
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn cyclic_blocks_marks_only_loop_members() {
+        let program = assemble(
+            "f:
+             addi a1, zero, 0
+             .L_f_loop:
+             addi a1, a1, 1
+             blt a1, a0, .L_f_loop
+             ret",
+        )
+        .unwrap();
+        let cfg = build(program.bytes(), &region_of(&program, "f")).unwrap();
+        let cyclic = cyclic_blocks(&cfg);
+        // Exactly the self-looping block is cyclic; entry and exit are not.
+        let marked: Vec<usize> = cyclic
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| c.then_some(i))
+            .collect();
+        assert_eq!(marked.len(), 1);
+        assert!(cfg.blocks[marked[0]].succs.contains(&marked[0]));
     }
 
     #[test]

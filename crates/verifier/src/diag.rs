@@ -4,9 +4,19 @@
 //! offset of the offending instruction inside the image, its disassembly, a
 //! human-oriented detail string, and a small disassembly context window, so a
 //! report is actionable without re-running the disassembler by hand.
+//!
+//! Diagnostics are deterministic: [`Report::finalize`] sorts, deduplicates
+//! per `(kind, fingerprint)`, and assigns each violation a stable
+//! fingerprint — a hash over `(kind, function, instruction, detail,
+//! occurrence index)` that deliberately excludes byte offsets, so unrelated
+//! code motion does not churn a committed baseline. The SARIF-style
+//! renderer ([`sarif_report`]) and the baseline ratchet
+//! ([`crate::baseline`]) build on those fingerprints.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::callgraph::CallGraphStats;
 
 /// The RegVault invariant a violation breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -31,9 +41,61 @@ pub enum ViolationKind {
     MalformedCipChain,
     /// A word inside a function extent that does not decode.
     Undecodable,
+    /// A `(key, tweak)` pair that can repeat across distinct plaintexts —
+    /// the ciphertext-dictionary precondition (CipherGuard).
+    TweakDiversity,
+    /// Raw key material reaching a general-purpose register or memory
+    /// unencrypted (KeyVisor invariant).
+    RawKeyFlow,
+    /// Sensitive plaintext in a callee-saved register live across a call
+    /// into a function that saves that register unencrypted.
+    SpillGadget,
+}
+
+/// How serious a finding is: errors break the protection invariants
+/// outright, warnings flag side-channel risk or policy debt to be ratcheted
+/// down over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Side-channel risk / policy debt; baselined and ratcheted.
+    Warning,
+    /// A broken protection invariant; fails the compiler gate.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase identifier (matches SARIF `level` values).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
 }
 
 impl ViolationKind {
+    /// Every kind, in report order.
+    pub const ALL: [ViolationKind; 11] = [
+        ViolationKind::PlainSpill,
+        ViolationKind::PlainStore,
+        ViolationKind::SensitiveAcrossCall,
+        ViolationKind::TweakMismatch,
+        ViolationKind::KeyMismatch,
+        ViolationKind::CryptoDropped,
+        ViolationKind::MalformedCipChain,
+        ViolationKind::Undecodable,
+        ViolationKind::TweakDiversity,
+        ViolationKind::RawKeyFlow,
+        ViolationKind::SpillGadget,
+    ];
+
     /// Stable lowercase identifier used in JSON output.
     #[must_use]
     pub fn id(self) -> &'static str {
@@ -46,6 +108,18 @@ impl ViolationKind {
             ViolationKind::CryptoDropped => "crypto-dropped",
             ViolationKind::MalformedCipChain => "malformed-cip-chain",
             ViolationKind::Undecodable => "undecodable",
+            ViolationKind::TweakDiversity => "tweak-diversity",
+            ViolationKind::RawKeyFlow => "raw-key-flow",
+            ViolationKind::SpillGadget => "unprotected-spill-gadget",
+        }
+    }
+
+    /// The severity class of this kind.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            ViolationKind::TweakDiversity | ViolationKind::RawKeyFlow => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 }
@@ -71,6 +145,18 @@ pub struct Violation {
     pub detail: String,
     /// Disassembly context window around the offending instruction.
     pub context: Vec<String>,
+    /// Stable fingerprint (filled by [`Report::finalize`]): a hash of
+    /// `(kind, function, insn, detail, occurrence)` — offsets excluded so
+    /// code motion does not churn baselines.
+    pub fingerprint: String,
+}
+
+impl Violation {
+    /// The severity of this violation (derived from its kind).
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
 }
 
 impl fmt::Display for Violation {
@@ -81,6 +167,25 @@ impl fmt::Display for Violation {
             self.kind, self.insn, self.offset, self.function, self.detail
         )
     }
+}
+
+/// 64-bit FNV-1a over the fingerprint inputs, rendered as 16 hex digits.
+fn fingerprint_of(kind: ViolationKind, function: &str, insn: &str, detail: &str, occurrence: u64) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= 0xff; // field separator
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(kind.id().as_bytes());
+    eat(function.as_bytes());
+    eat(insn.as_bytes());
+    eat(detail.as_bytes());
+    eat(&occurrence.to_le_bytes());
+    format!("{hash:016x}")
 }
 
 /// Per-function statistics gathered while verifying.
@@ -104,6 +209,8 @@ pub struct Report {
     /// Symbol regions skipped because they did not decode as code (only
     /// when the caller opted into treating undecodable regions as data).
     pub skipped_data: Vec<String>,
+    /// Call-graph coverage statistics (interprocedural mode only).
+    pub graph: Option<CallGraphStats>,
 }
 
 impl Report {
@@ -111,6 +218,23 @@ impl Report {
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// `true` when at least one violation is [`Severity::Error`].
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| v.severity() == Severity::Error)
+    }
+
+    /// Violations of a given severity.
+    #[must_use]
+    pub fn count_by_severity(&self, severity: Severity) -> usize {
+        self.violations
+            .iter()
+            .filter(|v| v.severity() == severity)
+            .count()
     }
 
     /// Total instructions across all verified functions.
@@ -123,6 +247,29 @@ impl Report {
     #[must_use]
     pub fn crypto_ops(&self) -> usize {
         self.stats.values().map(|s| s.cre + s.crd).sum()
+    }
+
+    /// Sorts violations deterministically, deduplicates per
+    /// `(kind, fingerprint)`, and assigns stable fingerprints.
+    ///
+    /// Idempotent; [`crate::verify`] calls it before returning, so reports
+    /// are byte-stable across runs and usable as baselines.
+    pub fn finalize(&mut self) {
+        self.violations.sort_by(|a, b| {
+            (&a.function, a.offset, a.kind, &a.detail)
+                .cmp(&(&b.function, b.offset, b.kind, &b.detail))
+        });
+        self.violations
+            .dedup_by(|a, b| a.kind == b.kind && a.function == b.function && a.offset == b.offset && a.detail == b.detail);
+        let mut seen: BTreeMap<(ViolationKind, String, String, String), u64> = BTreeMap::new();
+        for v in &mut self.violations {
+            let key = (v.kind, v.function.clone(), v.insn.clone(), v.detail.clone());
+            let occurrence = seen.entry(key).or_insert(0);
+            v.fingerprint = fingerprint_of(v.kind, &v.function, &v.insn, &v.detail, *occurrence);
+            *occurrence += 1;
+        }
+        self.skipped_data.sort();
+        self.skipped_data.dedup();
     }
 
     /// Renders the report for humans: a verdict line, statistics, and one
@@ -168,8 +315,9 @@ impl Report {
     /// Renders the report as a single JSON object.
     ///
     /// Schema: `{"clean": bool, "functions": N, "instructions": N,
-    /// "crypto_ops": N, "violations": [{"kind", "function", "offset",
-    /// "insn", "detail"}], "skipped_data": [..]}`.
+    /// "crypto_ops": N, "errors": N, "warnings": N, "violations": [{"kind",
+    /// "severity", "function", "offset", "insn", "detail", "fingerprint"}],
+    /// "skipped_data": [..], "callgraph": {..}?}`.
     #[must_use]
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
@@ -177,18 +325,28 @@ impl Report {
         out.push_str(&format!("\"functions\":{},", self.stats.len()));
         out.push_str(&format!("\"instructions\":{},", self.instructions()));
         out.push_str(&format!("\"crypto_ops\":{},", self.crypto_ops()));
+        out.push_str(&format!(
+            "\"errors\":{},",
+            self.count_by_severity(Severity::Error)
+        ));
+        out.push_str(&format!(
+            "\"warnings\":{},",
+            self.count_by_severity(Severity::Warning)
+        ));
         out.push_str("\"violations\":[");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"kind\":{},\"function\":{},\"offset\":{},\"insn\":{},\"detail\":{}}}",
+                "{{\"kind\":{},\"severity\":{},\"function\":{},\"offset\":{},\"insn\":{},\"detail\":{},\"fingerprint\":{}}}",
                 json_str(v.kind.id()),
+                json_str(v.severity().id()),
                 json_str(&v.function),
                 v.offset,
                 json_str(&v.insn),
-                json_str(&v.detail)
+                json_str(&v.detail),
+                json_str(&v.fingerprint)
             ));
         }
         out.push_str("],\"skipped_data\":[");
@@ -198,9 +356,63 @@ impl Report {
             }
             out.push_str(&json_str(name));
         }
-        out.push_str("]}");
+        out.push(']');
+        if let Some(g) = self.graph {
+            out.push_str(&format!(
+                ",\"callgraph\":{{\"functions\":{},\"edges\":{},\"direct_calls\":{},\"resolved_indirect\":{},\"unresolved_indirect\":{},\"tail_calls\":{}}}",
+                g.functions, g.edges, g.direct_calls, g.resolved_indirect, g.unresolved_indirect, g.tail_calls
+            ));
+        }
+        out.push('}');
         out
     }
+}
+
+/// Renders one or more labeled reports as a SARIF 2.1.0-style document.
+///
+/// `runs` pairs an artifact label (e.g. `dhry2@full` or a file name) with
+/// its report; all results land in a single SARIF run so the document is one
+/// ratchetable unit. Fingerprints are emitted as the `regvault/v1` partial
+/// fingerprint, which is what the baseline matches on.
+#[must_use]
+pub fn sarif_report(runs: &[(String, &Report)]) -> String {
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\"name\":\"regvault-verifier\",\"version\":",
+    );
+    out.push_str(&json_str(env!("CARGO_PKG_VERSION")));
+    out.push_str(",\"rules\":[");
+    for (i, kind) in ViolationKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"defaultConfiguration\":{{\"level\":{}}}}}",
+            json_str(kind.id()),
+            json_str(kind.severity().id())
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for (label, report) in runs {
+        for v in &report.violations {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"byteOffset\":{}}}}},\"logicalLocations\":[{{\"name\":{}}}]}}],\"partialFingerprints\":{{\"regvault/v1\":{}}}}}",
+                json_str(v.kind.id()),
+                json_str(v.severity().id()),
+                json_str(&format!("{} — {}", v.insn, v.detail)),
+                json_str(label),
+                v.offset,
+                json_str(&v.function),
+                json_str(&v.fingerprint)
+            ));
+        }
+    }
+    out.push_str("]}]}");
+    out
 }
 
 /// Escapes a string as a JSON string literal (quotes included).
@@ -234,6 +446,7 @@ mod tests {
             insn: "sd t0, 0(t6)".into(),
             detail: "sensitive plaintext in t0 stored to stack".into(),
             context: vec!["0x0040: 005b3023  sd t0, 0(t6)".into()],
+            fingerprint: String::new(),
         }
     }
 
@@ -249,6 +462,7 @@ mod tests {
             },
         );
         assert!(report.is_clean());
+        assert!(!report.has_errors());
         assert!(report.render_human().starts_with("OK:"));
         assert!(report.render_json().contains("\"clean\":true"));
     }
@@ -257,6 +471,7 @@ mod tests {
     fn violation_renders_with_address_and_kind() {
         let mut report = Report::default();
         report.violations.push(sample_violation());
+        report.finalize();
         let human = report.render_human();
         assert!(human.starts_with("FAIL:"));
         assert!(human.contains("0x0040"));
@@ -264,10 +479,81 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\"kind\":\"plain-spill\""));
         assert!(json.contains("\"offset\":64"));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"fingerprint\":\""));
     }
 
     #[test]
     fn json_escapes_special_characters() {
         assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn severities_split_error_and_warning_kinds() {
+        assert_eq!(ViolationKind::PlainSpill.severity(), Severity::Error);
+        assert_eq!(ViolationKind::SpillGadget.severity(), Severity::Error);
+        assert_eq!(ViolationKind::TweakDiversity.severity(), Severity::Warning);
+        assert_eq!(ViolationKind::RawKeyFlow.severity(), Severity::Warning);
+        // Warnings alone do not make a report "erroring".
+        let mut report = Report::default();
+        let mut v = sample_violation();
+        v.kind = ViolationKind::TweakDiversity;
+        report.violations.push(v);
+        assert!(!report.is_clean());
+        assert!(!report.has_errors());
+        assert_eq!(report.count_by_severity(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn finalize_is_deterministic_and_dedups() {
+        let mut a = Report::default();
+        a.violations.push(sample_violation());
+        a.violations.push(sample_violation()); // exact duplicate
+        let mut other = sample_violation();
+        other.offset = 0x10; // same shape at another site: kept, distinct fp
+        a.violations.push(other);
+        a.finalize();
+        assert_eq!(a.violations.len(), 2);
+        assert_eq!(a.violations[0].offset, 0x10);
+        assert!(!a.violations[0].fingerprint.is_empty());
+        assert_ne!(a.violations[0].fingerprint, a.violations[1].fingerprint);
+
+        // Same content in reversed insertion order → identical rendering.
+        let mut b = Report::default();
+        let mut other = sample_violation();
+        other.offset = 0x10;
+        b.violations.push(other);
+        b.violations.push(sample_violation());
+        b.violations.push(sample_violation());
+        b.finalize();
+        assert_eq!(a.render_json(), b.render_json());
+    }
+
+    #[test]
+    fn fingerprints_survive_code_motion() {
+        // The same finding at a different offset keeps its fingerprint
+        // (offsets are excluded from the hash).
+        let mut a = Report::default();
+        a.violations.push(sample_violation());
+        a.finalize();
+        let mut b = Report::default();
+        let mut moved = sample_violation();
+        moved.offset = 0x80;
+        b.violations.push(moved);
+        b.finalize();
+        assert_eq!(a.violations[0].fingerprint, b.violations[0].fingerprint);
+    }
+
+    #[test]
+    fn sarif_document_shape() {
+        let mut report = Report::default();
+        report.violations.push(sample_violation());
+        report.finalize();
+        let sarif = sarif_report(&[("img@full".to_owned(), &report)]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\":\"plain-spill\""));
+        assert!(sarif.contains("\"uri\":\"img@full\""));
+        assert!(sarif.contains("\"regvault/v1\""));
+        assert!(sarif.contains("\"unprotected-spill-gadget\""));
     }
 }

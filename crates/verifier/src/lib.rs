@@ -58,17 +58,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod cfg;
 pub mod cip;
 pub mod diag;
+pub mod lints;
 pub mod manifest;
 pub mod mutate;
+pub mod summary;
 pub mod taint;
+
+use std::collections::BTreeMap;
 
 use regvault_isa::decode::decode;
 use regvault_isa::Insn;
 
-pub use diag::{FnStats, Report, Violation, ViolationKind};
+pub use diag::{sarif_report, FnStats, Report, Severity, Violation, ViolationKind};
 pub use manifest::{FnExpect, ProtectionManifest};
 pub use taint::TaintOptions;
 
@@ -85,6 +91,11 @@ pub struct VerifyOptions {
     /// [`ViolationKind::Undecodable`] violation (compiler output must be
     /// pure code).
     pub undecodable_is_data: bool,
+    /// Whole-program mode: recover the call graph, compute per-function
+    /// taint summaries to a fixpoint, apply them at resolved call sites
+    /// (replacing the conservative clobber model), and run the
+    /// [`lints`] passes over the combined facts.
+    pub interprocedural: bool,
 }
 
 /// Number of disassembly lines shown on each side of a violation.
@@ -94,8 +105,14 @@ const CONTEXT_RADIUS: u64 = 2;
 ///
 /// `symbols` is the assembler symbol table (`name -> byte offset`);
 /// function extents are derived from it, skipping `.L*` block labels and
-/// the manifest's `data_symbols`. Returns a [`Report`] with all violations
-/// and per-function statistics.
+/// the manifest's `data_symbols`/`key_symbols`. Returns a [`Report`] with
+/// all violations and per-function statistics; the report is
+/// [finalized](Report::finalize) (sorted, deduplicated, fingerprinted).
+///
+/// With [`VerifyOptions::interprocedural`] set, the per-function dataflow is
+/// preceded by call-graph recovery and a summary fixpoint, resolved call
+/// sites apply callee summaries instead of the conservative clobber model,
+/// and the whole-program [`lints`] run over the combined facts.
 pub fn verify<'a, I>(
     image: &[u8],
     symbols: I,
@@ -105,13 +122,39 @@ pub fn verify<'a, I>(
 where
     I: IntoIterator<Item = (&'a String, &'a u64)>,
 {
-    let data: Vec<&str> = manifest.data_symbols.iter().map(String::as_str).collect();
-    let regions = cfg::regions_from_symbols(symbols, image.len() as u64, &data);
+    let symbols: Vec<(&String, &u64)> = symbols.into_iter().collect();
+    let mut excluded: Vec<&str> = manifest.data_symbols.iter().map(String::as_str).collect();
+    excluded.extend(manifest.key_symbols.iter().map(String::as_str));
+    let regions =
+        cfg::regions_from_symbols(symbols.iter().copied(), image.len() as u64, &excluded);
+
+    // Key-storage extents, for the raw-key-flow dataflow (`Val::Key` seeds).
+    let key_regions: Vec<(u64, u64)> = if options.interprocedural {
+        cfg::regions_from_symbols(symbols.iter().copied(), image.len() as u64, &[])
+            .into_iter()
+            .filter(|r| manifest.key_symbols.iter().any(|k| k == &r.name))
+            .map(|r| (r.start, r.end))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     let mut report = Report::default();
 
-    for region in &regions {
-        let built = match cfg::build(image, region) {
-            Ok(built) => built,
+    // Phase 1: recover every function's CFG (shared by both modes).
+    let mut funcs: Vec<(cfg::FuncRegion, cfg::Cfg, TaintOptions)> = Vec::new();
+    for region in regions {
+        match cfg::build(image, &region) {
+            Ok(built) => {
+                let mut taint_options = options.taint;
+                if options.cip_stubs.iter().any(|s| s == &region.name) {
+                    // CIP tweaks chain over the previous plaintext, not the
+                    // storage address; the chain structure is checked
+                    // separately below.
+                    taint_options.tweak_discipline = false;
+                }
+                funcs.push((region, built, taint_options));
+            }
             Err(failure) => {
                 if options.undecodable_is_data {
                     report.skipped_data.push(region.name.clone());
@@ -123,22 +166,45 @@ where
                         insn: format!(".word {:#010x}", failure.word),
                         detail: "word inside a function extent does not decode".into(),
                         context: Vec::new(),
+                        fingerprint: String::new(),
                     });
                     report.stats.insert(region.name.clone(), FnStats::default());
                 }
-                continue;
             }
-        };
-
-        let expect = manifest.expect_for(&region.name);
-        let is_cip_stub = options.cip_stubs.iter().any(|s| s == &region.name);
-        let mut taint_options = options.taint;
-        if is_cip_stub {
-            // CIP tweaks chain over the previous plaintext, not the storage
-            // address; the chain structure is checked separately below.
-            taint_options.tweak_discipline = false;
         }
-        let mut raw = taint::analyze(&built, &expect.entry_sensitive, taint_options);
+    }
+
+    // Phase 2 (interprocedural only): call graph + summary fixpoint.
+    let whole_program = options.interprocedural.then(|| {
+        let graph = callgraph::build(&funcs, &key_regions);
+        let summaries = summary::compute(&funcs, &graph.targets, &key_regions);
+        (graph, summaries)
+    });
+
+    // Phase 3: per-function dataflow, with summaries applied when present.
+    let mut facts: BTreeMap<String, Vec<taint::Event>> = BTreeMap::new();
+    for (region, built, taint_options) in &funcs {
+        let expect = manifest.expect_for(&region.name);
+        let analysis = match &whole_program {
+            Some((graph, summaries)) => {
+                let env = taint::CallEnv {
+                    targets: &graph.targets,
+                    summaries,
+                };
+                taint::analyze_full(
+                    built,
+                    &expect.entry_sensitive,
+                    *taint_options,
+                    &key_regions,
+                    Some(&env),
+                )
+            }
+            None => taint::analyze_full(built, &expect.entry_sensitive, *taint_options, &[], None),
+        };
+        let mut raw = analysis.violations;
+        if whole_program.is_some() {
+            facts.insert(region.name.clone(), analysis.events);
+        }
 
         // Crypto population check against the compiler's promise.
         let mut stats = FnStats::default();
@@ -174,7 +240,7 @@ where
         }
 
         // CIP structural discipline for declared save stubs.
-        if is_cip_stub {
+        if options.cip_stubs.iter().any(|s| s == &region.name) {
             let linear: Vec<(u64, Insn)> = built
                 .blocks
                 .iter()
@@ -186,18 +252,37 @@ where
         raw.sort();
         raw.dedup();
         for violation in raw {
-            report.violations.push(attach_context(
-                image,
-                region,
-                &violation,
-            ));
+            report
+                .violations
+                .push(attach_context(image, region, &violation));
         }
         report.stats.insert(region.name.clone(), stats);
     }
 
-    report
-        .violations
-        .sort_by(|a, b| (&a.function, a.offset, a.kind).cmp(&(&b.function, b.offset, b.kind)));
+    // Phase 4 (interprocedural only): whole-program lints.
+    if let Some((graph, summaries)) = &whole_program {
+        let ctx = lints::LintContext {
+            facts: &facts,
+            summaries,
+            graph,
+        };
+        let by_name: BTreeMap<&str, &cfg::FuncRegion> = funcs
+            .iter()
+            .map(|(region, _, _)| (region.name.as_str(), region))
+            .collect();
+        for lint in lints::all() {
+            for finding in lint.run(&ctx) {
+                if let Some(region) = by_name.get(finding.function.as_str()) {
+                    report
+                        .violations
+                        .push(attach_context(image, region, &finding.violation));
+                }
+            }
+        }
+        report.graph = Some(graph.stats);
+    }
+
+    report.finalize();
     report
 }
 
@@ -240,6 +325,7 @@ fn attach_context(
         insn,
         detail: raw.detail.clone(),
         context,
+        fingerprint: String::new(),
     }
 }
 

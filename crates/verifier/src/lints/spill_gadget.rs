@@ -1,0 +1,75 @@
+//! The unprotected-spill-gadget lint: sensitive plaintext in a callee-saved
+//! register, live across a call into a function that (transitively) saves
+//! that register to memory without a wrapping `cre`.
+//!
+//! This is §2.4.4's cross-call hazard made *whole-program*: the caller obeys
+//! the discipline (it never stores the value itself), the callee obeys its
+//! own local view (the register holds an opaque entry value, so its raw save
+//! is locally clean) — yet composed, the caller's plaintext hits memory.
+//! The per-function pass can only over-approximate this as "anything across
+//! a call is dangerous"; with call-graph resolution and
+//! [`FnSummary::plain_saves`](crate::summary::FnSummary) the lint flags
+//! exactly the call sites whose callee really does save the live register.
+
+use regvault_isa::abi::CALLEE_SAVED;
+
+use crate::diag::ViolationKind;
+use crate::taint::{callee_saved_bit, Event, RawViolation};
+
+use super::{Finding, Lint, LintContext};
+
+/// The unprotected-spill-gadget lint pass.
+pub struct SpillGadget;
+
+impl Lint for SpillGadget {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::SpillGadget
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        for (function, events) in ctx.facts {
+            for event in events {
+                let Event::Call {
+                    offset,
+                    plain_callee_saved,
+                    ..
+                } = *event
+                else {
+                    continue;
+                };
+                if plain_callee_saved == 0 {
+                    continue;
+                }
+                let Some(callee) = ctx.graph.targets.get(&offset) else {
+                    continue; // unresolved: the conservative model already flagged it
+                };
+                let Some(summary) = ctx.summaries.get(callee) else {
+                    continue;
+                };
+                let gadget = plain_callee_saved & summary.plain_saves;
+                if gadget == 0 {
+                    continue;
+                }
+                for &reg in &CALLEE_SAVED {
+                    let Some(bit) = callee_saved_bit(reg) else {
+                        continue;
+                    };
+                    if gadget & bit != 0 {
+                        findings.push(Finding {
+                            function: function.clone(),
+                            violation: RawViolation {
+                                kind: ViolationKind::SpillGadget,
+                                offset,
+                                detail: format!(
+                                    "sensitive plaintext in {reg} is live across the call to `{callee}`, which saves {reg} to memory without a wrapping cre (whole-program spill gadget)"
+                                ),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        findings
+    }
+}

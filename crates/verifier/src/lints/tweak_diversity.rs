@@ -1,0 +1,205 @@
+//! The tweak-diversity lint: flags `cre` sites whose `(key, tweak)` pair can
+//! repeat across distinct plaintexts.
+//!
+//! RegVault's `cre` is deterministic per `(key, tweak, plaintext)`, so an
+//! attacker observing memory can build a ciphertext dictionary and detect
+//! value reuse — the ciphertext side channel CipherGuard targets. The
+//! dictionary precondition is exactly a `(key, tweak)` pair encrypting more
+//! than one plaintext value; this lint finds three shapes of it:
+//!
+//! 1. **Same function, same pair**: two `cre` sites share `(key, tweak)` and
+//!    their plaintexts are not provably the same value.
+//! 2. **Loop-invariant tweak**: a `cre` inside a CFG cycle whose tweak
+//!    survived the loop join (i.e. is the same every iteration) while the
+//!    plaintext is unconstrained — iterations encrypting equal values
+//!    produce equal ciphertext.
+//! 3. **Cross-function reuse**: an image-global or constant tweak used under
+//!    the same key in two different functions (stack tweaks are frame-
+//!    relative and excluded).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::ViolationKind;
+use crate::taint::{Addr, Base, Event, RawViolation, TweakId, Val};
+
+use super::{Finding, Lint, LintContext};
+
+/// The tweak-diversity lint pass.
+pub struct TweakDiversity;
+
+/// Sites grouped by frame-independent `(key, tweak)` pair:
+/// `(function, offset, abstract plaintext)` per site.
+type GlobalSites = BTreeMap<(regvault_isa::KeyReg, TweakId), Vec<(String, u64, Val)>>;
+
+/// Could `a` and `b` be the same runtime value? Only identical constants,
+/// locations, or ciphers are provably equal *within one function's frame*.
+fn provably_same(a: Val, b: Val) -> bool {
+    a == b && matches!(a, Val::Const(_) | Val::Loc(_) | Val::Cipher(_))
+}
+
+/// Cross-function value equality: only equal constants survive a frame
+/// change (entry identities and stack locations are function-relative).
+fn provably_same_cross(a: Val, b: Val) -> bool {
+    a == b && matches!(a, Val::Const(_))
+}
+
+/// Human description of an abstract plaintext operand.
+fn describe(v: Val) -> &'static str {
+    match v {
+        Val::Plain => "sensitive plaintext",
+        Val::Key => "key material",
+        Val::Unknown => "an untracked value",
+        Val::Const(_) => "a constant",
+        Val::Loc(_) => "a stable value",
+        Val::Cipher(_) => "a ciphertext",
+    }
+}
+
+/// A tweak usable for cross-function comparison (frame-independent).
+fn global_tweak(tweak: TweakId) -> bool {
+    matches!(
+        tweak,
+        TweakId::Const(_)
+            | TweakId::Addr(Addr {
+                base: Base::Image,
+                ..
+            })
+    )
+}
+
+impl Lint for TweakDiversity {
+    fn kind(&self) -> ViolationKind {
+        ViolationKind::TweakDiversity
+    }
+
+    fn run(&self, ctx: &LintContext<'_>) -> Vec<Finding> {
+        let mut findings: Vec<Finding> = Vec::new();
+        // One finding per site, first matching rule wins.
+        let mut claimed: BTreeSet<(String, u64)> = BTreeSet::new();
+        let claim = |claimed: &mut BTreeSet<(String, u64)>,
+                         findings: &mut Vec<Finding>,
+                         function: &str,
+                         offset: u64,
+                         detail: String| {
+            if claimed.insert((function.to_owned(), offset)) {
+                findings.push(Finding {
+                    function: function.to_owned(),
+                    violation: RawViolation {
+                        kind: ViolationKind::TweakDiversity,
+                        offset,
+                        detail,
+                    },
+                });
+            }
+        };
+
+        // Rule 1: same (key, tweak) pair reused within one function.
+        for (function, events) in ctx.facts {
+            let mut groups: BTreeMap<(regvault_isa::KeyReg, TweakId), Vec<(u64, Val)>> = BTreeMap::new();
+            for event in events {
+                if let Event::Cre {
+                    offset,
+                    key,
+                    tweak: Some(tweak),
+                    plain,
+                    ..
+                } = *event
+                {
+                    groups
+                        .entry((key, tweak))
+                        .or_default()
+                        .push((offset, plain));
+                }
+            }
+            for ((key, tweak), sites) in &groups {
+                let (_, first_plain) = sites[0];
+                for &(offset, plain) in &sites[1..] {
+                    if !provably_same(first_plain, plain) {
+                        claim(
+                            &mut claimed,
+                            &mut findings,
+                            function,
+                            offset,
+                            format!(
+                                "cre under key `{key}` reuses tweak {tweak} already used earlier in this function across possibly distinct plaintexts ({} vs {}) — identical (key, tweak) pairs enable a ciphertext dictionary",
+                                describe(first_plain),
+                                describe(plain)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Rule 2: loop-invariant tweak over varying plaintext.
+        for (function, events) in ctx.facts {
+            for event in events {
+                if let Event::Cre {
+                    offset,
+                    key,
+                    tweak: Some(tweak),
+                    plain,
+                    in_loop: true,
+                } = *event
+                {
+                    if matches!(plain, Val::Plain | Val::Unknown) {
+                        claim(
+                            &mut claimed,
+                            &mut findings,
+                            function,
+                            offset,
+                            format!(
+                                "cre under key `{key}` executes in a loop with loop-invariant tweak {tweak} over varying plaintext — iterations encrypting equal values produce equal ciphertext (dictionary/reuse channel)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Rule 3: a frame-independent tweak shared across functions.
+        let mut global: GlobalSites = BTreeMap::new();
+        for (function, events) in ctx.facts {
+            for event in events {
+                if let Event::Cre {
+                    offset,
+                    key,
+                    tweak: Some(tweak),
+                    plain,
+                    ..
+                } = *event
+                {
+                    if global_tweak(tweak) {
+                        global
+                            .entry((key, tweak))
+                            .or_default()
+                            .push((function.clone(), offset, plain));
+                    }
+                }
+            }
+        }
+        for ((key, tweak), sites) in &global {
+            let functions: BTreeSet<&str> =
+                sites.iter().map(|(f, _, _)| f.as_str()).collect();
+            if functions.len() < 2 {
+                continue;
+            }
+            let (first_fn, _, first_plain) = &sites[0];
+            for (function, offset, plain) in &sites[1..] {
+                if function != first_fn && !provably_same_cross(*first_plain, *plain) {
+                    claim(
+                        &mut claimed,
+                        &mut findings,
+                        function,
+                        *offset,
+                        format!(
+                            "cre under key `{key}` uses tweak {tweak}, which `{first_fn}` also encrypts under — cross-function (key, tweak) sharing enables a ciphertext dictionary"
+                        ),
+                    );
+                }
+            }
+        }
+
+        findings
+    }
+}

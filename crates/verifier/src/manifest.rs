@@ -33,6 +33,10 @@ pub struct ProtectionManifest {
     pub functions: BTreeMap<String, FnExpect>,
     /// Symbols that are data, not code (excluded from CFG construction).
     pub data_symbols: Vec<String>,
+    /// Data symbols holding raw key material. Also excluded from CFG
+    /// construction; in interprocedural mode, loads from these extents are
+    /// tracked as key taint by the raw-key-flow lint.
+    pub key_symbols: Vec<String>,
 }
 
 impl ProtectionManifest {

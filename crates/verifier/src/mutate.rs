@@ -5,6 +5,21 @@
 //! one protection site — drop a `cre`/`crd`, replace an encrypt with a plain
 //! move ("forgot to encrypt"), or swap a tweak register — producing a
 //! program that assembles fine but violates exactly one invariant.
+//!
+//! The second group of mutations seeds *whole-program* hazards that only the
+//! interprocedural [`lints`](crate::lints) catch: a reused `(key, tweak)`
+//! pair ([`Mutation::ReuseTweak`]), a raw key load from [`KEY_SYMBOL`]
+//! ([`Mutation::LeakKeyToGpr`]), and a cross-call spill gadget through
+//! [`SPILL_HELPER`] ([`Mutation::PlainSpillInCallee`]).
+
+/// The key-storage data symbol [`Mutation::LeakKeyToGpr`] loads from; the
+/// manifest must list it in `key_symbols` for the lint to see the taint.
+pub const KEY_SYMBOL: &str = "keyblob";
+
+/// The callee appended by [`Mutation::PlainSpillInCallee`]: locally clean
+/// (it only saves/restores its own view of `s1`), but a spill gadget for any
+/// caller holding plaintext in `s1`.
+pub const SPILL_HELPER: &str = "spill_helper";
 
 /// A single protection-site mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +33,20 @@ pub enum Mutation {
     /// Replace the tweak register operand with `t2` (or `t3` if the site
     /// already uses `t2`), breaking the storage-address tweak discipline.
     SwapTweak,
+    /// After a `cre`, insert a second encryption of a different value under
+    /// the *same* `(key, tweak)` pair (`cre`-only). The result is never
+    /// stored, so no intraprocedural invariant breaks — only the
+    /// tweak-diversity lint sees the ciphertext-dictionary precondition.
+    ReuseTweak,
+    /// After the site, load raw key material from [`KEY_SYMBOL`] into a
+    /// scratch register. The value is never stored or spilled — only the
+    /// raw-key-flow lint objects.
+    LeakKeyToGpr,
+    /// After a `crd` (`crd`-only), move the decrypted plaintext into `s1`
+    /// and call [`SPILL_HELPER`], which is appended to the program and
+    /// saves `s1` raw. Each function is locally clean — only the
+    /// whole-program spill-gadget lint composes them into a violation.
+    PlainSpillInCallee,
 }
 
 /// One crypto instruction found in an assembly listing.
@@ -84,35 +113,94 @@ fn split_site(text: &str) -> Option<(bool, String, String, String)> {
     }
 }
 
+/// How a mutation edits the listing.
+enum Action {
+    /// Replace the target line (`None` deletes it).
+    Replace(Option<String>),
+    /// Keep the target line and insert these after it.
+    InsertAfter(Vec<String>),
+}
+
 /// Applies `mutation` to the crypto instruction at line `line` of `asm`.
 ///
 /// Returns the mutated assembly, or `None` if the line is not a crypto
-/// instruction (or the mutation cannot apply).
+/// instruction (or the mutation cannot apply — e.g. [`Mutation::ReuseTweak`]
+/// on a `crd` site).
 #[must_use]
 pub fn apply(asm: &str, line: usize, mutation: Mutation) -> Option<String> {
     let lines: Vec<&str> = asm.lines().collect();
     let target = lines.get(line)?.trim();
-    let (_, rd, rs, rt) = split_site(target)?;
-    let replacement = match mutation {
-        Mutation::Strip => None,
-        Mutation::ToMove => Some(format!("mv {rd}, {rs}")),
+    let (is_cre, rd, rs, rt) = split_site(target)?;
+    // Whole functions/data appended after the listing.
+    let mut append: Vec<String> = Vec::new();
+    let action = match mutation {
+        Mutation::Strip => Action::Replace(None),
+        Mutation::ToMove => Action::Replace(Some(format!("mv {rd}, {rs}"))),
         Mutation::SwapTweak => {
             let swapped = if rt == "t2" { "t3" } else { "t2" };
-            Some(target.replacen(&format!(", {rt}"), &format!(", {swapped}"), 1))
+            Action::Replace(Some(
+                target.replacen(&format!(", {rt}"), &format!(", {swapped}"), 1),
+            ))
+        }
+        Mutation::ReuseTweak => {
+            if !is_cre {
+                return None;
+            }
+            let mnemonic = target.split_whitespace().next()?;
+            let range = &target[target.find('[')?..=target.find(']')?];
+            // Same key, same tweak register, unrelated plaintext (a4).
+            Action::InsertAfter(vec![format!("{mnemonic} t4, a4{range}, {rt}")])
+        }
+        Mutation::LeakKeyToGpr => {
+            let declared = lines
+                .iter()
+                .any(|l| l.trim().starts_with(&format!("{KEY_SYMBOL}:")));
+            if !declared {
+                append.push(format!("{KEY_SYMBOL}: .dword 0x0f1e2d3c4b5a6978"));
+            }
+            Action::InsertAfter(vec![
+                format!("la t4, {KEY_SYMBOL}"),
+                "ld t4, 0(t4)".to_owned(),
+            ])
+        }
+        Mutation::PlainSpillInCallee => {
+            if is_cre {
+                return None;
+            }
+            append.extend([
+                format!("{SPILL_HELPER}:"),
+                "addi sp, sp, -16".to_owned(),
+                "sd s1, 0(sp)".to_owned(),
+                "ld s1, 0(sp)".to_owned(),
+                "addi sp, sp, 16".to_owned(),
+                "ret".to_owned(),
+            ]);
+            Action::InsertAfter(vec![
+                format!("mv s1, {rd}"),
+                format!("call {SPILL_HELPER}"),
+            ])
         }
     };
-    let mut out = Vec::with_capacity(lines.len());
+    let mut out = Vec::with_capacity(lines.len() + append.len() + 2);
     for (i, &text) in lines.iter().enumerate() {
+        // Preserve the original indentation for replacements/insertions.
+        let indent: String = text.chars().take_while(|c| c.is_whitespace()).collect();
         if i == line {
-            if let Some(ref repl) = replacement {
-                // Preserve the original indentation.
-                let indent: String = text.chars().take_while(|c| c.is_whitespace()).collect();
-                out.push(format!("{indent}{repl}"));
+            match &action {
+                Action::Replace(None) => {}
+                Action::Replace(Some(repl)) => out.push(format!("{indent}{repl}")),
+                Action::InsertAfter(extra) => {
+                    out.push(text.to_owned());
+                    for insn in extra {
+                        out.push(format!("{indent}{insn}"));
+                    }
+                }
             }
         } else {
             out.push(text.to_owned());
         }
     }
+    out.extend(append);
     Some(out.join("\n"))
 }
 
@@ -164,5 +252,34 @@ mod tests {
     fn non_crypto_lines_are_rejected() {
         assert!(apply(ASM, 0, Mutation::Strip).is_none());
         assert!(apply(ASM, 3, Mutation::ToMove).is_none());
+    }
+
+    #[test]
+    fn reuse_tweak_duplicates_the_pair_on_cre_only() {
+        let mutated = apply(ASM, 2, Mutation::ReuseTweak).unwrap();
+        assert!(mutated.contains("creek t5, t0[7:0], t6"));
+        assert!(mutated.contains("creek t4, a4[7:0], t6"));
+        // crd sites have no tweak pair to reuse.
+        assert!(apply(ASM, 5, Mutation::ReuseTweak).is_none());
+    }
+
+    #[test]
+    fn leak_key_declares_storage_exactly_once() {
+        let mutated = apply(ASM, 2, Mutation::LeakKeyToGpr).unwrap();
+        assert!(mutated.contains("la t4, keyblob"));
+        assert!(mutated.contains("ld t4, 0(t4)"));
+        assert_eq!(mutated.matches("keyblob:").count(), 1);
+        // Already-declared storage is not duplicated.
+        let again = apply(&mutated, 2, Mutation::LeakKeyToGpr).unwrap();
+        assert_eq!(again.matches("keyblob:").count(), 1);
+    }
+
+    #[test]
+    fn plain_spill_in_callee_builds_the_gadget_on_crd_only() {
+        let mutated = apply(ASM, 5, Mutation::PlainSpillInCallee).unwrap();
+        assert!(mutated.contains("mv s1, t0"));
+        assert!(mutated.contains("call spill_helper"));
+        assert!(mutated.contains("spill_helper:"));
+        assert!(apply(ASM, 2, Mutation::PlainSpillInCallee).is_none());
     }
 }

@@ -1,0 +1,332 @@
+//! Per-function taint summaries for interprocedural analysis.
+//!
+//! A [`FnSummary`] condenses what one function does to sensitive data into a
+//! few monotone bit-facts: does it return decrypted plaintext (or raw key
+//! material) in `a0`, does a plaintext argument leak to memory inside it, and
+//! which callee-saved registers does it (transitively) save to memory without
+//! a wrapping `cre`. Summaries are computed to a fixpoint over the call
+//! graph — each function is analyzed with the *current* summaries applied at
+//! its resolved call sites, so facts flow bottom-up through arbitrarily deep
+//! (even recursive) call chains. All fields only ever grow, which guarantees
+//! termination.
+//!
+//! Summary semantics are *may*: a set bit means "some path may do this".
+//! The interprocedural pass consumes them at call sites (see
+//! [`crate::taint::CallEnv`]) and the lint passes read them directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use regvault_isa::abi::ARG_REGS;
+
+use crate::cfg::{Cfg, FuncRegion};
+use crate::diag::ViolationKind;
+use crate::taint::{
+    analyze_full, callee_saved_bit, CallEnv, Event, RawViolation, TaintOptions,
+};
+
+/// The interprocedural taint summary of one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FnSummary {
+    /// `a0` may hold sensitive plaintext at some return, regardless of
+    /// argument taint (e.g. the function decrypts and returns).
+    pub returns_plain: bool,
+    /// `a0` may hold raw key material at some return.
+    pub returns_key: bool,
+    /// Bit `i`: if argument `a<i>` is plaintext, `a0` may be plaintext at
+    /// some return (argument-to-return flow).
+    pub arg_returns_plain: u8,
+    /// Bit `i`: a plaintext argument `a<i>` may reach memory unencrypted
+    /// inside this function (or a callee it forwards the value to).
+    pub arg_spills: u8,
+    /// Bit per [`regvault_isa::abi::CALLEE_SAVED`] index: the function (or a
+    /// callee it passes the register through to) saves that register's entry
+    /// value to memory without a wrapping `cre`.
+    pub plain_saves: u16,
+}
+
+impl FnSummary {
+    /// Monotone merge: the union of two summaries' facts.
+    #[must_use]
+    pub fn union(self, other: FnSummary) -> FnSummary {
+        FnSummary {
+            returns_plain: self.returns_plain || other.returns_plain,
+            returns_key: self.returns_key || other.returns_key,
+            arg_returns_plain: self.arg_returns_plain | other.arg_returns_plain,
+            arg_spills: self.arg_spills | other.arg_spills,
+            plain_saves: self.plain_saves | other.plain_saves,
+        }
+    }
+
+    /// `true` when the summary records no facts at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == FnSummary::default()
+    }
+}
+
+/// Leak-class violations used to detect argument spills: only kinds that
+/// mean "plaintext reached memory" participate, so tweak/key-discipline
+/// noise cannot masquerade as an argument leak.
+fn leak_set(violations: &[RawViolation]) -> BTreeSet<(ViolationKind, u64, String)> {
+    violations
+        .iter()
+        .filter(|v| {
+            matches!(
+                v.kind,
+                ViolationKind::PlainSpill | ViolationKind::PlainStore
+            )
+        })
+        .map(|v| (v.kind, v.offset, v.detail.clone()))
+        .collect()
+}
+
+/// Whether a run's events show `a0` plaintext escaping through a return,
+/// either directly or through a resolved tail call.
+fn run_returns_plain(
+    events: &[Event],
+    targets: &BTreeMap<u64, String>,
+    summaries: &BTreeMap<String, FnSummary>,
+) -> bool {
+    events.iter().any(|e| match *e {
+        Event::Ret { a0_plain, .. } => a0_plain,
+        Event::Call {
+            offset,
+            tail: true,
+            plain_args,
+            ..
+        } => targets
+            .get(&offset)
+            .and_then(|n| summaries.get(n))
+            .is_some_and(|s| s.returns_plain || s.arg_returns_plain & plain_args != 0),
+        _ => false,
+    })
+}
+
+/// Like [`run_returns_plain`] but for raw key material.
+fn run_returns_key(
+    events: &[Event],
+    targets: &BTreeMap<u64, String>,
+    summaries: &BTreeMap<String, FnSummary>,
+) -> bool {
+    events.iter().any(|e| match *e {
+        Event::Ret { a0_key, .. } => a0_key,
+        Event::Call {
+            offset, tail: true, ..
+        } => targets
+            .get(&offset)
+            .and_then(|n| summaries.get(n))
+            .is_some_and(|s| s.returns_key),
+        _ => false,
+    })
+}
+
+/// Computes one function's summary given the current summaries of everyone
+/// else (and itself, for recursion).
+fn summarize_one(
+    cfg: &Cfg,
+    options: TaintOptions,
+    targets: &BTreeMap<u64, String>,
+    key_regions: &[(u64, u64)],
+    summaries: &BTreeMap<String, FnSummary>,
+) -> FnSummary {
+    let env = CallEnv {
+        targets,
+        summaries,
+    };
+    // Reference run with no seeded arguments: whatever leaks here leaks for
+    // every caller, and is not attributable to any specific argument.
+    let base = analyze_full(cfg, &[], options, key_regions, Some(&env));
+    let base_leaks = leak_set(&base.violations);
+    let mut summary = FnSummary {
+        returns_plain: run_returns_plain(&base.events, targets, summaries),
+        returns_key: run_returns_key(&base.events, targets, summaries),
+        ..FnSummary::default()
+    };
+    // Raw callee-saved saves: direct, plus transitive through calls that
+    // forward the caller's still-live register into a saving callee.
+    for event in &base.events {
+        match *event {
+            Event::PlainSave { reg, .. } => {
+                if let Some(bit) = callee_saved_bit(reg) {
+                    summary.plain_saves |= bit;
+                }
+            }
+            Event::Call {
+                offset,
+                entry_callee_saved,
+                ..
+            } => {
+                if let Some(callee) = targets.get(&offset) {
+                    if let Some(s) = summaries.get(callee) {
+                        summary.plain_saves |= entry_callee_saved & s.plain_saves;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Per-argument probe runs: seed exactly one argument register Plain and
+    // diff the leak set against the reference run.
+    for (i, &arg) in ARG_REGS.iter().enumerate() {
+        let run = analyze_full(cfg, &[arg], options, key_regions, Some(&env));
+        if leak_set(&run.violations)
+            .difference(&base_leaks)
+            .next()
+            .is_some()
+        {
+            summary.arg_spills |= 1 << i;
+        }
+        if run_returns_plain(&run.events, targets, summaries) {
+            summary.arg_returns_plain |= 1 << i;
+        }
+    }
+    // An argless run that already returns plaintext makes the per-argument
+    // return bits vacuous; keep them anyway (they are a superset and the
+    // call-site check ORs them with returns_plain).
+    summary
+}
+
+/// Computes summaries for all functions to a fixpoint over the call graph.
+///
+/// `funcs` pairs each function region with its CFG and the taint options it
+/// is verified under (CIP stubs run without tweak discipline); `targets`
+/// maps resolved call-site offsets to callee symbols (see
+/// [`crate::callgraph`]).
+#[must_use]
+pub fn compute(
+    funcs: &[(FuncRegion, Cfg, TaintOptions)],
+    targets: &BTreeMap<u64, String>,
+    key_regions: &[(u64, u64)],
+) -> BTreeMap<String, FnSummary> {
+    let mut summaries: BTreeMap<String, FnSummary> = funcs
+        .iter()
+        .map(|(region, _, _)| (region.name.clone(), FnSummary::default()))
+        .collect();
+    // Facts only grow, so the fixpoint needs at most one round per edge in
+    // the longest acyclic summary-dependency chain; funcs.len() + 1 rounds
+    // is a safe upper bound, and the loop exits early once stable.
+    for _ in 0..=funcs.len() {
+        let mut changed = false;
+        for (region, cfg, options) in funcs {
+            let new = summarize_one(cfg, *options, targets, key_regions, &summaries);
+            let current = summaries
+                .get(&region.name)
+                .copied()
+                .unwrap_or_default();
+            let merged = current.union(new);
+            if merged != current {
+                summaries.insert(region.name.clone(), merged);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{build, regions_from_symbols};
+    use regvault_isa::asm::assemble;
+
+    /// Assembles `src`, builds per-function CFGs, resolves direct calls by
+    /// symbol, and computes summaries.
+    fn summaries_of(src: &str) -> BTreeMap<String, FnSummary> {
+        let program = assemble(src).unwrap();
+        let regions = regions_from_symbols(
+            program.symbols().iter(),
+            program.bytes().len() as u64,
+            &[],
+        );
+        let funcs: Vec<(FuncRegion, Cfg, TaintOptions)> = regions
+            .iter()
+            .map(|r| {
+                (
+                    r.clone(),
+                    build(program.bytes(), r).unwrap(),
+                    TaintOptions::default(),
+                )
+            })
+            .collect();
+        let graph = crate::callgraph::build(&funcs, &[]);
+        compute(&funcs, &graph.targets, &[])
+    }
+
+    #[test]
+    fn decrypting_return_is_summarized() {
+        let s = summaries_of(
+            "get_secret:
+             ld a0, 0(a1)
+             crdak a0, a0, a1, [7:0]
+             ret",
+        );
+        assert!(s["get_secret"].returns_plain);
+        assert_eq!(s["get_secret"].arg_spills, 0);
+    }
+
+    #[test]
+    fn argument_spill_is_attributed_to_the_right_argument() {
+        let s = summaries_of(
+            "sink:
+             addi sp, sp, -16
+             sd a1, 0(sp)
+             addi sp, sp, 16
+             ret",
+        );
+        assert_eq!(s["sink"].arg_spills, 0b10, "{:?}", s["sink"]);
+        assert!(!s["sink"].returns_plain);
+    }
+
+    #[test]
+    fn raw_callee_saved_save_is_recorded_and_propagates_up() {
+        // helper saves s1 raw; wrapper forwards its own (untouched) s1 into
+        // helper, so the fact propagates transitively.
+        let s = summaries_of(
+            "wrapper:
+             addi sp, sp, -16
+             sd ra, 8(sp)
+             call helper
+             ld ra, 8(sp)
+             addi sp, sp, 16
+             ret
+             helper:
+             addi sp, sp, -16
+             sd s1, 0(sp)
+             ld s1, 0(sp)
+             addi sp, sp, 16
+             ret",
+        );
+        let s1_bit = callee_saved_bit(regvault_isa::Reg::S1).unwrap();
+        assert_eq!(s["helper"].plain_saves & s1_bit, s1_bit, "{:?}", s["helper"]);
+        assert_eq!(s["wrapper"].plain_saves & s1_bit, s1_bit, "{:?}", s["wrapper"]);
+    }
+
+    #[test]
+    fn argument_to_return_flow_is_summarized() {
+        let s = summaries_of(
+            "ident:
+             mv a0, a0
+             ret",
+        );
+        assert_eq!(s["ident"].arg_returns_plain & 1, 1, "{:?}", s["ident"]);
+        assert!(!s["ident"].returns_plain);
+    }
+
+    #[test]
+    fn transitive_return_through_a_wrapper_call_chain() {
+        // outer tail-calls inner which decrypts and returns: outer must
+        // summarize returns_plain through the tail edge.
+        let s = summaries_of(
+            "outer:
+             j inner
+             inner:
+             crdak a0, a0, a1, [7:0]
+             ret",
+        );
+        assert!(s["inner"].returns_plain);
+        assert!(s["outer"].returns_plain, "{:?}", s["outer"]);
+    }
+}

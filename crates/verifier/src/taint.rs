@@ -8,45 +8,61 @@
 //! ```text
 //!            Plain                 (may hold sensitive plaintext — top)
 //!              |
+//!             Key                  (may hold raw key material)
+//!              |
 //!           Unknown                (derived / untracked)
 //!          /   |    \
 //!   Const(k) Loc(a) Cipher{key,tweak}
 //! ```
 //!
 //! `Plain` absorbs everything (a value that *may* be sensitive plaintext
-//! stays so under join); unequal constants/locations collapse to `Unknown`;
-//! two ciphers join field-wise (mismatched key or tweak becomes unknown).
-//! Chains are bounded (length ≤ 4 per cell), so the worklist fixpoint
-//! terminates.
+//! stays so under join); `Key` absorbs everything except `Plain`; unequal
+//! constants/locations collapse to `Unknown`; two ciphers join field-wise
+//! (mismatched key or tweak becomes unknown). Chains are bounded, so the
+//! worklist fixpoint terminates.
 //!
 //! # Seeding
 //!
-//! `Plain` enters the state from exactly two sources, mirroring the paper's
-//! taint rules: destinations of `crd[x]k` (a decrypt *produces* sensitive
-//! plaintext by definition) and the registers listed in the compiler's
-//! protection manifest as sensitive at function entry (`ra` under RA
-//! protection, argument registers carrying sensitive parameters). ALU
-//! results with a `Plain` operand stay `Plain`.
+//! `Plain` enters the state from destinations of `crd[x]k` (a decrypt
+//! *produces* sensitive plaintext by definition) and the registers listed in
+//! the compiler's protection manifest as sensitive at function entry. `Key`
+//! enters from loads of manifest-declared key-material symbols. ALU results
+//! with a `Plain` (or `Key`) operand stay tainted.
+//!
+//! # Interprocedural mode
+//!
+//! [`analyze_full`] optionally takes a [`CallEnv`] mapping resolved call
+//! sites to per-callee [`FnSummary`] facts. With an environment, resolved
+//! calls are modelled by their callee's summary (argument spills flagged at
+//! the call site, decrypted returns propagated into `a0`, callee-saved
+//! registers preserved) instead of the conservative clobber model; the
+//! analysis additionally records an [`Event`] stream (crypto sites, calls,
+//! returns, raw saves, key flows) consumed by summary construction and the
+//! lint passes in [`crate::lints`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use regvault_isa::abi::{CALLER_SAVED, CALLEE_SAVED};
+use regvault_isa::abi::{ARG_REGS, CALLEE_SAVED, CALLER_SAVED};
 use regvault_isa::{AluOp, Insn, KeyReg, Reg};
 
 use crate::cfg::Cfg;
 use crate::diag::ViolationKind;
+use crate::summary::FnSummary;
 
 /// Symbolic base of an abstract address.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Base {
     /// The function's entry stack pointer.
     Sp,
+    /// The image itself: `pc`-relative addresses (`auipc`/`la`) resolve to
+    /// concrete image byte offsets, comparable across functions.
+    Image,
     /// An opaque value identity (entry register or instruction definition).
     Id(u64),
 }
 
 /// An abstract address: a symbolic base plus a concrete byte offset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Addr {
     /// Symbolic base.
     pub base: Base,
@@ -54,8 +70,18 @@ pub struct Addr {
     pub off: i64,
 }
 
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.base {
+            Base::Sp => write!(f, "sp{:+#x}", self.off),
+            Base::Image => write!(f, "image+{:#x}", self.off),
+            Base::Id(id) => write!(f, "v{id}{:+#x}", self.off),
+        }
+    }
+}
+
 /// What the dataflow knows about a cipher value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CipherInfo {
     /// The key register used by the producing `cre`, when unique.
     pub key: Option<KeyReg>,
@@ -64,7 +90,7 @@ pub struct CipherInfo {
 }
 
 /// The abstract value lattice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Val {
     /// Nothing tracked.
     Unknown,
@@ -72,6 +98,8 @@ pub enum Val {
     Const(i64),
     /// A symbolic location/identity (address arithmetic stays precise).
     Loc(Addr),
+    /// May hold raw key material (loaded from a key-storage symbol).
+    Key,
     /// May hold sensitive plaintext.
     Plain,
     /// Ciphertext produced by a `cre`.
@@ -79,7 +107,8 @@ pub enum Val {
 }
 
 impl Val {
-    /// Lattice join: `Plain` absorbs, mismatches widen to `Unknown`.
+    /// Lattice join: `Plain` absorbs, `Key` absorbs everything but `Plain`,
+    /// mismatches widen to `Unknown`.
     #[must_use]
     pub fn join(self, other: Val) -> Val {
         if self == other {
@@ -87,6 +116,7 @@ impl Val {
         }
         match (self, other) {
             (Val::Plain, _) | (_, Val::Plain) => Val::Plain,
+            (Val::Key, _) | (_, Val::Key) => Val::Key,
             (Val::Cipher(a), Val::Cipher(b)) => Val::Cipher(CipherInfo {
                 key: if a.key == b.key { a.key } else { None },
                 tweak: if a.tweak == b.tweak { a.tweak } else { None },
@@ -121,10 +151,7 @@ impl State {
                     base: Base::Sp,
                     off: 0,
                 }),
-                _ => Val::Loc(Addr {
-                    base: Base::Id(ENTRY_ID_TAG + u64::from(reg.index())),
-                    off: 0,
-                }),
+                _ => entry_val(reg),
             };
         }
         for &reg in entry_sensitive {
@@ -179,6 +206,14 @@ impl State {
 /// Tag separating entry-register identities from instruction-definition
 /// identities (`(offset << 6) | rd` stays below bit 40 for any real image).
 const ENTRY_ID_TAG: u64 = 1 << 40;
+
+/// The opaque entry identity of `reg` (what the register held on entry).
+fn entry_val(reg: Reg) -> Val {
+    Val::Loc(Addr {
+        base: Base::Id(ENTRY_ID_TAG + u64::from(reg.index())),
+        off: 0,
+    })
+}
 
 fn def_id(offset: u64, rd: Reg) -> u64 {
     (offset << 6) | u64::from(rd.index())
@@ -242,16 +277,220 @@ impl Default for TaintOptions {
     }
 }
 
+/// How a `cre` tweak value is identified for diversity analysis: either a
+/// symbolic address or a known constant. Tweaks the dataflow cannot pin down
+/// are absent from the [`Event::Cre`] record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TweakId {
+    /// A symbolic address (stack slot, image offset, or opaque identity).
+    Addr(Addr),
+    /// A known constant tweak value.
+    Const(i64),
+}
+
+impl std::fmt::Display for TweakId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TweakId::Addr(a) => write!(f, "{a}"),
+            TweakId::Const(c) => write!(f, "{c:#x}"),
+        }
+    }
+}
+
+/// A semantic fact recorded while the fixpoint runs, consumed by summary
+/// construction ([`crate::summary`]) and the lint passes ([`crate::lints`]).
+///
+/// Events are keyed by instruction offset; re-visits during the fixpoint
+/// overwrite, so the recorded event reflects the final (widest) in-state of
+/// its block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A `cre` site: what was encrypted, under which key and tweak.
+    Cre {
+        /// Image byte offset of the `cre`.
+        offset: u64,
+        /// Key register used.
+        key: KeyReg,
+        /// Identified tweak value, when the dataflow pinned it down.
+        tweak: Option<TweakId>,
+        /// Abstract value of the plaintext operand.
+        plain: Val,
+        /// `true` when the site sits in a CFG cycle (loop body).
+        in_loop: bool,
+    },
+    /// A call site (including tail calls), with argument/register taint.
+    Call {
+        /// Image byte offset of the call instruction.
+        offset: u64,
+        /// Statically known target image offset (`jal`, or `jalr` through a
+        /// resolved `la` address), if any.
+        target: Option<u64>,
+        /// `true` for `jalr`-based (indirect) calls.
+        indirect: bool,
+        /// `true` for tail calls (`jal zero` out of the extent, `jr`).
+        tail: bool,
+        /// Bit `i` set when argument register `a<i>` may hold plaintext.
+        plain_args: u8,
+        /// Bit `i` set when argument register `a<i>` may hold key material.
+        key_args: u8,
+        /// Bit per [`CALLEE_SAVED`] index: register may hold plaintext.
+        plain_callee_saved: u16,
+        /// Bit per [`CALLEE_SAVED`] index: register still holds its
+        /// function-entry value (i.e. the caller's live value).
+        entry_callee_saved: u16,
+    },
+    /// A function return (`ret`), with the abstract return value.
+    Ret {
+        /// Image byte offset of the `ret`.
+        offset: u64,
+        /// `a0` may hold sensitive plaintext.
+        a0_plain: bool,
+        /// `a0` may hold raw key material.
+        a0_key: bool,
+    },
+    /// A store of a callee-saved register's *entry value* to memory without
+    /// a wrapping `cre` — harmless locally, but a spill gadget if some
+    /// caller keeps plaintext in that register across the call.
+    PlainSave {
+        /// Image byte offset of the store.
+        offset: u64,
+        /// The callee-saved register whose entry value is saved raw.
+        reg: Reg,
+    },
+    /// A load from a manifest-declared key-storage symbol into a GPR.
+    KeyLoad {
+        /// Image byte offset of the load.
+        offset: u64,
+        /// Destination register now holding raw key material.
+        rd: Reg,
+    },
+    /// A store of raw key material to memory without a wrapping `cre`.
+    KeyStore {
+        /// Image byte offset of the store.
+        offset: u64,
+        /// Source register holding the key material.
+        rs2: Reg,
+    },
+}
+
+impl Event {
+    /// The image offset the event is anchored to.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        match *self {
+            Event::Cre { offset, .. }
+            | Event::Call { offset, .. }
+            | Event::Ret { offset, .. }
+            | Event::PlainSave { offset, .. }
+            | Event::KeyLoad { offset, .. }
+            | Event::KeyStore { offset, .. } => offset,
+        }
+    }
+}
+
+/// Interprocedural environment: resolved call targets plus the current
+/// per-function summaries, applied at call sites instead of the conservative
+/// clobber model.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEnv<'a> {
+    /// Call-site image offset → resolved callee symbol.
+    pub targets: &'a BTreeMap<u64, String>,
+    /// Callee symbol → taint summary.
+    pub summaries: &'a BTreeMap<String, FnSummary>,
+}
+
+/// The full result of one dataflow run.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Violations found, sorted and deduplicated.
+    pub violations: Vec<RawViolation>,
+    /// Semantic events in offset order.
+    pub events: Vec<Event>,
+}
+
 /// Runs the worklist fixpoint over `cfg` and returns the violations.
 ///
 /// `entry_sensitive` seeds `Plain` into the entry state (see [`State::entry`]).
+/// Intraprocedural compatibility wrapper over [`analyze_full`].
 #[must_use]
 pub fn analyze(cfg: &Cfg, entry_sensitive: &[Reg], options: TaintOptions) -> Vec<RawViolation> {
-    let mut in_states: Vec<Option<State>> = vec![None; cfg.blocks.len()];
-    let mut violations: BTreeSet<RawViolation> = BTreeSet::new();
-    if cfg.blocks.is_empty() {
-        return Vec::new();
+    analyze_full(cfg, entry_sensitive, options, &[], None).violations
+}
+
+/// The bit of `reg` within [`CALLEE_SAVED`] bitmasks (`sp` excluded), as
+/// used by [`Event::Call`] and [`FnSummary::plain_saves`].
+#[must_use]
+pub fn callee_saved_bit(reg: Reg) -> Option<u16> {
+    if reg == Reg::Sp {
+        return None;
     }
+    CALLEE_SAVED
+        .iter()
+        .position(|&r| r == reg)
+        .map(|i| 1u16 << i)
+}
+
+/// Per-run mutable context threaded through the transfer function.
+struct Ctx<'a> {
+    options: TaintOptions,
+    key_regions: &'a [(u64, u64)],
+    env: Option<&'a CallEnv<'a>>,
+    extent: (u64, u64),
+    in_loop: bool,
+    violations: BTreeSet<RawViolation>,
+    events: BTreeMap<(u64, u8, u8), Event>,
+}
+
+impl Ctx<'_> {
+    fn record(&mut self, tag: u8, aux: u8, event: Event) {
+        self.events.insert((event.offset(), tag, aux), event);
+    }
+
+    fn in_key_region(&self, off: i64) -> bool {
+        u64::try_from(off).is_ok_and(|o| {
+            self.key_regions.iter().any(|&(s, e)| o >= s && o < e)
+        })
+    }
+}
+
+/// Runs the worklist fixpoint over `cfg`, returning violations *and* the
+/// event stream.
+///
+/// `key_regions` are `[start, end)` image extents of key-material symbols
+/// (loads from them produce [`Val::Key`]); `env`, when present, switches
+/// resolved call sites from the conservative clobber model to summary
+/// application.
+#[must_use]
+pub fn analyze_full(
+    cfg: &Cfg,
+    entry_sensitive: &[Reg],
+    options: TaintOptions,
+    key_regions: &[(u64, u64)],
+    env: Option<&CallEnv<'_>>,
+) -> Analysis {
+    let mut in_states: Vec<Option<State>> = vec![None; cfg.blocks.len()];
+    if cfg.blocks.is_empty() {
+        return Analysis::default();
+    }
+    let offsets: Vec<u64> = cfg
+        .blocks
+        .iter()
+        .flat_map(|b| b.insns.iter().map(|&(at, _)| at))
+        .collect();
+    let extent = (
+        offsets.iter().copied().min().unwrap_or(0),
+        offsets.iter().copied().max().map_or(0, |hi| hi + 4),
+    );
+    let cyclic = crate::cfg::cyclic_blocks(cfg);
+    let mut ctx = Ctx {
+        options,
+        key_regions,
+        env,
+        extent,
+        in_loop: false,
+        violations: BTreeSet::new(),
+        events: BTreeMap::new(),
+    };
     in_states[0] = Some(State::entry(entry_sensitive));
 
     let mut worklist: VecDeque<usize> = VecDeque::new();
@@ -264,8 +503,9 @@ pub fn analyze(cfg: &Cfg, entry_sensitive: &[Reg], options: TaintOptions) -> Vec
         let Some(mut state) = in_states[idx].clone() else {
             continue;
         };
+        ctx.in_loop = cyclic[idx];
         for &(offset, ref insn) in &cfg.blocks[idx].insns {
-            transfer(&mut state, offset, insn, options, &mut violations);
+            transfer(&mut state, offset, insn, &mut ctx);
         }
         for &succ in &cfg.blocks[idx].succs {
             let changed = match in_states[succ].as_mut() {
@@ -282,15 +522,23 @@ pub fn analyze(cfg: &Cfg, entry_sensitive: &[Reg], options: TaintOptions) -> Vec
         }
     }
 
-    violations.into_iter().collect()
+    Analysis {
+        violations: ctx.violations.into_iter().collect(),
+        events: ctx.events.into_values().collect(),
+    }
 }
 
 /// ALU transfer for two abstract operands.
 fn alu(op: AluOp, a: Val, b: Val) -> Val {
     // Taint propagation dominates: any Plain operand keeps the result Plain
-    // (mirrors the compiler's forward propagation through arithmetic).
+    // (mirrors the compiler's forward propagation through arithmetic), and
+    // any Key operand keeps it Key — a value derived from key material is
+    // still key material.
     if a == Val::Plain || b == Val::Plain {
         return Val::Plain;
+    }
+    if a == Val::Key || b == Val::Key {
+        return Val::Key;
     }
     match (op, a, b) {
         (AluOp::Add, Val::Const(x), Val::Const(y)) => Val::Const(x.wrapping_add(y)),
@@ -313,31 +561,40 @@ fn alu(op: AluOp, a: Val, b: Val) -> Val {
     }
 }
 
+/// Narrows an ALU result to 32-bit semantics (`opw`/`opimmw`).
+fn narrow(v: Val) -> Val {
+    match v {
+        Val::Plain => Val::Plain,
+        Val::Key => Val::Key,
+        Val::Const(c) => Val::Const(i64::from(c as i32)),
+        _ => Val::Unknown,
+    }
+}
+
 /// The abstract transfer function for one instruction.
-fn transfer(
-    state: &mut State,
-    offset: u64,
-    insn: &Insn,
-    options: TaintOptions,
-    violations: &mut BTreeSet<RawViolation>,
-) {
+fn transfer(state: &mut State, offset: u64, insn: &Insn, ctx: &mut Ctx<'_>) {
     match *insn {
         Insn::Lui { rd, imm20 } => {
             state.set(rd, Val::Const(i64::from(imm20) << 12));
         }
-        Insn::Auipc { rd, .. } => state.set(rd, fresh(offset, rd)),
+        Insn::Auipc { rd, imm20 } => {
+            // pc-relative addresses resolve to concrete image offsets: the
+            // runtime load base cancels out of `auipc`+offset arithmetic, so
+            // the image frame is exact regardless of where the image loads.
+            state.set(
+                rd,
+                Val::Loc(Addr {
+                    base: Base::Image,
+                    off: offset as i64 + (i64::from(imm20) << 12),
+                }),
+            );
+        }
         Insn::OpImm { op, rd, rs1, imm } => {
             let v = alu(op, state.get(rs1), Val::Const(i64::from(imm)));
             state.set(rd, v);
         }
         Insn::OpImmW { op, rd, rs1, imm } => {
-            // 32-bit ops truncate: constants fold with sign extension, taint
-            // survives, addresses do not.
-            let v = match alu(op, state.get(rs1), Val::Const(i64::from(imm))) {
-                Val::Plain => Val::Plain,
-                Val::Const(c) => Val::Const(i64::from(c as i32)),
-                _ => Val::Unknown,
-            };
+            let v = narrow(alu(op, state.get(rs1), Val::Const(i64::from(imm))));
             state.set(rd, v);
         }
         Insn::Op { op, rd, rs1, rs2 } => {
@@ -345,11 +602,7 @@ fn transfer(
             state.set(rd, v);
         }
         Insn::OpW { op, rd, rs1, rs2 } => {
-            let v = match alu(op, state.get(rs1), state.get(rs2)) {
-                Val::Plain => Val::Plain,
-                Val::Const(c) => Val::Const(i64::from(c as i32)),
-                _ => Val::Unknown,
-            };
+            let v = narrow(alu(op, state.get(rs1), state.get(rs2)));
             state.set(rd, v);
         }
         Insn::Load {
@@ -367,12 +620,20 @@ fn transfer(
                     let slot = state.slots.get(&off).copied().unwrap_or(Val::Unknown);
                     if width == regvault_isa::MemWidth::Double {
                         slot
-                    } else if slot == Val::Plain {
-                        // A partial read of plaintext is still plaintext.
-                        Val::Plain
+                    } else if slot == Val::Plain || slot == Val::Key {
+                        // A partial read of plaintext (or key bytes) is
+                        // still tainted.
+                        slot
                     } else {
                         Val::Unknown
                     }
+                }
+                Some(Addr {
+                    base: Base::Image,
+                    off,
+                }) if ctx.in_key_region(off) => {
+                    ctx.record(4, rd.index(), Event::KeyLoad { offset, rd });
+                    Val::Key
                 }
                 _ => fresh(offset, rd),
             };
@@ -393,7 +654,7 @@ fn transfer(
                         base: Base::Sp, ..
                     }),
                 ) => {
-                    violations.insert(RawViolation {
+                    ctx.violations.insert(RawViolation {
                         kind: ViolationKind::PlainSpill,
                         offset,
                         detail: format!(
@@ -401,8 +662,8 @@ fn transfer(
                         ),
                     });
                 }
-                (Val::Plain, _) if options.strict => {
-                    violations.insert(RawViolation {
+                (Val::Plain, _) if ctx.options.strict => {
+                    ctx.violations.insert(RawViolation {
                         kind: ViolationKind::PlainStore,
                         offset,
                         detail: format!(
@@ -417,8 +678,8 @@ fn transfer(
                         // copies are safe); every other mismatch breaks the
                         // storage-address tweak discipline.
                         let benign_spill = at.base == Base::Sp && tweak.base != Base::Sp;
-                        if options.tweak_discipline && tweak != at && !benign_spill {
-                            violations.insert(RawViolation {
+                        if ctx.options.tweak_discipline && tweak != at && !benign_spill {
+                            ctx.violations.insert(RawViolation {
                                 kind: ViolationKind::TweakMismatch,
                                 offset,
                                 detail: format!(
@@ -429,6 +690,27 @@ fn transfer(
                     }
                 }
                 _ => {}
+            }
+            if value == Val::Key {
+                ctx.record(5, rs2.index(), Event::KeyStore { offset, rs2 });
+            }
+            // An unencrypted save of a callee-saved register's entry value:
+            // benign here, but a spill gadget for any caller that keeps
+            // plaintext in that register across the call.
+            if width == regvault_isa::MemWidth::Double {
+                if let Val::Loc(Addr {
+                    base: Base::Id(id),
+                    off: 0,
+                }) = value
+                {
+                    if let Some(idx) = id.checked_sub(ENTRY_ID_TAG) {
+                        if let Some(reg) = u8::try_from(idx).ok().and_then(Reg::from_index) {
+                            if callee_saved_bit(reg).is_some() {
+                                ctx.record(3, reg.index(), Event::PlainSave { offset, reg });
+                            }
+                        }
+                    }
+                }
             }
             if let Some(Addr {
                 base: Base::Sp,
@@ -453,12 +735,28 @@ fn transfer(
             }
         }
         Insn::Cre {
-            key, rd, rs: _, rt, ..
+            key, rd, rs, rt, ..
         } => {
             let tweak = match state.get(rt) {
                 Val::Loc(a) => Some(a),
                 _ => None,
             };
+            let tweak_id = match state.get(rt) {
+                Val::Loc(a) => Some(TweakId::Addr(a)),
+                Val::Const(c) => Some(TweakId::Const(c)),
+                _ => None,
+            };
+            ctx.record(
+                0,
+                0,
+                Event::Cre {
+                    offset,
+                    key,
+                    tweak: tweak_id,
+                    plain: state.get(rs),
+                    in_loop: ctx.in_loop,
+                },
+            );
             state.set(
                 rd,
                 Val::Cipher(CipherInfo {
@@ -471,7 +769,7 @@ fn transfer(
             if let Val::Cipher(info) = state.get(rs) {
                 if let Some(cre_key) = info.key {
                     if cre_key != key {
-                        violations.insert(RawViolation {
+                        ctx.violations.insert(RawViolation {
                             kind: ViolationKind::KeyMismatch,
                             offset,
                             detail: format!(
@@ -487,11 +785,11 @@ fn transfer(
                     // is given the benefit of the doubt.
                     let mismatch = match state.get(rt) {
                         Val::Loc(here) => cre_tweak != here,
-                        Val::Const(_) | Val::Plain => true,
+                        Val::Const(_) | Val::Plain | Val::Key => true,
                         Val::Unknown | Val::Cipher(_) => false,
                     };
-                    if options.tweak_discipline && mismatch {
-                        violations.insert(RawViolation {
+                    if ctx.options.tweak_discipline && mismatch {
+                        ctx.violations.insert(RawViolation {
                             kind: ViolationKind::TweakMismatch,
                             offset,
                             detail: format!(
@@ -504,18 +802,54 @@ fn transfer(
             // A decrypt produces sensitive plaintext by definition.
             state.set(
                 rd,
-                if options.decrypt_taints {
+                if ctx.options.decrypt_taints {
                     Val::Plain
                 } else {
                     fresh(offset, rd)
                 },
             );
         }
-        Insn::Jal { rd, .. } | Insn::Jalr { rd, .. } if rd != Reg::Zero => {
-            call_transfer(state, offset, violations);
-            state.set(rd, fresh(offset, rd));
+        Insn::Jal { rd, offset: delta } => {
+            let target = u64::try_from(offset as i64 + i64::from(delta)).ok();
+            if rd != Reg::Zero {
+                handle_call(state, offset, target, false, false, ctx);
+                state.set(rd, fresh(offset, rd));
+            } else if target.is_none_or(|t| t < ctx.extent.0 || t >= ctx.extent.1) {
+                // `jal zero` leaving the function extent: a direct tail call.
+                handle_call(state, offset, target, false, true, ctx);
+            }
         }
-        Insn::Jal { .. } | Insn::Jalr { .. } | Insn::Branch { .. } => {}
+        Insn::Jalr {
+            rd,
+            rs1,
+            offset: imm,
+        } => {
+            let target = match state.get(rs1) {
+                Val::Loc(Addr {
+                    base: Base::Image,
+                    off,
+                }) => u64::try_from(off + i64::from(imm)).ok(),
+                _ => None,
+            };
+            if rd != Reg::Zero {
+                handle_call(state, offset, target, true, false, ctx);
+                state.set(rd, fresh(offset, rd));
+            } else if rs1 == Reg::Ra && imm == 0 {
+                ctx.record(
+                    2,
+                    0,
+                    Event::Ret {
+                        offset,
+                        a0_plain: state.get(Reg::A0) == Val::Plain,
+                        a0_key: state.get(Reg::A0) == Val::Key,
+                    },
+                );
+            } else {
+                // `jr rs` through a non-ra register: an indirect tail call.
+                handle_call(state, offset, target, true, true, ctx);
+            }
+        }
+        Insn::Branch { .. } => {}
         Insn::Csr { rd, .. } | Insn::CsrImm { rd, .. } => state.set(rd, fresh(offset, rd)),
         Insn::Ecall => {
             // Kernel syscall contract (see codegen): every register except
@@ -527,26 +861,108 @@ fn transfer(
     }
 }
 
-/// Models a call: flags sensitive plaintext left in callee-saved registers
-/// (the callee will spill them unencrypted — §2.4.4's cross-call hazard) and
-/// clobbers the caller-saved file.
-fn call_transfer(state: &mut State, offset: u64, violations: &mut BTreeSet<RawViolation>) {
-    for reg in CALLEE_SAVED {
-        if reg == Reg::Sp {
-            continue;
-        }
-        if state.get(reg) == Val::Plain {
-            violations.insert(RawViolation {
-                kind: ViolationKind::SensitiveAcrossCall,
-                offset,
-                detail: format!(
-                    "sensitive plaintext live in callee-saved {reg} across a call (callee may spill it unencrypted)"
-                ),
-            });
+/// Models a call site: records the [`Event::Call`], then either applies the
+/// resolved callee's summary (interprocedural mode) or falls back to the
+/// conservative clobber model — flag sensitive plaintext left in callee-saved
+/// registers (the callee may spill them unencrypted — §2.4.4's cross-call
+/// hazard) and clobber the caller-saved file.
+fn handle_call(
+    state: &mut State,
+    offset: u64,
+    target: Option<u64>,
+    indirect: bool,
+    tail: bool,
+    ctx: &mut Ctx<'_>,
+) {
+    let mut plain_args = 0u8;
+    let mut key_args = 0u8;
+    for (i, &reg) in ARG_REGS.iter().enumerate() {
+        match state.get(reg) {
+            Val::Plain => plain_args |= 1 << i,
+            Val::Key => key_args |= 1 << i,
+            _ => {}
         }
     }
-    for reg in CALLER_SAVED {
-        state.set(reg, fresh(offset, reg));
+    let mut plain_callee_saved = 0u16;
+    let mut entry_callee_saved = 0u16;
+    for &reg in &CALLEE_SAVED {
+        let Some(bit) = callee_saved_bit(reg) else {
+            continue;
+        };
+        if state.get(reg) == Val::Plain {
+            plain_callee_saved |= bit;
+        }
+        if state.get(reg) == entry_val(reg) {
+            entry_callee_saved |= bit;
+        }
+    }
+    ctx.record(
+        1,
+        0,
+        Event::Call {
+            offset,
+            target,
+            indirect,
+            tail,
+            plain_args,
+            key_args,
+            plain_callee_saved,
+            entry_callee_saved,
+        },
+    );
+
+    let resolved = ctx.env.and_then(|env| {
+        env.targets
+            .get(&offset)
+            .and_then(|name| env.summaries.get(name).map(|s| (name.as_str(), *s)))
+    });
+    if let Some((callee, summary)) = resolved {
+        // Summary application: flag plaintext arguments the callee spills
+        // unencrypted, propagate decrypted/key returns, and trust the ABI
+        // for callee-saved registers (the spill-gadget lint audits the
+        // callee's actual save behaviour separately).
+        for (i, &reg) in ARG_REGS.iter().enumerate() {
+            if plain_args & (1 << i) != 0 && summary.arg_spills & (1 << i) != 0 {
+                ctx.violations.insert(RawViolation {
+                    kind: ViolationKind::PlainSpill,
+                    offset,
+                    detail: format!(
+                        "sensitive plaintext argument in {reg} is spilled unencrypted inside callee `{callee}`"
+                    ),
+                });
+            }
+        }
+        if tail {
+            return;
+        }
+        let returns_plain = summary.returns_plain
+            || (0..8).any(|i| plain_args & (1 << i) != 0 && summary.arg_returns_plain & (1 << i) != 0);
+        for reg in CALLER_SAVED {
+            state.set(reg, fresh(offset, reg));
+        }
+        if returns_plain {
+            state.set(Reg::A0, Val::Plain);
+        } else if summary.returns_key {
+            state.set(Reg::A0, Val::Key);
+        }
+    } else if !tail {
+        for reg in CALLEE_SAVED {
+            if reg == Reg::Sp {
+                continue;
+            }
+            if state.get(reg) == Val::Plain {
+                ctx.violations.insert(RawViolation {
+                    kind: ViolationKind::SensitiveAcrossCall,
+                    offset,
+                    detail: format!(
+                        "sensitive plaintext live in callee-saved {reg} across a call (callee may spill it unencrypted)"
+                    ),
+                });
+            }
+        }
+        for reg in CALLER_SAVED {
+            state.set(reg, fresh(offset, reg));
+        }
     }
 }
 
@@ -731,5 +1147,230 @@ mod tests {
             false,
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn full(src: &str, key_regions: &[(u64, u64)]) -> Analysis {
+        let program = assemble(src).unwrap();
+        // `f` extends to the next symbol (trailing data/functions excluded).
+        let end = program
+            .symbols()
+            .values()
+            .copied()
+            .filter(|&o| o > 0)
+            .min()
+            .unwrap_or(program.bytes().len() as u64);
+        let region = FuncRegion {
+            name: "f".into(),
+            start: 0,
+            end,
+        };
+        let cfg = build(program.bytes(), &region).unwrap();
+        analyze_full(&cfg, &[], TaintOptions::default(), key_regions, None)
+    }
+
+    #[test]
+    fn la_addresses_resolve_to_image_offsets() {
+        // Two independent `la`s of the same symbol produce the *same*
+        // abstract address, so cre-tweak vs store-address agree.
+        let a = full(
+            "f:
+             la t0, blob
+             creak t5, a0[7:0], t0
+             la t1, blob
+             sd t5, 0(t1)
+             ret
+             blob: .dword 0",
+            &[],
+        );
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        let cre_tweak = a.events.iter().find_map(|e| match e {
+            Event::Cre { tweak, .. } => *tweak,
+            _ => None,
+        });
+        assert!(
+            matches!(
+                cre_tweak,
+                Some(TweakId::Addr(Addr {
+                    base: Base::Image,
+                    ..
+                }))
+            ),
+            "{cre_tweak:?}"
+        );
+    }
+
+    #[test]
+    fn key_region_load_and_store_are_recorded() {
+        let src = "f:
+             la t0, keyblob
+             ld t4, 0(t0)
+             addi t5, t4, 1
+             sd t5, 8(t0)
+             ret
+             keyblob: .dword 0x1234";
+        let program = assemble(src).unwrap();
+        let key_start = *program.symbols().get("keyblob").unwrap();
+        let a = full(src, &[(key_start, key_start + 8)]);
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::KeyLoad { rd: Reg::T4, .. })));
+        // The derived value t5 = t4 + 1 is still key material.
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::KeyStore { rs2: Reg::T5, .. })));
+    }
+
+    #[test]
+    fn ret_and_plain_save_events_are_recorded() {
+        let a = full(
+            "f:
+             addi sp, sp, -16
+             sd s1, 0(sp)
+             crdak a0, a0, t1, [7:0]
+             ld s1, 0(sp)
+             addi sp, sp, 16
+             ret",
+            &[],
+        );
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::PlainSave { reg: Reg::S1, .. })));
+        assert!(a
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Ret { a0_plain: true, .. })));
+    }
+
+    #[test]
+    fn call_event_records_taint_masks() {
+        let a = full(
+            "f:
+             crdak s1, a1, t1, [7:0]
+             crdak a0, a0, t1, [7:0]
+             call g
+             ret
+             g:
+             ret",
+            &[],
+        );
+        let call = a
+            .events
+            .iter()
+            .find_map(|e| match *e {
+                Event::Call {
+                    plain_args,
+                    plain_callee_saved,
+                    entry_callee_saved,
+                    tail,
+                    ..
+                } => Some((plain_args, plain_callee_saved, entry_callee_saved, tail)),
+                _ => None,
+            })
+            .expect("call event");
+        assert_eq!(call.0 & 1, 1, "a0 plain");
+        let s1_bit = callee_saved_bit(Reg::S1).unwrap();
+        assert_eq!(call.1 & s1_bit, s1_bit, "s1 plain");
+        // s2 still holds its entry value.
+        let s2_bit = callee_saved_bit(Reg::S2).unwrap();
+        assert_eq!(call.2 & s2_bit, s2_bit, "s2 entry");
+        assert!(!call.3);
+    }
+
+    #[test]
+    fn summary_application_replaces_conservative_clobber() {
+        // Caller keeps plaintext in s1 across a call. Without an environment
+        // this is SensitiveAcrossCall; with a summary proving the callee
+        // saves nothing, it is clean — and a callee that returns decrypted
+        // plaintext taints a0 so the spill downstream is caught.
+        let src = "f:
+             addi sp, sp, -16
+             crdak s1, a1, t1, [7:0]
+             call g
+             sd a0, 0(sp)
+             ret
+             g:
+             ret";
+        let program = assemble(src).unwrap();
+        let region = FuncRegion {
+            name: "f".into(),
+            start: 0,
+            end: *program.symbols().get("g").unwrap(),
+        };
+        let cfg = build(program.bytes(), &region).unwrap();
+        let call_offset = 8; // addi, crdak, then the jal
+        let mut targets = BTreeMap::new();
+        targets.insert(call_offset, "g".to_owned());
+        let mut summaries = BTreeMap::new();
+        summaries.insert(
+            "g".to_owned(),
+            FnSummary {
+                returns_plain: true,
+                ..FnSummary::default()
+            },
+        );
+        let env = CallEnv {
+            targets: &targets,
+            summaries: &summaries,
+        };
+        let a = analyze_full(&cfg, &[], TaintOptions::default(), &[], Some(&env));
+        assert!(
+            !a.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::SensitiveAcrossCall),
+            "{:?}",
+            a.violations
+        );
+        // a0 := Plain via the summary, spilled at the sd after the call.
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::PlainSpill && v.offset == call_offset + 4),
+            "{:?}",
+            a.violations
+        );
+    }
+
+    #[test]
+    fn plain_argument_to_spilling_callee_is_flagged_at_the_call() {
+        let src = "f:
+             crdak a0, a0, t1, [7:0]
+             call g
+             ret
+             g:
+             ret";
+        let program = assemble(src).unwrap();
+        let region = FuncRegion {
+            name: "f".into(),
+            start: 0,
+            end: *program.symbols().get("g").unwrap(),
+        };
+        let cfg = build(program.bytes(), &region).unwrap();
+        let mut targets = BTreeMap::new();
+        targets.insert(4u64, "g".to_owned());
+        let mut summaries = BTreeMap::new();
+        summaries.insert(
+            "g".to_owned(),
+            FnSummary {
+                arg_spills: 1,
+                ..FnSummary::default()
+            },
+        );
+        let env = CallEnv {
+            targets: &targets,
+            summaries: &summaries,
+        };
+        let a = analyze_full(&cfg, &[], TaintOptions::default(), &[], Some(&env));
+        assert!(
+            a.violations
+                .iter()
+                .any(|v| v.kind == ViolationKind::PlainSpill
+                    && v.offset == 4
+                    && v.detail.contains("callee `g`")),
+            "{:?}",
+            a.violations
+        );
     }
 }

@@ -53,6 +53,10 @@ fi
 echo "==> protection verifier over the full benchmark corpus"
 target/release/regvault-cli verify --workloads
 
+echo "==> verifier ratchet (whole-program lints vs committed baseline)"
+target/release/regvault-cli verify --workloads --interprocedural \
+    --baseline verifier-baseline.txt
+
 echo "==> fault campaign determinism (two runs must be identical)"
 campaign=(target/release/fault_campaign --seed 42 --trials 50)
 "${campaign[@]}" > /tmp/fault_campaign_run1.txt
