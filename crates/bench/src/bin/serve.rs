@@ -34,6 +34,7 @@ fn report_to_json(label: &str, r: &ServeReport) -> (String, Value) {
             ("served".into(), Value::Int(r.served)),
             ("failed".into(), Value::Int(r.failed)),
             ("shed".into(), Value::Int(r.shed)),
+            ("shed_deadline".into(), Value::Int(r.shed_deadline)),
             (
                 "accounting_holds".into(),
                 Value::Bool(r.accounting_holds()),
@@ -55,6 +56,11 @@ fn report_to_json(label: &str, r: &ServeReport) -> (String, Value) {
                 Value::Int(r.frontend_respawns),
             ),
             ("cold_restarts".into(), Value::Int(r.cold_restarts)),
+            ("micro_reboots".into(), Value::Int(r.micro_reboots)),
+            (
+                "micro_reboot_mismatches".into(),
+                Value::Int(r.micro_reboot_mismatches),
+            ),
             ("breaker_opens".into(), Value::Int(r.breaker_opens)),
             (
                 "terminal_tenants".into(),
@@ -70,7 +76,7 @@ fn print_row(label: &str, r: &ServeReport) {
     let q = |x: f64| r.latency.quantile(x).unwrap_or(0);
     println!(
         "{label:<18} {:>7} served / {:>5} failed / {:>5} shed of {:>7} offered  \
-         {:>7.2} rps/Mcyc  p50={:<6} p99={:<7} recoveries={} respawns={} cold={}",
+         {:>7.2} rps/Mcyc  p50={:<6} p99={:<7} recoveries={} respawns={} micro={} cold={}",
         r.served,
         r.failed,
         r.shed,
@@ -80,6 +86,7 @@ fn print_row(label: &str, r: &ServeReport) {
         q(0.99),
         r.recoveries,
         r.respawns,
+        r.micro_reboots,
         r.cold_restarts,
     );
 }
@@ -122,8 +129,23 @@ fn main() -> ExitCode {
     });
     print_row("under-faults", &faulted);
 
+    // The PR-6-style recovery baseline: same faulted run with micro-reboot
+    // off, so escalations pay the full cold-reboot penalty.
+    let cold_only = run(ServeConfig {
+        requests,
+        seed,
+        fault_interval,
+        micro_reboot: false,
+        ..ServeConfig::default()
+    });
+    print_row("cold-respawn", &cold_only);
+
     let mut ok = true;
-    for (label, r) in [("baseline", &baseline), ("under-faults", &faulted)] {
+    for (label, r) in [
+        ("baseline", &baseline),
+        ("under-faults", &faulted),
+        ("cold-respawn", &cold_only),
+    ] {
         if !r.accounting_holds() {
             eprintln!("FAIL: {label}: accounting identity violated: {r:?}");
             ok = false;
@@ -148,10 +170,11 @@ fn main() -> ExitCode {
 
     println!(
         "\nunder faults: {} injected, {} fail-overs, {} tenant respawns, \
-         {} cold restarts, {} breaker opens, {} terminal",
+         {} micro reboots, {} cold restarts, {} breaker opens, {} terminal",
         faulted.faults_injected,
         faulted.recoveries,
         faulted.respawns,
+        faulted.micro_reboots,
         faulted.cold_restarts,
         faulted.breaker_opens,
         faulted.terminal_tenants,
@@ -171,6 +194,7 @@ fn main() -> ExitCode {
             ),
             report_to_json("baseline", &baseline),
             report_to_json("under_faults", &faulted),
+            report_to_json("under_faults_cold_respawn", &cold_only),
         ]);
         let path = repo_root().join("BENCH_serve.json");
         std::fs::write(&path, doc.render()).expect("write BENCH_serve.json");

@@ -20,14 +20,20 @@
 //!   in lockstep and localize the first divergent instruction, if any;
 //! * `serve` — run the supervised multi-tenant server scenario (open-loop
 //!   load over kernel IPC under live fault injection) and report
-//!   throughput, latency quantiles, and recovery/shed accounting.
+//!   throughput, latency quantiles, and recovery/shed accounting;
+//! * `fleet` — fork a fleet of machines from one warm snapshot (CoW page
+//!   sharing), drive them across a work-stealing pool under an optional
+//!   chaos kill schedule, and report fork cost, serving throughput, and
+//!   micro-restore vs cold-boot recovery accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fleet;
 mod observe;
 mod serve;
 
+pub use fleet::{cmd_fleet, parse_fleet_args, FleetArgs};
 pub use observe::{cmd_metrics, cmd_profile, cmd_trace, ProfileTracer, TraceFormat, TraceSubject};
 pub use serve::{cmd_serve, parse_serve_args, ServeArgs};
 
@@ -857,6 +863,13 @@ USAGE:
                                            supervised multi-tenant server under
                                            live fault injection (--smoke gates
                                            on the accounting identity)
+    regvault-cli fleet   [--instances N] [--requests N] [--rate CYCLES]
+                         [--deadline CYCLES] [--chaos K] [--cold]
+                         [--workers N] [--seed S] [--json] [--smoke]
+                                           snapshot-forked machine fleet with
+                                           micro-reboot recovery under a chaos
+                                           kill schedule (--smoke gates on the
+                                           accounting identity and recovery)
 "
 }
 
@@ -1003,6 +1016,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             dispatch_observe(cmd, rest)
         }
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest),
+        [cmd, rest @ ..] if cmd == "fleet" => cmd_fleet(rest),
         _ => Err(usage().to_owned()),
     }
 }

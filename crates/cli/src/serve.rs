@@ -67,6 +67,12 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, CliError> {
                     .parse()
                     .map_err(|_| "invalid queue cap".to_string())?;
             }
+            "--no-micro-reboot" => config.micro_reboot = false,
+            "--deadline-factor" => {
+                config.deadline_factor = value_of(flag)?
+                    .parse()
+                    .map_err(|_| "invalid deadline factor".to_string())?;
+            }
             "--config" => {
                 config.protection = parse_config(value_of(flag)?)?;
             }
@@ -96,10 +102,13 @@ pub fn render_json(report: &ServeReport) -> String {
     let _ = write!(
         out,
         "{{\"offered\":{},\"served\":{},\"failed\":{},\"shed\":{},\
+         \"shed_deadline\":{},\
          \"accounting_holds\":{},\"rps_per_mcycle\":{:.3},\
          \"faults_injected\":{},\"recoveries\":{},\"respawns\":{},\
          \"respawns_denied\":{},\"frontend_respawns\":{},\
-         \"cold_restarts\":{},\"breaker_opens\":{},\"terminal_tenants\":{},\
+         \"cold_restarts\":{},\"micro_reboots\":{},\
+         \"micro_reboot_mismatches\":{},\
+         \"breaker_opens\":{},\"terminal_tenants\":{},\
          \"cycles\":{},\"aborted\":{},\
          \"latency\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{}}},\
          \"tenants\":[",
@@ -107,6 +116,7 @@ pub fn render_json(report: &ServeReport) -> String {
         report.served,
         report.failed,
         report.shed,
+        report.shed_deadline,
         report.accounting_holds(),
         report.rps_per_mcycle(),
         report.faults_injected,
@@ -115,6 +125,8 @@ pub fn render_json(report: &ServeReport) -> String {
         report.respawns_denied,
         report.frontend_respawns,
         report.cold_restarts,
+        report.micro_reboots,
+        report.micro_reboot_mismatches,
         report.breaker_opens,
         report.terminal_tenants,
         report.cycles,
@@ -183,14 +195,22 @@ pub fn render_human(report: &ServeReport) -> String {
     let _ = writeln!(
         out,
         "  faults    : {} injected, {} fail-overs, {} respawns \
-         ({} denied), {} frontend respawns, {} cold restarts",
+         ({} denied), {} frontend respawns, {} micro reboots, {} cold restarts",
         report.faults_injected,
         report.recoveries,
         report.respawns,
         report.respawns_denied,
         report.frontend_respawns,
+        report.micro_reboots,
         report.cold_restarts
     );
+    if report.shed_deadline > 0 {
+        let _ = writeln!(
+            out,
+            "  deadline  : {} stale request(s) shed at dequeue",
+            report.shed_deadline
+        );
+    }
     let _ = writeln!(
         out,
         "  breakers  : {} opens, {} terminal tenant(s)",
@@ -289,6 +309,23 @@ mod tests {
         assert!(cmd_serve(&s(&["--tenants"])).is_err());
         assert!(cmd_serve(&s(&["--tenants", "lots"])).is_err());
         assert!(cmd_serve(&s(&["--config", "yolo"])).is_err());
+    }
+
+    /// Seed stability: the serve scenario runs entirely in virtual time,
+    /// so the full JSON body (latency quantiles included) is byte-identical
+    /// for the same seed and differs for another.
+    #[test]
+    fn same_seed_renders_identical_json() {
+        let args = |seed: &str| {
+            s(&[
+                "--json", "--requests", "80", "--faults", "40000", "--seed", seed,
+            ])
+        };
+        let a = cmd_serve(&args("21")).expect("serve runs");
+        let b = cmd_serve(&args("21")).expect("serve runs");
+        assert_eq!(a, b, "serve JSON must be seed-stable");
+        let c = cmd_serve(&args("22")).expect("serve runs");
+        assert_ne!(a, c, "a different seed must actually change the run");
     }
 
     #[test]

@@ -90,7 +90,13 @@ impl SchedMetrics {
 /// the paper's attacker primitive: arbitrary kernel memory read/write.
 ///
 /// See the [crate-level documentation](crate) for an example.
-#[derive(Debug)]
+///
+/// `Clone` is cheap: guest memory is copy-on-write at page granularity
+/// (see [`regvault_sim::Memory`]), so cloning a booted kernel shares every
+/// page until one side writes. The server's micro-reboot recovery keeps a
+/// warm post-boot clone around and swaps it in when a tenant kernel is
+/// corrupted, instead of paying a cold re-boot.
+#[derive(Debug, Clone)]
 pub struct Kernel {
     machine: Machine,
     cfg: ProtectionConfig,

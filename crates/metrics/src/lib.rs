@@ -78,8 +78,11 @@ pub fn bucket_index(value: u64) -> usize {
 }
 
 impl HistogramData {
+    /// Records one observation directly. Standalone use (e.g. per-worker
+    /// histograms merged later) — inside a [`MetricsRegistry`], prefer
+    /// [`MetricsRegistry::observe`].
     #[inline]
-    fn record(&mut self, value: u64) {
+    pub fn record(&mut self, value: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
@@ -165,6 +168,24 @@ impl HistogramData {
             seen += n;
         }
         self.max()
+    }
+
+    /// Folds another histogram's observations into this one, as if every
+    /// value recorded into `other` had been recorded here. Order-free and
+    /// associative, so per-worker histograms merged in any grouping yield
+    /// the same result — the fleet bench relies on this to aggregate
+    /// per-instance latency distributions deterministically.
+    pub fn merge(&mut self, other: &HistogramData) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
     }
 
     /// `(lower_bound, count)` for each non-empty bucket, in order.
@@ -361,6 +382,33 @@ mod tests {
         assert!((250..=1000).contains(&p50), "p50 = {p50}");
         assert!(p99 <= 1000);
         assert_eq!(d.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut r = MetricsRegistry::new();
+        let all = r.histogram("all");
+        let a = r.histogram("a");
+        let b = r.histogram("b");
+        for v in [0u64, 1, 5, 900, 7] {
+            r.observe(all, v);
+        }
+        for v in [0u64, 1, 5] {
+            r.observe(a, v);
+        }
+        for v in [900u64, 7] {
+            r.observe(b, v);
+        }
+        let mut merged = r.histogram_data(a).clone();
+        merged.merge(r.histogram_data(b));
+        assert_eq!(&merged, r.histogram_data(all));
+
+        // Merging an empty histogram is a no-op (min stays untouched).
+        merged.merge(&HistogramData::default());
+        assert_eq!(&merged, r.histogram_data(all));
+        let mut empty = HistogramData::default();
+        empty.merge(r.histogram_data(all));
+        assert_eq!(&empty, r.histogram_data(all));
     }
 
     #[test]

@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod loadgen;
 pub mod protocol;
 pub mod supervisor;
 pub mod tenant;
 
+pub use fleet::{run_fleet, FleetConfig, FleetHostStats, FleetReport, FleetScenario};
 pub use loadgen::{Arrival, LoadGen, LoadGenConfig};
 pub use protocol::{OpCode, Request, Response, Status};
 pub use supervisor::{ServeConfig, ServeReport, Supervisor, TenantSummary};

@@ -107,7 +107,7 @@ impl LoadGen {
 /// sampling. The vendored RNG has no native float support, so the uniform
 /// is built from the top 53 bits of a `u64` draw; the result is clamped to
 /// at least one cycle so virtual time always advances.
-fn exponential_gap(rng: &mut StdRng, mean: u64) -> u64 {
+pub(crate) fn exponential_gap(rng: &mut StdRng, mean: u64) -> u64 {
     // u in (0, 1]: zero is excluded so ln() stays finite.
     let u = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
     let gap = -(u.ln()) * mean.max(1) as f64;

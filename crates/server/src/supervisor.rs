@@ -15,7 +15,16 @@
 //! * the **supervision loop** itself: faulted tenants are quarantined by
 //!   the kernel ([`Kernel::fail_over`]) and mapped to lifecycle
 //!   transitions ([`Tenant::on_fault`]) — bounded-backoff respawns,
-//!   circuit breakers, and explicit load shedding.
+//!   circuit breakers, and explicit load shedding;
+//! * **micro-reboot recovery**: systemic corruption that previously
+//!   forced a cold kernel reboot is instead cleared by swapping in a warm
+//!   post-boot clone of the kernel (cheap under copy-on-write page
+//!   sharing), gated by an architectural-digest integrity check that
+//!   escalates to a true cold restart on mismatch;
+//! * **deadline-aware admission control**: at dequeue, requests whose
+//!   queueing delay already exceeds a p99-derived budget are shed
+//!   explicitly, so fault storms degrade into bounded-latency service of
+//!   fresh arrivals instead of queue collapse.
 //!
 //! The load is *open-loop*: arrivals keep coming whether or not tenants
 //! keep up, so every offered request must end in exactly one of three
@@ -48,6 +57,14 @@ const SLOT_STRIDE: u64 = 0x100;
 const FRONT_SCRATCH: u64 = SCRATCH_BASE + 0xF000;
 /// Simulated-cycle penalty a full kernel reboot costs.
 const COLD_RESTART_PENALTY: u64 = 2_000_000;
+/// Simulated-cycle penalty of a micro-reboot: swapping in the warm
+/// post-boot kernel image. Copy-on-write page sharing makes the clone
+/// O(mapped pages) pointer work instead of a boot + provisioning pass,
+/// so the modelled downtime is a small fraction of [`COLD_RESTART_PENALTY`].
+const MICRO_REBOOT_PENALTY: u64 = 50_000;
+/// Latency samples required before the deadline shedder trusts its p99.
+/// Below this the estimate is noise and the shedder stays out of the way.
+const DEADLINE_MIN_SAMPLES: u64 = 64;
 /// Modelled ALU cost of parsing a request frame.
 const PARSE_COST: u64 = 40;
 /// Modelled ALU cost of formatting a response frame.
@@ -78,6 +95,26 @@ pub struct ServeConfig {
     pub policy: SupervisionPolicy,
     /// Kernel protection configuration.
     pub protection: ProtectionConfig,
+    /// Recover escalations by swapping in the warm post-boot kernel image
+    /// (micro-reboot) instead of a cold reboot. The warm image is captured
+    /// right after first provisioning; copy-on-write page sharing makes
+    /// both the capture and every restore O(mapped pages) pointer work. A
+    /// restore whose architectural digest no longer matches the capture
+    /// digest — or a second consecutive micro-reboot with no request
+    /// served in between — escalates to a cold restart anyway.
+    pub micro_reboot: bool,
+    /// Deadline-aware admission control: at dequeue, shed any request
+    /// whose queueing delay already exceeds
+    /// `max(deadline_floor, deadline_factor * p99(latency))`. Under a
+    /// fault storm this drops requests that would miss any useful deadline
+    /// *before* burning tenant time on them, so fresh arrivals still get
+    /// served instead of the whole queue aging past usefulness. `0`
+    /// disables the shedder.
+    pub deadline_factor: u64,
+    /// Lower bound on the deadline budget in cycles, so an excellent p99
+    /// (fault-free runs) cannot tighten the deadline into shedding healthy
+    /// traffic.
+    pub deadline_floor: u64,
 }
 
 impl Default for ServeConfig {
@@ -92,8 +129,25 @@ impl Default for ServeConfig {
             escalate_failovers: 6,
             policy: SupervisionPolicy::default(),
             protection: ProtectionConfig::full(),
+            micro_reboot: true,
+            deadline_factor: 8,
+            deadline_floor: 200_000,
         }
     }
+}
+
+/// The warm post-boot kernel image micro-reboots restore from: a clone of
+/// the fully provisioned kernel (cheap — pages are shared copy-on-write)
+/// plus the host-side slot/thread mappings that go with it and the
+/// architectural digest that notarizes it.
+#[derive(Debug, Clone)]
+struct WarmImage {
+    kernel: Kernel,
+    /// `arch_digest` at capture; every restore is re-verified against it.
+    digest: u64,
+    slots: Vec<Option<SlotRes>>,
+    frontend_tid: u32,
+    tenant_tids: Vec<Option<u32>>,
 }
 
 /// Kernel resources provisioned for one tenant slot. The slot (not the
@@ -150,8 +204,12 @@ pub struct ServeReport {
     /// Requests that reached a tenant but failed (fault mid-request,
     /// kernel error, or response validation failure).
     pub failed: u64,
-    /// Arrivals shed (breaker open or queue full) — explicit, never silent.
+    /// Arrivals shed (breaker open, queue full, or deadline exceeded) —
+    /// explicit, never silent.
     pub shed: u64,
+    /// Of `shed`: requests dropped at dequeue because their queueing delay
+    /// had already blown the p99-derived deadline budget.
+    pub shed_deadline: u64,
     /// Faults the injector actually fired.
     pub faults_injected: u64,
     /// Successful kernel fail-overs (quarantine + switch).
@@ -164,6 +222,12 @@ pub struct ServeReport {
     pub frontend_respawns: u64,
     /// Full kernel reboots (total-loss recovery path).
     pub cold_restarts: u64,
+    /// Micro-reboots: escalations recovered by restoring the warm
+    /// post-boot image instead of cold-rebooting.
+    pub micro_reboots: u64,
+    /// Micro-reboot attempts whose restored image failed the
+    /// architectural-digest integrity check and escalated to cold restart.
+    pub micro_reboot_mismatches: u64,
     /// Circuit-breaker trips across all tenants.
     pub breaker_opens: u64,
     /// Tenants left permanently quarantined (terminal breaker).
@@ -237,17 +301,27 @@ pub struct Supervisor {
     c_shed: Counter,
     c_shed_breaker: Counter,
     c_shed_queue: Counter,
+    c_shed_deadline: Counter,
     c_faults: Counter,
     c_recoveries: Counter,
     c_respawns: Counter,
     c_respawns_denied: Counter,
     c_frontend_respawns: Counter,
     c_cold_restarts: Counter,
+    c_micro_reboots: Counter,
+    c_micro_mismatch: Counter,
     h_latency: Histogram,
     rr_cursor: usize,
     /// Fail-overs since the last successfully served request; crossing
-    /// [`ServeConfig::escalate_failovers`] forces a cold restart.
+    /// [`ServeConfig::escalate_failovers`] forces a restart (micro or cold).
     failover_streak: u32,
+    /// Consecutive micro-reboots without an intervening served request.
+    /// Two in a row means the warm image is not clearing the problem —
+    /// escalate to a true cold restart (fresh machine, fresh master key).
+    micro_streak: u32,
+    /// Warm post-boot image captured after first provisioning (before any
+    /// fault is armed), if micro-reboot recovery is enabled.
+    warm: Option<WarmImage>,
     fatal: bool,
 }
 
@@ -281,12 +355,15 @@ impl Supervisor {
         let c_shed = metrics.counter("serve_shed");
         let c_shed_breaker = metrics.counter("serve_shed_breaker");
         let c_shed_queue = metrics.counter("serve_shed_queue_full");
+        let c_shed_deadline = metrics.counter("serve_shed_deadline");
         let c_faults = metrics.counter("serve_faults_injected");
         let c_recoveries = metrics.counter("serve_recoveries");
         let c_respawns = metrics.counter("serve_respawns");
         let c_respawns_denied = metrics.counter("serve_respawns_denied");
         let c_frontend_respawns = metrics.counter("serve_frontend_respawns");
         let c_cold_restarts = metrics.counter("serve_cold_restarts");
+        let c_micro_reboots = metrics.counter("serve_micro_reboots");
+        let c_micro_mismatch = metrics.counter("serve_micro_reboot_mismatches");
         let h_latency = metrics.histogram("serve_latency_cycles");
         Ok(Self {
             tenants: (0..cfg.tenants).map(|s| Tenant::new(s, &cfg.policy)).collect(),
@@ -305,15 +382,20 @@ impl Supervisor {
             c_shed,
             c_shed_breaker,
             c_shed_queue,
+            c_shed_deadline,
             c_faults,
             c_recoveries,
             c_respawns,
             c_respawns_denied,
             c_frontend_respawns,
             c_cold_restarts,
+            c_micro_reboots,
+            c_micro_mismatch,
             h_latency,
             rr_cursor: 0,
             failover_streak: 0,
+            micro_streak: 0,
+            warm: None,
             fatal: false,
         })
     }
@@ -416,6 +498,90 @@ impl Supervisor {
         Ok(())
     }
 
+    /// Captures the warm post-boot image micro-reboots restore from. Runs
+    /// right after first provisioning succeeds and *before* the first
+    /// fault is armed, so the image carries no fault plan and a known-good
+    /// architectural digest.
+    fn capture_warm_image(&mut self) {
+        if !self.cfg.micro_reboot {
+            return;
+        }
+        // Cheap: cloning the kernel shares every guest page copy-on-write.
+        let kernel = self.kernel.clone();
+        self.warm = Some(WarmImage {
+            digest: kernel.machine().arch_digest(),
+            kernel,
+            slots: self.slots.clone(),
+            frontend_tid: self.frontend_tid,
+            tenant_tids: self.tenants.iter().map(|t| t.tid).collect(),
+        });
+    }
+
+    /// Systemic-corruption recovery: micro-reboot from the warm image when
+    /// enabled and trustworthy, cold restart otherwise. Every escalation
+    /// site funnels through here.
+    fn restart_tenancy(&mut self) {
+        // Two micro-reboots with no served request in between: the warm
+        // image is not clearing the problem, stop retrying it.
+        if self.cfg.micro_reboot && self.micro_streak < 2 && self.micro_reboot() {
+            return;
+        }
+        self.cold_restart();
+    }
+
+    /// Swaps in the warm post-boot kernel image: bounded downtime
+    /// ([`MICRO_REBOOT_PENALTY`] vs [`COLD_RESTART_PENALTY`]), no
+    /// re-provisioning, lost work bounded to the in-flight request.
+    /// Returns `false` — escalate — if no warm image exists or the
+    /// restored image fails its digest integrity check.
+    fn micro_reboot(&mut self) -> bool {
+        let Some(warm) = &self.warm else {
+            return false;
+        };
+        let kernel = warm.kernel.clone();
+        let digest = warm.digest;
+        let slots = warm.slots.clone();
+        let frontend_tid = warm.frontend_tid;
+        let tenant_tids = warm.tenant_tids.clone();
+        // Integrity gate: the clone must digest exactly as captured. CoW
+        // isolation makes silent drift impossible by construction, so a
+        // mismatch means the image itself is damaged — never restore it.
+        if kernel.machine().arch_digest() != digest {
+            self.metrics.inc(self.c_micro_mismatch);
+            return false;
+        }
+        self.metrics.inc(self.c_micro_reboots);
+        self.micro_streak += 1;
+        self.failover_streak = 0;
+        // Keep the virtual clock monotone: after the swap, `now()` lands
+        // exactly `MICRO_REBOOT_PENALTY` past the moment of failure.
+        let warm_cycles = kernel.machine().stats().cycles;
+        self.cycle_base = (self.now() + MICRO_REBOOT_PENALTY).saturating_sub(warm_cycles);
+        self.kernel = kernel;
+        self.frontend_tid = frontend_tid;
+        self.slots = slots;
+        for (slot, warm_tid) in tenant_tids.iter().enumerate().take(self.cfg.tenants) {
+            if self.tenants[slot].is_terminal() {
+                // Terminal quarantine survives every flavour of reboot.
+                self.slots[slot] = None;
+                self.tenants[slot].tid = None;
+                continue;
+            }
+            match *warm_tid {
+                Some(tid) => {
+                    self.tenants[slot].on_respawned(&self.cfg.policy, tid);
+                    self.metrics.inc(self.c_respawns);
+                }
+                None => {
+                    self.slots[slot] = None;
+                    self.tenants[slot].tid = None;
+                }
+            }
+        }
+        self.arm_fault();
+        true
+    }
+
     /// Total-loss path: reboot the kernel (fresh machine, fresh master
     /// key), charge a realistic downtime penalty to the virtual clock, and
     /// re-provision every non-terminal tenant. Host-side state — queues,
@@ -423,6 +589,7 @@ impl Supervisor {
     fn cold_restart(&mut self) {
         self.metrics.inc(self.c_cold_restarts);
         self.failover_streak = 0;
+        self.micro_streak = 0;
         let restarts = self.metrics.counter_value(self.c_cold_restarts);
         self.cycle_base = self.now() + COLD_RESTART_PENALTY;
         match Self::boot_kernel(&self.cfg, restarts) {
@@ -571,11 +738,48 @@ impl Supervisor {
         None
     }
 
-    /// Serves the request at the head of `slot`'s queue and accounts the
-    /// outcome. Fatal kernel errors trigger fail-over.
+    /// Deadline budget for queueing delay, derived from the observed p99:
+    /// a request that already waited past `max(floor, factor * p99)` will
+    /// miss any useful deadline, so serving it only starves fresher work.
+    /// `None` until the histogram has enough samples to trust (or when the
+    /// shedder is disabled).
+    fn deadline_budget(&self) -> Option<u64> {
+        if self.cfg.deadline_factor == 0 {
+            return None;
+        }
+        let h = self.metrics.histogram_data(self.h_latency);
+        if h.count() < DEADLINE_MIN_SAMPLES {
+            return None;
+        }
+        let p99 = h.quantile(0.99)?;
+        Some(
+            p99.saturating_mul(self.cfg.deadline_factor)
+                .max(self.cfg.deadline_floor),
+        )
+    }
+
+    fn shed_expired(&mut self, slot: usize) {
+        self.metrics.inc(self.c_shed);
+        self.metrics.inc(self.c_shed_deadline);
+        self.tenants[slot].shed = self.tenants[slot].shed.saturating_add(1);
+    }
+
+    /// Serves the first still-viable request in `slot`'s queue and
+    /// accounts the outcome, shedding any queue heads whose deadline
+    /// budget has already expired. Fatal kernel errors trigger fail-over.
     fn serve_one(&mut self, slot: usize) {
-        let Some(arr) = self.queues[slot].pop_front() else {
-            return;
+        let arr = loop {
+            let Some(arr) = self.queues[slot].pop_front() else {
+                return;
+            };
+            let expired = self
+                .deadline_budget()
+                .is_some_and(|budget| self.now().saturating_sub(arr.at) > budget);
+            if expired {
+                self.shed_expired(slot);
+                continue;
+            }
+            break arr;
         };
         match self.try_process(slot, &arr) {
             Ok(true) => {
@@ -584,6 +788,7 @@ impl Supervisor {
                 self.metrics.inc(self.c_served);
                 self.tenants[slot].on_success(&self.cfg.policy);
                 self.failover_streak = 0;
+                self.micro_streak = 0;
             }
             Ok(false) => {
                 self.fail_one(slot);
@@ -779,8 +984,9 @@ impl Supervisor {
         if self.failover_streak >= self.cfg.escalate_failovers.max(1) {
             // Fail-overs are not converging: the corruption is systemic
             // (shared state every thread touches), so replacing threads
-            // can never clear it. Escalate to a reboot.
-            self.cold_restart();
+            // can never clear it. Escalate to a reboot — micro if the
+            // warm image is available and trustworthy, cold otherwise.
+            self.restart_tenancy();
             return;
         }
         match self.kernel.fail_over() {
@@ -809,13 +1015,13 @@ impl Supervisor {
                                 self.frontend_tid = tid;
                                 self.metrics.inc(self.c_frontend_respawns);
                             }
-                            Err(_) => self.cold_restart(),
+                            Err(_) => self.restart_tenancy(),
                         }
                     }
                 }
             }
             // No runnable thread survived: total loss, reboot.
-            Err(_) => self.cold_restart(),
+            Err(_) => self.restart_tenancy(),
         }
     }
 
@@ -892,6 +1098,10 @@ impl Supervisor {
         let mut aborted = false;
         if self.provision(true).is_err() {
             aborted = true;
+        } else {
+            // Snapshot the fully provisioned, never-faulted kernel as the
+            // micro-reboot restore point.
+            self.capture_warm_image();
         }
         self.arm_fault();
 
@@ -954,12 +1164,15 @@ impl Supervisor {
             served: v(self.c_served),
             failed: v(self.c_failed),
             shed: v(self.c_shed),
+            shed_deadline: v(self.c_shed_deadline),
             faults_injected: v(self.c_faults),
             recoveries: v(self.c_recoveries),
             respawns: v(self.c_respawns),
             respawns_denied: v(self.c_respawns_denied),
             frontend_respawns: v(self.c_frontend_respawns),
             cold_restarts: v(self.c_cold_restarts),
+            micro_reboots: v(self.c_micro_reboots),
+            micro_reboot_mismatches: v(self.c_micro_mismatch),
             breaker_opens: self
                 .tenants
                 .iter()
@@ -1074,6 +1287,73 @@ mod tests {
             ..ServeConfig::default()
         });
         assert!(report.accounting_holds(), "identity: {report:?}");
+    }
+
+    #[test]
+    fn micro_reboot_recovers_escalations_without_cold_restarts() {
+        // Escalate on the very first fail-over so every fatal fault takes
+        // the restart path; micro-reboot must absorb them.
+        let cfg = ServeConfig {
+            requests: 200,
+            fault_interval: 30_000,
+            escalate_failovers: 1,
+            seed: 7,
+            ..ServeConfig::default()
+        };
+        let micro = run(cfg);
+        assert!(micro.accounting_holds(), "identity: {micro:?}");
+        assert!(micro.micro_reboots > 0, "micro-reboot must fire: {micro:?}");
+        assert_eq!(
+            micro.micro_reboot_mismatches, 0,
+            "warm image must stay pristine under CoW: {micro:?}"
+        );
+
+        let cold = run(ServeConfig {
+            micro_reboot: false,
+            ..cfg
+        });
+        assert!(cold.accounting_holds(), "identity: {cold:?}");
+        assert_eq!(cold.micro_reboots, 0);
+        assert!(
+            micro.cold_restarts < cold.cold_restarts,
+            "micro-reboot must absorb restarts: micro={micro:?} cold={cold:?}"
+        );
+    }
+
+    #[test]
+    fn stale_requests_are_shed_at_dequeue() {
+        // Heavy overload with an aggressive deadline: once the p99
+        // estimate exists, queue heads that out-waited the budget must be
+        // shed explicitly rather than served into uselessness.
+        let report = run(ServeConfig {
+            requests: 600,
+            mean_interarrival: 200,
+            queue_cap: 64,
+            deadline_factor: 1,
+            deadline_floor: 1_000,
+            seed: 9,
+            ..ServeConfig::default()
+        });
+        assert!(report.accounting_holds(), "identity: {report:?}");
+        assert!(
+            report.shed_deadline > 0,
+            "deadline shedder must fire under overload: {report:?}"
+        );
+        assert!(report.served > 0);
+    }
+
+    #[test]
+    fn deadline_shedder_is_inert_when_disabled() {
+        let report = run(ServeConfig {
+            requests: 300,
+            mean_interarrival: 200,
+            queue_cap: 64,
+            deadline_factor: 0,
+            seed: 9,
+            ..ServeConfig::default()
+        });
+        assert!(report.accounting_holds(), "identity: {report:?}");
+        assert_eq!(report.shed_deadline, 0);
     }
 
     #[test]

@@ -129,6 +129,17 @@ pub struct Machine {
     pub(crate) sb_boundary: bool,
 }
 
+/// Compile-time guard that forked machines can move across worker threads.
+///
+/// The fleet hands [`Machine::fork_from`] results straight to a
+/// work-stealing pool, so `Machine: Send` is load-bearing. Every concrete
+/// field is `Send` structurally; the one type-erased hole is the tracer,
+/// whose trait carries the bound (`Tracer: Send`). If any future field
+/// (an `Rc`, a non-`Send` trait object) breaks this, the build fails here
+/// rather than at a distant spawn site.
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<Machine>();
+
 /// Pre-registered metric handles for the simulator's hot paths. Updating a
 /// metric through a handle is one indexed add — no name lookup ever happens
 /// while the machine runs.

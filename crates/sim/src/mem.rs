@@ -1,4 +1,6 @@
-//! Sparse, page-granular physical memory.
+//! Sparse, page-granular physical memory with copy-on-write page sharing.
+
+use std::sync::Arc;
 
 use crate::fxhash::FxHashMap;
 use crate::ExceptionCause;
@@ -6,21 +8,31 @@ use crate::ExceptionCause;
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 
+/// The raw contents of one 4 KiB page.
+pub(crate) type PageData = [u8; PAGE_SIZE as usize];
+
 /// One 4 KiB page plus its write generation.
+///
+/// The contents live behind an [`Arc`] so snapshots and forked machines
+/// share physical pages until someone writes: every store goes through
+/// [`Arc::make_mut`], which copies the page only when it is actually
+/// shared (copy-on-first-write). The write generation stays *outside* the
+/// `Arc` — it is per-machine microarchitectural state, and two forks that
+/// share a page's bytes still advance their generations independently.
 #[derive(Debug, Clone)]
 struct Page {
     /// Bumped on every store into the page. The decoded-instruction cache
     /// tags entries with the generation it decoded under, so a store to a
     /// code page lazily invalidates every cached decode for that page.
     gen: u64,
-    data: Box<[u8; PAGE_SIZE as usize]>,
+    data: Arc<PageData>,
 }
 
 impl Page {
     fn zeroed() -> Self {
         Self {
             gen: 0,
-            data: Box::new([0u8; PAGE_SIZE as usize]),
+            data: Arc::new([0u8; PAGE_SIZE as usize]),
         }
     }
 }
@@ -37,6 +49,12 @@ impl Page {
 /// that stay within one page — the overwhelmingly common case — are served
 /// with a single probe and a slice copy instead of a byte loop.
 ///
+/// Page contents are reference-counted ([`Arc`]): cloning a `Memory`,
+/// capturing a snapshot, or forking a machine from one shares every page
+/// and copies nothing. The first store into a shared page copies that one
+/// page (copy-on-write), so a fleet of forked instances pays only for the
+/// pages it actually dirties.
+///
 /// # Examples
 ///
 /// ```
@@ -46,6 +64,9 @@ impl Page {
 /// mem.write_u64(0x8000_0000, 0xdead_beef).unwrap();
 /// assert_eq!(mem.read_u64(0x8000_0000).unwrap(), 0xdead_beef);
 /// assert!(mem.read_u64(0x4000_0000).is_err()); // untouched page
+///
+/// let fork = mem.clone();
+/// assert_eq!(mem.shared_pages_with(&fork), 1); // CoW: bytes are shared
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
@@ -71,6 +92,22 @@ impl Memory {
         self.pages.contains_key(&(addr >> PAGE_SHIFT))
     }
 
+    /// Number of mapped pages whose contents are physically shared (same
+    /// reference-counted allocation) with a page in `other` — the
+    /// copy-on-write sharing metric the fleet bench reports.
+    #[must_use]
+    pub fn shared_pages_with(&self, other: &Memory) -> usize {
+        self.pages
+            .iter()
+            .filter(|(no, page)| {
+                other
+                    .pages
+                    .get(no)
+                    .is_some_and(|theirs| Arc::ptr_eq(&page.data, &theirs.data))
+            })
+            .count()
+    }
+
     /// The page number containing `addr` (superblock tagging uses the same
     /// granularity as the write-generation invalidation).
     pub(crate) fn page_number(addr: u64) -> u64 {
@@ -94,10 +131,16 @@ impl Memory {
         }
     }
 
-    fn page_mut(&mut self, addr: u64) -> &mut Page {
-        self.pages
+    /// Writable view of the page containing `addr`, mapping it on first
+    /// touch, with its generation bumped. Copies the page contents first if
+    /// they are shared with a snapshot or fork (copy-on-write).
+    fn page_data_mut(&mut self, addr: u64) -> &mut PageData {
+        let page = self
+            .pages
             .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(Page::zeroed)
+            .or_insert_with(Page::zeroed);
+        page.gen += 1;
+        Arc::make_mut(&mut page.data)
     }
 
     /// Fetches the aligned instruction word at `addr` together with the
@@ -144,9 +187,7 @@ impl Memory {
     /// Infallible today (sparse memory always maps); kept fallible so a
     /// bounded-memory configuration can fault without an API break.
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), ExceptionCause> {
-        let page = self.page_mut(addr);
-        page.gen += 1;
-        page.data[(addr & (PAGE_SIZE - 1)) as usize] = value;
+        self.page_data_mut(addr)[(addr & (PAGE_SIZE - 1)) as usize] = value;
         Ok(())
     }
 
@@ -173,9 +214,8 @@ impl Memory {
         let offset = (addr & (PAGE_SIZE - 1)) as usize;
         if offset + bytes.len() <= PAGE_SIZE as usize {
             // Fast path: the access stays within one page.
-            let page = self.page_mut(addr);
-            page.gen += 1;
-            page.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+            let data = self.page_data_mut(addr);
+            data[offset..offset + bytes.len()].copy_from_slice(bytes);
         } else {
             for (i, &byte) in bytes.iter().enumerate() {
                 self.write_u8(addr + i as u64, byte)?;
@@ -250,9 +290,8 @@ impl Memory {
             let offset = (at & (PAGE_SIZE - 1)) as usize;
             let room = PAGE_SIZE as usize - offset;
             let take = room.min(rest.len());
-            let page = self.page_mut(at);
-            page.gen += 1;
-            page.data[offset..offset + take].copy_from_slice(&rest[..take]);
+            let data = self.page_data_mut(at);
+            data[offset..offset + take].copy_from_slice(&rest[..take]);
             at += take as u64;
             rest = &rest[take..];
         }
@@ -269,12 +308,13 @@ impl Memory {
 
     /// Every mapped page as `(page_number, write_generation, contents)`,
     /// sorted by page number (snapshot support — the sort makes the
-    /// serialized form canonical).
-    pub(crate) fn page_entries(&self) -> Vec<(u64, u64, &[u8; PAGE_SIZE as usize])> {
+    /// serialized form canonical). The contents come back as `Arc` handles
+    /// so a snapshot capture shares pages instead of copying them.
+    pub(crate) fn page_entries(&self) -> Vec<(u64, u64, &Arc<PageData>)> {
         let mut pages: Vec<_> = self
             .pages
             .iter()
-            .map(|(&no, page)| (no, page.gen, &*page.data))
+            .map(|(&no, page)| (no, page.gen, &page.data))
             .collect();
         pages.sort_unstable_by_key(|&(no, _, _)| no);
         pages
@@ -287,15 +327,11 @@ impl Memory {
 
     /// Installs a page wholesale, including its write generation (snapshot
     /// restore — generations must survive the round-trip or the decode
-    /// cache's lazy invalidation would resurrect stale entries).
-    pub(crate) fn restore_page(&mut self, page_no: u64, gen: u64, data: &[u8; PAGE_SIZE as usize]) {
-        self.pages.insert(
-            page_no,
-            Page {
-                gen,
-                data: Box::new(*data),
-            },
-        );
+    /// cache's lazy invalidation would resurrect stale entries). The `Arc`
+    /// is shared, not copied: a restored or forked machine references the
+    /// snapshot's pages until it writes to them.
+    pub(crate) fn restore_page(&mut self, page_no: u64, gen: u64, data: Arc<PageData>) {
+        self.pages.insert(page_no, Page { gen, data });
     }
 }
 
@@ -383,5 +419,33 @@ mod tests {
         mem.write_u8(0x3000, 0xFF).unwrap(); // different page
         let (_, gen_c) = mem.fetch_word(0x2000).unwrap();
         assert_eq!(gen_b, gen_c, "other pages don't disturb the generation");
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1000, 1).unwrap();
+        mem.write_u64(0x2000, 2).unwrap();
+        let mut fork = mem.clone();
+        assert_eq!(mem.shared_pages_with(&fork), 2);
+
+        // Writing in the fork copies exactly the dirtied page...
+        fork.write_u64(0x1000, 99).unwrap();
+        assert_eq!(mem.shared_pages_with(&fork), 1);
+        // ...and the parent is fully isolated from the fork's write.
+        assert_eq!(mem.read_u64(0x1000).unwrap(), 1);
+        assert_eq!(fork.read_u64(0x1000).unwrap(), 99);
+        assert_eq!(fork.read_u64(0x2000).unwrap(), 2);
+    }
+
+    #[test]
+    fn fork_generations_advance_independently() {
+        let mut mem = Memory::new();
+        mem.write_u64(0x1000, 1).unwrap();
+        let gen_before = mem.page_gen(1).unwrap();
+        let mut fork = mem.clone();
+        fork.write_u64(0x1008, 5).unwrap();
+        assert_eq!(mem.page_gen(1).unwrap(), gen_before, "parent gen untouched");
+        assert!(fork.page_gen(1).unwrap() > gen_before, "fork gen advances");
     }
 }

@@ -30,9 +30,10 @@ use crate::fault::{
 };
 use crate::hart::Privilege;
 use crate::machine::Machine;
-use crate::mem::PAGE_BYTES;
+use crate::mem::{PageData, PAGE_BYTES};
 use crate::stats::{InsnClass, Stats};
 use regvault_qarma::Key;
+use std::sync::Arc;
 
 const MAGIC: [u8; 4] = *b"RVSP";
 const VERSION: u16 = 1;
@@ -191,7 +192,12 @@ pub struct Snapshot {
     pub(crate) digest: u64,
     pub(crate) base_digest: Option<u64>,
     /// `(page_number, write_generation, contents)`, sorted by page number.
-    pub(crate) pages: Vec<(u64, u64, Box<[u8; PAGE_BYTES]>)>,
+    ///
+    /// Contents are reference-counted: capturing a snapshot shares the
+    /// machine's pages instead of copying them, and restoring / forking
+    /// shares them back. Copy-on-write in [`crate::Memory`] keeps every
+    /// holder isolated.
+    pub(crate) pages: Vec<(u64, u64, Arc<PageData>)>,
 }
 
 impl Snapshot {
@@ -496,11 +502,10 @@ impl Snapshot {
             let no = r.u64()?;
             let gen = r.u64()?;
             let data = r.bytes(PAGE_BYTES)?;
-            let boxed: Box<[u8; PAGE_BYTES]> = Box::new(
-                data.try_into()
-                    .map_err(|_| SnapshotError::BadEncoding("page size"))?,
-            );
-            pages.push((no, gen, boxed));
+            let page: PageData = data
+                .try_into()
+                .map_err(|_| SnapshotError::BadEncoding("page size"))?;
+            pages.push((no, gen, Arc::new(page)));
         }
         if !r.is_empty() {
             return Err(SnapshotError::BadEncoding("trailing bytes"));
@@ -663,20 +668,29 @@ impl Machine {
         let keys = self.engine.key_file().raw_keys();
         let clb = self.engine.clb();
         let pages = self.mem.page_entries();
-        let stored_pages: Vec<(u64, u64, Box<[u8; PAGE_BYTES]>)> = match base {
+        // Capture shares the machine's pages (Arc clone, no copy); the
+        // machine's next write to any page copies it out from under us.
+        let stored_pages: Vec<(u64, u64, Arc<PageData>)> = match base {
             None => pages
                 .iter()
-                .map(|&(no, gen, data)| (no, gen, Box::new(*data)))
+                .map(|&(no, gen, data)| (no, gen, Arc::clone(data)))
                 .collect(),
             Some(base) => pages
                 .iter()
                 .filter(|&&(no, gen, data)| {
                     match base.pages.binary_search_by_key(&no, |p| p.0) {
-                        Ok(i) => base.pages[i].1 != gen || base.pages[i].2[..] != data[..],
+                        // Pointer equality proves unchanged contents without
+                        // touching the 4 KiB; fall back to the byte compare
+                        // for pages rewritten with identical bytes.
+                        Ok(i) => {
+                            base.pages[i].1 != gen
+                                || (!Arc::ptr_eq(&base.pages[i].2, data)
+                                    && base.pages[i].2[..] != data[..])
+                        }
                         Err(_) => true,
                     }
                 })
-                .map(|&(no, gen, data)| (no, gen, Box::new(*data)))
+                .map(|&(no, gen, data)| (no, gen, Arc::clone(data)))
                 .collect(),
         };
         Snapshot {
@@ -739,7 +753,7 @@ impl Machine {
         );
         self.mem.clear();
         for (no, gen, data) in &snapshot.pages {
-            self.mem.restore_page(*no, *gen, data);
+            self.mem.restore_page(*no, *gen, Arc::clone(data));
         }
         self.icache = crate::icache::DecodeCache::new();
         // The superblock tier is derived state too: drop its traces and
@@ -797,6 +811,47 @@ impl Machine {
         });
         machine.restore(snapshot)?;
         Ok(machine)
+    }
+
+    /// Forks a machine from a warm snapshot, SnapStart-style.
+    ///
+    /// The fork *shares* every memory page with the snapshot (and with
+    /// every other fork of it): materialization cost is O(mapped pages)
+    /// pointer clones plus the fixed-size architectural state — no page
+    /// contents are copied. The first write a fork makes to any page
+    /// copies exactly that page (copy-on-write), so a fleet of N forks
+    /// pays only for the pages it actually dirties. `Machine` is `Send`,
+    /// so forks can be handed straight to worker threads.
+    ///
+    /// Semantically identical to [`Machine::from_snapshot`] (which shares
+    /// pages the same way since the CoW store landed); this entry point
+    /// exists to name the fleet idiom and anchor its cost contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::DeltaBase`] for delta snapshots — rebase first.
+    pub fn fork_from(snapshot: &Snapshot) -> Result<Machine, SnapshotError> {
+        Machine::from_snapshot(snapshot)
+    }
+
+    /// Number of this machine's pages whose contents have diverged from
+    /// (are no longer physically shared with) `base` — the copy-on-write
+    /// dirty-page count a fork has accumulated since [`Machine::fork_from`].
+    ///
+    /// Pages the machine mapped that the base never had count as dirty;
+    /// base pages the machine still shares count as clean.
+    #[must_use]
+    pub fn cow_dirty_pages(&self, base: &Snapshot) -> usize {
+        let entries = self.mem.page_entries();
+        entries
+            .iter()
+            .filter(|&&(no, _, data)| {
+                match base.pages.binary_search_by_key(&no, |p| p.0) {
+                    Ok(i) => !Arc::ptr_eq(&base.pages[i].2, data),
+                    Err(_) => true,
+                }
+            })
+            .count()
     }
 
     /// Digest of the machine's architectural state: registers, pc,

@@ -208,8 +208,11 @@ impl TraceRecord {
 /// The machine owns its tracer as `Box<dyn Tracer>`; implementations must
 /// therefore be clonable through [`Tracer::boxed_clone`] (the machine
 /// itself is `Clone`) and downcastable through [`Tracer::into_any`] so
-/// embedders can recover their concrete sink after a run.
-pub trait Tracer: std::fmt::Debug {
+/// embedders can recover their concrete sink after a run. Sinks must also
+/// be `Send`: forked machines move across worker threads in the fleet, so
+/// `Machine: Send` is asserted at compile time and the tracer is the only
+/// type-erased field that could break it.
+pub trait Tracer: std::fmt::Debug + Send {
     /// Consumes one stamped event.
     fn emit(&mut self, record: TraceRecord);
 

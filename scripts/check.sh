@@ -45,6 +45,9 @@ fi
 echo "==> serve smoke (short multi-tenant run under live faults)"
 target/release/regvault-cli serve --smoke > /dev/null
 
+echo "==> fleet smoke (snapshot-forked fleet under a chaos kill schedule)"
+target/release/regvault-cli fleet --smoke > /dev/null
+
 if [ "$tier" = "quick" ]; then
     echo "OK (quick tier)"
     exit 0
@@ -129,5 +132,8 @@ target/release/hotpath --check
 
 echo "==> serve under faults (sustained multi-tenant run, rewrites BENCH_serve.json)"
 target/release/serve
+
+echo "==> fleet bench (64 forked instances, chaos recovery, rewrites BENCH_fleet.json)"
+target/release/fleet
 
 echo "OK (full tier)"
