@@ -39,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod leakage;
+pub mod oracle;
 pub mod xor_dsr;
 
 use regvault_kernel::cred::{CredField, EGID_OFFSET, EUID_OFFSET};
@@ -263,7 +265,11 @@ fn data_leak(protection: ProtectionConfig) -> (Outcome, String) {
     let entry = keyring.entry_addr(0);
     let mut leaked = [0u8; 16];
     let lo = kernel.machine().memory().read_u64(entry + 8).expect("read");
-    let hi = kernel.machine().memory().read_u64(entry + 16).expect("read");
+    let hi = kernel
+        .machine()
+        .memory()
+        .read_u64(entry + 16)
+        .expect("read");
     leaked[..8].copy_from_slice(&lo.to_le_bytes());
     leaked[8..].copy_from_slice(&hi.to_le_bytes());
     if leaked == secret {
@@ -443,7 +449,9 @@ mod tests {
     fn fp_only_defeats_jop_and_spatial_substitution() {
         let cfg = ProtectionConfig::fp_only();
         assert!(run_attack(Attack::Jop, cfg).outcome.defeated());
-        assert!(run_attack(Attack::SpatialSubstitution, cfg).outcome.defeated());
+        assert!(run_attack(Attack::SpatialSubstitution, cfg)
+            .outcome
+            .defeated());
         assert_eq!(run_attack(Attack::Rop, cfg).outcome, Outcome::Succeeded);
     }
 

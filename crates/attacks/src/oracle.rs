@@ -1,0 +1,265 @@
+//! Memory-observation oracle + ciphertext dictionary (CipherGuard attack).
+//!
+//! RegVault's `cre` is deterministic per (key, tweak, plaintext): whenever
+//! the same value is re-encrypted at the same address under the same key,
+//! the *identical* ciphertext lands in memory. An attacker who can observe
+//! memory — DMA, a malicious hypervisor, cold-boot imaging — therefore
+//! learns plaintext *equality* without breaking the cipher: build a
+//! dictionary of (address, ciphertext) pairs and every repeat says "this
+//! location holds the same secret it held before". That is the ciphertext
+//! side channel CipherGuard targets, and the interrupt-context frames are
+//! its richest source: every trap chain-encrypts the same 31 registers to
+//! the same 31 addresses, and register values repeat constantly.
+//!
+//! Two observation modes feed the same [`CiphertextDictionary`]:
+//!
+//! * **bus snooping** — [`MemOracle`] implements [`Tracer`] and captures
+//!   every `mem_store` event the simulator emits (guest stores and
+//!   kernel-modelled stores alike), optionally filtered to an address
+//!   window (e.g. the kernel-stack region where interrupt frames live);
+//! * **snapshot diffing** — [`observe_snapshot_diff`] feeds the
+//!   (address, word) pairs of [`regvault_sim::Snapshot::changed_words`],
+//!   modelling an attacker who images memory before and after a victim
+//!   interval rather than watching the bus.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use regvault_sim::{Snapshot, TraceEvent, TraceRecord, Tracer};
+
+/// Dictionary of observed (address, ciphertext-word) pairs with collision
+/// accounting.
+///
+/// A *collision* is every observation of a pair already in the dictionary:
+/// the attacker's equality inference fires. The detector does not need the
+/// plaintexts — repeats of the *ciphertext* at an address are exactly the
+/// signal (two distinct plaintexts can never produce one ciphertext under a
+/// fixed key/tweak, and the attacker learns the plaintexts are equal).
+#[derive(Debug, Clone, Default)]
+pub struct CiphertextDictionary {
+    seen: HashMap<(u64, u64), u64>,
+    observations: u64,
+    collisions: u64,
+}
+
+impl CiphertextDictionary {
+    /// An empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed (address, word) pair, counting a collision if
+    /// the pair was seen before.
+    pub fn observe(&mut self, addr: u64, word: u64) {
+        self.observations += 1;
+        let hits = self.seen.entry((addr, word)).or_insert(0);
+        if *hits > 0 {
+            self.collisions += 1;
+        }
+        *hits += 1;
+    }
+
+    /// The accumulated counts.
+    #[must_use]
+    pub fn report(&self) -> CollisionReport {
+        let colliding_pairs = self.seen.values().filter(|&&n| n > 1).count() as u64;
+        CollisionReport {
+            observations: self.observations,
+            distinct_pairs: self.seen.len() as u64,
+            collisions: self.collisions,
+            colliding_pairs,
+        }
+    }
+}
+
+/// What the dictionary attack found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollisionReport {
+    /// Total (address, word) observations fed to the dictionary.
+    pub observations: u64,
+    /// Distinct (address, word) pairs seen.
+    pub distinct_pairs: u64,
+    /// Observations that repeated an already-known pair — each one is a
+    /// successful plaintext-equality inference.
+    pub collisions: u64,
+    /// Distinct pairs that were observed more than once.
+    pub colliding_pairs: u64,
+}
+
+impl CollisionReport {
+    /// Collisions per observation (0 when nothing was observed).
+    #[must_use]
+    pub fn collision_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.observations as f64
+        }
+    }
+}
+
+/// A [`Tracer`] that snoops the memory bus: every `mem_store` event inside
+/// the watch window feeds the dictionary. Install with
+/// [`regvault_sim::Machine::install_tracer`], recover with
+/// [`regvault_sim::Machine::take_tracer`] + downcast.
+#[derive(Debug, Clone, Default)]
+pub struct MemOracle {
+    /// Half-open `[lo, hi)` address windows to observe; empty = everything.
+    ranges: Vec<(u64, u64)>,
+    dict: CiphertextDictionary,
+}
+
+impl MemOracle {
+    /// An oracle observing every store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An oracle observing only stores inside the half-open `[lo, hi)`
+    /// windows — e.g. the kernel-stack region where interrupt frames live.
+    #[must_use]
+    pub fn watching(ranges: Vec<(u64, u64)>) -> Self {
+        Self {
+            ranges,
+            dict: CiphertextDictionary::new(),
+        }
+    }
+
+    /// The dictionary accumulated so far.
+    #[must_use]
+    pub fn dictionary(&self) -> &CiphertextDictionary {
+        &self.dict
+    }
+
+    /// The collision counts accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> CollisionReport {
+        self.dict.report()
+    }
+
+    fn watches(&self, addr: u64) -> bool {
+        self.ranges.is_empty() || self.ranges.iter().any(|&(lo, hi)| (lo..hi).contains(&addr))
+    }
+}
+
+impl Tracer for MemOracle {
+    fn emit(&mut self, record: TraceRecord) {
+        if let TraceEvent::MemStore { addr, value } = record.event {
+            if self.watches(addr) {
+                self.dict.observe(addr, value);
+            }
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Tracer> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Snapshot-diff observation mode: feeds every changed word between two
+/// memory images into `dict`, optionally restricted to `[lo, hi)` windows
+/// (`None` = everything). Models an attacker imaging memory around a
+/// victim interval instead of snooping the bus.
+pub fn observe_snapshot_diff(
+    dict: &mut CiphertextDictionary,
+    base: &Snapshot,
+    after: &Snapshot,
+    ranges: Option<&[(u64, u64)]>,
+) {
+    for (addr, word) in after.changed_words(base) {
+        let watched = match ranges {
+            None => true,
+            Some(rs) => rs.iter().any(|&(lo, hi)| (lo..hi).contains(&addr)),
+        };
+        if watched {
+            dict.observe(addr, word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_collision_fixture_is_detected() {
+        // The fixture models two CIP saves of identical register values to
+        // the same frame without the mitigation: byte-identical
+        // ciphertexts land at the same addresses the second time.
+        let frame = 0xFFFF_FFC0_1000_0000u64;
+        let ciphertexts = [0xDEAD_0001u64, 0xDEAD_0002, 0xDEAD_0003];
+        let mut dict = CiphertextDictionary::new();
+        for _save in 0..2 {
+            for (i, &ct) in ciphertexts.iter().enumerate() {
+                dict.observe(frame + 8 * i as u64, ct);
+            }
+        }
+        let report = dict.report();
+        assert_eq!(report.observations, 6);
+        assert_eq!(report.distinct_pairs, 3);
+        assert_eq!(report.collisions, 3, "entire second save collides");
+        assert_eq!(report.colliding_pairs, 3);
+        assert!((report.collision_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_diversified_rewrite_reports_zero_collisions() {
+        // The same fixture after the mitigation: each save's ciphertexts
+        // differ (fresh epoch folded into every tweak), so the dictionary
+        // never fires.
+        let frame = 0xFFFF_FFC0_1000_0000u64;
+        let mut dict = CiphertextDictionary::new();
+        for save in 0..2u64 {
+            for i in 0..3u64 {
+                // Distinct per save: what fold_tweak guarantees.
+                dict.observe(frame + 8 * i, (0xDEAD_0000 + i) ^ (save << 32));
+            }
+        }
+        let report = dict.report();
+        assert_eq!(report.observations, 6);
+        assert_eq!(report.collisions, 0);
+        assert_eq!(report.colliding_pairs, 0);
+        assert_eq!(report.collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn oracle_filters_by_address_window() {
+        let mut oracle = MemOracle::watching(vec![(0x1000, 0x2000)]);
+        let store = |addr, value| TraceRecord {
+            cycle: 0,
+            instret: 0,
+            event: TraceEvent::MemStore { addr, value },
+        };
+        oracle.emit(store(0x1008, 7));
+        oracle.emit(store(0x1008, 7)); // collision, in window
+        oracle.emit(store(0x9000, 7)); // out of window
+        oracle.emit(store(0x9000, 7));
+        let report = oracle.report();
+        assert_eq!(report.observations, 2);
+        assert_eq!(report.collisions, 1);
+    }
+
+    #[test]
+    fn non_store_events_are_ignored() {
+        let mut oracle = MemOracle::new();
+        oracle.emit(TraceRecord {
+            cycle: 0,
+            instret: 0,
+            event: TraceEvent::ClbHit {
+                ksel: 1,
+                decrypt: false,
+            },
+        });
+        assert_eq!(oracle.report().observations, 0);
+    }
+}

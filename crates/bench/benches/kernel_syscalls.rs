@@ -17,7 +17,11 @@ fn bench_syscalls(c: &mut Criterion) {
                 ..KernelConfig::default()
             })
             .expect("boot");
-            b.iter(|| kernel.dispatch(Sysno::Getuid as u64, [0; 3]).expect("getuid"));
+            b.iter(|| {
+                kernel
+                    .dispatch(Sysno::Getuid as u64, [0; 3])
+                    .expect("getuid")
+            });
         });
     }
 }

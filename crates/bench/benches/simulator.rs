@@ -8,7 +8,9 @@ use regvault_sim::{Machine, MachineConfig};
 fn run_loop(source: &str, with_keys: bool) -> Machine {
     let mut machine = Machine::new(MachineConfig::default());
     if with_keys {
-        machine.write_key_register(KeyReg::A, 1, 2).expect("key write");
+        machine
+            .write_key_register(KeyReg::A, 1, 2)
+            .expect("key write");
     }
     let program = asm::assemble(source).expect("assembles");
     machine.load_program(0x8000_0000, program.bytes());

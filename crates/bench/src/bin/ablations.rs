@@ -9,8 +9,8 @@
 //! 4. raised spill costs for sensitive registers (how many sensitive
 //!    values reach memory).
 
-use regvault_core::prelude::*;
 use regvault_compiler::regalloc::{self, Loc};
+use regvault_core::prelude::*;
 
 fn main() {
     tweak_choice();
@@ -33,7 +33,9 @@ fn tweak_choice() {
         ("storage-address tweak", addr_a, addr_b),
         ("constant tweak", 0u64, 0u64),
     ] {
-        let ct_a = engine.encrypt(KeyReg::B, tweak_a, pointer, ByteRange::FULL).value;
+        let ct_a = engine
+            .encrypt(KeyReg::B, tweak_a, pointer, ByteRange::FULL)
+            .value;
         let ct_b = engine
             .encrypt(KeyReg::B, tweak_b, pointer + 0x40, ByteRange::FULL)
             .value;
@@ -63,7 +65,10 @@ fn integrity_range() {
     let mut engine = CryptoEngine::new(0, 2);
     engine.write_key(KeyReg::D, Key::new(9, 10));
     let trials = 20_000u64;
-    for (label, range) in [("[3:0] (integrity)", ByteRange::LOW32), ("[7:0] (conf only)", ByteRange::FULL)] {
+    for (label, range) in [
+        ("[3:0] (integrity)", ByteRange::LOW32),
+        ("[7:0] (conf only)", ByteRange::FULL),
+    ] {
         let ct = engine.encrypt(KeyReg::D, 0x40, 1000, range).value;
         let mut undetected = 0u64;
         for i in 1..=trials {
@@ -98,8 +103,12 @@ fn chain_vs_independent() {
     // (when ra = old_value) and replays it later.
     let old_ra = 0xFFFF_FFFF_8000_0AAAu64;
     let new_ra = 0xFFFF_FFFF_8000_0BBBu64;
-    let old_block = engine.encrypt(KeyReg::C, frame, old_ra, ByteRange::FULL).value;
-    let _new_block = engine.encrypt(KeyReg::C, frame, new_ra, ByteRange::FULL).value;
+    let old_block = engine
+        .encrypt(KeyReg::C, frame, old_ra, ByteRange::FULL)
+        .value;
+    let _new_block = engine
+        .encrypt(KeyReg::C, frame, new_ra, ByteRange::FULL)
+        .value;
     // Independent tweaks: the replayed block decrypts fine (same tweak!).
     let replayed = engine
         .decrypt(KeyReg::C, frame, old_block, ByteRange::FULL)
@@ -108,7 +117,11 @@ fn chain_vs_independent() {
     println!(
         "  independent tweaks -> replayed old ra decrypts to {replayed:#018x} \
          ({}: stale-but-valid value accepted)",
-        if replayed == old_ra { "REPLAY WORKS" } else { "garbled" }
+        if replayed == old_ra {
+            "REPLAY WORKS"
+        } else {
+            "garbled"
+        }
     );
 
     // Chain: the tweak of each slot is the previous plaintext, and a
@@ -131,7 +144,11 @@ fn chain_vs_independent() {
     let recorded = kernel.machine().memory().read_u64(frame).unwrap();
     kernel.machine_mut().hart_mut().set_reg(Reg::Ra, new_ra);
     regvault_kernel::trap::save_context(kernel.machine_mut(), &cfg, key, frame).unwrap();
-    kernel.machine_mut().memory_mut().write_u64(frame, recorded).unwrap();
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(frame, recorded)
+        .unwrap();
     let outcome = regvault_kernel::trap::restore_context(kernel.machine_mut(), &cfg, key, frame);
     println!(
         "  chained tweaks     -> replayed slot 0: {}",
@@ -152,7 +169,11 @@ fn spill_cost() {
     let mut module = Module::new("pressure");
     let sid = module.add_struct(StructDef::new(
         "vault",
-        vec![FieldDef::annotated("secret", FieldType::I64, Annotation::Rand)],
+        vec![FieldDef::annotated(
+            "secret",
+            FieldType::I64,
+            Annotation::Rand,
+        )],
     ));
     module.add_global("vault", 8);
     let mut f = FunctionBuilder::new("main", 0);
@@ -182,9 +203,7 @@ fn spill_cost() {
         let sensitive_spills = alloc
             .locs
             .iter()
-            .filter(|(v, loc)| {
-                matches!(loc, Loc::Spill(_)) && alloc.sensitive.contains(v)
-            })
+            .filter(|(v, loc)| matches!(loc, Loc::Spill(_)) && alloc.sensitive.contains(v))
             .count();
         let total_spills = alloc
             .locs
@@ -252,7 +271,10 @@ fn xor_dsr_vs_regvault() {
 fn crypto_latency_sensitivity() {
     println!("\n=== Ablation 6: crypto-engine latency sensitivity ===");
     println!("  (getuid+null syscall mix, FULL protection)");
-    println!("  {:<22} {:>12} {:>12}", "QARMA latency", "CLB = 8", "CLB = 0");
+    println!(
+        "  {:<22} {:>12} {:>12}",
+        "QARMA latency", "CLB = 8", "CLB = 0"
+    );
     for miss_latency in [1u64, 3, 5, 8, 16] {
         let cost = CostModel {
             crypto_miss: miss_latency,
@@ -274,7 +296,9 @@ fn crypto_latency_sensitivity() {
                 .expect("boot");
                 kernel.machine_mut().reset_stats();
                 for _ in 0..300 {
-                    kernel.dispatch(Sysno::Getuid as u64, [0; 3]).expect("getuid");
+                    kernel
+                        .dispatch(Sysno::Getuid as u64, [0; 3])
+                        .expect("getuid");
                     kernel.dispatch(Sysno::Null as u64, [0; 3]).expect("null");
                 }
                 cycles.push(kernel.machine().stats().cycles);
@@ -286,7 +310,11 @@ fn crypto_latency_sensitivity() {
             format!("{miss_latency} cycles"),
             row[0] * 100.0,
             row[1] * 100.0,
-            if miss_latency == 3 { "   <- the paper's engine" } else { "" }
+            if miss_latency == 3 {
+                "   <- the paper's engine"
+            } else {
+                ""
+            }
         );
     }
     println!("  With the CLB the hot syscall working set hits the buffer and the");

@@ -146,7 +146,10 @@ enum Exercise {
     /// Read the current thread's protected `cred.euid` (expected 1000).
     ReadEuid,
     /// Restore an interrupt frame and compare against the saved registers.
-    RestoreFrame { frame: u64, expected: Box<[u64; 32]> },
+    RestoreFrame {
+        frame: u64,
+        expected: Box<[u64; 32]>,
+    },
     /// Pop a protected return address, then read the euid.
     PopAndReadEuid { site: u32 },
     /// Resolve a protected function pointer and check which handler wins.
@@ -241,7 +244,11 @@ fn prepare(
             let xor_k0 = rng.gen::<u64>();
             (
                 kernel,
-                vec![FaultKind::KeyTamper { ksel, xor_w0, xor_k0 }],
+                vec![FaultKind::KeyTamper {
+                    ksel,
+                    xor_w0,
+                    xor_k0,
+                }],
                 Exercise::PopAndReadEuid { site },
             )
         }
@@ -364,9 +371,7 @@ fn classify(kernel: &mut Kernel, exercise: &Exercise) -> Verdict {
             }
         }
         Exercise::PopFrame { site, gadget } => match kernel.pop_kframe(*site) {
-            Err(KernelError::WildJump { target }) if target == *gadget => {
-                Verdict::SilentCorruption
-            }
+            Err(KernelError::WildJump { target }) if target == *gadget => Verdict::SilentCorruption,
             Err(KernelError::WildJump { .. }) => Verdict::Garbled,
             Err(KernelError::IntegrityViolation { .. }) | Err(_) => Verdict::Detected,
             Ok(()) => Verdict::Masked,
@@ -490,7 +495,10 @@ impl ReproSink {
         );
         let path = self.dir.join(name);
         if let Err(err) = std::fs::write(&path, bundle.to_bytes()) {
-            eprintln!("warning: cannot write repro bundle {}: {err}", path.display());
+            eprintln!(
+                "warning: cannot write repro bundle {}: {err}",
+                path.display()
+            );
         }
     }
 }

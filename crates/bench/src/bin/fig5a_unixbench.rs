@@ -7,7 +7,10 @@ use regvault_workloads::{unixbench::UnixBench, Workload};
 fn main() {
     let items: Vec<&dyn Workload> = UnixBench::ALL.iter().map(|w| w as &dyn Workload).collect();
     let rows = print_overhead_table("Figure 5a: UnixBench results", &items);
-    write_figure_json("fig5a_unixbench", &overhead_rows_to_json("Figure 5a: UnixBench", &rows));
+    write_figure_json(
+        "fig5a_unixbench",
+        &overhead_rows_to_json("Figure 5a: UnixBench", &rows),
+    );
     let full = regvault_workloads::mean_overhead(&rows, "FULL");
     println!(
         "\naverage overhead for full protection: {:.2}% (paper: 2.6%)",

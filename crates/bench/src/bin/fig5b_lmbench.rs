@@ -6,7 +6,10 @@ use regvault_workloads::{lmbench::Lmbench, Workload};
 fn main() {
     let items: Vec<&dyn Workload> = Lmbench::ALL.iter().map(|w| w as &dyn Workload).collect();
     let rows = print_overhead_table("Figure 5b: LMbench results", &items);
-    write_figure_json("fig5b_lmbench", &overhead_rows_to_json("Figure 5b: LMbench", &rows));
+    write_figure_json(
+        "fig5b_lmbench",
+        &overhead_rows_to_json("Figure 5b: LMbench", &rows),
+    );
     let full = regvault_workloads::mean_overhead(&rows, "FULL");
     println!(
         "\naverage overhead for full protection: {:.2}% (paper: 2.5%)",

@@ -7,7 +7,10 @@ use regvault_workloads::{spec::Spec, Workload};
 fn main() {
     let items: Vec<&dyn Workload> = Spec::ALL.iter().map(|w| w as &dyn Workload).collect();
     let rows = print_overhead_table("Figure 5c: SPEC2017 intspeed results", &items);
-    write_figure_json("fig5c_spec", &overhead_rows_to_json("Figure 5c: SPEC2017 intspeed", &rows));
+    write_figure_json(
+        "fig5c_spec",
+        &overhead_rows_to_json("Figure 5c: SPEC2017 intspeed", &rows),
+    );
     let full = regvault_workloads::mean_overhead(&rows, "FULL");
     println!(
         "\naverage overhead for full protection: {:.2}% (paper: close to zero)",

@@ -41,10 +41,7 @@ fn report_to_json(label: &str, r: &FleetReport) -> (String, Value) {
             ("served".into(), Value::Int(s.served)),
             ("failed".into(), Value::Int(s.failed)),
             ("shed".into(), Value::Int(s.shed)),
-            (
-                "accounting_holds".into(),
-                Value::Bool(s.accounting_holds()),
-            ),
+            ("accounting_holds".into(), Value::Bool(s.accounting_holds())),
             ("kills".into(), Value::Int(s.kills)),
             ("micro_restores".into(), Value::Int(s.micro_restores)),
             ("cold_boots".into(), Value::Int(s.cold_boots)),
@@ -58,21 +55,12 @@ fn report_to_json(label: &str, r: &FleetReport) -> (String, Value) {
             ("recovery_p50_cycles".into(), Value::Int(rq(0.5))),
             ("recovery_p99_cycles".into(), Value::Int(rq(0.99))),
             ("warm_pages".into(), Value::Int(s.warm_pages)),
-            (
-                "dirty_pages_mean".into(),
-                Value::Num(s.dirty_pages_mean()),
-            ),
+            ("dirty_pages_mean".into(), Value::Num(s.dirty_pages_mean())),
             ("dirty_pages_max".into(), Value::Int(s.dirty_pages_max)),
             ("boot_nanos".into(), Value::Int(h.boot_nanos)),
-            (
-                "fork_nanos_mean".into(),
-                Value::Num(h.fork_nanos_mean()),
-            ),
+            ("fork_nanos_mean".into(), Value::Num(h.fork_nanos_mean())),
             ("fork_speedup".into(), Value::Num(h.fork_speedup())),
-            (
-                "steps_per_sec".into(),
-                Value::Num(r.steps_per_sec()),
-            ),
+            ("steps_per_sec".into(), Value::Num(r.steps_per_sec())),
             ("workers".into(), Value::Int(h.workers as u64)),
         ]),
     )
@@ -139,9 +127,16 @@ fn main() -> ExitCode {
     print_row("chaos-cold", &cold);
 
     let mut ok = true;
-    for (label, r) in [("calm", &calm), ("chaos-micro", &micro), ("chaos-cold", &cold)] {
+    for (label, r) in [
+        ("calm", &calm),
+        ("chaos-micro", &micro),
+        ("chaos-cold", &cold),
+    ] {
         if !r.scenario.accounting_holds() {
-            eprintln!("FAIL: {label}: accounting identity violated: {:?}", r.scenario);
+            eprintln!(
+                "FAIL: {label}: accounting identity violated: {:?}",
+                r.scenario
+            );
             ok = false;
         }
         if r.scenario.restore_mismatches > 0 {
@@ -167,7 +162,11 @@ fn main() -> ExitCode {
         ok = false;
     } else {
         let m99 = micro.scenario.recovery_latency.quantile(0.99).unwrap_or(0);
-        let c50 = cold.scenario.recovery_latency.quantile(0.5).unwrap_or(u64::MAX);
+        let c50 = cold
+            .scenario
+            .recovery_latency
+            .quantile(0.5)
+            .unwrap_or(u64::MAX);
         if m99 >= c50 {
             eprintln!("FAIL: micro-restore p99 {m99} >= cold-boot p50 {c50}");
             ok = false;
@@ -197,10 +196,7 @@ fn main() -> ExitCode {
         let doc = Value::Obj(vec![
             ("bench".into(), Value::Str("fleet".into())),
             ("instances".into(), Value::Int(instances as u64)),
-            (
-                "requests_per_instance".into(),
-                Value::Int(requests),
-            ),
+            ("requests_per_instance".into(), Value::Int(requests)),
             ("seed".into(), Value::Int(seed)),
             ("chaos_kill_interval".into(), Value::Int(chaos)),
             report_to_json("calm", &calm),

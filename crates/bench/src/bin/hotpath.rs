@@ -162,6 +162,38 @@ fn steps_per_sec_tracer(
     best
 }
 
+/// Like [`steps_per_sec`] under full protection but with the epoch-rekey
+/// mitigation on ([`MachineConfig::epoch_rekey`]): each context save
+/// issues a fresh nonce and an extra 8-byte store, each restore an extra
+/// load — the ciphertext side-channel fix's end-to-end cost.
+fn steps_per_sec_rekey(workload: &dyn Workload, runs: usize) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let mut kernel = Kernel::boot(KernelConfig {
+            protection: ProtectionConfig::full(),
+            machine: MachineConfig {
+                clb_entries: 8,
+                epoch_rekey: true,
+                ..MachineConfig::default()
+            },
+            timer_interval: Some(TIMER_INTERVAL),
+        })
+        .expect("kernel boots");
+        let (image, entry) = workload.program();
+        kernel.machine_mut().reset_stats();
+        kernel
+            .run_user(&image, entry, STEP_BUDGET)
+            .expect("workload runs");
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = kernel.machine().stats().instret as f64 / elapsed;
+        if rate > best {
+            best = rate;
+        }
+    }
+    best
+}
+
 /// Interleaved best-of measurement for the tracing section: every round
 /// measures the untraced control and the three tracer variants back-to-back,
 /// so slow host-load drift (the dominant noise on shared machines) hits all
@@ -174,7 +206,9 @@ fn tracing_rates(rounds: usize) -> (f64, f64, f64, f64) {
     for _ in 0..rounds {
         base = base.max(steps_per_sec(wl, cfg, 1));
         off = off.max(steps_per_sec_tracer(wl, cfg, 1, &|| None));
-        null = null.max(steps_per_sec_tracer(wl, cfg, 1, &|| Some(Box::new(NullTracer))));
+        null = null.max(steps_per_sec_tracer(wl, cfg, 1, &|| {
+            Some(Box::new(NullTracer))
+        }));
         ring = ring.max(steps_per_sec_tracer(wl, cfg, 1, &|| {
             Some(Box::new(RingTracer::new(65_536)))
         }));
@@ -265,6 +299,18 @@ fn main() {
     let ub_dhry_full = steps_per_sec(&UnixBench::Dhry2, ProtectionConfig::full(), runs);
     let lm_off = steps_per_sec(&Lmbench::Null, ProtectionConfig::off(), runs);
     let lm_full = steps_per_sec(&Lmbench::Null, ProtectionConfig::full(), runs);
+    // Epoch-rekey mitigation A/B, interleaved with a fresh full-protection
+    // control so host-load drift hits both sides equally.
+    let (mut full_ctl, mut full_rekey) = (0.0f64, 0.0f64);
+    for _ in 0..runs.max(4) {
+        full_ctl = full_ctl.max(steps_per_sec(
+            &UnixBench::Syscall,
+            ProtectionConfig::full(),
+            1,
+        ));
+        full_rekey = full_rekey.max(steps_per_sec_rekey(&UnixBench::Syscall, 1));
+    }
+    let rekey_overhead_pct = (1.0 - full_rekey / full_ctl) * 100.0;
     let (sb, sb_instret) = superblock_profile(&UnixBench::Dhry2);
     // Fraction of all retired instructions that went through a superblock.
     let sb_coverage = sb.insns as f64 / sb_instret.max(1) as f64;
@@ -328,6 +374,11 @@ fn main() {
     println!(
         "tracing: off {tracing_off_overhead_pct:+.2}%, null sink {tracing_null_overhead_pct:+.2}%, ring {tracing_ring_overhead_pct:+.2}% overhead vs untraced"
     );
+    println!(
+        "epoch-rekey mitigation: {:.1}M steps/s vs {:.1}M full control ({rekey_overhead_pct:+.2}% overhead)",
+        full_rekey / 1e6,
+        full_ctl / 1e6
+    );
 
     let doc = Value::Obj(vec![
         ("schema".into(), Value::Str("regvault-hotpath/v1".into())),
@@ -386,6 +437,20 @@ fn main() {
                 (
                     "lmbench_null_full_steps_per_sec".into(),
                     Value::Num(lm_full),
+                ),
+            ]),
+        ),
+        (
+            "mitigation".into(),
+            Value::Obj(vec![
+                ("full_control_steps_per_sec".into(), Value::Num(full_ctl)),
+                (
+                    "unixbench_syscall_full_rekey_steps_per_sec".into(),
+                    Value::Num(full_rekey),
+                ),
+                (
+                    "epoch_rekey_overhead_pct".into(),
+                    Value::Num(rekey_overhead_pct),
                 ),
             ]),
         ),
@@ -517,6 +582,33 @@ fn run_check() {
     }
     println!("dhry2 guard: OK");
 
+    // Mitigation floor: with the epoch-rekey mitigation enabled, the
+    // syscall path must hold the usual 2x machine-noise tolerance of the
+    // committed mitigated number — i.e. the side-channel fix cannot quietly
+    // lose the hot-path work.
+    if let Some(rekey_ref) = json::find_number(&text, "unixbench_syscall_full_rekey_steps_per_sec")
+    {
+        let fresh_rekey = steps_per_sec_rekey(&UnixBench::Syscall, 3);
+        println!(
+            "rekey guard: fresh {:.1}M steps/s vs checked-in {:.1}M (floor {:.1}M)",
+            fresh_rekey / 1e6,
+            rekey_ref / 1e6,
+            rekey_ref / 2e6
+        );
+        if fresh_rekey < rekey_ref / 2.0 {
+            eprintln!(
+                "PERF REGRESSION: mitigated syscall steps/sec fell below half the \
+                 checked-in value"
+            );
+            std::process::exit(1);
+        }
+        println!("rekey guard: OK");
+    } else {
+        println!(
+            "rekey guard: no mitigation rows in BENCH_hotpath.json (regenerate with `hotpath`)"
+        );
+    }
+
     // Tracing-off must stay free. Two layers: the committed JSON's recorded
     // overhead row (stable, regenerated by every full bench run) must be
     // under 2%, and a fresh in-process A/B of the identical untraced
@@ -535,8 +627,11 @@ fn run_check() {
         for _ in 0..3 {
             let (mut control, mut off) = (0.0f64, 0.0f64);
             for _ in 0..8 {
-                control =
-                    control.max(steps_per_sec(&UnixBench::Syscall, ProtectionConfig::off(), 1));
+                control = control.max(steps_per_sec(
+                    &UnixBench::Syscall,
+                    ProtectionConfig::off(),
+                    1,
+                ));
                 off = off.max(steps_per_sec_tracer(
                     &UnixBench::Syscall,
                     ProtectionConfig::off(),
@@ -556,6 +651,8 @@ fn run_check() {
         }
         println!("tracing guard: OK");
     } else {
-        println!("tracing guard: no tracing rows in BENCH_hotpath.json (regenerate with `hotpath`)");
+        println!(
+            "tracing guard: no tracing rows in BENCH_hotpath.json (regenerate with `hotpath`)"
+        );
     }
 }

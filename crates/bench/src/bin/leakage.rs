@@ -1,0 +1,130 @@
+//! Ciphertext side-channel campaign: dictionary collisions over the
+//! workload corpus (UnixBench/LMbench/SPEC guests, a synthetic trap
+//! storm, and the supervised serve scenario) with the nonce-diversified
+//! epoch-rekey mitigation off vs on.
+//!
+//! Writes `BENCH_leakage.json` at the repository root. The campaign is
+//! fully deterministic per seed — the simulated scenarios carry no host
+//! timing — so the artifact is byte-stable and diffable in CI.
+//!
+//! The run fails loudly if:
+//!
+//! * the unmitigated corpus shows no collisions (the oracle stopped
+//!   observing the side channel);
+//! * the mitigation does not cut collisions at least 10x overall;
+//! * a mitigated run performs no rekeys (the knob is dead).
+//!
+//! ```text
+//! cargo run --release --bin leakage            # full run, rewrites the JSON
+//! cargo run --release --bin leakage -- --quick # trimmed corpus, no JSON
+//! ```
+
+use std::process::ExitCode;
+
+use regvault_attacks::leakage::ScenarioLeakage;
+use regvault_attacks::oracle::CollisionReport;
+use regvault_bench::json::Value;
+use regvault_bench::write_figure_json;
+use regvault_cli::leakage::{run_campaign, DEFAULT_SEED};
+
+fn report_json(report: &CollisionReport) -> Value {
+    Value::Obj(vec![
+        ("observations".into(), Value::Int(report.observations)),
+        ("distinct_pairs".into(), Value::Int(report.distinct_pairs)),
+        ("collisions".into(), Value::Int(report.collisions)),
+        ("colliding_pairs".into(), Value::Int(report.colliding_pairs)),
+        ("rate".into(), Value::Num(report.collision_rate())),
+    ])
+}
+
+fn row_json(row: &ScenarioLeakage) -> Value {
+    Value::Obj(vec![
+        ("name".into(), Value::Str(row.name.clone())),
+        ("off".into(), report_json(&row.off)),
+        ("on".into(), report_json(&row.on)),
+        ("epoch_rekeys".into(), Value::Int(row.epoch_rekeys)),
+        ("reduction".into(), Value::Num(row.reduction())),
+    ])
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = DEFAULT_SEED;
+    println!("ciphertext-leakage campaign: epoch-rekey mitigation off vs on, seed {seed:#x}\n");
+    let report = match run_campaign(seed, quick) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("FAIL: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scenario", "obs (off)", "coll (off)", "coll (on)", "rekeys", "reduction"
+    );
+    for row in &report.scenarios {
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>9.1}x",
+            row.name,
+            row.off.observations,
+            row.off.collisions,
+            row.on.collisions,
+            row.epoch_rekeys,
+            row.reduction()
+        );
+    }
+    println!(
+        "\ntotal: {} collisions unmitigated, {} mitigated ({:.1}x reduction)",
+        report.total_off_collisions(),
+        report.total_on_collisions(),
+        report.overall_reduction()
+    );
+
+    let mut ok = true;
+    if report.total_off_collisions() == 0 {
+        eprintln!("FAIL: unmitigated corpus shows no collisions — oracle is blind");
+        ok = false;
+    }
+    if report.overall_reduction() < 10.0 {
+        eprintln!(
+            "FAIL: mitigation reduction {:.1}x is below the 10x floor",
+            report.overall_reduction()
+        );
+        ok = false;
+    }
+    if report.scenarios.iter().all(|r| r.epoch_rekeys == 0) {
+        eprintln!("FAIL: no mitigated run performed a rekey — the knob is dead");
+        ok = false;
+    }
+    if !ok {
+        return ExitCode::FAILURE;
+    }
+
+    if quick {
+        println!("(--quick: skipping BENCH_leakage.json rewrite)");
+        return ExitCode::SUCCESS;
+    }
+
+    let value = Value::Obj(vec![
+        ("seed".into(), Value::Int(seed)),
+        (
+            "scenarios".into(),
+            Value::Arr(report.scenarios.iter().map(row_json).collect()),
+        ),
+        (
+            "total_off_collisions".into(),
+            Value::Int(report.total_off_collisions()),
+        ),
+        (
+            "total_on_collisions".into(),
+            Value::Int(report.total_on_collisions()),
+        ),
+        (
+            "overall_reduction".into(),
+            Value::Num(report.overall_reduction()),
+        ),
+    ]);
+    write_figure_json("leakage", &value);
+    ExitCode::SUCCESS
+}

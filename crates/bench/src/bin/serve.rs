@@ -35,14 +35,8 @@ fn report_to_json(label: &str, r: &ServeReport) -> (String, Value) {
             ("failed".into(), Value::Int(r.failed)),
             ("shed".into(), Value::Int(r.shed)),
             ("shed_deadline".into(), Value::Int(r.shed_deadline)),
-            (
-                "accounting_holds".into(),
-                Value::Bool(r.accounting_holds()),
-            ),
-            (
-                "rps_per_mcycle".into(),
-                Value::Num(r.rps_per_mcycle()),
-            ),
+            ("accounting_holds".into(), Value::Bool(r.accounting_holds())),
+            ("rps_per_mcycle".into(), Value::Num(r.rps_per_mcycle())),
             ("latency_p50_cycles".into(), Value::Int(q(0.5))),
             ("latency_p90_cycles".into(), Value::Int(q(0.9))),
             ("latency_p99_cycles".into(), Value::Int(q(0.99))),
@@ -51,10 +45,7 @@ fn report_to_json(label: &str, r: &ServeReport) -> (String, Value) {
             ("recoveries".into(), Value::Int(r.recoveries)),
             ("respawns".into(), Value::Int(r.respawns)),
             ("respawns_denied".into(), Value::Int(r.respawns_denied)),
-            (
-                "frontend_respawns".into(),
-                Value::Int(r.frontend_respawns),
-            ),
+            ("frontend_respawns".into(), Value::Int(r.frontend_respawns)),
             ("cold_restarts".into(), Value::Int(r.cold_restarts)),
             ("micro_reboots".into(), Value::Int(r.micro_reboots)),
             (
@@ -105,7 +96,11 @@ fn supervision_closed(r: &ServeReport) -> bool {
 
 fn main() -> ExitCode {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (requests, fault_interval) = if quick { (200, 50_000) } else { (2_000, 30_000) };
+    let (requests, fault_interval) = if quick {
+        (200, 50_000)
+    } else {
+        (2_000, 30_000)
+    };
     let seed = 0xC0FF_EE00;
 
     println!(
@@ -188,10 +183,7 @@ fn main() -> ExitCode {
             ("requests".into(), Value::Int(requests)),
             ("tenants".into(), Value::Int(4)),
             ("seed".into(), Value::Int(seed)),
-            (
-                "fault_interval_cycles".into(),
-                Value::Int(fault_interval),
-            ),
+            ("fault_interval_cycles".into(), Value::Int(fault_interval)),
             report_to_json("baseline", &baseline),
             report_to_json("under_faults", &faulted),
             report_to_json("under_faults_cold_respawn", &cold_only),

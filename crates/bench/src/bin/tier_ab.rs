@@ -5,7 +5,9 @@ use std::time::Instant;
 
 use regvault_kernel::{Kernel, KernelConfig, ProtectionConfig};
 use regvault_sim::MachineConfig;
-use regvault_workloads::{lmbench::Lmbench, unixbench::UnixBench, Workload, STEP_BUDGET, TIMER_INTERVAL};
+use regvault_workloads::{
+    lmbench::Lmbench, unixbench::UnixBench, Workload, STEP_BUDGET, TIMER_INTERVAL,
+};
 
 fn rate(workload: &dyn Workload, tier: bool) -> f64 {
     let mut kernel = Kernel::boot(KernelConfig {

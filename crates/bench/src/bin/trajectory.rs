@@ -1,0 +1,248 @@
+//! Perf-trajectory diff: compare freshly regenerated `BENCH_*.json`
+//! artifacts against the committed copies and render a markdown delta
+//! table (CI pipes it into `$GITHUB_STEP_SUMMARY`).
+//!
+//! Metrics come in two flavours:
+//!
+//! * **gated** — deterministic simulated metrics (cycles, overhead
+//!   fractions, collision reductions). A regression worse than 10 %
+//!   fails the run: these numbers are seed-stable, so any drift is a
+//!   real behaviour change, not host noise.
+//! * **informational** — host wall-clock metrics (ns, steps/s). They are
+//!   shown in the table but never gate, since the committed copies may
+//!   have been generated on different hardware.
+//!
+//! ```text
+//! cargo run --release --bin trajectory -- --baseline <dir> [--fresh <dir>]
+//! ```
+//!
+//! `--baseline <dir>` holds the committed artifacts (CI copies them aside
+//! before rerunning the bench bins); `--fresh` defaults to the repo root,
+//! where the bench bins write.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use regvault_bench::json::find_number;
+use regvault_bench::repo_root;
+
+/// Whether an increase in the metric is an improvement or a regression.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+struct Metric {
+    file: &'static str,
+    key: &'static str,
+    direction: Direction,
+    gated: bool,
+}
+
+/// The trajectory table. Gated rows are deterministic simulated metrics
+/// only; wall-clock rows ride along for context.
+const METRICS: &[Metric] = &[
+    // Supervised serve scenario (deterministic per seed).
+    Metric {
+        file: "BENCH_serve.json",
+        key: "rps_per_mcycle",
+        direction: Direction::HigherIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_serve.json",
+        key: "latency_p99_cycles",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    // Fleet scenario section (deterministic); host section is wall clock.
+    Metric {
+        file: "BENCH_fleet.json",
+        key: "latency_p99_cycles",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_fleet.json",
+        key: "fork_speedup",
+        direction: Direction::HigherIsBetter,
+        gated: false,
+    },
+    // Figure 5 overhead geomeans (deterministic simulated cycles).
+    Metric {
+        file: "BENCH_fig5a_unixbench.json",
+        key: "mean_full",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_fig5b_lmbench.json",
+        key: "mean_full",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_fig5c_spec.json",
+        key: "mean_full",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    // Leakage campaign (deterministic per seed).
+    Metric {
+        file: "BENCH_leakage.json",
+        key: "overall_reduction",
+        direction: Direction::HigherIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_leakage.json",
+        key: "total_on_collisions",
+        direction: Direction::LowerIsBetter,
+        gated: true,
+    },
+    Metric {
+        file: "BENCH_leakage.json",
+        key: "total_off_collisions",
+        direction: Direction::HigherIsBetter,
+        gated: false,
+    },
+    // Hot-path wall clock: context only, host-dependent.
+    Metric {
+        file: "BENCH_hotpath.json",
+        key: "qarma_optimized_encrypt_ns",
+        direction: Direction::LowerIsBetter,
+        gated: false,
+    },
+    Metric {
+        file: "BENCH_hotpath.json",
+        key: "unixbench_syscall_full_steps_per_sec",
+        direction: Direction::HigherIsBetter,
+        gated: false,
+    },
+    Metric {
+        file: "BENCH_hotpath.json",
+        key: "superblock_coverage",
+        direction: Direction::HigherIsBetter,
+        gated: true,
+    },
+];
+
+/// Regression tolerance for gated metrics.
+const TOLERANCE: f64 = 0.10;
+
+fn load(dir: &Path, file: &str) -> Option<String> {
+    std::fs::read_to_string(dir.join(file)).ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut fresh_dir = repo_root();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--baseline" => match it.next() {
+                Some(dir) => baseline_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("`--baseline` needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fresh" => match it.next() {
+                Some(dir) => fresh_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("`--fresh` needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown trajectory flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(baseline_dir) = baseline_dir else {
+        eprintln!("usage: trajectory --baseline <dir-with-committed-BENCH-json> [--fresh <dir>]");
+        return ExitCode::FAILURE;
+    };
+
+    println!("## Bench trajectory\n");
+    println!("| metric | committed | fresh | delta | status |");
+    println!("|---|---:|---:|---:|---|");
+
+    let mut regressions = Vec::new();
+    for metric in METRICS {
+        let label = format!(
+            "{}:{}",
+            metric
+                .file
+                .trim_start_matches("BENCH_")
+                .trim_end_matches(".json"),
+            metric.key
+        );
+        let before =
+            load(&baseline_dir, metric.file).and_then(|text| find_number(&text, metric.key));
+        let after = load(&fresh_dir, metric.file).and_then(|text| find_number(&text, metric.key));
+        let (Some(before), Some(after)) = (before, after) else {
+            // A missing side (new artifact, renamed key) is reported, never
+            // gated — the ratchet only applies to metrics both trees have.
+            println!("| {label} | — | — | — | n/a |");
+            continue;
+        };
+        // Signed relative change, oriented so positive = improvement.
+        let delta = if before.abs() < f64::EPSILON {
+            if after.abs() < f64::EPSILON {
+                0.0
+            } else if metric.direction == Direction::LowerIsBetter {
+                -f64::INFINITY
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            let raw = (after - before) / before.abs();
+            match metric.direction {
+                Direction::HigherIsBetter => raw,
+                Direction::LowerIsBetter => -raw,
+            }
+        };
+        let regressed = metric.gated && delta < -TOLERANCE;
+        let status = if regressed {
+            "**REGRESSED**"
+        } else if metric.gated {
+            "ok (gated)"
+        } else {
+            "info"
+        };
+        println!(
+            "| {label} | {before:.4} | {after:.4} | {:+.1}% | {status} |",
+            delta * 100.0
+        );
+        if regressed {
+            regressions.push(format!(
+                "{label}: {before:.4} -> {after:.4} ({:+.1}%)",
+                delta * 100.0
+            ));
+        }
+    }
+    println!();
+
+    if regressions.is_empty() {
+        println!(
+            "No gated metric regressed beyond {:.0}%.",
+            TOLERANCE * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "**{} gated metric(s) regressed beyond {:.0}%:**\n",
+            regressions.len(),
+            TOLERANCE * 100.0
+        );
+        for r in &regressions {
+            println!("- {r}");
+            eprintln!("FAIL: {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

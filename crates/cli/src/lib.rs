@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod fleet;
+pub mod leakage;
 mod observe;
 mod serve;
 
@@ -104,10 +105,20 @@ pub fn cmd_run(source: &str, max_steps: u64) -> Result<String, CliError> {
         .map_err(|e| e.to_string())?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "halted after {} instructions, {} cycles", machine.stats().instret, machine.stats().cycles);
+    let _ = writeln!(
+        out,
+        "halted after {} instructions, {} cycles",
+        machine.stats().instret,
+        machine.stats().cycles
+    );
     for chunk in Reg::ALL.chunks(4) {
         for reg in chunk {
-            let _ = write!(out, "{:>4} = {:#018x}  ", reg.name(), machine.hart().reg(*reg));
+            let _ = write!(
+                out,
+                "{:>4} = {:#018x}  ",
+                reg.name(),
+                machine.hart().reg(*reg)
+            );
         }
         let _ = writeln!(out);
     }
@@ -276,11 +287,7 @@ pub fn cmd_replay(bundle_bytes: &[u8]) -> Result<String, CliError> {
 /// Returns assembler diagnostics, or — the interesting case — a report
 /// naming the exact first divergent instruction and the state component
 /// that differed.
-pub fn cmd_divergence(
-    source: &str,
-    max_steps: u64,
-    interval: u64,
-) -> Result<String, CliError> {
+pub fn cmd_divergence(source: &str, max_steps: u64, interval: u64) -> Result<String, CliError> {
     let mut fast = boot_bare_machine(source, false)?;
     let mut reference = boot_bare_machine(source, true)?;
     let outcome = run_lockstep(&mut fast, &mut reference, max_steps, interval);
@@ -334,8 +341,7 @@ pub fn cmd_divergence_tiers(max_steps: u64) -> Result<String, CliError> {
         let mut steps = 0u64;
         let mut syscalls = 0u64;
         while steps < max_steps {
-            let outcome =
-                run_tiered_lockstep(&mut tiered, &mut interp, max_steps - steps, 256);
+            let outcome = run_tiered_lockstep(&mut tiered, &mut interp, max_steps - steps, 256);
             steps += outcome.steps;
             if let Some(divergence) = outcome.divergence {
                 return Err(format!(
@@ -617,8 +623,7 @@ fn apply_ratchet(
     let Some(path) = &args.baseline else {
         return Ok((String::new(), false));
     };
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let baseline = Baseline::parse(&text)?;
     let (new, resolved) = baseline.check(runs);
     let mut out = String::new();
@@ -870,6 +875,13 @@ USAGE:
                                            micro-reboot recovery under a chaos
                                            kill schedule (--smoke gates on the
                                            accounting identity and recovery)
+    regvault-cli leakage [--seed S] [--json] [--smoke]
+                                           ciphertext side-channel campaign:
+                                           dictionary collisions over the
+                                           workload corpus with the epoch-rekey
+                                           mitigation off vs on (--smoke trims
+                                           the corpus and gates on a 10x
+                                           collision reduction)
 "
 }
 
@@ -891,9 +903,7 @@ fn dispatch_record(args: &[String]) -> Result<String, CliError> {
     let mut faults = Vec::new();
     let mut it = flags.iter();
     while let Some(flag) = it.next() {
-        let value = it
-            .next()
-            .ok_or_else(|| format!("`{flag}` needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("`{flag}` needs a value"))?;
         match flag.as_str() {
             "--steps" => {
                 steps = value
@@ -905,8 +915,7 @@ fn dispatch_record(args: &[String]) -> Result<String, CliError> {
         }
     }
     let (report, bytes) = cmd_record(&read_source(file)?, steps, &faults)?;
-    std::fs::write(out_path, bytes)
-        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    std::fs::write(out_path, bytes).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     Ok(format!("{report}bundle written to {out_path}\n"))
 }
 
@@ -981,22 +990,18 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         [cmd, rest @ ..] if cmd == "record" => dispatch_record(rest),
         [cmd, bundle] if cmd == "replay" => {
-            let bytes = std::fs::read(bundle)
-                .map_err(|e| format!("cannot read `{bundle}`: {e}"))?;
+            let bytes =
+                std::fs::read(bundle).map_err(|e| format!("cannot read `{bundle}`: {e}"))?;
             cmd_replay(&bytes)
         }
-        [cmd, flag] if cmd == "divergence" && flag == "--tiers" => {
-            cmd_divergence_tiers(500_000)
-        }
+        [cmd, flag] if cmd == "divergence" && flag == "--tiers" => cmd_divergence_tiers(500_000),
         [cmd, flag, steps] if cmd == "divergence" && flag == "--tiers" => {
             let steps = steps
                 .parse()
                 .map_err(|_| format!("invalid step budget `{steps}`"))?;
             cmd_divergence_tiers(steps)
         }
-        [cmd, file] if cmd == "divergence" => {
-            cmd_divergence(&read_source(file)?, 1_000_000, 256)
-        }
+        [cmd, file] if cmd == "divergence" => cmd_divergence(&read_source(file)?, 1_000_000, 256),
         [cmd, file, steps] if cmd == "divergence" => {
             let steps = steps
                 .parse()
@@ -1017,6 +1022,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         }
         [cmd, rest @ ..] if cmd == "serve" => cmd_serve(rest),
         [cmd, rest @ ..] if cmd == "fleet" => cmd_fleet(rest),
+        [cmd, rest @ ..] if cmd == "leakage" => leakage::cmd_leakage(rest),
         _ => Err(usage().to_owned()),
     }
 }
@@ -1106,7 +1112,8 @@ mod tests {
 
     #[test]
     fn verify_args_parse_and_reject_contradictions() {
-        let to_vec = |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
+        let to_vec =
+            |args: &[&str]| -> Vec<String> { args.iter().map(|s| (*s).to_owned()).collect() };
         let parsed = parse_verify_args(&to_vec(&[
             "--workloads",
             "--interprocedural",
@@ -1117,8 +1124,7 @@ mod tests {
         .unwrap();
         assert!(parsed.workloads && parsed.interprocedural && parsed.sarif);
         assert_eq!(parsed.baseline.as_deref(), Some("b.txt"));
-        let parsed =
-            parse_verify_args(&to_vec(&["prog.s", "--key-symbol", "keyblob"])).unwrap();
+        let parsed = parse_verify_args(&to_vec(&["prog.s", "--key-symbol", "keyblob"])).unwrap();
         assert_eq!(parsed.file.as_deref(), Some("prog.s"));
         assert_eq!(parsed.key_symbols, vec!["keyblob".to_owned()]);
         assert!(parse_verify_args(&to_vec(&[])).is_err());
@@ -1148,7 +1154,10 @@ mod tests {
         )
         .unwrap();
         assert!(out.contains("call graph:"), "{out}");
-        assert!(out.contains("tweak-diversity            warning  1"), "{out}");
+        assert!(
+            out.contains("tweak-diversity            warning  1"),
+            "{out}"
+        );
         assert!(out.contains("raw-key-flow"), "{out}");
         assert!(out.contains("unprotected-spill-gadget"), "{out}");
     }

@@ -82,10 +82,7 @@ fn find_workload(name: &str) -> Result<(Box<dyn Workload>, String), CliError> {
 }
 
 /// Runs `subject` with `tracer` installed and collects the artifacts.
-fn execute(
-    subject: &TraceSubject,
-    tracer: Box<dyn Tracer>,
-) -> Result<RunArtifacts, CliError> {
+fn execute(subject: &TraceSubject, tracer: Box<dyn Tracer>) -> Result<RunArtifacts, CliError> {
     match subject {
         TraceSubject::Bare(source) => {
             let mut machine = boot_bare_machine(source, false)?;
@@ -136,7 +133,10 @@ fn esc(s: &str) -> String {
 fn args_json(event: &TraceEvent) -> String {
     match event {
         TraceEvent::InsnRetire { pc, insn } => {
-            format!("{{\"pc\":\"{pc:#x}\",\"insn\":\"{}\"}}", esc(&insn.to_string()))
+            format!(
+                "{{\"pc\":\"{pc:#x}\",\"insn\":\"{}\"}}",
+                esc(&insn.to_string())
+            )
         }
         TraceEvent::ClbHit { ksel, decrypt } | TraceEvent::ClbMiss { ksel, decrypt } => {
             format!(
@@ -162,7 +162,10 @@ fn args_json(event: &TraceEvent) -> String {
             TrapCause::Syscall(num) => format!("{{\"cause\":\"syscall\",\"sysno\":{num}}}"),
             TrapCause::Timer => "{\"cause\":\"timer\"}".to_owned(),
             TrapCause::Exception(cause) => {
-                format!("{{\"cause\":\"exception\",\"detail\":\"{}\"}}", esc(&format!("{cause:?}")))
+                format!(
+                    "{{\"cause\":\"exception\",\"detail\":\"{}\"}}",
+                    esc(&format!("{cause:?}"))
+                )
             }
         },
         TraceEvent::Fault { kind, effect } => format!(
@@ -172,6 +175,9 @@ fn args_json(event: &TraceEvent) -> String {
         ),
         TraceEvent::ContextSwitch { from, to } => {
             format!("{{\"from\":{from},\"to\":{to}}}")
+        }
+        TraceEvent::MemStore { addr, value } => {
+            format!("{{\"addr\":\"{addr:#x}\",\"value\":\"{value:#x}\"}}")
         }
     }
 }
@@ -575,7 +581,11 @@ pub fn cmd_profile(subject: &TraceSubject, json: bool) -> Result<String, CliErro
                 profiler.other_qarma
             );
         }
-        let _ = writeln!(out, "total: {total_steps} steps; outcome: {}", artifacts.outcome);
+        let _ = writeln!(
+            out,
+            "total: {total_steps} steps; outcome: {}",
+            artifacts.outcome
+        );
         Ok(out)
     }
 }

@@ -318,7 +318,13 @@ mod tests {
     fn same_seed_renders_identical_json() {
         let args = |seed: &str| {
             s(&[
-                "--json", "--requests", "80", "--faults", "40000", "--seed", seed,
+                "--json",
+                "--requests",
+                "80",
+                "--faults",
+                "40000",
+                "--seed",
+                seed,
             ])
         };
         let a = cmd_serve(&args("21")).expect("serve runs");
@@ -330,15 +336,8 @@ mod tests {
 
     #[test]
     fn unprotected_config_is_accepted() {
-        let out = cmd_serve(&s(&[
-            "--config",
-            "base",
-            "--requests",
-            "40",
-            "--seed",
-            "2",
-        ]))
-        .expect("base config runs");
+        let out = cmd_serve(&s(&["--config", "base", "--requests", "40", "--seed", "2"]))
+            .expect("base config runs");
         assert!(out.contains("accounting holds"), "{out}");
     }
 }

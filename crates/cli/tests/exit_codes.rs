@@ -163,7 +163,10 @@ fn verify_workloads_corpus_gate_is_zero() {
     ]);
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("verified 68 images: 0 violation(s)"), "{stdout}");
+    assert!(
+        stdout.contains("verified 68 images: 0 violation(s)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("call graph:"), "{stdout}");
     assert!(stdout.contains("ratchet:"), "{stdout}");
 }
@@ -226,7 +229,10 @@ fn verify_ratchet_fails_on_new_findings_until_baselined() {
         "--baseline",
         accepted.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "baselined findings must pass: {out:?}");
+    assert!(
+        out.status.success(),
+        "baselined findings must pass: {out:?}"
+    );
 
     // A truncated baseline must not silently accept everything.
     let malformed = scratch("ratchet_bad.txt", "img tweak-diversity main\n");
@@ -237,7 +243,10 @@ fn verify_ratchet_fails_on_new_findings_until_baselined() {
         "--baseline",
         malformed.to_str().unwrap(),
     ]);
-    assert!(!out.status.success(), "malformed baseline must fail: {out:?}");
+    assert!(
+        !out.status.success(),
+        "malformed baseline must fail: {out:?}"
+    );
 }
 
 #[test]

@@ -183,7 +183,9 @@ impl FnEmitter<'_> {
         if sensitive && self.config.protect_spills {
             let key = self.config.keys.spill;
             self.slot_addr(off);
-            self.emit(&format!("cre{key}k {SCRATCH_B}, {reg}[7:0], {SCRATCH_TWEAK}"));
+            self.emit(&format!(
+                "cre{key}k {SCRATCH_B}, {reg}[7:0], {SCRATCH_TWEAK}"
+            ));
             self.emit(&format!("sd {SCRATCH_B}, 0({SCRATCH_TWEAK})"));
         } else {
             self.slot_mem("sd", reg, off);
@@ -648,9 +650,7 @@ mod tests {
         machine.write_key_register(KeyReg::E, 0x50, 0x51).unwrap();
         let entry = compiled.load(&mut machine, 0x8000_0000);
         machine.hart_mut().set_pc(entry);
-        machine
-            .memory_mut()
-            .map_region(0x7000_0000, 0x10000); // stack
+        machine.memory_mut().map_region(0x7000_0000, 0x10000); // stack
         machine.hart_mut().set_reg(Reg::Sp, 0x7000_F000);
         machine.run_until_break(2_000_000).unwrap();
         machine.hart().reg(Reg::A0)

@@ -95,10 +95,12 @@ impl Rewriter<'_> {
             .structs
             .get(sid)
             .ok_or(CompileError::UnknownStruct(sid))?;
-        def.fields.get(field).ok_or_else(|| CompileError::UnknownField {
-            strukt: def.name.clone(),
-            field,
-        })
+        def.fields
+            .get(field)
+            .ok_or_else(|| CompileError::UnknownField {
+                strukt: def.name.clone(),
+                field,
+            })
     }
 
     fn field_addr(&mut self, base: VReg, sid: usize, field: usize) -> VReg {
@@ -158,12 +160,7 @@ impl Rewriter<'_> {
     }
 
     /// Emits a protected (or plain) field load, returning the value vreg.
-    fn lower_load(
-        &mut self,
-        base: VReg,
-        sid: usize,
-        field: usize,
-    ) -> Result<VReg, CompileError> {
+    fn lower_load(&mut self, base: VReg, sid: usize, field: usize) -> Result<VReg, CompileError> {
         let protection = classify(self.field(sid, field)?, self.config);
         let addr = self.field_addr(base, sid, field);
         Ok(match protection {

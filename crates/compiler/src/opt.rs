@@ -134,14 +134,12 @@ fn fold_and_propagate(function: &mut Function) {
                         _ => None,
                     }
                 }
-                Inst::BinImm { op, dst, lhs, imm } => {
-                    constants.get(&lhs.0).and_then(|&a| {
-                        eval(*op, a, *imm as u64).map(|value| Inst::Const {
-                            dst: *dst,
-                            value: value as i64,
-                        })
+                Inst::BinImm { op, dst, lhs, imm } => constants.get(&lhs.0).and_then(|&a| {
+                    eval(*op, a, *imm as u64).map(|value| Inst::Const {
+                        dst: *dst,
+                        value: value as i64,
                     })
-                }
+                }),
                 _ => None,
             };
             if let Some(new_inst) = folded {
@@ -306,8 +304,13 @@ mod tests {
         f.ret(Some(y));
         module.add_function(f.build());
         optimize(&mut module);
-        assert!(insts(&module)
-            .iter()
-            .any(|i| matches!(i, Inst::BinImm { op: AluOp::Add, imm: 12, .. })));
+        assert!(insts(&module).iter().any(|i| matches!(
+            i,
+            Inst::BinImm {
+                op: AluOp::Add,
+                imm: 12,
+                ..
+            }
+        )));
     }
 }

@@ -164,11 +164,7 @@ mod tests {
         let mut module = Module::new("gate");
         let cred = module.add_struct(StructDef::new(
             "cred",
-            vec![FieldDef::annotated(
-                "uid",
-                FieldType::I64,
-                Annotation::Rand,
-            )],
+            vec![FieldDef::annotated("uid", FieldType::I64, Annotation::Rand)],
         ));
         let mut f = FunctionBuilder::new("set_uid", 2);
         let (ptr, uid) = (f.param(0), f.param(1));
@@ -225,7 +221,9 @@ mod tests {
             let compiled = crate::compile(&module, &config).unwrap();
             let r = report_for_source(&compiled, &module, &config).unwrap();
             assert!(!r.has_errors(), "{}", r.render_human());
-            let graph = r.graph.expect("interprocedural mode reports the call graph");
+            let graph = r
+                .graph
+                .expect("interprocedural mode reports the call graph");
             assert!(graph.functions >= 1);
         }
     }

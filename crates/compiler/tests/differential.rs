@@ -62,7 +62,9 @@ fn random_module(seed: u64, size: usize) -> Module {
     let mut f = FunctionBuilder::new("main", 0);
     let obj = f.global_addr("obj");
     let arr = f.global_addr("arr");
-    let mut pool: Vec<VReg> = (0..4).map(|i| f.konst(rng.next() as i32 as i64 * (i + 1))).collect();
+    let mut pool: Vec<VReg> = (0..4)
+        .map(|i| f.konst(rng.next() as i32 as i64 * (i + 1)))
+        .collect();
 
     for _ in 0..size {
         match rng.below(10) {
@@ -162,7 +164,9 @@ fn interpret(module: &Module) -> u64 {
                 assert_eq!(*ty, MemTy::I64);
                 regs.insert(dst.0, memory.get(&regs[&addr.0]).copied().unwrap_or(0));
             }
-            Inst::StoreField { base, value, field, .. } => {
+            Inst::StoreField {
+                base, value, field, ..
+            } => {
                 let addr = regs[&base.0] + struct_offsets[*field];
                 // The interpreter models the *semantic* value (annotated
                 // fields round-trip transparently); 32-bit fields truncate.
@@ -173,7 +177,9 @@ fn interpret(module: &Module) -> u64 {
                 };
                 memory.insert(addr, stored);
             }
-            Inst::LoadField { dst, base, field, .. } => {
+            Inst::LoadField {
+                dst, base, field, ..
+            } => {
                 let addr = regs[&base.0] + struct_offsets[*field];
                 regs.insert(dst.0, memory.get(&addr).copied().unwrap_or(0));
             }
@@ -254,5 +260,8 @@ fn optimizer_strictly_shrinks_instruction_count() {
         plain.bytes().len()
     );
     // And the result must still match the interpreter.
-    assert_eq!(run_compiled(&module, &CompileConfig::none().optimized()), interpret(&module));
+    assert_eq!(
+        run_compiled(&module, &CompileConfig::none().optimized()),
+        interpret(&module)
+    );
 }

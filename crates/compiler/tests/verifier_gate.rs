@@ -123,7 +123,12 @@ fn unwrapping_ra_is_flagged_at_the_exact_spill() {
         .violations
         .iter()
         .find(|v| v.kind == ViolationKind::PlainSpill)
-        .unwrap_or_else(|| panic!("expected a plain-spill diagnostic: {}", report.render_human()));
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a plain-spill diagnostic: {}",
+                report.render_human()
+            )
+        });
     // The diagnostic names the exact offending instruction: the now
     // unprotected `sd ra, 0(sp)` one slot after the neutered wrap.
     assert!(
@@ -218,7 +223,14 @@ fn random_module(seed: u64, size: usize) -> Module {
     module.add_global("obj", 64);
     module.add_global("arr", 16 * 8);
 
-    let ops = [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Mul];
+    let ops = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Xor,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Mul,
+    ];
     let mut f = FunctionBuilder::new("main", 0);
     let obj = f.global_addr("obj");
     let arr = f.global_addr("arr");

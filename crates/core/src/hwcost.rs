@@ -171,7 +171,10 @@ mod tests {
     #[test]
     fn clb0_row_matches_table_3() {
         let report = soc_report(0);
-        assert!(close(report.crypto_engine_lut_pct(), 4.88, 0.2), "{report:?}");
+        assert!(
+            close(report.crypto_engine_lut_pct(), 4.88, 0.2),
+            "{report:?}"
+        );
         assert!(close(report.crypto_engine_ff_pct(), 4.79, 0.2));
         assert!(close(report.fpu_lut_pct(), 25.28, 0.3));
         assert!(close(report.fpu_ff_pct(), 12.40, 0.3));
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn clb8_row_matches_table_3() {
         let report = soc_report(8);
-        assert!(close(report.crypto_engine_lut_pct(), 4.42, 0.2), "{report:?}");
+        assert!(
+            close(report.crypto_engine_lut_pct(), 4.42, 0.2),
+            "{report:?}"
+        );
         assert!(close(report.crypto_engine_ff_pct(), 4.55, 0.2));
         assert!(close(report.clb_lut_pct(), 4.30, 0.2));
         assert!(close(report.clb_ff_pct(), 4.84, 0.2));

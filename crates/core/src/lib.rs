@@ -54,8 +54,8 @@ pub mod prelude {
     pub use regvault_metrics::{Counter, Histogram, MetricsRegistry};
     pub use regvault_qarma::{Key, Qarma64, Sbox};
     pub use regvault_sim::{
-        Clb, ClbStats, CostModel, CryptoEngine, Event, Machine, MachineConfig, RingTracer,
-        Stats, TraceEvent, TraceRecord, Tracer, TrapCause,
+        Clb, ClbStats, CostModel, CryptoEngine, Event, Machine, MachineConfig, RingTracer, Stats,
+        TraceEvent, TraceRecord, Tracer, TrapCause,
     };
     pub use regvault_workloads::{
         lmbench::Lmbench, measure, spec::Spec, sweep, unixbench::UnixBench, Measurement,

@@ -56,7 +56,10 @@ impl Program {
     /// future byte-granular directives; `.word`/`.dword` keep it aligned).
     #[must_use]
     pub fn words(&self) -> Vec<u32> {
-        assert!(self.bytes.len().is_multiple_of(4), "image is not word-aligned");
+        assert!(
+            self.bytes.len().is_multiple_of(4),
+            "image is not word-aligned"
+        );
         self.bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
@@ -180,10 +183,7 @@ pub fn assemble(source: &str) -> Result<Program, IsaError> {
                         // auipc rd, hi20 ; addi rd, rd, lo12 (pc-relative).
                         let hi = (rel32 + 0x800) >> 12;
                         let lo = rel32 - (hi << 12);
-                        let auipc = Insn::Auipc {
-                            rd: *rd,
-                            imm20: hi,
-                        };
+                        let auipc = Insn::Auipc { rd: *rd, imm20: hi };
                         let addi = Insn::OpImm {
                             op: AluOp::Add,
                             rd: *rd,

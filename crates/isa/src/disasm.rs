@@ -37,11 +37,15 @@ impl Line {
     pub fn render_annotated(&self) -> String {
         let base = self.render();
         match &self.insn {
-            Some(Insn::Cre { key, rt, hi, lo, .. }) => format!(
+            Some(Insn::Cre {
+                key, rt, hi, lo, ..
+            }) => format!(
                 "{base}  ; encrypt under key {}, bytes [{hi}:{lo}], tweak {rt}",
                 key.name().to_uppercase()
             ),
-            Some(Insn::Crd { key, rt, hi, lo, .. }) => format!(
+            Some(Insn::Crd {
+                key, rt, hi, lo, ..
+            }) => format!(
                 "{base}  ; decrypt under key {}, bytes [{hi}:{lo}] (rest must be zero), tweak {rt}",
                 key.name().to_uppercase()
             ),

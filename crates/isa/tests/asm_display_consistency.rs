@@ -156,9 +156,7 @@ fn any_insn() -> impl Strategy<Value = Insn> {
         Just(Insn::Wfi),
         Just(Insn::Fence),
         (any_key(), any_reg(), any_reg(), any_reg(), 0u8..8)
-            .prop_flat_map(|(key, rd, rs, rt, hi)| {
-                (Just((key, rd, rs, rt, hi)), 0u8..=hi)
-            })
+            .prop_flat_map(|(key, rd, rs, rt, hi)| { (Just((key, rd, rs, rt, hi)), 0u8..=hi) })
             .prop_map(|((key, rd, rs, rt, hi), lo)| Insn::Cre {
                 key,
                 rd,
@@ -168,9 +166,7 @@ fn any_insn() -> impl Strategy<Value = Insn> {
                 lo
             }),
         (any_key(), any_reg(), any_reg(), any_reg(), 0u8..8)
-            .prop_flat_map(|(key, rd, rs, rt, hi)| {
-                (Just((key, rd, rs, rt, hi)), 0u8..=hi)
-            })
+            .prop_flat_map(|(key, rd, rs, rt, hi)| { (Just((key, rd, rs, rt, hi)), 0u8..=hi) })
             .prop_map(|((key, rd, rs, rt, hi), lo)| Insn::Crd {
                 key,
                 rd,

@@ -34,10 +34,8 @@ pub struct ProtectionConfig {
 
 /// Wrapper so `ProtectionConfig` can derive `Default`/`Eq` while reusing the
 /// compiler's [`KeyPolicy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KeyPolicyConfig(pub KeyPolicy);
-
 
 impl ProtectionConfig {
     /// Everything off — the unprotected baseline ("Original" in Table 4).

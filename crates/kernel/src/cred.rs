@@ -302,7 +302,9 @@ mod tests {
     fn session_token_round_trips_and_detects_corruption() {
         let cfg = ProtectionConfig::full();
         let (mut machine, store) = setup(&cfg);
-        store.write_session(&mut machine, &cfg, 0, 0xDEAD_BEEF_CAFE_F00D).unwrap();
+        store
+            .write_session(&mut machine, &cfg, 0, 0xDEAD_BEEF_CAFE_F00D)
+            .unwrap();
         assert_eq!(
             store.read_session(&mut machine, &cfg, 0).unwrap(),
             0xDEAD_BEEF_CAFE_F00D
@@ -313,7 +315,9 @@ mod tests {
         machine.memory_mut().write_u64(addr, ct ^ 1).unwrap();
         assert!(matches!(
             store.read_session(&mut machine, &cfg, 0),
-            Err(KernelError::IntegrityViolation { what: "cred.session" })
+            Err(KernelError::IntegrityViolation {
+                what: "cred.session"
+            })
         ));
     }
 
@@ -321,7 +325,9 @@ mod tests {
     fn session_token_halves_cannot_be_swapped() {
         let cfg = ProtectionConfig::full();
         let (mut machine, store) = setup(&cfg);
-        store.write_session(&mut machine, &cfg, 0, 0x1111_2222_3333_4444).unwrap();
+        store
+            .write_session(&mut machine, &cfg, 0, 0x1111_2222_3333_4444)
+            .unwrap();
         let base = store.cred_addr(0) + SESSION_OFFSET;
         let lo = machine.memory().read_u64(base).unwrap();
         let hi = machine.memory().read_u64(base + 8).unwrap();

@@ -290,12 +290,7 @@ impl MiniFs {
         Ok((rfd, wfd))
     }
 
-    fn copy(
-        machine: &mut Machine,
-        src: u64,
-        dst: u64,
-        len: u64,
-    ) -> Result<(), KernelError> {
+    fn copy(machine: &mut Machine, src: u64, dst: u64, len: u64) -> Result<(), KernelError> {
         // Word-at-a-time copy with cycle accounting.
         let words = len / 8;
         for i in 0..words {

@@ -10,9 +10,7 @@ use crate::cred::{CredField, CredStore};
 use crate::error::KernelError;
 use crate::fs::MiniFs;
 use crate::keyring::Keyring;
-use crate::layout::{
-    Kmalloc, KERNEL_TEXT_BASE, USER_CODE_BASE, USER_STACK_SIZE, USER_STACK_TOP,
-};
+use crate::layout::{Kmalloc, KERNEL_TEXT_BASE, USER_CODE_BASE, USER_STACK_SIZE, USER_STACK_TOP};
 use crate::pgd::PageTables;
 use crate::selinux::SelinuxState;
 use crate::signal::SignalTable;
@@ -147,7 +145,15 @@ impl Kernel {
         let mut rng = rand::rngs::StdRng::seed_from_u64(machine_config.seed ^ 0xB007);
 
         // Boot-time key ceremony: fresh random general keys.
-        for key in [KeyReg::A, KeyReg::B, KeyReg::C, KeyReg::D, KeyReg::E, KeyReg::F, KeyReg::G] {
+        for key in [
+            KeyReg::A,
+            KeyReg::B,
+            KeyReg::C,
+            KeyReg::D,
+            KeyReg::E,
+            KeyReg::F,
+            KeyReg::G,
+        ] {
             machine
                 .write_key_register(key, rng.gen(), rng.gen())
                 .expect("general keys are writable");
@@ -307,8 +313,12 @@ impl Kernel {
         let ra = Self::kcall_ra(site);
         let slot = self.ksp;
         let stored = if self.cfg.ra {
-            self.machine
-                .kernel_encrypt(self.cfg.key_policy().return_addr, slot, ra, ByteRange::FULL)
+            self.machine.kernel_encrypt(
+                self.cfg.key_policy().return_addr,
+                slot,
+                ra,
+                ByteRange::FULL,
+            )
         } else {
             ra
         };
@@ -333,7 +343,12 @@ impl Kernel {
         // keeps even a faulted crypto datapath panic-free.
         let ra = if self.cfg.ra {
             self.machine
-                .kernel_decrypt(self.cfg.key_policy().return_addr, slot, raw, ByteRange::FULL)
+                .kernel_decrypt(
+                    self.cfg.key_policy().return_addr,
+                    slot,
+                    raw,
+                    ByteRange::FULL,
+                )
                 .unwrap_or_else(|garbled| garbled)
         } else {
             raw
@@ -448,19 +463,21 @@ impl Kernel {
             )?)),
             Sysno::Setuid => {
                 let new_uid = args[0] as u32;
-                if !self
-                    .selinux
-                    .avc_check(&mut self.machine, &cfg, true)?
-                {
+                if !self.selinux.avc_check(&mut self.machine, &cfg, true)? {
                     return Err(KernelError::PermissionDenied);
                 }
-                let euid = self.creds.read(&mut self.machine, &cfg, tid, CredField::Euid)?;
-                let uid = self.creds.read(&mut self.machine, &cfg, tid, CredField::Uid)?;
+                let euid = self
+                    .creds
+                    .read(&mut self.machine, &cfg, tid, CredField::Euid)?;
+                let uid = self
+                    .creds
+                    .read(&mut self.machine, &cfg, tid, CredField::Uid)?;
                 if euid != 0 && new_uid != uid {
                     return Err(KernelError::PermissionDenied);
                 }
                 for field in [CredField::Uid, CredField::Euid] {
-                    self.creds.write(&mut self.machine, &cfg, tid, field, new_uid)?;
+                    self.creds
+                        .write(&mut self.machine, &cfg, tid, field, new_uid)?;
                 }
                 Ok(0)
             }
@@ -526,18 +543,19 @@ impl Kernel {
                 self.machine.memory_mut().map_region(vaddr, 4096);
                 Ok(vaddr)
             }
-            Sysno::Munmap => {
-                self.page_tables
-                    .unmap(&mut self.machine, &cfg, args[0] & !0xFFF)
-                    .map(|()| 0)
-            }
+            Sysno::Munmap => self
+                .page_tables
+                .unmap(&mut self.machine, &cfg, args[0] & !0xFFF)
+                .map(|()| 0),
             Sysno::Spawn => {
                 let tid = self.spawn_thread(args[0])?;
                 Ok(u64::from(tid))
             }
-            Sysno::SelinuxCheck => Ok(u64::from(
-                self.selinux.avc_check(&mut self.machine, &cfg, false)?,
-            )),
+            Sysno::SelinuxCheck => Ok(u64::from(self.selinux.avc_check(
+                &mut self.machine,
+                &cfg,
+                false,
+            )?)),
             Sysno::Sigaction => {
                 let signals = self.signals.clone();
                 signals
@@ -550,7 +568,9 @@ impl Kernel {
                     return Err(KernelError::InvalidArgument);
                 }
                 let signals = self.signals.clone();
-                signals.raise(&mut self.machine, target, args[1]).map(|()| 0)
+                signals
+                    .raise(&mut self.machine, target, args[1])
+                    .map(|()| 0)
             }
             Sysno::Exit => {
                 // Only non-init threads exit through here (init terminates
@@ -585,8 +605,12 @@ impl Kernel {
         let cfg = self.cfg;
         let parent = self.threads.current;
         let tid = self.threads.spawn(&mut self.machine, &cfg, &mut self.rng)?;
-        let uid = self.creds.read(&mut self.machine, &cfg, parent, CredField::Uid)?;
-        let gid = self.creds.read(&mut self.machine, &cfg, parent, CredField::Gid)?;
+        let uid = self
+            .creds
+            .read(&mut self.machine, &cfg, parent, CredField::Uid)?;
+        let gid = self
+            .creds
+            .read(&mut self.machine, &cfg, parent, CredField::Gid)?;
         self.creds.init(&mut self.machine, &cfg, tid, uid, gid)?;
         self.saved_pc[tid as usize] = entry_pc;
         // Give the thread its slot's fixed user stack and an initial CIP
@@ -633,7 +657,8 @@ impl Kernel {
             self.machine
                 .metrics_mut()
                 .observe(self.sched.timeslice_cycles, slice);
-            self.machine.trace_emit(TraceEvent::ContextSwitch { from, to });
+            self.machine
+                .trace_emit(TraceEvent::ContextSwitch { from, to });
         }
         Ok(())
     }
@@ -686,15 +711,13 @@ impl Kernel {
             match self.threads.switch_abandon(&mut self.machine, &cfg, next) {
                 Ok(()) => {
                     self.machine.hart_mut().set_pc(self.saved_pc[next as usize]);
-                    self.ksp =
-                        crate::layout::kernel_stack_top(next) - crate::trap::FRAME_SIZE - 64;
+                    self.ksp = crate::layout::kernel_stack_top(next) - crate::trap::FRAME_SIZE - 64;
                     // Quarantined slots are safe to reuse: spawn rewrites
                     // thread_info and generates fresh keys.
                     for &tid in &chain {
                         self.threads.reap(tid);
                     }
-                    self.recovery.traps_survived =
-                        self.recovery.traps_survived.saturating_add(1);
+                    self.recovery.traps_survived = self.recovery.traps_survived.saturating_add(1);
                     return Some(chain);
                 }
                 // `switch_abandon` updates `current` before restoring, so a
@@ -859,7 +882,8 @@ impl Kernel {
             let reg = Reg::from_index(i as u8).expect("register index");
             self.machine.hart_mut().set_reg(reg, *value);
         }
-        self.threads.install_keys(&mut self.machine, &cfg, current)?;
+        self.threads
+            .install_keys(&mut self.machine, &cfg, current)?;
         Ok(tid)
     }
 
@@ -871,8 +895,9 @@ impl Kernel {
     /// [`KernelError::IntegrityViolation`] if a saved context was tampered
     /// with (attack ❼ of Table 4).
     pub fn handle_timer(&mut self) -> Result<(), KernelError> {
-        self.machine
-            .trace_emit(TraceEvent::TrapEnter { cause: TrapCause::Timer });
+        self.machine.trace_emit(TraceEvent::TrapEnter {
+            cause: TrapCause::Timer,
+        });
         self.machine.charge(InsnClass::Alu, 40); // trap entry/exit
         self.machine.charge(InsnClass::Store, 6);
         let next = self.threads.next_runnable();
@@ -880,8 +905,9 @@ impl Kernel {
             self.machine.metrics_mut().inc(self.sched.preemptions);
         }
         let result = self.switch_to(next);
-        self.machine
-            .trace_emit(TraceEvent::TrapExit { cause: TrapCause::Timer });
+        self.machine.trace_emit(TraceEvent::TrapExit {
+            cause: TrapCause::Timer,
+        });
         result
     }
 
@@ -893,7 +919,8 @@ impl Kernel {
     ///
     /// Integrity violations on tampered credentials.
     pub fn sys_getuid(&mut self) -> Result<u32, KernelError> {
-        self.dispatch(Sysno::Getuid as u64, [0; 3]).map(|v| v as u32)
+        self.dispatch(Sysno::Getuid as u64, [0; 3])
+            .map(|v| v as u32)
     }
 
     /// `setuid(uid)`.
@@ -934,8 +961,12 @@ impl Kernel {
         self.machine
             .memory_mut()
             .map_region(USER_STACK_TOP - USER_STACK_SIZE, USER_STACK_SIZE + 16);
-        self.machine.hart_mut().set_pc(USER_CODE_BASE + entry_offset);
-        self.machine.hart_mut().set_reg(Reg::Sp, USER_STACK_TOP - 64);
+        self.machine
+            .hart_mut()
+            .set_pc(USER_CODE_BASE + entry_offset);
+        self.machine
+            .hart_mut()
+            .set_reg(Reg::Sp, USER_STACK_TOP - 64);
         self.machine.hart_mut().set_privilege(Privilege::User);
 
         let mut budget = max_steps;
@@ -977,8 +1008,7 @@ impl Kernel {
                     // the advanced pc.
                     self.machine.advance_pc();
                     self.machine.hart_mut().set_privilege(Privilege::Kernel);
-                    let switches =
-                        num == Sysno::Yield as u64 || num == Sysno::Exit as u64;
+                    let switches = num == Sysno::Yield as u64 || num == Sysno::Exit as u64;
                     match self.dispatch(num, args) {
                         // After a thread switch the hart holds the incoming
                         // thread's registers; the yield return value is not
@@ -1081,10 +1111,7 @@ mod tests {
         let out = 0x22_0000u64;
         k.machine_mut().memory_mut().map_region(out, 64);
         assert_eq!(k.dispatch(Sysno::Read as u64, [fd, out, 8]).unwrap(), 8);
-        assert_eq!(
-            k.machine().memory().read_vec(out, 8).unwrap(),
-            b"regvault"
-        );
+        assert_eq!(k.machine().memory().read_vec(out, 8).unwrap(), b"regvault");
         assert_eq!(k.dispatch(Sysno::Stat as u64, [fd, 0, 0]).unwrap(), 8);
         k.dispatch(Sysno::Close as u64, [fd, 0, 0]).unwrap();
     }
@@ -1148,7 +1175,10 @@ mod tests {
         let slot = k.push_kframe(42).unwrap();
         // Attacker overwrites the saved RA with a gadget address.
         let gadget = KERNEL_TEXT_BASE + 0xBEEF;
-        k.machine_mut().memory_mut().write_u64(slot, gadget).unwrap();
+        k.machine_mut()
+            .memory_mut()
+            .write_u64(slot, gadget)
+            .unwrap();
         match k.pop_kframe(42).unwrap_err() {
             KernelError::WildJump { target } => assert_ne!(target, gadget),
             other => panic!("unexpected {other}"),
@@ -1160,7 +1190,10 @@ mod tests {
         let mut k = kernel(ProtectionConfig::off());
         let slot = k.push_kframe(42).unwrap();
         let gadget = KERNEL_TEXT_BASE + 0xBEEF;
-        k.machine_mut().memory_mut().write_u64(slot, gadget).unwrap();
+        k.machine_mut()
+            .memory_mut()
+            .write_u64(slot, gadget)
+            .unwrap();
         match k.pop_kframe(42).unwrap_err() {
             KernelError::WildJump { target } => assert_eq!(target, gadget),
             other => panic!("unexpected {other}"),

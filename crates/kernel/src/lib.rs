@@ -59,12 +59,12 @@
 pub mod aes;
 mod config;
 pub mod cred;
-mod pfield;
 mod error;
 pub mod fs;
 mod kernel;
 pub mod keyring;
 pub mod layout;
+mod pfield;
 pub mod pgd;
 mod rotate;
 pub mod selinux;

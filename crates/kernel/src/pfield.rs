@@ -159,7 +159,10 @@ mod tests {
         let cfg = ProtectionConfig::full();
         write_u32(&mut m, &cfg, KeyReg::D, 0x9000, 1234, true).unwrap();
         assert_ne!(m.memory().read_u64(0x9000).unwrap(), 1234);
-        assert_eq!(read_u32(&mut m, KeyReg::D, 0x9000, true, "x").unwrap(), 1234);
+        assert_eq!(
+            read_u32(&mut m, KeyReg::D, 0x9000, true, "x").unwrap(),
+            1234
+        );
     }
 
     #[test]

@@ -144,7 +144,12 @@ impl PageTables {
         }
         let entry = if cfg.non_control {
             machine
-                .kernel_decrypt(cfg.key_policy().data, slot, raw, regvault_isa::ByteRange::FULL)
+                .kernel_decrypt(
+                    cfg.key_policy().data,
+                    slot,
+                    raw,
+                    regvault_isa::ByteRange::FULL,
+                )
                 .expect("full range")
         } else {
             raw
@@ -195,7 +200,12 @@ impl PageTables {
         }
         let entry = if cfg.non_control {
             machine
-                .kernel_decrypt(cfg.key_policy().data, slot, raw, regvault_isa::ByteRange::FULL)
+                .kernel_decrypt(
+                    cfg.key_policy().data,
+                    slot,
+                    raw,
+                    regvault_isa::ByteRange::FULL,
+                )
                 .expect("full range")
         } else {
             raw
@@ -227,7 +237,9 @@ mod tests {
     fn map_and_walk() {
         let cfg = ProtectionConfig::full();
         let (mut machine, mut tables) = setup(&cfg);
-        tables.map(&mut machine, &cfg, 0x40_0000, 0x8010_0000).unwrap();
+        tables
+            .map(&mut machine, &cfg, 0x40_0000, 0x8010_0000)
+            .unwrap();
         assert_eq!(
             tables.walk(&mut machine, &cfg, 0x40_0000).unwrap(),
             0x8010_0000
@@ -242,7 +254,9 @@ mod tests {
     fn pgd_entries_are_randomized_in_memory() {
         let cfg = ProtectionConfig::full();
         let (mut machine, mut tables) = setup(&cfg);
-        tables.map(&mut machine, &cfg, 0x40_0000, 0x8010_0000).unwrap();
+        tables
+            .map(&mut machine, &cfg, 0x40_0000, 0x8010_0000)
+            .unwrap();
         let slot = tables.pgd_base() + ((0x40_0000u64 >> 21) % ENTRIES) * 8;
         let raw = machine.memory().read_u64(slot).unwrap();
         // A plaintext entry would point into the arena with the valid bit.
@@ -257,7 +271,9 @@ mod tests {
     fn corrupting_a_pgd_entry_is_detected() {
         let cfg = ProtectionConfig::full();
         let (mut machine, mut tables) = setup(&cfg);
-        tables.map(&mut machine, &cfg, 0x40_0000, 0x8010_0000).unwrap();
+        tables
+            .map(&mut machine, &cfg, 0x40_0000, 0x8010_0000)
+            .unwrap();
         let slot = tables.pgd_base() + ((0x40_0000u64 >> 21) % ENTRIES) * 8;
         // Attacker points the entry at an attacker-controlled "table".
         machine
@@ -274,7 +290,9 @@ mod tests {
     fn corrupting_a_pgd_entry_works_without_protection() {
         let cfg = ProtectionConfig::off();
         let (mut machine, mut tables) = setup(&cfg);
-        tables.map(&mut machine, &cfg, 0x40_0000, 0x8010_0000).unwrap();
+        tables
+            .map(&mut machine, &cfg, 0x40_0000, 0x8010_0000)
+            .unwrap();
         let slot = tables.pgd_base() + ((0x40_0000u64 >> 21) % ENTRIES) * 8;
         // Point the PGD at a fake table whose PTE maps to attacker memory.
         let fake_table = PAGE_TABLE_BASE + 0x80_0000;
@@ -299,7 +317,9 @@ mod tests {
     fn unmap_removes_the_translation() {
         let cfg = ProtectionConfig::full();
         let (mut machine, mut tables) = setup(&cfg);
-        tables.map(&mut machine, &cfg, 0x40_0000, 0x8010_0000).unwrap();
+        tables
+            .map(&mut machine, &cfg, 0x40_0000, 0x8010_0000)
+            .unwrap();
         tables.unmap(&mut machine, &cfg, 0x40_0000).unwrap();
         assert!(matches!(
             tables.walk(&mut machine, &cfg, 0x40_0000),

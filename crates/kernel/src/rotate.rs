@@ -60,8 +60,7 @@ impl Kernel {
             self.machine_mut()
                 .write_key_register(DATA_STAGING, w0, k0)
                 .expect("staging key is general-purpose");
-            report.data_blocks =
-                self.reencrypt_data_domain(cfg.key_policy().data, DATA_STAGING)?;
+            report.data_blocks = self.reencrypt_data_domain(cfg.key_policy().data, DATA_STAGING)?;
             self.machine_mut()
                 .write_key_register(cfg.key_policy().data, w0, k0)
                 .expect("data key is general-purpose");
@@ -107,11 +106,7 @@ impl Kernel {
         Ok(())
     }
 
-    fn reencrypt_data_domain(
-        &mut self,
-        old: KeyReg,
-        new: KeyReg,
-    ) -> Result<u64, KernelError> {
+    fn reencrypt_data_domain(&mut self, old: KeyReg, new: KeyReg) -> Result<u64, KernelError> {
         let mut blocks = 0;
         // Credentials of every live thread: four u32 fields + the split
         // 64-bit session token.
@@ -176,11 +171,7 @@ impl Kernel {
         Ok(blocks)
     }
 
-    fn reencrypt_fn_ptr_domain(
-        &mut self,
-        old: KeyReg,
-        new: KeyReg,
-    ) -> Result<u64, KernelError> {
+    fn reencrypt_fn_ptr_domain(&mut self, old: KeyReg, new: KeyReg) -> Result<u64, KernelError> {
         let mut blocks = 0;
         let mut slots: Vec<u64> = Vec::new();
         for op in [
@@ -299,7 +290,10 @@ mod tests {
     fn rotation_audits_tampered_state() {
         let mut k = kernel();
         let uid_addr = k.creds.cred_addr(0) + crate::cred::UID_OFFSET;
-        k.machine_mut().memory_mut().write_u64(uid_addr, 0x41).unwrap();
+        k.machine_mut()
+            .memory_mut()
+            .write_u64(uid_addr, 0x41)
+            .unwrap();
         assert!(matches!(
             k.rotate_shared_keys(),
             Err(crate::KernelError::IntegrityViolation { .. })

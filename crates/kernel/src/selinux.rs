@@ -112,7 +112,12 @@ impl SelinuxState {
         cfg: &ProtectionConfig,
         permitted_by_policy: bool,
     ) -> Result<bool, KernelError> {
-        let initialized = self.field(machine, cfg, INITIALIZED_OFFSET, "selinux_state.initialized")?;
+        let initialized = self.field(
+            machine,
+            cfg,
+            INITIALIZED_OFFSET,
+            "selinux_state.initialized",
+        )?;
         if initialized == 0 {
             return Ok(true);
         }

@@ -88,12 +88,7 @@ impl SignalTable {
     /// # Errors
     ///
     /// [`KernelError::InvalidArgument`] for out-of-range signals.
-    pub fn raise(
-        &self,
-        machine: &mut Machine,
-        tid: u32,
-        signo: u64,
-    ) -> Result<(), KernelError> {
+    pub fn raise(&self, machine: &mut Machine, tid: u32, signo: u64) -> Result<(), KernelError> {
         if signo >= NUM_SIGNALS {
             return Err(KernelError::InvalidArgument);
         }
@@ -167,13 +162,14 @@ mod tests {
         let cfg = ProtectionConfig::full();
         let (mut m, table) = setup(&cfg);
         for signo in [5u64, 1, 7] {
-            table.register(&mut m, &cfg, 0, signo, 0x40_0000 + signo * 16).unwrap();
+            table
+                .register(&mut m, &cfg, 0, signo, 0x40_0000 + signo * 16)
+                .unwrap();
             table.raise(&mut m, 0, signo).unwrap();
         }
-        let order: Vec<u64> = std::iter::from_fn(|| {
-            table.deliver(&mut m, &cfg, 0).unwrap().map(|(s, _)| s)
-        })
-        .collect();
+        let order: Vec<u64> =
+            std::iter::from_fn(|| table.deliver(&mut m, &cfg, 0).unwrap().map(|(s, _)| s))
+                .collect();
         assert_eq!(order, vec![1, 5, 7]);
     }
 

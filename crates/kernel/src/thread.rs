@@ -139,10 +139,7 @@ impl ThreadTable {
     /// tampering: a corrupted wrapped half unwraps to garbage, and the
     /// thread's subsequent CIP restore fails its own integrity check. Both
     /// arms of the decrypt therefore yield the plaintext.
-    fn unwrap_half(
-        machine: &mut Machine,
-        addr: u64,
-    ) -> Result<u64, KernelError> {
+    fn unwrap_half(machine: &mut Machine, addr: u64) -> Result<u64, KernelError> {
         let wrapped = machine.kernel_load_u64(addr)?;
         Ok(machine
             .kernel_decrypt(KeyReg::M, addr, wrapped, ByteRange::FULL)
@@ -326,8 +323,18 @@ mod tests {
     #[test]
     fn spawn_assigns_sequential_tids() {
         let (mut machine, mut table, mut rng) = setup();
-        assert_eq!(table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap(), 0);
-        assert_eq!(table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap(), 1);
+        assert_eq!(
+            table
+                .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            table
+                .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+                .unwrap(),
+            1
+        );
         assert_eq!(table.state(1), ThreadState::Runnable);
     }
 
@@ -336,7 +343,9 @@ mod tests {
         let (mut machine, mut table, mut rng) = setup();
         // Two spawns with the same RNG stream would produce the same raw
         // halves; the wrapped forms must not equal the raw values.
-        let tid = table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
+        let tid = table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
         let info = table.thread_info_addr(tid);
         let wrapped = machine.memory().read_u64(info + 16).unwrap();
         // Unwrap through the master key and compare.
@@ -350,12 +359,18 @@ mod tests {
     fn install_keys_changes_ra_ciphertexts() {
         let (mut machine, mut table, mut rng) = setup();
         let cfg = ProtectionConfig::full();
-        let t0 = table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
-        let t1 = table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
+        let t0 = table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
+        let t1 = table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
         table.install_keys(&mut machine, &cfg, t0).unwrap();
-        let ct0 = machine.kernel_encrypt(cfg.key_policy().return_addr, 0x40, 0x1234, ByteRange::FULL);
+        let ct0 =
+            machine.kernel_encrypt(cfg.key_policy().return_addr, 0x40, 0x1234, ByteRange::FULL);
         table.install_keys(&mut machine, &cfg, t1).unwrap();
-        let ct1 = machine.kernel_encrypt(cfg.key_policy().return_addr, 0x40, 0x1234, ByteRange::FULL);
+        let ct1 =
+            machine.kernel_encrypt(cfg.key_policy().return_addr, 0x40, 0x1234, ByteRange::FULL);
         assert_ne!(ct0, ct1, "each thread encrypts RAs under its own key");
     }
 
@@ -363,8 +378,12 @@ mod tests {
     fn context_switch_round_trips_registers() {
         let (mut machine, mut table, mut rng) = setup();
         let cfg = ProtectionConfig::full();
-        let t0 = table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
-        let _t1 = table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
+        let t0 = table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
+        let _t1 = table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
         table.install_keys(&mut machine, &cfg, t0).unwrap();
         table.current = t0;
         machine.hart_mut().set_reg(regvault_isa::Reg::S1, 0xABCD);
@@ -423,9 +442,15 @@ mod tests {
     #[test]
     fn next_runnable_round_robins() {
         let (mut machine, mut table, mut rng) = setup();
-        table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
-        table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
-        table.spawn(&mut machine, &ProtectionConfig::full(), &mut rng).unwrap();
+        table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
+        table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
+        table
+            .spawn(&mut machine, &ProtectionConfig::full(), &mut rng)
+            .unwrap();
         table.current = 0;
         assert_eq!(table.next_runnable(), 1);
         table.current = 2;

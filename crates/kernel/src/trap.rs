@@ -10,6 +10,17 @@
 //! subsequent decryption, so the final zero check catches it. A dedicated
 //! per-thread key register defeats cross-data-type and cross-thread
 //! substitution.
+//!
+//! With nonce-diversified rekey enabled
+//! ([`regvault_sim::MachineConfig::epoch_rekey`]) every save additionally
+//! issues a fresh rekey epoch for the CIP key and parks the nonce — in
+//! plaintext — in a dedicated frame slot past the terminator; the matching
+//! restore reads it back and re-installs it before decrypting. The epoch is
+//! folded into every tweak by the engine, so two saves of identical
+//! register values at the same frame produce unlinkable ciphertexts (the
+//! ciphertext side-channel mitigation, DESIGN.md §16). The nonce itself
+//! needs no secrecy — it is a diversifier, not a key — and tampering with
+//! it garbles the whole chain, which the terminator check catches.
 
 use regvault_isa::{ByteRange, KeyReg, Reg};
 use regvault_sim::Machine;
@@ -23,8 +34,14 @@ pub const SAVED_REGS: usize = 31;
 /// Frame slots: the saved registers plus the trailing integrity zero.
 pub const FRAME_SLOTS: usize = SAVED_REGS + 1;
 
-/// Frame size in bytes.
-pub const FRAME_SIZE: u64 = (FRAME_SLOTS as u64) * 8;
+/// Byte offset of the plaintext rekey-epoch nonce within the frame (one
+/// slot past the chain terminator). Written on save and consumed on restore
+/// only when the machine's `epoch_rekey` knob is on; otherwise it stays
+/// zero.
+pub const NONCE_SLOT: u64 = (FRAME_SLOTS as u64) * 8;
+
+/// Frame size in bytes (chain slots plus the nonce slot).
+pub const FRAME_SIZE: u64 = NONCE_SLOT + 8;
 
 /// Saves the hart's register file into the interrupt frame at `frame`.
 ///
@@ -44,6 +61,14 @@ pub fn save_context(
     let regs = machine.hart().regs();
     if cfg.cip {
         machine.trace_emit(regvault_sim::TraceEvent::CipOpen { frame });
+        if machine.epoch_rekey() {
+            // Fresh epoch per save: the engine folds it into every tweak
+            // below, so this frame's ciphertexts are unlinkable to any
+            // earlier save of the same values. The nonce is parked in
+            // plaintext for the matching restore.
+            let nonce = machine.issue_key_epoch(key);
+            machine.kernel_store_u64(frame + NONCE_SLOT, nonce)?;
+        }
         let mut tweak = frame;
         for i in 0..SAVED_REGS {
             let value = regs[i + 1]; // skip x0
@@ -76,6 +101,13 @@ pub fn restore_context(
 ) -> Result<[u64; SAVED_REGS], KernelError> {
     let mut regs = [0u64; SAVED_REGS];
     if cfg.cip {
+        if machine.epoch_rekey() {
+            // Re-install the epoch the matching save issued. A tampered
+            // nonce garbles the whole chain and is caught by the
+            // terminator check like any other frame corruption.
+            let nonce = machine.kernel_load_u64(frame + NONCE_SLOT)?;
+            machine.set_key_epoch(key, nonce);
+        }
         // Full-range decrypts have no redundancy and never fail the zero
         // check themselves; corruption anywhere in the chain garbles every
         // later plaintext and is caught by the terminator below. Taking the
@@ -194,6 +226,70 @@ mod tests {
         machine.memory_mut().write_u64(FRAME, 0x4141).unwrap();
         let regs = restore_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
         assert_eq!(regs[0], 0x4141, "attacker controls the restored ra");
+    }
+
+    fn epoch_machine_with_regs() -> Machine {
+        let mut machine = Machine::new(MachineConfig {
+            epoch_rekey: true,
+            ..MachineConfig::default()
+        });
+        machine.write_key_register(KeyReg::C, 0xC0, 0xC1).unwrap();
+        for i in 1..32u8 {
+            let reg = Reg::from_index(i).unwrap();
+            machine.hart_mut().set_reg(reg, 0x1000 + u64::from(i) * 7);
+        }
+        machine
+    }
+
+    fn frame_bytes(machine: &Machine) -> Vec<u64> {
+        (0..SAVED_REGS as u64 + 1)
+            .map(|i| machine.memory().read_u64(FRAME + 8 * i).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rekey_round_trip_and_diversified_resave() {
+        let cfg = ProtectionConfig::full();
+        let mut machine = epoch_machine_with_regs();
+        let expected = machine.hart().regs();
+        save_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
+        let first = frame_bytes(&machine);
+        // Identical registers, identical frame: without the mitigation this
+        // second save would be byte-identical; with it, every slot differs.
+        save_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
+        let second = frame_bytes(&machine);
+        assert!(
+            first.iter().zip(&second).all(|(a, b)| a != b),
+            "every chain slot must be rekeyed"
+        );
+        let regs = restore_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
+        apply_to_hart(&mut machine, &regs);
+        assert_eq!(machine.hart().regs(), expected);
+    }
+
+    #[test]
+    fn tampered_nonce_is_detected() {
+        let cfg = ProtectionConfig::full();
+        let mut machine = epoch_machine_with_regs();
+        save_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
+        let nonce = machine.memory().read_u64(FRAME + NONCE_SLOT).unwrap();
+        machine
+            .memory_mut()
+            .write_u64(FRAME + NONCE_SLOT, nonce ^ 1)
+            .unwrap();
+        assert!(matches!(
+            restore_context(&mut machine, &cfg, KeyReg::C, FRAME),
+            Err(KernelError::IntegrityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn rekey_off_never_issues_an_epoch() {
+        let cfg = ProtectionConfig::full();
+        let mut machine = machine_with_regs();
+        save_context(&mut machine, &cfg, KeyReg::C, FRAME).unwrap();
+        assert_eq!(machine.engine().epoch(KeyReg::C), 0);
+        assert_eq!(machine.memory().read_u64(FRAME + NONCE_SLOT).unwrap(), 0);
     }
 
     #[test]

@@ -61,7 +61,11 @@ fn kernel_survives_100_consecutive_injected_faults() {
     // and serves correct, integrity-checked credentials.
     let uid = kernel.run_user(program.bytes(), 0, 500_000).unwrap();
     assert_eq!(uid, 1000, "post-campaign geteuid is healthy");
-    assert_eq!(kernel.recovery_stats().quarantined, 100, "no stray recovery");
+    assert_eq!(
+        kernel.recovery_stats().quarantined,
+        100,
+        "no stray recovery"
+    );
 }
 
 #[test]
@@ -74,9 +78,10 @@ fn timer_switch_quarantines_a_thread_with_a_corrupted_frame() {
     // Corrupt the *sleeping* sibling's saved interrupt frame; the fault
     // surfaces when the timer tries to switch it in.
     let frame = kernel.threads.interrupt_frame_addr(1);
-    kernel
-        .machine_mut()
-        .inject_fault(FaultKind::MemBitFlip { addr: frame + 16, bit: 5 });
+    kernel.machine_mut().inject_fault(FaultKind::MemBitFlip {
+        addr: frame + 16,
+        bit: 5,
+    });
 
     // A compute loop long enough to take several timer interrupts.
     let program = asm::assemble(
@@ -92,7 +97,10 @@ fn timer_switch_quarantines_a_thread_with_a_corrupted_frame() {
     let result = kernel.run_user(program.bytes(), 0, 2_000_000).unwrap();
     assert_eq!(result, 30_000, "the healthy thread finished its work");
     let stats = kernel.recovery_stats();
-    assert_eq!(stats.quarantined, 1, "the corrupted sibling was quarantined");
+    assert_eq!(
+        stats.quarantined, 1,
+        "the corrupted sibling was quarantined"
+    );
     assert_eq!(stats.respawned, 1);
 }
 
@@ -104,7 +112,11 @@ fn watchdog_timeout_surfaces_as_a_typed_kernel_error() {
     match kernel.run_user(program.bytes(), 0, u64::MAX) {
         Err(KernelError::Timeout { budget, recovery }) => {
             assert_eq!(budget, 10_000);
-            assert_eq!(recovery, RecoveryStats::default(), "no traps before wedging");
+            assert_eq!(
+                recovery,
+                RecoveryStats::default(),
+                "no traps before wedging"
+            );
         }
         other => panic!("expected a watchdog timeout, got {other:?}"),
     }

@@ -33,7 +33,11 @@ fn cross_thread_frame_substitution_is_detected() {
     let frame_a = kernel.threads.interrupt_frame_addr(a);
     let frame_b = kernel.threads.interrupt_frame_addr(b);
     for slot in 0..trap::FRAME_SLOTS as u64 {
-        let block = kernel.machine().memory().read_u64(frame_a + 8 * slot).unwrap();
+        let block = kernel
+            .machine()
+            .memory()
+            .read_u64(frame_a + 8 * slot)
+            .unwrap();
         kernel
             .machine_mut()
             .memory_mut()
@@ -74,7 +78,13 @@ fn toctou_window_is_closed_by_cip() {
         // The attacker scans the interrupt frame for the secret.
         let mut found = false;
         for slot in 0..trap::FRAME_SLOTS as u64 {
-            if kernel.machine().memory().read_u64(frame + 8 * slot).unwrap() == secret {
+            if kernel
+                .machine()
+                .memory()
+                .read_u64(frame + 8 * slot)
+                .unwrap()
+                == secret
+            {
                 found = true;
             }
         }
@@ -94,7 +104,12 @@ fn toctou_window_is_closed_by_cip() {
 /// value.
 #[test]
 fn single_bit_corruption_never_silently_changes_credentials() {
-    for field in [CredField::Uid, CredField::Gid, CredField::Euid, CredField::Egid] {
+    for field in [
+        CredField::Uid,
+        CredField::Gid,
+        CredField::Euid,
+        CredField::Egid,
+    ] {
         for bit in (0..64).step_by(7) {
             let mut kernel = boot(ProtectionConfig::full());
             let cfg = kernel.protection();
@@ -110,7 +125,11 @@ fn single_bit_corruption_never_silently_changes_credentials() {
                 CredField::Euid => regvault_kernel::cred::EUID_OFFSET,
                 CredField::Egid => regvault_kernel::cred::EGID_OFFSET,
             };
-            let block = kernel.machine().memory().read_u64(addr + field_offset).unwrap();
+            let block = kernel
+                .machine()
+                .memory()
+                .read_u64(addr + field_offset)
+                .unwrap();
             kernel
                 .machine_mut()
                 .memory_mut()
@@ -146,11 +165,18 @@ fn baseline_accepts_most_corruptions_silently() {
             .memory_mut()
             .write_u64(addr, block ^ (1u64 << bit))
             .unwrap();
-        if creds.read(kernel.machine_mut(), &cfg, tid, CredField::Uid).unwrap() != 1000 {
+        if creds
+            .read(kernel.machine_mut(), &cfg, tid, CredField::Uid)
+            .unwrap()
+            != 1000
+        {
             silent_changes += 1;
         }
     }
-    assert_eq!(silent_changes, 32, "every uid bit flip sticks on the baseline");
+    assert_eq!(
+        silent_changes, 32,
+        "every uid bit flip sticks on the baseline"
+    );
 }
 
 /// Wrapped per-thread keys in `thread_info` never appear in memory in
@@ -217,9 +243,15 @@ fn cross_key_domain_substitution_fails() {
     );
 
     for block in [uid_block, forged] {
-        kernel.machine_mut().memory_mut().write_u64(slot, block).unwrap();
+        kernel
+            .machine_mut()
+            .memory_mut()
+            .write_u64(slot, block)
+            .unwrap();
         let fops = kernel.fs.file_ops;
-        let resolved = fops.resolve(kernel.machine_mut(), &cfg, FileOp::Read).unwrap();
+        let resolved = fops
+            .resolve(kernel.machine_mut(), &cfg, FileOp::Read)
+            .unwrap();
         assert!(
             !regvault_kernel::fs::handlers::ALL.contains(&resolved),
             "cross-key substitution produced a valid handler {resolved:#x}"

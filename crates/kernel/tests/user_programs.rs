@@ -250,7 +250,12 @@ fn signal_delivery_end_to_end() {
         let program = asm::assemble(source).unwrap();
         let entry = program.symbol("main").unwrap();
         let marker = kernel.run_user(program.bytes(), entry, 1_000_000).unwrap();
-        assert_eq!(marker, 77, "handler must run before resume ({})", cfg.label());
+        assert_eq!(
+            marker,
+            77,
+            "handler must run before resume ({})",
+            cfg.label()
+        );
     }
 }
 

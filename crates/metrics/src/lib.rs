@@ -241,7 +241,8 @@ impl MetricsRegistry {
             return Histogram(u32::try_from(i).expect("histogram index fits u32"));
         }
         let index = u32::try_from(self.histograms.len()).expect("histogram count fits u32");
-        self.histograms.push((name.to_owned(), HistogramData::default()));
+        self.histograms
+            .push((name.to_owned(), HistogramData::default()));
         Histogram(index)
     }
 

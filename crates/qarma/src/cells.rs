@@ -21,12 +21,7 @@ pub(crate) const H_INV: [usize; 16] = [4, 5, 6, 7, 11, 1, 0, 8, 12, 13, 14, 15, 
 
 /// The involutory matrix `M4,2 = circ(0, ρ¹, ρ², ρ¹)` as rotation exponents;
 /// a zero entry means the coefficient is zero (the term is dropped).
-pub(crate) const MIX: [[u32; 4]; 4] = [
-    [0, 1, 2, 1],
-    [1, 0, 1, 2],
-    [2, 1, 0, 1],
-    [1, 2, 1, 0],
-];
+pub(crate) const MIX: [[u32; 4]; 4] = [[0, 1, 2, 1], [1, 0, 1, 2], [2, 1, 0, 1], [1, 2, 1, 0]];
 
 /// Splits a 64-bit word into 16 cells (cell 0 = most significant nibble).
 pub(crate) fn to_cells(word: u64) -> Cells {

@@ -464,8 +464,14 @@ mod tests {
         for (sbox, rounds, _) in VECTORS {
             let fast = Qarma64::with_params(Key::new(W0, K0), sbox, rounds);
             let slow = Reference::with_params(Key::new(W0, K0), sbox, rounds);
-            assert_eq!(fast.encrypt(PLAINTEXT, TWEAK), slow.encrypt(PLAINTEXT, TWEAK));
-            assert_eq!(fast.decrypt(PLAINTEXT, TWEAK), slow.decrypt(PLAINTEXT, TWEAK));
+            assert_eq!(
+                fast.encrypt(PLAINTEXT, TWEAK),
+                slow.encrypt(PLAINTEXT, TWEAK)
+            );
+            assert_eq!(
+                fast.decrypt(PLAINTEXT, TWEAK),
+                slow.decrypt(PLAINTEXT, TWEAK)
+            );
         }
     }
 }

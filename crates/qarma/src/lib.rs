@@ -43,9 +43,11 @@ mod cipher;
 mod key;
 pub mod reference;
 mod tables;
+pub mod tweak;
 
 pub use cipher::{Qarma64, DEFAULT_ROUNDS};
 pub use key::Key;
+pub use tweak::fold_tweak;
 
 /// Selectable 4-bit S-box for the QARMA substitution layer.
 ///

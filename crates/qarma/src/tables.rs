@@ -107,10 +107,16 @@ pub(crate) fn tables() -> &'static Tables {
     TABLES.get_or_init(|| {
         Box::new(Tables {
             tau_mix: slice(|w| {
-                cells::from_cells(&cells::mix_columns(&cells::permute(&cells::to_cells(w), &TAU)))
+                cells::from_cells(&cells::mix_columns(&cells::permute(
+                    &cells::to_cells(w),
+                    &TAU,
+                )))
             }),
             mix_tau_inv: slice(|w| {
-                cells::from_cells(&cells::permute(&cells::mix_columns(&cells::to_cells(w)), &TAU_INV))
+                cells::from_cells(&cells::permute(
+                    &cells::mix_columns(&cells::to_cells(w)),
+                    &TAU_INV,
+                ))
             }),
             tweak_tau_mix: slice(|w| {
                 let stepped = cells::tweak_forward(w);

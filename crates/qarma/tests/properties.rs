@@ -5,11 +5,7 @@ use regvault_qarma::reference::Reference;
 use regvault_qarma::{Key, Qarma64, Sbox, DEFAULT_ROUNDS};
 
 fn any_sbox() -> impl Strategy<Value = Sbox> {
-    prop_oneof![
-        Just(Sbox::Sigma0),
-        Just(Sbox::Sigma1),
-        Just(Sbox::Sigma2),
-    ]
+    prop_oneof![Just(Sbox::Sigma0), Just(Sbox::Sigma1), Just(Sbox::Sigma2),]
 }
 
 proptest! {
@@ -143,9 +139,25 @@ fn published_vectors_hold_for_both_implementations() {
     for (sbox, rounds, ct) in VECTORS {
         let fast = Qarma64::with_params(key, sbox, rounds);
         let slow = Reference::with_params(key, sbox, rounds);
-        assert_eq!(fast.encrypt(PLAINTEXT, TWEAK), ct, "fast {sbox:?} r={rounds}");
-        assert_eq!(slow.encrypt(PLAINTEXT, TWEAK), ct, "slow {sbox:?} r={rounds}");
-        assert_eq!(fast.decrypt(ct, TWEAK), PLAINTEXT, "fast⁻¹ {sbox:?} r={rounds}");
-        assert_eq!(slow.decrypt(ct, TWEAK), PLAINTEXT, "slow⁻¹ {sbox:?} r={rounds}");
+        assert_eq!(
+            fast.encrypt(PLAINTEXT, TWEAK),
+            ct,
+            "fast {sbox:?} r={rounds}"
+        );
+        assert_eq!(
+            slow.encrypt(PLAINTEXT, TWEAK),
+            ct,
+            "slow {sbox:?} r={rounds}"
+        );
+        assert_eq!(
+            fast.decrypt(ct, TWEAK),
+            PLAINTEXT,
+            "fast⁻¹ {sbox:?} r={rounds}"
+        );
+        assert_eq!(
+            slow.decrypt(ct, TWEAK),
+            PLAINTEXT,
+            "slow⁻¹ {sbox:?} r={rounds}"
+        );
     }
 }

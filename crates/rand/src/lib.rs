@@ -186,10 +186,7 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        assert_ne!(
-            (a.next_u64(), a.next_u64()),
-            (b.next_u64(), b.next_u64())
-        );
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
     }
 
     #[test]

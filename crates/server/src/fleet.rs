@@ -331,9 +331,7 @@ fn boot_instance(seed: u64) -> Machine {
 /// schedule. Deterministic given (`cfg`, `index`, the warm snapshot).
 fn run_instance(index: usize, cfg: &FleetConfig, warm: &Snapshot) -> InstanceReport {
     let mut rng = StdRng::seed_from_u64(
-        cfg.seed
-            ^ FLEET_SEED_MIX
-            ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        cfg.seed ^ FLEET_SEED_MIX ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
     );
 
     let fork_start = Instant::now();
@@ -363,8 +361,7 @@ fn run_instance(index: usize, cfg: &FleetConfig, warm: &Snapshot) -> InstanceRep
         // covers (and zero-extends to) 32 bits; keep the payload clear of
         // the top nibble so `+ LOOP_ITERS` cannot carry past bit 31.
         let payload = rng.next_u64() & 0x0FFF_FFFF;
-        let killed = cfg.chaos_kill_interval > 0
-            && rng.gen_range(0..cfg.chaos_kill_interval) == 0;
+        let killed = cfg.chaos_kill_interval > 0 && rng.gen_range(0..cfg.chaos_kill_interval) == 0;
 
         // Open loop: the instance serves one request at a time, so an
         // arrival queues until the instance's virtual clock catches up.
@@ -385,7 +382,9 @@ fn run_instance(index: usize, cfg: &FleetConfig, warm: &Snapshot) -> InstanceRep
             // page and a key register. Under CoW this copies the page
             // privately — sibling instances and the warm image are
             // untouched, which the integrity check below proves.
-            let _ = machine.memory_mut().write_u64(TEXT_BASE, 0xDEAD_DEAD_DEAD_DEAD);
+            let _ = machine
+                .memory_mut()
+                .write_u64(TEXT_BASE, 0xDEAD_DEAD_DEAD_DEAD);
             let _ = machine.write_key_register(KeyReg::A, 0, 0);
 
             let penalty = if cfg.micro_restore {

@@ -115,6 +115,11 @@ pub struct ServeConfig {
     /// (fault-free runs) cannot tighten the deadline into shedding healthy
     /// traffic.
     pub deadline_floor: u64,
+    /// Enable nonce-diversified rekey on the supervised machine
+    /// ([`regvault_sim::MachineConfig::epoch_rekey`]) — the ciphertext
+    /// side-channel mitigation the leakage campaign A/B-tests over this
+    /// scenario.
+    pub epoch_rekey: bool,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +137,7 @@ impl Default for ServeConfig {
             micro_reboot: true,
             deadline_factor: 8,
             deadline_floor: 200_000,
+            epoch_rekey: false,
         }
     }
 }
@@ -366,7 +372,9 @@ impl Supervisor {
         let c_micro_mismatch = metrics.counter("serve_micro_reboot_mismatches");
         let h_latency = metrics.histogram("serve_latency_cycles");
         Ok(Self {
-            tenants: (0..cfg.tenants).map(|s| Tenant::new(s, &cfg.policy)).collect(),
+            tenants: (0..cfg.tenants)
+                .map(|s| Tenant::new(s, &cfg.policy))
+                .collect(),
             slots: vec![None; cfg.tenants],
             queues: (0..cfg.tenants).map(|_| VecDeque::new()).collect(),
             frontend_tid: kernel.current_tid(),
@@ -407,6 +415,7 @@ impl Supervisor {
         };
         // Distinct master key per boot generation, same determinism per seed.
         kcfg.machine.seed = cfg.seed ^ generation.rotate_left(17);
+        kcfg.machine.epoch_rekey = cfg.epoch_rekey;
         Kernel::boot(kcfg)
     }
 
@@ -419,6 +428,15 @@ impl Supervisor {
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// Mutable access to the supervised kernel — the pre-run
+    /// instrumentation hook (the leakage campaign installs its memory
+    /// oracle on the machine here). Note a cold restart mid-run boots a
+    /// fresh kernel and drops any installed tracer; fault-free runs keep
+    /// it for the whole scenario.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
     }
 
     // ---- provisioning ---------------------------------------------------
@@ -443,7 +461,9 @@ impl Supervisor {
             .machine_mut()
             .memory_mut()
             .write_slice(FRONT_SCRATCH, b"data");
-        let fd = self.kernel.dispatch(Sysno::Open as u64, [FRONT_SCRATCH, 4, 0])?;
+        let fd = self
+            .kernel
+            .dispatch(Sysno::Open as u64, [FRONT_SCRATCH, 4, 0])?;
         self.kernel
             .dispatch(Sysno::Write as u64, [fd, FRONT_SCRATCH + 0x40, 64])?;
         self.kernel.dispatch(Sysno::Close as u64, [fd, 0, 0])?;
@@ -461,15 +481,17 @@ impl Supervisor {
                 .machine_mut()
                 .memory_mut()
                 .write_slice(FRONT_SCRATCH, b"data");
-            let file_fd = self.kernel.dispatch(Sysno::Open as u64, [FRONT_SCRATCH, 4, 0])?;
+            let file_fd = self
+                .kernel
+                .dispatch(Sysno::Open as u64, [FRONT_SCRATCH, 4, 0])?;
             let material: Vec<u8> = (0..16).map(|i| (slot as u8) << 4 | i).collect();
             self.kernel
                 .machine_mut()
                 .memory_mut()
                 .write_slice(FRONT_SCRATCH + 0x20, &material);
-            let key_serial =
-                self.kernel
-                    .dispatch(Sysno::AddKey as u64, [FRONT_SCRATCH + 0x20, 0, 0])?;
+            let key_serial = self
+                .kernel
+                .dispatch(Sysno::AddKey as u64, [FRONT_SCRATCH + 0x20, 0, 0])?;
             let base = SCRATCH_BASE + slot as u64 * SLOT_STRIDE;
             self.slots[slot] = Some(SlotRes {
                 req_r: req >> 32,
@@ -623,7 +645,9 @@ impl Supervisor {
         let gap = half + self.fault_rng.gen_range(0..self.cfg.fault_interval.max(1));
         let at = self.kernel.machine().stats().instret + gap;
         let kind = self.pick_fault_kind();
-        self.kernel.machine_mut().set_fault_plan(FaultPlan::new().at(at, kind));
+        self.kernel
+            .machine_mut()
+            .set_fault_plan(FaultPlan::new().at(at, kind));
     }
 
     /// Counts fired faults and re-arms once the pending fault has landed.
@@ -714,8 +738,11 @@ impl Supervisor {
 
     fn shed_one(&mut self, slot: usize, breaker: bool) {
         self.metrics.inc(self.c_shed);
-        self.metrics
-            .inc(if breaker { self.c_shed_breaker } else { self.c_shed_queue });
+        self.metrics.inc(if breaker {
+            self.c_shed_breaker
+        } else {
+            self.c_shed_queue
+        });
         self.tenants[slot].shed = self.tenants[slot].shed.saturating_add(1);
     }
 
@@ -850,7 +877,12 @@ impl Supervisor {
             return Ok(false);
         }
         self.kernel.machine_mut().charge(InsnClass::Alu, PARSE_COST);
-        let Ok(bytes) = self.kernel.machine().memory().read_vec(res.in_addr, FRAME_LEN) else {
+        let Ok(bytes) = self
+            .kernel
+            .machine()
+            .memory()
+            .read_vec(res.in_addr, FRAME_LEN)
+        else {
             return Ok(false);
         };
         let resp = match Request::decode(&bytes) {
@@ -878,7 +910,9 @@ impl Supervisor {
                 value: 0,
             },
         };
-        self.kernel.machine_mut().charge(InsnClass::Alu, RESPOND_COST);
+        self.kernel
+            .machine_mut()
+            .charge(InsnClass::Alu, RESPOND_COST);
         self.kernel
             .machine_mut()
             .memory_mut()
@@ -900,7 +934,12 @@ impl Supervisor {
         if n != FRAME_LEN as u64 {
             return Ok(false);
         }
-        let Ok(bytes) = self.kernel.machine().memory().read_vec(FRONT_SCRATCH, FRAME_LEN) else {
+        let Ok(bytes) = self
+            .kernel
+            .machine()
+            .memory()
+            .read_vec(FRONT_SCRATCH, FRAME_LEN)
+        else {
             return Ok(false);
         };
         let Some(got) = Response::decode(&bytes) else {
@@ -923,7 +962,9 @@ impl Supervisor {
             }
             OpCode::Auth => {
                 let euid = self.kernel.dispatch(Sysno::Geteuid as u64, [0, 0, 0])?;
-                let allowed = self.kernel.dispatch(Sysno::SelinuxCheck as u64, [0, 0, 0])?;
+                let allowed = self
+                    .kernel
+                    .dispatch(Sysno::SelinuxCheck as u64, [0, 0, 0])?;
                 Ok(euid << 1 | allowed)
             }
             OpCode::FileRead => {
@@ -936,10 +977,8 @@ impl Supervisor {
             }
             OpCode::Crypt => {
                 let ct = res.in_addr + 0x40;
-                self.kernel.dispatch(
-                    Sysno::AesEncrypt as u64,
-                    [res.key_serial, res.in_addr, ct],
-                )?;
+                self.kernel
+                    .dispatch(Sysno::AesEncrypt as u64, [res.key_serial, res.in_addr, ct])?;
                 Ok(self.kernel.machine().memory().read_u64(ct).unwrap_or(0))
             }
         }
@@ -1070,8 +1109,7 @@ impl Supervisor {
             if now >= target {
                 return;
             }
-            let want = ((target - now).div_ceil(self.alu_cost))
-                .clamp(1, 50_000);
+            let want = ((target - now).div_ceil(self.alu_cost)).clamp(1, 50_000);
             self.kernel.machine_mut().charge(InsnClass::Alu, want);
         }
     }
@@ -1094,6 +1132,18 @@ impl Supervisor {
 
     /// Runs the scenario to completion and reports.
     pub fn run(mut self) -> ServeReport {
+        self.run_inner()
+    }
+
+    /// Like [`Supervisor::run`] but by reference, so instrumentation
+    /// installed through [`Supervisor::kernel_mut`] (a tracer, say) can be
+    /// recovered from the machine — along with its metrics — after the
+    /// scenario completes.
+    pub fn run_instrumented(&mut self) -> ServeReport {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> ServeReport {
         let start = self.now();
         let mut aborted = false;
         if self.provision(true).is_err() {
@@ -1107,11 +1157,7 @@ impl Supervisor {
 
         // Safety guard: generous bound on supervision-loop iterations so a
         // pathological schedule can never hang the bench harness.
-        let mut guard = self
-            .cfg
-            .requests
-            .saturating_mul(64)
-            .saturating_add(100_000);
+        let mut guard = self.cfg.requests.saturating_mul(64).saturating_add(100_000);
 
         while !aborted && !self.fatal {
             guard -= 1;
@@ -1219,7 +1265,10 @@ mod tests {
         });
         assert!(!report.aborted, "clean run must not abort");
         assert!(report.accounting_holds(), "identity: {report:?}");
-        assert_eq!(report.served, 200, "no faults, no load pressure: {report:?}");
+        assert_eq!(
+            report.served, 200,
+            "no faults, no load pressure: {report:?}"
+        );
         assert_eq!(report.failed, 0);
         assert_eq!(report.faults_injected, 0);
         assert_eq!(report.latency.count(), 200);
@@ -1253,10 +1302,7 @@ mod tests {
         });
         assert!(!report.aborted, "supervised run must finish: {report:?}");
         assert!(report.accounting_holds(), "identity: {report:?}");
-        assert!(
-            report.faults_injected > 0,
-            "injector must fire: {report:?}"
-        );
+        assert!(report.faults_injected > 0, "injector must fire: {report:?}");
         assert!(
             report.served > report.offered / 2,
             "healthy tenants must keep serving: {report:?}"

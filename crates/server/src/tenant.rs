@@ -264,7 +264,9 @@ mod tests {
         t.tid = Some(1);
         t.on_fault(&p, 1000);
         assert_eq!(t.tid, None);
-        assert!(matches!(t.state, TenantState::Restarting { until } if until == 1000 + p.backoff_base));
+        assert!(
+            matches!(t.state, TenantState::Restarting { until } if until == 1000 + p.backoff_base)
+        );
         assert!(!t.respawn_due(1000));
         assert!(t.respawn_due(1000 + p.backoff_base));
         t.on_respawned(&p, 5);
@@ -312,7 +314,10 @@ mod tests {
         t.on_respawned(&p, 1);
         t.on_fault(&p, 0);
         // Second fault while in probation opens the breaker instead.
-        assert!(matches!(t.state, TenantState::BreakerOpen { until: Some(_) }));
+        assert!(matches!(
+            t.state,
+            TenantState::BreakerOpen { until: Some(_) }
+        ));
         assert_eq!(first, p.backoff_base);
     }
 

@@ -109,7 +109,11 @@ impl NaiveClb {
         })?;
         self.touch(found);
         let entry = self.entries[found];
-        Some(if by_ct { entry.plaintext } else { entry.ciphertext })
+        Some(if by_ct {
+            entry.plaintext
+        } else {
+            entry.ciphertext
+        })
     }
 
     /// Returns `true` when a valid entry was evicted to make room.
@@ -297,11 +301,7 @@ impl Clb {
     /// Rebuilds the buffer from a snapshot: entries in LRU → MRU order plus
     /// the statistics counters captured with them. Preserves the
     /// implementation choice (indexed vs. reference) of `self`.
-    pub(crate) fn restore_entries(
-        &mut self,
-        entries: &[(u8, u64, u64, u64)],
-        stats: ClbStats,
-    ) {
+    pub(crate) fn restore_entries(&mut self, entries: &[(u8, u64, u64, u64)], stats: ClbStats) {
         *self = if self.naive.is_some() {
             Self::new_reference(self.capacity)
         } else {
@@ -574,7 +574,11 @@ mod tests {
         // Touch entry 1 through the *decrypt* index.
         assert_eq!(clb.lookup_decrypt(0, 0, 101), Some(1));
         clb.insert(0, 0, 3, 103);
-        assert_eq!(clb.lookup_encrypt(0, 0, 1), Some(101), "refreshed entry kept");
+        assert_eq!(
+            clb.lookup_encrypt(0, 0, 1),
+            Some(101),
+            "refreshed entry kept"
+        );
         assert_eq!(clb.lookup_encrypt(0, 0, 2), None, "stale entry evicted");
     }
 
@@ -598,7 +602,11 @@ mod tests {
         assert_eq!(clb.occupancy(), 1);
         clb.insert(3, 0, 30, 130);
         assert_eq!(clb.occupancy(), 2);
-        assert_eq!(clb.stats().evictions, 0, "reused the freed slot, no eviction");
+        assert_eq!(
+            clb.stats().evictions,
+            0,
+            "reused the freed slot, no eviction"
+        );
         assert_eq!(clb.lookup_encrypt(2, 0, 20), Some(120));
         assert_eq!(clb.lookup_encrypt(3, 0, 30), Some(130));
     }
@@ -634,7 +642,11 @@ mod tests {
         assert!(!clb.poison_mru(0), "zero xor is a no-op");
         assert!(clb.poison_mru(0xFF));
         assert_eq!(clb.lookup_decrypt(1, 0, 120), Some(20 ^ 0xFF));
-        assert_eq!(clb.lookup_decrypt(1, 0, 110), Some(10), "older entry untouched");
+        assert_eq!(
+            clb.lookup_decrypt(1, 0, 110),
+            Some(10),
+            "older entry untouched"
+        );
     }
 
     #[test]
@@ -642,7 +654,11 @@ mod tests {
         let mut clb = Clb::new(4);
         clb.insert(1, 0, 10, 110);
         assert!(clb.poison_mru(0xF0));
-        assert_eq!(clb.lookup_encrypt(1, 0, 10), None, "old plaintext unindexed");
+        assert_eq!(
+            clb.lookup_encrypt(1, 0, 10),
+            None,
+            "old plaintext unindexed"
+        );
         assert_eq!(clb.lookup_encrypt(1, 0, 10 ^ 0xF0), Some(110));
     }
 

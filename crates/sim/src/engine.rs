@@ -2,7 +2,7 @@
 
 use rand::{Rng, SeedableRng};
 use regvault_isa::{ByteRange, KeyReg};
-use regvault_qarma::{reference::Reference, Key, Qarma64};
+use regvault_qarma::{fold_tweak, reference::Reference, Key, Qarma64};
 
 use crate::clb::Clb;
 
@@ -192,6 +192,16 @@ pub struct CryptoEngine {
     /// pair it with the naive CLB). The lockstep differential executor
     /// co-runs one engine of each flavour.
     reference: bool,
+    /// Per-`ksel` rekey epoch folded into every tweak (ciphertext
+    /// side-channel mitigation). Epoch 0 — the reset state — is the
+    /// identity fold, so an engine that never issues an epoch behaves
+    /// bit-identically to one without the mitigation.
+    epochs: [u64; 8],
+    /// Global monotone nonce source for [`CryptoEngine::issue_epoch`].
+    /// Issued values are never reused: restores via
+    /// [`CryptoEngine::set_epoch`] rewind a slot's epoch but not the
+    /// counter, so the next issue is still fresh machine-wide.
+    nonce_ctr: u64,
 }
 
 impl CryptoEngine {
@@ -204,6 +214,8 @@ impl CryptoEngine {
             clb: Clb::new(clb_entries),
             ciphers: Default::default(),
             reference: false,
+            epochs: [0; 8],
+            nonce_ctr: 0,
         }
     }
 
@@ -219,6 +231,8 @@ impl CryptoEngine {
             clb: Clb::new_reference(clb_entries),
             ciphers: Default::default(),
             reference: true,
+            epochs: [0; 8],
+            nonce_ctr: 0,
         }
     }
 
@@ -270,6 +284,51 @@ impl CryptoEngine {
         self.clb.invalidate_ksel(key.ksel());
     }
 
+    /// Issues a fresh rekey epoch for `key` and returns it.
+    ///
+    /// Epochs come from a global monotone counter, so an issued value is
+    /// unique machine-wide and never reused — even across
+    /// [`CryptoEngine::set_epoch`] rewinds. CLB entries are *not*
+    /// invalidated: they are keyed by the effective (folded) tweak, so
+    /// entries created under older epochs remain valid mappings that the
+    /// matching [`CryptoEngine::set_epoch`] restore can hit again.
+    pub fn issue_epoch(&mut self, key: KeyReg) -> u64 {
+        self.nonce_ctr += 1;
+        self.epochs[key.ksel() as usize] = self.nonce_ctr;
+        self.nonce_ctr
+    }
+
+    /// Restores a previously issued epoch for `key` (e.g. on context-switch
+    /// restore, from the nonce the matching save parked in the frame).
+    /// Does not advance the global counter.
+    pub fn set_epoch(&mut self, key: KeyReg, epoch: u64) {
+        self.epochs[key.ksel() as usize] = epoch;
+    }
+
+    /// The current rekey epoch of `key` (0 = never rekeyed; identity fold).
+    #[must_use]
+    pub fn epoch(&self, key: KeyReg) -> u64 {
+        self.epochs[key.ksel() as usize]
+    }
+
+    /// The effective tweak `key`'s current epoch folds `tweak` into — the
+    /// value actually presented to the CLB and the cipher.
+    #[must_use]
+    pub fn effective_tweak(&self, key: KeyReg, tweak: u64) -> u64 {
+        fold_tweak(tweak, self.epochs[key.ksel() as usize])
+    }
+
+    /// All eight epochs plus the nonce counter (snapshot support).
+    pub(crate) fn epoch_state(&self) -> ([u64; 8], u64) {
+        (self.epochs, self.nonce_ctr)
+    }
+
+    /// Overwrites the epoch state (snapshot restore).
+    pub(crate) fn set_epoch_state(&mut self, epochs: [u64; 8], nonce_ctr: u64) {
+        self.epochs = epochs;
+        self.nonce_ctr = nonce_ctr;
+    }
+
     fn cipher(&mut self, key: KeyReg) -> &Qarma64 {
         let current = self.keys.key(key);
         let slot = &mut self.ciphers[key.ksel() as usize];
@@ -311,6 +370,7 @@ impl CryptoEngine {
     ) -> CryptoResult {
         let plaintext = value & range.mask();
         let ksel = key.ksel();
+        let tweak = fold_tweak(tweak, self.epochs[ksel as usize]);
         if let Some(ciphertext) = self.clb.lookup_encrypt(ksel, tweak, plaintext) {
             return CryptoResult {
                 value: ciphertext,
@@ -340,6 +400,7 @@ impl CryptoEngine {
         range: ByteRange,
     ) -> Result<CryptoResult, IntegrityError> {
         let ksel = key.ksel();
+        let tweak = fold_tweak(tweak, self.epochs[ksel as usize]);
         let (plaintext, clb_hit) = match self.clb.lookup_decrypt(ksel, tweak, ciphertext) {
             Some(pt) => (pt, true),
             None => {
@@ -364,8 +425,12 @@ mod tests {
 
     fn engine() -> CryptoEngine {
         let mut engine = CryptoEngine::new(8, 7);
-        engine.key_file_mut().set_key(KeyReg::A, Key::new(0x11, 0x22));
-        engine.key_file_mut().set_key(KeyReg::B, Key::new(0x33, 0x44));
+        engine
+            .key_file_mut()
+            .set_key(KeyReg::A, Key::new(0x11, 0x22));
+        engine
+            .key_file_mut()
+            .set_key(KeyReg::B, Key::new(0x33, 0x44));
         engine
     }
 
@@ -436,7 +501,9 @@ mod tests {
         let enc = engine.encrypt(KeyReg::A, 0, 0x5555, ByteRange::FULL);
         engine.write_key(KeyReg::A, Key::new(0x99, 0xAA));
         // Old ciphertext no longer decrypts to the old plaintext.
-        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        let dec = engine
+            .decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL)
+            .unwrap();
         assert!(!dec.clb_hit, "stale entry must be gone");
         assert_ne!(dec.value, 0x5555);
     }
@@ -456,12 +523,16 @@ mod tests {
         engine.key_file_mut().tamper(KeyReg::A.ksel(), 0x1, 0x2);
         // The stale CLB entry still serves the old mapping — the register
         // changed under the buffer's feet, exactly the hardware-fault case.
-        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        let dec = engine
+            .decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL)
+            .unwrap();
         assert!(dec.clb_hit);
         assert_eq!(dec.value, 0x77);
         // A fresh computation uses the tampered key and disagrees.
         engine.clb_mut().invalidate_all();
-        let dec = engine.decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL).unwrap();
+        let dec = engine
+            .decrypt(KeyReg::A, 0, enc.value, ByteRange::FULL)
+            .unwrap();
         assert_ne!(dec.value, 0x77);
     }
 
@@ -477,6 +548,74 @@ mod tests {
         assert_eq!(dog.remaining(), 0);
         dog.consume(u64::MAX); // saturates, no overflow panic
         assert!(dog.expired());
+    }
+
+    #[test]
+    fn epoch_zero_matches_unmitigated_ciphertexts() {
+        let mut plain = engine();
+        let mut epoch = engine();
+        // An engine that never issues an epoch is bit-identical.
+        assert_eq!(epoch.epoch(KeyReg::A), 0);
+        let a = plain.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::FULL);
+        let b = epoch.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::FULL);
+        assert_eq!(a.value, b.value);
+    }
+
+    #[test]
+    fn fresh_epoch_diversifies_ciphertexts() {
+        let mut engine = engine();
+        let before = engine.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::FULL);
+        let epoch = engine.issue_epoch(KeyReg::A);
+        assert_ne!(epoch, 0);
+        let after = engine.encrypt(KeyReg::A, 0x40, 0x1234, ByteRange::FULL);
+        assert_ne!(before.value, after.value, "same write, fresh epoch");
+        // The new ciphertext still round-trips under the live epoch.
+        let dec = engine
+            .decrypt(KeyReg::A, 0x40, after.value, ByteRange::FULL)
+            .unwrap();
+        assert_eq!(dec.value, 0x1234);
+    }
+
+    #[test]
+    fn set_epoch_restores_decryptability() {
+        let mut engine = engine();
+        let e1 = engine.issue_epoch(KeyReg::A);
+        let ct = engine.encrypt(KeyReg::A, 0x40, 0xBEEF, ByteRange::LOW32);
+        let e2 = engine.issue_epoch(KeyReg::A);
+        assert!(e2 > e1, "counter is monotone");
+        // Under the newer epoch the old ciphertext garbles / fails integrity.
+        assert!(engine
+            .decrypt(KeyReg::A, 0x40, ct.value, ByteRange::LOW32)
+            .is_err());
+        // Restoring the issuing epoch brings it back.
+        engine.set_epoch(KeyReg::A, e1);
+        let dec = engine
+            .decrypt(KeyReg::A, 0x40, ct.value, ByteRange::LOW32)
+            .unwrap();
+        assert_eq!(dec.value, 0xBEEF);
+    }
+
+    #[test]
+    fn issue_epoch_never_reuses_a_nonce_across_rewinds() {
+        let mut engine = engine();
+        let e1 = engine.issue_epoch(KeyReg::A);
+        engine.set_epoch(KeyReg::A, 0); // rewind the slot...
+        let e2 = engine.issue_epoch(KeyReg::A);
+        assert!(e2 > e1, "...but the global counter never rewinds");
+    }
+
+    #[test]
+    fn epochs_are_per_ksel() {
+        let mut engine = engine();
+        engine.issue_epoch(KeyReg::A);
+        assert_eq!(engine.epoch(KeyReg::B), 0, "other slots untouched");
+        let with_b = engine.encrypt(KeyReg::B, 0, 0x77, ByteRange::FULL);
+        let mut fresh = CryptoEngine::new(8, 7);
+        fresh
+            .key_file_mut()
+            .set_key(KeyReg::B, Key::new(0x33, 0x44));
+        let baseline = fresh.encrypt(KeyReg::B, 0, 0x77, ByteRange::FULL);
+        assert_eq!(with_b.value, baseline.value);
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl fmt::Display for SimError {
                 write!(f, "step limit of {limit} instructions exceeded")
             }
             SimError::UnhandledException { cause, pc, tval } => {
-                write!(f, "unhandled exception `{cause}` at pc {pc:#x} (tval {tval:#x})")
+                write!(
+                    f,
+                    "unhandled exception `{cause}` at pc {pc:#x} (tval {tval:#x})"
+                )
             }
             SimError::PrivilegeViolation(message) => write!(f, "privilege violation: {message}"),
             SimError::Timeout { budget } => {

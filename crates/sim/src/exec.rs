@@ -54,7 +54,12 @@ pub(crate) fn raise(machine: &mut Machine, cause: ExceptionCause, tval: u64) -> 
     Event::Exception { cause, tval }
 }
 
-pub(crate) fn retire(machine: &mut Machine, class: InsnClass, branch_taken: bool, crypto_hit: bool) {
+pub(crate) fn retire(
+    machine: &mut Machine,
+    class: InsnClass,
+    branch_taken: bool,
+    crypto_hit: bool,
+) {
     let cycles = machine.cost.cycles(class, branch_taken, crypto_hit);
     machine.stats.retire(class, cycles);
 }
@@ -81,11 +86,7 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
             retire(machine, InsnClass::Jump, true, false);
         }
         Insn::Jalr { rd, rs1, offset } => {
-            let target = machine
-                .hart
-                .reg(rs1)
-                .wrapping_add(offset as i64 as u64)
-                & !1;
+            let target = machine.hart.reg(rs1).wrapping_add(offset as i64 as u64) & !1;
             machine.hart.set_reg(rd, next_pc);
             machine.hart.set_pc(target);
             retire(machine, InsnClass::Jump, true, false);
@@ -162,6 +163,18 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
             if let Err(cause) = result {
                 return Some(raise(machine, cause, addr));
             }
+            machine.emit_trace(|| {
+                let stored = match width {
+                    MemWidth::Byte => value & 0xFF,
+                    MemWidth::Half => value & 0xFFFF,
+                    MemWidth::Word => value & 0xFFFF_FFFF,
+                    MemWidth::Double => value,
+                };
+                crate::trace::TraceEvent::MemStore {
+                    addr,
+                    value: stored,
+                }
+            });
             machine.hart.set_pc(next_pc);
             retire(machine, InsnClass::Store, false, false);
         }
@@ -203,7 +216,8 @@ fn execute(machine: &mut Machine, insn: Insn, pc: u64) -> Option<Event> {
         }
         Insn::Csr { op, rd, rs1, csr } => {
             let operand = machine.hart.reg(rs1);
-            let wants_write = !(matches!(op, CsrOp::ReadSet | CsrOp::ReadClear) && rs1 == Reg::Zero);
+            let wants_write =
+                !(matches!(op, CsrOp::ReadSet | CsrOp::ReadClear) && rs1 == Reg::Zero);
             return csr_access(machine, op, rd, operand, csr, wants_write, next_pc);
         }
         Insn::CsrImm { op, rd, uimm, csr } => {
@@ -457,7 +471,10 @@ mod tests {
     fn alu64_division_edge_cases() {
         assert_eq!(alu64(AluOp::Div, 7, 0), u64::MAX);
         assert_eq!(alu64(AluOp::Rem, 7, 0), 7);
-        assert_eq!(alu64(AluOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(
+            alu64(AluOp::Div, i64::MIN as u64, -1i64 as u64),
+            i64::MIN as u64
+        );
         assert_eq!(alu64(AluOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
     }
 

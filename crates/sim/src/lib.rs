@@ -66,8 +66,8 @@ mod error;
 mod exec;
 mod fault;
 mod fxhash;
-mod icache;
 mod hart;
+mod icache;
 mod lockstep;
 mod machine;
 mod mem;

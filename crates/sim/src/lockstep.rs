@@ -74,10 +74,7 @@ pub fn arch_divergence(fast: &Machine, reference: &Machine) -> Option<String> {
     }
     let (fr, rr) = (fast.hart().regs(), reference.hart().regs());
     if let Some(i) = (0..32).find(|&i| fr[i] != rr[i]) {
-        return Some(format!(
-            "x{i}: fast={:#x} reference={:#x}",
-            fr[i], rr[i]
-        ));
+        return Some(format!("x{i}: fast={:#x} reference={:#x}", fr[i], rr[i]));
     }
     {
         let fc: Vec<_> = fast.hart().csr_entries().collect();
@@ -143,7 +140,11 @@ pub fn arch_divergence(fast: &Machine, reference: &Machine) -> Option<String> {
         ("instret", fs.instret, rs.instret),
         ("encrypts", fs.encrypts, rs.encrypts),
         ("decrypts", fs.decrypts, rs.decrypts),
-        ("integrity_failures", fs.integrity_failures, rs.integrity_failures),
+        (
+            "integrity_failures",
+            fs.integrity_failures,
+            rs.integrity_failures,
+        ),
         ("exceptions", fs.exceptions, rs.exceptions),
         ("timer_interrupts", fs.timer_interrupts, rs.timer_interrupts),
     ] {
@@ -179,7 +180,14 @@ pub fn run_lockstep(
     loop {
         if step >= max_steps {
             if fast.arch_digest() != reference.arch_digest() {
-                return bisect(fast, reference, &ckpt_fast, &ckpt_reference, ckpt_step, step);
+                return bisect(
+                    fast,
+                    reference,
+                    &ckpt_fast,
+                    &ckpt_reference,
+                    ckpt_step,
+                    step,
+                );
             }
             return LockstepOutcome {
                 steps: step,
@@ -196,14 +204,18 @@ pub fn run_lockstep(
         if fast_text != reference_text {
             // The visible outcomes differ at this step; an earlier silent
             // state divergence may have caused it, so bisect the window.
-            let mut outcome =
-                bisect(fast, reference, &ckpt_fast, &ckpt_reference, ckpt_step, step);
+            let mut outcome = bisect(
+                fast,
+                reference,
+                &ckpt_fast,
+                &ckpt_reference,
+                ckpt_step,
+                step,
+            );
             if outcome.divergence.is_none() {
                 outcome.divergence = Some(Divergence {
                     step,
-                    detail: format!(
-                        "step outcome: fast={fast_text} reference={reference_text}"
-                    ),
+                    detail: format!("step outcome: fast={fast_text} reference={reference_text}"),
                 });
                 outcome.steps = step;
             }
@@ -213,7 +225,14 @@ pub fn run_lockstep(
         let terminal = !matches!(fast_result, Ok(None));
         if terminal || step.is_multiple_of(interval) {
             if fast.arch_digest() != reference.arch_digest() {
-                return bisect(fast, reference, &ckpt_fast, &ckpt_reference, ckpt_step, step);
+                return bisect(
+                    fast,
+                    reference,
+                    &ckpt_fast,
+                    &ckpt_reference,
+                    ckpt_step,
+                    step,
+                );
             }
             if terminal {
                 return LockstepOutcome {
@@ -255,9 +274,7 @@ fn bisect(
                 steps: step,
                 divergence: Some(Divergence {
                     step,
-                    detail: format!(
-                        "step outcome: fast={fast_text} reference={reference_text}"
-                    ),
+                    detail: format!("step outcome: fast={fast_text} reference={reference_text}"),
                 }),
             };
         }
@@ -361,7 +378,10 @@ pub fn run_tiered_lockstep(
             if interp_text != expected_text {
                 let at = step + k + 1;
                 let context = if consumed > 1 {
-                    format!(" (inside superblock at {entry_pc:#x}, insn {} of {consumed})", k + 1)
+                    format!(
+                        " (inside superblock at {entry_pc:#x}, insn {} of {consumed})",
+                        k + 1
+                    )
                 } else {
                     String::new()
                 };
@@ -555,7 +575,10 @@ loop:    addi a0, s1, 0x100
         // Ground truth: run a second pair manually and find the first step
         // where the tampered fast machine's digest separates.
         let (mut truth_fast, mut truth_reference) = pair(CRYPTO_LOOP);
-        truth_fast.engine_mut().key_file_mut().tamper(KeyReg::B.ksel(), 0x4, 0);
+        truth_fast
+            .engine_mut()
+            .key_file_mut()
+            .tamper(KeyReg::B.ksel(), 0x4, 0);
         let mut expected_step = None;
         for step in 1..10_000u64 {
             let a = truth_fast.step();
@@ -574,7 +597,9 @@ loop:    addi a0, s1, 0x100
         let expected_step = expected_step.expect("tamper must diverge");
 
         let (mut fast, mut reference) = pair(CRYPTO_LOOP);
-        fast.engine_mut().key_file_mut().tamper(KeyReg::B.ksel(), 0x4, 0);
+        fast.engine_mut()
+            .key_file_mut()
+            .tamper(KeyReg::B.ksel(), 0x4, 0);
         let outcome = run_lockstep(&mut fast, &mut reference, 10_000, 64);
         let divergence = outcome.divergence.expect("must diverge");
         assert_eq!(divergence.step, expected_step);

@@ -53,6 +53,14 @@ pub struct MachineConfig {
     /// boundary lands inside it. Disable to force pure single-stepping
     /// (the reference semantics for differential testing).
     pub superblock_tier: bool,
+    /// Nonce-diversified rekey (ciphertext side-channel mitigation, off by
+    /// default): privileged software may issue fresh per-`ksel` rekey
+    /// epochs that the engine folds into every tweak, so re-encrypting the
+    /// same plaintext at the same address yields an unlinkable ciphertext.
+    /// With the knob off no epoch is ever issued and every ciphertext is
+    /// bit-identical to a build without the mitigation (epoch 0 is the
+    /// identity fold).
+    pub epoch_rekey: bool,
 }
 
 impl Default for MachineConfig {
@@ -64,6 +72,7 @@ impl Default for MachineConfig {
             timer_interval: None,
             reference_datapath: false,
             superblock_tier: true,
+            epoch_rekey: false,
         }
     }
 }
@@ -122,6 +131,11 @@ pub struct Machine {
     pub(crate) sb: SuperblockCache,
     /// Master switch for the tier ([`MachineConfig::superblock_tier`]).
     pub(crate) sb_enabled: bool,
+    /// Master switch for nonce-diversified rekey
+    /// ([`MachineConfig::epoch_rekey`]). Gates the kernel-facing epoch
+    /// wrappers; the engine's fold itself is unconditional (epoch 0 is the
+    /// identity).
+    pub(crate) epoch_rekey: bool,
     /// `true` when the current pc was reached by a control transfer (or an
     /// event), i.e. it is a block boundary worth profiling. Purely a
     /// profiling heuristic — entering a cached block is correct from any
@@ -150,6 +164,8 @@ pub(crate) struct SimCounters {
     pub(crate) key_invalidations: Counter,
     /// QARMA block computations by key selector (`m`, `a`..`g`).
     pub(crate) qarma_ops: [Counter; 8],
+    /// Fresh rekey epochs issued ([`Machine::issue_key_epoch`]).
+    pub(crate) epoch_rekeys: Counter,
 }
 
 impl SimCounters {
@@ -162,6 +178,7 @@ impl SimCounters {
                 let key = KeyReg::from_ksel(ksel as u8).expect("ksel < 8");
                 metrics.counter(&format!("qarma_ops_ksel_{}", key.name()))
             }),
+            epoch_rekeys: metrics.counter("epoch_rekeys"),
         }
     }
 }
@@ -196,6 +213,7 @@ impl Machine {
             sb: SuperblockCache::default(),
             sb_enabled: config.superblock_tier,
             sb_boundary: true,
+            epoch_rekey: config.epoch_rekey,
         }
     }
 
@@ -416,6 +434,28 @@ impl Machine {
         self.emit_trace(|| TraceEvent::ClbInvalidate { ksel: key.ksel() });
     }
 
+    /// `true` when nonce-diversified rekey is enabled
+    /// ([`MachineConfig::epoch_rekey`]). The kernel consults this before
+    /// issuing epochs so a machine with the knob off never leaves epoch 0.
+    #[must_use]
+    pub fn epoch_rekey(&self) -> bool {
+        self.epoch_rekey
+    }
+
+    /// Issues a fresh rekey epoch for `key` and returns it, counting the
+    /// rekey in the `epoch_rekeys` metric. See
+    /// [`CryptoEngine::issue_epoch`].
+    pub fn issue_key_epoch(&mut self, key: KeyReg) -> u64 {
+        self.metrics.inc(self.hot.epoch_rekeys);
+        self.engine.issue_epoch(key)
+    }
+
+    /// Restores a previously issued rekey epoch for `key` (context-switch
+    /// restore path). See [`CryptoEngine::set_epoch`].
+    pub fn set_key_epoch(&mut self, key: KeyReg, epoch: u64) {
+        self.engine.set_epoch(key, epoch);
+    }
+
     /// Central encrypt datapath: runs the engine, maintains the hot
     /// counters, and emits CLB/QARMA trace events when tracing is on. Both
     /// the guest `cre` executor and [`Machine::kernel_encrypt`] route
@@ -449,9 +489,11 @@ impl Machine {
                     ksel,
                     decrypt: false,
                 });
+                // Report the effective (epoch-folded) tweak — the value the
+                // cipher actually consumed.
                 self.trace_emit(TraceEvent::QarmaOp {
                     ksel,
-                    tweak,
+                    tweak: self.engine.effective_tweak(key, tweak),
                     decrypt: false,
                 });
                 if self.engine.clb().stats().evictions > evictions_before {
@@ -496,7 +538,7 @@ impl Machine {
                 });
                 self.trace_emit(TraceEvent::QarmaOp {
                     ksel,
-                    tweak,
+                    tweak: self.engine.effective_tweak(key, tweak),
                     decrypt: true,
                 });
                 if self.engine.clb().stats().evictions > before.evictions {
@@ -915,6 +957,7 @@ impl Machine {
     pub fn kernel_store_u64(&mut self, addr: u64, value: u64) -> Result<(), ExceptionCause> {
         self.poll_faults();
         self.mem.write_u64(addr, value)?;
+        self.emit_trace(|| TraceEvent::MemStore { addr, value });
         self.charge(InsnClass::Store, 1);
         Ok(())
     }
@@ -925,10 +968,7 @@ impl Machine {
     /// with this machine's seed and timer configuration. Replaces any
     /// in-progress recording.
     pub fn start_recording(&mut self) {
-        self.recorder = Some(crate::replay::EventLog::new(
-            self.seed,
-            self.timer_interval,
-        ));
+        self.recorder = Some(crate::replay::EventLog::new(self.seed, self.timer_interval));
     }
 
     /// Stops recording and returns the accumulated log, if any.

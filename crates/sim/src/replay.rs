@@ -386,10 +386,9 @@ mod tests {
         let events: Vec<LoggedEvent> = (0..64).map(event).collect();
         let a = event(3);
         let b = event(60);
-        let minimal =
-            shrink_events(&events, |candidate| {
-                candidate.contains(&a) && candidate.contains(&b)
-            });
+        let minimal = shrink_events(&events, |candidate| {
+            candidate.contains(&a) && candidate.contains(&b)
+        });
         assert_eq!(minimal, vec![a, b]);
     }
 

@@ -25,9 +25,7 @@
 use crate::clb::ClbStats;
 use crate::cost::CostModel;
 use crate::engine::{CryptoEngine, Watchdog};
-use crate::fault::{
-    AppliedFault, FaultEffect, FaultKind, FaultPlan, FaultSpec, FaultTrigger,
-};
+use crate::fault::{AppliedFault, FaultEffect, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 use crate::hart::Privilege;
 use crate::machine::Machine;
 use crate::mem::{PageData, PAGE_BYTES};
@@ -36,7 +34,11 @@ use regvault_qarma::Key;
 use std::sync::Arc;
 
 const MAGIC: [u8; 4] = *b"RVSP";
-const VERSION: u16 = 1;
+/// Version 2 added the crypto-engine rekey-epoch state (per-`ksel` epochs,
+/// the global nonce counter, and the `epoch_rekey` machine knob) after the
+/// key registers. Version-1 streams still decode: they predate the
+/// mitigation, so every epoch is 0 (the identity fold) and the knob is off.
+const VERSION: u16 = 2;
 
 /// FNV-1a 64-bit running hash — the checksum and digest primitive. Not
 /// cryptographic; it guards against corruption and drift, not adversaries.
@@ -179,6 +181,9 @@ pub struct Snapshot {
     pub(crate) privilege: Privilege,
     pub(crate) csrs: Vec<(u16, u64)>,
     pub(crate) keys: [(u64, u64); 8],
+    pub(crate) epochs: [u64; 8],
+    pub(crate) nonce_ctr: u64,
+    pub(crate) epoch_rekey: bool,
     pub(crate) clb_capacity: usize,
     pub(crate) clb_entries: Vec<(u8, u64, u64, u64)>,
     pub(crate) clb_stats: ClbStats,
@@ -223,6 +228,49 @@ impl Snapshot {
     #[must_use]
     pub fn page_count(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Every aligned 64-bit word whose value differs between `base` and
+    /// `self`, as `(address, new_value)` pairs in address order.
+    ///
+    /// This is the *memory-bus observation primitive* of the ciphertext
+    /// side-channel oracle: an attacker who can image memory before and
+    /// after a victim interval (cold-boot, DMA, a malicious hypervisor
+    /// diffing guest snapshots) sees exactly these words — ciphertext
+    /// included — without any simulator instrumentation. Pages still
+    /// physically shared with the base (`Arc` pointer equality) are skipped
+    /// without touching their bytes, so diffing forked fleets stays cheap.
+    ///
+    /// Pages present only in `self` are diffed against zeroes (fresh
+    /// mappings started zeroed); pages present only in `base` are ignored
+    /// (the machine never unmaps).
+    #[must_use]
+    pub fn changed_words(&self, base: &Snapshot) -> Vec<(u64, u64)> {
+        const ZERO_PAGE: [u8; PAGE_BYTES] = [0; PAGE_BYTES];
+        let mut out = Vec::new();
+        for (no, _gen, data) in &self.pages {
+            let base_page: &[u8] = match base.pages.binary_search_by_key(no, |p| p.0) {
+                Ok(i) => {
+                    if Arc::ptr_eq(&base.pages[i].2, data) {
+                        continue;
+                    }
+                    &base.pages[i].2[..]
+                }
+                Err(_) => &ZERO_PAGE,
+            };
+            let page_base = no * PAGE_BYTES as u64;
+            for (offset, (new, old)) in data
+                .chunks_exact(8)
+                .zip(base_page.chunks_exact(8))
+                .enumerate()
+            {
+                if new != old {
+                    let word = u64::from_le_bytes(new.try_into().expect("8-byte chunk"));
+                    out.push((page_base + (offset * 8) as u64, word));
+                }
+            }
+        }
+        out
     }
 
     /// Merges a delta snapshot onto the full base it was captured against,
@@ -284,6 +332,11 @@ impl Snapshot {
             put_u64(&mut out, w0);
             put_u64(&mut out, k0);
         }
+        for &epoch in &self.epochs {
+            put_u64(&mut out, epoch);
+        }
+        put_u64(&mut out, self.nonce_ctr);
+        out.push(u8::from(self.epoch_rekey));
         put_u32(&mut out, self.clb_capacity as u32);
         put_u64(&mut out, self.clb_stats.hits);
         put_u64(&mut out, self.clb_stats.misses);
@@ -379,7 +432,7 @@ impl Snapshot {
             return Err(SnapshotError::BadMagic);
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != VERSION {
+        if version != 1 && version != VERSION {
             return Err(SnapshotError::BadVersion(version));
         }
         let (payload, tail) = bytes.split_at(bytes.len() - 8);
@@ -418,6 +471,20 @@ impl Snapshot {
         let mut keys = [(0u64, 0u64); 8];
         for key in &mut keys {
             *key = (r.u64()?, r.u64()?);
+        }
+        let mut epochs = [0u64; 8];
+        let mut nonce_ctr = 0u64;
+        let mut epoch_rekey = false;
+        if version >= 2 {
+            for epoch in &mut epochs {
+                *epoch = r.u64()?;
+            }
+            nonce_ctr = r.u64()?;
+            epoch_rekey = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(SnapshotError::BadEncoding("epoch-rekey flag")),
+            };
         }
         let clb_capacity = r.u32()? as usize;
         let clb_stats = ClbStats {
@@ -519,6 +586,9 @@ impl Snapshot {
             privilege,
             csrs,
             keys,
+            epochs,
+            nonce_ctr,
+            epoch_rekey,
             clb_capacity,
             clb_entries,
             clb_stats,
@@ -636,7 +706,10 @@ impl<'a> Reader<'a> {
                 addr: f0,
                 bit: (f1 % 64) as u8,
             },
-            1 => FaultKind::MemWrite { addr: f0, value: f1 },
+            1 => FaultKind::MemWrite {
+                addr: f0,
+                value: f1,
+            },
             2 => FaultKind::MemSwap { a: f0, b: f1 },
             3 => FaultKind::KeyTamper {
                 ksel: (f0 % 256) as u8,
@@ -666,6 +739,7 @@ impl Machine {
 
     fn snapshot_inner(&self, base: Option<&Snapshot>) -> Snapshot {
         let keys = self.engine.key_file().raw_keys();
+        let (epochs, nonce_ctr) = self.engine.epoch_state();
         let clb = self.engine.clb();
         let pages = self.mem.page_entries();
         // Capture shares the machine's pages (Arc clone, no copy); the
@@ -706,6 +780,9 @@ impl Machine {
             privilege: self.hart.privilege(),
             csrs: self.hart.csr_entries().collect(),
             keys: keys.map(|k| (k.w0(), k.k0())),
+            epochs,
+            nonce_ctr,
+            epoch_rekey: self.epoch_rekey,
             clb_capacity: clb.capacity(),
             clb_entries: clb.entries_lru_to_mru(),
             clb_stats: clb.stats(),
@@ -774,6 +851,9 @@ impl Machine {
         let keys = snapshot.keys.map(|(w0, k0)| Key::new(w0, k0));
         self.engine.key_file_mut().set_raw_keys(keys);
         self.engine
+            .set_epoch_state(snapshot.epochs, snapshot.nonce_ctr);
+        self.epoch_rekey = snapshot.epoch_rekey;
+        self.engine
             .clb_mut()
             .restore_entries(&snapshot.clb_entries, snapshot.clb_stats);
         self.cost = snapshot.cost;
@@ -807,6 +887,7 @@ impl Machine {
             seed: snapshot.seed,
             timer_interval: snapshot.timer_interval,
             reference_datapath: snapshot.reference_datapath,
+            epoch_rekey: snapshot.epoch_rekey,
             ..crate::machine::MachineConfig::default()
         });
         machine.restore(snapshot)?;
@@ -845,12 +926,12 @@ impl Machine {
         let entries = self.mem.page_entries();
         entries
             .iter()
-            .filter(|&&(no, _, data)| {
-                match base.pages.binary_search_by_key(&no, |p| p.0) {
+            .filter(
+                |&&(no, _, data)| match base.pages.binary_search_by_key(&no, |p| p.0) {
                     Ok(i) => !Arc::ptr_eq(&base.pages[i].2, data),
                     Err(_) => true,
-                }
-            })
+                },
+            )
             .count()
     }
 
@@ -883,6 +964,15 @@ impl Machine {
             h.write_u64(key.w0());
             h.write_u64(key.k0());
         }
+        // Rekey epochs are architectural: they change which effective tweak
+        // every subsequent cre/crd uses, so two machines can only claim the
+        // same history if their epoch state agrees. Always-zero on machines
+        // without the mitigation, so digests stay comparable there.
+        let (epochs, nonce_ctr) = self.engine.epoch_state();
+        for epoch in epochs {
+            h.write_u64(epoch);
+        }
+        h.write_u64(nonce_ctr);
         for (ksel, tweak, pt, ct) in self.engine.clb().entries_lru_to_mru() {
             h.write(&[ksel]);
             h.write_u64(tweak);
@@ -989,7 +1079,10 @@ mod tests {
         );
         let mut bad_magic = bytes.clone();
         bad_magic[0] = b'X';
-        assert_eq!(Snapshot::from_bytes(&bad_magic), Err(SnapshotError::BadMagic));
+        assert_eq!(
+            Snapshot::from_bytes(&bad_magic),
+            Err(SnapshotError::BadMagic)
+        );
         let mut bad_version = bytes.clone();
         bad_version[4] = 0x7F;
         assert!(matches!(
@@ -1014,6 +1107,80 @@ mod tests {
             Machine::from_snapshot(&rebased).unwrap().arch_digest(),
             machine.arch_digest()
         );
+    }
+
+    #[test]
+    fn epoch_state_round_trips_through_snapshots() {
+        let mut machine = Machine::new(MachineConfig {
+            epoch_rekey: true,
+            ..MachineConfig::default()
+        });
+        machine.write_key_register(KeyReg::C, 0x1, 0x2).unwrap();
+        let e1 = machine.issue_key_epoch(KeyReg::C);
+        machine.issue_key_epoch(KeyReg::D);
+        machine.set_key_epoch(KeyReg::C, e1);
+        let snap = machine.snapshot();
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(snap, decoded);
+        let restored = Machine::from_snapshot(&decoded).unwrap();
+        assert!(restored.epoch_rekey());
+        assert_eq!(
+            restored.engine().epoch(KeyReg::C),
+            machine.engine().epoch(KeyReg::C)
+        );
+        assert_eq!(machine.arch_digest(), restored.arch_digest());
+        // Epochs are architectural: advancing one changes the digest.
+        let before = machine.arch_digest();
+        machine.issue_key_epoch(KeyReg::C);
+        assert_ne!(machine.arch_digest(), before);
+    }
+
+    #[test]
+    fn version_1_streams_decode_with_zero_epochs() {
+        let machine = busy_machine();
+        let snap = machine.snapshot();
+        let bytes = snap.to_bytes();
+        // Splice the epoch block (8 epochs + nonce counter + knob byte =
+        // 73 bytes, located right after the 128-byte key block) out of the
+        // v2 stream, patch the version to 1, and re-checksum — yielding
+        // exactly what a v1 build would have written.
+        let csr_count_at = 6 + 1 + 1 + 8 + 32 * 8 + 8 + 1;
+        let csr_count =
+            u32::from_le_bytes(bytes[csr_count_at..csr_count_at + 4].try_into().unwrap()) as usize;
+        let epochs_at = csr_count_at + 4 + csr_count * 10 + 128;
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&bytes[..epochs_at]);
+        v1.extend_from_slice(&bytes[epochs_at + 73..bytes.len() - 8]);
+        v1[4] = 1;
+        v1[5] = 0;
+        let checksum = fnv64(&v1);
+        v1.extend_from_slice(&checksum.to_le_bytes());
+        let decoded = Snapshot::from_bytes(&v1).unwrap();
+        assert_eq!(decoded.epochs, [0; 8]);
+        assert_eq!(decoded.nonce_ctr, 0);
+        assert!(!decoded.epoch_rekey);
+        assert_eq!(decoded.regs, snap.regs);
+        assert_eq!(decoded.pages.len(), snap.pages.len());
+    }
+
+    #[test]
+    fn changed_words_sees_exactly_the_stores() {
+        let mut machine = busy_machine();
+        let base = machine.snapshot();
+        machine.memory_mut().write_u64(0x9100, 0xAAAA).unwrap();
+        machine.memory_mut().write_u64(0xA008, 0xBBBB).unwrap();
+        let after = machine.snapshot();
+        let diff = after.changed_words(&base);
+        assert!(diff.contains(&(0x9100, 0xAAAA)));
+        assert!(diff.contains(&(0xA008, 0xBBBB)));
+        // Nothing else on the 0x9000 page changed.
+        assert_eq!(
+            diff.iter()
+                .filter(|(a, _)| (0x9000..0xA000).contains(a))
+                .count(),
+            1
+        );
+        assert!(after.changed_words(&after).is_empty());
     }
 
     #[test]

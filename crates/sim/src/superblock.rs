@@ -81,9 +81,19 @@ pub(crate) enum SbOp {
     /// a trace).
     Const { rd: Reg, value: u64 },
     /// 64-bit ALU with immediate.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: u64 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: u64,
+    },
     /// 32-bit ALU with immediate (W-form validity checked at build time).
-    OpImmW { op: AluOp, rd: Reg, rs1: Reg, imm: u64 },
+    OpImmW {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: u64,
+    },
     /// 64-bit register-register ALU; `class` pre-resolves Mul/Div costing.
     Op {
         op: AluOp,
@@ -371,7 +381,11 @@ impl SuperblockCache {
 
     /// Installs a freshly built block (or records that `pc` can't be
     /// translated, so the build is never retried).
-    pub(crate) fn install(&mut self, pc: u64, block: Option<Superblock>) -> Option<Arc<Superblock>> {
+    pub(crate) fn install(
+        &mut self,
+        pc: u64,
+        block: Option<Superblock>,
+    ) -> Option<Arc<Superblock>> {
         match block {
             Some(block) => {
                 self.slot_set(pc, BUILT);

@@ -132,6 +132,17 @@ pub enum TraceEvent {
         /// Incoming thread id.
         to: u32,
     },
+    /// A value was stored to memory (guest store or kernel-modelled store).
+    ///
+    /// This is the memory-bus observation point of the ciphertext
+    /// side-channel oracle: an attacker with physical/DMA access sees
+    /// exactly these (address, raw word) pairs, ciphertext included.
+    MemStore {
+        /// Store target address.
+        addr: u64,
+        /// The raw stored value (truncated to the store width).
+        value: u64,
+    },
 }
 
 impl TraceEvent {
@@ -151,6 +162,7 @@ impl TraceEvent {
             TraceEvent::TrapExit { .. } => "trap_exit",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::ContextSwitch { .. } => "context_switch",
+            TraceEvent::MemStore { .. } => "mem_store",
         }
     }
 }
@@ -194,6 +206,9 @@ impl TraceRecord {
             }
             TraceEvent::Fault { kind, effect } => format!("{kind:?} -> {effect:?}"),
             TraceEvent::ContextSwitch { from, to } => format!("{from} -> {to}"),
+            TraceEvent::MemStore { addr, value } => {
+                format!("addr={addr:#x} value={value:#x}")
+            }
         };
         format!(
             "cycle {:06}  {:<14} {detail}",

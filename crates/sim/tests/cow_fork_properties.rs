@@ -176,13 +176,18 @@ fn micro_reboot_is_bit_for_bit_equivalent_to_fresh_restore() {
             break;
         }
     }
-    assert!(steps >= 10_000, "loop body must sustain 10k lockstep steps, got {steps}");
+    assert!(
+        steps >= 10_000,
+        "loop body must sustain 10k lockstep steps, got {steps}"
+    );
     assert_eq!(rebooted.arch_digest(), fresh.arch_digest());
 
     // Run both to the break through the batch path (single-stepping above
     // bypasses the superblock tier by design): the tier re-warms on the
     // rebooted machine with no architectural effect.
-    rebooted.run_until_break(1_000_000).expect("rebooted finishes");
+    rebooted
+        .run_until_break(1_000_000)
+        .expect("rebooted finishes");
     fresh.run_until_break(1_000_000).expect("fresh finishes");
     assert_eq!(rebooted.arch_digest(), fresh.arch_digest());
     assert!(

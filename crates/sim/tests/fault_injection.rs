@@ -5,9 +5,7 @@
 
 use proptest::prelude::*;
 use regvault_isa::{asm, ByteRange, KeyReg};
-use regvault_sim::{
-    FaultEffect, FaultKind, FaultPlan, Machine, MachineConfig, SimError,
-};
+use regvault_sim::{FaultEffect, FaultKind, FaultPlan, Machine, MachineConfig, SimError};
 
 fn looping_machine() -> Machine {
     let mut machine = Machine::new(MachineConfig::default());
@@ -47,9 +45,27 @@ fn replay(plan: FaultPlan) -> (Vec<(u64, FaultEffect)>, u64, u64) {
 fn identical_plans_replay_identically() {
     let plan = || {
         FaultPlan::new()
-            .at(10, FaultKind::MemBitFlip { addr: 0x9000, bit: 13 })
-            .at(40, FaultKind::MemSwap { a: 0x9000, b: 0x9008 })
-            .at(90, FaultKind::MemWrite { addr: 0x9008, value: 0x1234 })
+            .at(
+                10,
+                FaultKind::MemBitFlip {
+                    addr: 0x9000,
+                    bit: 13,
+                },
+            )
+            .at(
+                40,
+                FaultKind::MemSwap {
+                    a: 0x9000,
+                    b: 0x9008,
+                },
+            )
+            .at(
+                90,
+                FaultKind::MemWrite {
+                    addr: 0x9008,
+                    value: 0x1234,
+                },
+            )
     };
     let first = replay(plan());
     let second = replay(plan());

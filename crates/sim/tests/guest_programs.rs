@@ -6,8 +6,12 @@ use regvault_sim::{Event, ExceptionCause, Machine, MachineConfig, Privilege};
 
 fn machine_with_keys() -> Machine {
     let mut machine = Machine::new(MachineConfig::default());
-    machine.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
-    machine.write_key_register(KeyReg::B, 0x3333, 0x4444).unwrap();
+    machine
+        .write_key_register(KeyReg::A, 0x1111, 0x2222)
+        .unwrap();
+    machine
+        .write_key_register(KeyReg::B, 0x3333, 0x4444)
+        .unwrap();
     machine
 }
 
@@ -34,7 +38,10 @@ fn figure_2a_pointer_randomization() {
     );
     assert_eq!(machine.hart().reg(Reg::A1), 0xFFFF_FFC0_1234_5678);
     let in_memory = machine.memory().read_u64(0x9000).unwrap();
-    assert_ne!(in_memory, 0xFFFF_FFC0_1234_5678, "memory copy is randomized");
+    assert_ne!(
+        in_memory, 0xFFFF_FFC0_1234_5678,
+        "memory copy is randomized"
+    );
 }
 
 #[test]
@@ -73,7 +80,10 @@ fn figure_2b_corruption_raises_integrity_exception() {
     machine.run_until_break(10_000).unwrap();
 
     let encrypted = machine.memory().read_u64(0x9200).unwrap();
-    machine.memory_mut().write_u64(0x9200, encrypted ^ 0xFF).unwrap();
+    machine
+        .memory_mut()
+        .write_u64(0x9200, encrypted ^ 0xFF)
+        .unwrap();
 
     let attack = asm::assemble(
         "li   t1, 0x9200
@@ -318,7 +328,9 @@ fn crypto_cycles_reflect_clb_hits() {
         clb_entries: 0,
         ..MachineConfig::default()
     });
-    without_clb.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
+    without_clb
+        .write_key_register(KeyReg::A, 0x1111, 0x2222)
+        .unwrap();
     run(&mut without_clb, source);
     assert!(with_clb.stats().cycles < without_clb.stats().cycles);
 }

@@ -139,10 +139,8 @@ fn clb_op() -> impl Strategy<Value = ClbOp> {
     // Small value domains so lookups actually hit.
     let small = 0u64..8;
     prop_oneof![
-        (0u8..4, small.clone(), small.clone())
-            .prop_map(|(k, t, p)| ClbOp::LookupEncrypt(k, t, p)),
-        (0u8..4, small.clone(), small.clone())
-            .prop_map(|(k, t, c)| ClbOp::LookupDecrypt(k, t, c)),
+        (0u8..4, small.clone(), small.clone()).prop_map(|(k, t, p)| ClbOp::LookupEncrypt(k, t, p)),
+        (0u8..4, small.clone(), small.clone()).prop_map(|(k, t, c)| ClbOp::LookupDecrypt(k, t, c)),
         (0u8..4, small.clone(), small.clone(), small)
             .prop_map(|(k, t, p, c)| ClbOp::Insert(k, t, p, c)),
         (0u8..4).prop_map(ClbOp::Invalidate),

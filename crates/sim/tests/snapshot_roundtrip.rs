@@ -12,8 +12,7 @@
 use proptest::prelude::*;
 use regvault_isa::{asm, KeyReg};
 use regvault_sim::{
-    FaultKind, FaultPlan, FaultSpec, FaultTrigger, Machine, MachineConfig, Snapshot,
-    SnapshotError,
+    FaultKind, FaultPlan, FaultSpec, FaultTrigger, Machine, MachineConfig, Snapshot, SnapshotError,
 };
 
 const TEXT_BASE: u64 = 0x8000_0000;

@@ -29,7 +29,9 @@ fn pair() -> (Machine, Machine) {
         ..MachineConfig::default()
     });
     for machine in [&mut tiered, &mut interp] {
-        machine.write_key_register(KeyReg::A, 0x1111, 0x2222).unwrap();
+        machine
+            .write_key_register(KeyReg::A, 0x1111, 0x2222)
+            .unwrap();
     }
     (tiered, interp)
 }
@@ -74,18 +76,38 @@ fn find_insn(bytes: &[u8], needle: u32) -> u64 {
 #[derive(Debug, Clone)]
 enum BodyOp {
     /// Register-register ALU op.
-    Alu { op: usize, rd: usize, rs1: usize, rs2: usize },
+    Alu {
+        op: usize,
+        rd: usize,
+        rs1: usize,
+        rs2: usize,
+    },
     /// Register-immediate ALU op.
-    AluImm { op: usize, rd: usize, rs: usize, imm: i64 },
+    AluImm {
+        op: usize,
+        rd: usize,
+        rs: usize,
+        imm: i64,
+    },
     /// Store a data register into the scratch page.
     Store { width: usize, rs: usize, slot: u64 },
     /// Load from the scratch page into a data register.
     Load { width: usize, rd: usize, slot: u64 },
     /// `cre` then either store the ciphertext (exercising cre+store
     /// fusion) or round-trip it through `crd`.
-    Crypto { src: usize, rd: usize, store: bool, slot: u64 },
+    Crypto {
+        src: usize,
+        rd: usize,
+        store: bool,
+        slot: u64,
+    },
     /// A forward branch guarding one instruction.
-    Guarded { rs1: usize, rs2: usize, rd: usize, imm: i64 },
+    Guarded {
+        rs1: usize,
+        rs2: usize,
+        rd: usize,
+        imm: i64,
+    },
 }
 
 fn render(op: &BodyOp, idx: usize) -> String {
@@ -99,19 +121,33 @@ fn render(op: &BodyOp, idx: usize) -> String {
             1 => format!("xori {}, {}, {}", DATA[*rd], DATA[*rs], imm),
             2 => format!("ori {}, {}, {}", DATA[*rd], DATA[*rs], imm),
             3 => format!("andi {}, {}, {}", DATA[*rd], DATA[*rs], imm),
-            4 => format!("slli {}, {}, {}", DATA[*rd], DATA[*rs], imm.unsigned_abs() % 64),
-            _ => format!("srli {}, {}, {}", DATA[*rd], DATA[*rs], imm.unsigned_abs() % 64),
+            4 => format!(
+                "slli {}, {}, {}",
+                DATA[*rd],
+                DATA[*rs],
+                imm.unsigned_abs() % 64
+            ),
+            _ => format!(
+                "srli {}, {}, {}",
+                DATA[*rd],
+                DATA[*rs],
+                imm.unsigned_abs() % 64
+            ),
         },
         BodyOp::Store { width, rs, slot } => {
             let (mnem, scale) = [("sb", 1), ("sh", 2), ("sw", 4), ("sd", 8)][*width % 4];
             format!("{mnem} {}, {}(s0)", DATA[*rs], slot * scale)
         }
         BodyOp::Load { width, rd, slot } => {
-            let (mnem, scale) =
-                [("lbu", 1), ("lh", 2), ("lw", 4), ("ld", 8)][*width % 4];
+            let (mnem, scale) = [("lbu", 1), ("lh", 2), ("lw", 4), ("ld", 8)][*width % 4];
             format!("{mnem} {}, {}(s0)", DATA[*rd], slot * scale)
         }
-        BodyOp::Crypto { src, rd, store, slot } => {
+        BodyOp::Crypto {
+            src,
+            rd,
+            store,
+            slot,
+        } => {
             if *store {
                 format!(
                     "creak a1, {}[7:0], t4\n sd a1, {}(s0)",
@@ -134,16 +170,32 @@ fn render(op: &BodyOp, idx: usize) -> String {
 
 fn body_op() -> impl Strategy<Value = BodyOp> {
     prop_oneof![
-        (0usize..6, 0usize..4, 0usize..4, 0usize..4)
-            .prop_map(|(op, rd, rs1, rs2)| BodyOp::Alu { op, rd, rs1, rs2 }),
+        (0usize..6, 0usize..4, 0usize..4, 0usize..4).prop_map(|(op, rd, rs1, rs2)| BodyOp::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (0usize..6, 0usize..4, 0usize..4, -512i64..512)
             .prop_map(|(op, rd, rs, imm)| BodyOp::AluImm { op, rd, rs, imm }),
-        (0usize..4, 0usize..4, 0u64..15)
-            .prop_map(|(width, rs, slot)| BodyOp::Store { width, rs, slot }),
-        (0usize..4, 0usize..4, 0u64..15)
-            .prop_map(|(width, rd, slot)| BodyOp::Load { width, rd, slot }),
-        (0usize..4, 0usize..4, any::<bool>(), 0u64..15)
-            .prop_map(|(src, rd, store, slot)| BodyOp::Crypto { src, rd, store, slot }),
+        (0usize..4, 0usize..4, 0u64..15).prop_map(|(width, rs, slot)| BodyOp::Store {
+            width,
+            rs,
+            slot
+        }),
+        (0usize..4, 0usize..4, 0u64..15).prop_map(|(width, rd, slot)| BodyOp::Load {
+            width,
+            rd,
+            slot
+        }),
+        (0usize..4, 0usize..4, any::<bool>(), 0u64..15).prop_map(|(src, rd, store, slot)| {
+            BodyOp::Crypto {
+                src,
+                rd,
+                store,
+                slot,
+            }
+        }),
         (0usize..4, 0usize..4, 0usize..4, -64i64..64)
             .prop_map(|(rs1, rs2, rd, imm)| BodyOp::Guarded { rs1, rs2, rd, imm }),
     ]

@@ -17,124 +17,102 @@ fn run(source: &str) -> Machine {
 #[test]
 fn addw_sign_extends_overflow() {
     // 0x7FFFFFFF + 1 wraps to 0x80000000 and sign-extends.
-    let machine = run(
-        "li a1, 0x7fffffff
+    let machine = run("li a1, 0x7fffffff
          li a2, 1
          addw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0xFFFF_FFFF_8000_0000);
 }
 
 #[test]
 fn subw_wraps_in_32_bits() {
-    let machine = run(
-        "li a1, 0
+    let machine = run("li a1, 0
          li a2, 1
          subw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), u64::MAX); // -1 sign-extended
 }
 
 #[test]
 fn sraw_uses_bit_31_as_sign() {
-    let machine = run(
-        "li a1, 0x80000000
+    let machine = run("li a1, 0x80000000
          li a2, 4
          sraw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0xFFFF_FFFF_F800_0000);
 }
 
 #[test]
 fn srlw_is_logical_on_the_low_word() {
-    let machine = run(
-        "li a1, 0xffffffff80000000
+    let machine = run("li a1, 0xffffffff80000000
          li a2, 4
          srlw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0x0800_0000);
 }
 
 #[test]
 fn divw_by_zero_returns_minus_one() {
-    let machine = run(
-        "li a1, 42
+    let machine = run("li a1, 42
          li a2, 0
          divw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), u64::MAX);
 }
 
 #[test]
 fn divw_overflow_returns_int_min() {
-    let machine = run(
-        "li a1, 0x80000000     # INT32_MIN in the low word
+    let machine = run("li a1, 0x80000000     # INT32_MIN in the low word
          li a2, -1
          divw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0xFFFF_FFFF_8000_0000);
 }
 
 #[test]
 fn remw_by_zero_returns_dividend() {
-    let machine = run(
-        "li a1, 42
+    let machine = run("li a1, 42
          li a2, 0
          remw a0, a1, a2
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 42);
 }
 
 #[test]
 fn mulw_truncates_then_sign_extends() {
-    let machine = run(
-        "li a1, 0x10000
+    let machine = run("li a1, 0x10000
          li a2, 0x10000
          mulw a0, a1, a2       # 2^32 truncates to 0
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0);
 }
 
 #[test]
 fn slliw_sign_extends_result() {
-    let machine = run(
-        "li a1, 1
+    let machine = run("li a1, 1
          slliw a0, a1, 31
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0xFFFF_FFFF_8000_0000);
 }
 
 #[test]
 fn addiw_truncates_before_extending() {
-    let machine = run(
-        "li a1, 0xffffffff
+    let machine = run("li a1, 0xffffffff
          addiw a0, a1, 1       # low word wraps to 0
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A0), 0);
 }
 
 #[test]
 fn div64_edge_cases_in_guest_code() {
-    let machine = run(
-        "li a1, 1
+    let machine = run("li a1, 1
          slli a1, a1, 63       # INT64_MIN
          li a2, -1
          div a3, a1, a2        # overflow -> INT64_MIN
          rem a4, a1, a2        # overflow -> 0
          li a5, 0
          divu a6, a1, a5       # /0 -> all ones
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A3), 1u64 << 63);
     assert_eq!(machine.hart().reg(Reg::A4), 0);
     assert_eq!(machine.hart().reg(Reg::A6), u64::MAX);
@@ -142,14 +120,12 @@ fn div64_edge_cases_in_guest_code() {
 
 #[test]
 fn mulh_variants() {
-    let machine = run(
-        "li a1, -1
+    let machine = run("li a1, -1
          li a2, -1
          mulh   a3, a1, a2     # (-1)*(-1) high = 0
          mulhu  a4, a1, a2     # max*max high = 0xFFFF...FFFE
          mulhsu a5, a1, a2     # (-1)*max high = -1 high part
-         ebreak",
-    );
+         ebreak");
     assert_eq!(machine.hart().reg(Reg::A3), 0);
     assert_eq!(machine.hart().reg(Reg::A4), 0xFFFF_FFFF_FFFF_FFFE);
     assert_eq!(machine.hart().reg(Reg::A5), u64::MAX);

@@ -85,9 +85,7 @@ pub fn build(funcs: &[(FuncRegion, Cfg, TaintOptions)], key_regions: &[(u64, u64
             }
             if let Some(callee) = callee {
                 graph.targets.insert(offset, callee.to_owned());
-                graph
-                    .edges
-                    .insert((region.name.clone(), callee.to_owned()));
+                graph.edges.insert((region.name.clone(), callee.to_owned()));
             } else {
                 graph.unresolved.push(offset);
             }
@@ -106,11 +104,8 @@ mod tests {
 
     fn graph_of(src: &str) -> CallGraph {
         let program = assemble(src).unwrap();
-        let regions = regions_from_symbols(
-            program.symbols().iter(),
-            program.bytes().len() as u64,
-            &[],
-        );
+        let regions =
+            regions_from_symbols(program.symbols().iter(), program.bytes().len() as u64, &[]);
         let funcs: Vec<(FuncRegion, Cfg, TaintOptions)> = regions
             .iter()
             .map(|r| {
@@ -136,9 +131,7 @@ mod tests {
         assert_eq!(g.stats.functions, 2);
         assert_eq!(g.stats.direct_calls, 1);
         assert_eq!(g.stats.edges, 1);
-        assert!(g
-            .edges
-            .contains(&("main".to_owned(), "helper".to_owned())));
+        assert!(g.edges.contains(&("main".to_owned(), "helper".to_owned())));
         assert_eq!(g.targets.get(&0), Some(&"helper".to_owned()));
         assert!(g.unresolved.is_empty());
     }
@@ -169,9 +162,7 @@ mod tests {
         );
         assert_eq!(g.stats.resolved_indirect, 1);
         assert_eq!(g.stats.tail_calls, 1);
-        assert!(g
-            .edges
-            .contains(&("main".to_owned(), "helper".to_owned())));
+        assert!(g.edges.contains(&("main".to_owned(), "helper".to_owned())));
     }
 
     #[test]
@@ -201,8 +192,6 @@ mod tests {
         );
         assert_eq!(g.stats.direct_calls, 1);
         assert_eq!(g.stats.tail_calls, 1);
-        assert!(g
-            .edges
-            .contains(&("main".to_owned(), "helper".to_owned())));
+        assert!(g.edges.contains(&("main".to_owned(), "helper".to_owned())));
     }
 }

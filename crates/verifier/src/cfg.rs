@@ -265,11 +265,8 @@ mod tests {
     use regvault_isa::asm::assemble;
 
     fn region_of(program: &regvault_isa::asm::Program, name: &str) -> FuncRegion {
-        let regions = regions_from_symbols(
-            program.symbols().iter(),
-            program.bytes().len() as u64,
-            &[],
-        );
+        let regions =
+            regions_from_symbols(program.symbols().iter(), program.bytes().len() as u64, &[]);
         regions.into_iter().find(|r| r.name == name).unwrap()
     }
 

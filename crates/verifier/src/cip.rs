@@ -212,9 +212,10 @@ mod tests {
              creck t6, zero[7:0], ra
              sd t6, 8(a0)",
         ));
-        assert!(v
-            .iter()
-            .any(|r| r.detail.contains("first chain tweak")), "{v:?}");
+        assert!(
+            v.iter().any(|r| r.detail.contains("first chain tweak")),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -241,7 +242,9 @@ mod tests {
              creck t6, gp[7:0], ra
              sd t6, 8(a0)",
         ));
-        assert!(v.iter().any(|r| r.detail.contains("trailing encrypted integrity zero")));
+        assert!(v
+            .iter()
+            .any(|r| r.detail.contains("trailing encrypted integrity zero")));
     }
 
     #[test]

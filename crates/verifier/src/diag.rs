@@ -170,7 +170,13 @@ impl fmt::Display for Violation {
 }
 
 /// 64-bit FNV-1a over the fingerprint inputs, rendered as 16 hex digits.
-fn fingerprint_of(kind: ViolationKind, function: &str, insn: &str, detail: &str, occurrence: u64) -> String {
+fn fingerprint_of(
+    kind: ViolationKind,
+    function: &str,
+    insn: &str,
+    detail: &str,
+    occurrence: u64,
+) -> String {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -256,11 +262,19 @@ impl Report {
     /// are byte-stable across runs and usable as baselines.
     pub fn finalize(&mut self) {
         self.violations.sort_by(|a, b| {
-            (&a.function, a.offset, a.kind, &a.detail)
-                .cmp(&(&b.function, b.offset, b.kind, &b.detail))
+            (&a.function, a.offset, a.kind, &a.detail).cmp(&(
+                &b.function,
+                b.offset,
+                b.kind,
+                &b.detail,
+            ))
         });
-        self.violations
-            .dedup_by(|a, b| a.kind == b.kind && a.function == b.function && a.offset == b.offset && a.detail == b.detail);
+        self.violations.dedup_by(|a, b| {
+            a.kind == b.kind
+                && a.function == b.function
+                && a.offset == b.offset
+                && a.detail == b.detail
+        });
         let mut seen: BTreeMap<(ViolationKind, String, String, String), u64> = BTreeMap::new();
         for v in &mut self.violations {
             let key = (v.kind, v.function.clone(), v.insn.clone(), v.detail.clone());

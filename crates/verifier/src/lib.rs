@@ -125,8 +125,7 @@ where
     let symbols: Vec<(&String, &u64)> = symbols.into_iter().collect();
     let mut excluded: Vec<&str> = manifest.data_symbols.iter().map(String::as_str).collect();
     excluded.extend(manifest.key_symbols.iter().map(String::as_str));
-    let regions =
-        cfg::regions_from_symbols(symbols.iter().copied(), image.len() as u64, &excluded);
+    let regions = cfg::regions_from_symbols(symbols.iter().copied(), image.len() as u64, &excluded);
 
     // Key-storage extents, for the raw-key-flow dataflow (`Val::Key` seeds).
     let key_regions: Vec<(u64, u64)> = if options.interprocedural {
@@ -288,27 +287,24 @@ where
 
 /// Builds the full diagnostic for a raw dataflow violation: disassembles the
 /// offending instruction and a context window around it.
-fn attach_context(
-    image: &[u8],
-    region: &cfg::FuncRegion,
-    raw: &taint::RawViolation,
-) -> Violation {
+fn attach_context(image: &[u8], region: &cfg::FuncRegion, raw: &taint::RawViolation) -> Violation {
     let render_at = |offset: u64| -> Option<String> {
         let at = offset as usize;
         if offset < region.start || offset + 4 > region.end || at + 4 > image.len() {
             return None;
         }
         let word = u32::from_le_bytes(image[at..at + 4].try_into().expect("4-byte slice"));
-        let text = decode(word).map_or_else(
-            |_| format!(".word {word:#010x}"),
-            |insn| insn.to_string(),
-        );
+        let text =
+            decode(word).map_or_else(|_| format!(".word {word:#010x}"), |insn| insn.to_string());
         Some(format!("{offset:#06x}: {word:08x}  {text}"))
     };
     let insn = render_at(raw.offset)
         .and_then(|line| line.split("  ").nth(1).map(str::to_owned))
         .unwrap_or_else(|| "<out of range>".into());
-    let lo = raw.offset.saturating_sub(4 * CONTEXT_RADIUS).max(region.start);
+    let lo = raw
+        .offset
+        .saturating_sub(4 * CONTEXT_RADIUS)
+        .max(region.start);
     let hi = (raw.offset + 4 * CONTEXT_RADIUS).min(region.end.saturating_sub(4));
     let mut context = Vec::new();
     let mut at = lo;

@@ -77,10 +77,10 @@ impl Lint for TweakDiversity {
         // One finding per site, first matching rule wins.
         let mut claimed: BTreeSet<(String, u64)> = BTreeSet::new();
         let claim = |claimed: &mut BTreeSet<(String, u64)>,
-                         findings: &mut Vec<Finding>,
-                         function: &str,
-                         offset: u64,
-                         detail: String| {
+                     findings: &mut Vec<Finding>,
+                     function: &str,
+                     offset: u64,
+                     detail: String| {
             if claimed.insert((function.to_owned(), offset)) {
                 findings.push(Finding {
                     function: function.to_owned(),
@@ -95,7 +95,8 @@ impl Lint for TweakDiversity {
 
         // Rule 1: same (key, tweak) pair reused within one function.
         for (function, events) in ctx.facts {
-            let mut groups: BTreeMap<(regvault_isa::KeyReg, TweakId), Vec<(u64, Val)>> = BTreeMap::new();
+            let mut groups: BTreeMap<(regvault_isa::KeyReg, TweakId), Vec<(u64, Val)>> =
+                BTreeMap::new();
             for event in events {
                 if let Event::Cre {
                     offset,
@@ -170,17 +171,17 @@ impl Lint for TweakDiversity {
                 } = *event
                 {
                     if global_tweak(tweak) {
-                        global
-                            .entry((key, tweak))
-                            .or_default()
-                            .push((function.clone(), offset, plain));
+                        global.entry((key, tweak)).or_default().push((
+                            function.clone(),
+                            offset,
+                            plain,
+                        ));
                     }
                 }
             }
         }
         for ((key, tweak), sites) in &global {
-            let functions: BTreeSet<&str> =
-                sites.iter().map(|(f, _, _)| f.as_str()).collect();
+            let functions: BTreeSet<&str> = sites.iter().map(|(f, _, _)| f.as_str()).collect();
             if functions.len() < 2 {
                 continue;
             }

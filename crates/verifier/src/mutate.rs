@@ -95,7 +95,11 @@ pub fn crypto_sites(asm: &str) -> Vec<CryptoSite> {
 /// (`rd, rs, rt, [e:s]`) operand shapes.
 fn split_site(text: &str) -> Option<(bool, String, String, String)> {
     let is_cre = crypto_mnemonic(text)?;
-    let ops = text.split_whitespace().skip(1).collect::<Vec<_>>().join(" ");
+    let ops = text
+        .split_whitespace()
+        .skip(1)
+        .collect::<Vec<_>>()
+        .join(" ");
     let parts: Vec<&str> = ops.split(',').map(str::trim).collect();
     if is_cre {
         // rd, rs[e:s], rt
@@ -138,9 +142,11 @@ pub fn apply(asm: &str, line: usize, mutation: Mutation) -> Option<String> {
         Mutation::ToMove => Action::Replace(Some(format!("mv {rd}, {rs}"))),
         Mutation::SwapTweak => {
             let swapped = if rt == "t2" { "t3" } else { "t2" };
-            Action::Replace(Some(
-                target.replacen(&format!(", {rt}"), &format!(", {swapped}"), 1),
-            ))
+            Action::Replace(Some(target.replacen(
+                &format!(", {rt}"),
+                &format!(", {swapped}"),
+                1,
+            )))
         }
         Mutation::ReuseTweak => {
             if !is_cre {
@@ -175,10 +181,7 @@ pub fn apply(asm: &str, line: usize, mutation: Mutation) -> Option<String> {
                 "addi sp, sp, 16".to_owned(),
                 "ret".to_owned(),
             ]);
-            Action::InsertAfter(vec![
-                format!("mv s1, {rd}"),
-                format!("call {SPILL_HELPER}"),
-            ])
+            Action::InsertAfter(vec![format!("mv s1, {rd}"), format!("call {SPILL_HELPER}")])
         }
     };
     let mut out = Vec::with_capacity(lines.len() + append.len() + 2);

@@ -20,9 +20,7 @@ use regvault_isa::abi::ARG_REGS;
 
 use crate::cfg::{Cfg, FuncRegion};
 use crate::diag::ViolationKind;
-use crate::taint::{
-    analyze_full, callee_saved_bit, CallEnv, Event, RawViolation, TaintOptions,
-};
+use crate::taint::{analyze_full, callee_saved_bit, CallEnv, Event, RawViolation, TaintOptions};
 
 /// The interprocedural taint summary of one function.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,10 +127,7 @@ fn summarize_one(
     key_regions: &[(u64, u64)],
     summaries: &BTreeMap<String, FnSummary>,
 ) -> FnSummary {
-    let env = CallEnv {
-        targets,
-        summaries,
-    };
+    let env = CallEnv { targets, summaries };
     // Reference run with no seeded arguments: whatever leaks here leaks for
     // every caller, and is not attributable to any specific argument.
     let base = analyze_full(cfg, &[], options, key_regions, Some(&env));
@@ -209,10 +204,7 @@ pub fn compute(
         let mut changed = false;
         for (region, cfg, options) in funcs {
             let new = summarize_one(cfg, *options, targets, key_regions, &summaries);
-            let current = summaries
-                .get(&region.name)
-                .copied()
-                .unwrap_or_default();
+            let current = summaries.get(&region.name).copied().unwrap_or_default();
             let merged = current.union(new);
             if merged != current {
                 summaries.insert(region.name.clone(), merged);
@@ -236,11 +228,8 @@ mod tests {
     /// symbol, and computes summaries.
     fn summaries_of(src: &str) -> BTreeMap<String, FnSummary> {
         let program = assemble(src).unwrap();
-        let regions = regions_from_symbols(
-            program.symbols().iter(),
-            program.bytes().len() as u64,
-            &[],
-        );
+        let regions =
+            regions_from_symbols(program.symbols().iter(), program.bytes().len() as u64, &[]);
         let funcs: Vec<(FuncRegion, Cfg, TaintOptions)> = regions
             .iter()
             .map(|r| {
@@ -300,8 +289,18 @@ mod tests {
              ret",
         );
         let s1_bit = callee_saved_bit(regvault_isa::Reg::S1).unwrap();
-        assert_eq!(s["helper"].plain_saves & s1_bit, s1_bit, "{:?}", s["helper"]);
-        assert_eq!(s["wrapper"].plain_saves & s1_bit, s1_bit, "{:?}", s["wrapper"]);
+        assert_eq!(
+            s["helper"].plain_saves & s1_bit,
+            s1_bit,
+            "{:?}",
+            s["helper"]
+        );
+        assert_eq!(
+            s["wrapper"].plain_saves & s1_bit,
+            s1_bit,
+            "{:?}",
+            s["wrapper"]
+        );
     }
 
     #[test]

@@ -177,7 +177,12 @@ impl State {
         }
         // A slot missing on either side joins as Unknown; drop it (Unknown
         // is the implicit default) to keep the maps small.
-        let keys: BTreeSet<i64> = self.slots.keys().chain(other.slots.keys()).copied().collect();
+        let keys: BTreeSet<i64> = self
+            .slots
+            .keys()
+            .chain(other.slots.keys())
+            .copied()
+            .collect();
         for key in keys {
             let a = self.slots.get(&key).copied().unwrap_or(Val::Unknown);
             let b = other.slots.get(&key).copied().unwrap_or(Val::Unknown);
@@ -447,9 +452,7 @@ impl Ctx<'_> {
     }
 
     fn in_key_region(&self, off: i64) -> bool {
-        u64::try_from(off).is_ok_and(|o| {
-            self.key_regions.iter().any(|&(s, e)| o >= s && o < e)
-        })
+        u64::try_from(off).is_ok_and(|o| self.key_regions.iter().any(|&(s, e)| o >= s && o < e))
     }
 }
 
@@ -648,12 +651,7 @@ fn transfer(state: &mut State, offset: u64, insn: &Insn, ctx: &mut Ctx<'_>) {
             let value = state.get(rs2);
             let addr = mem_addr(state, rs1, mem_off);
             match (value, addr) {
-                (
-                    Val::Plain,
-                    Some(Addr {
-                        base: Base::Sp, ..
-                    }),
-                ) => {
+                (Val::Plain, Some(Addr { base: Base::Sp, .. })) => {
                     ctx.violations.insert(RawViolation {
                         kind: ViolationKind::PlainSpill,
                         offset,
@@ -765,7 +763,9 @@ fn transfer(state: &mut State, offset: u64, insn: &Insn, ctx: &mut Ctx<'_>) {
                 }),
             );
         }
-        Insn::Crd { key, rd, rs, rt, .. } => {
+        Insn::Crd {
+            key, rd, rs, rt, ..
+        } => {
             if let Val::Cipher(info) = state.get(rs) {
                 if let Some(cre_key) = info.key {
                     if cre_key != key {
@@ -936,7 +936,8 @@ fn handle_call(
             return;
         }
         let returns_plain = summary.returns_plain
-            || (0..8).any(|i| plain_args & (1 << i) != 0 && summary.arg_returns_plain & (1 << i) != 0);
+            || (0..8)
+                .any(|i| plain_args & (1 << i) != 0 && summary.arg_returns_plain & (1 << i) != 0);
         for reg in CALLER_SAVED {
             state.set(reg, fresh(offset, reg));
         }
@@ -1103,7 +1104,9 @@ mod tests {
             &[],
             false,
         );
-        assert!(v.iter().any(|r| r.kind == ViolationKind::SensitiveAcrossCall));
+        assert!(v
+            .iter()
+            .any(|r| r.kind == ViolationKind::SensitiveAcrossCall));
     }
 
     #[test]

@@ -26,12 +26,7 @@ fn interproc() -> VerifyOptions {
 
 fn run(src: &str, manifest: &ProtectionManifest, options: &VerifyOptions) -> Report {
     let program = assemble(src).unwrap();
-    verify(
-        program.bytes(),
-        program.symbols().iter(),
-        manifest,
-        options,
-    )
+    verify(program.bytes(), program.symbols().iter(), manifest, options)
 }
 
 /// A caller that spills `a0` right after a call into a callee that decrypts
@@ -123,7 +118,11 @@ fn each_seeded_mutation_is_caught_by_exactly_its_lint() {
     let matrix = [
         (Mutation::ReuseTweak, true, ViolationKind::TweakDiversity),
         (Mutation::LeakKeyToGpr, true, ViolationKind::RawKeyFlow),
-        (Mutation::PlainSpillInCallee, false, ViolationKind::SpillGadget),
+        (
+            Mutation::PlainSpillInCallee,
+            false,
+            ViolationKind::SpillGadget,
+        ),
     ];
     for (mutation, on_cre, expected) in matrix {
         let report = mutated_report(mutation, on_cre);
@@ -180,7 +179,11 @@ fn cip_chain_is_checked_across_basic_block_boundaries() {
     let mut lines: Vec<&str> = stub.lines().collect();
     // Line 0 is the label; odd lines are `cre`, even lines `sd` — insert
     // between two (cre, sd) pairs.
-    assert!(lines[20].starts_with("sd "), "stub layout changed: {}", lines[20]);
+    assert!(
+        lines[20].starts_with("sd "),
+        "stub layout changed: {}",
+        lines[20]
+    );
     lines.insert(21, ".Lcip_split:");
     lines.insert(21, "bne zero, zero, .Lcip_split");
     let split = lines.join("\n");

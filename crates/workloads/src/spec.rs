@@ -24,9 +24,7 @@ const LCG_A: i64 = 6364136223846793005;
 const LCG_C: i64 = 1442695040888963407;
 
 fn lcg(state: &mut u64) -> u64 {
-    *state = state
-        .wrapping_mul(LCG_A as u64)
-        .wrapping_add(LCG_C as u64);
+    *state = state.wrapping_mul(LCG_A as u64).wrapping_add(LCG_C as u64);
     *state
 }
 
@@ -196,7 +194,9 @@ fn perlbench() -> Module {
 
 fn perlbench_ref() -> u64 {
     let mut state = 9u64;
-    let buf: Vec<u8> = (0..PERL_LEN).map(|_| (lcg(&mut state) >> 33) as u8).collect();
+    let buf: Vec<u8> = (0..PERL_LEN)
+        .map(|_| (lcg(&mut state) >> 33) as u8)
+        .collect();
     let mut hash = 5381u64;
     for _ in 0..PERL_PASSES {
         for &b in &buf {
@@ -832,8 +832,7 @@ fn xz_ref() -> u64 {
         for o1 in 0..XZ_WINDOW as usize {
             let off = o1 + 1;
             let mut len = 0i64;
-            while len < XZ_MAX_MATCH && data[pos + len as usize] == data[pos + len as usize - off]
-            {
+            while len < XZ_MAX_MATCH && data[pos + len as usize] == data[pos + len as usize - off] {
                 len += 1;
             }
             best = best.max(len);
@@ -852,7 +851,8 @@ mod tests {
     #[test]
     fn every_spec_program_matches_its_reference() {
         for item in Spec::ALL {
-            let m = measure(&item, ProtectionConfig::off(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            let m = measure(&item, ProtectionConfig::off(), 8)
+                .unwrap_or_else(|_| panic!("{}", item.name()));
             assert_eq!(
                 m.result,
                 item.reference() & 0xFFFF_FFFF,
@@ -927,6 +927,9 @@ mod opt_tests {
                 strictly_smaller += 1;
             }
         }
-        assert!(strictly_smaller >= 3, "only {strictly_smaller} programs shrank");
+        assert!(
+            strictly_smaller >= 3,
+            "only {strictly_smaller} programs shrank"
+        );
     }
 }

@@ -246,7 +246,8 @@ mod tests {
     #[test]
     fn every_workload_runs_and_self_checks() {
         for item in UnixBench::ALL {
-            let m = measure(&item, ProtectionConfig::off(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            let m = measure(&item, ProtectionConfig::off(), 8)
+                .unwrap_or_else(|_| panic!("{}", item.name()));
             assert_eq!(Some(m.result), item.expected(), "{}", item.name());
             assert!(m.cycles > 0);
         }
@@ -255,7 +256,8 @@ mod tests {
     #[test]
     fn full_protection_runs_every_workload_too() {
         for item in UnixBench::ALL {
-            let m = measure(&item, ProtectionConfig::full(), 8).unwrap_or_else(|_| panic!("{}", item.name()));
+            let m = measure(&item, ProtectionConfig::full(), 8)
+                .unwrap_or_else(|_| panic!("{}", item.name()));
             assert_eq!(Some(m.result), item.expected(), "{}", item.name());
             assert!(m.crypto_ops > 0, "{} must exercise crypto", item.name());
         }
@@ -273,6 +275,10 @@ mod tests {
                 .unwrap()
         };
         assert!(full(&sys) > full(&dhry));
-        assert!(full(&dhry) < 0.02, "compute loop overhead {:.4}", full(&dhry));
+        assert!(
+            full(&dhry) < 0.02,
+            "compute loop overhead {:.4}",
+            full(&dhry)
+        );
     }
 }

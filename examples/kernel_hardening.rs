@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 3. Kernel keys (non-control, manual instrumentation §3.2.1).
         let mut keyring = kernel.keyring.clone();
         keyring.add_key(kernel.machine_mut(), &cfg, *b"hunter2hunter2!!")?;
-        let leak = kernel.machine().memory().read_u64(keyring.entry_addr(0) + 8)?;
+        let leak = kernel
+            .machine()
+            .memory()
+            .read_u64(keyring.entry_addr(0) + 8)?;
         println!("AES key material in memory : {leak:#018x}");
 
         // 4. Credentials: the uid=1000 of the init thread.
@@ -93,7 +96,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rotated: {} data blocks + {} fn-ptr blocks re-encrypted in place",
         report.data_blocks, report.fn_ptr_blocks
     );
-    kernel.machine_mut().memory_mut().write_u64(uid_addr, recorded)?;
+    kernel
+        .machine_mut()
+        .memory_mut()
+        .write_u64(uid_addr, recorded)?;
     match kernel.sys_getuid() {
         Ok(uid) => println!("replayed pre-rotation uid block: accepted?! uid={uid}"),
         Err(err) => println!("replayed pre-rotation uid block: {err}"),

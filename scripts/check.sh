@@ -32,6 +32,18 @@ cargo build --release --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Same policy as clippy below: formatting is best-effort locally (minimal
+# toolchains may lack rustfmt) but mandatory when CI=true.
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+elif [ "${CI:-false}" = "true" ]; then
+    echo "==> cargo fmt unavailable but CI=true; formatting is mandatory in CI" >&2
+    exit 1
+else
+    echo "==> cargo fmt unavailable; skipping format check (mandatory in CI)"
+fi
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
@@ -130,10 +142,23 @@ target/release/hotpath --quick
 echo "==> perf-regression guard (fresh steps/sec vs BENCH_hotpath.json, 2x tolerance)"
 target/release/hotpath --check
 
+echo "==> snapshot committed bench artifacts for the trajectory diff"
+rm -rf /tmp/regvault_bench_baseline && mkdir -p /tmp/regvault_bench_baseline
+cp BENCH_*.json /tmp/regvault_bench_baseline/
+
 echo "==> serve under faults (sustained multi-tenant run, rewrites BENCH_serve.json)"
 target/release/serve
 
 echo "==> fleet bench (64 forked instances, chaos recovery, rewrites BENCH_fleet.json)"
 target/release/fleet
+
+echo "==> leakage gate (trimmed ciphertext-side-channel campaign, 10x reduction floor)"
+target/release/regvault-cli leakage --smoke > /dev/null
+
+echo "==> leakage campaign (full corpus off vs on, rewrites BENCH_leakage.json)"
+target/release/leakage
+
+echo "==> bench trajectory (fresh BENCH_*.json vs committed, 10% ratchet on gated metrics)"
+target/release/trajectory --baseline /tmp/regvault_bench_baseline
 
 echo "OK (full tier)"

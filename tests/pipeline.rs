@@ -46,7 +46,9 @@ fn run_with_config(config: &CompileConfig) -> (u64, Machine, CompiledProgram) {
     let compiled = regvault_compiler::compile(&module, config).expect("compiles");
     let mut machine = Machine::new(MachineConfig::default());
     for key in [KeyReg::A, KeyReg::B, KeyReg::D, KeyReg::E] {
-        machine.write_key_register(key, 0x1000 + key.ksel() as u64, 0x2000).unwrap();
+        machine
+            .write_key_register(key, 0x1000 + key.ksel() as u64, 0x2000)
+            .unwrap();
     }
     let entry = compiled.load(&mut machine, 0x8000_0000);
     machine.memory_mut().map_region(0x7000_0000, 0x20000);
@@ -101,8 +103,7 @@ fn copy_reencrypts_under_destination_addresses() {
 #[test]
 fn full_protection_emits_the_expected_primitives() {
     let (module, _) = cred_module();
-    let compiled =
-        regvault_compiler::compile(&module, &CompileConfig::full()).expect("compiles");
+    let compiled = regvault_compiler::compile(&module, &CompileConfig::full()).expect("compiles");
     let asm = compiled.asm_text();
     // Data key d for annotated fields, spill key e available, RA key a in
     // prologues.
@@ -117,8 +118,7 @@ fn full_protection_emits_the_expected_primitives() {
 #[test]
 fn baseline_emits_no_primitives_at_all() {
     let (module, _) = cred_module();
-    let compiled =
-        regvault_compiler::compile(&module, &CompileConfig::none()).expect("compiles");
+    let compiled = regvault_compiler::compile(&module, &CompileConfig::none()).expect("compiles");
     assert_eq!(compiled.count_mnemonic("cre"), 0);
     assert_eq!(compiled.count_mnemonic("crd"), 0);
 }

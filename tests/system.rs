@@ -30,7 +30,10 @@ fn different_seeds_give_different_keys_but_same_results() {
         })
         .collect();
     // Functional behaviour identical...
-    let uids: Vec<u32> = kernels.iter_mut().map(|k| k.sys_getuid().unwrap()).collect();
+    let uids: Vec<u32> = kernels
+        .iter_mut()
+        .map(|k| k.sys_getuid().unwrap())
+        .collect();
     assert_eq!(uids, vec![1000, 1000]);
     // ...but the in-memory ciphertexts differ (different boot keys).
     let blocks: Vec<u64> = kernels
@@ -47,17 +50,18 @@ fn different_seeds_give_different_keys_but_same_results() {
 fn protection_overhead_is_ordered_and_bounded() {
     // RA is the dominant single component; FULL costs the most; everything
     // is bounded well below 15% on the syscall-dense probe.
-    let base = measure(&Lmbench::Read, ProtectionConfig::off(), 8).unwrap().cycles;
+    let base = measure(&Lmbench::Read, ProtectionConfig::off(), 8)
+        .unwrap()
+        .cycles;
     let mut previous = base;
-    for config in [
-        ProtectionConfig::fp_only(),
-        ProtectionConfig::full(),
-    ] {
+    for config in [ProtectionConfig::fp_only(), ProtectionConfig::full()] {
         let cycles = measure(&Lmbench::Read, config, 8).unwrap().cycles;
         assert!(cycles >= previous, "{} regressed", config.label());
         previous = cycles;
     }
-    let full = measure(&Lmbench::Read, ProtectionConfig::full(), 8).unwrap().cycles;
+    let full = measure(&Lmbench::Read, ProtectionConfig::full(), 8)
+        .unwrap()
+        .cycles;
     let overhead = full as f64 / base as f64 - 1.0;
     assert!(overhead < 0.15, "full overhead {overhead:.3} out of range");
 }
